@@ -1,0 +1,1 @@
+examples/lbo_relax.ml: Array Dg Float Fmt Printf Unix

@@ -1,0 +1,1 @@
+examples/lbo_relax.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dg Dg_util Float Fmt List Printf Unix

@@ -1,0 +1,1 @@
+examples/recurrence.ml: Array Dg Float Printf

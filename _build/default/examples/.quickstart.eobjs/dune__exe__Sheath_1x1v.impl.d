@@ -1,0 +1,1 @@
+examples/sheath_1x1v.ml: Array Dg Float Fmt Printf Unix

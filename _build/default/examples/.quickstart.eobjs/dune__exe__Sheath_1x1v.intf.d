@@ -1,0 +1,1 @@
+examples/sheath_1x1v.mli:

@@ -1,0 +1,1 @@
+examples/two_fluid_langmuir.ml: Array Dg Float List Printf Unix

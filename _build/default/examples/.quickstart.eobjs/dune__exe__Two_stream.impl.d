@@ -1,0 +1,1 @@
+examples/two_stream.ml: Array Dg Float Printf Unix

@@ -1,0 +1,1 @@
+examples/weibel_2x2v.mli:

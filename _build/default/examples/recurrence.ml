@@ -1,0 +1,77 @@
+(* Free-streaming recurrence: a signature phenomenon of continuum
+   (grid-based) Vlasov methods, and a direct view of velocity-space
+   filamentation.
+
+   Free streaming exactly phase-mixes an initial perturbation:
+   E ~ exp(-(k vt t)^2 / 2) decays as the density perturbation filaments
+   in v.  On a velocity grid the filaments are eventually unresolved and
+   the perturbation *recurs* at T_R ~ 2 pi / (k dv_eff).  PIC codes hide
+   this under counting noise; a continuum method shows it cleanly — and
+   higher p pushes the recurrence later at fixed DOF count, one more
+   reason the paper's efficient high-order bases matter.
+
+     dune exec examples/recurrence.exe *)
+
+let () =
+  let k = 0.5 and alpha = 1e-4 and vmax = 6.0 in
+  let l = 2.0 *. Float.pi /. k in
+  let run ~cells_v ~p =
+    let electron =
+      (* neutral massless test species: no field feedback (streaming only) *)
+      Dg.App.species ~name:"n" ~charge:0.0 ~mass:1.0
+        ~init_f:(fun ~pos ~vel ->
+          (1.0 +. (alpha *. cos (k *. pos.(0))))
+          /. sqrt (2.0 *. Float.pi)
+          *. exp (-0.5 *. vel.(0) *. vel.(0)))
+        ()
+    in
+    let spec =
+      {
+        (Dg.App.default_spec ~cdim:1 ~vdim:1 ~cells:[| 16; cells_v |]
+           ~lower:[| 0.0; -.vmax |] ~upper:[| l; vmax |] ~species:[ electron ])
+        with
+        Dg.App.field_model = Dg.App.Static;
+        poly_order = p;
+      }
+    in
+    let app = Dg.App.create spec in
+    let lay = Dg.App.layout app in
+    let nc = Dg.Layout.num_cbasis lay in
+    let mom = Dg.Moments.make lay in
+    let hist = Dg.Diag.make_history [| "mode1" |] in
+    let record app =
+      let dens = Dg.Field.create lay.Dg.Layout.cgrid ~ncomp:nc in
+      Dg.Moments.m0 mom ~f:(Dg.App.distribution app 0) ~out:dens;
+      Dg.Diag.record hist ~time:(Dg.App.time app)
+        [| Dg.Diag.mode_amplitude_1d dens ~comp:0 ~basis_dim:1 ~k:1 |]
+    in
+    record app;
+    Dg.App.run app ~tend:60.0 ~on_step:record;
+    (* find the recurrence: the first local maximum of the mode amplitude
+       after it has decayed below 1 % of its initial value *)
+    let ts = Dg.Diag.times hist in
+    let ms = Dg.Diag.column hist "mode1" in
+    let m0 = ms.(0) in
+    let decayed = ref false and t_rec = ref nan and peak = ref 0.0 in
+    Array.iteri
+      (fun i m ->
+        if m < 0.01 *. m0 then decayed := true;
+        if !decayed && Float.is_nan !t_rec && i > 1 && i < Array.length ms - 1
+        then
+          if m > 0.2 *. m0 && m >= ms.(i - 1) && m >= ms.(i + 1) then begin
+            t_rec := ts.(i);
+            peak := m
+          end)
+      ms;
+    let dv = 2.0 *. vmax /. float_of_int cells_v in
+    Printf.printf
+      "cells_v=%3d p=%d: naive T_R = 2pi/(k dv) = %6.1f, measured recurrence \
+       at t = %6.1f (amplitude %.2f of initial)\n%!"
+      cells_v p
+      (2.0 *. Float.pi /. (k *. dv))
+      !t_rec (!peak /. m0)
+  in
+  Printf.printf "free-streaming recurrence (Landau-damping-free phase mixing):\n";
+  run ~cells_v:16 ~p:1;
+  run ~cells_v:32 ~p:1;
+  run ~cells_v:16 ~p:2

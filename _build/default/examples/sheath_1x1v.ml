@@ -1,0 +1,82 @@
+(* Classical plasma sheath (1X1V, bounded domain): the flagship bounded
+   Gkeyll application (Cagas et al. 2017, ref [8] of the paper).
+
+   An electron-ion plasma between two absorbing walls loses fast electrons
+   first; the walls charge negative relative to the bulk, and an ambipolar
+   electric field (the sheath) builds up to retard electrons and
+   accelerate ions.  Walls are modelled with absorbing (zero-inflow) ghost
+   cells; the field evolves through Ampere's law, and a light BGK collision
+   operator keeps the bulk near-Maxwellian.
+
+     dune exec examples/sheath_1x1v.exe *)
+
+let maxwellian ~n ~vt v =
+  n /. sqrt (2.0 *. Float.pi *. vt *. vt) *. exp (-.(v *. v) /. (2.0 *. vt *. vt))
+
+let () =
+  let l = 128.0 (* domain in Debye lengths *) in
+  let mass_ratio = 400.0 in
+  let vte = 1.0 in
+  let vti = 1.0 /. sqrt mass_ratio (* equal temperatures *) in
+  let electron =
+    Dg.App.species ~name:"elc" ~charge:(-1.0) ~mass:1.0
+      ~collisions:(Dg.App.Bgk_collisions 0.05)
+      ~init_f:(fun ~pos:_ ~vel -> maxwellian ~n:1.0 ~vt:vte vel.(0))
+      ()
+  in
+  let ion =
+    Dg.App.species ~name:"ion" ~charge:1.0 ~mass:mass_ratio
+      ~init_f:(fun ~pos:_ ~vel -> maxwellian ~n:1.0 ~vt:vti vel.(0))
+      ()
+  in
+  let spec =
+    {
+      (Dg.App.default_spec ~cdim:1 ~vdim:1 ~cells:[| 48; 24 |]
+         ~lower:[| 0.0; -6.0 |] ~upper:[| l; 6.0 |]
+         ~species:[ electron; ion ])
+      with
+      Dg.App.field_model = Dg.App.Ampere_only;
+      poly_order = 2;
+      (* absorbing walls: no particles enter from the ghosts *)
+      cfg_bcs = [| (Dg.Field.Zero, Dg.Field.Zero) |];
+    }
+  in
+  let app = Dg.App.create spec in
+  Printf.printf "sheath: %s, two species, absorbing walls\n%!"
+    (Fmt.str "%a" Dg.Layout.pp (Dg.App.layout app));
+  let hist = Dg.Diag.make_history [| "n_elc"; "n_ion"; "e_wall" |] in
+  let lay = Dg.App.layout app in
+  let nc = Dg.Layout.num_cbasis lay in
+  let record app =
+    let ne = Dg.App.total_mass app 0 in
+    let ni = Dg.App.total_mass app 1 /. mass_ratio in
+    (* E_x just inside the left wall *)
+    let em = Dg.App.em_field app in
+    let block = Array.make nc 0.0 in
+    Array.blit (Dg.Field.data em) (Dg.Field.offset em [| 0 |]) block 0 nc;
+    let e_wall = Dg.Basis.eval_expansion lay.Dg.Layout.cbasis block [| -1.0 |] in
+    Dg.Diag.record hist ~time:(Dg.App.time app) [| ne; ni; e_wall |]
+  in
+  record app;
+  let t0 = Unix.gettimeofday () in
+  Dg.App.run app ~tend:20.0 ~on_step:record;
+  Printf.printf "ran %d steps to t=%.0f in %.1f s\n" (Dg.App.nsteps app)
+    (Dg.App.time app)
+    (Unix.gettimeofday () -. t0);
+  let col n = Dg.Diag.column hist n in
+  let ne = col "n_elc" and ni = col "n_ion" and ew = col "e_wall" in
+  let last a = a.(Array.length a - 1) in
+  Printf.printf "electron inventory: %.4f -> %.4f (walls absorb)\n" ne.(0) (last ne);
+  Printf.printf "ion inventory     : %.4f -> %.4f (slower loss)\n" ni.(0) (last ni);
+  Printf.printf "E_x at left wall  : %+.4e -> %+.4e (sheath field, E<0 pushes electrons back)\n"
+    ew.(0) (last ew);
+  (* the sheath must retard electrons: more electrons than ions lost
+     initially, then the field throttles the electron loss *)
+  let de = ne.(0) -. last ne and di = ni.(0) -. last ni in
+  Printf.printf "losses: electrons %.4f, ions %.4f (ambipolar: comparable)\n" de di;
+  (try Unix.mkdir "out_sheath" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Dg.Diag.write_csv hist "out_sheath/history.csv";
+  Dg.Slices.write_slice_2d ~basis:lay.Dg.Layout.basis
+    ~fld:(Dg.App.distribution app 0) ~dim_x:0 ~dim_y:1 ~at:[| 0.0; 0.0 |]
+    ~nx:128 ~ny:96 "out_sheath/f_elc_x_v.csv";
+  Printf.printf "wrote out_sheath/{history,f_elc_x_v}.csv\n"

@@ -1,0 +1,1 @@
+lib/app/vm_app.ml: Array Dg_basis Dg_collisions Dg_grid Dg_kernels Dg_lindg Dg_maxwell Dg_moments Dg_time Dg_vlasov Float List Option

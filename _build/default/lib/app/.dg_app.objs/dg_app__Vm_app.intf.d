@@ -1,0 +1,1 @@
+lib/app/vm_app.mli: Dg_basis Dg_grid Dg_kernels Dg_lindg Dg_time Dg_vlasov

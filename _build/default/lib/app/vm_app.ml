@@ -1,0 +1,361 @@
+(* The Vlasov-Maxwell "App": composes per-species modal Vlasov solvers, the
+   Maxwell (or electrostatic Ampere) field solver, the moment coupling, and
+   the SSP-RK stepper into a runnable simulation — the OCaml counterpart of
+   Gkeyll's LuaJIT App system.
+
+   The evolved state is the list [f_1; ...; f_nspecies; em]; the right-hand
+   side synchronizes ghosts, evaluates each species' phase-space update,
+   accumulates the plasma current, and closes the loop through the field
+   equations.  Normalized units: c = eps0 = mu0 = 1. *)
+
+module Layout = Dg_kernels.Layout
+module Modal = Dg_basis.Modal
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Solver = Dg_vlasov.Solver
+module Moments = Dg_moments.Moments
+module Stepper = Dg_time.Stepper
+
+type field_model =
+  | Full_maxwell (* Vlasov-Maxwell: dE/dt = curl B - J, dB/dt = -curl E *)
+  | Ampere_only (* electrostatic Vlasov-Ampere: dE/dt = -J, B frozen *)
+  | Static (* fields never evolve (test flows, neutral gases) *)
+
+type collision_model =
+  | No_collisions
+  | Lbo_collisions of float (* collision frequency nu *)
+  | Bgk_collisions of float
+
+type species_spec = {
+  name : string;
+  charge : float;
+  mass : float;
+  init_f : pos:float array -> vel:float array -> float;
+      (* pointwise initial distribution, projected cell by cell *)
+  collisions : collision_model;
+}
+
+let species ?(collisions = No_collisions) ~name ~charge ~mass ~init_f () =
+  { name; charge; mass; init_f; collisions }
+
+type spec = {
+  cdim : int;
+  vdim : int;
+  family : Modal.family;
+  poly_order : int;
+  cells : int array; (* cdim + vdim entries *)
+  lower : float array;
+  upper : float array;
+  cfg_bcs : (Field.bc * Field.bc) array; (* per config dimension *)
+  species : species_spec list;
+  field_model : field_model;
+  init_em : (float array -> float array) option; (* x -> 8 components *)
+  vlasov_flux : Solver.flux_kind;
+  maxwell_flux : Dg_lindg.Lindg.flux_kind;
+  cfl : float;
+  scheme : Stepper.scheme;
+}
+
+let default_spec ~cdim ~vdim ~cells ~lower ~upper ~species =
+  {
+    cdim;
+    vdim;
+    family = Modal.Serendipity;
+    poly_order = 2;
+    cells;
+    lower;
+    upper;
+    cfg_bcs = Array.make cdim (Field.Periodic, Field.Periodic);
+    species;
+    field_model = Full_maxwell;
+    init_em = None;
+    vlasov_flux = Solver.Upwind;
+    maxwell_flux = Dg_lindg.Lindg.Central;
+    cfl = 0.9;
+    scheme = Stepper.Ssp_rk3;
+  }
+
+type collision_op =
+  | No_op
+  | Lbo_op of Dg_collisions.Lbo.t
+  | Bgk_op of Dg_collisions.Bgk.t
+
+type species = {
+  s_spec : species_spec;
+  solver : Solver.t;
+  moments : Moments.t;
+  collide : collision_op;
+}
+
+type t = {
+  spec : spec;
+  lay : Layout.t;
+  species : species array;
+  maxwell : Dg_maxwell.Maxwell.t option;
+  stepper : Stepper.t;
+  state : Field.t list; (* species distributions then EM field *)
+  phase_bcs : (Field.bc * Field.bc) array;
+  em_bcs : (Field.bc * Field.bc) array;
+  current : Field.t; (* work: Jx,Jy,Jz coefficient blocks *)
+  mutable time : float;
+  mutable nsteps : int;
+}
+
+(* Project a pointwise phase-space function onto every cell of a field. *)
+let project_phase (lay : Layout.t) ~(f : pos:float array -> vel:float array -> float)
+    (fld : Field.t) =
+  let basis = lay.Layout.basis in
+  let grid = lay.Layout.grid in
+  let cdim = lay.Layout.cdim and vdim = lay.Layout.vdim in
+  let phys = Array.make (cdim + vdim) 0.0 in
+  Grid.iter_cells grid (fun _ c ->
+      let coeffs =
+        Modal.project basis (fun xi ->
+            Grid.to_physical grid c xi phys;
+            f ~pos:(Array.sub phys 0 cdim) ~vel:(Array.sub phys cdim vdim))
+      in
+      Field.write_block fld c coeffs)
+
+(* Project a pointwise configuration-space vector function onto a field with
+   [ncomp_vec] components of [nb] coefficients each. *)
+let project_config (lay : Layout.t) ~(f : float array -> float array) ~ncomp_vec
+    (fld : Field.t) =
+  let basis = lay.Layout.cbasis in
+  let nb = Modal.num_basis basis in
+  let grid = lay.Layout.cgrid in
+  let phys = Array.make lay.Layout.cdim 0.0 in
+  let block = Array.make (ncomp_vec * nb) 0.0 in
+  Grid.iter_cells grid (fun _ c ->
+      for comp = 0 to ncomp_vec - 1 do
+        let coeffs =
+          Modal.project basis (fun xi ->
+              Grid.to_physical grid c xi phys;
+              (f phys).(comp))
+        in
+        Array.blit coeffs 0 block (comp * nb) nb
+      done;
+      Field.write_block fld c block)
+
+let create (spec : spec) =
+  let grid = Grid.make ~cells:spec.cells ~lower:spec.lower ~upper:spec.upper in
+  let lay =
+    Layout.make ~cdim:spec.cdim ~vdim:spec.vdim ~family:spec.family
+      ~poly_order:spec.poly_order ~grid
+  in
+  let np = Layout.num_basis lay in
+  let nc = Layout.num_cbasis lay in
+  let species =
+    Array.of_list
+      (List.map
+         (fun (ss : species_spec) ->
+           {
+             s_spec = ss;
+             solver =
+               Solver.create ~flux:spec.vlasov_flux
+                 ~qm:(ss.charge /. ss.mass) lay;
+             moments = Moments.make lay;
+             collide =
+               (match ss.collisions with
+               | No_collisions -> No_op
+               | Lbo_collisions nu -> Lbo_op (Dg_collisions.Lbo.create ~nu lay)
+               | Bgk_collisions nu -> Bgk_op (Dg_collisions.Bgk.create ~nu lay));
+           })
+         spec.species)
+  in
+  let maxwell =
+    match spec.field_model with
+    | Full_maxwell ->
+        Some
+          (Dg_maxwell.Maxwell.create ~flux:spec.maxwell_flux
+             ~chi:0.0 ~gamma:0.0 ~basis:lay.Layout.cbasis
+             ~grid:lay.Layout.cgrid ())
+    | Ampere_only | Static -> None
+  in
+  let fs =
+    Array.to_list
+      (Array.map
+         (fun sp ->
+           let fld = Field.create lay.Layout.grid ~ncomp:np in
+           project_phase lay ~f:sp.s_spec.init_f fld;
+           fld)
+         species)
+  in
+  let em = Field.create lay.Layout.cgrid ~ncomp:(8 * nc) in
+  (match spec.init_em with
+  | Some f -> project_config lay ~f ~ncomp_vec:8 em
+  | None -> ());
+  let state = fs @ [ em ] in
+  let phase_bcs =
+    Array.init lay.Layout.pdim (fun d ->
+        if d < spec.cdim then spec.cfg_bcs.(d) else (Field.Zero, Field.Zero))
+  in
+  let em_bcs = spec.cfg_bcs in
+  {
+    spec;
+    lay;
+    species;
+    maxwell;
+    stepper = Stepper.create ~scheme:spec.scheme ~like:state;
+    state;
+    phase_bcs;
+    em_bcs;
+    current = Field.create lay.Layout.cgrid ~ncomp:(3 * nc);
+    time = 0.0;
+    nsteps = 0;
+  }
+
+let layout t = t.lay
+let time t = t.time
+let nsteps t = t.nsteps
+
+let split_state (t : t) (state : Field.t list) =
+  let rec go i = function
+    | [ em ] when i = Array.length t.species -> ([], em)
+    | f :: rest when i < Array.length t.species ->
+        let fs, em = go (i + 1) rest in
+        (f :: fs, em)
+    | _ -> invalid_arg "Vm_app.split_state"
+  in
+  let fs, em = go 0 state in
+  (Array.of_list fs, em)
+
+let distribution t i = fst (split_state t t.state) |> fun fs -> fs.(i)
+let em_field t = snd (split_state t t.state)
+
+(* Accumulate the total plasma current from all species into t.current. *)
+let compute_current t (fs : Field.t array) =
+  Field.fill t.current 0.0;
+  Array.iteri
+    (fun i sp ->
+      Moments.accumulate_current sp.moments ~charge:sp.s_spec.charge ~f:fs.(i)
+        ~out:t.current)
+    t.species
+
+(* The coupled RHS: d(state)/dt into [outs]. *)
+let rhs t ~time:_ (state : Field.t list) (outs : Field.t list) =
+  let fs, em = split_state t state in
+  let fouts, em_out = split_state t outs in
+  (* ghost synchronization *)
+  Array.iter (fun f -> Field.sync_ghosts f t.phase_bcs) fs;
+  Field.sync_ghosts em t.em_bcs;
+  (* species updates *)
+  let em_opt =
+    match t.spec.field_model with Static | Ampere_only | Full_maxwell -> Some em
+  in
+  Array.iteri
+    (fun i sp ->
+      Solver.rhs sp.solver ~f:fs.(i) ~em:em_opt ~out:fouts.(i);
+      match sp.collide with
+      | No_op -> ()
+      | Lbo_op lbo ->
+          Dg_collisions.Lbo.update_prim lbo ~f:fs.(i);
+          Dg_collisions.Lbo.rhs lbo ~f:fs.(i) ~out:fouts.(i)
+      | Bgk_op bgk ->
+          Dg_collisions.Bgk.update_prim bgk ~f:fs.(i);
+          Dg_collisions.Bgk.rhs bgk ~f:fs.(i) ~out:fouts.(i))
+    t.species;
+  (* field update *)
+  Field.fill em_out 0.0;
+  (match t.spec.field_model with
+  | Static -> ()
+  | Ampere_only ->
+      compute_current t fs;
+      (* dE/dt = -J on components 0..2 *)
+      let nc = Layout.num_cbasis t.lay in
+      Grid.iter_cells t.lay.Layout.cgrid (fun _ c ->
+          let jo = Field.offset t.current c and oo = Field.offset em_out c in
+          let jd = Field.data t.current and od = Field.data em_out in
+          for k = 0 to (3 * nc) - 1 do
+            od.(oo + k) <- od.(oo + k) -. jd.(jo + k)
+          done)
+  | Full_maxwell ->
+      let mx = Option.get t.maxwell in
+      compute_current t fs;
+      Dg_maxwell.Maxwell.rhs mx ~em ~out:em_out;
+      Dg_maxwell.Maxwell.add_current_source mx ~current:t.current ~out:em_out)
+
+(* CFL-limited time step from current state speeds. *)
+let suggest_dt t =
+  let fs, em = split_state t t.state in
+  ignore fs;
+  let speeds = Array.make t.lay.Layout.pdim 0.0 in
+  Array.iter
+    (fun sp ->
+      let s = Solver.max_speeds sp.solver ~em:(Some em) in
+      Array.iteri (fun d v -> if v > speeds.(d) then speeds.(d) <- v) s)
+    t.species;
+  (* light-speed constraint in configuration directions for Maxwell *)
+  if t.spec.field_model = Full_maxwell then
+    for d = 0 to t.spec.cdim - 1 do
+      if speeds.(d) < 1.0 then speeds.(d) <- 1.0
+    done;
+  let dt =
+    Stepper.cfl_dt ~cfl:t.spec.cfl ~poly_order:t.spec.poly_order
+      ~dx:(Grid.dx t.lay.Layout.grid) ~speeds
+  in
+  (* collisional (diffusion / relaxation) stability limits *)
+  let dt = ref dt in
+  Array.iteri
+    (fun i sp ->
+      match sp.collide with
+      | Lbo_op lbo ->
+          Dg_collisions.Lbo.update_prim lbo ~f:fs.(i);
+          dt := Float.min !dt (Dg_collisions.Lbo.suggest_dt lbo)
+      | Bgk_op bgk -> dt := Float.min !dt (0.5 /. bgk.Dg_collisions.Bgk.nu)
+      | No_op -> ())
+    t.species;
+  !dt
+
+(* Advance one step of size [dt] (or the CFL-suggested step). *)
+let step ?dt t =
+  let dt = match dt with Some dt -> dt | None -> suggest_dt t in
+  Stepper.step t.stepper ~rhs:(rhs t) ~time:t.time ~dt t.state;
+  t.time <- t.time +. dt;
+  t.nsteps <- t.nsteps + 1;
+  dt
+
+(* Run until [tend], invoking [on_step] after every step. *)
+let run ?(on_step = fun (_ : t) -> ()) t ~tend =
+  while t.time < tend -. 1e-12 do
+    let dt = suggest_dt t in
+    let dt = Float.min dt (tend -. t.time) in
+    ignore (step ~dt t);
+    on_step t
+  done
+
+(* --- diagnostics --------------------------------------------------------- *)
+
+let total_mass t i =
+  let fs, _ = split_state t t.state in
+  let sp = t.species.(i) in
+  sp.s_spec.mass *. Moments.total_mass sp.moments ~f:fs.(i)
+
+let kinetic_energy t i =
+  let fs, _ = split_state t t.state in
+  let sp = t.species.(i) in
+  Moments.total_kinetic_energy sp.moments ~mass:sp.s_spec.mass ~f:fs.(i)
+
+let field_energy t =
+  match t.maxwell with
+  | Some mx -> Dg_maxwell.Maxwell.field_energy mx ~em:(em_field t)
+  | None ->
+      (* electrostatic: (1/2) int |E|^2 *)
+      let nc = Layout.num_cbasis t.lay in
+      let em = em_field t in
+      let jac =
+        Grid.cell_volume t.lay.Layout.cgrid
+        /. (2.0 ** float_of_int t.spec.cdim)
+      in
+      let acc = ref 0.0 in
+      Grid.iter_cells t.lay.Layout.cgrid (fun _ c ->
+          let base = Field.offset em c in
+          for k = 0 to (3 * nc) - 1 do
+            let v = (Field.data em).(base + k) in
+            acc := !acc +. (v *. v)
+          done);
+      0.5 *. !acc *. jac
+
+let total_energy t =
+  let ke = ref (field_energy t) in
+  Array.iteri (fun i _ -> ke := !ke +. kinetic_energy t i) t.species;
+  !ke

@@ -1,0 +1,106 @@
+(** The Vlasov-Maxwell "App": species + field + moments + stepper composed
+    into a runnable simulation — the OCaml counterpart of Gkeyll's LuaJIT
+    App system.  Normalized units c = eps0 = mu0 = 1. *)
+
+module Layout = Dg_kernels.Layout
+module Modal = Dg_basis.Modal
+module Field = Dg_grid.Field
+module Solver = Dg_vlasov.Solver
+module Stepper = Dg_time.Stepper
+
+(** Field closure: full Maxwell, electrostatic Ampere (dE/dt = -J, frozen
+    B), or static fields. *)
+type field_model = Full_maxwell | Ampere_only | Static
+
+type collision_model =
+  | No_collisions
+  | Lbo_collisions of float  (** Dougherty Fokker-Planck, frequency nu *)
+  | Bgk_collisions of float
+
+type species_spec = {
+  name : string;
+  charge : float;
+  mass : float;
+  init_f : pos:float array -> vel:float array -> float;
+  collisions : collision_model;
+}
+
+val species :
+  ?collisions:collision_model ->
+  name:string ->
+  charge:float ->
+  mass:float ->
+  init_f:(pos:float array -> vel:float array -> float) ->
+  unit ->
+  species_spec
+
+(** Full simulation specification; build with {!default_spec} and override
+    fields as needed. *)
+type spec = {
+  cdim : int;
+  vdim : int;
+  family : Modal.family;
+  poly_order : int;
+  cells : int array;
+  lower : float array;
+  upper : float array;
+  cfg_bcs : (Field.bc * Field.bc) array;
+  species : species_spec list;
+  field_model : field_model;
+  init_em : (float array -> float array) option;
+      (** x -> the 8 EM components (Ex..Bz, phi, psi) *)
+  vlasov_flux : Solver.flux_kind;
+  maxwell_flux : Dg_lindg.Lindg.flux_kind;
+  cfl : float;
+  scheme : Stepper.scheme;
+}
+
+val default_spec :
+  cdim:int ->
+  vdim:int ->
+  cells:int array ->
+  lower:float array ->
+  upper:float array ->
+  species:species_spec list ->
+  spec
+(** Serendipity p=2, periodic, upwind Vlasov / central Maxwell fluxes,
+    SSP-RK3, cfl 0.9, full Maxwell. *)
+
+type t
+
+val project_phase :
+  Layout.t -> f:(pos:float array -> vel:float array -> float) -> Field.t -> unit
+(** Project a pointwise phase-space function cell by cell (exposed for
+    tests and custom initialization). *)
+
+val project_config :
+  Layout.t -> f:(float array -> float array) -> ncomp_vec:int -> Field.t -> unit
+
+val create : spec -> t
+val layout : t -> Layout.t
+val time : t -> float
+val nsteps : t -> int
+
+val distribution : t -> int -> Field.t
+(** The i-th species' distribution function (live state). *)
+
+val em_field : t -> Field.t
+
+val rhs : t -> time:float -> Field.t list -> Field.t list -> unit
+(** The coupled right-hand side (exposed for custom steppers). *)
+
+val suggest_dt : t -> float
+(** CFL-limited step from the current state (including collisional
+    stability limits). *)
+
+val step : ?dt:float -> t -> float
+(** Advance one step; returns the dt taken. *)
+
+val run : ?on_step:(t -> unit) -> t -> tend:float -> unit
+
+(** {1 Diagnostics} *)
+
+val total_mass : t -> int -> float
+val kinetic_energy : t -> int -> float
+val field_energy : t -> float
+val total_energy : t -> float

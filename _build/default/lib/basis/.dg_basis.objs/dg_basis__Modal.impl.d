@@ -1,0 +1,1 @@
+lib/basis/modal.ml: Array Dg_cas Dg_util Fmt Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/basis/modal.mli: Dg_cas Dg_util Format

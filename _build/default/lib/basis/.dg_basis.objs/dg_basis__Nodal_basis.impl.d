@@ -1,0 +1,1 @@
+lib/basis/nodal_basis.ml: Array Dg_cas Dg_util

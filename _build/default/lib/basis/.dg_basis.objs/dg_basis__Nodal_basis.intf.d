@@ -1,0 +1,1 @@
+lib/basis/nodal_basis.mli: Dg_cas Dg_util

@@ -1,0 +1,63 @@
+(** Modal orthonormal bases on the reference cell [-1,1]^dim.
+
+    Each basis function is a product of normalized Legendre polynomials
+    identified by a multi-index; the three families of the paper differ
+    only in which multi-indices are kept:
+
+    - {!Tensor}: max degree per dimension <= p, N_p = (p+1)^d;
+    - {!Serendipity}: superlinear degree <= p (Arnold & Awanou 2011) —
+      the paper's workhorse (112 DOF at d=5, p=2);
+    - {!Maximal_order}: total degree <= p, N_p = C(p+d, d).
+
+    All three are orthonormal subsets of the tensor basis, which is what
+    makes every DG coupling tensor factorize into exact 1D integrals. *)
+
+type family = Tensor | Serendipity | Maximal_order
+
+val family_name : family -> string
+
+val family_of_string : string -> family
+(** Accepts ["tensor"], ["serendipity"]/["ser"], ["maximal-order"]/["max"].
+    @raise Invalid_argument otherwise. *)
+
+type t
+
+val make : family:family -> dim:int -> poly_order:int -> t
+val num_basis : t -> int
+val dim : t -> int
+val poly_order : t -> int
+val family : t -> family
+
+val index : t -> int -> Dg_util.Multi_index.t
+(** Multi-index of basis function [k]; mode 0 is the constant. *)
+
+val find : t -> int array -> int option
+(** Position of a multi-index in the basis, if present. *)
+
+val max_1d_degree : t -> int
+(** Largest per-dimension degree (sizes the Legendre tables). *)
+
+val count_closed_form : family:family -> dim:int -> poly_order:int -> int
+(** Closed-form dimension count (cross-checks the enumeration). *)
+
+val eval : t -> int -> float array -> float
+(** [eval t k xi] evaluates basis function [k] at a reference point. *)
+
+val eval_all : t -> float array -> float array -> unit
+(** [eval_all t xi out] fills [out] (length {!num_basis}) with all basis
+    values at [xi], sharing the per-dimension Legendre evaluations. *)
+
+val eval_expansion : t -> float array -> float array -> float
+(** Reconstruct the expansion [sum_k coeffs.(k) w_k(xi)]. *)
+
+val to_mpoly : t -> int -> Dg_cas.Mpoly.t
+(** Basis function as an explicit polynomial (tests, codegen). *)
+
+val project : ?nquad:int -> t -> (float array -> float) -> float array
+(** L2 projection of a pointwise function using tensor Gauss quadrature
+    ([nquad] points per dimension, default [poly_order + 3]). *)
+
+val cell_average : t -> float array -> float
+(** Mean of the expansion over the reference cell. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+(* Nodal (Lagrange) tensor-product basis for the alias-free nodal baseline.
+
+   The baseline scheme of Juno et al. (2018) represents fields by values at
+   Gauss-Lobatto nodes and evaluates nonlinear terms by over-integration with
+   enough Gauss quadrature points to keep the scheme alias-free — at the cost
+   of dense matrix-vector products.  This module provides the node sets and
+   the Lagrange cardinal polynomials; the dense operator matrices live in the
+   nodal solver. *)
+
+module Mpoly = Dg_cas.Mpoly
+
+(* Gauss-Lobatto 1D node sets (include the cell endpoints). *)
+let nodes_1d p =
+  match p with
+  | 1 -> [| -1.0; 1.0 |]
+  | 2 -> [| -1.0; 0.0; 1.0 |]
+  | 3 ->
+      let a = 1.0 /. sqrt 5.0 in
+      [| -1.0; -.a; a; 1.0 |]
+  | 4 ->
+      let a = sqrt (3.0 /. 7.0) in
+      [| -1.0; -.a; 0.0; a; 1.0 |]
+  | _ -> invalid_arg "Nodal_basis.nodes_1d: supported p = 1..4"
+
+(* 1D Lagrange cardinal polynomial l_k (coefficients, lowest degree first):
+   l_k(x_j) = delta_kj over the given nodes. *)
+let lagrange_1d (nodes : float array) k =
+  let n = Array.length nodes in
+  let coeffs = ref [| 1.0 |] in
+  for j = 0 to n - 1 do
+    if j <> k then begin
+      (* multiply by (x - x_j) / (x_k - x_j) *)
+      let d = nodes.(k) -. nodes.(j) in
+      let c = !coeffs in
+      let c' = Array.make (Array.length c + 1) 0.0 in
+      Array.iteri
+        (fun i ci ->
+          c'.(i + 1) <- c'.(i + 1) +. (ci /. d);
+          c'.(i) <- c'.(i) -. (ci *. nodes.(j) /. d))
+        c;
+      coeffs := c'
+    end
+  done;
+  !coeffs
+
+type t = {
+  dim : int;
+  poly_order : int;
+  nodes_1d : float array;
+  node_indices : Dg_util.Multi_index.t array; (* nodal multi-indices *)
+  cardinals : Mpoly.t array; (* multivariate cardinal polynomials *)
+  node_coords : float array array; (* reference coordinates of each node *)
+}
+
+let float_poly_to_mpoly ~dim ~i (c : float array) =
+  let acc = ref (Mpoly.zero ~dim) in
+  Array.iteri
+    (fun k ck ->
+      if ck <> 0.0 then begin
+        let e = Array.make dim 0 in
+        e.(i) <- k;
+        acc := Mpoly.add_term !acc e ck
+      end)
+    c;
+  !acc
+
+let make ~dim ~poly_order =
+  let nd = nodes_1d poly_order in
+  let n1 = Array.length nd in
+  let node_indices =
+    Array.of_list (Dg_util.Multi_index.enumerate_box ~dim ~pmax:(n1 - 1))
+  in
+  let card1 = Array.init n1 (fun k -> lagrange_1d nd k) in
+  let cardinals =
+    Array.map
+      (fun m ->
+        let acc = ref (Mpoly.const ~dim 1.0) in
+        for i = 0 to dim - 1 do
+          acc :=
+            Mpoly.mul !acc
+              (float_poly_to_mpoly ~dim ~i card1.(Dg_util.Multi_index.get m i))
+        done;
+        !acc)
+      node_indices
+  in
+  let node_coords =
+    Array.map
+      (fun m ->
+        Array.init dim (fun i -> nd.(Dg_util.Multi_index.get m i)))
+      node_indices
+  in
+  { dim; poly_order; nodes_1d = nd; node_indices; cardinals; node_coords }
+
+let num_nodes t = Array.length t.node_indices
+
+let eval t k (xi : float array) = Mpoly.eval t.cardinals.(k) xi
+
+(* Number of Gauss points per dimension that makes the quadratic nonlinearity
+   alias-free: n_q-point Gauss is exact to degree 2 n_q - 1 and the integrand
+   w_l * alpha_h * f_h has 1D degree up to 3p, hence n_q = ceil((3p+1)/2). *)
+let alias_free_quad_points ~poly_order:p = ((3 * p) + 2) / 2

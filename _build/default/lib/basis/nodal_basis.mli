@@ -1,0 +1,27 @@
+(** Nodal (Lagrange) tensor-product basis for the alias-free nodal
+    baseline: Gauss-Lobatto node sets and cardinal polynomials. *)
+
+module Mpoly = Dg_cas.Mpoly
+
+val nodes_1d : int -> float array
+(** Gauss-Lobatto nodes for p = 1..4 (include the endpoints). *)
+
+val lagrange_1d : float array -> int -> float array
+(** Monomial coefficients of the k-th 1D Lagrange cardinal polynomial. *)
+
+type t = {
+  dim : int;
+  poly_order : int;
+  nodes_1d : float array;
+  node_indices : Dg_util.Multi_index.t array;
+  cardinals : Mpoly.t array;
+  node_coords : float array array;
+}
+
+val make : dim:int -> poly_order:int -> t
+val num_nodes : t -> int
+val eval : t -> int -> float array -> float
+
+val alias_free_quad_points : poly_order:int -> int
+(** ceil((3p+1)/2): Gauss points per dimension that keep the quadratic
+    nonlinearity alias-free (the paper's over-integration count). *)

@@ -1,0 +1,1 @@
+lib/cas/legendre.ml: Array Hashtbl Poly1 Rat

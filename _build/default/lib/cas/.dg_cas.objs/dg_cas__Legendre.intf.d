@@ -1,0 +1,1 @@
+lib/cas/legendre.mli: Poly1

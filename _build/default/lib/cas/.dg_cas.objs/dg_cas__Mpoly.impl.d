@@ -1,0 +1,1 @@
+lib/cas/mpoly.ml: Array Float Fmt Map Option Poly1 Rat Stdlib

@@ -1,0 +1,1 @@
+lib/cas/mpoly.mli: Format Poly1

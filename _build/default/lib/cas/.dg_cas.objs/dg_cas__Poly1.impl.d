@@ -1,0 +1,1 @@
+lib/cas/poly1.ml: Array Fmt Rat

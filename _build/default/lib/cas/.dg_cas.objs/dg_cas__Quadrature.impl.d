@@ -1,0 +1,1 @@
+lib/cas/quadrature.ml: Array Dg_util Float Legendre Poly1

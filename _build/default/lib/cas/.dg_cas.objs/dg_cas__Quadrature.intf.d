@@ -1,0 +1,1 @@
+lib/cas/quadrature.mli:

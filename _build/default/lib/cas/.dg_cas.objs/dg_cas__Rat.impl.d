@@ -1,0 +1,1 @@
+lib/cas/rat.ml: Fmt

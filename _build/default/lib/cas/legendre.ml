@@ -1,0 +1,183 @@
+(* Legendre polynomials and the exact 1D coupling tables from which every
+   volume and surface integral of the modal DG scheme factorizes.
+
+   All modal basis functions (tensor, Serendipity and maximal-order families)
+   are products of *normalized* Legendre polynomials
+       P~_n(x) = sqrt((2n+1)/2) P_n(x),   int_{-1}^{1} P~_m P~_n dx = delta_mn,
+   so the coupling tensors C_lmn of the paper reduce to products of the small
+   1D tables computed here.  The 1D integrals are evaluated exactly (rational
+   arithmetic times square-root normalizations), which is what makes the
+   scheme alias-free: no quadrature approximation enters anywhere. *)
+
+(* Exact Legendre P_n via the Bonnet recurrence
+   (n+1) P_{n+1} = (2n+1) x P_n - n P_{n-1}. *)
+let legendre : int -> Poly1.t =
+  let cache = Hashtbl.create 16 in
+  let rec p n =
+    assert (n >= 0);
+    match Hashtbl.find_opt cache n with
+    | Some q -> q
+    | None ->
+        let q =
+          if n = 0 then Poly1.one
+          else if n = 1 then Poly1.x
+          else
+            let a = Rat.make (2 * n - 1) n and b = Rat.make (n - 1) n in
+            Poly1.sub
+              (Poly1.scale a (Poly1.mul Poly1.x (p (n - 1))))
+              (Poly1.scale b (p (n - 2)))
+        in
+        Hashtbl.add cache n q;
+        q
+  in
+  p
+
+(* sqrt((2n+1)/2): normalization making the L2 norm on [-1,1] equal to 1. *)
+let norm_factor n = sqrt (float_of_int (2 * n + 1) /. 2.0)
+
+(* Normalized Legendre as an exact-coefficient polynomial times the float
+   normalization; exposed as float coefficient array (lowest degree first). *)
+let normalized_coeffs n =
+  let p = legendre n in
+  Array.init (n + 1) (fun k -> norm_factor n *. Rat.to_float (Poly1.coeff p k))
+
+let eval_normalized n x = norm_factor n *. Poly1.eval_float (legendre n) x
+
+(* P_n(1) = 1 and P_n(-1) = (-1)^n, hence: *)
+let edge_value n ~side =
+  assert (side = 1 || side = -1);
+  if side = 1 then norm_factor n
+  else if n land 1 = 0 then norm_factor n
+  else -.norm_factor n
+
+(* |P_n| <= 1 on [-1,1], so |P~_n| <= norm_factor n.  Used for penalty-speed
+   bounds in Lax-Friedrichs fluxes. *)
+let max_abs n = norm_factor n
+
+(* --- Exact 1D coupling tables ----------------------------------------- *)
+
+(* int_{-1}^{1} P~_a P~_b P~_c dx.  The rational part is exact; the three
+   normalization square roots are applied in float. *)
+let triple a b c =
+  let r =
+    Poly1.integrate_ref (Poly1.mul (legendre a) (Poly1.mul (legendre b) (legendre c)))
+  in
+  Rat.to_float r *. norm_factor a *. norm_factor b *. norm_factor c
+
+(* int P~_a P~_b dP~_c/dx dx *)
+let dtriple a b c =
+  let r =
+    Poly1.integrate_ref
+      (Poly1.mul (legendre a) (Poly1.mul (legendre b) (Poly1.deriv (legendre c))))
+  in
+  Rat.to_float r *. norm_factor a *. norm_factor b *. norm_factor c
+
+(* int x P~_a P~_b dx *)
+let xpair a b =
+  let r =
+    Poly1.integrate_ref (Poly1.mul Poly1.x (Poly1.mul (legendre a) (legendre b)))
+  in
+  Rat.to_float r *. norm_factor a *. norm_factor b
+
+(* int P~_a dP~_b/dx dx *)
+let dpair a b =
+  let r = Poly1.integrate_ref (Poly1.mul (legendre a) (Poly1.deriv (legendre b))) in
+  Rat.to_float r *. norm_factor a *. norm_factor b
+
+(* int x P~_a dP~_b/dx dx  (needed for the v-dependent part of streaming
+   volume terms) *)
+let xdpair a b =
+  let r =
+    Poly1.integrate_ref
+      (Poly1.mul Poly1.x (Poly1.mul (legendre a) (Poly1.deriv (legendre b))))
+  in
+  Rat.to_float r *. norm_factor a *. norm_factor b
+
+(* int P~_a P~_b P~_c P~_d dx: quadruple products arise in the acceleration
+   surface terms when both the flux and the distribution carry expansions. *)
+let quadruple a b c d =
+  let r =
+    Poly1.integrate_ref
+      (Poly1.mul
+         (Poly1.mul (legendre a) (legendre b))
+         (Poly1.mul (legendre c) (legendre d)))
+  in
+  Rat.to_float r *. norm_factor a *. norm_factor b *. norm_factor c
+  *. norm_factor d
+
+(* int P~_a dP~_b/dx dP~_c/dx dx: arises in the (interior-penalty) DG
+   discretization of the Fokker-Planck velocity diffusion. *)
+let ddtriple a b c =
+  let r =
+    Poly1.integrate_ref
+      (Poly1.mul (legendre a)
+         (Poly1.mul (Poly1.deriv (legendre b)) (Poly1.deriv (legendre c))))
+  in
+  Rat.to_float r *. norm_factor a *. norm_factor b *. norm_factor c
+
+(* int P~_a P~_b d^2 P~_c/dx^2 dx: the volume term of the twice-integrated
+   recovery diffusion scheme. *)
+let d2triple a b c =
+  let r =
+    Poly1.integrate_ref
+      (Poly1.mul (legendre a)
+         (Poly1.mul (legendre b) (Poly1.deriv (Poly1.deriv (legendre c)))))
+  in
+  Rat.to_float r *. norm_factor a *. norm_factor b *. norm_factor c
+
+(* dP~_n/dx(+-1) *)
+let dedge_value n ~side =
+  assert (side = 1 || side = -1);
+  norm_factor n *. Poly1.eval_float (Poly1.deriv (legendre n)) (float_of_int side)
+
+(* Precomputed table bundle up to a maximum 1D degree. *)
+type tables = {
+  nmax : int;
+  trip : float array array array; (* trip.(a).(b).(c) *)
+  dtrip : float array array array;
+  ddtrip : float array array array;
+  d2trip : float array array array;
+  xpair : float array array;
+  dpair : float array array;
+  xdpair : float array array;
+  edge_lo : float array; (* P~_n(-1) *)
+  edge_hi : float array; (* P~_n(+1) *)
+  dedge_lo : float array; (* dP~_n/dx(-1) *)
+  dedge_hi : float array;
+  maxv : float array;
+}
+
+let make_tables nmax =
+  let t3 f =
+    Array.init (nmax + 1) (fun a ->
+        Array.init (nmax + 1) (fun b -> Array.init (nmax + 1) (fun c -> f a b c)))
+  in
+  let t2 f =
+    Array.init (nmax + 1) (fun a -> Array.init (nmax + 1) (fun b -> f a b))
+  in
+  {
+    nmax;
+    trip = t3 triple;
+    dtrip = t3 dtriple;
+    ddtrip = t3 ddtriple;
+    d2trip = t3 d2triple;
+    xpair = t2 xpair;
+    dpair = t2 dpair;
+    xdpair = t2 xdpair;
+    edge_lo = Array.init (nmax + 1) (fun n -> edge_value n ~side:(-1));
+    edge_hi = Array.init (nmax + 1) (fun n -> edge_value n ~side:1);
+    dedge_lo = Array.init (nmax + 1) (fun n -> dedge_value n ~side:(-1));
+    dedge_hi = Array.init (nmax + 1) (fun n -> dedge_value n ~side:1);
+    maxv = Array.init (nmax + 1) max_abs;
+  }
+
+(* Tables are cheap to build but used everywhere; share one per nmax. *)
+let tables : int -> tables =
+  let cache = Hashtbl.create 4 in
+  fun nmax ->
+    match Hashtbl.find_opt cache nmax with
+    | Some t -> t
+    | None ->
+        let t = make_tables nmax in
+        Hashtbl.add cache nmax t;
+        t

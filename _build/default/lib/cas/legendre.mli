@@ -1,0 +1,70 @@
+(** Legendre polynomials and the exact 1D coupling tables.
+
+    All modal basis functions are products of normalized Legendre
+    polynomials [P~_n(x) = sqrt((2n+1)/2) P_n(x)], so every volume and
+    surface integral of the modal DG scheme factorizes into the small 1D
+    tables computed here — exactly.  This module is the replacement for
+    the paper's Maxima computer-algebra step. *)
+
+val legendre : int -> Poly1.t
+(** Exact Legendre polynomial [P_n] (cached). *)
+
+val norm_factor : int -> float
+(** [sqrt((2n+1)/2)]: makes the L2 norm on [-1,1] equal to one. *)
+
+val normalized_coeffs : int -> float array
+(** Monomial coefficients of [P~_n], lowest degree first. *)
+
+val eval_normalized : int -> float -> float
+
+val edge_value : int -> side:int -> float
+(** [P~_n(+-1)]; [side] is [1] or [-1]. *)
+
+val max_abs : int -> float
+(** Maximum of |P~_n| on [-1,1] (penalty-speed bounds). *)
+
+(** {1 Exact 1D integrals} *)
+
+val triple : int -> int -> int -> float
+(** [int P~_a P~_b P~_c dx]. *)
+
+val dtriple : int -> int -> int -> float
+(** [int P~_a P~_b dP~_c/dx dx]. *)
+
+val ddtriple : int -> int -> int -> float
+(** [int P~_a dP~_b/dx dP~_c/dx dx]. *)
+
+val d2triple : int -> int -> int -> float
+(** [int P~_a P~_b d2P~_c/dx2 dx] (recovery diffusion volume term). *)
+
+val xpair : int -> int -> float
+(** [int x P~_a P~_b dx]. *)
+
+val dpair : int -> int -> float
+(** [int P~_a dP~_b/dx dx]. *)
+
+val xdpair : int -> int -> float
+val quadruple : int -> int -> int -> int -> float
+val dedge_value : int -> side:int -> float
+
+(** Precomputed table bundle up to a maximum 1D degree. *)
+type tables = {
+  nmax : int;
+  trip : float array array array;
+  dtrip : float array array array;
+  ddtrip : float array array array;
+  d2trip : float array array array;
+  xpair : float array array;
+  dpair : float array array;
+  xdpair : float array array;
+  edge_lo : float array;
+  edge_hi : float array;
+  dedge_lo : float array;
+  dedge_hi : float array;
+  maxv : float array;
+}
+
+val make_tables : int -> tables
+
+val tables : int -> tables
+(** Shared (cached) tables for a given maximum degree. *)

@@ -1,0 +1,179 @@
+(* Sparse multivariate polynomials with float coefficients.
+
+   Used for building nodal (Lagrange) bases, verifying kernel tensors against
+   direct symbolic integration, and generating unrolled kernels.  Coefficients
+   are floats, but every manipulation (products, derivatives, monomial
+   integration over boxes) is algebraically exact, so results agree with
+   exact arithmetic to rounding error only.
+
+   A monomial is an exponent multi-index over a fixed dimension [dim]; the
+   polynomial maps monomials to coefficients. *)
+
+module Mono = Map.Make (struct
+  type t = int array
+
+  let compare = Stdlib.compare
+end)
+
+type t = { dim : int; terms : float Mono.t }
+
+let dim p = p.dim
+let zero ~dim = { dim; terms = Mono.empty }
+let is_zero p = Mono.is_empty p.terms
+
+let prune terms =
+  Mono.filter (fun _ c -> Float.abs c > 0.0) terms
+
+let add_term p expo c =
+  assert (Array.length expo = p.dim);
+  let c0 = Option.value ~default:0.0 (Mono.find_opt expo p.terms) in
+  let c = c0 +. c in
+  let terms =
+    if c = 0.0 then Mono.remove expo p.terms else Mono.add expo c p.terms
+  in
+  { p with terms }
+
+let const ~dim c =
+  if c = 0.0 then zero ~dim else { dim; terms = Mono.singleton (Array.make dim 0) c }
+
+(* The coordinate x_i as a polynomial. *)
+let var ~dim i =
+  assert (i >= 0 && i < dim);
+  let e = Array.make dim 0 in
+  e.(i) <- 1;
+  { dim; terms = Mono.singleton e 1.0 }
+
+let terms p = Mono.bindings p.terms
+let num_terms p = Mono.cardinal p.terms
+
+let map_coeffs f p = { p with terms = prune (Mono.map f p.terms) }
+let scale s p = if s = 0.0 then zero ~dim:p.dim else map_coeffs (fun c -> s *. c) p
+
+let add p q =
+  assert (p.dim = q.dim);
+  let terms =
+    Mono.union (fun _ a b -> let s = a +. b in if s = 0.0 then None else Some s)
+      p.terms q.terms
+  in
+  { p with terms }
+
+let neg p = scale (-1.0) p
+let sub p q = add p (neg q)
+
+let mul p q =
+  assert (p.dim = q.dim);
+  let acc = ref (zero ~dim:p.dim) in
+  Mono.iter
+    (fun ep cp ->
+      Mono.iter
+        (fun eq cq ->
+          let e = Array.init p.dim (fun i -> ep.(i) + eq.(i)) in
+          acc := add_term !acc e (cp *. cq))
+        q.terms)
+    p.terms;
+  !acc
+
+(* Embed a univariate polynomial (exact coefficients) as a polynomial in
+   variable [i] of a [dim]-dimensional space. *)
+let of_poly1 ~dim ~i (u : Poly1.t) =
+  let acc = ref (zero ~dim) in
+  for k = 0 to Poly1.degree u do
+    let c = Rat.to_float (Poly1.coeff u k) in
+    if c <> 0.0 then begin
+      let e = Array.make dim 0 in
+      e.(i) <- k;
+      acc := add_term !acc e c
+    end
+  done;
+  !acc
+
+let eval p (xs : float array) =
+  assert (Array.length xs = p.dim);
+  Mono.fold
+    (fun e c acc ->
+      let m = ref c in
+      Array.iteri (fun i k -> for _ = 1 to k do m := !m *. xs.(i) done) e;
+      acc +. !m)
+    p.terms 0.0
+
+(* Partial derivative with respect to variable [i]. *)
+let deriv ~i p =
+  Mono.fold
+    (fun e c acc ->
+      if e.(i) = 0 then acc
+      else begin
+        let e' = Array.copy e in
+        e'.(i) <- e.(i) - 1;
+        add_term acc e' (c *. float_of_int e.(i))
+      end)
+    p.terms (zero ~dim:p.dim)
+
+(* Substitute x_i := v, producing a polynomial in the same space whose
+   dependence on x_i is gone (exponent forced to 0).  This is how face
+   restrictions are computed. *)
+let subst_var ~i ~v p =
+  Mono.fold
+    (fun e c acc ->
+      let e' = Array.copy e in
+      e'.(i) <- 0;
+      let f = ref c in
+      for _ = 1 to e.(i) do
+        f := !f *. v
+      done;
+      add_term acc e' !f)
+    p.terms (zero ~dim:p.dim)
+
+(* Exact integral of a monomial x^k over [-1, 1]: 0 if k odd, 2/(k+1) if even. *)
+let mono_integral_ref k = if k land 1 = 1 then 0.0 else 2.0 /. float_of_int (k + 1)
+
+(* Exact integral over the reference box [-1,1]^dim. *)
+let integrate_ref p =
+  Mono.fold
+    (fun e c acc ->
+      let m = ref c in
+      (try
+         Array.iter
+           (fun k ->
+             if k land 1 = 1 then begin
+               m := 0.0;
+               raise Exit
+             end
+             else m := !m *. mono_integral_ref k)
+           e
+       with Exit -> ());
+      acc +. !m)
+    p.terms 0.0
+
+(* Exact integral over the reference box with one dimension [skip] omitted
+   (used for surface integrals: the polynomial must not depend on it). *)
+let integrate_ref_skip ~skip p =
+  Mono.fold
+    (fun e c acc ->
+      assert (e.(skip) = 0);
+      let m = ref c in
+      (try
+         Array.iteri
+           (fun i k ->
+             if i <> skip then
+               if k land 1 = 1 then begin
+                 m := 0.0;
+                 raise Exit
+               end
+               else m := !m *. mono_integral_ref k)
+           e
+       with Exit -> ());
+      acc +. !m)
+    p.terms 0.0
+
+let equal ?(tol = 0.0) p q =
+  let d = sub p q in
+  Mono.for_all (fun _ c -> Float.abs c <= tol) d.terms
+
+let pp ppf p =
+  if is_zero p then Fmt.string ppf "0"
+  else
+    Fmt.list ~sep:(Fmt.any " + ")
+      (fun ppf (e, c) ->
+        Fmt.pf ppf "%g" c;
+        Array.iteri (fun i k -> if k > 0 then Fmt.pf ppf "*x%d^%d" i k) e)
+      ppf (terms p)

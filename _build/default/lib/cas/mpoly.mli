@@ -1,0 +1,48 @@
+(** Sparse multivariate polynomials with float coefficients.
+
+    Used to build nodal (Lagrange) bases, to verify the factorized kernel
+    tensors against direct symbolic integration, and by the code
+    generator.  Coefficients are floats, but products, derivatives and
+    monomial integration over boxes are algebraically exact. *)
+
+type t
+
+val dim : t -> int
+val zero : dim:int -> t
+val is_zero : t -> bool
+val const : dim:int -> float -> t
+
+val var : dim:int -> int -> t
+(** [var ~dim i] is the coordinate x_i. *)
+
+val add_term : t -> int array -> float -> t
+(** [add_term p expo c] adds [c * x^expo]; terms combine and cancel. *)
+
+val terms : t -> (int array * float) list
+val num_terms : t -> int
+val scale : float -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val of_poly1 : dim:int -> i:int -> Poly1.t -> t
+(** Embed an exact univariate polynomial as a polynomial in variable [i]. *)
+
+val eval : t -> float array -> float
+
+val deriv : i:int -> t -> t
+(** Partial derivative with respect to variable [i]. *)
+
+val subst_var : i:int -> v:float -> t -> t
+(** Substitute x_i := v (face restrictions). *)
+
+val integrate_ref : t -> float
+(** Exact integral over the reference box [-1,1]^dim. *)
+
+val integrate_ref_skip : skip:int -> t -> float
+(** Exact integral over the reference box with dimension [skip] omitted;
+    the polynomial must not depend on it (surface integrals). *)
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

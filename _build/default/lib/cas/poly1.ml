@@ -1,0 +1,95 @@
+(* Univariate polynomials with exact rational coefficients.
+
+   Represented densely as an array of coefficients, lowest degree first,
+   normalized so the leading coefficient is non-zero (or the array is empty
+   for the zero polynomial). *)
+
+type t = Rat.t array
+
+let normalize (c : Rat.t array) : t =
+  let n = ref (Array.length c) in
+  while !n > 0 && Rat.is_zero c.(!n - 1) do
+    decr n
+  done;
+  Array.sub c 0 !n
+
+let zero : t = [||]
+let is_zero (p : t) = Array.length p = 0
+let const r : t = normalize [| r |]
+let one = const Rat.one
+let x : t = [| Rat.zero; Rat.one |]
+let of_coeffs l : t = normalize (Array.of_list l)
+let degree (p : t) = Array.length p - 1 (* -1 for the zero polynomial *)
+
+let coeff (p : t) k =
+  if k < Array.length p then p.(k) else Rat.zero
+
+let add (p : t) (q : t) : t =
+  let n = max (Array.length p) (Array.length q) in
+  normalize (Array.init n (fun i -> Rat.add (coeff p i) (coeff q i)))
+
+let neg (p : t) : t = Array.map Rat.neg p
+let sub p q = add p (neg q)
+let scale r (p : t) : t = if Rat.is_zero r then zero else normalize (Array.map (Rat.mul r) p)
+
+let mul (p : t) (q : t) : t =
+  if is_zero p || is_zero q then zero
+  else begin
+    let n = Array.length p + Array.length q - 1 in
+    let c = Array.make n Rat.zero in
+    Array.iteri
+      (fun i pi ->
+        Array.iteri (fun j qj -> c.(i + j) <- Rat.add c.(i + j) (Rat.mul pi qj)) q)
+      p;
+    normalize c
+  end
+
+let equal (p : t) (q : t) = is_zero (sub p q)
+
+(* d/dx *)
+let deriv (p : t) : t =
+  if Array.length p <= 1 then zero
+  else
+    normalize
+      (Array.init (Array.length p - 1) (fun i ->
+           Rat.mul (Rat.of_int (i + 1)) p.(i + 1)))
+
+(* Antiderivative with zero constant term. *)
+let antideriv (p : t) : t =
+  if is_zero p then zero
+  else
+    normalize
+      (Array.init
+         (Array.length p + 1)
+         (fun i -> if i = 0 then Rat.zero else Rat.div p.(i - 1) (Rat.of_int i)))
+
+let eval (p : t) (v : Rat.t) : Rat.t =
+  Array.fold_right (fun c acc -> Rat.add c (Rat.mul v acc)) p Rat.zero
+
+let eval_float (p : t) (v : float) : float =
+  Array.fold_right (fun c acc -> Rat.to_float c +. (v *. acc)) p 0.0
+
+(* Exact definite integral over [a, b]. *)
+let integrate (p : t) ~(a : Rat.t) ~(b : Rat.t) : Rat.t =
+  let f = antideriv p in
+  Rat.sub (eval f b) (eval f a)
+
+(* Integral over the reference interval [-1, 1]. *)
+let integrate_ref (p : t) : Rat.t =
+  integrate p ~a:(Rat.of_int (-1)) ~b:Rat.one
+
+let pp ppf (p : t) =
+  if is_zero p then Fmt.string ppf "0"
+  else begin
+    let first = ref true in
+    Array.iteri
+      (fun i c ->
+        if not (Rat.is_zero c) then begin
+          if not !first then Fmt.string ppf " + ";
+          first := false;
+          if i = 0 then Rat.pp ppf c else Fmt.pf ppf "%a*x^%d" Rat.pp c i
+        end)
+      p
+  end
+
+let to_string p = Fmt.str "%a" pp p

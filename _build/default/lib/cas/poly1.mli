@@ -1,0 +1,51 @@
+(** Univariate polynomials with exact rational coefficients.
+
+    The symbolic backbone of the quadrature-free scheme: Legendre
+    polynomials, their products and their definite integrals are all
+    computed here without any floating-point error. *)
+
+type t
+
+val zero : t
+val one : t
+
+val x : t
+(** The identity polynomial. *)
+
+val const : Rat.t -> t
+
+val of_coeffs : Rat.t list -> t
+(** Coefficients lowest degree first. *)
+
+val is_zero : t -> bool
+
+val degree : t -> int
+(** [-1] for the zero polynomial. *)
+
+val coeff : t -> int -> Rat.t
+(** Coefficient of degree [k] (zero beyond the degree). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Rat.t -> t -> t
+val mul : t -> t -> t
+val equal : t -> t -> bool
+
+val deriv : t -> t
+(** d/dx. *)
+
+val antideriv : t -> t
+(** Antiderivative with zero constant term. *)
+
+val eval : t -> Rat.t -> Rat.t
+val eval_float : t -> float -> float
+
+val integrate : t -> a:Rat.t -> b:Rat.t -> Rat.t
+(** Exact definite integral over [a, b]. *)
+
+val integrate_ref : t -> Rat.t
+(** Exact integral over the reference interval [-1, 1]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

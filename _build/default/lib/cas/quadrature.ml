@@ -1,0 +1,54 @@
+(* Gauss-Legendre quadrature.
+
+   The modal scheme itself is quadrature-free; quadrature is needed only by
+   (a) the alias-free *nodal* baseline, which over-integrates nonlinear terms,
+   (b) initial-condition projection of non-polynomial data (Maxwellians), and
+   (c) tests that verify the exactness of the symbolic kernels. *)
+
+(* Nodes are the roots of P_n, found by Newton iteration from the Chebyshev
+   initial guess; weights w_i = 2 / ((1 - x_i^2) P_n'(x_i)^2). *)
+let gauss_legendre n =
+  assert (n >= 1);
+  let p = Legendre.legendre n in
+  let dp = Poly1.deriv p in
+  let nodes = Array.make n 0.0 and weights = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let x0 =
+      cos (Float.pi *. (float_of_int i +. 0.75) /. (float_of_int n +. 0.5))
+    in
+    let x = ref x0 in
+    for _ = 1 to 100 do
+      let f = Poly1.eval_float p !x and d = Poly1.eval_float dp !x in
+      x := !x -. (f /. d)
+    done;
+    let d = Poly1.eval_float dp !x in
+    nodes.(n - 1 - i) <- !x;
+    weights.(n - 1 - i) <- 2.0 /. ((1.0 -. (!x *. !x)) *. d *. d)
+  done;
+  (nodes, weights)
+
+(* Tensor-product quadrature over the reference box [-1,1]^dim with [n]
+   points per dimension: returns (points, weights); points.(q) is a length
+   [dim] coordinate array. *)
+let tensor ~dim ~n =
+  let nodes, weights = gauss_legendre n in
+  let nq = Dg_util.Combi.pow_int n dim in
+  let points = Array.init nq (fun _ -> Array.make dim 0.0) in
+  let wts = Array.make nq 1.0 in
+  for q = 0 to nq - 1 do
+    let rest = ref q in
+    for i = dim - 1 downto 0 do
+      let k = !rest mod n in
+      rest := !rest / n;
+      points.(q).(i) <- nodes.(k);
+      wts.(q) <- wts.(q) *. weights.(k)
+    done
+  done;
+  (points, wts)
+
+(* Integrate a function over [-1,1]^dim with n-point tensor quadrature. *)
+let integrate ~dim ~n f =
+  let points, wts = tensor ~dim ~n in
+  let acc = ref 0.0 in
+  Array.iteri (fun q pt -> acc := !acc +. (wts.(q) *. f pt)) points;
+  !acc

@@ -1,0 +1,15 @@
+(** Gauss-Legendre quadrature.
+
+    The modal scheme is quadrature-free; quadrature serves only the
+    alias-free *nodal* baseline, projection of non-polynomial initial
+    data, and tests that verify the symbolic kernels. *)
+
+val gauss_legendre : int -> float array * float array
+(** [gauss_legendre n] is [(nodes, weights)] of the n-point rule on
+    [-1, 1], exact for polynomials of degree 2n-1. *)
+
+val tensor : dim:int -> n:int -> float array array * float array
+(** Tensor-product rule over [-1,1]^dim with [n] points per dimension:
+    [(points, weights)], the last dimension fastest. *)
+
+val integrate : dim:int -> n:int -> (float array -> float) -> float

@@ -1,0 +1,70 @@
+(* Exact rational arithmetic over native integers with overflow detection.
+
+   The computer-algebra layer only ever manipulates Legendre-polynomial
+   coefficients and their products/integrals for modest degrees (n <= 8), so
+   native 63-bit integers are ample — but every multiplication is checked so
+   silent wraparound is impossible. *)
+
+exception Overflow
+
+type t = { num : int; den : int } (* den > 0, gcd (|num|, den) = 1 *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow else p
+
+let checked_add a b =
+  let s = a + b in
+  (* Overflow iff operands share a sign and the sum's sign differs. *)
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow
+  else s
+
+let make num den =
+  if den = 0 then invalid_arg "Rat.make: zero denominator";
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  let g = gcd num den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let num r = r.num
+let den r = r.den
+
+let add a b =
+  let g = gcd a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  make
+    (checked_add (checked_mul a.num db) (checked_mul b.num da))
+    (checked_mul a.den db)
+
+let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* Cross-reduce before multiplying to keep intermediates small. *)
+  let g1 = gcd a.num b.den and g2 = gcd b.num a.den in
+  let g1 = max g1 1 and g2 = max g2 1 in
+  make
+    (checked_mul (a.num / g1) (b.num / g2))
+    (checked_mul (a.den / g2) (b.den / g1))
+
+let inv a =
+  if a.num = 0 then invalid_arg "Rat.inv: zero";
+  make a.den a.num
+
+let div a b = mul a (inv b)
+let equal a b = a.num = b.num && a.den = b.den
+let compare a b = compare (a.num * b.den) (b.num * a.den)
+let is_zero a = a.num = 0
+let sign a = compare a zero
+let to_float a = float_of_int a.num /. float_of_int a.den
+let pp ppf a =
+  if a.den = 1 then Fmt.pf ppf "%d" a.num else Fmt.pf ppf "%d/%d" a.num a.den
+let to_string a = Fmt.str "%a" pp a

@@ -1,0 +1,39 @@
+(** Exact rational arithmetic over native integers.
+
+    Every multiplication and addition is overflow-checked ({!Overflow} is
+    raised rather than wrapping silently), which is ample for the
+    Legendre-polynomial coefficients the CAS layer manipulates. *)
+
+exception Overflow
+
+type t
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Invalid_argument on a zero denominator. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+
+val num : t -> int
+(** Numerator of the normalized form (denominator always positive). *)
+
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val inv : t -> t
+(** @raise Invalid_argument on zero. *)
+
+val div : t -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_zero : t -> bool
+val sign : t -> int
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Array Buffer Dg_basis Dg_kernels Dg_util Hashtbl List Option Printf String

@@ -1,0 +1,26 @@
+(** Generation of unrolled, matrix-free OCaml kernels from the sparse
+    coupling tensors — the analogue of the paper's Maxima-generated C++
+    kernels (Fig. 1).  Emitted code is straight-line with all tensor
+    entries folded to literals; [lib/genkernels] holds committed output
+    (regenerate with [bin/kernel_gen.exe]). *)
+
+module Layout = Dg_kernels.Layout
+module Sparse = Dg_kernels.Sparse
+
+val emit_t3_apply : name:string -> Sparse.t3 -> string
+(** Unrolled generic application
+    [out.(l) += scale * sum c * alpha.(m) * f.(n)]. *)
+
+val mult_count_t3 : Sparse.t3 -> int
+(** Multiplications in the unrolled form. *)
+
+val emit_streaming_volume : Layout.t -> dir:int -> name:string -> string * int
+(** The specialized Fig.-1-style streaming volume kernel (takes the
+    velocity-cell center and width); returns (source, multiplications). *)
+
+val nodal_mult_estimate : Layout.t -> int
+(** Multiplication estimate for the equivalent alias-free nodal
+    quadrature update — the O(N_q N_p)-with-dimensionality-factor cost the
+    paper quotes (~250 vs ~70 at 1X2V p=1). *)
+
+val emit_module : header:string -> string list -> string

@@ -1,0 +1,1 @@
+lib/collisions/bgk.ml: Array Dg_basis Dg_grid Dg_kernels Dg_moments Float Prim_moments

@@ -1,0 +1,1 @@
+lib/collisions/bgk.mli: Dg_grid Dg_kernels Dg_moments Prim_moments

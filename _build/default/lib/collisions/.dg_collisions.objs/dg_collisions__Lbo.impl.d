@@ -1,0 +1,1 @@
+lib/collisions/lbo.ml: Array Dg_basis Dg_cas Dg_grid Dg_kernels Dg_moments Dg_util Float Option Prim_moments

@@ -1,0 +1,1 @@
+lib/collisions/lbo.mli: Dg_grid Dg_kernels

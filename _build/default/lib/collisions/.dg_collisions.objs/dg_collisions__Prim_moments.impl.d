@@ -1,0 +1,1 @@
+lib/collisions/prim_moments.ml: Array Dg_basis Dg_grid Dg_kernels Dg_linalg Dg_moments

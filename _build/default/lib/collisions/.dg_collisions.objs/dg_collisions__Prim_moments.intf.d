@@ -1,0 +1,1 @@
+lib/collisions/prim_moments.mli: Dg_grid Dg_kernels Dg_moments

@@ -1,0 +1,94 @@
+(* BGK (Bhatnagar-Gross-Krook) collision operator:
+
+     C[f] = nu ( f_M[n, u, vth] - f )
+
+   where f_M is the Maxwellian sharing the density, flow and temperature of
+   f.  The Maxwellian is not polynomial, so its projection uses Gauss
+   quadrature (this is the one knowingly quadrature-based operator in the
+   code; Gkeyll does the same for its BGK operator). *)
+
+module Layout = Dg_kernels.Layout
+module Modal = Dg_basis.Modal
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Moments = Dg_moments.Moments
+
+type t = {
+  lay : Layout.t;
+  nu : float;
+  nc : int;
+  np : int;
+  prim : Prim_moments.t;
+  moments : Moments.t;
+  prim_state : Prim_moments.prim;
+}
+
+let create ~nu (lay : Layout.t) =
+  let prim = Prim_moments.make lay in
+  {
+    lay;
+    nu;
+    nc = Layout.num_cbasis lay;
+    np = Layout.num_basis lay;
+    prim;
+    moments = Moments.make lay;
+    prim_state = Prim_moments.alloc_prim prim;
+  }
+
+let update_prim t ~(f : Field.t) =
+  Prim_moments.compute t.prim ~moments:t.moments ~f ~prim:t.prim_state
+
+let maxwellian ~vdim ~n ~(u : float array) ~vth2 (vel : float array) =
+  if n <= 0.0 || vth2 <= 0.0 then 0.0
+  else begin
+    let arg = ref 0.0 in
+    for k = 0 to vdim - 1 do
+      let d = vel.(k) -. u.(k) in
+      arg := !arg +. (d *. d)
+    done;
+    n
+    /. ((2.0 *. Float.pi *. vth2) ** (float_of_int vdim /. 2.0))
+    *. exp (-. !arg /. (2.0 *. vth2))
+  end
+
+(* Accumulate nu (f_M - f) into [out]. *)
+let rhs t ~(f : Field.t) ~(out : Field.t) =
+  let lay = t.lay in
+  let basis = lay.Layout.basis in
+  let grid = lay.Layout.grid in
+  let cdim = lay.Layout.cdim and vdim = lay.Layout.vdim in
+  let cb = lay.Layout.cbasis in
+  let nc = t.nc in
+  let m0b = Array.make nc 0.0 in
+  let ub = Array.make (vdim * nc) 0.0 in
+  let vtb = Array.make nc 0.0 in
+  let uk = Array.make nc 0.0 in
+  let uval = Array.make vdim 0.0 in
+  let phys = Array.make lay.Layout.pdim 0.0 in
+  let fb = Array.make t.np 0.0 in
+  let cc = Array.make cdim 0 in
+  Grid.iter_cells grid (fun _ c ->
+      Array.blit c 0 cc 0 cdim;
+      Field.read_block t.prim_state.Prim_moments.m0 cc m0b;
+      Field.read_block t.prim_state.Prim_moments.vth2 cc vtb;
+      Array.blit (Field.data t.prim_state.Prim_moments.u)
+        (Field.offset t.prim_state.Prim_moments.u cc)
+        ub 0 (vdim * nc);
+      let fm_coeffs =
+        Modal.project ~nquad:(Modal.poly_order basis + 1) basis (fun xi ->
+            Grid.to_physical grid c xi phys;
+            let cxi = Array.sub xi 0 cdim in
+            let n = Modal.eval_expansion cb m0b cxi in
+            for k = 0 to vdim - 1 do
+              Array.blit ub (k * nc) uk 0 nc;
+              uval.(k) <- Modal.eval_expansion cb uk cxi
+            done;
+            let vth2 = Modal.eval_expansion cb vtb cxi in
+            maxwellian ~vdim ~n ~u:uval ~vth2 (Array.sub phys cdim vdim))
+      in
+      Field.read_block f c fb;
+      let ooff = Field.offset out c in
+      let od = Field.data out in
+      for k = 0 to t.np - 1 do
+        od.(ooff + k) <- od.(ooff + k) +. (t.nu *. (fm_coeffs.(k) -. fb.(k)))
+      done)

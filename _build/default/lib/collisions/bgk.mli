@@ -1,0 +1,27 @@
+(** BGK collision operator C[f] = nu (f_M[n,u,vth] - f), with the target
+    Maxwellian built from the weak primitive moments and projected by
+    Gauss quadrature (the one knowingly quadrature-based operator, as in
+    Gkeyll). *)
+
+module Layout = Dg_kernels.Layout
+module Field = Dg_grid.Field
+
+type t = {
+  lay : Layout.t;
+  nu : float;
+  nc : int;
+  np : int;
+  prim : Prim_moments.t;
+  moments : Dg_moments.Moments.t;
+  prim_state : Prim_moments.prim;
+}
+
+val create : nu:float -> Layout.t -> t
+val update_prim : t -> f:Field.t -> unit
+
+val maxwellian :
+  vdim:int -> n:float -> u:float array -> vth2:float -> float array -> float
+(** Pointwise Maxwellian; returns 0 for non-positive density/temperature. *)
+
+val rhs : t -> f:Field.t -> out:Field.t -> unit
+(** Accumulate nu (f_M - f) into [out]. *)

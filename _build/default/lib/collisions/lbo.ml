@@ -1,0 +1,333 @@
+(* Dougherty / Lenard-Bernstein (Fokker-Planck) collision operator:
+
+     C[f] = nu d/dv . ( (v - u) f + vth^2 df/dv )
+
+   discretized with the same modal, alias-free machinery as the Vlasov
+   streaming/acceleration terms:
+
+   - the drift term is a phase-space flux alpha = nu (u(x) - v) handled by
+     the generic hyperbolic volume/surface tensors (the flux expansion mixes
+     configuration coefficients of u with the linear-in-v mode);
+   - the diffusion term uses the twice-integrated *recovery* DG scheme (van
+     Leer & Nomura; the method of Gkeyll's Fokker-Planck operator, ref [22]
+     of the paper): across each velocity face a degree 2p+1 polynomial is
+     recovered from the two adjacent cells and supplies the single-valued
+     interface value and slope; all tensors still factorize into exact 1D
+     Legendre tables (d2trip / dedge / recovery stencils).
+
+   Velocity-space boundaries are zero-flux, so particle number is conserved
+   to machine precision.  Momentum and energy are conserved up to the
+   discretization error of the primitive moments (the fully-corrective
+   scheme of Hakim et al. 2020 solves an adjusted linear system; we document
+   the simpler variant and test its drift is small). *)
+
+module Layout = Dg_kernels.Layout
+module Tensors = Dg_kernels.Tensors
+module Sparse = Dg_kernels.Sparse
+module Flux = Dg_kernels.Flux
+module Modal = Dg_basis.Modal
+module Mi = Dg_util.Multi_index
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Moments = Dg_moments.Moments
+
+type dir_kernels = {
+  support_drift : int array;
+  vol_drift : Sparse.t3;
+  sd_ll : Sparse.t3;
+  sd_lr : Sparse.t3;
+  sd_rl : Sparse.t3;
+  sd_rr : Sparse.t3;
+  pen_ll : Sparse.t2;
+  pen_lr : Sparse.t2;
+  pen_rl : Sparse.t2;
+  pen_rr : Sparse.t2;
+  vol_diff : Sparse.t3;
+  (* recovery-based diffusion face tensors: rd_* carry w g r'(0), rv_* the
+     w' g r(0) term, tr_* the boundary-face w' g f_trace term *)
+  rd_hi_l : Sparse.t3;
+  rd_hi_r : Sparse.t3;
+  rd_lo_l : Sparse.t3;
+  rd_lo_r : Sparse.t3;
+  rv_hi_l : Sparse.t3;
+  rv_hi_r : Sparse.t3;
+  rv_lo_l : Sparse.t3;
+  rv_lo_r : Sparse.t3;
+  tr_hi : Sparse.t3;
+  tr_lo : Sparse.t3;
+}
+
+type t = {
+  lay : Layout.t;
+  nu : float;
+  np : int;
+  nc : int;
+  dirs : dir_kernels array; (* one per velocity direction *)
+  prim : Prim_moments.t;
+  moments : Moments.t;
+  prim_state : Prim_moments.prim;
+  alpha : float array;
+  gphase : float array;
+  lin_idx : int array; (* phase index of the pure e_j mode per velocity dir *)
+  maxval : float array;
+}
+
+(* Support for the drift flux nu (u_j(x) - v_j): all configuration modes
+   plus the single linear-in-v_j mode. *)
+let drift_support (lay : Layout.t) ~vdir =
+  let e = Array.make lay.Layout.pdim 0 in
+  e.(lay.Layout.cdim + vdir) <- 1;
+  let lin = Option.get (Modal.find lay.Layout.basis e) in
+  Array.append lay.Layout.cfg_to_phase [| lin |]
+
+module Recovery = Dg_kernels.Recovery
+
+let make_dir (lay : Layout.t) ~vdir ~basis =
+  let dir = lay.Layout.cdim + vdir in
+  let support_drift = drift_support lay ~vdir in
+  let support_cfg = lay.Layout.cfg_to_phase in
+  ignore (support_cfg : int array);
+  let p = Modal.poly_order basis in
+  let rec_ = Recovery.shared p in
+  let tb = Dg_cas.Legendre.tables (max 1 (Modal.max_1d_degree basis)) in
+  let edge_hi = Array.sub tb.Dg_cas.Legendre.edge_hi 0 (p + 1) in
+  let edge_lo = Array.sub tb.Dg_cas.Legendre.edge_lo 0 (p + 1) in
+  {
+    support_drift;
+    vol_drift = Tensors.volume basis ~support:support_drift ~dir;
+    sd_ll = Tensors.surface basis ~support:support_drift ~dir ~s_l:Tensors.Hi ~s_n:Tensors.Hi;
+    sd_lr = Tensors.surface basis ~support:support_drift ~dir ~s_l:Tensors.Hi ~s_n:Tensors.Lo;
+    sd_rl = Tensors.surface basis ~support:support_drift ~dir ~s_l:Tensors.Lo ~s_n:Tensors.Hi;
+    sd_rr = Tensors.surface basis ~support:support_drift ~dir ~s_l:Tensors.Lo ~s_n:Tensors.Lo;
+    pen_ll = Tensors.penalty basis ~dir ~s_l:Tensors.Hi ~s_n:Tensors.Hi;
+    pen_lr = Tensors.penalty basis ~dir ~s_l:Tensors.Hi ~s_n:Tensors.Lo;
+    pen_rl = Tensors.penalty basis ~dir ~s_l:Tensors.Lo ~s_n:Tensors.Hi;
+    pen_rr = Tensors.penalty basis ~dir ~s_l:Tensors.Lo ~s_n:Tensors.Lo;
+    vol_diff = Tensors.volume_diffusion2 basis ~support:support_cfg ~dir;
+    rd_hi_l =
+      Tensors.surface_stencil basis ~support:support_cfg ~dir
+        ~lfactor:(Tensors.Val Tensors.Hi) ~nstencil:rec_.Recovery.rder_l;
+    rd_hi_r =
+      Tensors.surface_stencil basis ~support:support_cfg ~dir
+        ~lfactor:(Tensors.Val Tensors.Hi) ~nstencil:rec_.Recovery.rder_r;
+    rd_lo_l =
+      Tensors.surface_stencil basis ~support:support_cfg ~dir
+        ~lfactor:(Tensors.Val Tensors.Lo) ~nstencil:rec_.Recovery.rder_l;
+    rd_lo_r =
+      Tensors.surface_stencil basis ~support:support_cfg ~dir
+        ~lfactor:(Tensors.Val Tensors.Lo) ~nstencil:rec_.Recovery.rder_r;
+    rv_hi_l =
+      Tensors.surface_stencil basis ~support:support_cfg ~dir
+        ~lfactor:(Tensors.Der Tensors.Hi) ~nstencil:rec_.Recovery.rval_l;
+    rv_hi_r =
+      Tensors.surface_stencil basis ~support:support_cfg ~dir
+        ~lfactor:(Tensors.Der Tensors.Hi) ~nstencil:rec_.Recovery.rval_r;
+    rv_lo_l =
+      Tensors.surface_stencil basis ~support:support_cfg ~dir
+        ~lfactor:(Tensors.Der Tensors.Lo) ~nstencil:rec_.Recovery.rval_l;
+    rv_lo_r =
+      Tensors.surface_stencil basis ~support:support_cfg ~dir
+        ~lfactor:(Tensors.Der Tensors.Lo) ~nstencil:rec_.Recovery.rval_r;
+    tr_hi =
+      Tensors.surface_stencil basis ~support:support_cfg ~dir
+        ~lfactor:(Tensors.Der Tensors.Hi) ~nstencil:edge_hi;
+    tr_lo =
+      Tensors.surface_stencil basis ~support:support_cfg ~dir
+        ~lfactor:(Tensors.Der Tensors.Lo) ~nstencil:edge_lo;
+  }
+
+let create ~nu (lay : Layout.t) =
+  let basis = lay.Layout.basis in
+  let np = Layout.num_basis lay in
+  let tb = Dg_cas.Legendre.tables (max 1 (Modal.max_1d_degree basis)) in
+  let maxval =
+    Array.init np (fun k ->
+        let m = Mi.to_array (Modal.index basis k) in
+        Array.fold_left (fun acc n -> acc *. tb.Dg_cas.Legendre.maxv.(n)) 1.0 m)
+  in
+  let prim = Prim_moments.make lay in
+  {
+    lay;
+    nu;
+    np;
+    nc = Layout.num_cbasis lay;
+    dirs = Array.init lay.Layout.vdim (fun vdir -> make_dir lay ~vdir ~basis);
+    prim;
+    moments = Moments.make lay;
+    prim_state = Prim_moments.alloc_prim prim;
+    alpha = Array.make np 0.0;
+    gphase = Array.make np 0.0;
+    lin_idx =
+      Array.init lay.Layout.vdim (fun vdir ->
+          let e = Array.make lay.Layout.pdim 0 in
+          e.(lay.Layout.cdim + vdir) <- 1;
+          Option.get (Modal.find lay.Layout.basis e));
+    maxval;
+  }
+
+let num_basis t = t.np
+let _ = num_basis
+
+(* Refresh primitive moments from the current distribution. *)
+let update_prim t ~(f : Field.t) =
+  Prim_moments.compute t.prim ~moments:t.moments ~f ~prim:t.prim_state
+
+(* Fill t.alpha with nu (u_j - v_j) for the cell with config coords [cc] and
+   paired-velocity center [vc]. *)
+let fill_drift_alpha t ~vdir ~(cc : int array) ~vc =
+  let lay = t.lay in
+  let s0 = Flux.const_coeff ~dim:lay.Layout.pdim in
+  let s1 = Flux.linear_coeff ~dim:lay.Layout.pdim in
+  let dv = (Grid.dx lay.Layout.vgrid).(vdir) in
+  let ub = Field.offset t.prim_state.Prim_moments.u cc + (vdir * t.nc) in
+  let ud = Field.data t.prim_state.Prim_moments.u in
+  (* -nu v_j part: constant and linear-in-v_j modes *)
+  Array.iter (fun m -> t.alpha.(m) <- 0.0) t.dirs.(vdir).support_drift;
+  t.alpha.(lay.Layout.cfg_to_phase.(0)) <- -.t.nu *. vc *. s0;
+  t.alpha.(t.lin_idx.(vdir)) <- -.t.nu *. 0.5 *. dv *. s1;
+  (* +nu u_j(x): config coefficients scaled into the phase basis *)
+  let sv = sqrt 2.0 ** float_of_int lay.Layout.vdim in
+  for a = 0 to t.nc - 1 do
+    let dst = lay.Layout.cfg_to_phase.(a) in
+    t.alpha.(dst) <- t.alpha.(dst) +. (t.nu *. sv *. ud.(ub + a))
+  done
+
+(* Fill t.gphase with nu vth^2(x) embedded in the phase basis. *)
+let fill_gphase t ~(cc : int array) =
+  let lay = t.lay in
+  Array.iter (fun m -> t.gphase.(m) <- 0.0) lay.Layout.cfg_to_phase;
+  let sv = sqrt 2.0 ** float_of_int lay.Layout.vdim in
+  let gb = Field.offset t.prim_state.Prim_moments.vth2 cc in
+  let gd = Field.data t.prim_state.Prim_moments.vth2 in
+  for a = 0 to t.nc - 1 do
+    t.gphase.(lay.Layout.cfg_to_phase.(a)) <- t.nu *. sv *. gd.(gb + a)
+  done
+
+let drift_speed t ~vdir =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun m -> acc := !acc +. (Float.abs t.alpha.(m) *. t.maxval.(m)))
+    t.dirs.(vdir).support_drift;
+  !acc
+
+(* Accumulate C[f] into [out] (+=).  [update_prim] must have been called
+   with the same f (the RK stage state). *)
+let rhs t ~(f : Field.t) ~(out : Field.t) =
+  let lay = t.lay in
+  let grid = lay.Layout.grid in
+  let dx = Grid.dx grid in
+  let fd = Field.data f and od = Field.data out in
+  let cdim = lay.Layout.cdim in
+  let cc = Array.make cdim 0 in
+  let cl = Array.make lay.Layout.pdim 0 in
+  for vdir = 0 to lay.Layout.vdim - 1 do
+    let dir = cdim + vdir in
+    let k = t.dirs.(vdir) in
+    let d2 = 2.0 /. dx.(dir) in
+    let vlow = (Grid.lower lay.Layout.vgrid).(vdir) in
+    let dv = (Grid.dx lay.Layout.vgrid).(vdir) in
+    (* volume terms *)
+    Grid.iter_cells grid (fun _ c ->
+        Array.blit c 0 cc 0 cdim;
+        let vc = vlow +. ((float_of_int c.(dir) +. 0.5) *. dv) in
+        fill_drift_alpha t ~vdir ~cc ~vc;
+        fill_gphase t ~cc;
+        let foff = Field.offset f c and ooff = Field.offset out c in
+        Sparse.apply_t3_off k.vol_drift ~scale:d2 t.alpha fd ~foff od ~ooff;
+        (* twice-integrated recovery volume term: + int g w'' f *)
+        Sparse.apply_t3_off k.vol_diff ~scale:(d2 *. d2) t.gphase fd ~foff od
+          ~ooff);
+    (* interior faces only (zero-flux velocity boundaries) *)
+    Grid.iter_cells grid (fun _ c ->
+        if c.(dir) > 0 then begin
+          Array.blit c 0 cl 0 lay.Layout.pdim;
+          cl.(dir) <- c.(dir) - 1;
+          Array.blit c 0 cc 0 cdim;
+          let vc_l = vlow +. ((float_of_int cl.(dir) +. 0.5) *. dv) in
+          fill_drift_alpha t ~vdir ~cc ~vc:vc_l;
+          fill_gphase t ~cc;
+          let lam = drift_speed t ~vdir in
+          let foff_l = Field.offset f cl and foff_r = Field.offset f c in
+          let ooff_l = Field.offset out cl and ooff_r = Field.offset out c in
+          let rdx = 1.0 /. dx.(dir) in
+          (* drift: hyperbolic upwind-penalty surface update *)
+          Sparse.apply_t3_off k.sd_ll ~scale:(-.rdx) t.alpha fd ~foff:foff_l od
+            ~ooff:ooff_l;
+          Sparse.apply_t3_off k.sd_lr ~scale:(-.rdx) t.alpha fd ~foff:foff_r od
+            ~ooff:ooff_l;
+          Sparse.apply_t2_off k.pen_lr ~scale:(lam *. rdx) fd ~foff:foff_r od
+            ~ooff:ooff_l;
+          Sparse.apply_t2_off k.pen_ll ~scale:(-.lam *. rdx) fd ~foff:foff_l od
+            ~ooff:ooff_l;
+          Sparse.apply_t3_off k.sd_rl ~scale:rdx t.alpha fd ~foff:foff_l od
+            ~ooff:ooff_r;
+          Sparse.apply_t3_off k.sd_rr ~scale:rdx t.alpha fd ~foff:foff_r od
+            ~ooff:ooff_r;
+          Sparse.apply_t2_off k.pen_rr ~scale:(-.lam *. rdx) fd ~foff:foff_r od
+            ~ooff:ooff_r;
+          Sparse.apply_t2_off k.pen_rl ~scale:(lam *. rdx) fd ~foff:foff_l od
+            ~ooff:ooff_r;
+          (* diffusion faces (twice-integrated recovery):
+             n . ( w g r'(0) - w' g r(0) ) *)
+          let dd = d2 *. d2 in
+          (* left cell, outward normal +1 *)
+          Sparse.apply_t3_off k.rd_hi_l ~scale:dd t.gphase fd ~foff:foff_l od
+            ~ooff:ooff_l;
+          Sparse.apply_t3_off k.rd_hi_r ~scale:dd t.gphase fd ~foff:foff_r od
+            ~ooff:ooff_l;
+          Sparse.apply_t3_off k.rv_hi_l ~scale:(-.dd) t.gphase fd ~foff:foff_l
+            od ~ooff:ooff_l;
+          Sparse.apply_t3_off k.rv_hi_r ~scale:(-.dd) t.gphase fd ~foff:foff_r
+            od ~ooff:ooff_l;
+          (* right cell, outward normal -1 *)
+          Sparse.apply_t3_off k.rd_lo_l ~scale:(-.dd) t.gphase fd ~foff:foff_l
+            od ~ooff:ooff_r;
+          Sparse.apply_t3_off k.rd_lo_r ~scale:(-.dd) t.gphase fd ~foff:foff_r
+            od ~ooff:ooff_r;
+          Sparse.apply_t3_off k.rv_lo_l ~scale:dd t.gphase fd ~foff:foff_l od
+            ~ooff:ooff_r;
+          Sparse.apply_t3_off k.rv_lo_r ~scale:dd t.gphase fd ~foff:foff_r od
+            ~ooff:ooff_r
+        end;
+        (* zero-flux velocity boundaries: g df/dv . n = 0, leaving only the
+           -n w' g f_trace term of the twice-integrated form *)
+        let dd = d2 *. d2 in
+        if c.(dir) = 0 then begin
+          Array.blit c 0 cc 0 cdim;
+          fill_gphase t ~cc;
+          let foff = Field.offset f c and ooff = Field.offset out c in
+          Sparse.apply_t3_off k.tr_lo ~scale:dd t.gphase fd ~foff od ~ooff
+        end;
+        if c.(dir) = (Grid.cells grid).(dir) - 1 then begin
+          Array.blit c 0 cc 0 cdim;
+          fill_gphase t ~cc;
+          let foff = Field.offset f c and ooff = Field.offset out c in
+          Sparse.apply_t3_off k.tr_hi ~scale:(-.dd) t.gphase fd ~foff od ~ooff
+        end)
+  done
+
+(* Stable explicit time step for the stiffest (diffusion) part:
+   dt <= dv^2 / (2 nu vth2_max (2p+1)^2); a conservative bound. *)
+let suggest_dt t =
+  let lay = t.lay in
+  let p = Modal.poly_order lay.Layout.basis in
+  let vth2max = ref 1e-30 in
+  Grid.iter_cells lay.Layout.cgrid (fun _ c ->
+      let v =
+        Modal.cell_average lay.Layout.cbasis
+          (let b = Array.make t.nc 0.0 in
+           Field.read_block t.prim_state.Prim_moments.vth2 c b;
+           b)
+      in
+      if v > !vth2max then vth2max := v);
+  let dt = ref infinity in
+  Array.iter
+    (fun dv ->
+      let bound =
+        dv *. dv
+        /. (2.0 *. t.nu *. !vth2max
+           *. float_of_int (((2 * p) + 1) * ((2 * p) + 1)))
+      in
+      if bound < !dt then dt := bound)
+    (Grid.dx lay.Layout.vgrid);
+  !dt

@@ -1,0 +1,96 @@
+(* Primitive moments (flow velocity u, squared thermal speed vth^2) computed
+   from the raw velocity moments M0, M1, M2 by *weak* operations on the
+   configuration-space expansions: weak multiplication is the exact L2
+   projection of a product, and weak division inverts it by solving the
+   small per-cell linear system sum_b A_ab u_b = r_a with
+   A_ab = sum_c T_abc g_c — the approach used by Gkeyll's collision
+   infrastructure (Hakim et al. 2020, [22] of the paper). *)
+
+module Layout = Dg_kernels.Layout
+module Tensors = Dg_kernels.Tensors
+module Sparse = Dg_kernels.Sparse
+module Modal = Dg_basis.Modal
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Mat = Dg_linalg.Mat
+module Lu = Dg_linalg.Lu
+module Moments = Dg_moments.Moments
+
+type t = {
+  lay : Layout.t;
+  nc : int;
+  triple : Sparse.t3; (* T_abc over the config basis *)
+}
+
+let make (lay : Layout.t) =
+  {
+    lay;
+    nc = Layout.num_cbasis lay;
+    triple = Tensors.mass_triple lay.Layout.cbasis;
+  }
+
+(* out_a = sum_{b,c} T_abc f_b g_c : the exact projection of f*g. *)
+let weak_mul t (f : float array) (g : float array) (out : float array) =
+  Array.fill out 0 t.nc 0.0;
+  Sparse.apply_t3 t.triple ~scale:1.0 f g out
+
+(* Solve (g *weak* out) = r for out: out = r / g in the weak sense. *)
+let weak_div t (g : float array) (r : float array) : float array =
+  let a = Mat.create t.nc t.nc in
+  let tt = t.triple in
+  for e = 0 to Array.length tt.Sparse.cv - 1 do
+    let l = tt.Sparse.li.(e) and m = tt.Sparse.mi.(e) and n = tt.Sparse.ni.(e) in
+    (* row l, unknown coefficient index m, known g at n *)
+    Mat.set a l m (Mat.get a l m +. (tt.Sparse.cv.(e) *. g.(n)))
+  done;
+  Lu.solve a r
+
+type prim = {
+  u : Field.t; (* flow velocity, vdim blocks of nc coefficients *)
+  vth2 : Field.t; (* squared thermal speed, nc coefficients *)
+  m0 : Field.t;
+}
+
+let alloc_prim t =
+  {
+    u = Field.create t.lay.Layout.cgrid ~ncomp:(t.lay.Layout.vdim * t.nc);
+    vth2 = Field.create t.lay.Layout.cgrid ~ncomp:t.nc;
+    m0 = Field.create t.lay.Layout.cgrid ~ncomp:t.nc;
+  }
+
+(* Compute u = M1/M0 and vth^2 = (M2 - u.M1) / (vdim M0) cellwise. *)
+let compute t ~(moments : Moments.t) ~(f : Field.t) ~(prim : prim) =
+  let lay = t.lay in
+  let nc = t.nc in
+  let vdim = lay.Layout.vdim in
+  let m1 = Field.create lay.Layout.cgrid ~ncomp:(3 * nc) in
+  let m2 = Field.create lay.Layout.cgrid ~ncomp:nc in
+  Field.fill prim.m0 0.0;
+  Moments.m0 moments ~f ~out:prim.m0;
+  Moments.accumulate_current moments ~charge:1.0 ~f ~out:m1;
+  Moments.m2 moments ~f ~out:m2;
+  let m0b = Array.make nc 0.0 in
+  let m1b = Array.make (3 * nc) 0.0 in
+  let m2b = Array.make nc 0.0 in
+  let ub = Array.make nc 0.0 in
+  let tmp = Array.make nc 0.0 in
+  Grid.iter_cells lay.Layout.cgrid (fun _ c ->
+      Field.read_block prim.m0 c m0b;
+      Field.read_block m1 c m1b;
+      Field.read_block m2 c m2b;
+      (* u_k = M1_k / M0, and accumulate u . M1 into m2b (negated) *)
+      for k = 0 to vdim - 1 do
+        let m1k = Array.sub m1b (k * nc) nc in
+        let uk = weak_div t m0b m1k in
+        Array.blit uk 0 ub 0 nc;
+        Field.data prim.u
+        |> fun d -> Array.blit ub 0 d (Field.offset prim.u c + (k * nc)) nc;
+        weak_mul t ub m1k tmp;
+        for a = 0 to nc - 1 do
+          m2b.(a) <- m2b.(a) -. tmp.(a)
+        done
+      done;
+      (* vth^2 = (M2 - u.M1) / (vdim M0) *)
+      let denom = Array.map (fun v -> float_of_int vdim *. v) m0b in
+      let vt2 = weak_div t denom m2b in
+      Array.blit vt2 0 (Field.data prim.vth2) (Field.offset prim.vth2 c) nc)

@@ -1,0 +1,29 @@
+(** Primitive moments (flow u, squared thermal speed vth^2) by *weak*
+    operations on configuration-space expansions: weak multiplication is
+    the exact projection of a product; weak division inverts it through a
+    small per-cell linear solve (the approach of Gkeyll's collision
+    infrastructure, Hakim et al. 2020). *)
+
+module Layout = Dg_kernels.Layout
+module Field = Dg_grid.Field
+
+type t
+
+val make : Layout.t -> t
+
+val weak_mul : t -> float array -> float array -> float array -> unit
+(** [weak_mul t f g out]: out = projection of f*g onto the config basis. *)
+
+val weak_div : t -> float array -> float array -> float array
+(** [weak_div t g r] solves (g *weak* out) = r for [out]. *)
+
+type prim = {
+  u : Field.t;  (** flow velocity, vdim blocks of nc coefficients *)
+  vth2 : Field.t;
+  m0 : Field.t;
+}
+
+val alloc_prim : t -> prim
+
+val compute : t -> moments:Dg_moments.Moments.t -> f:Field.t -> prim:prim -> unit
+(** u = M1/M0 and vth^2 = (M2 - u.M1)/(vdim M0), cellwise. *)

@@ -1,0 +1,67 @@
+(* Umbrella public API: one module to open for downstream users.
+
+   The library reproduces the alias-free, matrix-free, quadrature-free modal
+   discontinuous Galerkin scheme for kinetic (Vlasov-Maxwell) equations of
+   Hakim & Juno (SC 2020), together with every substrate it relies on.
+   Typical entry point: [Dg.App] (the high-level simulation composer).
+
+   Quickstart:
+   {[
+     let spec = Dg.App.default_spec ~cdim:1 ~vdim:1 ~cells ~lower ~upper
+                  ~species:[ electron ] in
+     let app = Dg.App.create spec in
+     Dg.App.run app ~tend:10.0
+   ]} *)
+
+(* computer algebra *)
+module Rat = Dg_cas.Rat
+module Poly1 = Dg_cas.Poly1
+module Mpoly = Dg_cas.Mpoly
+module Legendre = Dg_cas.Legendre
+module Quadrature = Dg_cas.Quadrature
+
+(* numerics substrates *)
+module Mat = Dg_linalg.Mat
+module Lu = Dg_linalg.Lu
+module Tridiag = Dg_linalg.Tridiag
+module Fft = Dg_fft.Fft
+
+(* meshes and fields *)
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+
+(* bases and kernels *)
+module Basis = Dg_basis.Modal
+module Nodal_basis = Dg_basis.Nodal_basis
+module Layout = Dg_kernels.Layout
+module Tensors = Dg_kernels.Tensors
+module Sparse = Dg_kernels.Sparse
+module Flux = Dg_kernels.Flux
+module Recovery = Dg_kernels.Recovery
+module Codegen = Dg_codegen.Codegen
+
+(* solvers *)
+module Vlasov = Dg_vlasov.Solver
+module Nodal_vlasov = Dg_nodal.Nodal_solver
+module Lindg = Dg_lindg.Lindg
+module Maxwell = Dg_maxwell.Maxwell
+module Poisson = Dg_poisson.Poisson
+module Moments = Dg_moments.Moments
+module Lbo = Dg_collisions.Lbo
+module Bgk = Dg_collisions.Bgk
+module Prim_moments = Dg_collisions.Prim_moments
+module Stepper = Dg_time.Stepper
+
+(* multi-moment fluid (the paper's hybrid moment-kinetic direction) *)
+module Euler = Dg_fluid.Euler
+
+(* composition, diagnostics, parallelism, IO *)
+module App = Dg_app.Vm_app
+module Diag = Dg_diag.Diag
+module Fpc = Dg_diag.Fpc
+module Pool = Dg_par.Pool
+module Decomp = Dg_par.Decomp
+module Par_solver = Dg_par.Par_solver
+module Scaling_model = Dg_par.Model
+module Snapshot = Dg_io.Snapshot
+module Slices = Dg_io.Slices

@@ -1,0 +1,1 @@
+lib/diag/diag.ml: Array Dg_grid Dg_util Float List Printf String

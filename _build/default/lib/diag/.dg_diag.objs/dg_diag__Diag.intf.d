@@ -1,0 +1,1 @@
+lib/diag/diag.mli: Dg_grid

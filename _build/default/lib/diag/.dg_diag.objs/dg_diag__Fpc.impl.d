@@ -1,0 +1,1 @@
+lib/diag/fpc.ml: Array Dg_basis Dg_cas Dg_grid Float Printf

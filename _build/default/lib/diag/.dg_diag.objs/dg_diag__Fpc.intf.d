@@ -1,0 +1,1 @@
+lib/diag/fpc.mli: Dg_basis Dg_grid

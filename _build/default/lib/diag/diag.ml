@@ -1,0 +1,98 @@
+(* Run-time diagnostics: conservation histories, instability growth-rate
+   fits, spectral mode amplitudes, and the field-particle energy-transfer
+   signal J.E used throughout the paper's physics discussion. *)
+
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+
+(* A time series of labelled scalars (energies, norms, ...). *)
+type history = {
+  labels : string array;
+  mutable times : float list; (* newest first *)
+  mutable rows : float array list;
+}
+
+let make_history labels = { labels; times = []; rows = [] }
+
+let record h ~time row =
+  assert (Array.length row = Array.length h.labels);
+  h.times <- time :: h.times;
+  h.rows <- Array.copy row :: h.rows
+
+let times h = Array.of_list (List.rev h.times)
+let column h name =
+  let idx =
+    match Array.find_index (String.equal name) h.labels with
+    | Some i -> i
+    | None -> invalid_arg ("Diag.column: no column " ^ name)
+  in
+  Array.of_list (List.rev_map (fun r -> r.(idx)) h.rows)
+
+let num_samples h = List.length h.times
+
+(* Relative drift of a conserved quantity over the recorded history. *)
+let relative_drift h name =
+  let c = column h name in
+  let n = Array.length c in
+  if n < 2 || c.(0) = 0.0 then 0.0 else Float.abs (c.(n - 1) -. c.(0)) /. Float.abs c.(0)
+
+(* Fit an exponential growth rate gamma to y(t) ~ exp(gamma t) over the
+   window [t0, t1] by linear regression of log y. *)
+let growth_rate h ~column:name ~t0 ~t1 =
+  let ts = times h and ys = column h name in
+  let pairs = ref [] in
+  Array.iteri
+    (fun i t -> if t >= t0 && t <= t1 && ys.(i) > 0.0 then pairs := (t, log ys.(i)) :: !pairs)
+    ts;
+  let pts = Array.of_list (List.rev !pairs) in
+  if Array.length pts < 2 then nan
+  else begin
+    let xs = Array.map fst pts and ls = Array.map snd pts in
+    let _, slope = Dg_util.Stats.linear_fit xs ls in
+    slope
+  end
+
+(* Amplitude |u_k| of spatial Fourier mode [k] of the cell averages of a
+   1D configuration field component. *)
+let mode_amplitude_1d (fld : Field.t) ~comp ~basis_dim ~k =
+  let g = Field.grid fld in
+  assert (Grid.ndim g = 1);
+  let n = Grid.num_cells g in
+  let s0 = 1.0 /. (sqrt 2.0 ** float_of_int basis_dim) in
+  let re = ref 0.0 and im = ref 0.0 in
+  Grid.iter_cells g (fun idx c ->
+      let v = s0 *. Field.get fld c comp in
+      let th = 2.0 *. Float.pi *. float_of_int (k * idx) /. float_of_int n in
+      re := !re +. (v *. cos th);
+      im := !im -. (v *. sin th));
+  sqrt ((!re *. !re) +. (!im *. !im)) /. float_of_int n
+
+(* int J.E dx from a current field (vdim blocks of nc) and the EM field
+   (8 blocks of nc): the discrete energy-exchange rate of paper Eq. 9. *)
+let je_transfer ~(current : Field.t) ~(em : Field.t) ~nc ~vdim ~cdim =
+  let g = Field.grid current in
+  let jac = Grid.cell_volume g /. (2.0 ** float_of_int cdim) in
+  let acc = ref 0.0 in
+  Grid.iter_cells g (fun _ c ->
+      let jb = Field.offset current c and eb = Field.offset em c in
+      for comp = 0 to min 2 (vdim - 1) do
+        for k = 0 to nc - 1 do
+          acc :=
+            !acc
+            +. (Field.data current).(jb + (comp * nc) + k)
+               *. (Field.data em).(eb + (comp * nc) + k)
+        done
+      done);
+  !acc *. jac
+
+(* Write the history as CSV. *)
+let write_csv h path =
+  let oc = open_out path in
+  Printf.fprintf oc "time,%s\n" (String.concat "," (Array.to_list h.labels));
+  List.iter2
+    (fun t row ->
+      Printf.fprintf oc "%.12g" t;
+      Array.iter (fun v -> Printf.fprintf oc ",%.12g" v) row;
+      output_char oc '\n')
+    (List.rev h.times) (List.rev h.rows);
+  close_out oc

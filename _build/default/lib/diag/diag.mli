@@ -1,0 +1,32 @@
+(** Run-time diagnostics: labelled time series, conservation drifts,
+    instability growth-rate fits, spectral mode amplitudes, and the J.E
+    field-particle energy-transfer rate of paper Eq. 9. *)
+
+module Field = Dg_grid.Field
+
+type history
+
+val make_history : string array -> history
+val record : history -> time:float -> float array -> unit
+val times : history -> float array
+
+val column : history -> string -> float array
+(** @raise Invalid_argument on an unknown label. *)
+
+val num_samples : history -> int
+
+val relative_drift : history -> string -> float
+(** |last - first| / |first| of a recorded column. *)
+
+val growth_rate : history -> column:string -> t0:float -> t1:float -> float
+(** Exponential-rate fit of a positive column over a time window (nan if
+    fewer than two usable samples). *)
+
+val mode_amplitude_1d : Field.t -> comp:int -> basis_dim:int -> k:int -> float
+(** |u_k| of the cell averages of a 1D configuration field component. *)
+
+val je_transfer :
+  current:Field.t -> em:Field.t -> nc:int -> vdim:int -> cdim:int -> float
+(** int J.E dx: the discrete field-particle energy-exchange rate. *)
+
+val write_csv : history -> string -> unit

@@ -1,0 +1,107 @@
+(* Field-particle correlation (Klein & Howes 2016; Howes et al. 2017 —
+   refs [26], [33]-[35] of the paper).
+
+   The correlation
+       C_E(v; x0, tau) = < -q (v^2/2) df/dv(x0, v, t) E(x0, t) >_tau
+   measures the secular energy transfer between the field and particles at
+   a probe point, resolved in velocity — the diagnostic the paper's Section
+   IV holds up as the reason continuum distribution-function data is so
+   valuable.  This implementation samples a 1X1V (or the (x, v_x) plane of
+   a higher-dimensional) simulation at a probe position each step and
+   accumulates the running time average on a velocity raster. *)
+
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Modal = Dg_basis.Modal
+module Mpoly = Dg_cas.Mpoly
+
+type t = {
+  basis : Modal.t; (* phase basis *)
+  cbasis : Modal.t;
+  charge : float;
+  x0 : float; (* probe position *)
+  vgrid : float array; (* velocity raster *)
+  dbasis : Mpoly.t array; (* d(basis)/d xi_v *)
+  mutable nsamples : int;
+  acc : float array; (* running sum of -q v^2/2 df/dv E *)
+}
+
+let create ~(basis : Modal.t) ~(cbasis : Modal.t) ~charge ~x0 ~vmin ~vmax ~nv =
+  assert (Modal.dim basis = 2);
+  {
+    basis;
+    cbasis;
+    charge;
+    x0;
+    vgrid =
+      Array.init nv (fun i ->
+          vmin +. ((float_of_int i +. 0.5) /. float_of_int nv *. (vmax -. vmin)));
+    dbasis =
+      Array.init (Modal.num_basis basis) (fun k ->
+          Mpoly.deriv ~i:1 (Modal.to_mpoly basis k));
+    nsamples = 0;
+    acc = Array.make nv 0.0;
+  }
+
+let velocity_grid t = Array.copy t.vgrid
+
+(* Reference coordinates and cell of a physical phase point. *)
+let locate grid (point : float array) (c : int array) (xi : float array) =
+  let lower = Grid.lower grid and dx = Grid.dx grid and cells = Grid.cells grid in
+  for d = 0 to Grid.ndim grid - 1 do
+    let s = (point.(d) -. lower.(d)) /. dx.(d) in
+    let cd = max 0 (min (cells.(d) - 1) (int_of_float (Float.floor s))) in
+    c.(d) <- cd;
+    xi.(d) <- (2.0 *. (s -. float_of_int cd)) -. 1.0
+  done
+
+(* Accumulate one time sample from the distribution [f] (phase field, 1X1V)
+   and the EM field (E_x block first). *)
+let sample t ~(f : Field.t) ~(em : Field.t) =
+  let grid = Field.grid f in
+  let nb = Modal.num_basis t.basis in
+  let ncb = Modal.num_basis t.cbasis in
+  let block = Array.make nb 0.0 in
+  let c = Array.make 2 0 in
+  let xi = Array.make 2 0.0 in
+  (* E_x at the probe *)
+  let cc = Array.make 1 0 in
+  let cxi = Array.make 1 0.0 in
+  locate (Field.grid em) [| t.x0 |] cc cxi;
+  let eb = Array.make ncb 0.0 in
+  Array.blit (Field.data em) (Field.offset em cc) eb 0 ncb;
+  let ex = Modal.eval_expansion t.cbasis eb cxi in
+  let dv_dxi = 2.0 /. (Grid.dx grid).(1) in
+  Array.iteri
+    (fun i v ->
+      locate grid [| t.x0; v |] c xi;
+      Field.read_block f c block;
+      let dfdv = ref 0.0 in
+      for k = 0 to nb - 1 do
+        dfdv := !dfdv +. (block.(k) *. Mpoly.eval t.dbasis.(k) xi)
+      done;
+      let dfdv = !dfdv *. dv_dxi in
+      t.acc.(i) <-
+        t.acc.(i) +. (-.t.charge *. (v *. v /. 2.0) *. dfdv *. ex))
+    t.vgrid;
+  t.nsamples <- t.nsamples + 1
+
+(* The time-averaged correlation C_E(v). *)
+let correlation t =
+  let n = Float.max 1.0 (float_of_int t.nsamples) in
+  Array.map (fun a -> a /. n) t.acc
+
+(* Net energy-transfer rate at the probe: int C_E dv. *)
+let net_transfer t =
+  let c = correlation t in
+  let dv =
+    if Array.length t.vgrid > 1 then t.vgrid.(1) -. t.vgrid.(0) else 1.0
+  in
+  dv *. Array.fold_left ( +. ) 0.0 c
+
+let write_csv t path =
+  let oc = open_out path in
+  output_string oc "v,C_E\n";
+  let c = correlation t in
+  Array.iteri (fun i v -> Printf.fprintf oc "%.8g,%.8g\n" v c.(i)) t.vgrid;
+  close_out oc

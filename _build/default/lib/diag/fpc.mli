@@ -1,0 +1,35 @@
+(** Field-particle correlation (Klein & Howes; refs [26], [33]-[35] of the
+    paper): the velocity-resolved, time-averaged energy-transfer signal
+
+      C_E(v; x0) = < -q (v^2/2) df/dv(x0, v, t) E(x0, t) >
+
+    at a probe position of a 1X1V simulation — the continuum diagnostic
+    Section IV of the paper showcases. *)
+
+module Modal = Dg_basis.Modal
+module Field = Dg_grid.Field
+
+type t
+
+val create :
+  basis:Modal.t ->
+  cbasis:Modal.t ->
+  charge:float ->
+  x0:float ->
+  vmin:float ->
+  vmax:float ->
+  nv:int ->
+  t
+
+val velocity_grid : t -> float array
+
+val sample : t -> f:Field.t -> em:Field.t -> unit
+(** Accumulate one time sample (call once per step). *)
+
+val correlation : t -> float array
+(** The running time-averaged C_E(v) on the velocity raster. *)
+
+val net_transfer : t -> float
+(** int C_E dv: the net field-to-particle energy-transfer rate. *)
+
+val write_csv : t -> string -> unit

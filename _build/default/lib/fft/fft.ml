@@ -1,0 +1,83 @@
+(* Iterative radix-2 complex FFT (and helpers for real sequences).
+
+   Substrate for the periodic Poisson solve used to initialize electrostatic
+   problems and to diagnose div(E) - rho/eps0, and for spectral diagnostics
+   (instability mode amplitudes).  Split-array (re, im) representation. *)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let bit_reverse_permute (re : float array) (im : float array) =
+  let n = Array.length re in
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) and ti = im.(i) in
+      re.(i) <- re.(!j);
+      im.(i) <- im.(!j);
+      re.(!j) <- tr;
+      im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done
+
+(* In-place FFT; [sign] = -1 for the forward transform, +1 for the inverse
+   (the inverse is unscaled — divide by n yourself or use [inverse]). *)
+let transform ~sign (re : float array) (im : float array) =
+  let n = Array.length re in
+  assert (Array.length im = n);
+  if not (is_pow2 n) then invalid_arg "Fft.transform: length must be 2^k";
+  bit_reverse_permute re im;
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let theta = float_of_int sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wr = cos theta and wi = sin theta in
+    let i = ref 0 in
+    while !i < n do
+      let cr = ref 1.0 and ci = ref 0.0 in
+      for k = 0 to half - 1 do
+        let a = !i + k and b = !i + k + half in
+        let tr = (!cr *. re.(b)) -. (!ci *. im.(b)) in
+        let ti = (!cr *. im.(b)) +. (!ci *. re.(b)) in
+        re.(b) <- re.(a) -. tr;
+        im.(b) <- im.(a) -. ti;
+        re.(a) <- re.(a) +. tr;
+        im.(a) <- im.(a) +. ti;
+        let cr' = (!cr *. wr) -. (!ci *. wi) in
+        ci := (!cr *. wi) +. (!ci *. wr);
+        cr := cr'
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let forward re im = transform ~sign:(-1) re im
+
+let inverse re im =
+  transform ~sign:1 re im;
+  let n = float_of_int (Array.length re) in
+  Array.iteri (fun i _ -> re.(i) <- re.(i) /. n) re;
+  Array.iteri (fun i _ -> im.(i) <- im.(i) /. n) im
+
+(* Direct O(n^2) DFT used as the test oracle. *)
+let dft_naive ~sign (re : float array) (im : float array) =
+  let n = Array.length re in
+  let re' = Array.make n 0.0 and im' = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let th =
+        float_of_int sign *. 2.0 *. Float.pi *. float_of_int (j * k)
+        /. float_of_int n
+      in
+      let c = cos th and s = sin th in
+      re'.(k) <- re'.(k) +. ((re.(j) *. c) -. (im.(j) *. s));
+      im'.(k) <- im'.(k) +. ((re.(j) *. s) +. (im.(j) *. c))
+    done
+  done;
+  (re', im')

@@ -1,0 +1,18 @@
+(** Iterative radix-2 complex FFT (split re/im arrays): substrate for the
+    periodic Poisson solve and spectral diagnostics. *)
+
+val is_pow2 : int -> bool
+
+val forward : float array -> float array -> unit
+(** In-place forward transform (sign -1); length must be a power of two.
+    @raise Invalid_argument otherwise. *)
+
+val inverse : float array -> float array -> unit
+(** In-place inverse transform, scaled by 1/n. *)
+
+val transform : sign:int -> float array -> float array -> unit
+(** Unscaled transform with an explicit sign. *)
+
+val dft_naive :
+  sign:int -> float array -> float array -> float array * float array
+(** O(n^2) reference DFT (test oracle). *)

@@ -1,0 +1,1 @@
+lib/fluid/euler.ml: Array Dg_grid Float

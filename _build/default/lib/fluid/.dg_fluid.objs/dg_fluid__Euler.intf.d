@@ -1,0 +1,1 @@
+lib/fluid/euler.mli: Dg_grid

@@ -1,0 +1,46 @@
+(** Five-moment (Euler) multifluid solver — the fluid side of the paper's
+    hybrid moment-kinetic direction (conclusion; Gkeyll refs [10], [49]).
+
+    Finite-volume: second-order MUSCL reconstruction with a minmod limiter
+    and Rusanov fluxes for U = (rho, rho u, E) on a configuration grid
+    (1-3D), plus the Lorentz-force source for coupling to the shared
+    Maxwell solver.  Fields use {!Dg_grid.Field} with [ncomp = 5] and two
+    ghost layers. *)
+
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+
+val ncomp : int
+val irho : int
+val imx : int
+val imy : int
+val imz : int
+val iener : int
+
+type t
+
+val create : ?gas_gamma:float -> ?charge:float -> ?mass:float -> Grid.t -> t
+val alloc : t -> Field.t
+val pressure : t -> float array -> float
+val sound_speed : t -> float array -> float
+val flux : t -> dir:int -> float array -> float array -> unit
+val max_wave_speed : t -> dir:int -> float array -> float
+
+val rhs : t -> u:Field.t -> out:Field.t -> unit
+(** Conservative finite-volume RHS [-div F]; [u] needs two synchronized
+    ghost layers. *)
+
+val add_lorentz_source :
+  t -> u:Field.t -> em_at:(int array -> float array) -> out:Field.t -> unit
+(** Accumulate (q/m) rho (E + u x B) momentum and u.E energy sources;
+    [em_at c] returns [|Ex;Ey;Ez;Bx;By;Bz|] at the cell center. *)
+
+val current_at : t -> u:Field.t -> int array -> float array
+(** (q/m) rho u of this species at a cell (feeds Ampere's law). *)
+
+val suggest_dt : ?cfl:float -> t -> u:Field.t -> float
+val totals : t -> u:Field.t -> float array
+
+val set_primitive :
+  t -> u:Field.t -> init:(float array -> float * float array * float) -> unit
+(** Initialize from pointwise primitive variables (rho, velocity, p). *)

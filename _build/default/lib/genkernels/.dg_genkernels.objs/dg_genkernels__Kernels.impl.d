@@ -1,0 +1,1 @@
+lib/genkernels/kernels.ml: Array

@@ -1,0 +1,1 @@
+lib/grid/field.ml: Array Grid

@@ -1,0 +1,158 @@
+(* DG coefficient fields: per-cell blocks of [ncomp] expansion coefficients
+   stored contiguously over an extended (ghost-padded) grid.
+
+   The DG update needs exactly one ghost layer per side per dimension (the
+   paper relies on this for its communication pattern); we allow a general
+   [nghost] anyway.  Extended cells are addressed by coordinates in
+   [-nghost, cells+nghost) per dimension. *)
+
+type bc =
+  | Periodic  (* wrap around *)
+  | Copy      (* zero-gradient: ghost := adjacent interior *)
+  | Zero      (* ghost := 0 (open/absorbing velocity-space boundary) *)
+
+type t = {
+  grid : Grid.t;
+  ncomp : int;
+  nghost : int;
+  ext : int array; (* extended cell counts *)
+  stride : int array; (* strides in cells, last dim fastest *)
+  data : float array;
+}
+
+let create ?(nghost = 1) grid ~ncomp =
+  let ndim = Grid.ndim grid in
+  let ext = Array.map (fun n -> n + (2 * nghost)) (Grid.cells grid) in
+  let stride = Array.make ndim 1 in
+  for d = ndim - 2 downto 0 do
+    stride.(d) <- stride.(d + 1) * ext.(d + 1)
+  done;
+  let total = Array.fold_left ( * ) 1 ext in
+  { grid; ncomp; nghost; ext; stride; data = Array.make (total * ncomp) 0.0 }
+
+let grid f = f.grid
+let ncomp f = f.ncomp
+let nghost f = f.nghost
+let data f = f.data
+
+(* Offset (in floats) of the coefficient block of the cell with *interior*
+   coordinates [c] (ghosts reachable with negative / >= cells coordinates). *)
+let offset f (c : int array) =
+  let idx = ref 0 in
+  for d = 0 to Grid.ndim f.grid - 1 do
+    let cd = c.(d) + f.nghost in
+    assert (cd >= 0 && cd < f.ext.(d));
+    idx := !idx + (cd * f.stride.(d))
+  done;
+  !idx * f.ncomp
+
+let get f c k = f.data.(offset f c + k)
+let set f c k v = f.data.(offset f c + k) <- v
+
+(* Read/write the whole coefficient block of a cell. *)
+let read_block f c (out : float array) =
+  Array.blit f.data (offset f c) out 0 f.ncomp
+
+let write_block f c (src : float array) =
+  Array.blit src 0 f.data (offset f c) f.ncomp
+
+let accumulate_block f c ?(scale = 1.0) (src : float array) =
+  let base = offset f c in
+  for k = 0 to f.ncomp - 1 do
+    f.data.(base + k) <- f.data.(base + k) +. (scale *. src.(k))
+  done
+
+let fill f v = Array.fill f.data 0 (Array.length f.data) v
+
+let copy_into ~src ~dst =
+  assert (Array.length src.data = Array.length dst.data);
+  Array.blit src.data 0 dst.data 0 (Array.length src.data)
+
+let clone f = { f with data = Array.copy f.data }
+
+(* dst := dst + s * src over the entire extended array (ghosts included;
+   cheap and harmless since ghosts get refreshed before use). *)
+let axpy ~s ~src ~dst =
+  assert (Array.length src.data = Array.length dst.data);
+  let a = src.data and b = dst.data in
+  for i = 0 to Array.length a - 1 do
+    b.(i) <- b.(i) +. (s *. a.(i))
+  done
+
+let scale f s =
+  let a = f.data in
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- a.(i) *. s
+  done
+
+(* Stepping along dimension [d] moves the float offset by this much. *)
+let comp_stride f d = f.stride.(d) * f.ncomp
+
+(* --- Ghost-cell synchronization ---------------------------------------- *)
+
+(* Iterate over all extended coordinates of the ghost slabs of dimension [d]
+   and fix them up according to [bc].  Corners are handled correctly because
+   dimensions are processed in order and each pass copies whole slabs
+   including the ghost regions of previously-processed dimensions. *)
+let apply_bc_dim f d (bc_lo : bc) (bc_hi : bc) =
+  let ndim = Grid.ndim f.grid in
+  let nc = (Grid.cells f.grid).(d) in
+  let g = f.nghost in
+  (* Iterate over the full extended box in all dims except [d]. *)
+  let c = Array.make ndim 0 in
+  let rec walk dim =
+    if dim = ndim then begin
+      for layer = 1 to g do
+        (* lower ghosts *)
+        c.(d) <- -layer;
+        let dst = offset f c in
+        (match bc_lo with
+        | Periodic ->
+            c.(d) <- nc - layer;
+            Array.blit f.data (offset f c) f.data dst f.ncomp
+        | Copy ->
+            c.(d) <- 0;
+            Array.blit f.data (offset f c) f.data dst f.ncomp
+        | Zero -> Array.fill f.data dst f.ncomp 0.0);
+        (* upper ghosts *)
+        c.(d) <- nc - 1 + layer;
+        let dst = offset f c in
+        (match bc_hi with
+        | Periodic ->
+            c.(d) <- layer - 1;
+            Array.blit f.data (offset f c) f.data dst f.ncomp
+        | Copy ->
+            c.(d) <- nc - 1;
+            Array.blit f.data (offset f c) f.data dst f.ncomp
+        | Zero -> Array.fill f.data dst f.ncomp 0.0)
+      done
+    end
+    else if dim = d then walk (dim + 1)
+    else
+      for k = -g to (Grid.cells f.grid).(dim) - 1 + g do
+        c.(dim) <- k;
+        walk (dim + 1)
+      done
+  in
+  walk 0
+
+(* Refresh all ghost layers given per-dimension (lower, upper) BCs. *)
+let sync_ghosts f (bcs : (bc * bc) array) =
+  assert (Array.length bcs = Grid.ndim f.grid);
+  Array.iteri (fun d (lo, hi) -> apply_bc_dim f d lo hi) bcs
+
+(* L2 norm over interior cells: sqrt(sum_cells |coeffs|^2 * cellvol / 2^ndim).
+   With orthonormal reference-cell bases this equals the physical L2 norm. *)
+let l2_norm f =
+  let jac =
+    Grid.cell_volume f.grid
+    /. (2.0 ** float_of_int (Grid.ndim f.grid))
+  in
+  let acc = ref 0.0 in
+  Grid.iter_cells f.grid (fun _ c ->
+      let base = offset f c in
+      for k = 0 to f.ncomp - 1 do
+        let v = f.data.(base + k) in
+        acc := !acc +. (v *. v)
+      done);
+  sqrt (!acc *. jac)

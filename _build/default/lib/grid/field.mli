@@ -1,0 +1,51 @@
+(** DG coefficient fields: per-cell blocks of [ncomp] expansion
+    coefficients stored contiguously over a ghost-padded grid.
+
+    Ghost cells are addressed with out-of-range coordinates
+    ([-nghost .. cells + nghost - 1] per dimension) and refreshed by
+    {!sync_ghosts} — one layer is exactly what the DG surface terms need
+    (the communication pattern the paper's decomposition exploits). *)
+
+(** Per-side boundary condition used by {!sync_ghosts}. *)
+type bc =
+  | Periodic  (** wrap around *)
+  | Copy  (** zero-gradient: ghost := adjacent interior *)
+  | Zero  (** ghost := 0 (open / absorbing boundary) *)
+
+type t
+
+val create : ?nghost:int -> Grid.t -> ncomp:int -> t
+(** Allocate a zero field ([nghost] defaults to 1). *)
+
+val grid : t -> Grid.t
+val ncomp : t -> int
+val nghost : t -> int
+
+val data : t -> float array
+(** The raw storage (including ghosts); use {!offset} to address cells. *)
+
+val offset : t -> int array -> int
+(** Offset (in floats) of a cell's coefficient block; accepts ghost
+    coordinates. *)
+
+val get : t -> int array -> int -> float
+val set : t -> int array -> int -> float -> unit
+val read_block : t -> int array -> float array -> unit
+val write_block : t -> int array -> float array -> unit
+val accumulate_block : t -> int array -> ?scale:float -> float array -> unit
+val fill : t -> float -> unit
+val copy_into : src:t -> dst:t -> unit
+val clone : t -> t
+
+val axpy : s:float -> src:t -> dst:t -> unit
+(** [dst := dst + s * src] over the whole storage. *)
+
+val scale : t -> float -> unit
+val comp_stride : t -> int -> int
+
+val sync_ghosts : t -> (bc * bc) array -> unit
+(** Refresh all ghost layers given per-dimension (lower, upper) boundary
+    conditions; corners are handled by the dimension-by-dimension passes. *)
+
+val l2_norm : t -> float
+(** Physical L2 norm of the expansion (orthonormal reference bases). *)

@@ -1,0 +1,107 @@
+(* Structured Cartesian grids over phase space (or configuration space).
+
+   A grid is a box [lower, upper]^ndim split into cells.(d) uniform cells per
+   dimension.  Cells are addressed by integer coordinates 0 <= c_d <
+   cells.(d), linearized row-major with the *last* dimension fastest. *)
+
+type t = {
+  ndim : int;
+  cells : int array;
+  lower : float array;
+  upper : float array;
+  dx : float array;
+}
+
+let make ~cells ~lower ~upper =
+  let ndim = Array.length cells in
+  assert (Array.length lower = ndim && Array.length upper = ndim);
+  Array.iteri (fun d n -> assert (n >= 1 && upper.(d) > lower.(d))) cells;
+  let dx =
+    Array.init ndim (fun d -> (upper.(d) -. lower.(d)) /. float_of_int cells.(d))
+  in
+  {
+    ndim;
+    cells = Array.copy cells;
+    lower = Array.copy lower;
+    upper = Array.copy upper;
+    dx;
+  }
+
+let ndim g = g.ndim
+let cells g = g.cells
+let dx g = g.dx
+let lower g = g.lower
+let upper g = g.upper
+
+let num_cells g = Array.fold_left ( * ) 1 g.cells
+
+(* Center coordinate of the cell with integer coordinates [c]. *)
+let cell_center g (c : int array) (out : float array) =
+  for d = 0 to g.ndim - 1 do
+    out.(d) <- g.lower.(d) +. ((float_of_int c.(d) +. 0.5) *. g.dx.(d))
+  done
+
+let cell_volume g = Array.fold_left ( *. ) 1.0 g.dx
+
+(* Map reference coordinates xi in [-1,1]^ndim of cell [c] to physical. *)
+let to_physical g (c : int array) (xi : float array) (out : float array) =
+  for d = 0 to g.ndim - 1 do
+    out.(d) <-
+      g.lower.(d)
+      +. ((float_of_int c.(d) +. 0.5 +. (0.5 *. xi.(d))) *. g.dx.(d))
+  done
+
+(* Linear cell index (row-major, last dimension fastest). *)
+let linear_index g (c : int array) =
+  let idx = ref 0 in
+  for d = 0 to g.ndim - 1 do
+    assert (c.(d) >= 0 && c.(d) < g.cells.(d));
+    idx := (!idx * g.cells.(d)) + c.(d)
+  done;
+  !idx
+
+let coords_of_linear g idx (out : int array) =
+  let rest = ref idx in
+  for d = g.ndim - 1 downto 0 do
+    out.(d) <- !rest mod g.cells.(d);
+    rest := !rest / g.cells.(d)
+  done
+
+(* Iterate [f] over all cells; the coordinate array is reused, do not stash. *)
+let iter_cells g f =
+  let c = Array.make g.ndim 0 in
+  let n = num_cells g in
+  for idx = 0 to n - 1 do
+    coords_of_linear g idx c;
+    f idx c
+  done
+
+(* Sub-grid of the first [n] dimensions (e.g. configuration-space grid of a
+   phase-space grid with cdim + vdim dimensions). *)
+let prefix g n =
+  assert (n >= 1 && n <= g.ndim);
+  make ~cells:(Array.sub g.cells 0 n) ~lower:(Array.sub g.lower 0 n)
+    ~upper:(Array.sub g.upper 0 n)
+
+(* Sub-grid of the last dimensions starting at [n] (velocity-space grid). *)
+let suffix g n =
+  assert (n >= 0 && n < g.ndim);
+  let len = g.ndim - n in
+  make ~cells:(Array.sub g.cells n len) ~lower:(Array.sub g.lower n len)
+    ~upper:(Array.sub g.upper n len)
+
+(* Cartesian product grid: phase space = config x velocity. *)
+let product a b =
+  make
+    ~cells:(Array.append a.cells b.cells)
+    ~lower:(Array.append a.lower b.lower)
+    ~upper:(Array.append a.upper b.upper)
+
+let pp ppf g =
+  Fmt.pf ppf "grid %a on [%a]x[%a]"
+    Fmt.(array ~sep:(any "x") int)
+    g.cells
+    Fmt.(array ~sep:(any ",") float)
+    g.lower
+    Fmt.(array ~sep:(any ",") float)
+    g.upper

@@ -1,0 +1,42 @@
+(** Structured Cartesian grids over phase or configuration space.
+
+    A grid is a box split into uniform cells per dimension; cells are
+    addressed by integer coordinates and linearized row-major with the
+    {e last} dimension fastest. *)
+
+type t
+
+val make : cells:int array -> lower:float array -> upper:float array -> t
+val ndim : t -> int
+val cells : t -> int array
+val dx : t -> float array
+val lower : t -> float array
+val upper : t -> float array
+val num_cells : t -> int
+
+val cell_center : t -> int array -> float array -> unit
+(** [cell_center g c out] writes the center of cell [c] into [out]. *)
+
+val cell_volume : t -> float
+
+val to_physical : t -> int array -> float array -> float array -> unit
+(** [to_physical g c xi out] maps reference coordinates [xi] of cell [c]
+    to physical coordinates. *)
+
+val linear_index : t -> int array -> int
+val coords_of_linear : t -> int -> int array -> unit
+
+val iter_cells : t -> (int -> int array -> unit) -> unit
+(** Iterate over all cells; the coordinate array is reused between calls,
+    copy it if you keep it. *)
+
+val prefix : t -> int -> t
+(** Sub-grid of the first [n] dimensions (configuration space). *)
+
+val suffix : t -> int -> t
+(** Sub-grid of the dimensions from [n] on (velocity space). *)
+
+val product : t -> t -> t
+(** Cartesian product (phase space = configuration x velocity). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/io/slices.ml: Array Dg_basis Dg_grid Float List Printf String

@@ -1,0 +1,1 @@
+lib/io/slices.mli: Dg_basis Dg_grid

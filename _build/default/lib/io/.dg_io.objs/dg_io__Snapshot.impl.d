@@ -1,0 +1,1 @@
+lib/io/snapshot.ml: Array Dg_grid Int64

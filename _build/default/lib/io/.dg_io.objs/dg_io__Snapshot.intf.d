@@ -1,0 +1,1 @@
+lib/io/snapshot.mli: Dg_grid

@@ -1,0 +1,68 @@
+(* Distribution-function slices: 2D cuts through phase space evaluated on a
+   uniform point raster, written as CSV — the data behind figures like the
+   paper's Fig. 5 (f in the y-v_y and v_x-v_y planes). *)
+
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Modal = Dg_basis.Modal
+
+(* Evaluate the expansion of [fld] at an arbitrary physical point. *)
+let eval_at (basis : Modal.t) (fld : Field.t) (point : float array) =
+  let g = Field.grid fld in
+  let ndim = Grid.ndim g in
+  let c = Array.make ndim 0 in
+  let xi = Array.make ndim 0.0 in
+  let lower = Grid.lower g and dx = Grid.dx g and cells = Grid.cells g in
+  for d = 0 to ndim - 1 do
+    let s = (point.(d) -. lower.(d)) /. dx.(d) in
+    let cd = int_of_float (Float.floor s) in
+    let cd = max 0 (min (cells.(d) - 1) cd) in
+    c.(d) <- cd;
+    xi.(d) <- (2.0 *. (s -. float_of_int cd)) -. 1.0
+  done;
+  let block = Array.make (Field.ncomp fld) 0.0 in
+  Field.read_block fld c block;
+  Modal.eval_expansion basis block xi
+
+(* Write a 2D slice: dimensions [dim_x], [dim_y] of phase space are rastered
+   with [nx] x [ny] points, all other coordinates fixed at [at].  CSV rows:
+   x, y, f. *)
+let write_slice_2d ~(basis : Modal.t) ~(fld : Field.t) ~dim_x ~dim_y
+    ~(at : float array) ~nx ~ny path =
+  let g = Field.grid fld in
+  let lower = Grid.lower g and upper = Grid.upper g in
+  let oc = open_out path in
+  Printf.fprintf oc "# dims %d %d\nx,y,f\n" dim_x dim_y;
+  let point = Array.copy at in
+  for i = 0 to nx - 1 do
+    let x =
+      lower.(dim_x)
+      +. ((float_of_int i +. 0.5) /. float_of_int nx *. (upper.(dim_x) -. lower.(dim_x)))
+    in
+    for j = 0 to ny - 1 do
+      let y =
+        lower.(dim_y)
+        +. ((float_of_int j +. 0.5) /. float_of_int ny
+           *. (upper.(dim_y) -. lower.(dim_y)))
+      in
+      point.(dim_x) <- x;
+      point.(dim_y) <- y;
+      Printf.fprintf oc "%.8g,%.8g,%.8g\n" x y (eval_at basis fld point)
+    done
+  done;
+  close_out oc
+
+(* Write a simple columnar CSV. *)
+let write_csv ~header ~(rows : float array list) path =
+  let oc = open_out path in
+  Printf.fprintf oc "%s\n" (String.concat "," header);
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun i v ->
+          if i > 0 then output_char oc ',';
+          Printf.fprintf oc "%.12g" v)
+        row;
+      output_char oc '\n')
+    rows;
+  close_out oc

@@ -1,0 +1,24 @@
+(** Distribution-function slices: 2D cuts through phase space rastered to
+    CSV — the data behind figures like the paper's Fig. 5. *)
+
+module Field = Dg_grid.Field
+module Modal = Dg_basis.Modal
+
+val eval_at : Modal.t -> Field.t -> float array -> float
+(** Evaluate the DG expansion at an arbitrary physical point (clamped to
+    the domain). *)
+
+val write_slice_2d :
+  basis:Modal.t ->
+  fld:Field.t ->
+  dim_x:int ->
+  dim_y:int ->
+  at:float array ->
+  nx:int ->
+  ny:int ->
+  string ->
+  unit
+(** Raster dimensions [dim_x], [dim_y] with all other coordinates fixed at
+    [at]; writes CSV rows [x,y,f]. *)
+
+val write_csv : header:string list -> rows:float array list -> string -> unit

@@ -1,0 +1,53 @@
+(* Checkpoint / restart of coefficient fields (the role ADIOS plays in
+   Gkeyll): a minimal self-describing binary format storing the grid shape,
+   component count and the raw coefficient array. *)
+
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+
+let magic = 0x56444721 (* "VDG!" *)
+
+let write_float oc v =
+  let b = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    output_byte oc (Int64.to_int (Int64.shift_right_logical b (8 * i)) land 0xff)
+  done
+
+let write_field path (f : Field.t) =
+  let oc = open_out_bin path in
+  let g = Field.grid f in
+  output_binary_int oc magic;
+  output_binary_int oc (Grid.ndim g);
+  Array.iter (output_binary_int oc) (Grid.cells g);
+  output_binary_int oc (Field.ncomp f);
+  output_binary_int oc (Field.nghost f);
+  Array.iter (write_float oc) (Grid.lower g);
+  Array.iter (write_float oc) (Grid.upper g);
+  Array.iter (write_float oc) (Field.data f);
+  close_out oc
+
+let read_float ic =
+  let b = ref 0L in
+  for _ = 0 to 7 do
+    b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int (input_byte ic))
+  done;
+  Int64.float_of_bits !b
+
+let read_field path : Field.t =
+  let ic = open_in_bin path in
+  let m = input_binary_int ic in
+  if m <> magic then failwith "Snapshot.read_field: bad magic";
+  let ndim = input_binary_int ic in
+  let cells = Array.init ndim (fun _ -> input_binary_int ic) in
+  let ncomp = input_binary_int ic in
+  let nghost = input_binary_int ic in
+  let lower = Array.init ndim (fun _ -> read_float ic) in
+  let upper = Array.init ndim (fun _ -> read_float ic) in
+  let grid = Grid.make ~cells ~lower ~upper in
+  let f = Field.create ~nghost grid ~ncomp in
+  let d = Field.data f in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- read_float ic
+  done;
+  close_in ic;
+  f

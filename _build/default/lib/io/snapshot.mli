@@ -1,0 +1,7 @@
+(** Checkpoint / restart of coefficient fields (the role ADIOS plays for
+    Gkeyll): a minimal self-describing binary format. *)
+
+val write_field : string -> Dg_grid.Field.t -> unit
+
+val read_field : string -> Dg_grid.Field.t
+(** @raise Failure on a malformed file. *)

@@ -1,0 +1,1 @@
+lib/kernels/flux.ml: Array Dg_basis Dg_cas Dg_grid Dg_util Float Layout List Tensors

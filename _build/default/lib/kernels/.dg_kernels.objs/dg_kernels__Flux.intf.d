@@ -1,0 +1,1 @@
+lib/kernels/flux.mli: Dg_basis Layout

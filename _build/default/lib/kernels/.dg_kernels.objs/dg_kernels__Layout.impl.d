@@ -1,0 +1,1 @@
+lib/kernels/layout.ml: Array Dg_basis Dg_grid Dg_util Fmt

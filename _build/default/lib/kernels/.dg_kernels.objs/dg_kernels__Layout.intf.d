@@ -1,0 +1,1 @@
+lib/kernels/layout.mli: Dg_basis Dg_grid Format

@@ -1,0 +1,1 @@
+lib/kernels/recovery.ml: Array Dg_cas Dg_linalg Hashtbl

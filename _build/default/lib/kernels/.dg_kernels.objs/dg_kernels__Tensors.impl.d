@@ -1,0 +1,1 @@
+lib/kernels/tensors.ml: Array Dg_basis Dg_cas Dg_util Layout List Option Sparse

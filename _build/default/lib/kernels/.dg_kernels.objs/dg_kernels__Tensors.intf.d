@@ -1,0 +1,1 @@
+lib/kernels/tensors.mli: Dg_basis Layout Sparse

@@ -1,0 +1,69 @@
+(** Per-cell phase-space flux expansions alpha_h (paper Eq. 4).
+
+    Streaming: v_d has exactly two expansion coefficients.  Acceleration:
+    q/m (E + v x B) is an exact L2 projection onto the phase basis — a
+    precomputed sparse linear map from the configuration-space
+    coefficients of E and B. *)
+
+module Modal = Dg_basis.Modal
+
+val const_coeff : dim:int -> float
+(** Expansion coefficient of the constant function 1 on the constant
+    mode: sqrt(2)^dim. *)
+
+val linear_coeff : dim:int -> float
+(** Coefficient of xi_i on the corresponding linear mode. *)
+
+(** {1 Streaming} *)
+
+val streaming_alpha :
+  Layout.t ->
+  dir:int ->
+  vcenter:float ->
+  dv:float ->
+  support:int array ->
+  float array ->
+  unit
+(** Fill the expansion of v_d for a cell with paired-velocity center
+    [vcenter] and width [dv] (touches only the support entries). *)
+
+val streaming_max_speed : vcenter:float -> dv:float -> float
+
+(** {1 Acceleration} *)
+
+val ex : int
+val ey : int
+val ez : int
+val bx : int
+val by : int
+val bz : int
+
+val eps : int -> int -> int -> float
+(** Levi-Civita symbol. *)
+
+type term = { dst : int; comp : int; src : int; center_dim : int; coef : float }
+
+type accel_ctx = {
+  vdir : int;
+  terms : term array;
+  support : int array;
+  maxval : float array;
+}
+
+val make_accel_ctx : Layout.t -> vdir:int -> qm:float -> accel_ctx
+(** Precompute the projection map of q/m (E_j + (v x B)_j) for velocity
+    direction [vdir]. *)
+
+val accel_alpha :
+  accel_ctx ->
+  em:float array ->
+  em_off:int ->
+  ncbasis:int ->
+  vcenter:float array ->
+  float array ->
+  unit
+(** Fill alpha from the EM coefficient block at [em_off] (8 blocks of
+    [ncbasis]) and the velocity-cell centers. *)
+
+val accel_max_speed : accel_ctx -> float array -> float
+(** Upper bound on |a_j| over the cell (Lax-Friedrichs penalty). *)

@@ -1,0 +1,62 @@
+(* Phase-space layout: the (configuration x velocity) split of a kinetic
+   problem, with matching modal bases on phase space and configuration space.
+
+   Dimensions 0..cdim-1 are configuration space, cdim..cdim+vdim-1 velocity
+   space.  As in Gkeyll we require vdim >= cdim: the velocity coordinate
+   paired with configuration direction d is phase dimension cdim + d. *)
+
+module Modal = Dg_basis.Modal
+module Grid = Dg_grid.Grid
+
+type t = {
+  cdim : int;
+  vdim : int;
+  pdim : int;
+  basis : Modal.t; (* phase-space basis *)
+  cbasis : Modal.t; (* configuration-space basis *)
+  grid : Grid.t; (* phase-space grid *)
+  cgrid : Grid.t;
+  vgrid : Grid.t;
+  cfg_to_phase : int array;
+      (* cfg_to_phase.(a) = phase index of config multi-index a padded with
+         zero velocity degrees; every config basis function appears in the
+         phase basis for all three families. *)
+}
+
+let make ~cdim ~vdim ~family ~poly_order ~grid =
+  assert (cdim >= 1 && vdim >= cdim && Grid.ndim grid = cdim + vdim);
+  let pdim = cdim + vdim in
+  let basis = Modal.make ~family ~dim:pdim ~poly_order in
+  let cbasis = Modal.make ~family ~dim:cdim ~poly_order in
+  let cgrid = Grid.prefix grid cdim in
+  let vgrid = Grid.suffix grid cdim in
+  let cfg_to_phase =
+    Array.init (Modal.num_basis cbasis) (fun a ->
+        let mi = Dg_util.Multi_index.to_array (Modal.index cbasis a) in
+        let padded = Array.append mi (Array.make vdim 0) in
+        match Modal.find basis padded with
+        | Some k -> k
+        | None ->
+            invalid_arg
+              "Layout.make: configuration basis not embedded in phase basis")
+  in
+  { cdim; vdim; pdim; basis; cbasis; grid; cgrid; vgrid; cfg_to_phase }
+
+let num_basis t = Modal.num_basis t.basis
+let num_cbasis t = Modal.num_basis t.cbasis
+
+(* Velocity-space part of a phase-space cell coordinate. *)
+let vcoords t (c : int array) = Array.sub c t.cdim t.vdim
+let ccoords t (c : int array) = Array.sub c 0 t.cdim
+
+(* Is phase dimension [d] a configuration direction? *)
+let is_config_dir t d = d < t.cdim
+
+(* The velocity phase-dimension paired with configuration direction [d]
+   (the v in the streaming flux v_d df/dx_d). *)
+let paired_velocity_dim t d =
+  assert (d < t.cdim);
+  t.cdim + d
+
+let pp ppf t =
+  Fmt.pf ppf "%dX%dV %a" t.cdim t.vdim Modal.pp t.basis

@@ -1,0 +1,45 @@
+(** Phase-space layout: the (configuration x velocity) split of a kinetic
+    problem with matching modal bases on phase space and configuration
+    space.
+
+    Dimensions [0 .. cdim-1] are configuration space, [cdim .. pdim-1]
+    velocity space.  As in Gkeyll, [vdim >= cdim] and the velocity
+    coordinate paired with configuration direction [d] is phase dimension
+    [cdim + d]. *)
+
+module Modal = Dg_basis.Modal
+module Grid = Dg_grid.Grid
+
+type t = {
+  cdim : int;
+  vdim : int;
+  pdim : int;
+  basis : Modal.t;  (** phase-space basis *)
+  cbasis : Modal.t;  (** configuration-space basis *)
+  grid : Grid.t;  (** phase-space grid *)
+  cgrid : Grid.t;
+  vgrid : Grid.t;
+  cfg_to_phase : int array;
+      (** [cfg_to_phase.(a)] is the phase index of configuration
+          multi-index [a] padded with zero velocity degrees. *)
+}
+
+val make :
+  cdim:int ->
+  vdim:int ->
+  family:Modal.family ->
+  poly_order:int ->
+  grid:Grid.t ->
+  t
+
+val num_basis : t -> int
+val num_cbasis : t -> int
+val vcoords : t -> int array -> int array
+val ccoords : t -> int array -> int array
+val is_config_dir : t -> int -> bool
+
+val paired_velocity_dim : t -> int -> int
+(** The phase dimension of the velocity coordinate carried by the
+    streaming flux of configuration direction [d]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+(* Recovery-based reconstruction across a cell interface (van Leer & Nomura
+   2005; used by Gkeyll's Fokker-Planck operator, Hakim et al. 2020 — ref
+   [22] of the paper, and highlighted in the paper's conclusion as the
+   recovery DG direction).
+
+   Given the 1D normalized-Legendre coefficients u_L, u_R of a function on
+   two neighbouring reference cells, the recovery polynomial r(s) of degree
+   2p+1 on the doubled cell s in [-2, 2] (interface at s = 0) is the unique
+   polynomial that is weakly indistinguishable from u_L on the left cell and
+   u_R on the right cell:
+
+       int_{-2}^{0} r(s) P~_m(s+1) ds = u_{L,m},   m = 0..p
+       int_{0}^{2}  r(s) P~_m(s-1) ds = u_{R,m}.
+
+   Its interface value r(0) and slope r'(0) are then linear functionals of
+   (u_L, u_R); this module computes those stencils.  The moment integrals
+   are evaluated exactly (rational x sqrt-normalization); only the final
+   (2p+2)-dimensional solve is floating point. *)
+
+module Poly1 = Dg_cas.Poly1
+module Rat = Dg_cas.Rat
+module Leg = Dg_cas.Legendre
+module Mat = Dg_linalg.Mat
+module Lu = Dg_linalg.Lu
+
+type t = {
+  poly_order : int;
+  rval_l : float array; (* r(0)  = sum_m rval_l.(m) u_L_m + rval_r.(m) u_R_m *)
+  rval_r : float array;
+  rder_l : float array; (* r'(0) = sum_m rder_l.(m) u_L_m + rder_r.(m) u_R_m *)
+  rder_r : float array;
+}
+
+(* int_{-1}^{1} (xi + shift)^k P~_m(xi) dxi, exact. *)
+let moment ~shift k m =
+  let shift_poly = Poly1.of_coeffs [ Rat.of_int shift; Rat.one ] in
+  let rec pow q n = if n = 0 then Poly1.one else Poly1.mul q (pow q (n - 1)) in
+  Rat.to_float (Poly1.integrate_ref (Poly1.mul (pow shift_poly k) (Leg.legendre m)))
+  *. Leg.norm_factor m
+
+let make ~poly_order:p =
+  let n = (2 * p) + 2 in
+  (* Row m (0..p): left-cell matching; the substitution s = xi - 1 gives
+     int (xi-1)^k P~_m(xi).  Row p+1+m: right cell, s = xi + 1. *)
+  let a =
+    Mat.init n n (fun row k ->
+        if row <= p then moment ~shift:(-1) k row
+        else moment ~shift:1 k (row - p - 1))
+  in
+  let ainv = Lu.inverse a in
+  {
+    poly_order = p;
+    rval_l = Array.init (p + 1) (fun m -> Mat.get ainv 0 m);
+    rval_r = Array.init (p + 1) (fun m -> Mat.get ainv 0 (p + 1 + m));
+    rder_l = Array.init (p + 1) (fun m -> Mat.get ainv 1 m);
+    rder_r = Array.init (p + 1) (fun m -> Mat.get ainv 1 (p + 1 + m));
+  }
+
+let shared : int -> t =
+  let cache = Hashtbl.create 4 in
+  fun p ->
+    match Hashtbl.find_opt cache p with
+    | Some r -> r
+    | None ->
+        let r = make ~poly_order:p in
+        Hashtbl.add cache p r;
+        r

@@ -1,0 +1,25 @@
+(** Recovery-based reconstruction across a cell interface (van Leer &
+    Nomura; the method behind Gkeyll's Fokker-Planck diffusion operator,
+    ref [22] of the paper).
+
+    From the 1D normalized-Legendre coefficients of the two adjacent
+    cells, a polynomial of degree 2p+1 that is weakly indistinguishable
+    from both is recovered; its interface value and slope are linear
+    stencils in the coefficients. *)
+
+type t = {
+  poly_order : int;
+  rval_l : float array;  (** r(0) stencil on the left-cell coefficients *)
+  rval_r : float array;
+  rder_l : float array;  (** r'(0) stencils *)
+  rder_r : float array;
+}
+
+val make : poly_order:int -> t
+
+val shared : int -> t
+(** Cached instance per polynomial order. *)
+
+val moment : shift:int -> int -> int -> float
+(** [moment ~shift k m] = exact [int_{-1}^{1} (xi + shift)^k P~_m dxi]
+    (exposed for tests). *)

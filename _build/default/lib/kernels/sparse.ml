@@ -1,0 +1,85 @@
+(* Sparse coupling tensors stored as parallel flat arrays (structure of
+   arrays), applied matrix-free: no matrix data structure ever materializes
+   during the update, mirroring the paper's generated kernels.  The
+   interpreted application below is the reference implementation; dg_codegen
+   unrolls the same entries into straight-line OCaml. *)
+
+(* 3-index tensor: out.(l) += c * alpha.(m) * f.(n) over all entries. *)
+type t3 = { li : int array; mi : int array; ni : int array; cv : float array }
+
+(* 2-index tensor: out.(l) += c * f.(n). *)
+type t2 = { ri : int array; ci : int array; vv : float array }
+
+let t3_of_list entries =
+  let entries = Array.of_list entries in
+  {
+    li = Array.map (fun (l, _, _, _) -> l) entries;
+    mi = Array.map (fun (_, m, _, _) -> m) entries;
+    ni = Array.map (fun (_, _, n, _) -> n) entries;
+    cv = Array.map (fun (_, _, _, c) -> c) entries;
+  }
+
+let t2_of_list entries =
+  let entries = Array.of_list entries in
+  {
+    ri = Array.map (fun (r, _, _) -> r) entries;
+    ci = Array.map (fun (_, c, _) -> c) entries;
+    vv = Array.map (fun (_, _, v) -> v) entries;
+  }
+
+let t3_nnz (t : t3) = Array.length t.cv
+let t2_nnz (t : t2) = Array.length t.vv
+
+(* out.(l) += scale * c * alpha.(m) * f.(n) *)
+let apply_t3 (t : t3) ~scale (alpha : float array) (f : float array)
+    (out : float array) =
+  let li = t.li and mi = t.mi and ni = t.ni and cv = t.cv in
+  for e = 0 to Array.length cv - 1 do
+    let l = Array.unsafe_get li e
+    and m = Array.unsafe_get mi e
+    and n = Array.unsafe_get ni e in
+    Array.unsafe_set out l
+      (Array.unsafe_get out l
+      +. scale
+         *. Array.unsafe_get cv e
+         *. Array.unsafe_get alpha m
+         *. Array.unsafe_get f n)
+  done
+
+(* out.(r) += scale * v * f.(c) *)
+let apply_t2 (t : t2) ~scale (f : float array) (out : float array) =
+  let ri = t.ri and ci = t.ci and vv = t.vv in
+  for e = 0 to Array.length vv - 1 do
+    let r = Array.unsafe_get ri e and c = Array.unsafe_get ci e in
+    Array.unsafe_set out r
+      (Array.unsafe_get out r
+      +. scale *. Array.unsafe_get vv e *. Array.unsafe_get f c)
+  done
+
+(* Offset variant: reads f at f.(foff + n), writes out.(ooff + l).  Lets the
+   kernels run directly against the big per-cell blocks of a field without
+   copying. *)
+let apply_t3_off (t : t3) ~scale (alpha : float array) (f : float array) ~foff
+    (out : float array) ~ooff =
+  let li = t.li and mi = t.mi and ni = t.ni and cv = t.cv in
+  for e = 0 to Array.length cv - 1 do
+    let l = Array.unsafe_get li e
+    and m = Array.unsafe_get mi e
+    and n = Array.unsafe_get ni e in
+    Array.unsafe_set out (ooff + l)
+      (Array.unsafe_get out (ooff + l)
+      +. scale
+         *. Array.unsafe_get cv e
+         *. Array.unsafe_get alpha m
+         *. Array.unsafe_get f (foff + n))
+  done
+
+let apply_t2_off (t : t2) ~scale (f : float array) ~foff (out : float array)
+    ~ooff =
+  let ri = t.ri and ci = t.ci and vv = t.vv in
+  for e = 0 to Array.length vv - 1 do
+    let r = Array.unsafe_get ri e and c = Array.unsafe_get ci e in
+    Array.unsafe_set out (ooff + r)
+      (Array.unsafe_get out (ooff + r)
+      +. scale *. Array.unsafe_get vv e *. Array.unsafe_get f (foff + c))
+  done

@@ -1,0 +1,28 @@
+(** Sparse coupling tensors in structure-of-arrays form, applied
+    matrix-free — the interpreted counterpart of the paper's generated
+    kernels ({!Dg_codegen.Codegen} unrolls the same entries). *)
+
+(** 3-index tensor: [out.(l) += c * alpha.(m) * f.(n)] per entry. *)
+type t3 = { li : int array; mi : int array; ni : int array; cv : float array }
+
+(** 2-index tensor: [out.(r) += v * f.(c)] per entry. *)
+type t2 = { ri : int array; ci : int array; vv : float array }
+
+val t3_of_list : (int * int * int * float) list -> t3
+val t2_of_list : (int * int * float) list -> t2
+val t3_nnz : t3 -> int
+val t2_nnz : t2 -> int
+
+val apply_t3 : t3 -> scale:float -> float array -> float array -> float array -> unit
+(** [apply_t3 t ~scale alpha f out]. *)
+
+val apply_t2 : t2 -> scale:float -> float array -> float array -> unit
+
+val apply_t3_off :
+  t3 -> scale:float -> float array -> float array -> foff:int ->
+  float array -> ooff:int -> unit
+(** Offset variant reading [f.(foff + n)] and writing [out.(ooff + l)]:
+    runs directly against per-cell blocks without copying. *)
+
+val apply_t2_off :
+  t2 -> scale:float -> float array -> foff:int -> float array -> ooff:int -> unit

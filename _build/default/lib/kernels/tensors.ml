@@ -1,0 +1,316 @@
+(* Construction of the coupling tensors of the modal DG scheme.
+
+   For phase-space direction [dir], the volume term of the discrete weak
+   form is
+       out_l += (2/dz_dir) sum_{m,n} A^dir_{lmn} alpha_m f_n,
+       A^dir_{lmn} = int_ref w_m w_n  d(w_l)/d(xi_dir)  dxi,
+   and the surface terms at a face between a left cell L and right cell R are
+   built from
+       T^{dir,(s_l, s_n)}_{lmn}
+         = edge(l_dir, s_l) * edge(m_dir, +1) * edge(n_dir, s_n)
+           * prod_{i<>dir} int P~_{m_i} P~_{n_i} P~_{l_i},
+   where s_l is the face side seen from the cell being updated and s_n the
+   side from which the distribution-function trace is taken; the phase-space
+   flux alpha is single-valued on every face (streaming: v is globally
+   linear; acceleration: independent of the normal velocity coordinate), so
+   its trace is always taken from the left cell at its upper face.
+
+   Because every basis function is a product of 1D normalized Legendre
+   polynomials, each entry is an exact product of 1D table values and the
+   tensors are extremely sparse; zero entries are skipped at build time.
+   This is precisely the sparsification-by-orthonormality argument of the
+   paper (Section II). *)
+
+module Modal = Dg_basis.Modal
+module Mi = Dg_util.Multi_index
+module Leg = Dg_cas.Legendre
+
+let tables_for basis = Leg.tables (max 1 (Modal.max_1d_degree basis))
+
+(* --- flux support sets -------------------------------------------------- *)
+
+(* Indices of phase-basis functions that can carry a streaming flux
+   v_d = w + (dv/2) xi: the constant mode and the mode linear in the paired
+   velocity coordinate. *)
+let streaming_support (lay : Layout.t) ~dir =
+  assert (Layout.is_config_dir lay dir);
+  let pdim = lay.Layout.pdim in
+  let vd = Layout.paired_velocity_dim lay dir in
+  let const_idx =
+    Option.get (Modal.find lay.Layout.basis (Array.make pdim 0))
+  in
+  let e = Array.make pdim 0 in
+  e.(vd) <- 1;
+  let lin_idx = Option.get (Modal.find lay.Layout.basis e) in
+  [| const_idx; lin_idx |]
+
+(* Indices that can carry an acceleration flux q/m (E_j + (v x B)_j): any
+   configuration multi-index combined with velocity degrees that are all zero
+   or a single 1 in a velocity dimension other than j.  (Maximal-order bases
+   may not contain some of these; they are then simply not in the support,
+   i.e. the flux is L2-projected.) *)
+let acceleration_support (lay : Layout.t) ~vdir =
+  let open Layout in
+  assert (not (is_config_dir lay vdir));
+  let acc = ref [] in
+  for k = 0 to Modal.num_basis lay.basis - 1 do
+    let m = Mi.to_array (Modal.index lay.basis k) in
+    let vel_part = Array.sub m lay.cdim lay.vdim in
+    let deg = Array.fold_left ( + ) 0 vel_part in
+    let ok =
+      deg = 0
+      || deg = 1
+         && Mi.max_degree vel_part = 1
+         && vel_part.(vdir - lay.cdim) = 0
+    in
+    if ok then acc := k :: !acc
+  done;
+  Array.of_list (List.rev !acc)
+
+(* --- generic builders --------------------------------------------------- *)
+
+(* Build a 3-tensor with entries
+     c(l, m, n) = factor_dir(m_dir, n_dir, l_dir)
+                  * prod_{i<>dir} trip(m_i, n_i, l_i)
+   for m restricted to [support]; skipped if |c| = 0. *)
+let build_t3 basis ~support ~dir ~factor_dir =
+  let tb = tables_for basis in
+  let np = Modal.num_basis basis in
+  let dim = Modal.dim basis in
+  let idx k = Mi.to_array (Modal.index basis k) in
+  let mis = Array.init np idx in
+  let entries = ref [] in
+  for l = 0 to np - 1 do
+    let ml = mis.(l) in
+    Array.iter
+      (fun m ->
+        let mm = mis.(m) in
+        for n = 0 to np - 1 do
+          let mn = mis.(n) in
+          let c = ref (factor_dir mm.(dir) mn.(dir) ml.(dir)) in
+          (try
+             for i = 0 to dim - 1 do
+               if i <> dir then begin
+                 c := !c *. tb.Leg.trip.(mm.(i)).(mn.(i)).(ml.(i));
+                 if !c = 0.0 then raise Exit
+               end
+             done
+           with Exit -> ());
+          if !c <> 0.0 then entries := (l, m, n, !c) :: !entries
+        done)
+      support
+  done;
+  Sparse.t3_of_list (List.rev !entries)
+
+(* --- volume tensors ----------------------------------------------------- *)
+
+(* A^dir_{lmn} = dtriple(m_dir, n_dir, l_dir) * prod trip. *)
+let volume basis ~support ~dir =
+  let tb = tables_for basis in
+  build_t3 basis ~support ~dir ~factor_dir:(fun md nd ld ->
+      tb.Leg.dtrip.(md).(nd).(ld))
+
+(* Volume 2-tensor for *linear* constant-coefficient fluxes (Maxwell and
+   other linear hyperbolic systems): D_{ln} = int w_n d(w_l)/d(xi_dir). *)
+let volume_linear basis ~dir =
+  let tb = tables_for basis in
+  let np = Modal.num_basis basis in
+  let dim = Modal.dim basis in
+  let entries = ref [] in
+  for l = 0 to np - 1 do
+    let ml = Mi.to_array (Modal.index basis l) in
+    for n = 0 to np - 1 do
+      let mn = Mi.to_array (Modal.index basis n) in
+      let c = ref tb.Leg.dpair.(mn.(dir)).(ml.(dir)) in
+      (try
+         for i = 0 to dim - 1 do
+           if i <> dir then
+             if mn.(i) <> ml.(i) then begin
+               c := 0.0;
+               raise Exit
+             end
+         done
+       with Exit -> ());
+      if !c <> 0.0 then entries := (l, n, !c) :: !entries
+    done
+  done;
+  Sparse.t2_of_list (List.rev !entries)
+
+(* --- surface tensors ---------------------------------------------------- *)
+
+type side = Lo | Hi
+
+let edge tb n = function
+  | Lo -> tb.Leg.edge_lo.(n)
+  | Hi -> tb.Leg.edge_hi.(n)
+
+(* T^{dir,(s_l, s_n)} with the flux trace fixed at the left cell's upper
+   face (s_m = Hi). *)
+let surface basis ~support ~dir ~s_l ~s_n =
+  let tb = tables_for basis in
+  build_t3 basis ~support ~dir ~factor_dir:(fun md nd ld ->
+      edge tb md Hi *. edge tb nd s_n *. edge tb ld s_l)
+
+(* Gradient-trace surface tensor for diffusion faces:
+   edge(l,s_l) * edge(m,+1) * dedge(n,s_n) * prod trip — the n-trace is the
+   *derivative* of the distribution function at the face. *)
+let surface_grad basis ~support ~dir ~s_l ~s_n =
+  let tb = tables_for basis in
+  let dedge n = function
+    | Lo -> tb.Leg.dedge_lo.(n)
+    | Hi -> tb.Leg.dedge_hi.(n)
+  in
+  build_t3 basis ~support ~dir ~factor_dir:(fun md nd ld ->
+      edge tb md Hi *. dedge nd s_n *. edge tb ld s_l)
+
+(* Recovery-stencil surface tensor: the trace of the distribution function
+   in the face-normal direction is replaced by an arbitrary 1D stencil
+   (e.g. the recovery value/slope stencils of Recovery.t):
+     factor = lfactor(l_dir) * edge(m_dir,+1) * nstencil.(n_dir),
+   with the test-function factor either the edge value or the edge
+   *derivative* (for the symmetrizing correction term). *)
+type lfactor = Val of side | Der of side
+
+let surface_stencil basis ~support ~dir ~lfactor ~(nstencil : float array) =
+  let tb = tables_for basis in
+  let lf ld =
+    match lfactor with
+    | Val s -> edge tb ld s
+    | Der Lo -> tb.Leg.dedge_lo.(ld)
+    | Der Hi -> tb.Leg.dedge_hi.(ld)
+  in
+  build_t3 basis ~support ~dir ~factor_dir:(fun md nd ld ->
+      lf ld *. edge tb md Hi *. nstencil.(nd))
+
+(* Penalty 2-tensor: P^{(s_l, s_n)}_{ln} = edge(l_dir,s_l) edge(n_dir,s_n)
+   prod_{i<>dir} delta_{l_i n_i}. *)
+let penalty basis ~dir ~s_l ~s_n =
+  let tb = tables_for basis in
+  let np = Modal.num_basis basis in
+  let dim = Modal.dim basis in
+  let entries = ref [] in
+  for l = 0 to np - 1 do
+    let ml = Mi.to_array (Modal.index basis l) in
+    for n = 0 to np - 1 do
+      let mn = Mi.to_array (Modal.index basis n) in
+      let same = ref true in
+      for i = 0 to dim - 1 do
+        if i <> dir && ml.(i) <> mn.(i) then same := false
+      done;
+      if !same then begin
+        let c = edge tb ml.(dir) s_l *. edge tb mn.(dir) s_n in
+        if c <> 0.0 then entries := (l, n, c) :: !entries
+      end
+    done
+  done;
+  Sparse.t2_of_list (List.rev !entries)
+
+(* Weak-product tensor over a basis: T_{lmn} = int w_l w_m w_n (all dims
+   trip-factorized).  Drives weak multiplication/division of configuration
+   fields (primitive moments for collision operators). *)
+let mass_triple basis =
+  let tb = tables_for basis in
+  let np = Modal.num_basis basis in
+  let dim = Modal.dim basis in
+  let mis = Array.init np (fun k -> Mi.to_array (Modal.index basis k)) in
+  let entries = ref [] in
+  for l = 0 to np - 1 do
+    for m = 0 to np - 1 do
+      for n = 0 to np - 1 do
+        let c = ref 1.0 in
+        (try
+           for i = 0 to dim - 1 do
+             c := !c *. tb.Leg.trip.(mis.(m).(i)).(mis.(n).(i)).(mis.(l).(i));
+             if !c = 0.0 then raise Exit
+           done
+         with Exit -> ());
+        if !c <> 0.0 then entries := (l, m, n, !c) :: !entries
+      done
+    done
+  done;
+  Sparse.t3_of_list (List.rev !entries)
+
+(* Diffusion volume tensor: int (dw_l/dxi_dir) w_m (dw_n/dxi_dir), for the
+   Fokker-Planck velocity diffusion with a configuration-space coefficient
+   carried by m. *)
+let volume_diffusion basis ~support ~dir =
+  let tb = tables_for basis in
+  build_t3 basis ~support ~dir ~factor_dir:(fun md nd ld ->
+      tb.Leg.ddtrip.(md).(nd).(ld))
+
+(* Twice-integrated diffusion volume tensor: int w_m w_n d^2 w_l/dxi_dir^2,
+   the cell term of the recovery scheme (valid when the diffusion
+   coefficient does not vary along [dir], true for vth^2(x) in velocity). *)
+let volume_diffusion2 basis ~support ~dir =
+  let tb = tables_for basis in
+  build_t3 basis ~support ~dir ~factor_dir:(fun md nd ld ->
+      tb.Leg.d2trip.(md).(nd).(ld))
+
+(* All tensors needed for one phase-space direction, bundled. *)
+type dir_kernels = {
+  dir : int;
+  support : int array;
+  vol : Sparse.t3;
+  (* surface flux tensors, indexed by (cell being updated, trace side):
+     updating L at its Hi face / updating R at its Lo face *)
+  surf_ll : Sparse.t3; (* out_L, trace from L (s_l=Hi, s_n=Hi) *)
+  surf_lr : Sparse.t3; (* out_L, trace from R (s_l=Hi, s_n=Lo) *)
+  surf_rl : Sparse.t3; (* out_R, trace from L (s_l=Lo, s_n=Hi) *)
+  surf_rr : Sparse.t3; (* out_R, trace from R (s_l=Lo, s_n=Lo) *)
+  pen_ll : Sparse.t2;
+  pen_lr : Sparse.t2;
+  pen_rl : Sparse.t2;
+  pen_rr : Sparse.t2;
+}
+
+let make_dir (lay : Layout.t) ~dir =
+  let basis = lay.Layout.basis in
+  let support =
+    if Layout.is_config_dir lay dir then streaming_support lay ~dir
+    else acceleration_support lay ~vdir:dir
+  in
+  {
+    dir;
+    support;
+    vol = volume basis ~support ~dir;
+    surf_ll = surface basis ~support ~dir ~s_l:Hi ~s_n:Hi;
+    surf_lr = surface basis ~support ~dir ~s_l:Hi ~s_n:Lo;
+    surf_rl = surface basis ~support ~dir ~s_l:Lo ~s_n:Hi;
+    surf_rr = surface basis ~support ~dir ~s_l:Lo ~s_n:Lo;
+    pen_ll = penalty basis ~dir ~s_l:Hi ~s_n:Hi;
+    pen_lr = penalty basis ~dir ~s_l:Hi ~s_n:Lo;
+    pen_rl = penalty basis ~dir ~s_l:Lo ~s_n:Hi;
+    pen_rr = penalty basis ~dir ~s_l:Lo ~s_n:Lo;
+  }
+
+(* Total non-zero count across a direction's tensors (sparsity metric for
+   the N_p scaling study, Fig. 2). *)
+let dir_nnz k =
+  Sparse.t3_nnz k.vol + Sparse.t3_nnz k.surf_ll + Sparse.t3_nnz k.surf_lr
+  + Sparse.t3_nnz k.surf_rl + Sparse.t3_nnz k.surf_rr
+  + Sparse.t2_nnz k.pen_ll + Sparse.t2_nnz k.pen_lr + Sparse.t2_nnz k.pen_rl
+  + Sparse.t2_nnz k.pen_rr
+
+(* --- velocity-space integral tables ------------------------------------ *)
+
+(* int_{-1}^{1} xi^r P~_n(xi) dxi for r = 0, 1, 2, used by the moment
+   operators (density, momentum, energy) — exact, from the CAS layer. *)
+type vtables = { i0 : float array; i1 : float array; i2 : float array }
+
+let vspace_tables nmax =
+  let integral r n =
+    let p =
+      Dg_cas.Poly1.mul
+        (Array.fold_left
+           (fun acc _ -> Dg_cas.Poly1.mul acc Dg_cas.Poly1.x)
+           Dg_cas.Poly1.one
+           (Array.make r ()))
+        (Leg.legendre n)
+    in
+    Dg_cas.Rat.to_float (Dg_cas.Poly1.integrate_ref p) *. Leg.norm_factor n
+  in
+  {
+    i0 = Array.init (nmax + 1) (integral 0);
+    i1 = Array.init (nmax + 1) (integral 1);
+    i2 = Array.init (nmax + 1) (integral 2);
+  }

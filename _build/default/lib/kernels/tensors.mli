@@ -1,0 +1,93 @@
+(** Construction of the exact coupling tensors of the modal DG scheme —
+    the heart of the paper.
+
+    Because every basis function is a product of 1D normalized Legendre
+    polynomials, each tensor entry is an exact product of 1D table values
+    (alias-free) and the tensors are extremely sparse (matrix-free,
+    quadrature-free).  Zero entries are skipped at build time; this is
+    the sparsification-by-orthonormality argument of Section II. *)
+
+module Modal = Dg_basis.Modal
+
+(** {1 Flux support sets} *)
+
+val streaming_support : Layout.t -> dir:int -> int array
+(** Basis indices carrying the streaming flux v_d (constant + paired
+    linear mode). *)
+
+val acceleration_support : Layout.t -> vdir:int -> int array
+(** Basis indices carrying q/m (E + v x B): configuration modes plus
+    single-linear velocity modes transverse to [vdir]. *)
+
+(** {1 Volume tensors} *)
+
+val volume : Modal.t -> support:int array -> dir:int -> Sparse.t3
+(** A_{lmn} = int w_m w_n d(w_l)/dxi_dir, m restricted to [support]. *)
+
+val volume_linear : Modal.t -> dir:int -> Sparse.t2
+(** D_{ln} = int w_n d(w_l)/dxi_dir (constant-coefficient linear systems:
+    Maxwell). *)
+
+val volume_diffusion : Modal.t -> support:int array -> dir:int -> Sparse.t3
+(** int d(w_l) w_m d(w_n) along [dir] (once-integrated diffusion). *)
+
+val volume_diffusion2 : Modal.t -> support:int array -> dir:int -> Sparse.t3
+(** int w_m w_n d2(w_l) along [dir] (twice-integrated recovery scheme). *)
+
+val mass_triple : Modal.t -> Sparse.t3
+(** T_{lmn} = int w_l w_m w_n: weak multiplication/division. *)
+
+(** {1 Surface tensors} *)
+
+type side = Lo | Hi
+
+val surface :
+  Modal.t -> support:int array -> dir:int -> s_l:side -> s_n:side -> Sparse.t3
+(** Face tensor with the test function traced at [s_l], the distribution
+    at [s_n], and the flux at the left cell's upper face. *)
+
+val penalty : Modal.t -> dir:int -> s_l:side -> s_n:side -> Sparse.t2
+(** Value-trace pair tensor for Lax-Friedrichs penalties. *)
+
+val surface_grad :
+  Modal.t -> support:int array -> dir:int -> s_l:side -> s_n:side -> Sparse.t3
+(** Like {!surface} but tracing the {e derivative} of the distribution. *)
+
+(** Test-function trace selector for {!surface_stencil}. *)
+type lfactor = Val of side | Der of side
+
+val surface_stencil :
+  Modal.t ->
+  support:int array ->
+  dir:int ->
+  lfactor:lfactor ->
+  nstencil:float array ->
+  Sparse.t3
+(** Face tensor whose normal-direction distribution trace is an arbitrary
+    1D stencil (recovery value/slope stencils). *)
+
+(** {1 Per-direction bundles} *)
+
+type dir_kernels = {
+  dir : int;
+  support : int array;
+  vol : Sparse.t3;
+  surf_ll : Sparse.t3;
+  surf_lr : Sparse.t3;
+  surf_rl : Sparse.t3;
+  surf_rr : Sparse.t3;
+  pen_ll : Sparse.t2;
+  pen_lr : Sparse.t2;
+  pen_rl : Sparse.t2;
+  pen_rr : Sparse.t2;
+}
+
+val make_dir : Layout.t -> dir:int -> dir_kernels
+val dir_nnz : dir_kernels -> int
+
+(** {1 Velocity-moment tables} *)
+
+type vtables = { i0 : float array; i1 : float array; i2 : float array }
+
+val vspace_tables : int -> vtables
+(** Exact int xi^r P~_n dxi for r = 0, 1, 2, n <= nmax. *)

@@ -1,0 +1,102 @@
+(* LU decomposition with partial pivoting, for the small dense solves
+   (mass-matrix inversion in the nodal baseline, Vandermonde systems,
+   collision-operator primitive-moment solves). *)
+
+type t = { n : int; lu : Mat.t; piv : int array }
+
+exception Singular
+
+let decompose (a : Mat.t) =
+  assert (Mat.rows a = Mat.cols a);
+  let n = Mat.rows a in
+  let lu = Mat.copy a in
+  let piv = Array.init n Fun.id in
+  for k = 0 to n - 1 do
+    (* pivot search *)
+    let pmax = ref (Float.abs (Mat.get lu k k)) and prow = ref k in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (Mat.get lu i k) in
+      if v > !pmax then begin
+        pmax := v;
+        prow := i
+      end
+    done;
+    if !pmax = 0.0 then raise Singular;
+    if !prow <> k then begin
+      for j = 0 to n - 1 do
+        let t = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !prow j);
+        Mat.set lu !prow j t
+      done;
+      let t = piv.(k) in
+      piv.(k) <- piv.(!prow);
+      piv.(!prow) <- t
+    end;
+    let akk = Mat.get lu k k in
+    for i = k + 1 to n - 1 do
+      let lik = Mat.get lu i k /. akk in
+      Mat.set lu i k lik;
+      for j = k + 1 to n - 1 do
+        Mat.set lu i j (Mat.get lu i j -. (lik *. Mat.get lu k j))
+      done
+    done
+  done;
+  { n; lu; piv }
+
+let solve_vec t (b : float array) : float array =
+  assert (Array.length b = t.n);
+  let x = Array.init t.n (fun i -> b.(t.piv.(i))) in
+  (* forward substitution (unit lower) *)
+  for i = 1 to t.n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (Mat.get t.lu i j *. x.(j))
+    done
+  done;
+  (* back substitution *)
+  for i = t.n - 1 downto 0 do
+    for j = i + 1 to t.n - 1 do
+      x.(i) <- x.(i) -. (Mat.get t.lu i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. Mat.get t.lu i i
+  done;
+  x
+
+let solve (a : Mat.t) b = solve_vec (decompose a) b
+
+let inverse (a : Mat.t) =
+  let t = decompose a in
+  let n = t.n in
+  let inv = Mat.create n n in
+  for j = 0 to n - 1 do
+    let e = Array.make n 0.0 in
+    e.(j) <- 1.0;
+    let col = solve_vec t e in
+    for i = 0 to n - 1 do
+      Mat.set inv i j col.(i)
+    done
+  done;
+  inv
+
+let determinant (a : Mat.t) =
+  try
+    let t = decompose a in
+    let d = ref 1.0 in
+    for i = 0 to t.n - 1 do
+      d := !d *. Mat.get t.lu i i
+    done;
+    (* sign of the permutation *)
+    let seen = Array.make t.n false in
+    let sign = ref 1 in
+    for i = 0 to t.n - 1 do
+      if not seen.(i) then begin
+        let len = ref 0 and j = ref i in
+        while not seen.(!j) do
+          seen.(!j) <- true;
+          j := t.piv.(!j);
+          incr len
+        done;
+        if !len land 1 = 0 then sign := - !sign
+      end
+    done;
+    float_of_int !sign *. !d
+  with Singular -> 0.0

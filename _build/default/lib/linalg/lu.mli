@@ -1,0 +1,16 @@
+(** LU decomposition with partial pivoting, for the small dense solves
+    (nodal mass matrices, Vandermonde systems, weak division). *)
+
+exception Singular
+
+type t
+
+val decompose : Mat.t -> t
+(** @raise Singular on an exactly singular matrix. *)
+
+val solve_vec : t -> float array -> float array
+val solve : Mat.t -> float array -> float array
+val inverse : Mat.t -> Mat.t
+
+val determinant : Mat.t -> float
+(** 0 for singular matrices. *)

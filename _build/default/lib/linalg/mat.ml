@@ -1,0 +1,87 @@
+(* Dense row-major matrices.
+
+   This is the linear-algebra substrate for the *nodal* baseline (dense
+   interpolation/derivative operators, the analogue of the paper's use of
+   Eigen) and for small solves elsewhere (mass matrices, Vandermonde
+   inversions).  The modal scheme itself never touches a matrix. *)
+
+type t = { rows : int; cols : int; a : float array }
+
+let create rows cols = { rows; cols; a = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.a.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let rows m = m.rows
+let cols m = m.cols
+let get m i j = m.a.((i * m.cols) + j)
+let set m i j v = m.a.((i * m.cols) + j) <- v
+let copy m = { m with a = Array.copy m.a }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+(* y := A x  (the hot operation of the nodal baseline). *)
+let matvec m (x : float array) (y : float array) =
+  assert (Array.length x = m.cols && Array.length y = m.rows);
+  let a = m.a and cols = m.cols in
+  for i = 0 to m.rows - 1 do
+    let base = i * cols in
+    let acc = ref 0.0 in
+    for j = 0 to cols - 1 do
+      acc := !acc +. (Array.unsafe_get a (base + j) *. Array.unsafe_get x j)
+    done;
+    y.(i) <- !acc
+  done
+
+(* y := y + s * A x *)
+let matvec_acc m ?(scale = 1.0) (x : float array) (y : float array) =
+  assert (Array.length x = m.cols && Array.length y = m.rows);
+  let a = m.a and cols = m.cols in
+  for i = 0 to m.rows - 1 do
+    let base = i * cols in
+    let acc = ref 0.0 in
+    for j = 0 to cols - 1 do
+      acc := !acc +. (Array.unsafe_get a (base + j) *. Array.unsafe_get x j)
+    done;
+    y.(i) <- y.(i) +. (scale *. !acc)
+  done
+
+let matmul p q =
+  assert (p.cols = q.rows);
+  let r = create p.rows q.cols in
+  for i = 0 to p.rows - 1 do
+    for k = 0 to p.cols - 1 do
+      let pik = get p i k in
+      if pik <> 0.0 then
+        for j = 0 to q.cols - 1 do
+          r.a.((i * r.cols) + j) <- r.a.((i * r.cols) + j) +. (pik *. get q k j)
+        done
+    done
+  done;
+  r
+
+let scale s m = { m with a = Array.map (fun v -> s *. v) m.a }
+
+let add p q =
+  assert (p.rows = q.rows && p.cols = q.cols);
+  { p with a = Array.mapi (fun i v -> v +. q.a.(i)) p.a }
+
+(* Count of non-zero entries (sparsity diagnostics for the paper's C_lmn). *)
+let nnz ?(tol = 0.0) m =
+  Array.fold_left (fun acc v -> if Float.abs v > tol then acc + 1 else acc) 0 m.a
+
+let pp ppf m =
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      Fmt.pf ppf "%12.5g " (get m i j)
+    done;
+    Fmt.pf ppf "@\n"
+  done

@@ -1,0 +1,30 @@
+(** Dense row-major matrices: the linear-algebra substrate of the *nodal*
+    baseline (the analogue of the paper's use of Eigen) and of small
+    solves elsewhere.  The modal scheme itself never touches a matrix. *)
+
+type t
+
+val create : int -> int -> t
+val init : int -> int -> (int -> int -> float) -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val identity : int -> t
+val transpose : t -> t
+
+val matvec : t -> float array -> float array -> unit
+(** [matvec a x y]: y := A x (the hot operation of the nodal baseline). *)
+
+val matvec_acc : t -> ?scale:float -> float array -> float array -> unit
+(** y := y + scale * A x. *)
+
+val matmul : t -> t -> t
+val scale : float -> t -> t
+val add : t -> t -> t
+
+val nnz : ?tol:float -> t -> int
+(** Non-zero entry count (sparsity diagnostics). *)
+
+val pp : Format.formatter -> t -> unit

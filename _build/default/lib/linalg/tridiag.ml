@@ -1,0 +1,45 @@
+(* Tridiagonal (Thomas) and cyclic-tridiagonal solvers, used by the finite
+   Poisson solves (Dirichlet/Neumann sheath boundary conditions). *)
+
+(* Solve a_i x_{i-1} + b_i x_i + c_i x_{i+1} = d_i with a_0 = c_{n-1} = 0. *)
+let solve ~(a : float array) ~(b : float array) ~(c : float array)
+    ~(d : float array) =
+  let n = Array.length b in
+  assert (Array.length a = n && Array.length c = n && Array.length d = n);
+  let cp = Array.make n 0.0 and dp = Array.make n 0.0 in
+  cp.(0) <- c.(0) /. b.(0);
+  dp.(0) <- d.(0) /. b.(0);
+  for i = 1 to n - 1 do
+    let m = b.(i) -. (a.(i) *. cp.(i - 1)) in
+    cp.(i) <- c.(i) /. m;
+    dp.(i) <- (d.(i) -. (a.(i) *. dp.(i - 1))) /. m
+  done;
+  let x = Array.make n 0.0 in
+  x.(n - 1) <- dp.(n - 1);
+  for i = n - 2 downto 0 do
+    x.(i) <- dp.(i) -. (cp.(i) *. x.(i + 1))
+  done;
+  x
+
+(* Periodic (cyclic) tridiagonal via the Sherman-Morrison trick. *)
+let solve_cyclic ~(a : float array) ~(b : float array) ~(c : float array)
+    ~(d : float array) =
+  let n = Array.length b in
+  assert (n >= 3);
+  let gamma = -.b.(0) in
+  let b' = Array.copy b in
+  b'.(0) <- b.(0) -. gamma;
+  b'.(n - 1) <- b.(n - 1) -. (a.(0) *. c.(n - 1) /. gamma);
+  let a' = Array.copy a and c' = Array.copy c in
+  a'.(0) <- 0.0;
+  c'.(n - 1) <- 0.0;
+  let x = solve ~a:a' ~b:b' ~c:c' ~d in
+  let u = Array.make n 0.0 in
+  u.(0) <- gamma;
+  u.(n - 1) <- c.(n - 1);
+  let z = solve ~a:a' ~b:b' ~c:c' ~d:u in
+  let fact =
+    (x.(0) +. (a.(0) *. x.(n - 1) /. gamma))
+    /. (1.0 +. z.(0) +. (a.(0) *. z.(n - 1) /. gamma))
+  in
+  Array.init n (fun i -> x.(i) -. (fact *. z.(i)))

@@ -1,0 +1,13 @@
+(** Tridiagonal (Thomas) and cyclic-tridiagonal solvers (bounded Poisson
+    problems, sheath boundary conditions). *)
+
+val solve :
+  a:float array -> b:float array -> c:float array -> d:float array ->
+  float array
+(** Solve a_i x_{i-1} + b_i x_i + c_i x_{i+1} = d_i with
+    a_0 = c_{n-1} = 0. *)
+
+val solve_cyclic :
+  a:float array -> b:float array -> c:float array -> d:float array ->
+  float array
+(** Periodic variant (Sherman-Morrison); needs n >= 3. *)

@@ -1,0 +1,1 @@
+lib/lindg/lindg.mli: Dg_basis Dg_grid Dg_kernels Dg_linalg

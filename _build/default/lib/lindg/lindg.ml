@@ -1,0 +1,171 @@
+(* Generic DG solver for linear, constant-coefficient hyperbolic systems
+       du/dt + sum_d A_d du/dx_d = 0
+   on a configuration-space grid, with central or local Lax-Friedrichs
+   (upwind-penalty) numerical fluxes.  Maxwell's equations — and any other
+   linear field system coupled to the kinetic equation — are instances.
+
+   Fields store the q system components as contiguous blocks of [nb] basis
+   coefficients each (component c occupies offsets c*nb .. c*nb + nb - 1). *)
+
+module Modal = Dg_basis.Modal
+module Tensors = Dg_kernels.Tensors
+module Sparse = Dg_kernels.Sparse
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Mat = Dg_linalg.Mat
+
+type flux_kind = Central | Upwind
+
+type t = {
+  basis : Modal.t;
+  grid : Grid.t;
+  ncomp : int; (* number of system components q *)
+  nb : int; (* basis coefficients per component *)
+  amats : Mat.t array; (* flux matrix per direction *)
+  speeds : float array; (* max |eigenvalue| per direction *)
+  flux : flux_kind;
+  vol : Sparse.t2 array;
+  pen_ll : Sparse.t2 array;
+  pen_lr : Sparse.t2 array;
+  pen_rl : Sparse.t2 array;
+  pen_rr : Sparse.t2 array;
+  (* workspaces *)
+  wl : float array;
+  wr : float array;
+}
+
+let create ?(flux = Central) ~basis ~grid ~amats ~speeds () =
+  let ndim = Grid.ndim grid in
+  assert (Array.length amats = ndim && Array.length speeds = ndim);
+  let ncomp = Mat.rows amats.(0) in
+  Array.iter (fun a -> assert (Mat.rows a = ncomp && Mat.cols a = ncomp)) amats;
+  let nb = Modal.num_basis basis in
+  {
+    basis;
+    grid;
+    ncomp;
+    nb;
+    amats;
+    speeds;
+    flux;
+    vol = Array.init ndim (fun dir -> Tensors.volume_linear basis ~dir);
+    pen_ll =
+      Array.init ndim (fun dir ->
+          Tensors.penalty basis ~dir ~s_l:Tensors.Hi ~s_n:Tensors.Hi);
+    pen_lr =
+      Array.init ndim (fun dir ->
+          Tensors.penalty basis ~dir ~s_l:Tensors.Hi ~s_n:Tensors.Lo);
+    pen_rl =
+      Array.init ndim (fun dir ->
+          Tensors.penalty basis ~dir ~s_l:Tensors.Lo ~s_n:Tensors.Hi);
+    pen_rr =
+      Array.init ndim (fun dir ->
+          Tensors.penalty basis ~dir ~s_l:Tensors.Lo ~s_n:Tensors.Lo);
+    wl = Array.make (ncomp * nb) 0.0;
+    wr = Array.make (ncomp * nb) 0.0;
+  }
+
+(* w := A u applied blockwise: w_i = sum_j A_{ij} u_j (vectors of length nb). *)
+let apply_flux_matrix t (a : Mat.t) (u : float array) ~uoff (w : float array) =
+  let nb = t.nb in
+  Array.fill w 0 (t.ncomp * nb) 0.0;
+  for i = 0 to t.ncomp - 1 do
+    for j = 0 to t.ncomp - 1 do
+      let aij = Mat.get a i j in
+      if aij <> 0.0 then begin
+        let wbase = i * nb and ubase = uoff + (j * nb) in
+        for k = 0 to nb - 1 do
+          w.(wbase + k) <- w.(wbase + k) +. (aij *. u.(ubase + k))
+        done
+      end
+    done
+  done
+
+(* DG right-hand side: out := -sum_d [surface - volume] terms.  Ghosts of [u]
+   must be synchronized by the caller. *)
+let rhs t ~(u : Field.t) ~(out : Field.t) =
+  Field.fill out 0.0;
+  let ndim = Grid.ndim t.grid in
+  let dx = Grid.dx t.grid in
+  let cells = Grid.cells t.grid in
+  let ud = Field.data u and od = Field.data out in
+  let nb = t.nb in
+  let cl = Array.make ndim 0 in
+  for dir = 0 to ndim - 1 do
+    let a = t.amats.(dir) in
+    let rdx = 1.0 /. dx.(dir) in
+    let lam = match t.flux with Central -> 0.0 | Upwind -> t.speeds.(dir) in
+    (* volume: out_c += (2/dx) D (A u)_c per component *)
+    Grid.iter_cells t.grid (fun _ c ->
+        let uoff = Field.offset u c and ooff = Field.offset out c in
+        apply_flux_matrix t a ud ~uoff t.wl;
+        for i = 0 to t.ncomp - 1 do
+          Sparse.apply_t2_off t.vol.(dir) ~scale:(2.0 *. rdx) t.wl
+            ~foff:(i * nb) od ~ooff:(ooff + (i * nb))
+        done);
+    (* surfaces *)
+    Grid.iter_cells t.grid (fun _ c ->
+        let handle_face ~lcoords ~rcoords =
+          let uoff_l = Field.offset u lcoords and uoff_r = Field.offset u rcoords in
+          apply_flux_matrix t a ud ~uoff:uoff_l t.wl;
+          apply_flux_matrix t a ud ~uoff:uoff_r t.wr;
+          let upd ~coords ~sgn ~p_from_l ~p_from_r ~pen_l ~pen_r =
+            if coords.(dir) >= 0 && coords.(dir) < cells.(dir) then begin
+              let ooff = Field.offset out coords in
+              for i = 0 to t.ncomp - 1 do
+                let ob = ooff + (i * nb) in
+                Sparse.apply_t2_off p_from_l ~scale:(sgn *. 0.5 *. (2.0 *. rdx))
+                  t.wl ~foff:(i * nb) od ~ooff:ob;
+                Sparse.apply_t2_off p_from_r ~scale:(sgn *. 0.5 *. (2.0 *. rdx))
+                  t.wr ~foff:(i * nb) od ~ooff:ob;
+                if lam <> 0.0 then begin
+                  (* penalty -(lam/2)(u_R - u_L) on the face *)
+                  Sparse.apply_t2_off pen_r
+                    ~scale:(-.sgn *. 0.5 *. lam *. (2.0 *. rdx))
+                    ud
+                    ~foff:(uoff_r + (i * nb))
+                    od ~ooff:ob;
+                  Sparse.apply_t2_off pen_l
+                    ~scale:(sgn *. 0.5 *. lam *. (2.0 *. rdx))
+                    ud
+                    ~foff:(uoff_l + (i * nb))
+                    od ~ooff:ob
+                end
+              done
+            end
+          in
+          (* left cell sees its upper face with outward normal +1 *)
+          upd ~coords:lcoords ~sgn:(-1.0) ~p_from_l:t.pen_ll.(dir)
+            ~p_from_r:t.pen_lr.(dir) ~pen_l:t.pen_ll.(dir) ~pen_r:t.pen_lr.(dir);
+          (* right cell sees its lower face with outward normal -1 *)
+          upd ~coords:rcoords ~sgn:1.0 ~p_from_l:t.pen_rl.(dir)
+            ~p_from_r:t.pen_rr.(dir) ~pen_l:t.pen_rl.(dir) ~pen_r:t.pen_rr.(dir)
+        in
+        (* lower face of c *)
+        Array.blit c 0 cl 0 ndim;
+        cl.(dir) <- c.(dir) - 1;
+        handle_face ~lcoords:(Array.copy cl) ~rcoords:(Array.copy c);
+        (* upper boundary face *)
+        if c.(dir) = cells.(dir) - 1 then begin
+          Array.blit c 0 cl 0 ndim;
+          cl.(dir) <- c.(dir) + 1;
+          handle_face ~lcoords:(Array.copy c) ~rcoords:(Array.copy cl)
+        end)
+  done
+
+(* L2 energy (1/2) int sum_i u_i^2 dx of selected components. *)
+let energy t ~(u : Field.t) ~comps =
+  let jac =
+    Grid.cell_volume t.grid /. (2.0 ** float_of_int (Grid.ndim t.grid))
+  in
+  let acc = ref 0.0 in
+  Grid.iter_cells t.grid (fun _ c ->
+      let base = Field.offset u c in
+      List.iter
+        (fun i ->
+          for k = 0 to t.nb - 1 do
+            let v = (Field.data u).(base + (i * t.nb) + k) in
+            acc := !acc +. (v *. v)
+          done)
+        comps);
+  0.5 *. !acc *. jac

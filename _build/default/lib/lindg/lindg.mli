@@ -1,0 +1,48 @@
+(** Generic DG solver for linear constant-coefficient hyperbolic systems
+    [du/dt + sum_d A_d du/dx_d = 0] with central or Lax-Friedrichs
+    (upwind-penalty) fluxes.  Maxwell's equations are an instance; so is
+    any other linear field system coupled to the kinetic equation.
+
+    Fields store the system components as contiguous blocks of [nb] basis
+    coefficients (component [c] at offsets [c*nb .. c*nb+nb-1]). *)
+
+module Modal = Dg_basis.Modal
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Mat = Dg_linalg.Mat
+
+type flux_kind = Central | Upwind
+
+type t = {
+  basis : Modal.t;
+  grid : Grid.t;
+  ncomp : int;
+  nb : int;
+  amats : Mat.t array;
+  speeds : float array;
+  flux : flux_kind;
+  vol : Dg_kernels.Sparse.t2 array;
+  pen_ll : Dg_kernels.Sparse.t2 array;
+  pen_lr : Dg_kernels.Sparse.t2 array;
+  pen_rl : Dg_kernels.Sparse.t2 array;
+  pen_rr : Dg_kernels.Sparse.t2 array;
+  wl : float array;
+  wr : float array;
+}
+
+val create :
+  ?flux:flux_kind ->
+  basis:Modal.t ->
+  grid:Grid.t ->
+  amats:Mat.t array ->
+  speeds:float array ->
+  unit ->
+  t
+(** [amats] are the flux matrices per direction, [speeds] the maximum
+    wave speeds (Lax-Friedrichs penalties). *)
+
+val rhs : t -> u:Field.t -> out:Field.t -> unit
+(** DG right-hand side; ghosts of [u] must be synchronized. *)
+
+val energy : t -> u:Field.t -> comps:int list -> float
+(** (1/2) int sum of squares of the selected components. *)

@@ -1,0 +1,1 @@
+lib/maxwell/maxwell.ml: Array Dg_basis Dg_grid Dg_linalg Dg_lindg Float

@@ -1,0 +1,1 @@
+lib/maxwell/maxwell.mli: Dg_basis Dg_grid Dg_linalg Dg_lindg

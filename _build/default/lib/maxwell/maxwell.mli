@@ -1,0 +1,55 @@
+(** Maxwell's equations as a linear hyperbolic DG system (perfectly
+    hyperbolic divergence-cleaning formulation, as in Gkeyll).
+
+    Normalized units c = eps0 = mu0 = 1.  State per cell: 8 blocks of
+    configuration-basis coefficients, (Ex, Ey, Ez, Bx, By, Bz, phi, psi),
+    with [phi]/[psi] the divergence-error potentials (cleaning speeds
+    [chi], [gamma]; zero disables cleaning).  With central fluxes the
+    semi-discrete EM energy is conserved exactly. *)
+
+module Lindg = Dg_lindg.Lindg
+module Field = Dg_grid.Field
+
+val ncomp : int
+val ex : int
+val ey : int
+val ez : int
+val bx : int
+val by : int
+val bz : int
+val phi : int
+val psi : int
+
+val flux_matrix : chi:float -> gamma:float -> int -> Dg_linalg.Mat.t
+(** Flux matrix A_d with F_d(u) = A_d u, for direction [d] in 0..2. *)
+
+type t
+
+val create :
+  ?flux:Lindg.flux_kind ->
+  ?chi:float ->
+  ?gamma:float ->
+  basis:Dg_basis.Modal.t ->
+  grid:Dg_grid.Grid.t ->
+  unit ->
+  t
+
+val solver : t -> Lindg.t
+val chi : t -> float
+val gamma : t -> float
+val num_basis : t -> int
+
+val rhs : t -> em:Field.t -> out:Field.t -> unit
+(** Homogeneous Maxwell RHS (ghosts of [em] must be synchronized). *)
+
+val add_current_source : t -> current:Field.t -> out:Field.t -> unit
+(** [out_E -= J] from a current field with 3 coefficient blocks. *)
+
+val add_charge_source : t -> charge_density:Field.t -> out:Field.t -> unit
+(** [out_phi += chi * rho] for divergence cleaning. *)
+
+val field_energy : t -> em:Field.t -> float
+(** (1/2) int |E|^2 + |B|^2 dx. *)
+
+val electric_energy : t -> em:Field.t -> float
+val magnetic_energy : t -> em:Field.t -> float

@@ -1,0 +1,1 @@
+lib/moments/moments.ml: Array Dg_basis Dg_grid Dg_kernels Dg_util

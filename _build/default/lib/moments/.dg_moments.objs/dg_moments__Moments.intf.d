@@ -1,0 +1,1 @@
+lib/moments/moments.mli: Dg_grid Dg_kernels

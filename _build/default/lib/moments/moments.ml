@@ -1,0 +1,174 @@
+(* Velocity moments of the distribution function.
+
+   For a phase-space basis function w_n = phi_{kappa_n}(xi_x) prod_j
+   P~_{nu_j}(xi_v_j), the velocity integrals reduce to exact per-dimension
+   tables I_r[nu] = int xi^r P~_nu dxi (computed symbolically in
+   dg_kernels.Tensors), so moments are quadrature-free too:
+
+     M0        (density)       int f dv
+     M1_k      (momentum flux) int v_k f dv
+     M2        (energy x 2/m)  int |v|^2 f dv
+
+   Moments couple the phase-space grid to the configuration-space grid; the
+   velocity reduction is purely local to a configuration cell (no global
+   reduction — the paper's two-level decomposition relies on this). *)
+
+module Layout = Dg_kernels.Layout
+module Tensors = Dg_kernels.Tensors
+module Modal = Dg_basis.Modal
+module Mi = Dg_util.Multi_index
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+
+type t = {
+  lay : Layout.t;
+  vt : Tensors.vtables;
+  cfg_of : int array; (* phase basis idx -> config basis idx *)
+  vel_of : int array array; (* phase basis idx -> velocity multi-index *)
+}
+
+let make (lay : Layout.t) =
+  let basis = lay.Layout.basis in
+  let np = Modal.num_basis basis in
+  let cdim = lay.Layout.cdim and vdim = lay.Layout.vdim in
+  let cfg_of = Array.make np 0 in
+  let vel_of = Array.make np [||] in
+  for n = 0 to np - 1 do
+    let m = Mi.to_array (Modal.index basis n) in
+    let cpart = Array.sub m 0 cdim in
+    (match Modal.find lay.Layout.cbasis cpart with
+    | Some a -> cfg_of.(n) <- a
+    | None -> assert false);
+    vel_of.(n) <- Array.sub m cdim vdim
+  done;
+  { lay; vt = Tensors.vspace_tables (Modal.max_1d_degree basis); cfg_of; vel_of }
+
+(* Jacobian of the velocity reference map: prod_j dv_j / 2. *)
+let vjac t =
+  Array.fold_left (fun acc dv -> acc *. (dv /. 2.0)) 1.0
+    (Grid.dx t.lay.Layout.vgrid)
+
+(* Generic moment accumulation.  [weight vcenter nu] gives the velocity
+   integral factor for velocity multi-index [nu] in the cell with velocity
+   centers [vcenter]; results are *accumulated* into [out] (a config field
+   with [ncomp >= comp_off + num_cbasis]); call [Field.fill out 0.] first
+   for a fresh moment. *)
+let accumulate t ~weight ~(f : Field.t) ~(out : Field.t) ~comp_off =
+  let lay = t.lay in
+  let np = Layout.num_basis lay in
+  let jac = vjac t in
+  let vdim = lay.Layout.vdim in
+  let dvv = Grid.dx lay.Layout.vgrid in
+  let vcenter = Array.make vdim 0.0 in
+  let cdim = lay.Layout.cdim in
+  let ccoords = Array.make cdim 0 in
+  Grid.iter_cells lay.Layout.grid (fun _ c ->
+      for d = 0 to vdim - 1 do
+        vcenter.(d) <-
+          (Grid.lower lay.Layout.vgrid).(d)
+          +. ((float_of_int c.(cdim + d) +. 0.5) *. dvv.(d))
+      done;
+      Array.blit c 0 ccoords 0 cdim;
+      let fbase = Field.offset f c in
+      let obase = Field.offset out ccoords + comp_off in
+      let fd = Field.data f and od = Field.data out in
+      for n = 0 to np - 1 do
+        let w = weight vcenter t.vel_of.(n) in
+        if w <> 0.0 then
+          od.(obase + t.cfg_of.(n)) <-
+            od.(obase + t.cfg_of.(n)) +. (jac *. w *. fd.(fbase + n))
+      done)
+
+(* Density:  prod_j I0[nu_j]. *)
+let m0_weight t _vcenter (nu : int array) =
+  let acc = ref 1.0 in
+  Array.iter (fun k -> acc := !acc *. t.vt.Tensors.i0.(k)) nu;
+  !acc
+
+(* Momentum in velocity direction [k]: v_k = w_k + (dv_k/2) xi_k. *)
+let m1_weight t ~k (vcenter : float array) (nu : int array) =
+  let dv = (Grid.dx t.lay.Layout.vgrid).(k) in
+  let acc = ref 1.0 in
+  Array.iteri
+    (fun j n ->
+      let fac =
+        if j = k then
+          (vcenter.(k) *. t.vt.Tensors.i0.(n)) +. (0.5 *. dv *. t.vt.Tensors.i1.(n))
+        else t.vt.Tensors.i0.(n)
+      in
+      acc := !acc *. fac)
+    nu;
+  !acc
+
+(* |v|^2 = sum_k (w_k + (dv_k/2) xi_k)^2. *)
+let m2_weight t (vcenter : float array) (nu : int array) =
+  let dvv = Grid.dx t.lay.Layout.vgrid in
+  let total = ref 0.0 in
+  for k = 0 to Array.length nu - 1 do
+    let acc = ref 1.0 in
+    Array.iteri
+      (fun j n ->
+        let fac =
+          if j = k then
+            (vcenter.(k) *. vcenter.(k) *. t.vt.Tensors.i0.(n))
+            +. (vcenter.(k) *. dvv.(k) *. t.vt.Tensors.i1.(n))
+            +. (0.25 *. dvv.(k) *. dvv.(k) *. t.vt.Tensors.i2.(n))
+          else t.vt.Tensors.i0.(n)
+        in
+        acc := !acc *. fac)
+      nu;
+    total := !total +. !acc
+  done;
+  !total
+
+let m0 t ~f ~out = accumulate t ~weight:(m0_weight t) ~f ~out ~comp_off:0
+
+let m1 t ~dir ~f ~out ~comp_off =
+  accumulate t ~weight:(m1_weight t ~k:dir) ~f ~out ~comp_off
+
+let m2 t ~f ~out = accumulate t ~weight:(m2_weight t) ~f ~out ~comp_off:0
+
+(* Current density: J_k += q * M1_k, accumulated for each velocity direction
+   into components k*ncbasis of [out] (so [out] can hold Jx, Jy, Jz blocks).
+   Velocity directions beyond vdim carry no current. *)
+let accumulate_current t ~charge ~f ~out =
+  let nc = Layout.num_cbasis t.lay in
+  for k = 0 to t.lay.Layout.vdim - 1 do
+    accumulate t
+      ~weight:(fun vc nu -> charge *. m1_weight t ~k vc nu)
+      ~f ~out ~comp_off:(k * nc)
+  done
+
+(* Charge density: rho += q * M0. *)
+let accumulate_charge t ~charge ~f ~out =
+  accumulate t ~weight:(fun vc nu -> charge *. m0_weight t vc nu) ~f ~out
+    ~comp_off:0
+
+(* Scalar totals over the domain (for conservation diagnostics): the domain
+   integral of a config-space DG expansion is the sum over cells of
+   coeff_0 * sqrt(2)^cdim * cellvol / 2^cdim. *)
+let total_of_config_field (lay : Layout.t) ~(fld : Field.t) ~comp_off =
+  let cgrid = lay.Layout.cgrid in
+  let cdim = lay.Layout.cdim in
+  let jac = Grid.cell_volume cgrid /. (2.0 ** float_of_int cdim) in
+  let s0 = sqrt 2.0 ** float_of_int cdim in
+  let acc = ref 0.0 in
+  Grid.iter_cells cgrid (fun _ c ->
+      acc := !acc +. Field.get fld c comp_off);
+  !acc *. s0 *. jac
+
+(* Total particle number: int f dz. *)
+let total_mass t ~(f : Field.t) =
+  let lay = t.lay in
+  let nc = Layout.num_cbasis lay in
+  let out = Field.create ~nghost:0 lay.Layout.cgrid ~ncomp:nc in
+  m0 t ~f ~out;
+  total_of_config_field lay ~fld:out ~comp_off:0
+
+(* Total particle kinetic energy: (m/2) int |v|^2 f dz. *)
+let total_kinetic_energy t ~mass ~(f : Field.t) =
+  let lay = t.lay in
+  let nc = Layout.num_cbasis lay in
+  let out = Field.create ~nghost:0 lay.Layout.cgrid ~ncomp:nc in
+  m2 t ~f ~out;
+  0.5 *. mass *. total_of_config_field lay ~fld:out ~comp_off:0

@@ -1,0 +1,45 @@
+(** Quadrature-free velocity moments of the distribution function.
+
+    All velocity integrals reduce to the exact per-dimension tables
+    [int xi^r P~_n dxi], so the moments — density M0, momentum M1_k,
+    energy-carrying M2 = int |v|^2 f dv, and the plasma current — inherit
+    the alias-free property.  The reduction is local to a configuration
+    cell: no cross-cell (and on a cluster, no cross-rank) communication,
+    the structural point of the paper's two-level decomposition. *)
+
+module Layout = Dg_kernels.Layout
+module Field = Dg_grid.Field
+
+type t
+
+val make : Layout.t -> t
+
+val accumulate :
+  t ->
+  weight:(float array -> int array -> float) ->
+  f:Field.t ->
+  out:Field.t ->
+  comp_off:int ->
+  unit
+(** Generic moment: [weight vcenter nu] gives the velocity-integral factor
+    of velocity multi-index [nu] in the cell with velocity centers
+    [vcenter]; results accumulate into configuration field [out] starting
+    at component [comp_off]. *)
+
+val m0 : t -> f:Field.t -> out:Field.t -> unit
+val m1 : t -> dir:int -> f:Field.t -> out:Field.t -> comp_off:int -> unit
+val m2 : t -> f:Field.t -> out:Field.t -> unit
+
+val accumulate_current : t -> charge:float -> f:Field.t -> out:Field.t -> unit
+(** [J_k += q M1_k] into component blocks [k * ncbasis] of [out]. *)
+
+val accumulate_charge : t -> charge:float -> f:Field.t -> out:Field.t -> unit
+
+val total_of_config_field : Layout.t -> fld:Field.t -> comp_off:int -> float
+(** Domain integral of one configuration-space expansion block. *)
+
+val total_mass : t -> f:Field.t -> float
+(** [int f dz] (multiply by the species mass for physical mass). *)
+
+val total_kinetic_energy : t -> mass:float -> f:Field.t -> float
+(** [(m/2) int |v|^2 f dz]. *)

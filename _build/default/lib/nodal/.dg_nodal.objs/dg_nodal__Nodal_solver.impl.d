@@ -1,0 +1,1 @@
+lib/nodal/nodal_solver.ml: Array Dg_basis Dg_cas Dg_grid Dg_kernels Dg_linalg Option

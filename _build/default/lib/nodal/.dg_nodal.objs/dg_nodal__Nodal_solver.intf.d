@@ -1,0 +1,1 @@
+lib/nodal/nodal_solver.mli: Dg_basis Dg_grid Dg_kernels Dg_linalg

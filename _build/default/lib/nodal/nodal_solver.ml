@@ -1,0 +1,432 @@
+(* The alias-free *nodal* DG Vlasov solver (Juno et al. 2018): the baseline
+   the paper compares against in Table I and Fig. 3.
+
+   Fields are represented by values at tensor Gauss-Lobatto nodes.  To keep
+   the scheme alias-free the nonlinear term alpha_h f_h is over-integrated
+   with n_q = ceil((3p+1)/2) Gauss points per dimension, which makes the
+   update a sequence of *dense* matrix-vector products of shape
+   (N_q x N_p) — computational complexity O(N_q N_p) with an extra
+   dimensionality factor, exactly the cost structure the modal scheme
+   removes.  The dense operators (interpolation, weighted derivative
+   scatter, face traces, inverse mass matrix) are precomputed with
+   dg_linalg; applying them is the analogue of the paper's use of Eigen. *)
+
+module Layout = Dg_kernels.Layout
+module Modal = Dg_basis.Modal
+module Nodal_basis = Dg_basis.Nodal_basis
+module Mpoly = Dg_cas.Mpoly
+module Quadrature = Dg_cas.Quadrature
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Mat = Dg_linalg.Mat
+module Lu = Dg_linalg.Lu
+module Flux = Dg_kernels.Flux
+
+type flux_kind = Central | Upwind
+
+type t = {
+  lay : Layout.t; (* grids + config modal basis (field coupling) *)
+  nb : Nodal_basis.t;
+  flux : flux_kind;
+  qm : float;
+  np : int; (* nodal DOFs per cell *)
+  nq1 : int; (* quadrature points per dimension *)
+  nq : int; (* volume quadrature points *)
+  nqs : int; (* face quadrature points *)
+  interp : Mat.t; (* nq x np: nodal -> volume quad values *)
+  scat : Mat.t array; (* per dir: np x nq, = M^-1 D_dir^T W *)
+  face_interp : Mat.t array array; (* [dir].[side 0=lo,1=hi]: nqs x np *)
+  face_scat : Mat.t array array; (* [dir].[side]: np x nqs, = M^-1 F^T W_s *)
+  cfg_at_quad : Mat.t; (* nq x ncbasis: modal config basis at volume quad *)
+  cfg_at_face : Mat.t array array; (* [dir].[side]: nqs x ncbasis *)
+  quad_pts : float array array; (* volume quad reference coords *)
+  face_pts : float array array array array; (* [dir].[side].[q] coords *)
+  (* workspaces *)
+  fq : float array;
+  gq : float array;
+  emq : float array; (* 6 x nq field values at volume quad *)
+  emqs : float array; (* 6 x nqs field values at face quad *)
+  fql : float array;
+  fqr : float array;
+  fhat : float array;
+}
+
+(* Mass matrix of the nodal basis, computed exactly. *)
+let mass_matrix (nb : Nodal_basis.t) =
+  let np = Nodal_basis.num_nodes nb in
+  Mat.init np np (fun i j ->
+      Mpoly.integrate_ref
+        (Mpoly.mul nb.Nodal_basis.cardinals.(i) nb.Nodal_basis.cardinals.(j)))
+
+(* --- Kronecker-factorized operator construction -------------------------
+   Every dense operator of the tensor-product nodal scheme factorizes over
+   dimensions (mass, interpolation, differentiation, faces), so we build the
+   big matrices from 1D factors: entry [(q_0..q_d), (k_0..k_d)] =
+   prod_i F_i[q_i, k_i], with the last dimension fastest (matching the
+   node / quadrature-point orderings).  Only the *application* stays dense
+   — which is the honest cost of the baseline. *)
+
+let kron_build (factors : Mat.t array) =
+  let rows = Array.map Mat.rows factors in
+  let cols = Array.map Mat.cols factors in
+  let nr = Array.fold_left ( * ) 1 rows and ncl = Array.fold_left ( * ) 1 cols in
+  let dim = Array.length factors in
+  let ridx = Array.make dim 0 and cidx = Array.make dim 0 in
+  Mat.init nr ncl (fun r c ->
+      let rr = ref r and cc = ref c in
+      for i = dim - 1 downto 0 do
+        ridx.(i) <- !rr mod rows.(i);
+        rr := !rr / rows.(i);
+        cidx.(i) <- !cc mod cols.(i);
+        cc := !cc / cols.(i)
+      done;
+      let acc = ref 1.0 in
+      for i = 0 to dim - 1 do
+        acc := !acc *. Mat.get factors.(i) ridx.(i) cidx.(i)
+      done;
+      !acc)
+
+(* 1D ingredient matrices for polynomial order p and nq1 quad points. *)
+type oned = {
+  interp1 : Mat.t; (* nq1 x (p+1): l_k(xq) *)
+  minv_scat1 : Mat.t; (* (p+1) x nq1: M1^-1 l^T diag(w) *)
+  minv_dscat1 : Mat.t; (* (p+1) x nq1: M1^-1 (dl)^T diag(w) *)
+  face1 : Mat.t array; (* side 0/1: 1 x (p+1): l_k(-+1) *)
+  minv_face1 : Mat.t array; (* side: (p+1) x 1: M1^-1 l(+-1) *)
+}
+
+let oned_ops ~poly_order:p ~nq1 =
+  let nodes = Nodal_basis.nodes_1d p in
+  let n1 = Array.length nodes in
+  let card = Array.init n1 (fun k -> Nodal_basis.lagrange_1d nodes k) in
+  let eval c x =
+    let acc = ref 0.0 in
+    Array.iteri (fun i ci -> acc := !acc +. (ci *. (x ** float_of_int i))) c;
+    !acc
+  in
+  let deval c x =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i ci ->
+        if i > 0 then acc := !acc +. (float_of_int i *. ci *. (x ** float_of_int (i - 1))))
+      c;
+    !acc
+  in
+  let qx, qw = Quadrature.gauss_legendre nq1 in
+  (* exact 1D mass matrix via (p+1)-point Gauss (degree 2p) *)
+  let mx, mw = Quadrature.gauss_legendre (p + 1) in
+  let m1 =
+    Mat.init n1 n1 (fun i j ->
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun q x -> acc := !acc +. (mw.(q) *. eval card.(i) x *. eval card.(j) x))
+          mx;
+        !acc)
+  in
+  let m1inv = Lu.inverse m1 in
+  let interp1 = Mat.init nq1 n1 (fun q k -> eval card.(k) qx.(q)) in
+  let scat_t = Mat.init n1 nq1 (fun k q -> qw.(q) *. eval card.(k) qx.(q)) in
+  let dscat_t = Mat.init n1 nq1 (fun k q -> qw.(q) *. deval card.(k) qx.(q)) in
+  let face1 =
+    Array.map (fun s -> Mat.init 1 n1 (fun _ k -> eval card.(k) s)) [| -1.0; 1.0 |]
+  in
+  let minv_face1 =
+    Array.map
+      (fun s -> Mat.matmul m1inv (Mat.init n1 1 (fun k _ -> eval card.(k) s)))
+      [| -1.0; 1.0 |]
+  in
+  {
+    interp1;
+    minv_scat1 = Mat.matmul m1inv scat_t;
+    minv_dscat1 = Mat.matmul m1inv dscat_t;
+    face1;
+    minv_face1;
+  }
+
+(* Coordinates of the quadrature points of a face in direction [dir] at
+   [side]: the (d-1)-dim tensor quad points with coordinate dir pinned. *)
+let face_points ~dim ~dir ~side ~nq1 =
+  let pts, wts = Quadrature.tensor ~dim:(dim - 1) ~n:nq1 in
+  let expand pt =
+    let out = Array.make dim side in
+    let j = ref 0 in
+    for i = 0 to dim - 1 do
+      if i <> dir then begin
+        out.(i) <- pt.(!j);
+        incr j
+      end
+    done;
+    out
+  in
+  (Array.map expand pts, wts)
+
+let create ?(flux = Upwind) ~qm (lay : Layout.t) =
+  let pdim = lay.Layout.pdim in
+  let p = Modal.poly_order lay.Layout.basis in
+  let nb = Nodal_basis.make ~dim:pdim ~poly_order:p in
+  let np = Nodal_basis.num_nodes nb in
+  let nq1 = Nodal_basis.alias_free_quad_points ~poly_order:p in
+  let quad_pts, _quad_wts = Quadrature.tensor ~dim:pdim ~n:nq1 in
+  let nq = Array.length quad_pts in
+  let nqs = nq / nq1 in
+  (* all dense operators assembled from Kronecker products of 1D factors *)
+  let o1 = oned_ops ~poly_order:p ~nq1 in
+  let interp = kron_build (Array.make pdim o1.interp1) in
+  let scat =
+    Array.init pdim (fun dir ->
+        kron_build
+          (Array.init pdim (fun i ->
+               if i = dir then o1.minv_dscat1 else o1.minv_scat1)))
+  in
+  let face_interp =
+    Array.init pdim (fun dir ->
+        Array.init 2 (fun side ->
+            kron_build
+              (Array.init pdim (fun i ->
+                   if i = dir then o1.face1.(side) else o1.interp1))))
+  in
+  let face_scat =
+    Array.init pdim (fun dir ->
+        Array.init 2 (fun side ->
+            kron_build
+              (Array.init pdim (fun i ->
+                   if i = dir then o1.minv_face1.(side) else o1.minv_scat1))))
+  in
+  let cbasis = lay.Layout.cbasis in
+  let ncb = Modal.num_basis cbasis in
+  let cfg_of_pt pt = Array.sub pt 0 lay.Layout.cdim in
+  let cfg_at_quad =
+    Mat.init nq ncb (fun q a -> Modal.eval cbasis a (cfg_of_pt quad_pts.(q)))
+  in
+  let cfg_at_face =
+    Array.init pdim (fun dir ->
+        Array.map
+          (fun side ->
+            let pts, _ = face_points ~dim:pdim ~dir ~side ~nq1 in
+            Mat.init (Array.length pts) ncb (fun q a ->
+                Modal.eval cbasis a (cfg_of_pt pts.(q))))
+          [| -1.0; 1.0 |])
+  in
+  let face_pts =
+    Array.init pdim (fun dir ->
+        Array.map
+          (fun side -> fst (face_points ~dim:pdim ~dir ~side ~nq1))
+          [| -1.0; 1.0 |])
+  in
+  {
+    lay;
+    nb;
+    flux;
+    qm;
+    np;
+    nq1;
+    nq;
+    nqs;
+    interp;
+    scat;
+    face_interp;
+    face_scat;
+    cfg_at_quad;
+    cfg_at_face;
+    quad_pts;
+    face_pts;
+    fq = Array.make nq 0.0;
+    gq = Array.make nq 0.0;
+    emq = Array.make (6 * nq) 0.0;
+    emqs = Array.make (6 * nqs) 0.0;
+    fql = Array.make nqs 0.0;
+    fqr = Array.make nqs 0.0;
+    fhat = Array.make nqs 0.0;
+  }
+
+let num_nodes t = t.np
+
+(* Pointwise phase-space flux alpha_dir at a reference point of a cell. *)
+let alpha_at t ~dir (c : int array) (xi : float array) ~(em_vals : float array)
+    ~em_stride ~q =
+  let lay = t.lay in
+  let grid = lay.Layout.grid in
+  let dx = Grid.dx grid in
+  let lower = Grid.lower grid in
+  let coord d = lower.(d) +. ((float_of_int c.(d) +. 0.5 +. (0.5 *. xi.(d))) *. dx.(d)) in
+  if Layout.is_config_dir lay dir then coord (Layout.paired_velocity_dim lay dir)
+  else begin
+    let vdir = dir - lay.Layout.cdim in
+    let e j = em_vals.((j * em_stride) + q) in
+    let v k = coord (lay.Layout.cdim + k) in
+    let cross =
+      (* (v x B)_vdir over present velocity dimensions *)
+      let acc = ref 0.0 in
+      for k = 0 to lay.Layout.vdim - 1 do
+        for l = 0 to 2 do
+          let s = Flux.eps vdir k l in
+          if s <> 0.0 then acc := !acc +. (s *. v k *. e (3 + l))
+        done
+      done;
+      !acc
+    in
+    t.qm *. (e vdir +. cross)
+  end
+
+(* Evaluate the (modal) EM field at quad points: em_vals.(j*stride + q). *)
+let eval_em t ~(em : Field.t) (c : int array) ~(at : Mat.t) ~(out : float array)
+    ~stride =
+  let nc = Layout.num_cbasis t.lay in
+  let ccoords = Array.sub c 0 t.lay.Layout.cdim in
+  let base = Field.offset em ccoords in
+  let emd = Field.data em in
+  for j = 0 to 5 do
+    for q = 0 to Mat.rows at - 1 do
+      let acc = ref 0.0 in
+      for a = 0 to nc - 1 do
+        acc := !acc +. (Mat.get at q a *. emd.(base + (j * nc) + a))
+      done;
+      out.((j * stride) + q) <- !acc
+    done
+  done
+
+(* The dense-matrix nodal DG right-hand side. *)
+let rhs t ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
+  Field.fill out 0.0;
+  let lay = t.lay in
+  let grid = lay.Layout.grid in
+  let dx = Grid.dx grid in
+  let cells = Grid.cells grid in
+  let fd = Field.data f and od = Field.data out in
+  let fblock = Array.make t.np 0.0 in
+  let oblock = Array.make t.np 0.0 in
+  let have_em = Option.is_some em in
+  (* volume term *)
+  Grid.iter_cells grid (fun _ c ->
+      let foff = Field.offset f c in
+      Array.blit fd foff fblock 0 t.np;
+      Mat.matvec t.interp fblock t.fq;
+      (match em with
+      | Some emf -> eval_em t ~em:emf c ~at:t.cfg_at_quad ~out:t.emq ~stride:t.nq
+      | None -> ());
+      let ooff = Field.offset out c in
+      for dir = 0 to lay.Layout.pdim - 1 do
+        if Layout.is_config_dir lay dir || have_em then begin
+          for q = 0 to t.nq - 1 do
+            let a =
+              alpha_at t ~dir c t.quad_pts.(q) ~em_vals:t.emq ~em_stride:t.nq ~q
+            in
+            t.gq.(q) <- a *. t.fq.(q)
+          done;
+          Mat.matvec t.scat.(dir) t.gq oblock;
+          let s = 2.0 /. dx.(dir) in
+          for k = 0 to t.np - 1 do
+            od.(ooff + k) <- od.(ooff + k) +. (s *. oblock.(k))
+          done
+        end
+      done);
+  (* surface terms *)
+  let cl = Array.make lay.Layout.pdim 0 in
+  let fbl = Array.make t.np 0.0 and fbr = Array.make t.np 0.0 in
+  for dir = 0 to lay.Layout.pdim - 1 do
+    let is_cfg = Layout.is_config_dir lay dir in
+    if is_cfg || have_em then begin
+      let rdx = 1.0 /. dx.(dir) in
+      Grid.iter_cells grid (fun _ c ->
+          let handle ~lcoords ~rcoords =
+            Array.blit fd (Field.offset f lcoords) fbl 0 t.np;
+            Array.blit fd (Field.offset f rcoords) fbr 0 t.np;
+            Mat.matvec t.face_interp.(dir).(1) fbl t.fql;
+            Mat.matvec t.face_interp.(dir).(0) fbr t.fqr;
+            (match em with
+            | Some emf ->
+                (* the face shares the left cell's configuration cell unless
+                   dir is a config direction, in which case alpha is
+                   streaming and em is unused *)
+                eval_em t ~em:emf lcoords ~at:t.cfg_at_face.(dir).(1)
+                  ~out:t.emqs ~stride:t.nqs
+            | None -> ());
+            for q = 0 to t.nqs - 1 do
+              let a =
+                alpha_at t ~dir lcoords
+                  t.face_pts.(dir).(1).(q)
+                  ~em_vals:t.emqs ~em_stride:t.nqs ~q
+              in
+              t.fhat.(q) <-
+                (match t.flux with
+                | Central -> 0.5 *. a *. (t.fql.(q) +. t.fqr.(q))
+                | Upwind -> if a >= 0.0 then a *. t.fql.(q) else a *. t.fqr.(q))
+            done;
+            (* update left cell: out -= (2/dx) Mscat_hi fhat *)
+            if lcoords.(dir) >= 0 then begin
+              Mat.matvec t.face_scat.(dir).(1) t.fhat oblock;
+              let ooff = Field.offset out lcoords in
+              for k = 0 to t.np - 1 do
+                od.(ooff + k) <- od.(ooff + k) -. (2.0 *. rdx *. oblock.(k))
+              done
+            end;
+            if rcoords.(dir) < cells.(dir) then begin
+              Mat.matvec t.face_scat.(dir).(0) t.fhat oblock;
+              let ooff = Field.offset out rcoords in
+              for k = 0 to t.np - 1 do
+                od.(ooff + k) <- od.(ooff + k) +. (2.0 *. rdx *. oblock.(k))
+              done
+            end
+          in
+          let skip = (not is_cfg) && c.(dir) = 0 in
+          if not skip then begin
+            Array.blit c 0 cl 0 lay.Layout.pdim;
+            cl.(dir) <- c.(dir) - 1;
+            handle ~lcoords:(Array.copy cl) ~rcoords:(Array.copy c)
+          end;
+          if is_cfg && c.(dir) = cells.(dir) - 1 then begin
+            Array.blit c 0 cl 0 lay.Layout.pdim;
+            cl.(dir) <- c.(dir) + 1;
+            handle ~lcoords:(Array.copy c) ~rcoords:(Array.copy cl)
+          end)
+    end
+  done
+
+(* Current accumulation by quadrature (feeds the shared modal Maxwell
+   solver): J_j,a += q int v_j f phi_a dv dx_ref-jacobians. *)
+let accumulate_current t ~charge ~(f : Field.t) ~(out : Field.t) =
+  let lay = t.lay in
+  let grid = lay.Layout.grid in
+  let nc = Layout.num_cbasis lay in
+  let _, quad_wts = Quadrature.tensor ~dim:lay.Layout.pdim ~n:t.nq1 in
+  let dx = Grid.dx grid in
+  let lower = Grid.lower grid in
+  (* phase-space jacobian over the *velocity* reference map and the config
+     test-function normalization: the produced coefficients live on the
+     config modal basis *)
+  let vjac = ref 1.0 in
+  for d = lay.Layout.cdim to lay.Layout.pdim - 1 do
+    vjac := !vjac *. (dx.(d) /. 2.0)
+  done;
+  let fblock = Array.make t.np 0.0 in
+  let fd = Field.data f and od = Field.data out in
+  Grid.iter_cells grid (fun _ c ->
+      Array.blit fd (Field.offset f c) fblock 0 t.np;
+      Mat.matvec t.interp fblock t.fq;
+      let ccoords = Array.sub c 0 lay.Layout.cdim in
+      let obase = Field.offset out ccoords in
+      for q = 0 to t.nq - 1 do
+        (* J_{k,a} = q int_ref phi_a(xi_x) v_k f prod_j (dv_j/2) dxi *)
+        let w = quad_wts.(q) *. !vjac in
+        for k = 0 to lay.Layout.vdim - 1 do
+          let d = lay.Layout.cdim + k in
+          let v =
+            lower.(d)
+            +. ((float_of_int c.(d) +. 0.5 +. (0.5 *. t.quad_pts.(q).(d))) *. dx.(d))
+          in
+          for a = 0 to nc - 1 do
+            od.(obase + (k * nc) + a) <-
+              od.(obase + (k * nc) + a)
+              +. (charge *. w *. v *. t.fq.(q) *. Mat.get t.cfg_at_quad q a)
+          done
+        done
+      done)
+
+(* Vandermonde matrix: nodal values of the modal tensor basis functions,
+   f_nodal = V f_modal.  Only valid when the modal basis is Tensor (same
+   polynomial space); used by the equivalence tests. *)
+let vandermonde t =
+  let basis = t.lay.Layout.basis in
+  assert (Modal.family basis = Modal.Tensor);
+  Mat.init t.np (Modal.num_basis basis) (fun k l ->
+      Modal.eval basis l t.nb.Nodal_basis.node_coords.(k))

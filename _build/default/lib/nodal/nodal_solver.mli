@@ -1,0 +1,42 @@
+(** The alias-free *nodal* DG Vlasov baseline (Juno et al. 2018) — the
+    scheme the paper compares against in Table I and Fig. 3.
+
+    Fields are values at tensor Gauss-Lobatto nodes; nonlinear terms are
+    over-integrated with n_q = ceil((3p+1)/2) Gauss points per dimension,
+    making the update a sequence of dense matrix-vector products with
+    cost O(N_q N_p) and a dimensionality factor — the cost structure the
+    modal scheme removes.  The dense operators are assembled from
+    Kronecker products of 1D factors but applied as full matrices (the
+    honest baseline cost).
+
+    On the tensor modal basis both schemes discretize the same space with
+    the same flux, so their right-hand sides agree through {!vandermonde}
+    (asserted by test_nodal). *)
+
+module Layout = Dg_kernels.Layout
+module Field = Dg_grid.Field
+module Mat = Dg_linalg.Mat
+
+type flux_kind = Central | Upwind
+
+type t
+
+val create : ?flux:flux_kind -> qm:float -> Layout.t -> t
+val num_nodes : t -> int
+
+val mass_matrix : Dg_basis.Nodal_basis.t -> Mat.t
+(** Exact nodal mass matrix (tests; the solver uses 1D-factorized ops). *)
+
+val kron_build : Mat.t array -> Mat.t
+(** Dense Kronecker product with the last factor fastest. *)
+
+val rhs : t -> f:Field.t -> em:Field.t option -> out:Field.t -> unit
+(** Dense-matrix nodal DG right-hand side (same contract as the modal
+    {!Dg_vlasov.Solver.rhs}). *)
+
+val accumulate_current : t -> charge:float -> f:Field.t -> out:Field.t -> unit
+(** Quadrature-based current accumulation onto the modal config basis. *)
+
+val vandermonde : t -> Mat.t
+(** Nodal values of the modal tensor-basis functions: f_nodal = V f_modal
+    (requires the layout's modal family to be Tensor). *)

@@ -1,0 +1,1 @@
+lib/par/decomp.ml: Array Dg_grid

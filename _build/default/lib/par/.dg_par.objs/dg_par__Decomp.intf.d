@@ -1,0 +1,1 @@
+lib/par/decomp.mli: Dg_grid

@@ -1,0 +1,1 @@
+lib/par/model.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/par/par_solver.ml: Array Decomp Dg_basis Dg_grid Dg_kernels Dg_vlasov Pool

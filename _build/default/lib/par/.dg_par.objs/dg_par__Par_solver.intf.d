@@ -1,0 +1,1 @@
+lib/par/par_solver.mli: Dg_grid Dg_kernels Dg_vlasov

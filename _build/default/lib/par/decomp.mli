@@ -1,0 +1,40 @@
+(** Configuration-space block decomposition with halo exchange — the
+    distributed layer of the paper's two-level decomposition.  Only
+    configuration dimensions are split; velocity space stays whole per
+    block, so moments reduce locally.  Verified against the monolithic
+    ghost sync (test_par). *)
+
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+
+type block = {
+  id : int;
+  bcoords : int array;
+  offset : int array;  (** global cell offset in the config dims *)
+  local_grid : Grid.t;
+  field : Field.t;
+}
+
+type t = {
+  global : Grid.t;
+  cdim : int;
+  blocks_per_dim : int array;
+  blocks : block array;
+  ncomp : int;
+}
+
+val make :
+  global:Grid.t -> cdim:int -> blocks_per_dim:int array -> ncomp:int -> t
+(** Blocks must evenly divide the split dimensions. *)
+
+val block_grid_cells : t -> int
+val block_id : t -> int array -> int
+
+val scatter : t -> src:Field.t -> unit
+val gather : t -> dst:Field.t -> unit
+
+val exchange_halos : t -> int
+(** Exchange one ghost layer between neighbouring blocks (periodic);
+    returns the number of floats moved (the "message volume"). *)
+
+val halo_cells_per_block : t -> int

@@ -1,0 +1,118 @@
+(* Analytic cluster-scaling model for the Fig. 3 reproduction.
+
+   The container has one CPU, so the 4096-node Theta curves are regenerated
+   from a calibrated model rather than measured (documented substitution in
+   DESIGN.md).  The model has three ingredients, each tied to a measured or
+   paper-stated quantity:
+
+   - compute: t_comp = cells_per_node * np * t_dof / ilp_eff(work), where
+     t_dof is the *measured* per-DOF update cost of this implementation and
+     ilp_eff models the instruction-level-parallelism loss when a node has
+     too little work (the paper's explanation for strong-scaling
+     degradation: fewer cells per thread expose less ILP);
+   - communication: t_comm = halo_cells * np * bytes * t_byte + faces * t_lat,
+     with a mild network-contention factor growing with node count;
+   - the paper's stated endpoints anchor the constants: <= 25 % halo cost at
+     the largest weak-scaling run, and ~80 % at 4096 nodes strong scaling
+     with a ~60x speedup from 8 nodes. *)
+
+type params = {
+  t_dof : float; (* seconds per DOF per forward-Euler step (measured) *)
+  t_byte : float; (* seconds per byte of halo traffic *)
+  t_lat : float; (* per-face message latency, seconds *)
+  net_contention : float; (* fractional slowdown per doubling of nodes *)
+  overlap_penalty : float;
+      (* extra communication cost growing with the square of the
+         halo/interior ratio: when a node's block is thin, exchanges cannot
+         hide behind computation and synchronization waits dominate (the
+         paper's strong-scaling story: each 8x node increase gained only 4x) *)
+  ilp_crit : float; (* cells per node below which ILP efficiency degrades *)
+  ilp_exponent : float;
+}
+
+(* Defaults calibrated so the modal 6D curves reproduce the paper's stated
+   anchors (weak halo fraction <= 25 % at 4096 nodes; strong scaling speedup
+   ~60x of the ideal 512x with ~80 % communication); t_dof is overridden by
+   the measured value at bench time. *)
+let default =
+  {
+    t_dof = 2e-8;
+    t_byte = 2.5e-10; (* ~4 GB/s effective per node *)
+    t_lat = 1e-5;
+    net_contention = 0.015;
+    overlap_penalty = 2.2;
+    ilp_crit = 16384.0;
+    ilp_exponent = 0.45;
+  }
+
+let ilp_efficiency p ~cells_per_node =
+  if cells_per_node >= p.ilp_crit then 1.0
+  else (cells_per_node /. p.ilp_crit) ** p.ilp_exponent
+
+type point = {
+  nodes : int;
+  time_per_step : float;
+  comm_fraction : float;
+  normalized : float; (* time / time(base) , the paper's plotted quantity *)
+}
+
+(* One model evaluation: a node owns [cells_per_node] phase-space cells with
+   [halo_cells] ghost cells exchanged per step and [np] DOF per cell. *)
+let step_time p ~nodes ~cells_per_node ~halo_cells ~np ~nfaces =
+  let eff = ilp_efficiency p ~cells_per_node in
+  let t_comp = cells_per_node *. float_of_int np *. p.t_dof /. eff in
+  let contention = 1.0 +. (p.net_contention *. (log (float_of_int nodes) /. log 2.0)) in
+  let ratio = halo_cells /. cells_per_node in
+  let overlap = 1.0 +. (p.overlap_penalty *. ratio *. ratio) in
+  let t_comm =
+    ((halo_cells *. float_of_int np *. 8.0 *. p.t_byte) +. (nfaces *. p.t_lat))
+    *. contention *. overlap
+  in
+  (t_comp +. t_comm, t_comm /. (t_comp +. t_comm))
+
+(* Weak scaling: fixed per-node block (the paper: 8x8x8 x 16^3 per node,
+   configuration dims doubled as nodes x8). *)
+let weak_scaling p ~block_cfg ~vcells ~np ~node_counts =
+  let vtot = Array.fold_left ( * ) 1 vcells in
+  let cfg = Array.fold_left ( * ) 1 block_cfg in
+  let cells_per_node = float_of_int (cfg * vtot) in
+  let halo =
+    (* two faces per split dim; halo slab = block surface x velocity grid *)
+    let acc = ref 0 in
+    Array.iteri (fun d _ -> acc := !acc + (2 * (cfg / block_cfg.(d) * vtot))) block_cfg;
+    float_of_int !acc
+  in
+  let nfaces = float_of_int (2 * Array.length block_cfg) in
+  let base, _ = step_time p ~nodes:1 ~cells_per_node ~halo_cells:halo ~np ~nfaces in
+  List.map
+    (fun nodes ->
+      let time, frac = step_time p ~nodes ~cells_per_node ~halo_cells:halo ~np ~nfaces in
+      { nodes; time_per_step = time; comm_fraction = frac; normalized = time /. base })
+    node_counts
+
+(* Strong scaling: fixed global problem split over growing node counts
+   (cube-root decomposition of the configuration dims). *)
+let strong_scaling p ~global_cfg ~vcells ~np ~base_nodes ~node_counts =
+  let cdim = Array.length global_cfg in
+  let vtot = Array.fold_left ( * ) 1 vcells in
+  let eval nodes =
+    (* split as evenly as possible: nodes = k^cdim ideally *)
+    let k = Float.round (float_of_int nodes ** (1.0 /. float_of_int cdim)) in
+    let k = int_of_float k in
+    let block = Array.map (fun n -> max 1 (n / max 1 k)) global_cfg in
+    let cfg = Array.fold_left ( * ) 1 block in
+    let cells_per_node = float_of_int (cfg * vtot) in
+    let halo =
+      let acc = ref 0 in
+      Array.iteri (fun d _ -> acc := !acc + (2 * (cfg / block.(d) * vtot))) block;
+      float_of_int !acc
+    in
+    let nfaces = float_of_int (2 * cdim) in
+    step_time p ~nodes ~cells_per_node ~halo_cells:halo ~np ~nfaces
+  in
+  let base, _ = eval base_nodes in
+  List.map
+    (fun nodes ->
+      let time, frac = eval nodes in
+      { nodes; time_per_step = time; comm_fraction = frac; normalized = time /. base })
+    node_counts

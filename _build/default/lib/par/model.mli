@@ -1,0 +1,59 @@
+(** Analytic cluster-scaling model for the Fig. 3 reproduction (the
+    4096-node Theta machine is a hardware gate; see DESIGN.md §2).
+
+    Compute scales with interior cells (with an instruction-level-
+    parallelism efficiency that degrades on thin blocks, the paper's
+    strong-scaling explanation); communication with the halo surface,
+    a mild network-contention term, and an overlap penalty quadratic in
+    the halo/interior ratio.  Defaults are calibrated to the paper's
+    stated anchors: <= 25 % halo cost in weak scaling, ~60x-of-512x
+    speedup with ~80 % communication at 4096 nodes in strong scaling. *)
+
+type params = {
+  t_dof : float;
+  t_byte : float;
+  t_lat : float;
+  net_contention : float;
+  overlap_penalty : float;
+  ilp_crit : float;
+  ilp_exponent : float;
+}
+
+val default : params
+val ilp_efficiency : params -> cells_per_node:float -> float
+
+type point = {
+  nodes : int;
+  time_per_step : float;
+  comm_fraction : float;
+  normalized : float;
+}
+
+val step_time :
+  params ->
+  nodes:int ->
+  cells_per_node:float ->
+  halo_cells:float ->
+  np:int ->
+  nfaces:float ->
+  float * float
+(** [(time_per_step, comm_fraction)]. *)
+
+val weak_scaling :
+  params ->
+  block_cfg:int array ->
+  vcells:int array ->
+  np:int ->
+  node_counts:int list ->
+  point list
+(** Fixed per-node block, growing node count (normalized to 1 node). *)
+
+val strong_scaling :
+  params ->
+  global_cfg:int array ->
+  vcells:int array ->
+  np:int ->
+  base_nodes:int ->
+  node_counts:int list ->
+  point list
+(** Fixed global problem split over growing node counts. *)

@@ -1,0 +1,27 @@
+(** Block-parallel Vlasov update: the paper's two-level decomposition
+    applied to the real solver.  Blocks update concurrently on the domain
+    pool; only configuration-space halos are exchanged.  Verified to
+    match the monolithic serial update (test_par). *)
+
+module Layout = Dg_kernels.Layout
+module Field = Dg_grid.Field
+module Solver = Dg_vlasov.Solver
+
+type t
+
+val create :
+  ?nworkers:int ->
+  blocks_per_dim:int array ->
+  flux:Solver.flux_kind ->
+  qm:float ->
+  Layout.t ->
+  t
+
+val layout : t -> Layout.t
+
+val rhs : t -> f:Field.t -> em:Field.t option -> out:Field.t -> unit
+(** Equivalent to the serial [Solver.rhs] with periodic configuration
+    boundaries: scatter, halo exchange, concurrent block updates, gather. *)
+
+val halo_volume : t -> int
+(** Floats moved per right-hand-side evaluation. *)

@@ -1,0 +1,40 @@
+(* A small fork-join pool over OCaml 5 domains: the shared-memory intra-node
+   layer of the paper's two-level decomposition (their MPI-3 shared-memory
+   ranks; our domains).  Work is split into chunks claimed from an atomic
+   counter, so uneven cell costs still balance. *)
+
+type t = { nworkers : int }
+
+let create ~nworkers =
+  assert (nworkers >= 1);
+  { nworkers }
+
+let recommended_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Run [f lo hi] over disjoint chunks covering [0, n) in parallel; [f] must
+   only write to disjoint locations derived from its range. *)
+let parallel_ranges t ~n ~chunk f =
+  if t.nworkers = 1 || n <= chunk then f 0 n
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo >= n then continue_ := false else f lo (min n (lo + chunk))
+      done
+    in
+    let domains =
+      Array.init (t.nworkers - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join domains
+  end
+
+(* Parallel for over [0, n) with a default chunking heuristic. *)
+let parallel_for t ~n f =
+  let chunk = max 1 (n / (t.nworkers * 8)) in
+  parallel_ranges t ~n ~chunk (fun lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)

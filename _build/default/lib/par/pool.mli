@@ -1,0 +1,13 @@
+(** A small fork-join pool over OCaml 5 domains: the shared-memory
+    intra-node layer of the paper's two-level decomposition. *)
+
+type t
+
+val create : nworkers:int -> t
+val recommended_workers : unit -> int
+
+val parallel_ranges : t -> n:int -> chunk:int -> (int -> int -> unit) -> unit
+(** Run [f lo hi] over disjoint chunks covering [0, n); [f] must write
+    only to locations derived from its own range. *)
+
+val parallel_for : t -> n:int -> (int -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/poisson/poisson.ml: Array Dg_fft Dg_grid Dg_linalg Float

@@ -1,0 +1,1 @@
+lib/poisson/poisson.mli: Dg_grid

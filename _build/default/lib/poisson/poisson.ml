@@ -1,0 +1,79 @@
+(* Poisson solvers for electrostatic initialization and divergence
+   diagnostics.
+
+   The production field solve in the App layer is Maxwell (or Ampere), which
+   needs no elliptic solve; Poisson is used to (a) construct self-consistent
+   initial electric fields from an initial charge density and (b) monitor
+   div E - rho.  Periodic problems use the FFT substrate on cell averages
+   (spectrally exact for the resolved modes); bounded 1D problems use the
+   tridiagonal solver. *)
+
+module Fft = Dg_fft.Fft
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Tridiag = Dg_linalg.Tridiag
+
+(* Solve d^2 phi/dx^2 = -rho on a periodic 1D grid of cell averages; returns
+   (phi, e) cell averages with E = -dphi/dx, both with zero mean.  The grid
+   length must be a power of two. *)
+let periodic_1d ~(dx : float) (rho : float array) =
+  let n = Array.length rho in
+  if not (Fft.is_pow2 n) then
+    invalid_arg "Poisson.periodic_1d: need power-of-two cells";
+  let re = Array.copy rho and im = Array.make n 0.0 in
+  Fft.forward re im;
+  let phi_re = Array.make n 0.0 and phi_im = Array.make n 0.0 in
+  let e_re = Array.make n 0.0 and e_im = Array.make n 0.0 in
+  let l = float_of_int n *. dx in
+  for k = 1 to n - 1 do
+    let kk = if k <= n / 2 then k else k - n in
+    let kappa = 2.0 *. Float.pi *. float_of_int kk /. l in
+    (* spectral: -kappa^2 phi_k = -rho_k, and E = -dphi/dx so
+       E_k = -i kappa phi_k = (kappa Im phi_k, -kappa Re phi_k) *)
+    phi_re.(k) <- re.(k) /. (kappa *. kappa);
+    phi_im.(k) <- im.(k) /. (kappa *. kappa);
+    e_re.(k) <- kappa *. phi_im.(k);
+    e_im.(k) <- -.(kappa *. phi_re.(k))
+  done;
+  Fft.inverse phi_re phi_im;
+  Fft.inverse e_re e_im;
+  (phi_re, e_re)
+
+(* Dirichlet 1D: d^2 phi/dx^2 = -rho, phi(0) = phi_lo, phi(L) = phi_hi on
+   cell centers with second-order finite differences (sheath setups). *)
+let dirichlet_1d ~(dx : float) ~(phi_lo : float) ~(phi_hi : float)
+    (rho : float array) =
+  let n = Array.length rho in
+  let a = Array.make n 1.0 and b = Array.make n (-2.0) and c = Array.make n 1.0 in
+  let d = Array.map (fun r -> -.r *. dx *. dx) rho in
+  (* ghost-value elimination for boundary conditions at the domain edges
+     half a cell beyond the first/last centers: phi_ghost = 2 phi_bc - phi_0 *)
+  a.(0) <- 0.0;
+  b.(0) <- -3.0;
+  d.(0) <- d.(0) -. (2.0 *. phi_lo);
+  c.(n - 1) <- 0.0;
+  b.(n - 1) <- -3.0;
+  d.(n - 1) <- d.(n - 1) -. (2.0 *. phi_hi);
+  Tridiag.solve ~a ~b ~c ~d
+
+(* Cell averages of the charge density sum_s q_s M0_s from a configuration
+   field holding M0-style coefficients (component [comp]). *)
+let cell_averages ~(basis_dim : int) (fld : Field.t) ~comp =
+  let g = Field.grid fld in
+  let n = Grid.num_cells g in
+  let out = Array.make n 0.0 in
+  let s0 = 1.0 /. (sqrt 2.0 ** float_of_int basis_dim) in
+  Grid.iter_cells g (fun idx c -> out.(idx) <- s0 *. Field.get fld c comp);
+  out
+
+(* Residual max |div E - rho| on cell averages (1D), for monitoring charge
+   conservation of the coupled system. *)
+let gauss_residual_1d ~(dx : float) ~(e : float array) ~(rho : float array) =
+  let n = Array.length e in
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    let ip = (i + 1) mod n and im = (i + n - 1) mod n in
+    let div = (e.(ip) -. e.(im)) /. (2.0 *. dx) in
+    worst := Float.max !worst (Float.abs (div -. rho.(i)))
+  done;
+  !worst

@@ -1,0 +1,22 @@
+(** Poisson solvers for electrostatic initialization and Gauss-law
+    diagnostics (the production field solve is Maxwell/Ampere and needs no
+    elliptic solve). *)
+
+module Field = Dg_grid.Field
+
+val periodic_1d : dx:float -> float array -> float array * float array
+(** [periodic_1d ~dx rho] solves phi'' = -rho spectrally on periodic cell
+    averages (power-of-two length); returns zero-mean (phi, E) with
+    E = -dphi/dx. *)
+
+val dirichlet_1d :
+  dx:float -> phi_lo:float -> phi_hi:float -> float array -> float array
+(** Second-order finite-difference solve of phi'' = -rho with wall
+    potentials at the domain edges (sheath setups). *)
+
+val cell_averages : basis_dim:int -> Field.t -> comp:int -> float array
+(** Cell averages of one expansion component of a configuration field. *)
+
+val gauss_residual_1d :
+  dx:float -> e:float array -> rho:float array -> float
+(** max |div E - rho| on 1D cell averages: charge-conservation monitor. *)

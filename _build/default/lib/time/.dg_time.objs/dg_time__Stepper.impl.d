@@ -1,0 +1,1 @@
+lib/time/stepper.ml: Array Dg_grid List

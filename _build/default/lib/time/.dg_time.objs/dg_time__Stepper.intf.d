@@ -1,0 +1,1 @@
+lib/time/stepper.mli: Dg_grid

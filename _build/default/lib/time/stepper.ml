@@ -1,0 +1,81 @@
+(* Strong-stability-preserving Runge-Kutta time steppers (Shu 2002), acting
+   on lists of coefficient fields (one per evolved quantity: each plasma
+   species' distribution function and the electromagnetic field).
+
+   The state is a snapshot list of fields; [rhs ~time state out] must fill
+   [out] (same shapes) with d(state)/dt.  SSP-RK3 is the paper's stepper. *)
+
+module Field = Dg_grid.Field
+
+type scheme = Euler | Ssp_rk2 | Ssp_rk3
+
+let scheme_name = function
+  | Euler -> "forward-euler"
+  | Ssp_rk2 -> "ssp-rk2"
+  | Ssp_rk3 -> "ssp-rk3"
+
+(* Number of RHS evaluations per step. *)
+let stages = function Euler -> 1 | Ssp_rk2 -> 2 | Ssp_rk3 -> 3
+
+type t = {
+  scheme : scheme;
+  stage : Field.t list; (* u^(k) workspace *)
+  rhs_ws : Field.t list; (* L(u) workspace *)
+}
+
+let create ~scheme ~like =
+  { scheme; stage = List.map Field.clone like; rhs_ws = List.map Field.clone like }
+
+(* dst := a*dst + b*src + c*rhs, elementwise over field lists. *)
+let combine ~a ~b ~c ~(src : Field.t list) ~(rhs : Field.t list)
+    (dst : Field.t list) =
+  List.iteri
+    (fun i d ->
+      let s = List.nth src i and r = List.nth rhs i in
+      let dd = Field.data d and sd = Field.data s and rd = Field.data r in
+      for k = 0 to Array.length dd - 1 do
+        dd.(k) <- (a *. dd.(k)) +. (b *. sd.(k)) +. (c *. rd.(k))
+      done)
+    dst
+
+(* Advance [state] in place by [dt].  [rhs ~time st out] must not modify
+   [st].  Ghost synchronization is the responsibility of [rhs]. *)
+let step t ~rhs ~time ~dt (state : Field.t list) =
+  let eval ~time st = rhs ~time st t.rhs_ws in
+  match t.scheme with
+  | Euler ->
+      eval ~time state;
+      combine ~a:1.0 ~b:0.0 ~c:dt ~src:state ~rhs:t.rhs_ws state
+  | Ssp_rk2 ->
+      (* u1 = u + dt L(u); u = 1/2 u + 1/2 (u1 + dt L(u1)) *)
+      eval ~time state;
+      List.iter2 (fun s d -> Field.copy_into ~src:s ~dst:d) state t.stage;
+      combine ~a:1.0 ~b:0.0 ~c:dt ~src:t.stage ~rhs:t.rhs_ws t.stage;
+      eval ~time:(time +. dt) t.stage;
+      combine ~a:0.5 ~b:0.5 ~c:(0.5 *. dt) ~src:t.stage ~rhs:t.rhs_ws state
+  | Ssp_rk3 ->
+      (* u1 = u + dt L(u)
+         u2 = 3/4 u + 1/4 (u1 + dt L(u1))
+         u  = 1/3 u + 2/3 (u2 + dt L(u2)) *)
+      eval ~time state;
+      List.iter2 (fun s d -> Field.copy_into ~src:s ~dst:d) state t.stage;
+      combine ~a:1.0 ~b:0.0 ~c:dt ~src:t.stage ~rhs:t.rhs_ws t.stage;
+      eval ~time:(time +. dt) t.stage;
+      combine ~a:0.25 ~b:0.75 ~c:(0.25 *. dt) ~src:state ~rhs:t.rhs_ws t.stage;
+      eval ~time:(time +. (0.5 *. dt)) t.stage;
+      combine
+        ~a:(1.0 /. 3.0)
+        ~b:(2.0 /. 3.0)
+        ~c:(2.0 /. 3.0 *. dt)
+        ~src:t.stage ~rhs:t.rhs_ws state
+
+(* CFL-limited time step for a DG scheme of order p.  In multiple
+   dimensions the per-direction Courant numbers add, so the stable step is
+       dt <= cfl / ( (2p+1) * sum_d lambda_d / dx_d ). *)
+let cfl_dt ~cfl ~poly_order ~dx ~speeds =
+  let denom = ref 0.0 in
+  Array.iteri
+    (fun d s -> if s > 0.0 then denom := !denom +. (s /. dx.(d)))
+    speeds;
+  if !denom = 0.0 then infinity
+  else cfl /. (float_of_int ((2 * poly_order) + 1) *. !denom)

@@ -1,0 +1,32 @@
+(** Strong-stability-preserving Runge-Kutta steppers (Shu 2002) over lists
+    of coefficient fields — SSP-RK3 is the paper's time integrator. *)
+
+module Field = Dg_grid.Field
+
+type scheme = Euler | Ssp_rk2 | Ssp_rk3
+
+val scheme_name : scheme -> string
+
+val stages : scheme -> int
+(** RHS evaluations per step. *)
+
+type t
+
+val create : scheme:scheme -> like:Field.t list -> t
+(** Allocate stage workspace shaped like the state. *)
+
+val step :
+  t ->
+  rhs:(time:float -> Field.t list -> Field.t list -> unit) ->
+  time:float ->
+  dt:float ->
+  Field.t list ->
+  unit
+(** Advance the state in place by [dt]; [rhs ~time st out] must fill [out]
+    with d(state)/dt without modifying [st] (ghost synchronization is the
+    rhs's responsibility). *)
+
+val cfl_dt :
+  cfl:float -> poly_order:int -> dx:float array -> speeds:float array -> float
+(** Stable DG step: per-direction Courant numbers add, so
+    [dt <= cfl / ((2p+1) * sum_d speed_d / dx_d)]. *)

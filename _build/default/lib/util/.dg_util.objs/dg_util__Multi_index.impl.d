@@ -1,0 +1,1 @@
+lib/util/multi_index.ml: Array Fmt Fun List Stdlib

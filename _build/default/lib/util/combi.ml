@@ -1,0 +1,25 @@
+(* Small combinatorics helpers used by basis dimension formulae. *)
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+(* Binomial coefficient C(n, k) computed multiplicatively to avoid
+   intermediate overflow for the small arguments we use. *)
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+let pow_int base e =
+  assert (e >= 0);
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e asr 1)
+    else go acc (b * b) (e asr 1)
+  in
+  go 1 base e

@@ -1,0 +1,5 @@
+(** Small combinatorics helpers for basis dimension formulae. *)
+
+val factorial : int -> int
+val binomial : int -> int -> int
+val pow_int : int -> int -> int

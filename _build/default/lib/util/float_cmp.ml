@@ -1,0 +1,19 @@
+(* Floating-point comparisons with mixed absolute/relative tolerance. *)
+
+let close ?(rtol = 1e-12) ?(atol = 1e-14) a b =
+  let d = Float.abs (a -. b) in
+  d <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let array_close ?rtol ?atol a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> close ?rtol ?atol x y) a b
+
+(* Max-norm distance between two same-length arrays. *)
+let max_abs_diff a b =
+  assert (Array.length a = Array.length b);
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+  !m
+
+let max_abs a =
+  Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 a

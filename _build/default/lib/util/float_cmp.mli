@@ -1,0 +1,6 @@
+(** Floating-point comparisons with mixed absolute/relative tolerance. *)
+
+val close : ?rtol:float -> ?atol:float -> float -> float -> bool
+val array_close : ?rtol:float -> ?atol:float -> float array -> float array -> bool
+val max_abs_diff : float array -> float array -> float
+val max_abs : float array -> float

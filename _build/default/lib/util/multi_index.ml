@@ -1,0 +1,54 @@
+(* Multi-indices: arrays of non-negative integers indexing tensor-product
+   structures (polynomial degrees per dimension, cell coordinates, ...). *)
+
+type t = int array
+
+let dim (m : t) = Array.length m
+
+let zero d : t = Array.make d 0
+
+let of_array (a : int array) : t =
+  assert (Array.for_all (fun x -> x >= 0) a);
+  Array.copy a
+
+let to_array (m : t) = Array.copy m
+
+let get (m : t) i = m.(i)
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+(* Total degree: sum of all components. *)
+let total_degree (m : t) = Array.fold_left ( + ) 0 m
+
+(* Max degree over components. *)
+let max_degree (m : t) = Array.fold_left max 0 m
+
+(* Superlinear degree (Arnold & Awanou): sum of the components that are >= 2.
+   This is the degree that defines the Serendipity space. *)
+let superlinear_degree (m : t) =
+  Array.fold_left (fun acc n -> if n >= 2 then acc + n else acc) 0 m
+
+(* All multi-indices of dimension [d] with each component <= [pmax],
+   enumerated in lexicographic order with the *last* index fastest.  The
+   enumeration order is part of the public contract: basis layouts rely on
+   it being deterministic. *)
+let enumerate_box ~dim:d ~pmax : t list =
+  let rec go i =
+    if i = d then [ [||] ]
+    else
+      let rest = go (i + 1) in
+      List.concat_map
+        (fun n -> List.map (fun r -> Array.append [| n |] r) rest)
+        (List.init (pmax + 1) Fun.id)
+  in
+  go 0
+
+(* Enumerate, then keep those satisfying [keep]. *)
+let enumerate ~dim ~pmax ~keep = List.filter keep (enumerate_box ~dim ~pmax)
+
+let pp ppf (m : t) =
+  Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ",") int) m
+
+let to_string m = Fmt.str "%a" pp m

@@ -1,0 +1,27 @@
+(** Multi-indices: arrays of non-negative integers indexing tensor-product
+    structures (per-dimension polynomial degrees, cell coordinates). *)
+
+type t = int array
+
+val dim : t -> int
+val zero : int -> t
+val of_array : int array -> t
+val to_array : t -> int array
+val get : t -> int -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val total_degree : t -> int
+val max_degree : t -> int
+
+val superlinear_degree : t -> int
+(** Sum of the components that are >= 2 (Arnold & Awanou): the degree that
+    defines the Serendipity space. *)
+
+val enumerate_box : dim:int -> pmax:int -> t list
+(** All multi-indices with each component <= pmax, deterministic order
+    (last index fastest) — basis layouts rely on this. *)
+
+val enumerate : dim:int -> pmax:int -> keep:(t -> bool) -> t list
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,38 @@
+(* Tiny statistics and timing helpers for the benchmark harness. *)
+
+let mean a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let minimum a = Array.fold_left Float.min infinity a
+
+(* Ordinary least squares fit y = a + b x; returns (a, b). *)
+let linear_fit xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n >= 2);
+  let fn = float_of_int n in
+  let sx = Array.fold_left ( +. ) 0.0 xs in
+  let sy = Array.fold_left ( +. ) 0.0 ys in
+  let sxx = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+  let sxy = ref 0.0 in
+  Array.iteri (fun i x -> sxy := !sxy +. (x *. ys.(i))) xs;
+  let b = ((fn *. !sxy) -. (sx *. sy)) /. ((fn *. sxx) -. (sx *. sx)) in
+  let a = (sy -. (b *. sx)) /. fn in
+  (a, b)
+
+(* Fit y = c x^alpha via log-log least squares; returns (c, alpha). *)
+let power_fit xs ys =
+  let lx = Array.map log xs and ly = Array.map log ys in
+  let a, b = linear_fit lx ly in
+  (exp a, b)
+
+(* Median wall-clock time of [repeats] runs of [f], in seconds. *)
+let time_it ?(repeats = 3) f =
+  let samples =
+    Array.init repeats (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0)
+  in
+  Array.sort compare samples;
+  samples.(repeats / 2)

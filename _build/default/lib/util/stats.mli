@@ -1,0 +1,13 @@
+(** Tiny statistics and timing helpers for the benchmark harness. *)
+
+val mean : float array -> float
+val minimum : float array -> float
+
+val linear_fit : float array -> float array -> float * float
+(** Least squares y = a + b x; returns (a, b). *)
+
+val power_fit : float array -> float array -> float * float
+(** Log-log fit y = c x^alpha; returns (c, alpha). *)
+
+val time_it : ?repeats:int -> (unit -> unit) -> float
+(** Median wall-clock seconds over [repeats] runs. *)

@@ -1,0 +1,1 @@
+lib/vlasov/solver.ml: Array Dg_grid Dg_kernels Float

@@ -1,0 +1,1 @@
+lib/vlasov/solver.mli: Dg_grid Dg_kernels

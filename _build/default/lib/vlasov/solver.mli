@@ -1,0 +1,38 @@
+(** The modal, alias-free, matrix-free, quadrature-free Vlasov solver —
+    the paper's primary contribution.
+
+    Computes the DG right-hand side df/dt for one plasma species:
+    streaming volume+surface terms in configuration directions and
+    acceleration (q/m)(E + v x B) terms in velocity directions, as
+    sequences of sparse exact tensor applications.  Velocity-space
+    boundaries are zero-flux (conserving particle number exactly);
+    configuration-space ghosts must be synchronized by the caller. *)
+
+module Layout = Dg_kernels.Layout
+module Field = Dg_grid.Field
+
+(** Numerical flux: {!Central} conserves energy exactly (semi-discrete);
+    {!Upwind} adds a local Lax-Friedrichs penalty. *)
+type flux_kind = Central | Upwind
+
+type t
+
+val create : ?flux:flux_kind -> qm:float -> Layout.t -> t
+(** [create ~qm lay] precomputes all coupling tensors for charge-to-mass
+    ratio [qm]; [flux] defaults to {!Upwind}. *)
+
+val layout : t -> Layout.t
+
+val qm : t -> float
+(** The charge-to-mass ratio baked into the acceleration kernels. *)
+
+val num_basis : t -> int
+val flux_kind : t -> flux_kind
+
+val rhs : t -> f:Field.t -> em:Field.t option -> out:Field.t -> unit
+(** Full DG right-hand side into [out].  [em] holds the EM coefficients
+    on the configuration grid (8 blocks: Ex..Bz, phi, psi); [None] solves
+    pure streaming (velocity directions skipped). *)
+
+val max_speeds : t -> em:Field.t option -> float array
+(** Per-direction maximum characteristic speeds for the CFL condition. *)

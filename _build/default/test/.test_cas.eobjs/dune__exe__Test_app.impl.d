@@ -1,0 +1,1 @@
+test/test_app.ml: Alcotest Array Dg_app Dg_grid Dg_vlasov Float

@@ -1,0 +1,1 @@
+test/test_basis.ml: Alcotest Array Dg_basis Dg_cas Dg_util List Modal Nodal_basis Printf QCheck QCheck_alcotest Random

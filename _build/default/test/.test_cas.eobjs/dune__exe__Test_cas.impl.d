@@ -1,0 +1,1 @@
+test/test_cas.ml: Alcotest Array Dg_cas Dg_util Fmt Legendre List Mpoly Poly1 Printf QCheck QCheck_alcotest Quadrature Rat

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Dg_basis Dg_codegen Dg_genkernels Dg_grid Dg_kernels Dg_util Random String

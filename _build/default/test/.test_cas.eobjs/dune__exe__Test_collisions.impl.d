@@ -1,0 +1,1 @@
+test/test_collisions.ml: Alcotest Array Dg_app Dg_basis Dg_collisions Dg_grid Dg_kernels Dg_moments Dg_time Dg_util Float List Printf Random

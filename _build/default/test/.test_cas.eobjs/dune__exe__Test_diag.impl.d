@@ -1,0 +1,1 @@
+test/test_diag.ml: Alcotest Array Dg_app Dg_basis Dg_diag Dg_grid Dg_kernels Dg_util Filename Float Sys

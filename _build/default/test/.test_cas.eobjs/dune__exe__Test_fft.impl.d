@@ -1,0 +1,1 @@
+test/test_fft.ml: Alcotest Array Dg_fft Dg_util List QCheck QCheck_alcotest Random

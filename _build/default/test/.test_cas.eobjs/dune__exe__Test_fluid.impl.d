@@ -1,0 +1,1 @@
+test/test_fluid.ml: Alcotest Array Dg_fluid Dg_grid Dg_util Float

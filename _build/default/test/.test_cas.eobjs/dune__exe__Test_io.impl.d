@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Dg_basis Dg_grid Dg_io Dg_util Filename List Random String Sys

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Dg_basis Dg_cas Dg_grid Dg_kernels Dg_util Float Flux Layout List Printf Random Sparse Tensors

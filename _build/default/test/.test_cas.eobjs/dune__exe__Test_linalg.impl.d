@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Dg_linalg Dg_util QCheck QCheck_alcotest Random

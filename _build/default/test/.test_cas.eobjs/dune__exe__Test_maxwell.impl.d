@@ -1,0 +1,1 @@
+test/test_maxwell.ml: Alcotest Array Dg_basis Dg_cas Dg_grid Dg_linalg Dg_lindg Dg_maxwell Dg_time Dg_util Float List Random

@@ -1,0 +1,1 @@
+test/test_moments.ml: Alcotest Array Dg_app Dg_basis Dg_grid Dg_kernels Dg_moments Dg_util Float List Printf

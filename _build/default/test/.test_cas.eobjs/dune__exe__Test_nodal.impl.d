@@ -1,0 +1,1 @@
+test/test_nodal.ml: Alcotest Array Dg_basis Dg_grid Dg_kernels Dg_linalg Dg_moments Dg_nodal Dg_util Dg_vlasov Float Random

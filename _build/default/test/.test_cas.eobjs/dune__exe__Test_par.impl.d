@@ -1,0 +1,1 @@
+test/test_par.ml: Alcotest Array Atomic Dg_basis Dg_grid Dg_kernels Dg_par Dg_util Dg_vlasov List Random String

@@ -1,0 +1,1 @@
+test/test_poisson.ml: Alcotest Array Dg_poisson Dg_util Float List

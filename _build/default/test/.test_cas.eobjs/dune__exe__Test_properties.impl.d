@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Dg_basis Dg_cas Dg_collisions Dg_grid Dg_io Dg_kernels Dg_moments Dg_util Dg_vlasov Filename Float List Printf QCheck QCheck_alcotest Random Sys

@@ -1,0 +1,1 @@
+test/test_time.ml: Alcotest Dg_grid Dg_time Float List

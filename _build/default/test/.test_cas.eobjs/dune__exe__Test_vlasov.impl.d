@@ -1,0 +1,1 @@
+test/test_vlasov.ml: Alcotest Array Dg_app Dg_basis Dg_cas Dg_grid Dg_kernels Dg_moments Dg_time Dg_util Dg_vlasov Float Fmt List Printf Random

@@ -1,0 +1,153 @@
+(* Integration tests of the App layer: full Vlasov-Maxwell / Vlasov-Ampere
+   cycles with conservation checks — the end-to-end properties the paper
+   proves for the semi-discrete scheme (mass exactly; total particle+field
+   energy with central fluxes, up to the small RK3 temporal error). *)
+
+module App = Dg_app.Vm_app
+module Field = Dg_grid.Field
+
+let maxwellian1 ~vt v = exp (-.(v *. v) /. (2.0 *. vt *. vt)) /. sqrt (2.0 *. Float.pi *. vt *. vt)
+
+let base_spec ~field_model ~flux ~collisions =
+  let k = 0.5 in
+  let l = 2.0 *. Float.pi /. k in
+  let electron =
+    App.species ~name:"elc" ~charge:(-1.0) ~mass:1.0 ~collisions
+      ~init_f:(fun ~pos ~vel ->
+        (1.0 +. (0.05 *. cos (k *. pos.(0)))) *. maxwellian1 ~vt:1.0 vel.(0))
+      ()
+  in
+  {
+    (App.default_spec ~cdim:1 ~vdim:1 ~cells:[| 8; 16 |] ~lower:[| 0.0; -6.0 |]
+       ~upper:[| l; 6.0 |] ~species:[ electron ])
+    with
+    App.field_model;
+    poly_order = 2;
+    vlasov_flux = flux;
+    init_em =
+      Some
+        (fun x ->
+          let em = Array.make 8 0.0 in
+          em.(0) <- -.(0.05 /. 0.5) *. sin (0.5 *. x.(0));
+          em);
+  }
+
+let run_and_measure spec ~steps =
+  let app = App.create spec in
+  let m0 = App.total_mass app 0 in
+  let e0 = App.total_energy app in
+  for _ = 1 to steps do
+    ignore (App.step app)
+  done;
+  let m1 = App.total_mass app 0 in
+  let e1 = App.total_energy app in
+  (app, Float.abs ((m1 -. m0) /. m0), Float.abs ((e1 -. e0) /. e0))
+
+let test_vm_conservation_central () =
+  let spec =
+    base_spec ~field_model:App.Full_maxwell ~flux:Dg_vlasov.Solver.Central
+      ~collisions:App.No_collisions
+  in
+  let _, dm, de = run_and_measure spec ~steps:50 in
+  if dm > 1e-12 then Alcotest.failf "mass drift %.3e" dm;
+  if de > 1e-7 then Alcotest.failf "energy drift %.3e (central flux)" de
+
+let test_vm_upwind_mass () =
+  let spec =
+    base_spec ~field_model:App.Full_maxwell ~flux:Dg_vlasov.Solver.Upwind
+      ~collisions:App.No_collisions
+  in
+  let _, dm, de = run_and_measure spec ~steps:50 in
+  if dm > 1e-12 then Alcotest.failf "mass drift %.3e" dm;
+  (* upwind adds dissipation but should stay small on this smooth problem *)
+  if de > 1e-3 then Alcotest.failf "energy drift %.3e too big" de
+
+let test_ampere_conservation () =
+  let spec =
+    base_spec ~field_model:App.Ampere_only ~flux:Dg_vlasov.Solver.Central
+      ~collisions:App.No_collisions
+  in
+  let _, dm, de = run_and_measure spec ~steps:50 in
+  if dm > 1e-12 then Alcotest.failf "mass drift %.3e" dm;
+  if de > 1e-7 then Alcotest.failf "energy drift %.3e" de
+
+let test_collisional_app () =
+  let spec =
+    base_spec ~field_model:App.Ampere_only ~flux:Dg_vlasov.Solver.Upwind
+      ~collisions:(App.Lbo_collisions 0.2)
+  in
+  let app, dm, _ = run_and_measure spec ~steps:10 in
+  if dm > 1e-11 then Alcotest.failf "mass drift with LBO: %.3e" dm;
+  Alcotest.(check bool) "stepped" true (App.nsteps app = 10)
+
+let test_determinism () =
+  let spec =
+    base_spec ~field_model:App.Full_maxwell ~flux:Dg_vlasov.Solver.Upwind
+      ~collisions:App.No_collisions
+  in
+  let run () =
+    let app = App.create spec in
+    for _ = 1 to 5 do
+      ignore (App.step app)
+    done;
+    Array.copy (Field.data (App.distribution app 0))
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bitwise deterministic" true (a = b)
+
+let test_two_species () =
+  (* electron-proton plasma: both species evolve; total charge-weighted
+     current enters Ampere's law; mass of each conserved *)
+  let k = 0.5 in
+  let l = 2.0 *. Float.pi /. k in
+  let mk name charge mass vt =
+    App.species ~name ~charge ~mass
+      ~init_f:(fun ~pos:_ ~vel -> maxwellian1 ~vt vel.(0))
+      ()
+  in
+  let spec =
+    {
+      (App.default_spec ~cdim:1 ~vdim:1 ~cells:[| 4; 12 |]
+         ~lower:[| 0.0; -6.0 |] ~upper:[| l; 6.0 |]
+         ~species:[ mk "elc" (-1.0) 1.0 1.0; mk "ion" 1.0 25.0 0.2 ])
+      with
+      App.field_model = App.Full_maxwell;
+      poly_order = 1;
+    }
+  in
+  let app = App.create spec in
+  let m_e = App.total_mass app 0 and m_i = App.total_mass app 1 in
+  for _ = 1 to 20 do
+    ignore (App.step app)
+  done;
+  let dm_e = Float.abs ((App.total_mass app 0 -. m_e) /. m_e) in
+  let dm_i = Float.abs ((App.total_mass app 1 -. m_i) /. m_i) in
+  if dm_e > 1e-12 || dm_i > 1e-12 then
+    Alcotest.failf "two-species mass drift: %.3e %.3e" dm_e dm_i
+
+let test_suggest_dt_positive () =
+  let spec =
+    base_spec ~field_model:App.Full_maxwell ~flux:Dg_vlasov.Solver.Upwind
+      ~collisions:App.No_collisions
+  in
+  let app = App.create spec in
+  let dt = App.suggest_dt app in
+  Alcotest.(check bool) "dt finite positive" true (dt > 0.0 && Float.is_finite dt)
+
+let () =
+  Alcotest.run "dg_app"
+    [
+      ( "conservation",
+        [
+          Alcotest.test_case "VM central: mass+energy" `Quick test_vm_conservation_central;
+          Alcotest.test_case "VM upwind: mass" `Quick test_vm_upwind_mass;
+          Alcotest.test_case "Ampere central" `Quick test_ampere_conservation;
+          Alcotest.test_case "LBO in the loop" `Quick test_collisional_app;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "two species" `Quick test_two_species;
+          Alcotest.test_case "dt suggestion" `Quick test_suggest_dt_positive;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+(* Tests for the modal basis families and the nodal baseline basis. *)
+
+open Dg_basis
+module Mpoly = Dg_cas.Mpoly
+
+let check_close ?(tol = 1e-11) msg a b =
+  if not (Dg_util.Float_cmp.close ~rtol:tol ~atol:tol a b) then
+    Alcotest.failf "%s: %.17g <> %.17g" msg a b
+
+(* Dimension counts from the paper and from the Arnold–Awanou formula. *)
+let test_counts () =
+  let count family dim p =
+    Modal.num_basis (Modal.make ~family ~dim ~poly_order:p)
+  in
+  (* Paper checkpoints: 2X3V p=2 Serendipity has 112 DOF; 6D p=1 has 64;
+     1X3V p=4 Serendipity has 136 (the nodal scaling configuration). *)
+  Alcotest.(check int) "ser d=5 p=2" 112 (count Modal.Serendipity 5 2);
+  Alcotest.(check int) "ser d=6 p=1" 64 (count Modal.Serendipity 6 1);
+  Alcotest.(check int) "ser d=4 p=4" 136 (count Modal.Serendipity 4 4);
+  Alcotest.(check int) "tensor d=3 p=2" 27 (count Modal.Tensor 3 2);
+  Alcotest.(check int) "max d=3 p=2" 10 (count Modal.Maximal_order 3 2);
+  (* enumeration agrees with closed forms over a sweep *)
+  List.iter
+    (fun family ->
+      for dim = 1 to 5 do
+        for p = 0 to 3 do
+          Alcotest.(check int)
+            (Printf.sprintf "%s d=%d p=%d" (Modal.family_name family) dim p)
+            (Modal.count_closed_form ~family ~dim ~poly_order:p)
+            (count family dim p)
+        done
+      done)
+    [ Modal.Tensor; Modal.Serendipity; Modal.Maximal_order ]
+
+(* Orthonormality of every family: int w_i w_j over the reference cell is the
+   identity, verified with symbolic (exact) integration of the products. *)
+let test_orthonormality () =
+  List.iter
+    (fun (family, dim, p) ->
+      let b = Modal.make ~family ~dim ~poly_order:p in
+      let np = Modal.num_basis b in
+      let polys = Array.init np (Modal.to_mpoly b) in
+      for i = 0 to np - 1 do
+        for j = i to np - 1 do
+          let v = Mpoly.integrate_ref (Mpoly.mul polys.(i) polys.(j)) in
+          check_close
+            (Printf.sprintf "<w%d,w%d>" i j)
+            (if i = j then 1.0 else 0.0)
+            v
+        done
+      done)
+    [
+      (Modal.Tensor, 2, 2);
+      (Modal.Serendipity, 3, 2);
+      (Modal.Maximal_order, 3, 3);
+      (Modal.Serendipity, 4, 1);
+    ]
+
+(* eval / eval_all / to_mpoly are consistent. *)
+let test_eval_consistency () =
+  let b = Modal.make ~family:Modal.Serendipity ~dim:3 ~poly_order:2 in
+  let np = Modal.num_basis b in
+  let rng = Random.State.make [| 42 |] in
+  let w = Array.make np 0.0 in
+  for _ = 1 to 20 do
+    let xi = Array.init 3 (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+    Modal.eval_all b xi w;
+    for k = 0 to np - 1 do
+      check_close "eval vs eval_all" (Modal.eval b k xi) w.(k);
+      check_close "eval vs mpoly" (Mpoly.eval (Modal.to_mpoly b k) xi) w.(k)
+    done
+  done
+
+(* Projection of a polynomial already in the space is exact; the constant
+   mode carries the cell average. *)
+let test_projection () =
+  let b = Modal.make ~family:Modal.Tensor ~dim:2 ~poly_order:2 in
+  let f pt = 1.0 +. (2.0 *. pt.(0)) +. (0.5 *. pt.(0) *. pt.(1) *. pt.(1)) in
+  let coeffs = Modal.project b f in
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 10 do
+    let xi = Array.init 2 (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+    check_close "projection reproduces f" (f xi) (Modal.eval_expansion b coeffs xi)
+  done;
+  (* average of f over [-1,1]^2 = 1 (odd terms vanish, xy^2 term is odd in x) *)
+  check_close "cell average" 1.0 (Modal.cell_average b coeffs)
+
+let qcheck_superlinear =
+  (* Serendipity is sandwiched: maximal-order <= serendipity <= tensor. *)
+  QCheck.Test.make ~name:"family inclusion by count" ~count:50
+    (QCheck.pair (QCheck.int_range 1 5) (QCheck.int_range 0 3))
+    (fun (dim, p) ->
+      let c f = Modal.count_closed_form ~family:f ~dim ~poly_order:p in
+      c Modal.Maximal_order <= c Modal.Serendipity
+      && c Modal.Serendipity <= c Modal.Tensor)
+
+(* --- nodal basis --------------------------------------------------------- *)
+
+let test_nodal_cardinal () =
+  for p = 1 to 4 do
+    let b = Nodal_basis.make ~dim:2 ~poly_order:p in
+    let nn = Nodal_basis.num_nodes b in
+    for k = 0 to nn - 1 do
+      for j = 0 to nn - 1 do
+        check_close
+          (Printf.sprintf "l_%d(x_%d) p=%d" k j p)
+          (if k = j then 1.0 else 0.0)
+          (Nodal_basis.eval b k b.Nodal_basis.node_coords.(j))
+      done
+    done
+  done
+
+let test_nodal_partition_of_unity () =
+  let b = Nodal_basis.make ~dim:3 ~poly_order:2 in
+  let rng = Random.State.make [| 3 |] in
+  for _ = 1 to 10 do
+    let xi = Array.init 3 (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+    let s = ref 0.0 in
+    for k = 0 to Nodal_basis.num_nodes b - 1 do
+      s := !s +. Nodal_basis.eval b k xi
+    done;
+    check_close "sum of cardinals = 1" 1.0 !s
+  done
+
+let test_alias_free_quad_points () =
+  Alcotest.(check int) "p=1" 2 (Nodal_basis.alias_free_quad_points ~poly_order:1);
+  Alcotest.(check int) "p=2" 4 (Nodal_basis.alias_free_quad_points ~poly_order:2);
+  Alcotest.(check int) "p=3" 5 (Nodal_basis.alias_free_quad_points ~poly_order:3)
+
+let () =
+  Alcotest.run "dg_basis"
+    [
+      ( "modal",
+        [
+          Alcotest.test_case "dimension counts" `Quick test_counts;
+          Alcotest.test_case "orthonormality" `Quick test_orthonormality;
+          Alcotest.test_case "eval consistency" `Quick test_eval_consistency;
+          Alcotest.test_case "projection" `Quick test_projection;
+          QCheck_alcotest.to_alcotest qcheck_superlinear;
+        ] );
+      ( "nodal",
+        [
+          Alcotest.test_case "cardinal property" `Quick test_nodal_cardinal;
+          Alcotest.test_case "partition of unity" `Quick test_nodal_partition_of_unity;
+          Alcotest.test_case "alias-free quad points" `Quick test_alias_free_quad_points;
+        ] );
+    ]

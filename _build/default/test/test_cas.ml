@@ -1,0 +1,200 @@
+(* Tests for the computer-algebra substrate: exact rationals, univariate and
+   multivariate polynomials, Legendre tables, quadrature. *)
+
+open Dg_cas
+
+let rat = Alcotest.testable (Fmt.of_to_string Rat.to_string) Rat.equal
+
+let check_close ?(tol = 1e-12) msg a b =
+  if not (Dg_util.Float_cmp.close ~rtol:tol ~atol:tol a b) then
+    Alcotest.failf "%s: %.17g <> %.17g" msg a b
+
+(* --- Rat ---------------------------------------------------------------- *)
+
+let test_rat_basic () =
+  Alcotest.check rat "1/2 + 1/3" (Rat.make 5 6)
+    (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+  Alcotest.check rat "normalize sign" (Rat.make (-1) 2) (Rat.make 1 (-2));
+  Alcotest.check rat "mul cross-reduce" (Rat.make 1 3)
+    (Rat.mul (Rat.make 2 9) (Rat.make 3 2));
+  Alcotest.check rat "div" (Rat.make 3 4) (Rat.div (Rat.make 3 8) (Rat.make 1 2));
+  Alcotest.(check bool) "compare" true (Rat.compare (Rat.make 1 3) (Rat.make 1 2) < 0)
+
+let test_rat_overflow () =
+  let big = Rat.of_int max_int in
+  Alcotest.check_raises "mul overflow" Rat.Overflow (fun () ->
+      ignore (Rat.mul big (Rat.of_int 2)));
+  Alcotest.check_raises "add overflow" Rat.Overflow (fun () ->
+      ignore (Rat.add big big))
+
+let rat_gen =
+  QCheck.Gen.(
+    map2 (fun n d -> Rat.make n (1 + abs d)) (int_range (-1000) 1000)
+      (int_range 0 1000))
+
+let arb_rat = QCheck.make ~print:Rat.to_string rat_gen
+
+let qcheck_rat_ring =
+  [
+    QCheck.Test.make ~name:"rat add commutative" ~count:200
+      (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+        Rat.equal (Rat.add a b) (Rat.add b a));
+    QCheck.Test.make ~name:"rat mul distributes" ~count:200
+      (QCheck.triple arb_rat arb_rat arb_rat) (fun (a, b, c) ->
+        Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)));
+    QCheck.Test.make ~name:"rat inverse" ~count:200 arb_rat (fun a ->
+        QCheck.assume (not (Rat.is_zero a));
+        Rat.equal Rat.one (Rat.mul a (Rat.inv a)));
+  ]
+
+(* --- Poly1 --------------------------------------------------------------- *)
+
+let poly_gen =
+  QCheck.Gen.(
+    map
+      (fun l -> Poly1.of_coeffs (List.map Rat.of_int l))
+      (list_size (int_range 0 6) (int_range (-20) 20)))
+
+let arb_poly = QCheck.make ~print:Poly1.to_string poly_gen
+
+let test_poly1_basic () =
+  let p = Poly1.of_coeffs [ Rat.of_int 1; Rat.of_int 2; Rat.of_int 3 ] in
+  (* p = 1 + 2x + 3x^2 ; p' = 2 + 6x ; int_{-1}^{1} p = 2 + 0 + 2 = 4 *)
+  Alcotest.(check int) "degree" 2 (Poly1.degree p);
+  Alcotest.check rat "eval at 2" (Rat.of_int 17) (Poly1.eval p (Rat.of_int 2));
+  Alcotest.check rat "integral" (Rat.of_int 4) (Poly1.integrate_ref p);
+  Alcotest.check rat "deriv coeff" (Rat.of_int 6) (Poly1.coeff (Poly1.deriv p) 1)
+
+let qcheck_poly1 =
+  [
+    QCheck.Test.make ~name:"poly mul distributes over add" ~count:100
+      (QCheck.triple arb_poly arb_poly arb_poly) (fun (p, q, r) ->
+        Poly1.equal (Poly1.mul p (Poly1.add q r))
+          (Poly1.add (Poly1.mul p q) (Poly1.mul p r)));
+    QCheck.Test.make ~name:"deriv of antideriv is identity" ~count:100 arb_poly
+      (fun p -> Poly1.equal p (Poly1.deriv (Poly1.antideriv p)));
+    QCheck.Test.make ~name:"product rule" ~count:100
+      (QCheck.pair arb_poly arb_poly) (fun (p, q) ->
+        Poly1.equal
+          (Poly1.deriv (Poly1.mul p q))
+          (Poly1.add (Poly1.mul (Poly1.deriv p) q) (Poly1.mul p (Poly1.deriv q))));
+    QCheck.Test.make ~name:"integral additive over interval" ~count:100 arb_poly
+      (fun p ->
+        let a = Rat.of_int (-1) and m = Rat.zero and b = Rat.one in
+        Rat.equal (Poly1.integrate p ~a ~b)
+          (Rat.add (Poly1.integrate p ~a ~b:m) (Poly1.integrate p ~a:m ~b)));
+  ]
+
+(* --- Mpoly --------------------------------------------------------------- *)
+
+let test_mpoly_basic () =
+  let dim = 3 in
+  let x = Mpoly.var ~dim 0 and y = Mpoly.var ~dim 1 in
+  let p = Mpoly.add (Mpoly.mul x y) (Mpoly.const ~dim 2.0) in
+  check_close "eval" 8.0 (Mpoly.eval p [| 2.0; 3.0; 7.0 |]);
+  (* int over [-1,1]^3 of (xy + 2) = 16 *)
+  check_close "integrate" 16.0 (Mpoly.integrate_ref p);
+  let dp = Mpoly.deriv ~i:0 p in
+  check_close "deriv" 3.0 (Mpoly.eval dp [| 5.0; 3.0; 0.0 |]);
+  let sub = Mpoly.subst_var ~i:1 ~v:4.0 p in
+  check_close "subst" 22.0 (Mpoly.eval sub [| 5.0; 99.0; 0.0 |])
+
+let test_mpoly_vs_quadrature () =
+  (* Exact monomial integration must agree with Gauss quadrature of
+     sufficient order. *)
+  let dim = 2 in
+  let x = Mpoly.var ~dim 0 and y = Mpoly.var ~dim 1 in
+  let p =
+    Mpoly.add
+      (Mpoly.mul (Mpoly.mul x x) (Mpoly.mul y y))
+      (Mpoly.scale 3.0 (Mpoly.mul x y))
+  in
+  let by_quad = Quadrature.integrate ~dim ~n:4 (fun pt -> Mpoly.eval p pt) in
+  check_close "mpoly vs quadrature" (Mpoly.integrate_ref p) by_quad
+
+(* --- Legendre ------------------------------------------------------------ *)
+
+let test_legendre_values () =
+  (* P2(x) = (3x^2 - 1)/2 *)
+  let p2 = Legendre.legendre 2 in
+  Alcotest.check rat "P2(1)" Rat.one (Poly1.eval p2 Rat.one);
+  Alcotest.check rat "P2(0)" (Rat.make (-1) 2) (Poly1.eval p2 Rat.zero);
+  (* orthonormality: int P~_m P~_n = delta *)
+  for m = 0 to 6 do
+    for n = 0 to 6 do
+      let v =
+        Rat.to_float
+          (Poly1.integrate_ref (Poly1.mul (Legendre.legendre m) (Legendre.legendre n)))
+        *. Legendre.norm_factor m *. Legendre.norm_factor n
+      in
+      check_close
+        (Printf.sprintf "orthonormal (%d,%d)" m n)
+        (if m = n then 1.0 else 0.0)
+        v
+    done
+  done
+
+let test_legendre_tables () =
+  let tb = Legendre.tables 4 in
+  (* edge values: P~_n(+-1) = +-sqrt((2n+1)/2) *)
+  for n = 0 to 4 do
+    check_close "edge hi" (Legendre.norm_factor n) tb.Legendre.edge_hi.(n);
+    check_close "edge lo"
+      ((if n land 1 = 0 then 1.0 else -1.0) *. Legendre.norm_factor n)
+      tb.Legendre.edge_lo.(n)
+  done;
+  (* tables vs quadrature for a few entries *)
+  let quad f = Quadrature.integrate ~dim:1 ~n:8 (fun pt -> f pt.(0)) in
+  let pn n x = Legendre.eval_normalized n x in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      check_close "xpair vs quad"
+        (quad (fun x -> x *. pn a x *. pn b x))
+        tb.Legendre.xpair.(a).(b);
+      for c = 0 to 3 do
+        check_close "trip vs quad"
+          (quad (fun x -> pn a x *. pn b x *. pn c x))
+          tb.Legendre.trip.(a).(b).(c)
+      done
+    done
+  done
+
+let test_quadrature_exactness () =
+  (* n-point Gauss integrates degree 2n-1 exactly *)
+  for n = 1 to 6 do
+    let deg = (2 * n) - 1 in
+    let exact = if deg land 1 = 1 then 0.0 else 2.0 /. float_of_int (deg + 1) in
+    let approx =
+      Quadrature.integrate ~dim:1 ~n (fun pt -> pt.(0) ** float_of_int deg)
+    in
+    check_close ~tol:1e-11 (Printf.sprintf "gauss %d exact to %d" n deg) exact approx
+  done;
+  (* weights sum to the box volume *)
+  let _, w = Quadrature.tensor ~dim:3 ~n:3 in
+  check_close "weights sum" 8.0 (Array.fold_left ( +. ) 0.0 w)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest (qcheck_rat_ring @ qcheck_poly1) in
+  Alcotest.run "dg_cas"
+    [
+      ( "rat",
+        [
+          Alcotest.test_case "basic" `Quick test_rat_basic;
+          Alcotest.test_case "overflow" `Quick test_rat_overflow;
+        ] );
+      ( "poly1",
+        [ Alcotest.test_case "basic" `Quick test_poly1_basic ] );
+      ( "mpoly",
+        [
+          Alcotest.test_case "basic" `Quick test_mpoly_basic;
+          Alcotest.test_case "vs quadrature" `Quick test_mpoly_vs_quadrature;
+        ] );
+      ( "legendre",
+        [
+          Alcotest.test_case "values+orthonormality" `Quick test_legendre_values;
+          Alcotest.test_case "tables" `Quick test_legendre_tables;
+        ] );
+      ( "quadrature",
+        [ Alcotest.test_case "exactness" `Quick test_quadrature_exactness ] );
+      ("properties", qsuite);
+    ]

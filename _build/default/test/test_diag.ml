@@ -1,0 +1,130 @@
+(* Diagnostics tests: history bookkeeping, growth-rate fitting on synthetic
+   exponentials, mode amplitudes, drift metrics. *)
+
+module Diag = Dg_diag.Diag
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+
+let test_history () =
+  let h = Diag.make_history [| "a"; "b" |] in
+  Diag.record h ~time:0.0 [| 1.0; 10.0 |];
+  Diag.record h ~time:1.0 [| 2.0; 20.0 |];
+  Diag.record h ~time:2.0 [| 3.0; 30.0 |];
+  Alcotest.(check int) "samples" 3 (Diag.num_samples h);
+  Alcotest.(check (array (float 0.0))) "times" [| 0.0; 1.0; 2.0 |] (Diag.times h);
+  Alcotest.(check (array (float 0.0))) "col b" [| 10.0; 20.0; 30.0 |] (Diag.column h "b");
+  Alcotest.check_raises "unknown column" (Invalid_argument "Diag.column: no column z")
+    (fun () -> ignore (Diag.column h "z"))
+
+let test_growth_rate () =
+  let h = Diag.make_history [| "e" |] in
+  let gamma = 0.37 in
+  for i = 0 to 100 do
+    let t = float_of_int i *. 0.1 in
+    Diag.record h ~time:t [| 3.0 *. exp (gamma *. t) |]
+  done;
+  let fit = Diag.growth_rate h ~column:"e" ~t0:1.0 ~t1:9.0 in
+  if not (Dg_util.Float_cmp.close ~rtol:1e-6 ~atol:1e-6 fit gamma) then
+    Alcotest.failf "growth rate %.6f <> %.6f" fit gamma;
+  (* empty window -> nan *)
+  Alcotest.(check bool) "nan on empty" true
+    (Float.is_nan (Diag.growth_rate h ~column:"e" ~t0:100.0 ~t1:200.0))
+
+let test_relative_drift () =
+  let h = Diag.make_history [| "q" |] in
+  Diag.record h ~time:0.0 [| 10.0 |];
+  Diag.record h ~time:1.0 [| 10.1 |];
+  Alcotest.(check (float 1e-12)) "drift" 0.01 (Diag.relative_drift h "q")
+
+let test_mode_amplitude () =
+  let grid = Grid.make ~cells:[| 64 |] ~lower:[| 0.0 |] ~upper:[| 1.0 |] in
+  let f = Field.create grid ~ncomp:2 in
+  (* basis_dim=1: cell average = coeff / sqrt(2); store amplitude A at mode 3 *)
+  let a = 0.25 in
+  Grid.iter_cells grid (fun idx c ->
+      let v = a *. cos (2.0 *. Float.pi *. 3.0 *. float_of_int idx /. 64.0) in
+      Field.set f c 0 (v *. sqrt 2.0));
+  let amp3 = Diag.mode_amplitude_1d f ~comp:0 ~basis_dim:1 ~k:3 in
+  let amp5 = Diag.mode_amplitude_1d f ~comp:0 ~basis_dim:1 ~k:5 in
+  (* the DFT convention puts A/2 in each of the +-k bins *)
+  if not (Dg_util.Float_cmp.close ~rtol:1e-10 (a /. 2.0) amp3) then
+    Alcotest.failf "mode 3 amplitude %.6g <> %.6g" amp3 (a /. 2.0);
+  if amp5 > 1e-12 then Alcotest.failf "mode 5 should vanish: %g" amp5
+
+let test_csv_roundtrip_format () =
+  let h = Diag.make_history [| "x" |] in
+  Diag.record h ~time:0.5 [| 42.0 |];
+  let path = Filename.temp_file "dgdiag" ".csv" in
+  Diag.write_csv h path;
+  let ic = open_in path in
+  let header = input_line ic in
+  let row = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "time,x" header;
+  Alcotest.(check string) "row" "0.5,42" row
+
+(* Field-particle correlation on an analytically-known configuration:
+   f = Maxwellian (independent of x), E = E0 constant, so
+   C_E(v) = -q (v^2/2) f'(v) E0 = q E0 (v^3/2) f(v) / vt^2. *)
+let test_fpc_analytic () =
+  let module Modal = Dg_basis.Modal in
+  let module Layout = Dg_kernels.Layout in
+  let vt = 1.0 and e0 = 0.25 and charge = -1.0 in
+  let grid =
+    Grid.make ~cells:[| 4; 32 |] ~lower:[| 0.0; -6.0 |] ~upper:[| 1.0; 6.0 |]
+  in
+  let lay = Layout.make ~cdim:1 ~vdim:1 ~family:Modal.Serendipity ~poly_order:2 ~grid in
+  let np = Layout.num_basis lay in
+  let f = Field.create grid ~ncomp:np in
+  let fmax v = exp (-.(v *. v) /. (2.0 *. vt *. vt)) /. sqrt (2.0 *. Float.pi) in
+  Dg_app.Vm_app.project_phase lay ~f:(fun ~pos:_ ~vel -> fmax vel.(0)) f;
+  let nc = Layout.num_cbasis lay in
+  let em = Field.create lay.Dg_kernels.Layout.cgrid ~ncomp:(8 * nc) in
+  (* constant E_x = e0: coefficient e0 * sqrt(2) on the constant mode *)
+  Grid.iter_cells lay.Dg_kernels.Layout.cgrid (fun _ c ->
+      Field.set em c 0 (e0 *. sqrt 2.0));
+  let fpc =
+    Dg_diag.Fpc.create ~basis:lay.Dg_kernels.Layout.basis
+      ~cbasis:lay.Dg_kernels.Layout.cbasis ~charge ~x0:0.3 ~vmin:(-5.0)
+      ~vmax:5.0 ~nv:50
+  in
+  Dg_diag.Fpc.sample fpc ~f ~em;
+  Dg_diag.Fpc.sample fpc ~f ~em;
+  let vs = Dg_diag.Fpc.velocity_grid fpc in
+  let c = Dg_diag.Fpc.correlation fpc in
+  Array.iteri
+    (fun i v ->
+      (* the projected-Maxwellian derivative loses relative accuracy deep in
+         the tail; compare where f is meaningfully resolved *)
+      if Float.abs v <= 3.5 then begin
+        let expected =
+          -.charge *. (v *. v /. 2.0) *. (-.v /. (vt *. vt) *. fmax v) *. e0
+        in
+        if not (Dg_util.Float_cmp.close ~rtol:5e-2 ~atol:1e-4 expected c.(i))
+        then Alcotest.failf "C_E(%.2f) = %.5g, expected %.5g" v c.(i) expected
+      end)
+    vs;
+  (* net transfer vanishes by symmetry, up to the (small, tail-dominated)
+     projection asymmetries: compare against the gross transfer *)
+  let gross =
+    Array.fold_left (fun a x -> a +. Float.abs x) 0.0 c
+    *. (vs.(1) -. vs.(0))
+  in
+  if Float.abs (Dg_diag.Fpc.net_transfer fpc) > 5e-3 *. gross then
+    Alcotest.failf "net transfer should vanish by symmetry: %g (gross %g)"
+      (Dg_diag.Fpc.net_transfer fpc) gross
+
+let () =
+  Alcotest.run "dg_diag"
+    [
+      ( "diag",
+        [
+          Alcotest.test_case "history" `Quick test_history;
+          Alcotest.test_case "growth rate fit" `Quick test_growth_rate;
+          Alcotest.test_case "relative drift" `Quick test_relative_drift;
+          Alcotest.test_case "mode amplitude" `Quick test_mode_amplitude;
+          Alcotest.test_case "csv" `Quick test_csv_roundtrip_format;
+          Alcotest.test_case "field-particle correlation" `Quick test_fpc_analytic;
+        ] );
+    ]

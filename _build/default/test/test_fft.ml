@@ -1,0 +1,109 @@
+(* FFT substrate tests: agreement with the naive DFT, inverse identity,
+   Parseval, and the delta/constant transforms. *)
+
+module Fft = Dg_fft.Fft
+
+let check_close ?(tol = 1e-10) msg a b =
+  if not (Dg_util.Float_cmp.close ~rtol:tol ~atol:tol a b) then
+    Alcotest.failf "%s: %.17g <> %.17g" msg a b
+
+let random_signal rng n =
+  ( Array.init n (fun _ -> Random.State.float rng 2.0 -. 1.0),
+    Array.init n (fun _ -> Random.State.float rng 2.0 -. 1.0) )
+
+let test_vs_naive () =
+  let rng = Random.State.make [| 4 |] in
+  List.iter
+    (fun n ->
+      let re, im = random_signal rng n in
+      let re', im' = (Array.copy re, Array.copy im) in
+      Fft.forward re' im';
+      let rn, inn = Fft.dft_naive ~sign:(-1) re im in
+      for k = 0 to n - 1 do
+        check_close "re" rn.(k) re'.(k);
+        check_close "im" inn.(k) im'.(k)
+      done)
+    [ 1; 2; 4; 8; 16; 64 ]
+
+let test_roundtrip () =
+  let rng = Random.State.make [| 8 |] in
+  let n = 128 in
+  let re, im = random_signal rng n in
+  let re', im' = (Array.copy re, Array.copy im) in
+  Fft.forward re' im';
+  Fft.inverse re' im';
+  for k = 0 to n - 1 do
+    check_close "roundtrip re" re.(k) re'.(k);
+    check_close "roundtrip im" im.(k) im'.(k)
+  done
+
+let test_parseval () =
+  let rng = Random.State.make [| 12 |] in
+  let n = 64 in
+  let re, im = random_signal rng n in
+  let t_energy =
+    Array.fold_left ( +. ) 0.0 (Array.mapi (fun i r -> (r *. r) +. (im.(i) *. im.(i))) re)
+  in
+  let re', im' = (Array.copy re, Array.copy im) in
+  Fft.forward re' im';
+  let f_energy =
+    Array.fold_left ( +. ) 0.0
+      (Array.mapi (fun i r -> (r *. r) +. (im'.(i) *. im'.(i))) re')
+  in
+  check_close "parseval" t_energy (f_energy /. float_of_int n)
+
+let test_delta_and_constant () =
+  let n = 16 in
+  (* delta -> all-ones spectrum *)
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  re.(0) <- 1.0;
+  Fft.forward re im;
+  Array.iter (fun v -> check_close "delta spectrum" 1.0 v) re;
+  (* constant -> spike at k=0 *)
+  let re = Array.make n 1.0 and im = Array.make n 0.0 in
+  Fft.forward re im;
+  check_close "dc bin" (float_of_int n) re.(0);
+  for k = 1 to n - 1 do
+    check_close "other bins" 0.0 re.(k)
+  done
+
+let test_non_pow2_rejected () =
+  Alcotest.check_raises "length 6" (Invalid_argument "Fft.transform: length must be 2^k")
+    (fun () -> Fft.forward (Array.make 6 0.0) (Array.make 6 0.0))
+
+let qcheck_linearity =
+  QCheck.Test.make ~name:"fft is linear" ~count:30 (QCheck.int_range 0 1000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 32 in
+      let ar, ai = random_signal rng n and br, bi = random_signal rng n in
+      let sr = Array.init n (fun i -> ar.(i) +. (2.0 *. br.(i))) in
+      let si = Array.init n (fun i -> ai.(i) +. (2.0 *. bi.(i))) in
+      let far, fai = (Array.copy ar, Array.copy ai) in
+      let fbr, fbi = (Array.copy br, Array.copy bi) in
+      Fft.forward far fai;
+      Fft.forward fbr fbi;
+      Fft.forward sr si;
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        if
+          not
+            (Dg_util.Float_cmp.close ~rtol:1e-9 ~atol:1e-9 sr.(k)
+               (far.(k) +. (2.0 *. fbr.(k))))
+        then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "dg_fft"
+    [
+      ( "fft",
+        [
+          Alcotest.test_case "vs naive DFT" `Quick test_vs_naive;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "parseval" `Quick test_parseval;
+          Alcotest.test_case "delta/constant" `Quick test_delta_and_constant;
+          Alcotest.test_case "non-pow2 rejected" `Quick test_non_pow2_rejected;
+          QCheck_alcotest.to_alcotest qcheck_linearity;
+        ] );
+    ]

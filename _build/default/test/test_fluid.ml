@@ -1,0 +1,185 @@
+(* Five-moment multifluid solver tests: exact preservation of uniform
+   states, conservation, the Sod shock tube, advection accuracy, and the
+   two-fluid Langmuir oscillation through the Lorentz source coupling. *)
+
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Euler = Dg_fluid.Euler
+
+let sync2 u bcs = Field.sync_ghosts u bcs
+
+let step_rk2 solver ~u ~bcs ~dt ~source =
+  (* SSP-RK2 with the FV rhs + optional source *)
+  let rhs uu out =
+    sync2 uu bcs;
+    Euler.rhs solver ~u:uu ~out;
+    match source with Some s -> s ~u:uu ~out | None -> ()
+  in
+  let k1 = Field.clone u in
+  let out = Field.clone u in
+  rhs u out;
+  Field.copy_into ~src:u ~dst:k1;
+  Field.axpy ~s:dt ~src:out ~dst:k1;
+  rhs k1 out;
+  (* u = 1/2 u + 1/2 (k1 + dt out) *)
+  Field.axpy ~s:dt ~src:out ~dst:k1;
+  Field.scale u 0.5;
+  Field.axpy ~s:0.5 ~src:k1 ~dst:u
+
+let test_uniform_preserved () =
+  let grid = Grid.make ~cells:[| 16; 8 |] ~lower:[| 0.; 0. |] ~upper:[| 1.; 1. |] in
+  let s = Euler.create grid in
+  let u = Euler.alloc s in
+  Euler.set_primitive s ~u ~init:(fun _ -> (1.3, [| 0.4; -0.2; 0.1 |], 0.7));
+  let bcs = Array.make 2 (Field.Periodic, Field.Periodic) in
+  sync2 u bcs;
+  (* clone after a sync so ghost regions are comparable *)
+  let u0 = Field.clone u in
+  for _ = 1 to 10 do
+    step_rk2 s ~u ~bcs ~dt:0.01 ~source:None
+  done;
+  let d = Dg_util.Float_cmp.max_abs_diff (Field.data u) (Field.data u0) in
+  if d > 1e-13 then Alcotest.failf "uniform state drifted: %.3e" d
+
+let test_conservation () =
+  let grid = Grid.make ~cells:[| 64 |] ~lower:[| 0. |] ~upper:[| 1. |] in
+  let s = Euler.create grid in
+  let u = Euler.alloc s in
+  Euler.set_primitive s ~u ~init:(fun x ->
+      (1.0 +. (0.3 *. sin (2.0 *. Float.pi *. x.(0))), [| 0.2; 0.0; 0.0 |], 1.0));
+  let bcs = [| (Field.Periodic, Field.Periodic) |] in
+  let t0 = Euler.totals s ~u in
+  for _ = 1 to 50 do
+    let dt = Euler.suggest_dt s ~u in
+    step_rk2 s ~u ~bcs ~dt ~source:None
+  done;
+  let t1 = Euler.totals s ~u in
+  Array.iteri
+    (fun k v ->
+      if not (Dg_util.Float_cmp.close ~rtol:1e-12 ~atol:1e-12 v t1.(k)) then
+        Alcotest.failf "component %d not conserved: %.15g -> %.15g" k v t1.(k))
+    t0
+
+(* Sod shock tube: compare the density at representative points against the
+   exact Riemann solution at t = 0.2 (gamma = 1.4). *)
+let test_sod () =
+  let n = 400 in
+  let grid = Grid.make ~cells:[| n |] ~lower:[| 0. |] ~upper:[| 1. |] in
+  let s = Euler.create ~gas_gamma:1.4 grid in
+  let u = Euler.alloc s in
+  Euler.set_primitive s ~u ~init:(fun x ->
+      if x.(0) < 0.5 then (1.0, [| 0.; 0.; 0. |], 1.0)
+      else (0.125, [| 0.; 0.; 0. |], 0.1));
+  let bcs = [| (Field.Copy, Field.Copy) |] in
+  let t = ref 0.0 in
+  while !t < 0.2 do
+    let dt = Float.min (Euler.suggest_dt s ~u) (0.2 -. !t) in
+    step_rk2 s ~u ~bcs ~dt ~source:None;
+    t := !t +. dt
+  done;
+  let rho_at x =
+    let c = [| min (n - 1) (int_of_float (x *. float_of_int n)) |] in
+    Field.get u c Euler.irho
+  in
+  (* exact values (standard Sod solution at t=0.2):
+     rarefaction tail ~0.426 around x~0.49, contact plateau 0.42631->0.26557
+     at x~0.685, shock at x~0.85 *)
+  let check msg x expect tol =
+    let v = rho_at x in
+    if Float.abs (v -. expect) > tol then
+      Alcotest.failf "%s at x=%.2f: rho=%.4f expected %.4f" msg x v expect
+  in
+  check "left state" 0.05 1.0 1e-3;
+  check "fan plateau" 0.58 0.4263 0.02;
+  check "contact plateau" 0.75 0.2656 0.02;
+  check "right state" 0.95 0.125 1e-3;
+  (* shock position: density jumps from 0.2656 to 0.125 near x = 0.85 *)
+  let jump = rho_at 0.83 -. rho_at 0.88 in
+  if jump < 0.1 then Alcotest.failf "shock missing near x=0.85 (jump %.3f)" jump
+
+(* Smooth advection of a density pulse at uniform velocity/pressure is a
+   linear contact wave: second-order convergence. *)
+let advect_error n =
+  let grid = Grid.make ~cells:[| n |] ~lower:[| 0. |] ~upper:[| 1. |] in
+  let s = Euler.create ~gas_gamma:1.4 grid in
+  let u = Euler.alloc s in
+  let prof x = 1.0 +. (0.2 *. sin (2.0 *. Float.pi *. x)) in
+  Euler.set_primitive s ~u ~init:(fun x -> (prof x.(0), [| 1.0; 0.; 0. |], 1.0));
+  let bcs = [| (Field.Periodic, Field.Periodic) |] in
+  let tend = 0.3 in
+  let t = ref 0.0 in
+  while !t < tend do
+    let dt = Float.min (0.3 /. float_of_int n) (tend -. !t) in
+    step_rk2 s ~u ~bcs ~dt ~source:None;
+    t := !t +. dt
+  done;
+  let err = ref 0.0 in
+  Grid.iter_cells grid (fun _ c ->
+      let x = ((float_of_int c.(0) +. 0.5) /. float_of_int n) -. tend in
+      err := !err +. Float.abs (Field.get u c Euler.irho -. prof x));
+  !err /. float_of_int n
+
+let test_advection_convergence () =
+  let e1 = advect_error 64 and e2 = advect_error 128 in
+  let order = log (e1 /. e2) /. log 2.0 in
+  if order < 1.5 then Alcotest.failf "order %.2f too low (%.2e -> %.2e)" order e1 e2
+
+(* Two-fluid (electron/proton) Langmuir oscillation: a small electron
+   velocity perturbation oscillates at omega^2 = ope^2 + opi^2; the energy
+   sloshes between fluid kinetic energy and E_x via the Lorentz source and
+   Ampere's law.  This is the fluid side of the paper's hybrid
+   moment-kinetic coupling. *)
+let test_two_fluid_langmuir () =
+  let n = 32 in
+  let grid = Grid.make ~cells:[| n |] ~lower:[| 0. |] ~upper:[| 2.0 *. Float.pi |] in
+  let elc = Euler.create ~gas_gamma:(5.0 /. 3.0) ~charge:(-1.0) ~mass:1.0 grid in
+  let ion = Euler.create ~gas_gamma:(5.0 /. 3.0) ~charge:1.0 ~mass:25.0 grid in
+  let ue = Euler.alloc elc and ui = Euler.alloc ion in
+  let v0 = 1e-3 in
+  Euler.set_primitive elc ~u:ue ~init:(fun x ->
+      (1.0, [| v0 *. cos x.(0); 0.; 0. |], 1e-6));
+  (* ion mass density 25 (n=1, m=25) *)
+  Euler.set_primitive ion ~u:ui ~init:(fun _ -> (25.0, [| 0.; 0.; 0. |], 1e-6));
+  let ex = Array.make n 0.0 in
+  let bcs = [| (Field.Periodic, Field.Periodic) |] in
+  (* omega^2 = sum_s q^2 n / m = 1 + 1/25 *)
+  let omega = sqrt (1.0 +. (1.0 /. 25.0)) in
+  let dt = 0.02 in
+  let nsteps = int_of_float (Float.ceil (Float.pi /. omega /. dt)) in
+  let dt = Float.pi /. omega /. float_of_int nsteps in
+  (* leapfrog-ish splitting: fluids with frozen E, then Ampere *)
+  let em_of ex c = [| ex.(c.(0)); 0.; 0.; 0.; 0.; 0. |] in
+  for _ = 1 to nsteps do
+    let src solver ~u ~out = Euler.add_lorentz_source solver ~u ~em_at:(em_of ex) ~out in
+    step_rk2 elc ~u:ue ~bcs ~dt ~source:(Some (src elc));
+    step_rk2 ion ~u:ui ~bcs ~dt ~source:(Some (src ion));
+    (* dE/dt = -J *)
+    Grid.iter_cells grid (fun idx c ->
+        let je = (Euler.current_at elc ~u:ue c).(0) in
+        let ji = (Euler.current_at ion ~u:ui c).(0) in
+        ex.(idx) <- ex.(idx) -. (dt *. (je +. ji)))
+  done;
+  (* after half a period the electron velocity perturbation has flipped *)
+  let vat i =
+    let c = [| i |] in
+    Field.get ue c Euler.imx /. Field.get ue c Euler.irho
+  in
+  let v_end = vat 0 in
+  (* x=pi/n/2 ~ 0: initial velocity ~ +v0 there; expect ~ -v0 *)
+  if Float.abs ((v_end /. v0) +. 1.0) > 0.15 then
+    Alcotest.failf "Langmuir half-period flip: v/v0 = %.3f (expected ~ -1)"
+      (v_end /. v0)
+
+let () =
+  Alcotest.run "dg_fluid"
+    [
+      ( "euler",
+        [
+          Alcotest.test_case "uniform preserved" `Quick test_uniform_preserved;
+          Alcotest.test_case "conservation" `Quick test_conservation;
+          Alcotest.test_case "sod shock tube" `Quick test_sod;
+          Alcotest.test_case "advection order" `Quick test_advection_convergence;
+        ] );
+      ( "two-fluid",
+        [ Alcotest.test_case "langmuir oscillation" `Quick test_two_fluid_langmuir ] );
+    ]

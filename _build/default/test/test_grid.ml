@@ -1,0 +1,145 @@
+(* Grid and field-storage tests: index round-trips, geometry, ghost-cell
+   synchronization under each boundary condition, field algebra. *)
+
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+
+let check_close = Alcotest.(check (float 1e-12))
+
+let test_index_roundtrip () =
+  let g = Grid.make ~cells:[| 3; 4; 5 |] ~lower:[| 0.; 0.; 0. |] ~upper:[| 1.; 1.; 1. |] in
+  let c = Array.make 3 0 in
+  for idx = 0 to Grid.num_cells g - 1 do
+    Grid.coords_of_linear g idx c;
+    Alcotest.(check int) "roundtrip" idx (Grid.linear_index g c)
+  done
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"coords->linear->coords" ~count:100
+    (QCheck.triple (QCheck.int_range 1 6) (QCheck.int_range 1 6) (QCheck.int_range 1 6))
+    (fun (a, b, c) ->
+      let g =
+        Grid.make ~cells:[| a; b; c |] ~lower:[| 0.; 0.; 0. |] ~upper:[| 1.; 1.; 1. |]
+      in
+      let ok = ref true in
+      Grid.iter_cells g (fun idx coords ->
+          let out = Array.make 3 0 in
+          Grid.coords_of_linear g (Grid.linear_index g coords) out;
+          if out <> coords || Grid.linear_index g coords <> idx then ok := false);
+      !ok)
+
+let test_geometry () =
+  let g = Grid.make ~cells:[| 4 |] ~lower:[| -2.0 |] ~upper:[| 2.0 |] in
+  check_close "dx" 1.0 (Grid.dx g).(0);
+  let ctr = Array.make 1 0.0 in
+  Grid.cell_center g [| 0 |] ctr;
+  check_close "center 0" (-1.5) ctr.(0);
+  Grid.cell_center g [| 3 |] ctr;
+  check_close "center 3" 1.5 ctr.(0);
+  let phys = Array.make 1 0.0 in
+  Grid.to_physical g [| 1 |] [| -1.0 |] phys;
+  check_close "cell lower edge" (-1.0) phys.(0);
+  Grid.to_physical g [| 1 |] [| 1.0 |] phys;
+  check_close "cell upper edge" 0.0 phys.(0);
+  check_close "volume" 1.0 (Grid.cell_volume g)
+
+let test_prefix_suffix_product () =
+  let g =
+    Grid.make ~cells:[| 2; 3; 4; 5 |] ~lower:[| 0.; 1.; 2.; 3. |]
+      ~upper:[| 1.; 2.; 3.; 4. |]
+  in
+  let c = Grid.prefix g 2 and v = Grid.suffix g 2 in
+  Alcotest.(check int) "prefix cells" 6 (Grid.num_cells c);
+  Alcotest.(check int) "suffix cells" 20 (Grid.num_cells v);
+  let p = Grid.product c v in
+  Alcotest.(check int) "product cells" (Grid.num_cells g) (Grid.num_cells p);
+  check_close "product lower" 2.0 (Grid.lower p).(2)
+
+let test_ghost_periodic () =
+  let g = Grid.make ~cells:[| 4 |] ~lower:[| 0. |] ~upper:[| 1. |] in
+  let f = Field.create g ~ncomp:2 in
+  Grid.iter_cells g (fun idx c ->
+      Field.set f c 0 (float_of_int idx);
+      Field.set f c 1 (10.0 +. float_of_int idx));
+  Field.sync_ghosts f [| (Field.Periodic, Field.Periodic) |];
+  check_close "lower ghost" 3.0 (Field.get f [| -1 |] 0);
+  check_close "upper ghost" 0.0 (Field.get f [| 4 |] 0);
+  check_close "upper ghost comp1" 10.0 (Field.get f [| 4 |] 1)
+
+let test_ghost_copy_zero () =
+  let g = Grid.make ~cells:[| 3 |] ~lower:[| 0. |] ~upper:[| 1. |] in
+  let f = Field.create g ~ncomp:1 in
+  Grid.iter_cells g (fun idx c -> Field.set f c 0 (float_of_int (idx + 1)));
+  Field.sync_ghosts f [| (Field.Copy, Field.Zero) |];
+  check_close "copy lower" 1.0 (Field.get f [| -1 |] 0);
+  check_close "zero upper" 0.0 (Field.get f [| 3 |] 0)
+
+(* Corner ghosts must be consistent for multi-dimensional periodic sync
+   (dimension-by-dimension passes must fill corners too). *)
+let test_ghost_corners_2d () =
+  let g = Grid.make ~cells:[| 3; 3 |] ~lower:[| 0.; 0. |] ~upper:[| 1.; 1. |] in
+  let f = Field.create g ~ncomp:1 in
+  Grid.iter_cells g (fun _ c ->
+      Field.set f c 0 (float_of_int ((10 * c.(0)) + c.(1))));
+  Field.sync_ghosts f (Array.make 2 (Field.Periodic, Field.Periodic));
+  (* ghost at (-1,-1) must equal interior (2,2) *)
+  check_close "corner ghost" 22.0 (Field.get f [| -1; -1 |] 0);
+  check_close "corner ghost hi" 0.0 (Field.get f [| 3; 3 |] 0);
+  check_close "edge ghost" 2.0 (Field.get f [| -1; 2 |] 0 -. 20.0)
+
+let test_field_algebra () =
+  let g = Grid.make ~cells:[| 2; 2 |] ~lower:[| 0.; 0. |] ~upper:[| 1.; 1. |] in
+  let a = Field.create g ~ncomp:3 and b = Field.create g ~ncomp:3 in
+  Field.fill a 2.0;
+  Field.fill b 1.0;
+  Field.axpy ~s:0.5 ~src:a ~dst:b;
+  check_close "axpy" 2.0 (Field.get b [| 0; 0 |] 1);
+  Field.scale b 2.0;
+  check_close "scale" 4.0 (Field.get b [| 1; 1 |] 2);
+  let c = Field.clone b in
+  Field.fill b 0.0;
+  check_close "clone is independent" 4.0 (Field.get c [| 0; 1 |] 0)
+
+let test_l2_norm () =
+  let g = Grid.make ~cells:[| 2 |] ~lower:[| 0. |] ~upper:[| 2. |] in
+  let f = Field.create g ~ncomp:1 in
+  Field.fill f 0.0;
+  Grid.iter_cells g (fun _ c -> Field.set f c 0 3.0);
+  (* f = 3 P~_0 = 3/sqrt(2) pointwise; physical L2 norm over [0,2] is
+     sqrt(int (9/2) dx) = 3 *)
+  check_close "l2" 3.0 (Field.l2_norm f)
+
+let test_block_ops () =
+  let g = Grid.make ~cells:[| 2 |] ~lower:[| 0. |] ~upper:[| 1. |] in
+  let f = Field.create g ~ncomp:3 in
+  Field.write_block f [| 1 |] [| 1.0; 2.0; 3.0 |];
+  let out = Array.make 3 0.0 in
+  Field.read_block f [| 1 |] out;
+  Alcotest.(check (array (float 0.0))) "rw block" [| 1.0; 2.0; 3.0 |] out;
+  Field.accumulate_block f [| 1 |] ~scale:2.0 [| 1.0; 1.0; 1.0 |];
+  Field.read_block f [| 1 |] out;
+  Alcotest.(check (array (float 0.0))) "accumulate" [| 3.0; 4.0; 5.0 |] out
+
+let () =
+  Alcotest.run "dg_grid"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "index roundtrip" `Quick test_index_roundtrip;
+          Alcotest.test_case "geometry" `Quick test_geometry;
+          Alcotest.test_case "prefix/suffix/product" `Quick test_prefix_suffix_product;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip;
+        ] );
+      ( "ghosts",
+        [
+          Alcotest.test_case "periodic" `Quick test_ghost_periodic;
+          Alcotest.test_case "copy/zero" `Quick test_ghost_copy_zero;
+          Alcotest.test_case "2D corners" `Quick test_ghost_corners_2d;
+        ] );
+      ( "fields",
+        [
+          Alcotest.test_case "algebra" `Quick test_field_algebra;
+          Alcotest.test_case "l2 norm" `Quick test_l2_norm;
+          Alcotest.test_case "block ops" `Quick test_block_ops;
+        ] );
+    ]

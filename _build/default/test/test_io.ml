@@ -1,0 +1,102 @@
+(* I/O tests: checkpoint round-trip, slice evaluation, CSV output. *)
+
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Modal = Dg_basis.Modal
+module Snapshot = Dg_io.Snapshot
+module Slices = Dg_io.Slices
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_snapshot_roundtrip () =
+  let grid = Grid.make ~cells:[| 3; 4 |] ~lower:[| 0.; -2. |] ~upper:[| 1.; 2. |] in
+  let f = Field.create grid ~ncomp:5 in
+  let rng = Random.State.make [| 41 |] in
+  Grid.iter_cells grid (fun _ c ->
+      for k = 0 to 4 do
+        Field.set f c k (Random.State.float rng 2.0 -. 1.0)
+      done);
+  let path = tmp "dgtest_snapshot.bin" in
+  Snapshot.write_field path f;
+  let g = Snapshot.read_field path in
+  Sys.remove path;
+  Alcotest.(check int) "ncomp" (Field.ncomp f) (Field.ncomp g);
+  Alcotest.(check bool) "grids equal" true (Grid.cells (Field.grid g) = Grid.cells grid);
+  Grid.iter_cells grid (fun _ c ->
+      for k = 0 to 4 do
+        Alcotest.(check (float 0.0)) "value" (Field.get f c k) (Field.get g c k)
+      done)
+
+let test_snapshot_bad_magic () =
+  let path = tmp "dgtest_bad.bin" in
+  let oc = open_out_bin path in
+  output_binary_int oc 0xdeadbeef;
+  close_out oc;
+  (try
+     ignore (Snapshot.read_field path);
+     Alcotest.fail "expected failure"
+   with Failure _ -> ());
+  Sys.remove path
+
+(* eval_at must reproduce the projected polynomial anywhere in the domain. *)
+let test_eval_at () =
+  let grid = Grid.make ~cells:[| 4; 4 |] ~lower:[| 0.; 0. |] ~upper:[| 2.; 2. |] in
+  let basis = Modal.make ~family:Modal.Tensor ~dim:2 ~poly_order:2 in
+  let nb = Modal.num_basis basis in
+  let f = Field.create grid ~ncomp:nb in
+  let fn x y = 1.0 +. (x *. y) +. (0.5 *. x *. x) in
+  let phys = Array.make 2 0.0 in
+  Grid.iter_cells grid (fun _ c ->
+      let coeffs =
+        Modal.project basis (fun xi ->
+            Grid.to_physical grid c xi phys;
+            fn phys.(0) phys.(1))
+      in
+      Field.write_block f c coeffs);
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 30 do
+    let x = Random.State.float rng 2.0 and y = Random.State.float rng 2.0 in
+    let v = Slices.eval_at basis f [| x; y |] in
+    if not (Dg_util.Float_cmp.close ~rtol:1e-10 ~atol:1e-10 v (fn x y)) then
+      Alcotest.failf "eval_at (%g,%g): %g <> %g" x y v (fn x y)
+  done
+
+let test_slice_csv () =
+  let grid = Grid.make ~cells:[| 2; 2 |] ~lower:[| 0.; 0. |] ~upper:[| 1.; 1. |] in
+  let basis = Modal.make ~family:Modal.Tensor ~dim:2 ~poly_order:1 in
+  let f = Field.create grid ~ncomp:(Modal.num_basis basis) in
+  Grid.iter_cells grid (fun _ c ->
+      Field.set f c 0 2.0 (* constant = 2/sqrt(2)^2 = 1 pointwise *));
+  let path = tmp "dgtest_slice.csv" in
+  Slices.write_slice_2d ~basis ~fld:f ~dim_x:0 ~dim_y:1 ~at:[| 0.0; 0.0 |] ~nx:4
+    ~ny:4 path;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  (* header comment + column header + 16 data rows *)
+  Alcotest.(check int) "line count" 18 (List.length !lines);
+  let last = List.hd !lines in
+  (match String.split_on_char ',' last with
+  | [ _; _; v ] ->
+      Alcotest.(check (float 1e-10)) "constant value" 1.0 (float_of_string v)
+  | _ -> Alcotest.fail "bad csv row")
+
+let () =
+  Alcotest.run "dg_io"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_snapshot_bad_magic;
+        ] );
+      ( "slices",
+        [
+          Alcotest.test_case "eval_at" `Quick test_eval_at;
+          Alcotest.test_case "csv slice" `Quick test_slice_csv;
+        ] );
+    ]

@@ -1,0 +1,254 @@
+(* The alias-free property: every coupling tensor built from factorized 1D
+   Legendre tables must equal the direct symbolic integral of the discrete
+   weak form, entry for entry. *)
+
+open Dg_kernels
+module Modal = Dg_basis.Modal
+module Mpoly = Dg_cas.Mpoly
+module Grid = Dg_grid.Grid
+
+let check_close ?(tol = 1e-11) msg a b =
+  if not (Dg_util.Float_cmp.close ~rtol:tol ~atol:tol a b) then
+    Alcotest.failf "%s: %.17g <> %.17g" msg a b
+
+let make_layout ~cdim ~vdim ~family ~p =
+  let pdim = cdim + vdim in
+  let cells = Array.make pdim 2 in
+  let lower = Array.make pdim (-1.0) in
+  let upper = Array.make pdim 1.0 in
+  (* stretch velocity dims so jacobian factors are exercised *)
+  for d = cdim to pdim - 1 do
+    lower.(d) <- -6.0;
+    upper.(d) <- 6.0
+  done;
+  let grid = Grid.make ~cells ~lower ~upper in
+  Layout.make ~cdim ~vdim ~family ~poly_order:p ~grid
+
+(* Dense reconstruction of a sparse 3-tensor. *)
+let densify_t3 (t : Sparse.t3) ~np =
+  let d = Array.init np (fun _ -> Array.make_matrix np np 0.0) in
+  Array.iteri
+    (fun e c -> d.(t.Sparse.li.(e)).(t.Sparse.mi.(e)).(t.Sparse.ni.(e)) <- c)
+    t.Sparse.cv;
+  d
+
+let densify_t2 (t : Sparse.t2) ~np =
+  let d = Array.make_matrix np np 0.0 in
+  Array.iteri (fun e v -> d.(t.Sparse.ri.(e)).(t.Sparse.ci.(e)) <- v) t.Sparse.vv;
+  d
+
+(* Volume tensor vs direct symbolic integration of int w_m w_n dw_l/dxi. *)
+let test_volume_vs_symbolic () =
+  List.iter
+    (fun (family, cdim, vdim, p) ->
+      let lay = make_layout ~cdim ~vdim ~family ~p in
+      let basis = lay.Layout.basis in
+      let np = Modal.num_basis basis in
+      let polys = Array.init np (Modal.to_mpoly basis) in
+      for dir = 0 to lay.Layout.pdim - 1 do
+        let support =
+          if Layout.is_config_dir lay dir then
+            Tensors.streaming_support lay ~dir
+          else Tensors.acceleration_support lay ~vdir:dir
+        in
+        let vol = Tensors.volume basis ~support ~dir in
+        let dense = densify_t3 vol ~np in
+        Array.iter
+          (fun m ->
+            for n = 0 to np - 1 do
+              for l = 0 to np - 1 do
+                let expected =
+                  Mpoly.integrate_ref
+                    (Mpoly.mul polys.(m)
+                       (Mpoly.mul polys.(n) (Mpoly.deriv ~i:dir polys.(l))))
+                in
+                check_close
+                  (Printf.sprintf "vol dir=%d (l=%d,m=%d,n=%d)" dir l m n)
+                  expected
+                  dense.(l).(m).(n)
+              done
+            done)
+          support
+      done)
+    [
+      (Modal.Tensor, 1, 1, 2);
+      (Modal.Serendipity, 1, 2, 2);
+      (Modal.Maximal_order, 1, 1, 3);
+    ]
+
+(* Surface tensor vs direct symbolic integration of the face traces. *)
+let test_surface_vs_symbolic () =
+  let lay = make_layout ~cdim:1 ~vdim:2 ~family:Modal.Tensor ~p:1 in
+  let basis = lay.Layout.basis in
+  let np = Modal.num_basis basis in
+  let polys = Array.init np (Modal.to_mpoly basis) in
+  let side_val = function Tensors.Lo -> -1.0 | Tensors.Hi -> 1.0 in
+  for dir = 0 to lay.Layout.pdim - 1 do
+    let support =
+      if Layout.is_config_dir lay dir then Tensors.streaming_support lay ~dir
+      else Tensors.acceleration_support lay ~vdir:dir
+    in
+    List.iter
+      (fun (s_l, s_n) ->
+        let t = Tensors.surface basis ~support ~dir ~s_l ~s_n in
+        let dense = densify_t3 t ~np in
+        Array.iter
+          (fun m ->
+            for n = 0 to np - 1 do
+              for l = 0 to np - 1 do
+                let trace p s = Mpoly.subst_var ~i:dir ~v:(side_val s) p in
+                let expected =
+                  Mpoly.integrate_ref_skip ~skip:dir
+                    (Mpoly.mul
+                       (trace polys.(m) Tensors.Hi)
+                       (Mpoly.mul (trace polys.(n) s_n) (trace polys.(l) s_l)))
+                in
+                check_close
+                  (Printf.sprintf "surf dir=%d (l=%d,m=%d,n=%d)" dir l m n)
+                  expected
+                  dense.(l).(m).(n)
+              done
+            done)
+          support)
+      [
+        (Tensors.Hi, Tensors.Hi);
+        (Tensors.Hi, Tensors.Lo);
+        (Tensors.Lo, Tensors.Hi);
+        (Tensors.Lo, Tensors.Lo);
+      ]
+  done
+
+let test_penalty_vs_symbolic () =
+  let lay = make_layout ~cdim:1 ~vdim:1 ~family:Modal.Tensor ~p:2 in
+  let basis = lay.Layout.basis in
+  let np = Modal.num_basis basis in
+  let polys = Array.init np (Modal.to_mpoly basis) in
+  for dir = 0 to 1 do
+    List.iter
+      (fun (s_l, s_n) ->
+        let t = Tensors.penalty basis ~dir ~s_l ~s_n in
+        let dense = densify_t2 t ~np in
+        let sv = function Tensors.Lo -> -1.0 | Tensors.Hi -> 1.0 in
+        for l = 0 to np - 1 do
+          for n = 0 to np - 1 do
+            let expected =
+              Mpoly.integrate_ref_skip ~skip:dir
+                (Mpoly.mul
+                   (Mpoly.subst_var ~i:dir ~v:(sv s_l) polys.(l))
+                   (Mpoly.subst_var ~i:dir ~v:(sv s_n) polys.(n)))
+            in
+            check_close "penalty" expected dense.(l).(n)
+          done
+        done)
+      [ (Tensors.Hi, Tensors.Hi); (Tensors.Lo, Tensors.Hi) ]
+  done
+
+(* The streaming flux expansion reproduces v_d pointwise in the cell. *)
+let test_streaming_alpha () =
+  let lay = make_layout ~cdim:1 ~vdim:2 ~family:Modal.Serendipity ~p:2 in
+  let basis = lay.Layout.basis in
+  let np = Modal.num_basis basis in
+  let support = Tensors.streaming_support lay ~dir:0 in
+  let alpha = Array.make np 0.0 in
+  let vcenter = 1.5 and dv = 0.5 in
+  Flux.streaming_alpha lay ~dir:0 ~vcenter ~dv ~support alpha;
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 20 do
+    let xi = Array.init 3 (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+    (* paired velocity dim for config dir 0 is phase dim 1 *)
+    let v = vcenter +. (0.5 *. dv *. xi.(1)) in
+    check_close "streaming alpha eval" v (Modal.eval_expansion basis alpha xi)
+  done;
+  check_close "max speed" 1.75 (Flux.streaming_max_speed ~vcenter ~dv)
+
+(* The acceleration projection reproduces q/m (E + v x B) pointwise when the
+   fields are representable. *)
+let test_accel_alpha () =
+  let lay = make_layout ~cdim:1 ~vdim:2 ~family:Modal.Tensor ~p:2 in
+  let cb = lay.Layout.cbasis in
+  let nc = Layout.num_cbasis lay in
+  let qm = -2.0 in
+  (* E, B as linear functions of x on the reference config cell *)
+  let e_fun = [| (fun x -> 1.0 +. (0.5 *. x)); (fun x -> -0.3 +. x); (fun _ -> 0.0) |] in
+  let b_fun = [| (fun _ -> 0.0); (fun _ -> 0.0); (fun x -> 2.0 -. (0.25 *. x)) |] in
+  let em = Array.make (6 * nc) 0.0 in
+  Array.iteri
+    (fun c f ->
+      let coeffs = Modal.project cb (fun pt -> f pt.(0)) in
+      Array.blit coeffs 0 em (c * nc) nc)
+    (Array.append e_fun b_fun);
+  let vcenter = [| 0.75; -1.25 |] in
+  let dv = Grid.dx lay.Layout.vgrid in
+  for vdir = 0 to 1 do
+    let ctx = Flux.make_accel_ctx lay ~vdir ~qm in
+    let np = Modal.num_basis lay.Layout.basis in
+    let alpha = Array.make np 0.0 in
+    Flux.accel_alpha ctx ~em ~em_off:0 ~ncbasis:nc ~vcenter alpha;
+    let rng = Random.State.make [| 13 |] in
+    for _ = 1 to 20 do
+      let xi = Array.init 3 (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+      let x = xi.(0) in
+      let vx = vcenter.(0) +. (0.5 *. dv.(0) *. xi.(1)) in
+      let vy = vcenter.(1) +. (0.5 *. dv.(1) *. xi.(2)) in
+      let bz = b_fun.(2) x in
+      let expected =
+        match vdir with
+        | 0 -> qm *. (e_fun.(0) x +. (vy *. bz))
+        | _ -> qm *. (e_fun.(1) x -. (vx *. bz))
+      in
+      check_close
+        (Printf.sprintf "accel alpha vdir=%d" vdir)
+        expected
+        (Modal.eval_expansion lay.Layout.basis alpha xi)
+    done;
+    (* the penalty bound really bounds |alpha| *)
+    let bound = Flux.accel_max_speed ctx alpha in
+    for _ = 1 to 50 do
+      let xi = Array.init 3 (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+      let v = Float.abs (Modal.eval_expansion lay.Layout.basis alpha xi) in
+      if v > bound +. 1e-9 then Alcotest.failf "penalty bound violated: %g > %g" v bound
+    done
+  done
+
+(* Velocity-moment tables vs quadrature. *)
+let test_vspace_tables () =
+  let vt = Tensors.vspace_tables 3 in
+  let quad r n =
+    Dg_cas.Quadrature.integrate ~dim:1 ~n:6 (fun pt ->
+        (pt.(0) ** float_of_int r) *. Dg_cas.Legendre.eval_normalized n pt.(0))
+  in
+  for n = 0 to 3 do
+    check_close "i0" (quad 0 n) vt.Tensors.i0.(n);
+    check_close "i1" (quad 1 n) vt.Tensors.i1.(n);
+    check_close "i2" (quad 2 n) vt.Tensors.i2.(n)
+  done
+
+(* Sparsity sanity: the 1X2V p=1 tensor-basis volume streaming tensor should
+   be small (the paper's Fig. 1 kernel has ~70 multiplications). *)
+let test_sparsity () =
+  let lay = make_layout ~cdim:1 ~vdim:2 ~family:Modal.Tensor ~p:1 in
+  let k = Tensors.make_dir lay ~dir:0 in
+  let np = Modal.num_basis lay.Layout.basis in
+  let dense_size = np * np * 2 in
+  Alcotest.(check bool)
+    "volume tensor much sparser than dense" true
+    (Sparse.t3_nnz k.Tensors.vol * 4 < dense_size * 2);
+  Alcotest.(check bool) "nonempty" true (Sparse.t3_nnz k.Tensors.vol > 0)
+
+let () =
+  Alcotest.run "dg_kernels"
+    [
+      ( "tensors",
+        [
+          Alcotest.test_case "volume vs symbolic" `Quick test_volume_vs_symbolic;
+          Alcotest.test_case "surface vs symbolic" `Quick test_surface_vs_symbolic;
+          Alcotest.test_case "penalty vs symbolic" `Quick test_penalty_vs_symbolic;
+          Alcotest.test_case "sparsity" `Quick test_sparsity;
+        ] );
+      ( "flux",
+        [
+          Alcotest.test_case "streaming alpha" `Quick test_streaming_alpha;
+          Alcotest.test_case "acceleration alpha" `Quick test_accel_alpha;
+        ] );
+      ("vspace", [ Alcotest.test_case "moment tables" `Quick test_vspace_tables ]);
+    ]

@@ -1,0 +1,137 @@
+(* Dense linear algebra and tridiagonal solver tests. *)
+
+module Mat = Dg_linalg.Mat
+module Lu = Dg_linalg.Lu
+module Tridiag = Dg_linalg.Tridiag
+
+let check_close ?(tol = 1e-10) msg a b =
+  if not (Dg_util.Float_cmp.close ~rtol:tol ~atol:tol a b) then
+    Alcotest.failf "%s: %.17g <> %.17g" msg a b
+
+let random_mat rng n =
+  Mat.init n n (fun _ _ -> Random.State.float rng 2.0 -. 1.0)
+
+let test_matvec () =
+  let a = Mat.init 2 3 (fun i j -> float_of_int ((i * 3) + j + 1)) in
+  let y = Array.make 2 0.0 in
+  Mat.matvec a [| 1.0; 2.0; 3.0 |] y;
+  check_close "row0" 14.0 y.(0);
+  check_close "row1" 32.0 y.(1);
+  Mat.matvec_acc a ~scale:2.0 [| 1.0; 0.0; 0.0 |] y;
+  check_close "acc" 16.0 y.(0)
+
+let test_matmul_transpose () =
+  let rng = Random.State.make [| 1 |] in
+  let a = random_mat rng 4 and b = random_mat rng 4 in
+  let ab = Mat.matmul a b in
+  (* (AB)^T = B^T A^T *)
+  let lhs = Mat.transpose ab in
+  let rhs = Mat.matmul (Mat.transpose b) (Mat.transpose a) in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      check_close "transpose identity" (Mat.get lhs i j) (Mat.get rhs i j)
+    done
+  done
+
+let test_lu_solve () =
+  let rng = Random.State.make [| 2 |] in
+  for n = 1 to 8 do
+    let a = random_mat rng n in
+    let x = Array.init n (fun i -> float_of_int i -. 2.0) in
+    let b = Array.make n 0.0 in
+    Mat.matvec a x b;
+    let x' = Lu.solve a b in
+    Array.iteri (fun i v -> check_close ~tol:1e-8 "lu solve" x.(i) v) x'
+  done
+
+let test_lu_inverse () =
+  let rng = Random.State.make [| 3 |] in
+  let a = random_mat rng 5 in
+  let ai = Lu.inverse a in
+  let id = Mat.matmul a ai in
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      check_close ~tol:1e-8 "A A^-1 = I"
+        (if i = j then 1.0 else 0.0)
+        (Mat.get id i j)
+    done
+  done
+
+let test_singular () =
+  let a = Mat.init 3 3 (fun i _ -> float_of_int i) in
+  Alcotest.check_raises "singular raises" Lu.Singular (fun () ->
+      ignore (Lu.decompose a));
+  check_close "det singular" 0.0 (Lu.determinant a)
+
+let test_determinant () =
+  let a = Mat.init 2 2 (fun i j -> [| [| 3.0; 1.0 |]; [| 4.0; 2.0 |] |].(i).(j)) in
+  check_close "det 2x2" 2.0 (Lu.determinant a);
+  check_close "det id" 1.0 (Lu.determinant (Mat.identity 6))
+
+let qcheck_lu =
+  QCheck.Test.make ~name:"LU reconstructs solutions" ~count:50
+    (QCheck.int_range 1 10)
+    (fun n ->
+      let rng = Random.State.make [| n; 77 |] in
+      let a = random_mat rng n in
+      (* make it diagonally dominant so it's well conditioned *)
+      for i = 0 to n - 1 do
+        Mat.set a i i (Mat.get a i i +. float_of_int n)
+      done;
+      let x = Array.init n (fun _ -> Random.State.float rng 4.0 -. 2.0) in
+      let b = Array.make n 0.0 in
+      Mat.matvec a x b;
+      let x' = Lu.solve a b in
+      Dg_util.Float_cmp.array_close ~rtol:1e-8 ~atol:1e-8 x x')
+
+let test_tridiag () =
+  let n = 20 in
+  (* -u'' = 1 with u(0)=u(n+1)=0 discretized: exact solution is parabolic *)
+  let a = Array.make n (-1.0) and b = Array.make n 2.0 and c = Array.make n (-1.0) in
+  a.(0) <- 0.0;
+  c.(n - 1) <- 0.0;
+  let d = Array.make n 1.0 in
+  let x = Tridiag.solve ~a ~b ~c ~d in
+  (* residual check *)
+  for i = 0 to n - 1 do
+    let lo = if i = 0 then 0.0 else x.(i - 1) in
+    let hi = if i = n - 1 then 0.0 else x.(i + 1) in
+    check_close "tridiag residual" 1.0 ((2.0 *. x.(i)) -. lo -. hi)
+  done
+
+let test_tridiag_cyclic () =
+  let n = 16 in
+  let a = Array.make n 1.0 and b = Array.make n 4.0 and c = Array.make n 1.0 in
+  let rng = Random.State.make [| 5 |] in
+  let x_true = Array.init n (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+  let d =
+    Array.init n (fun i ->
+        (a.(i) *. x_true.((i + n - 1) mod n))
+        +. (b.(i) *. x_true.(i))
+        +. (c.(i) *. x_true.((i + 1) mod n)))
+  in
+  let x = Tridiag.solve_cyclic ~a ~b ~c ~d in
+  Array.iteri (fun i v -> check_close ~tol:1e-9 "cyclic" x_true.(i) v) x
+
+let () =
+  Alcotest.run "dg_linalg"
+    [
+      ( "mat",
+        [
+          Alcotest.test_case "matvec" `Quick test_matvec;
+          Alcotest.test_case "matmul/transpose" `Quick test_matmul_transpose;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve" `Quick test_lu_solve;
+          Alcotest.test_case "inverse" `Quick test_lu_inverse;
+          Alcotest.test_case "singular" `Quick test_singular;
+          Alcotest.test_case "determinant" `Quick test_determinant;
+          QCheck_alcotest.to_alcotest qcheck_lu;
+        ] );
+      ( "tridiag",
+        [
+          Alcotest.test_case "thomas" `Quick test_tridiag;
+          Alcotest.test_case "cyclic" `Quick test_tridiag_cyclic;
+        ] );
+    ]

@@ -1,0 +1,205 @@
+(* Maxwell solver tests: plane-wave propagation accuracy, exact energy
+   conservation with central fluxes, dissipation with upwind fluxes. *)
+
+module Modal = Dg_basis.Modal
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Maxwell = Dg_maxwell.Maxwell
+module Lindg = Dg_lindg.Lindg
+module Stepper = Dg_time.Stepper
+
+let project_em ~basis ~grid ~(f : float array -> float array) (fld : Field.t) =
+  let nb = Modal.num_basis basis in
+  let phys = Array.make (Grid.ndim grid) 0.0 in
+  let block = Array.make (8 * nb) 0.0 in
+  Grid.iter_cells grid (fun _ c ->
+      for comp = 0 to 7 do
+        let coeffs =
+          Modal.project basis (fun xi ->
+              Grid.to_physical grid c xi phys;
+              (f phys).(comp))
+        in
+        Array.blit coeffs 0 block (comp * nb) nb
+      done;
+      Field.write_block fld c block)
+
+(* Plane EM wave in 1D: Ey = cos(k(x - t)), Bz = cos(k(x - t)), exact
+   solution of Maxwell in vacuum (c = 1). *)
+let run_wave ~cells ~p ~flux ~tend =
+  let grid = Grid.make ~cells:[| cells |] ~lower:[| 0.0 |] ~upper:[| 2.0 *. Float.pi |] in
+  let basis = Modal.make ~family:Modal.Serendipity ~dim:1 ~poly_order:p in
+  let mx = Maxwell.create ~flux ~chi:0.0 ~gamma:0.0 ~basis ~grid () in
+  let nb = Modal.num_basis basis in
+  let k = 1.0 in
+  let init x =
+    let e = Array.make 8 0.0 in
+    e.(Maxwell.ey) <- cos (k *. x.(0));
+    e.(Maxwell.bz) <- cos (k *. x.(0));
+    e
+  in
+  let em = Field.create grid ~ncomp:(8 * nb) in
+  project_em ~basis ~grid ~f:init em;
+  let bcs = [| (Field.Periodic, Field.Periodic) |] in
+  let rhs ~time:_ state outs =
+    match (state, outs) with
+    | [ u ], [ o ] ->
+        Field.sync_ghosts u bcs;
+        Maxwell.rhs mx ~em:u ~out:o
+    | _ -> assert false
+  in
+  let stepper = Stepper.create ~scheme:Stepper.Ssp_rk3 ~like:[ em ] in
+  let dt = 0.3 *. (Grid.dx grid).(0) /. float_of_int ((2 * p) + 1) in
+  let nsteps = int_of_float (Float.ceil (tend /. dt)) in
+  let dt = tend /. float_of_int nsteps in
+  let e0 = Maxwell.field_energy mx ~em in
+  for i = 0 to nsteps - 1 do
+    Stepper.step stepper ~rhs ~time:(float_of_int i *. dt) ~dt [ em ]
+  done;
+  let e1 = Maxwell.field_energy mx ~em in
+  (* L2 error of Ey against the advected wave *)
+  let err = ref 0.0 in
+  let phys = Array.make 1 0.0 in
+  let pts, wts = Dg_cas.Quadrature.tensor ~dim:1 ~n:(p + 2) in
+  let jac = (Grid.dx grid).(0) /. 2.0 in
+  let block = Array.make (8 * nb) 0.0 in
+  let ey_coeffs = Array.make nb 0.0 in
+  Grid.iter_cells grid (fun _ c ->
+      Field.read_block em c block;
+      Array.blit block (Maxwell.ey * nb) ey_coeffs 0 nb;
+      Array.iteri
+        (fun q pt ->
+          Grid.to_physical grid c pt phys;
+          let d =
+            Modal.eval_expansion basis ey_coeffs pt
+            -. cos (k *. (phys.(0) -. tend))
+          in
+          err := !err +. (wts.(q) *. d *. d *. jac))
+        pts);
+  (sqrt !err, e0, e1)
+
+let test_wave_convergence () =
+  List.iter
+    (fun p ->
+      let e1, _, _ = run_wave ~cells:8 ~p ~flux:Lindg.Upwind ~tend:1.0 in
+      let e2, _, _ = run_wave ~cells:16 ~p ~flux:Lindg.Upwind ~tend:1.0 in
+      let order = log (e1 /. e2) /. log 2.0 in
+      if order < float_of_int p +. 0.5 then
+        Alcotest.failf "p=%d: order %.2f too low (%.3e -> %.3e)" p order e1 e2)
+    [ 1; 2 ]
+
+(* The exact semi-discrete statement: with central fluxes,
+   dE/dt = <u, rhs(u)> = 0 to machine precision for arbitrary states. *)
+let semi_discrete_energy_rate ~flux ~dims =
+  let grid =
+    Grid.make
+      ~cells:(Array.make dims 4)
+      ~lower:(Array.make dims 0.0)
+      ~upper:(Array.make dims (2.0 *. Float.pi))
+  in
+  let basis = Modal.make ~family:Modal.Serendipity ~dim:dims ~poly_order:2 in
+  let mx = Maxwell.create ~flux ~chi:0.0 ~gamma:0.0 ~basis ~grid () in
+  let nb = Modal.num_basis basis in
+  let rng = Random.State.make [| 19 |] in
+  let em = Field.create grid ~ncomp:(8 * nb) in
+  Grid.iter_cells grid (fun _ c ->
+      for k = 0 to (6 * nb) - 1 do
+        Field.set em c k (Random.State.float rng 2.0 -. 1.0)
+      done);
+  Field.sync_ghosts em (Array.make dims (Field.Periodic, Field.Periodic));
+  let out = Field.create grid ~ncomp:(8 * nb) in
+  Maxwell.rhs mx ~em ~out;
+  (* dE/dt = sum over E,B components of <u, du/dt> *)
+  let acc = ref 0.0 in
+  Grid.iter_cells grid (fun _ c ->
+      let ub = Dg_grid.Field.offset em c and ob = Dg_grid.Field.offset out c in
+      for k = 0 to (6 * nb) - 1 do
+        acc := !acc +. ((Field.data em).(ub + k) *. (Field.data out).(ob + k))
+      done);
+  !acc
+
+let test_energy_conservation_central () =
+  List.iter
+    (fun dims ->
+      let rate = semi_discrete_energy_rate ~flux:Lindg.Central ~dims in
+      if Float.abs rate > 1e-10 then
+        Alcotest.failf "central d(energy)/dt <> 0 in %dD: %.3e" dims rate)
+    [ 1; 2 ];
+  (* and the fully-discrete drift is only the small RK3 temporal error *)
+  let _, e0, e1 = run_wave ~cells:12 ~p:2 ~flux:Lindg.Central ~tend:2.0 in
+  if Float.abs (e1 -. e0) /. e0 > 1e-5 then
+    Alcotest.failf "central-flux energy drift: %.10e -> %.10e" e0 e1
+
+let test_energy_decay_upwind () =
+  let _, e0, e1 = run_wave ~cells:6 ~p:1 ~flux:Lindg.Upwind ~tend:2.0 in
+  if e1 > e0 +. 1e-12 then Alcotest.failf "upwind energy grew: %.6e -> %.6e" e0 e1;
+  if e1 >= e0 -. 1e-10 *. e0 then
+    Alcotest.failf "upwind should dissipate on a coarse grid: %.6e -> %.6e" e0 e1
+
+(* Flux matrices: in 1D, eigenvalues of A_x must be {0, +-1} (c = 1) times
+   cleaning speeds; check A_x applied to the wave eigenvector. *)
+let test_flux_matrix_wave_eigenvector () =
+  let a = Maxwell.flux_matrix ~chi:0.0 ~gamma:0.0 0 in
+  (* (Ey, Bz) = (1, 1) propagates right with speed 1: A (0,1,0,0,0,1,0,0)
+     = (0,1,0,0,0,1,0,0) *)
+  let u = Array.make 8 0.0 in
+  u.(Maxwell.ey) <- 1.0;
+  u.(Maxwell.bz) <- 1.0;
+  let v = Array.make 8 0.0 in
+  Dg_linalg.Mat.matvec a u v;
+  Array.iteri
+    (fun i vi ->
+      if not (Dg_util.Float_cmp.close vi u.(i)) then
+        Alcotest.failf "eigenvector component %d: %g <> %g" i vi u.(i))
+    v
+
+(* 2D TM mode: standing wave frequencies; quick smoke of multi-D assembly
+   via energy conservation. *)
+let test_2d_energy () =
+  let grid =
+    Grid.make ~cells:[| 6; 6 |] ~lower:[| 0.0; 0.0 |]
+      ~upper:[| 2.0 *. Float.pi; 2.0 *. Float.pi |]
+  in
+  let basis = Modal.make ~family:Modal.Serendipity ~dim:2 ~poly_order:1 in
+  let mx = Maxwell.create ~flux:Lindg.Central ~chi:0.0 ~gamma:0.0 ~basis ~grid () in
+  let nb = Modal.num_basis basis in
+  let em = Field.create grid ~ncomp:(8 * nb) in
+  project_em ~basis ~grid
+    ~f:(fun x ->
+      let e = Array.make 8 0.0 in
+      e.(Maxwell.ez) <- sin x.(0) *. sin x.(1);
+      e)
+    em;
+  let bcs = Array.make 2 (Field.Periodic, Field.Periodic) in
+  let rhs ~time:_ state outs =
+    match (state, outs) with
+    | [ u ], [ o ] ->
+        Field.sync_ghosts u bcs;
+        Maxwell.rhs mx ~em:u ~out:o
+    | _ -> assert false
+  in
+  let stepper = Stepper.create ~scheme:Stepper.Ssp_rk3 ~like:[ em ] in
+  let e0 = Maxwell.field_energy mx ~em in
+  let dt = 0.01 in
+  for i = 0 to 99 do
+    Stepper.step stepper ~rhs ~time:(float_of_int i *. dt) ~dt [ em ]
+  done;
+  let e1 = Maxwell.field_energy mx ~em in
+  if Float.abs (e1 -. e0) /. e0 > 1e-5 then
+    Alcotest.failf "2D central-flux energy drift: %.10e -> %.10e" e0 e1
+
+let () =
+  Alcotest.run "dg_maxwell"
+    [
+      ( "waves",
+        [
+          Alcotest.test_case "plane-wave convergence" `Slow test_wave_convergence;
+          Alcotest.test_case "flux-matrix eigenvector" `Quick
+            test_flux_matrix_wave_eigenvector;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "central conserves" `Quick test_energy_conservation_central;
+          Alcotest.test_case "upwind dissipates" `Quick test_energy_decay_upwind;
+          Alcotest.test_case "2D central conserves" `Quick test_2d_energy;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+(* Moment-operator tests: moments of a projected Maxwellian match the
+   analytic density, mean velocity, and energy. *)
+
+module Layout = Dg_kernels.Layout
+module Modal = Dg_basis.Modal
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Moments = Dg_moments.Moments
+
+let check_close ?(tol = 1e-6) msg a b =
+  if not (Dg_util.Float_cmp.close ~rtol:tol ~atol:tol a b) then
+    Alcotest.failf "%s: %.12g <> %.12g" msg a b
+
+let maxwellian ~n0 ~u ~vt vel =
+  let vdim = Array.length vel in
+  let arg = ref 0.0 in
+  for k = 0 to vdim - 1 do
+    let d = vel.(k) -. u.(k) in
+    arg := !arg +. (d *. d)
+  done;
+  n0
+  /. ((2.0 *. Float.pi *. vt *. vt) ** (float_of_int vdim /. 2.0))
+  *. exp (-. !arg /. (2.0 *. vt *. vt))
+
+let make ?(cells_c = 2) ~cdim ~vdim ~p ~cells_v () =
+  let pdim = cdim + vdim in
+  let cells = Array.init pdim (fun d -> if d < cdim then cells_c else cells_v) in
+  let lower = Array.init pdim (fun d -> if d < cdim then 0.0 else -8.0) in
+  let upper = Array.init pdim (fun d -> if d < cdim then 1.0 else 8.0) in
+  let grid = Grid.make ~cells ~lower ~upper in
+  Layout.make ~cdim ~vdim ~family:Modal.Serendipity ~poly_order:p ~grid
+
+let test_maxwellian_moments () =
+  List.iter
+    (fun (vdim, cells_v) ->
+      let lay = make ~cdim:1 ~vdim ~p:2 ~cells_v () in
+      let np = Layout.num_basis lay in
+      let n0 = 2.5 and vt = 1.0 in
+      let u = Array.init vdim (fun k -> 0.3 *. float_of_int (k + 1)) in
+      let f = Field.create lay.Layout.grid ~ncomp:np in
+      Dg_app.Vm_app.project_phase lay
+        ~f:(fun ~pos:_ ~vel -> maxwellian ~n0 ~u ~vt vel)
+        f;
+      let mom = Moments.make lay in
+      (* total mass = n0 * |config domain| *)
+      check_close "total mass" n0 (Moments.total_mass mom ~f);
+      (* momentum: m=1; M1_k total = n0 * u_k *)
+      let nc = Layout.num_cbasis lay in
+      let m1 = Field.create lay.Layout.cgrid ~ncomp:(3 * nc) in
+      Moments.accumulate_current mom ~charge:1.0 ~f ~out:m1;
+      for k = 0 to vdim - 1 do
+        let tot =
+          Moments.total_of_config_field lay ~fld:m1 ~comp_off:(k * nc)
+        in
+        check_close (Printf.sprintf "momentum %d" k) (n0 *. u.(k)) tot
+      done;
+      (* kinetic energy: (1/2) n0 (vdim vt^2 + |u|^2) *)
+      let u2 = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 u in
+      check_close "kinetic energy"
+        (0.5 *. n0 *. ((float_of_int vdim *. vt *. vt) +. u2))
+        (Moments.total_kinetic_energy mom ~mass:1.0 ~f))
+    [ (1, 24); (2, 16) ]
+
+(* Moments must be linear and the density of a spatially-varying profile
+   must track the profile coefficients exactly. *)
+let test_density_profile () =
+  let lay = make ~cells_c:8 ~cdim:1 ~vdim:1 ~p:2 ~cells_v:24 () in
+  let np = Layout.num_basis lay in
+  let f = Field.create lay.Layout.grid ~ncomp:np in
+  let prof x = 1.0 +. (0.4 *. sin (2.0 *. Float.pi *. x)) in
+  Dg_app.Vm_app.project_phase lay
+    ~f:(fun ~pos ~vel -> prof pos.(0) *. maxwellian ~n0:1.0 ~u:[| 0.0 |] ~vt:0.8 vel)
+    f;
+  let mom = Moments.make lay in
+  let nc = Layout.num_cbasis lay in
+  let dens = Field.create lay.Layout.cgrid ~ncomp:nc in
+  Moments.m0 mom ~f ~out:dens;
+  (* compare pointwise density against the profile at cell centers *)
+  let cb = lay.Layout.cbasis in
+  let block = Array.make nc 0.0 in
+  Grid.iter_cells lay.Layout.cgrid (fun _ c ->
+      Field.read_block dens c block;
+      let ctr = Array.make 1 0.0 in
+      Grid.cell_center lay.Layout.cgrid c ctr;
+      check_close ~tol:1e-4 "density profile" (prof ctr.(0))
+        (Modal.eval_expansion cb block [| 0.0 |]))
+
+(* M2 of a shifted distribution obeys the parallel-axis relation used in
+   collision operators: M2 = n(u^2 + vdim*vt^2) for a Maxwellian. *)
+let test_m2 () =
+  let lay = make ~cdim:1 ~vdim:1 ~p:2 ~cells_v:32 () in
+  let np = Layout.num_basis lay in
+  let f = Field.create lay.Layout.grid ~ncomp:np in
+  let n0 = 1.0 and u = 1.2 and vt = 0.7 in
+  Dg_app.Vm_app.project_phase lay
+    ~f:(fun ~pos:_ ~vel -> maxwellian ~n0 ~u:[| u |] ~vt vel)
+    f;
+  let mom = Moments.make lay in
+  let nc = Layout.num_cbasis lay in
+  let m2 = Field.create lay.Layout.cgrid ~ncomp:nc in
+  Moments.m2 mom ~f ~out:m2;
+  let tot = Moments.total_of_config_field lay ~fld:m2 ~comp_off:0 in
+  check_close "m2 parallel axis" (n0 *. ((u *. u) +. (vt *. vt))) tot
+
+let () =
+  Alcotest.run "dg_moments"
+    [
+      ( "moments",
+        [
+          Alcotest.test_case "maxwellian moments" `Quick test_maxwellian_moments;
+          Alcotest.test_case "density profile" `Quick test_density_profile;
+          Alcotest.test_case "m2" `Quick test_m2;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(* Parallel substrate tests: the block decomposition + halo exchange must
+   reproduce the monolithic ghost sync exactly; the pool must partition
+   work correctly; the scaling model must honour its anchor points. *)
+
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Pool = Dg_par.Pool
+module Decomp = Dg_par.Decomp
+module Model = Dg_par.Model
+
+let test_pool_covers_range () =
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  let pool = Pool.create ~nworkers:1 in
+  Pool.parallel_for pool ~n (fun i -> hits.(i) <- hits.(i) + 1);
+  Array.iteri
+    (fun i h -> if h <> 1 then Alcotest.failf "index %d hit %d times" i h)
+    hits
+
+let test_pool_parallel_sum () =
+  (* atomic accumulation across chunks with several domains *)
+  let n = 4096 in
+  let acc = Atomic.make 0 in
+  let pool = Pool.create ~nworkers:3 in
+  Pool.parallel_ranges pool ~n ~chunk:64 (fun lo hi ->
+      let local = ref 0 in
+      for i = lo to hi - 1 do
+        local := !local + i
+      done;
+      ignore (Atomic.fetch_and_add acc !local));
+  Alcotest.(check int) "sum" (n * (n - 1) / 2) (Atomic.get acc)
+
+(* Scatter/exchange/gather against the monolithic field. *)
+let test_decomp_halo_exchange () =
+  (* 2 config dims + 1 velocity dim *)
+  let grid =
+    Grid.make ~cells:[| 4; 4; 3 |] ~lower:[| 0.; 0.; -1. |] ~upper:[| 1.; 1.; 1. |]
+  in
+  let ncomp = 2 in
+  let global = Field.create grid ~ncomp in
+  let rng = Random.State.make [| 9 |] in
+  Grid.iter_cells grid (fun _ c ->
+      for k = 0 to ncomp - 1 do
+        Field.set global c k (Random.State.float rng 2.0 -. 1.0)
+      done);
+  let d = Decomp.make ~global:grid ~cdim:2 ~blocks_per_dim:[| 2; 2 |] ~ncomp in
+  Decomp.scatter d ~src:global;
+  let moved = Decomp.exchange_halos d in
+  Alcotest.(check bool) "moved some data" true (moved > 0);
+  (* the monolithic reference: periodic sync in the config dims *)
+  Field.sync_ghosts global
+    [| (Field.Periodic, Field.Periodic); (Field.Periodic, Field.Periodic); (Field.Zero, Field.Zero) |];
+  (* each block's ghost layer in each split dim must match the global field *)
+  Array.iter
+    (fun b ->
+      let bg = b.Decomp.local_grid in
+      let pdim = Grid.ndim grid in
+      let lc = Array.make pdim 0 in
+      for d' = 0 to 1 do
+        Grid.iter_cells bg (fun _ c ->
+            if c.(d') = 0 then begin
+              Array.blit c 0 lc 0 pdim;
+              lc.(d') <- -1;
+              (* global coordinates of this ghost cell *)
+              let gc =
+                Array.mapi
+                  (fun i v ->
+                    if i < 2 then begin
+                      let g = v + b.Decomp.offset.(i) in
+                      ((g mod 4) + 4) mod 4
+                    end
+                    else v)
+                  lc
+              in
+              for k = 0 to ncomp - 1 do
+                let expect = Field.get global gc k in
+                let got = Field.get b.Decomp.field lc k in
+                if expect <> got then
+                  Alcotest.failf "halo mismatch block %d dim %d: %g <> %g"
+                    b.Decomp.id d' got expect
+              done
+            end)
+      done)
+    d.Decomp.blocks
+
+let test_decomp_gather_roundtrip () =
+  let grid = Grid.make ~cells:[| 4; 2 |] ~lower:[| 0.; -1. |] ~upper:[| 1.; 1. |] in
+  let global = Field.create grid ~ncomp:3 in
+  Grid.iter_cells grid (fun idx c ->
+      for k = 0 to 2 do
+        Field.set global c k (float_of_int ((idx * 3) + k))
+      done);
+  let d = Decomp.make ~global:grid ~cdim:1 ~blocks_per_dim:[| 2 |] ~ncomp:3 in
+  Decomp.scatter d ~src:global;
+  let back = Field.create grid ~ncomp:3 in
+  Decomp.gather d ~dst:back;
+  Grid.iter_cells grid (fun _ c ->
+      for k = 0 to 2 do
+        Alcotest.(check (float 0.0)) "roundtrip" (Field.get global c k)
+          (Field.get back c k)
+      done)
+
+(* The scaling model: weak scaling stays near-flat (paper: <= 25 % halo cost
+   at 4096 nodes); strong scaling departs from ideal with high comm fraction
+   at the full machine (paper: ~80 %, speedup ~60x over 512x ideal). *)
+let test_model_weak () =
+  let pts =
+    Model.weak_scaling Model.default ~block_cfg:[| 8; 8; 8 |]
+      ~vcells:[| 16; 16; 16 |] ~np:64
+      ~node_counts:[ 1; 8; 64; 512; 4096 ]
+  in
+  let last = List.nth pts (List.length pts - 1) in
+  if last.Model.comm_fraction > 0.3 then
+    Alcotest.failf "weak halo fraction too high: %.2f" last.Model.comm_fraction;
+  if last.Model.normalized > 1.4 then
+    Alcotest.failf "weak scaling degrades too much: %.2f" last.Model.normalized;
+  if last.Model.normalized < 1.0 then
+    Alcotest.failf "weak scaling cannot be super-ideal: %.2f" last.Model.normalized
+
+let test_model_strong () =
+  let pts =
+    Model.strong_scaling Model.default ~global_cfg:[| 32; 32; 32 |]
+      ~vcells:[| 8; 8; 8 |] ~np:64 ~base_nodes:8
+      ~node_counts:[ 8; 64; 512; 4096 ]
+  in
+  let last = List.nth pts (List.length pts - 1) in
+  (* ideal would be 1/512 ~ 0.002; the paper reports ~1/60 *)
+  let speedup = 1.0 /. last.Model.normalized in
+  if speedup > 200.0 || speedup < 15.0 then
+    Alcotest.failf "strong-scaling speedup %.0f outside the plausible band" speedup;
+  if last.Model.comm_fraction < 0.5 then
+    Alcotest.failf "strong comm fraction too low at 4096 nodes: %.2f"
+      last.Model.comm_fraction
+
+(* The block-parallel Vlasov update must reproduce the monolithic serial
+   solver exactly (the decomposition is purely organizational). *)
+let test_par_solver_matches_serial () =
+  let module Layout = Dg_kernels.Layout in
+  let module Modal = Dg_basis.Modal in
+  let module Solver = Dg_vlasov.Solver in
+  let grid =
+    Grid.make ~cells:[| 4; 4; 4; 4 |]
+      ~lower:[| 0.; 0.; -2.; -2. |]
+      ~upper:[| 1.; 1.; 2.; 2. |]
+  in
+  let lay =
+    Layout.make ~cdim:2 ~vdim:2 ~family:Modal.Serendipity ~poly_order:1 ~grid
+  in
+  let np = Layout.num_basis lay in
+  let rng = Random.State.make [| 13 |] in
+  let f = Field.create grid ~ncomp:np in
+  Grid.iter_cells grid (fun _ c ->
+      for k = 0 to np - 1 do
+        Field.set f c k (Random.State.float rng 2.0 -. 1.0)
+      done);
+  let nc = Layout.num_cbasis lay in
+  let em = Field.create lay.Layout.cgrid ~ncomp:(8 * nc) in
+  Grid.iter_cells lay.Layout.cgrid (fun _ c ->
+      for k = 0 to (6 * nc) - 1 do
+        Field.set em c k (Random.State.float rng 2.0 -. 1.0)
+      done);
+  (* serial reference *)
+  Field.sync_ghosts f
+    [| (Field.Periodic, Field.Periodic); (Field.Periodic, Field.Periodic);
+       (Field.Zero, Field.Zero); (Field.Zero, Field.Zero) |];
+  let serial = Solver.create ~flux:Solver.Upwind ~qm:(-1.5) lay in
+  let out_serial = Field.create grid ~ncomp:np in
+  Solver.rhs serial ~f ~em:(Some em) ~out:out_serial;
+  (* parallel, several decompositions and worker counts *)
+  List.iter
+    (fun (blocks, nworkers) ->
+      let par =
+        Dg_par.Par_solver.create ~nworkers ~blocks_per_dim:blocks
+          ~flux:Solver.Upwind ~qm:(-1.5) lay
+      in
+      let out_par = Field.create grid ~ncomp:np in
+      Dg_par.Par_solver.rhs par ~f ~em:(Some em) ~out:out_par;
+      Grid.iter_cells grid (fun _ c ->
+          for k = 0 to np - 1 do
+            let a = Field.get out_serial c k and b = Field.get out_par c k in
+            if not (Dg_util.Float_cmp.close ~rtol:1e-13 ~atol:1e-13 a b) then
+              Alcotest.failf "parallel <> serial (%s workers=%d): %g <> %g"
+                (String.concat "x" (List.map string_of_int (Array.to_list blocks)))
+                nworkers a b
+          done))
+    [ ([| 2; 1 |], 1); ([| 2; 2 |], 1); ([| 4; 2 |], 2); ([| 1; 4 |], 3) ]
+
+let () =
+  Alcotest.run "dg_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "covers range" `Quick test_pool_covers_range;
+          Alcotest.test_case "parallel sum" `Quick test_pool_parallel_sum;
+        ] );
+      ( "decomp",
+        [
+          Alcotest.test_case "halo exchange" `Quick test_decomp_halo_exchange;
+          Alcotest.test_case "gather roundtrip" `Quick test_decomp_gather_roundtrip;
+          Alcotest.test_case "parallel solver == serial" `Quick
+            test_par_solver_matches_serial;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "weak anchors" `Quick test_model_weak;
+          Alcotest.test_case "strong anchors" `Quick test_model_strong;
+        ] );
+    ]

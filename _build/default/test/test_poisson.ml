@@ -1,0 +1,85 @@
+(* Poisson solver tests: manufactured solutions for the periodic (FFT) and
+   Dirichlet (tridiagonal) solvers, and the Gauss-law residual metric. *)
+
+module Poisson = Dg_poisson.Poisson
+
+let check_close ?(tol = 1e-8) msg a b =
+  if not (Dg_util.Float_cmp.close ~rtol:tol ~atol:tol a b) then
+    Alcotest.failf "%s: %.12g <> %.12g" msg a b
+
+(* phi'' = -rho with rho = cos(kx): phi = cos(kx)/k^2, E = sin(kx)/k. *)
+let test_periodic_manufactured () =
+  let n = 64 in
+  let l = 2.0 *. Float.pi in
+  let dx = l /. float_of_int n in
+  let x i = (float_of_int i +. 0.5) *. dx in
+  List.iter
+    (fun kmode ->
+      let k = float_of_int kmode in
+      let rho = Array.init n (fun i -> cos (k *. x i)) in
+      let phi, e = Poisson.periodic_1d ~dx rho in
+      for i = 0 to n - 1 do
+        check_close "phi" (cos (k *. x i) /. (k *. k)) phi.(i);
+        check_close "E" (sin (k *. x i) /. k) e.(i)
+      done)
+    [ 1; 2; 5 ]
+
+let test_periodic_zero_mean () =
+  let n = 32 in
+  let rho = Array.init n (fun i -> sin (2.0 *. Float.pi *. float_of_int i /. 32.0)) in
+  let phi, e = Poisson.periodic_1d ~dx:0.1 rho in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+  check_close ~tol:1e-10 "phi mean" 0.0 (mean phi);
+  check_close ~tol:1e-10 "E mean" 0.0 (mean e)
+
+(* Dirichlet: phi'' = -1 on [0,1], phi(0)=phi(1)=0: phi = x(1-x)/2. *)
+let test_dirichlet_manufactured () =
+  let n = 200 in
+  let dx = 1.0 /. float_of_int n in
+  let rho = Array.make n 1.0 in
+  let phi = Poisson.dirichlet_1d ~dx ~phi_lo:0.0 ~phi_hi:0.0 rho in
+  for i = 0 to n - 1 do
+    let xi = (float_of_int i +. 0.5) *. dx in
+    check_close ~tol:1e-3 "phi" (xi *. (1.0 -. xi) /. 2.0) phi.(i)
+  done
+
+let test_dirichlet_bc_values () =
+  (* harmonic solution rho = 0: phi linear between the boundary values *)
+  let n = 100 in
+  let dx = 1.0 /. float_of_int n in
+  let phi = Poisson.dirichlet_1d ~dx ~phi_lo:2.0 ~phi_hi:5.0 (Array.make n 0.0) in
+  for i = 0 to n - 1 do
+    let xi = (float_of_int i +. 0.5) *. dx in
+    check_close ~tol:1e-10 "linear" (2.0 +. (3.0 *. xi)) phi.(i)
+  done
+
+let test_gauss_residual () =
+  let n = 64 in
+  let l = 2.0 *. Float.pi in
+  let dx = l /. float_of_int n in
+  let x i = (float_of_int i +. 0.5) *. dx in
+  let rho = Array.init n (fun i -> cos (x i)) in
+  let _, e = Poisson.periodic_1d ~dx rho in
+  (* consistent E: small residual (second-order central difference) *)
+  let r = Poisson.gauss_residual_1d ~dx ~e ~rho in
+  if r > 1e-2 then Alcotest.failf "gauss residual too big: %g" r;
+  (* inconsistent E: large residual *)
+  let bad = Array.map (fun v -> 2.0 *. v) e in
+  let rb = Poisson.gauss_residual_1d ~dx ~e:bad ~rho in
+  if rb < 0.5 then Alcotest.failf "expected large residual, got %g" rb
+
+let () =
+  Alcotest.run "dg_poisson"
+    [
+      ( "periodic",
+        [
+          Alcotest.test_case "manufactured" `Quick test_periodic_manufactured;
+          Alcotest.test_case "zero mean" `Quick test_periodic_zero_mean;
+        ] );
+      ( "dirichlet",
+        [
+          Alcotest.test_case "manufactured" `Quick test_dirichlet_manufactured;
+          Alcotest.test_case "boundary values" `Quick test_dirichlet_bc_values;
+        ] );
+      ("gauss", [ Alcotest.test_case "residual" `Quick test_gauss_residual ]);
+    ]

@@ -1,0 +1,200 @@
+(* Property-based tests (qcheck) over randomized configurations: the core
+   invariants must hold for every layout, basis family and random state,
+   not just the hand-picked cases of the unit suites. *)
+
+module Layout = Dg_kernels.Layout
+module Modal = Dg_basis.Modal
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Solver = Dg_vlasov.Solver
+module Moments = Dg_moments.Moments
+module Flux = Dg_kernels.Flux
+module Tensors = Dg_kernels.Tensors
+module Recovery = Dg_kernels.Recovery
+
+let layout_gen =
+  QCheck.Gen.(
+    let* cdim = int_range 1 2 in
+    let* vdim = int_range cdim 2 in
+    let* p = int_range 1 2 in
+    let* fam = oneofl [ Modal.Tensor; Modal.Serendipity; Modal.Maximal_order ] in
+    let* seed = int_range 0 10000 in
+    return (cdim, vdim, p, fam, seed))
+
+let pp_cfg (cdim, vdim, p, fam, seed) =
+  Printf.sprintf "%dx%dv p=%d %s seed=%d" cdim vdim p (Modal.family_name fam) seed
+
+let arb_cfg = QCheck.make ~print:pp_cfg layout_gen
+
+let build (cdim, vdim, p, fam, seed) =
+  let pdim = cdim + vdim in
+  let cells = Array.init pdim (fun d -> if d < cdim then 3 else 4) in
+  let lower = Array.init pdim (fun d -> if d < cdim then 0.0 else -2.0) in
+  let upper = Array.init pdim (fun d -> if d < cdim then 1.0 else 2.0) in
+  let lay =
+    Layout.make ~cdim ~vdim ~family:fam ~poly_order:p
+      ~grid:(Grid.make ~cells ~lower ~upper)
+  in
+  let np = Layout.num_basis lay in
+  let rng = Random.State.make [| seed |] in
+  let f = Field.create lay.Layout.grid ~ncomp:np in
+  Grid.iter_cells lay.Layout.grid (fun _ c ->
+      for k = 0 to np - 1 do
+        Field.set f c k (Random.State.float rng 2.0 -. 1.0)
+      done);
+  Field.sync_ghosts f
+    (Array.init pdim (fun d ->
+         if d < cdim then (Field.Periodic, Field.Periodic)
+         else (Field.Zero, Field.Zero)));
+  let nc = Layout.num_cbasis lay in
+  let em = Field.create lay.Layout.cgrid ~ncomp:(8 * nc) in
+  Grid.iter_cells lay.Layout.cgrid (fun _ c ->
+      for k = 0 to (6 * nc) - 1 do
+        Field.set em c k (Random.State.float rng 2.0 -. 1.0)
+      done);
+  Field.sync_ghosts em (Array.make cdim (Field.Periodic, Field.Periodic));
+  (lay, f, em, rng)
+
+(* Mass conservation for every random configuration and both fluxes. *)
+let prop_mass_conservation =
+  QCheck.Test.make ~name:"rhs conserves particle number (any layout/flux)"
+    ~count:25 arb_cfg (fun cfg ->
+      let lay, f, em, _ = build cfg in
+      let np = Layout.num_basis lay in
+      let ok flux =
+        let solver = Solver.create ~flux ~qm:(-1.2) lay in
+        let out = Field.create lay.Layout.grid ~ncomp:np in
+        Solver.rhs solver ~f ~em:(Some em) ~out;
+        let mom = Moments.make lay in
+        let dm = Moments.total_mass mom ~f:out in
+        let scale = 1.0 +. Float.abs (Moments.total_mass mom ~f) in
+        Float.abs (dm /. scale) < 1e-9
+      in
+      ok Solver.Central && ok Solver.Upwind)
+
+(* The acceleration penalty bound really bounds |alpha| pointwise. *)
+let prop_accel_bound =
+  QCheck.Test.make ~name:"acceleration speed bound is a bound" ~count:25
+    arb_cfg (fun cfg ->
+      let lay, _, em, rng = build cfg in
+      let np = Layout.num_basis lay in
+      let nc = Layout.num_cbasis lay in
+      let alpha = Array.make np 0.0 in
+      let ok = ref true in
+      for vdir = 0 to lay.Layout.vdim - 1 do
+        (* the kernels only read support entries; the full-expansion
+           evaluation below needs the rest cleared *)
+        Array.fill alpha 0 np 0.0;
+        let ctx = Flux.make_accel_ctx lay ~vdir ~qm:1.7 in
+        let cc = Array.make lay.Layout.cdim 0 in
+        let vcenter =
+          Array.init lay.Layout.vdim (fun _ -> Random.State.float rng 2.0 -. 1.0)
+        in
+        Flux.accel_alpha ctx ~em:(Field.data em) ~em_off:(Field.offset em cc)
+          ~ncbasis:nc ~vcenter alpha;
+        let bound = Flux.accel_max_speed ctx alpha in
+        for _ = 1 to 20 do
+          let xi =
+            Array.init lay.Layout.pdim (fun _ -> Random.State.float rng 2.0 -. 1.0)
+          in
+          let v = Float.abs (Modal.eval_expansion lay.Layout.basis alpha xi) in
+          if v > bound +. 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
+(* Recovery across an interface reproduces any global polynomial of degree
+   <= 2p+1 exactly (value and slope). *)
+let prop_recovery_exact =
+  QCheck.Test.make ~name:"recovery exact on degree 2p+1 polynomials" ~count:50
+    QCheck.(pair (int_range 1 3) (int_range 0 100000))
+    (fun (p, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let deg = (2 * p) + 1 in
+      let coeffs = Array.init (deg + 1) (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+      (* the polynomial on the doubled cell s in [-2, 2] *)
+      let q s =
+        let acc = ref 0.0 in
+        for k = deg downto 0 do
+          acc := (!acc *. s) +. coeffs.(k)
+        done;
+        !acc
+      in
+      let dq s =
+        let acc = ref 0.0 in
+        for k = deg downto 1 do
+          acc := (!acc *. s) +. (float_of_int k *. coeffs.(k))
+        done;
+        !acc
+      in
+      (* project onto the two cells: u_{L,m} = int_{-1}^{1} q(xi - 1) P~_m *)
+      let project shift =
+        Array.init (p + 1) (fun m ->
+            Dg_cas.Quadrature.integrate ~dim:1 ~n:(p + 4) (fun pt ->
+                q (pt.(0) +. float_of_int shift)
+                *. Dg_cas.Legendre.eval_normalized m pt.(0)))
+      in
+      let ul = project (-1) and ur = project 1 in
+      let r = Recovery.shared p in
+      let dot a b = Array.fold_left ( +. ) 0.0 (Array.mapi (fun i x -> x *. b.(i)) a) in
+      let rval = dot r.Recovery.rval_l ul +. dot r.Recovery.rval_r ur in
+      let rder = dot r.Recovery.rder_l ul +. dot r.Recovery.rder_r ur in
+      Dg_util.Float_cmp.close ~rtol:1e-8 ~atol:1e-8 rval (q 0.0)
+      && Dg_util.Float_cmp.close ~rtol:1e-8 ~atol:1e-8 rder (dq 0.0))
+
+(* Snapshot round-trips arbitrary field shapes bit-exactly. *)
+let prop_snapshot_roundtrip =
+  QCheck.Test.make ~name:"snapshot roundtrip" ~count:20
+    QCheck.(triple (int_range 1 5) (int_range 1 4) (int_range 0 1000))
+    (fun (nx, ncomp, seed) ->
+      let grid =
+        Grid.make ~cells:[| nx; 3 |] ~lower:[| 0.; -1. |] ~upper:[| 1.; 1. |]
+      in
+      let f = Field.create grid ~ncomp in
+      let rng = Random.State.make [| seed |] in
+      let d = Field.data f in
+      for i = 0 to Array.length d - 1 do
+        d.(i) <- Random.State.float rng 2.0 -. 1.0
+      done;
+      let path = Filename.temp_file "dgprop" ".bin" in
+      Dg_io.Snapshot.write_field path f;
+      let g = Dg_io.Snapshot.read_field path in
+      Sys.remove path;
+      Field.data g = Field.data f)
+
+(* Weak multiplication is bilinear and symmetric. *)
+let prop_weak_mul =
+  QCheck.Test.make ~name:"weak multiplication bilinear + symmetric" ~count:30
+    (QCheck.make QCheck.Gen.(int_range 0 100000) ~print:string_of_int)
+    (fun seed ->
+      let lay, _, _, _ = build (1, 1, 2, Modal.Serendipity, seed) in
+      let prim = Dg_collisions.Prim_moments.make lay in
+      let nc = Layout.num_cbasis lay in
+      let rng = Random.State.make [| seed + 1 |] in
+      let rand () = Array.init nc (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+      let a = rand () and b = rand () and c = rand () in
+      let mul x y =
+        let out = Array.make nc 0.0 in
+        Dg_collisions.Prim_moments.weak_mul prim x y out;
+        out
+      in
+      let ab = mul a b and ba = mul b a in
+      let sum = Array.mapi (fun i x -> x +. c.(i)) b in
+      let a_sum = mul a sum in
+      let ab_ac = Array.mapi (fun i x -> x +. (mul a c).(i)) ab in
+      Dg_util.Float_cmp.array_close ~rtol:1e-10 ~atol:1e-12 ab ba
+      && Dg_util.Float_cmp.array_close ~rtol:1e-9 ~atol:1e-11 a_sum ab_ac)
+
+let () =
+  Alcotest.run "dg_properties"
+    [
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_mass_conservation;
+            prop_accel_bound;
+            prop_recovery_exact;
+            prop_snapshot_roundtrip;
+            prop_weak_mul;
+          ] );
+    ]

@@ -1,0 +1,99 @@
+(* SSP-RK stepper tests: convergence order on a smooth ODE and exactness on
+   the problems each scheme must integrate exactly. *)
+
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Stepper = Dg_time.Stepper
+
+(* A scalar ODE y' = lambda y embedded in a 1-cell field. *)
+let ode_error ~scheme ~nsteps =
+  let g = Grid.make ~cells:[| 1 |] ~lower:[| 0. |] ~upper:[| 1. |] in
+  let y = Field.create g ~ncomp:1 in
+  Field.set y [| 0 |] 0 1.0;
+  let lambda = -1.3 in
+  let rhs ~time:_ state outs =
+    match (state, outs) with
+    | [ s ], [ o ] -> Field.set o [| 0 |] 0 (lambda *. Field.get s [| 0 |] 0)
+    | _ -> assert false
+  in
+  let st = Stepper.create ~scheme ~like:[ y ] in
+  let tend = 1.0 in
+  let dt = tend /. float_of_int nsteps in
+  for i = 0 to nsteps - 1 do
+    Stepper.step st ~rhs ~time:(float_of_int i *. dt) ~dt [ y ]
+  done;
+  Float.abs (Field.get y [| 0 |] 0 -. exp (lambda *. tend))
+
+let test_order () =
+  List.iter
+    (fun (scheme, expected) ->
+      let e1 = ode_error ~scheme ~nsteps:20 in
+      let e2 = ode_error ~scheme ~nsteps:40 in
+      let order = log (e1 /. e2) /. log 2.0 in
+      if Float.abs (order -. expected) > 0.3 then
+        Alcotest.failf "%s: order %.2f, expected %.1f"
+          (Stepper.scheme_name scheme) order expected)
+    [ (Stepper.Euler, 1.0); (Stepper.Ssp_rk2, 2.0); (Stepper.Ssp_rk3, 3.0) ]
+
+(* A time-dependent RHS y' = t^k is integrated exactly by an order > k
+   scheme; checks the stage-time bookkeeping. *)
+let poly_error ~scheme ~k =
+  let g = Grid.make ~cells:[| 1 |] ~lower:[| 0. |] ~upper:[| 1. |] in
+  let y = Field.create g ~ncomp:1 in
+  let rhs ~time state outs =
+    match (state, outs) with
+    | [ _ ], [ o ] -> Field.set o [| 0 |] 0 (time ** float_of_int k)
+    | _ -> assert false
+  in
+  let st = Stepper.create ~scheme ~like:[ y ] in
+  let dt = 0.25 in
+  for i = 0 to 3 do
+    Stepper.step st ~rhs ~time:(float_of_int i *. dt) ~dt [ y ]
+  done;
+  Float.abs (Field.get y [| 0 |] 0 -. (1.0 /. float_of_int (k + 1)))
+
+let test_exact_linear_in_time () =
+  (* SSP-RK2/RK3 integrate y' = t exactly *)
+  if poly_error ~scheme:Stepper.Ssp_rk2 ~k:1 > 1e-13 then
+    Alcotest.fail "rk2 not exact on y'=t";
+  if poly_error ~scheme:Stepper.Ssp_rk3 ~k:1 > 1e-13 then
+    Alcotest.fail "rk3 not exact on y'=t"
+
+(* SSP property smoke: total-variation boundedness on upwind advection is
+   overkill here; instead check the convex-combination structure preserves
+   constants exactly. *)
+let test_preserves_constants () =
+  let g = Grid.make ~cells:[| 4 |] ~lower:[| 0. |] ~upper:[| 1. |] in
+  let y = Field.create g ~ncomp:2 in
+  Field.fill y 7.5;
+  let rhs ~time:_ _ outs =
+    match outs with [ o ] -> Field.fill o 0.0 | _ -> assert false
+  in
+  let st = Stepper.create ~scheme:Stepper.Ssp_rk3 ~like:[ y ] in
+  for _ = 1 to 10 do
+    Stepper.step st ~rhs ~time:0.0 ~dt:0.1 [ y ]
+  done;
+  Grid.iter_cells g (fun _ c ->
+      Alcotest.(check (float 1e-14)) "constant preserved" 7.5 (Field.get y c 0))
+
+let test_cfl_dt () =
+  let dt =
+    Stepper.cfl_dt ~cfl:0.9 ~poly_order:2 ~dx:[| 0.1; 0.2 |] ~speeds:[| 1.0; 4.0 |]
+  in
+  (* Courant numbers add across dimensions:
+     dt = 0.9 / (5 * (1/0.1 + 4/0.2)) = 0.9 / 150 = 0.006 *)
+  Alcotest.(check (float 1e-12)) "cfl" 0.006 dt;
+  let dt0 = Stepper.cfl_dt ~cfl:1.0 ~poly_order:1 ~dx:[| 1.0 |] ~speeds:[| 0.0 |] in
+  Alcotest.(check bool) "zero speed -> unbounded" true (dt0 = infinity)
+
+let () =
+  Alcotest.run "dg_time"
+    [
+      ( "stepper",
+        [
+          Alcotest.test_case "convergence order" `Quick test_order;
+          Alcotest.test_case "exact on linear-in-time" `Quick test_exact_linear_in_time;
+          Alcotest.test_case "preserves constants" `Quick test_preserves_constants;
+          Alcotest.test_case "cfl dt" `Quick test_cfl_dt;
+        ] );
+    ]

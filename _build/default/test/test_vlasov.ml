@@ -1,0 +1,243 @@
+(* Solver-level tests of the modal Vlasov update: conservation laws and the
+   discrete field-particle energy-exchange identity (paper Eq. 9), which
+   holds only because every integral is evaluated exactly (alias-free). *)
+
+module Layout = Dg_kernels.Layout
+module Modal = Dg_basis.Modal
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Solver = Dg_vlasov.Solver
+module Moments = Dg_moments.Moments
+
+let check_close ?(tol = 1e-10) msg a b =
+  if not (Dg_util.Float_cmp.close ~rtol:tol ~atol:tol a b) then
+    Alcotest.failf "%s: %.17g <> %.17g" msg a b
+
+let make_lay ~cdim ~vdim ~family ~p ~cells_c ~cells_v ~vmax =
+  let pdim = cdim + vdim in
+  let cells =
+    Array.init pdim (fun d -> if d < cdim then cells_c else cells_v)
+  in
+  let lower = Array.init pdim (fun d -> if d < cdim then 0.0 else -.vmax) in
+  let upper =
+    Array.init pdim (fun d -> if d < cdim then 2.0 *. Float.pi else vmax)
+  in
+  let grid = Grid.make ~cells ~lower ~upper in
+  Layout.make ~cdim ~vdim ~family ~poly_order:p ~grid
+
+let phase_bcs (lay : Layout.t) =
+  Array.init lay.Layout.pdim (fun d ->
+      if d < lay.Layout.cdim then (Field.Periodic, Field.Periodic)
+      else (Field.Zero, Field.Zero))
+
+(* Random distribution supported away from the velocity boundary (so the
+   zero-flux velocity BC introduces no boundary terms). *)
+let random_f ?(seed = 5) (lay : Layout.t) =
+  let rng = Random.State.make [| seed |] in
+  let np = Layout.num_basis lay in
+  let f = Field.create lay.Layout.grid ~ncomp:np in
+  let interior = ref true in
+  Grid.iter_cells lay.Layout.grid (fun _ c ->
+      interior := true;
+      for d = lay.Layout.cdim to lay.Layout.pdim - 1 do
+        let n = (Grid.cells lay.Layout.grid).(d) in
+        if c.(d) = 0 || c.(d) = n - 1 then interior := false
+      done;
+      if !interior then
+        for k = 0 to np - 1 do
+          Field.set f c k (Random.State.float rng 2.0 -. 1.0)
+        done);
+  f
+
+let random_em ?(seed = 9) (lay : Layout.t) =
+  let rng = Random.State.make [| seed |] in
+  let nc = Layout.num_cbasis lay in
+  let em = Field.create lay.Layout.cgrid ~ncomp:(8 * nc) in
+  Grid.iter_cells lay.Layout.cgrid (fun _ c ->
+      for k = 0 to (6 * nc) - 1 do
+        Field.set em c k (Random.State.float rng 2.0 -. 1.0)
+      done);
+  em
+
+(* A spatially uniform distribution is an exact steady state of streaming
+   (no fields): rhs must vanish identically. *)
+let test_uniform_steady () =
+  let lay = make_lay ~cdim:1 ~vdim:1 ~family:Modal.Serendipity ~p:2 ~cells_c:4
+      ~cells_v:6 ~vmax:3.0 in
+  let np = Layout.num_basis lay in
+  let solver = Solver.create ~flux:Solver.Upwind ~qm:1.0 lay in
+  let f = Field.create lay.Layout.grid ~ncomp:np in
+  (* f varying in v only: coefficients on velocity-only modes *)
+  Dg_app.Vm_app.project_phase lay
+    ~f:(fun ~pos:_ ~vel -> exp (-.(vel.(0) *. vel.(0))))
+    f;
+  Field.sync_ghosts f (phase_bcs lay);
+  let out = Field.create lay.Layout.grid ~ncomp:np in
+  Solver.rhs solver ~f ~em:None ~out;
+  Grid.iter_cells lay.Layout.grid (fun _ c ->
+      for k = 0 to np - 1 do
+        let v = Field.get out c k in
+        if Float.abs v > 1e-11 then
+          Alcotest.failf "rhs not zero: %a k=%d v=%g"
+            (Fmt.array ~sep:Fmt.comma Fmt.int) c k v
+      done)
+
+(* Particle number is conserved: int (df/dt) dz = 0 to machine precision,
+   for both flux choices, with and without fields. *)
+let test_mass_conservation () =
+  List.iter
+    (fun (flux, with_em, cdim, vdim, family, p) ->
+      let lay = make_lay ~cdim ~vdim ~family ~p ~cells_c:4 ~cells_v:4 ~vmax:2.0 in
+      let np = Layout.num_basis lay in
+      let solver = Solver.create ~flux ~qm:(-1.5) lay in
+      let f = random_f lay in
+      Field.sync_ghosts f (phase_bcs lay);
+      let em = if with_em then Some (random_em lay) else None in
+      (match em with
+      | Some e ->
+          Field.sync_ghosts e
+            (Array.make lay.Layout.cdim (Field.Periodic, Field.Periodic))
+      | None -> ());
+      let out = Field.create lay.Layout.grid ~ncomp:np in
+      Solver.rhs solver ~f ~em ~out;
+      let mom = Moments.make lay in
+      let dmass = Moments.total_mass mom ~f:out in
+      let scale = Moments.total_mass mom ~f in
+      check_close ~tol:1e-9
+        (Printf.sprintf "d(mass)/dt = 0 (em=%b)" with_em)
+        0.0
+        (dmass /. Float.max 1.0 (Float.abs scale)))
+    [
+      (Solver.Central, false, 1, 1, Modal.Serendipity, 2);
+      (Solver.Upwind, false, 1, 1, Modal.Serendipity, 2);
+      (Solver.Central, true, 1, 1, Modal.Tensor, 2);
+      (Solver.Upwind, true, 1, 2, Modal.Serendipity, 1);
+      (Solver.Upwind, true, 2, 2, Modal.Serendipity, 1);
+    ]
+
+(* The discrete energy-exchange identity, Eq. 9 of the paper:
+     d/dt int (m |v|^2 / 2) f_h dz = int J_h . E_h dx
+   for central fluxes and p >= 2.  This is the property aliasing errors
+   destroy; it must hold to machine precision here. *)
+let test_energy_exchange_identity () =
+  List.iter
+    (fun (cdim, vdim, family) ->
+      let lay =
+        make_lay ~cdim ~vdim ~family ~p:2 ~cells_c:3 ~cells_v:6 ~vmax:2.5
+      in
+      let np = Layout.num_basis lay in
+      let mass = 2.5 and charge = -1.5 in
+      let solver = Solver.create ~flux:Solver.Central ~qm:(charge /. mass) lay in
+      let f = random_f lay in
+      Field.sync_ghosts f (phase_bcs lay);
+      let em = random_em lay in
+      Field.sync_ghosts em
+        (Array.make lay.Layout.cdim (Field.Periodic, Field.Periodic));
+      let out = Field.create lay.Layout.grid ~ncomp:np in
+      Solver.rhs solver ~f ~em:(Some em) ~out;
+      let mom = Moments.make lay in
+      (* LHS: (m/2) int |v|^2 (df/dt) dz *)
+      let ke_dot = Moments.total_kinetic_energy mom ~mass ~f:out in
+      (* RHS: int J . E dx with J = q M1 *)
+      let nc = Layout.num_cbasis lay in
+      let j = Field.create lay.Layout.cgrid ~ncomp:(3 * nc) in
+      Moments.accumulate_current mom ~charge ~f ~out:j;
+      let jac =
+        Grid.cell_volume lay.Layout.cgrid /. (2.0 ** float_of_int cdim)
+      in
+      let je = ref 0.0 in
+      Grid.iter_cells lay.Layout.cgrid (fun _ c ->
+          let jb = Field.offset j c and eb = Field.offset em c in
+          for comp = 0 to min 2 (lay.Layout.vdim - 1) do
+            for k = 0 to nc - 1 do
+              je :=
+                !je
+                +. (Field.data j).(jb + (comp * nc) + k)
+                   *. (Field.data em).(eb + (comp * nc) + k)
+            done
+          done);
+      let je = !je *. jac in
+      check_close ~tol:1e-9
+        (Printf.sprintf "dKE/dt = J.E (%dx%dv %s)" cdim vdim
+           (Modal.family_name family))
+        je ke_dot)
+    [ (1, 1, Modal.Tensor); (1, 2, Modal.Serendipity); (2, 2, Modal.Serendipity) ]
+
+(* Free-streaming advection of a smooth profile: compare against the exact
+   solution f0(x - v t, v) after a short time; the error must converge at
+   high order with resolution. *)
+let advection_error ~cells_c ~p =
+  (* refine both dimensions so the velocity-space projection error also
+     shrinks, and keep the Gaussian negligible at the velocity boundary *)
+  let lay =
+    make_lay ~cdim:1 ~vdim:1 ~family:Modal.Tensor ~p ~cells_c ~cells_v:cells_c
+      ~vmax:3.0
+  in
+  let np = Layout.num_basis lay in
+  let solver = Solver.create ~flux:Solver.Upwind ~qm:0.0 lay in
+  let f0 ~pos ~vel = (1.0 +. (0.5 *. sin pos.(0))) *. exp (-2.0 *. vel.(0) *. vel.(0)) in
+  let f = Field.create lay.Layout.grid ~ncomp:np in
+  Dg_app.Vm_app.project_phase lay ~f:f0 f;
+  let stepper = Dg_time.Stepper.create ~scheme:Dg_time.Stepper.Ssp_rk3 ~like:[ f ] in
+  let bcs = phase_bcs lay in
+  let rhs ~time:_ state outs =
+    match (state, outs) with
+    | [ fs ], [ os ] ->
+        Field.sync_ghosts fs bcs;
+        Solver.rhs solver ~f:fs ~em:None ~out:os
+    | _ -> assert false
+  in
+  let tend = 0.5 in
+  let dt = 0.2 /. float_of_int cells_c in
+  let nsteps = int_of_float (Float.ceil (tend /. dt)) in
+  let dt = tend /. float_of_int nsteps in
+  for i = 0 to nsteps - 1 do
+    Dg_time.Stepper.step stepper ~rhs ~time:(float_of_int i *. dt) ~dt [ f ]
+  done;
+  (* L2 error against the exact solution via quadrature *)
+  let exact ~pos ~vel = f0 ~pos:[| pos.(0) -. (vel.(0) *. tend) |] ~vel in
+  let err = ref 0.0 in
+  let phys = Array.make 2 0.0 in
+  let basis = lay.Layout.basis in
+  let pts, wts = Dg_cas.Quadrature.tensor ~dim:2 ~n:(p + 2) in
+  let jac = Grid.cell_volume lay.Layout.grid /. 4.0 in
+  let block = Array.make np 0.0 in
+  Grid.iter_cells lay.Layout.grid (fun _ c ->
+      Field.read_block f c block;
+      Array.iteri
+        (fun q pt ->
+          Grid.to_physical lay.Layout.grid c pt phys;
+          let d =
+            Modal.eval_expansion basis block pt
+            -. exact ~pos:[| phys.(0) |] ~vel:[| phys.(1) |]
+          in
+          err := !err +. (wts.(q) *. d *. d *. jac))
+        pts);
+  sqrt !err
+
+let test_advection_convergence () =
+  List.iter
+    (fun p ->
+      let e1 = advection_error ~cells_c:8 ~p in
+      let e2 = advection_error ~cells_c:16 ~p in
+      let order = log (e1 /. e2) /. log 2.0 in
+      if order < float_of_int p +. 0.5 then
+        Alcotest.failf "p=%d: order %.2f too low (e: %.3e -> %.3e)" p order e1 e2)
+    [ 1; 2 ]
+
+let () =
+  Alcotest.run "dg_vlasov"
+    [
+      ( "conservation",
+        [
+          Alcotest.test_case "uniform steady state" `Quick test_uniform_steady;
+          Alcotest.test_case "mass conservation" `Quick test_mass_conservation;
+          Alcotest.test_case "energy exchange identity (Eq. 9)" `Quick
+            test_energy_exchange_identity;
+        ] );
+      ( "accuracy",
+        [
+          Alcotest.test_case "advection convergence order" `Slow
+            test_advection_convergence;
+        ] );
+    ]
