@@ -552,10 +552,15 @@ let ablation () =
         done)
     /. float_of_int n_inner
   in
+  let b12p2 =
+    Option.get
+      (Dg_genkernels.Kernels.find ~family:"serendipity" ~poly_order:2 ~cdim:1
+         ~vdim:2 ~dir:1)
+  in
   let t_gen =
     time_per_call (fun () ->
         for _ = 1 to n_inner do
-          Dg_genkernels.Kernels.vol_accel_1x2v_p2_ser ~scale:1.0 alpha f out
+          b12p2.Dg_genkernels.Kernels.vol ~scale:1.0 alpha f ~foff:0 out ~ooff:0
         done)
     /. float_of_int n_inner
   in
@@ -636,8 +641,15 @@ let micro () =
   let tests =
     [
       Test.make ~name:"fig1_generated_kernel"
-        (Staged.stage (fun () ->
-             Dg_genkernels.Kernels.vol_accel_1x2v_p2_ser ~scale:1.0 alpha fvec ovec));
+        (Staged.stage
+           (let b =
+              Option.get
+                (Dg_genkernels.Kernels.find ~family:"serendipity" ~poly_order:2
+                   ~cdim:1 ~vdim:2 ~dir:1)
+            in
+            fun () ->
+              b.Dg_genkernels.Kernels.vol ~scale:1.0 alpha fvec ~foff:0 ovec
+                ~ooff:0));
       Test.make ~name:"fig2_modal_rhs_1x2v_p2"
         (Staged.stage (fun () ->
              Solver.rhs solver12 ~f:f12 ~em:(Some em12) ~out:out12));
@@ -680,10 +692,98 @@ let micro () =
       | _ -> pr "%-36s %16s\n" name "n/a")
     results
 
+(* --- kernel dispatch: specialized vs interpreted RHS, JSON report -------- *)
+
+(* Measures the full Solver.rhs with the generated unrolled kernels against
+   the interpreted sparse path for every registry configuration that fits
+   the bench box, and writes per-config medians + speedups as JSON
+   (bench/main.exe micro --json BENCH_kernels.json). *)
+let kernels_json path =
+  section "Kernel dispatch - specialized vs interpreted Solver.rhs";
+  let module K = Dg_genkernels.Kernels in
+  let bench_configs =
+    [
+      ("1x1v_p1_ser", Modal.Serendipity, 1, 1, 1);
+      ("1x1v_p2_ser", Modal.Serendipity, 2, 1, 1);
+      ("1x2v_p1_ser", Modal.Serendipity, 1, 1, 2);
+      ("1x2v_p2_ser", Modal.Serendipity, 2, 1, 2);
+      ("2x2v_p1_ser", Modal.Serendipity, 1, 2, 2);
+      ("2x2v_p2_ser", Modal.Serendipity, 2, 2, 2);
+      ("1x2v_p2_tensor", Modal.Tensor, 2, 1, 2);
+    ]
+  in
+  let entries =
+    List.map
+      (fun (name, family, p, cdim, vdim) ->
+        let cells_c = if cdim = 1 then 8 else 4 in
+        let lay = make_layout ~cells_c ~cells_v:6 ~cdim ~vdim ~family ~p () in
+        let np = Layout.num_basis lay in
+        let sd =
+          Solver.create ~flux:Solver.Upwind ~use_kernels:true ~qm:(-1.0) lay
+        in
+        let si =
+          Solver.create ~flux:Solver.Upwind ~use_kernels:false ~qm:(-1.0) lay
+        in
+        let f = random_field lay.Layout.grid ~ncomp:np in
+        Field.sync_ghosts f (phase_bcs lay);
+        let em = random_em lay in
+        let out = Field.create lay.Layout.grid ~ncomp:np in
+        let ws_d = Solver.make_workspace sd and ws_i = Solver.make_workspace si in
+        let t_disp =
+          time_per_call (fun () -> Solver.rhs ~ws:ws_d sd ~f ~em:(Some em) ~out)
+        in
+        let t_interp =
+          time_per_call (fun () -> Solver.rhs ~ws:ws_i si ~f ~em:(Some em) ~out)
+        in
+        let fname = Modal.family_name family in
+        let mults =
+          Array.init lay.Layout.pdim (fun dir ->
+              match K.find ~family:fname ~poly_order:p ~cdim ~vdim ~dir with
+              | Some b -> b.K.mults
+              | None -> 0)
+        in
+        let spec = Solver.specialized_dirs sd in
+        let speedup = t_interp /. t_disp in
+        pr "%-16s dispatched %10.0f ns  interpreted %10.0f ns  %5.2fx  [%s]\n"
+          name (t_disp *. 1e9) (t_interp *. 1e9) speedup
+          (String.concat ""
+             (Array.to_list (Array.map (fun b -> if b then "S" else "i") spec)));
+        Printf.sprintf
+          "    {\"config\": %S, \"family\": %S, \"poly_order\": %d, \"cdim\": \
+           %d, \"vdim\": %d, \"num_basis\": %d,\n\
+          \     \"mults_per_dir\": [%s], \"specialized_dirs\": [%s],\n\
+          \     \"rhs_dispatched_ns\": %.1f, \"rhs_interpreted_ns\": %.1f, \
+           \"speedup\": %.3f}"
+          name fname p cdim vdim np
+          (String.concat ", "
+             (Array.to_list (Array.map string_of_int mults)))
+          (String.concat ", "
+             (Array.to_list
+                (Array.map (fun b -> if b then "true" else "false") spec)))
+          (t_disp *. 1e9) (t_interp *. 1e9) speedup)
+      bench_configs
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"kernel_dispatch_rhs\",\n  \"timer\": \
+     \"median_of_3_autoscaled\",\n  \"configs\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" entries);
+  close_out oc;
+  pr "wrote %s\n" path
+
 (* --- driver --------------------------------------------------------------- *)
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let argv = Array.to_list Sys.argv in
+  (* --json FILE: also run the kernel-dispatch comparison, write JSON *)
+  let rec find_json = function
+    | "--json" :: file :: _ -> Some file
+    | _ :: rest -> find_json rest
+    | [] -> None
+  in
+  let json = find_json argv in
+  let args = List.filter (fun a -> a <> "--json" && Some a <> json) argv in
+  let what = match args with _ :: w :: _ -> w | _ -> "all" in
   (match what with
   | "fig1" -> fig1 ()
   | "fig2" -> ignore (fig2 ())
@@ -694,6 +794,7 @@ let () =
   | "conservation" -> conservation ()
   | "ablation" -> ablation ()
   | "micro" -> micro ()
+  | "kernels" -> () (* dispatch comparison only (with --json below) *)
   | "all" ->
       fig1 ();
       ignore (fig2 ());
@@ -707,4 +808,7 @@ let () =
   | s ->
       prerr_endline ("unknown benchmark: " ^ s);
       exit 1);
+  (match json with
+  | Some file -> kernels_json file
+  | None -> if what = "kernels" then kernels_json "BENCH_kernels.json");
   pr "\nbench done.\n"

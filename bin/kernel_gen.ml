@@ -4,68 +4,24 @@
 
      dune exec bin/kernel_gen.exe
 
-   and rebuild; the generated module is compiled into dg_genkernels and
-   cross-checked against the interpreted sparse tensors by the test suite. *)
+   and rebuild; the generated module is compiled into dg_genkernels, routed
+   into the solver hot path by Dg_kernels.Dispatch, and cross-checked
+   against the interpreted sparse tensors by the test suite.  A digest of
+   the deterministic payload is appended so test_codegen can detect a stale
+   committed file whenever the emitters or the standard configuration list
+   change. *)
 
-module Layout = Dg_kernels.Layout
-module Modal = Dg_basis.Modal
-module Grid = Dg_grid.Grid
 module Codegen = Dg_codegen.Codegen
-module Tensors = Dg_kernels.Tensors
-
-let layout ~cdim ~vdim ~family ~p =
-  let pdim = cdim + vdim in
-  let grid =
-    Grid.make ~cells:(Array.make pdim 2)
-      ~lower:(Array.make pdim (-1.0))
-      ~upper:(Array.make pdim 1.0)
-  in
-  Layout.make ~cdim ~vdim ~family ~poly_order:p ~grid
 
 let () =
-  let configs =
-    [
-      (1, 1, Modal.Tensor, 1, "1x1v_p1_tensor");
-      (1, 1, Modal.Tensor, 2, "1x1v_p2_tensor");
-      (1, 2, Modal.Tensor, 1, "1x2v_p1_tensor");
-      (1, 2, Modal.Serendipity, 2, "1x2v_p2_ser");
-    ]
-  in
-  let items = ref [] in
-  let index = ref [] in
-  List.iter
-    (fun (cdim, vdim, family, p, tag) ->
-      let lay = layout ~cdim ~vdim ~family ~p in
-      (* specialized streaming volume kernel for direction 0 *)
-      let src, mults =
-        Codegen.emit_streaming_volume lay ~dir:0
-          ~name:(Printf.sprintf "vol_stream_%s" tag)
-      in
-      items := src :: !items;
-      index := Printf.sprintf "   vol_stream_%s: %d multiplications" tag mults :: !index;
-      (* generic unrolled acceleration volume kernel for the first velocity
-         direction *)
-      let dir = cdim in
-      let support = Tensors.acceleration_support lay ~vdir:dir in
-      let vol = Tensors.volume lay.Layout.basis ~support ~dir in
-      let src =
-        Codegen.emit_t3_apply ~name:(Printf.sprintf "vol_accel_%s" tag) vol
-      in
-      items := src :: !items;
-      index :=
-        Printf.sprintf "   vol_accel_%s: %d multiplications" tag
-          (Codegen.mult_count_t3 vol)
-        :: !index)
-    configs;
-  let header =
-    "Auto-generated unrolled modal DG kernels (paper Fig. 1 analogue).\n"
-    ^ String.concat "\n" (List.rev !index)
-  in
-  let out = Codegen.emit_module ~header (List.rev !items) in
+  let payload = Codegen.registry_payload () in
+  let digest = Digest.to_hex (Digest.string payload) in
   let path = "lib/genkernels/kernels.ml" in
-  (try Unix.mkdir "lib/genkernels" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (try Unix.mkdir "lib/genkernels" 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let oc = open_out path in
-  output_string oc out;
+  output_string oc payload;
+  output_string oc (Printf.sprintf "\nlet source_digest = %S\n" digest);
   close_out oc;
   let dune_path = "lib/genkernels/dune" in
   if not (Sys.file_exists dune_path) then begin
@@ -73,4 +29,5 @@ let () =
     output_string oc "(library\n (name dg_genkernels))\n";
     close_out oc
   end;
-  Printf.printf "wrote %s\n%s\n" path header
+  Printf.printf "wrote %s (digest %s, %d bytes)\n" path digest
+    (String.length payload)

@@ -51,6 +51,7 @@ type spec = {
   field_model : field_model;
   init_em : (float array -> float array) option; (* x -> 8 components *)
   vlasov_flux : Solver.flux_kind;
+  use_generated_kernels : bool; (* dispatch to unrolled kernels when available *)
   maxwell_flux : Dg_lindg.Lindg.flux_kind;
   cfl : float;
   scheme : Stepper.scheme;
@@ -70,6 +71,7 @@ let default_spec ~cdim ~vdim ~cells ~lower ~upper ~species =
     field_model = Full_maxwell;
     init_em = None;
     vlasov_flux = Solver.Upwind;
+    use_generated_kernels = true;
     maxwell_flux = Dg_lindg.Lindg.Central;
     cfl = 0.9;
     scheme = Stepper.Ssp_rk3;
@@ -152,6 +154,7 @@ let create (spec : spec) =
              s_spec = ss;
              solver =
                Solver.create ~flux:spec.vlasov_flux
+                 ~use_kernels:spec.use_generated_kernels
                  ~qm:(ss.charge /. ss.mass) lay;
              moments = Moments.make lay;
              collide =

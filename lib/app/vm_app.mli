@@ -50,6 +50,9 @@ type spec = {
   init_em : (float array -> float array) option;
       (** x -> the 8 EM components (Ex..Bz, phi, psi) *)
   vlasov_flux : Solver.flux_kind;
+  use_generated_kernels : bool;
+      (** dispatch species updates to the generated unrolled kernels when
+          the registry covers the basis (default [true]) *)
   maxwell_flux : Dg_lindg.Lindg.flux_kind;
   cfl : float;
   scheme : Stepper.scheme;

@@ -24,3 +24,24 @@ val nodal_mult_estimate : Layout.t -> int
     paper quotes (~250 vs ~70 at 1X2V p=1). *)
 
 val emit_module : header:string -> string list -> string
+
+val emit_t3_apply_off : name:string -> Sparse.t3 -> string
+(** Unrolled 3-tensor application reading [f.(foff + n)] and writing
+    [out.(ooff + l)] — runs directly on field coefficient blocks. *)
+
+val emit_t2_apply_off : name:string -> Sparse.t2 -> string
+val mult_count_t2 : Sparse.t2 -> int
+
+val emit_streaming_volume_off :
+  Layout.t -> dir:int -> name:string -> string * int
+(** Offset variant of {!emit_streaming_volume}. *)
+
+val standard_configs : (Dg_basis.Modal.family * int * int * int) list
+(** The (family, poly_order, cdim, vdim) configurations whose kernel
+    bundles ship pre-generated in [lib/genkernels]. *)
+
+val registry_payload : unit -> string
+(** The complete generated-kernel module source: per-direction bundles
+    for every standard configuration plus the dispatch registry.
+    Deterministic — [bin/kernel_gen] appends a digest of this payload to
+    the committed file and test_codegen recomputes it to detect staleness. *)

@@ -1,0 +1,87 @@
+(* Kernel dispatch: route each per-direction tensor application through a
+   generated unrolled kernel (lib/genkernels, the paper's Fig.-1 kernels)
+   when one exists for the layout's basis, falling back to the interpreted
+   sparse application otherwise.  Selection happens once at solver creation;
+   the hot path pays a single constructor match per tensor application.
+
+   The registry is keyed by (family, poly_order, cdim, vdim, dir), so a
+   configuration can be partially specialized — e.g. 2X2V p=2 tensor ships
+   unrolled streaming (configuration) directions while its very large
+   acceleration directions stay interpreted. *)
+
+module K = Dg_genkernels.Kernels
+module Modal = Dg_basis.Modal
+
+type t3_op = Gen3 of K.t3_fn | Interp3 of Sparse.t3
+type t2_op = Gen2 of K.t2_fn | Interp2 of Sparse.t2
+
+let apply_t3 op ~scale (alpha : float array) (f : float array) ~foff
+    (out : float array) ~ooff =
+  match op with
+  | Gen3 k -> k ~scale alpha f ~foff out ~ooff
+  | Interp3 t -> Sparse.apply_t3_off t ~scale alpha f ~foff out ~ooff
+
+let apply_t2 op ~scale (f : float array) ~foff (out : float array) ~ooff =
+  match op with
+  | Gen2 k -> k ~scale f ~foff out ~ooff
+  | Interp2 t -> Sparse.apply_t2_off t ~scale f ~foff out ~ooff
+
+(* All tensor applications of one phase-space direction, pre-dispatched.
+   [vol_stream] is the specialized streaming volume kernel (configuration
+   directions of specialized bundles only): it folds the two-coefficient
+   flux expansion into the literals, so the caller passes cell geometry
+   instead of a flux expansion. *)
+type dir_ops = {
+  specialized : bool;
+  vol : t3_op;
+  vol_stream : K.stream_fn option;
+  surf_ll : t3_op;
+  surf_lr : t3_op;
+  surf_rl : t3_op;
+  surf_rr : t3_op;
+  pen_ll : t2_op;
+  pen_lr : t2_op;
+  pen_rl : t2_op;
+  pen_rr : t2_op;
+  mults : int; (* multiplications per cell-direction update (generated) *)
+}
+
+let find_bundle (lay : Layout.t) ~dir =
+  let basis = lay.Layout.basis in
+  K.find
+    ~family:(Modal.family_name (Modal.family basis))
+    ~poly_order:(Modal.poly_order basis) ~cdim:lay.Layout.cdim
+    ~vdim:lay.Layout.vdim ~dir
+
+let make ~use_generated (lay : Layout.t) ~dir (dk : Tensors.dir_kernels) =
+  match (if use_generated then find_bundle lay ~dir else None) with
+  | Some b ->
+      {
+        specialized = true;
+        vol = Gen3 b.K.vol;
+        vol_stream = b.K.vol_stream;
+        surf_ll = Gen3 b.K.surf_ll;
+        surf_lr = Gen3 b.K.surf_lr;
+        surf_rl = Gen3 b.K.surf_rl;
+        surf_rr = Gen3 b.K.surf_rr;
+        pen_ll = Gen2 b.K.pen_ll;
+        pen_lr = Gen2 b.K.pen_lr;
+        pen_rl = Gen2 b.K.pen_rl;
+        pen_rr = Gen2 b.K.pen_rr;
+        mults = b.K.mults;
+      }
+  | None ->
+      {
+        specialized = false;
+        vol = Interp3 dk.Tensors.vol;
+        vol_stream = None;
+        surf_ll = Interp3 dk.Tensors.surf_ll;
+        surf_lr = Interp3 dk.Tensors.surf_lr;
+        surf_rl = Interp3 dk.Tensors.surf_rl;
+        surf_rr = Interp3 dk.Tensors.surf_rr;
+        pen_ll = Interp2 dk.Tensors.pen_ll;
+        pen_lr = Interp2 dk.Tensors.pen_lr;
+        pen_rl = Interp2 dk.Tensors.pen_rl;
+        pen_rr = Interp2 dk.Tensors.pen_rr;
+        mults = 0;
+      }

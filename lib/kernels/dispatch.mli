@@ -1,0 +1,47 @@
+(** Kernel dispatch: specialized unrolled kernels (lib/genkernels) when the
+    registry has a bundle for [(family, poly_order, cdim, vdim, dir)],
+    interpreted sparse tensors otherwise.  Selected once per direction at
+    solver creation — the hot path pays a single constructor match. *)
+
+module K = Dg_genkernels.Kernels
+
+type t3_op = Gen3 of K.t3_fn | Interp3 of Sparse.t3
+type t2_op = Gen2 of K.t2_fn | Interp2 of Sparse.t2
+
+val apply_t3 :
+  t3_op ->
+  scale:float ->
+  float array ->
+  float array ->
+  foff:int ->
+  float array ->
+  ooff:int ->
+  unit
+(** [apply_t3 op ~scale alpha f ~foff out ~ooff]:
+    [out.(ooff + l) += scale * c * alpha.(m) * f.(foff + n)]. *)
+
+val apply_t2 :
+  t2_op -> scale:float -> float array -> foff:int -> float array -> ooff:int -> unit
+
+type dir_ops = {
+  specialized : bool;  (** a generated bundle backs this direction *)
+  vol : t3_op;
+  vol_stream : K.stream_fn option;
+      (** specialized streaming volume kernel (configuration directions of
+          specialized bundles): takes cell geometry, not a flux expansion *)
+  surf_ll : t3_op;
+  surf_lr : t3_op;
+  surf_rl : t3_op;
+  surf_rr : t3_op;
+  pen_ll : t2_op;
+  pen_lr : t2_op;
+  pen_rl : t2_op;
+  pen_rr : t2_op;
+  mults : int;  (** multiplications per cell-direction update; 0 if interpreted *)
+}
+
+val find_bundle : Layout.t -> dir:int -> K.bundle option
+
+val make : use_generated:bool -> Layout.t -> dir:int -> Tensors.dir_kernels -> dir_ops
+(** Dispatch for one direction: the generated bundle when [use_generated]
+    and the registry has one, else the interpreted tensors [dk]. *)

@@ -2,15 +2,17 @@
    applied to the real solver.
 
    Configuration space is split into blocks (Decomp); each block owns its
-   phase-space sub-grid with one ghost layer and its own kernel set, and
-   blocks are updated concurrently on the domain pool.  Only
-   configuration-space halos are exchanged — velocity space is never
-   communicated, and moments reduce locally per block, exactly the
-   communication structure of Section IV of the paper.  The result is
-   verified (test_par) to equal the monolithic serial update bitwise. *)
+   phase-space sub-grid with one ghost layer, and blocks are updated
+   concurrently on the domain pool.  All blocks share ONE solver — the
+   solver is re-entrant (explicit per-sweep workspaces) and sweeps the
+   grid of the field it is handed, so the coupling tensors and dispatched
+   kernel bundles are built once, not per block.  Only configuration-space
+   halos are exchanged — velocity space is never communicated, and moments
+   reduce locally per block, exactly the communication structure of
+   Section IV of the paper.  The result is verified (test_par) to equal
+   the monolithic serial update. *)
 
 module Layout = Dg_kernels.Layout
-module Modal = Dg_basis.Modal
 module Grid = Dg_grid.Grid
 module Field = Dg_grid.Field
 module Solver = Dg_vlasov.Solver
@@ -20,12 +22,13 @@ type t = {
   fblocks : Decomp.t; (* distribution-function blocks *)
   oblocks : Decomp.t; (* rhs blocks *)
   emblocks : Decomp.t; (* EM-field blocks over the config grid *)
-  solvers : Solver.t array; (* per-block solvers (block-local layouts) *)
+  solver : Solver.t; (* shared, re-entrant *)
+  workspaces : Solver.workspace array; (* one per block *)
   pool : Pool.t;
 }
 
-let create ?(nworkers = 1) ~(blocks_per_dim : int array) ~flux ~qm
-    (lay : Layout.t) =
+let create ?(nworkers = 1) ?(use_kernels = true) ~(blocks_per_dim : int array)
+    ~flux ~qm (lay : Layout.t) =
   let open Layout in
   let np = Layout.num_basis lay in
   let nc = Layout.num_cbasis lay in
@@ -39,21 +42,13 @@ let create ?(nworkers = 1) ~(blocks_per_dim : int array) ~flux ~qm
     Decomp.make ~global:lay.cgrid ~cdim:lay.cdim ~blocks_per_dim
       ~ncomp:(8 * nc)
   in
-  let solvers =
-    Array.map
-      (fun (b : Decomp.block) ->
-        let block_lay =
-          Layout.make ~cdim:lay.cdim ~vdim:lay.vdim
-            ~family:(Modal.family lay.basis)
-            ~poly_order:(Modal.poly_order lay.basis)
-            ~grid:b.Decomp.local_grid
-        in
-        Solver.create ~flux ~qm block_lay)
-      fblocks.Decomp.blocks
-  in
-  { lay; fblocks; oblocks; emblocks; solvers; pool = Pool.create ~nworkers }
+  let solver = Solver.create ~flux ~use_kernels ~qm lay in
+  let nblocks = Array.length fblocks.Decomp.blocks in
+  let workspaces = Array.init nblocks (fun _ -> Solver.make_workspace solver) in
+  { lay; fblocks; oblocks; emblocks; solver; workspaces; pool = Pool.create ~nworkers }
 
 let layout t = t.lay
+let solver t = t.solver
 
 (* Parallel DG right-hand side: equivalent to the serial
    [Solver.rhs ~f ~em ~out] with periodic configuration boundaries. *)
@@ -65,8 +60,9 @@ let rhs t ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
   | None -> ());
   (* halo exchange: the inter-node messages of the paper's layout *)
   ignore (Decomp.exchange_halos t.fblocks);
-  (* per-block updates run concurrently; each block writes only its own
-     output field, so no synchronization is needed inside the loop *)
+  (* per-block updates run concurrently on the shared solver; each worker
+     uses its block's workspace and writes only its own output field, so
+     no synchronization is needed inside the loop *)
   let nblocks = Array.length t.fblocks.Decomp.blocks in
   Pool.parallel_for t.pool ~n:nblocks (fun i ->
       let fb = t.fblocks.Decomp.blocks.(i).Decomp.field in
@@ -76,7 +72,7 @@ let rhs t ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
         | Some _ -> Some t.emblocks.Decomp.blocks.(i).Decomp.field
         | None -> None
       in
-      Solver.rhs t.solvers.(i) ~f:fb ~em:emb ~out:ob);
+      Solver.rhs ~ws:t.workspaces.(i) t.solver ~f:fb ~em:emb ~out:ob);
   Decomp.gather t.oblocks ~dst:out
 
 (* Communication volume per rhs (floats moved in halo exchange). *)

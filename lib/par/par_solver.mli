@@ -1,7 +1,8 @@
 (** Block-parallel Vlasov update: the paper's two-level decomposition
     applied to the real solver.  Blocks update concurrently on the domain
-    pool; only configuration-space halos are exchanged.  Verified to
-    match the monolithic serial update (test_par). *)
+    pool, sharing ONE re-entrant solver (per-block workspaces); only
+    configuration-space halos are exchanged.  Verified to match the
+    monolithic serial update (test_par). *)
 
 module Layout = Dg_kernels.Layout
 module Field = Dg_grid.Field
@@ -11,13 +12,20 @@ type t
 
 val create :
   ?nworkers:int ->
+  ?use_kernels:bool ->
   blocks_per_dim:int array ->
   flux:Solver.flux_kind ->
   qm:float ->
   Layout.t ->
   t
+(** [use_kernels] (default [true]) is forwarded to {!Solver.create}:
+    whether block updates dispatch to the generated unrolled kernels. *)
 
 val layout : t -> Layout.t
+
+val solver : t -> Solver.t
+(** The shared block-update solver (e.g. to inspect
+    [Solver.specialized_dirs]). *)
 
 val rhs : t -> f:Field.t -> em:Field.t option -> out:Field.t -> unit
 (** Equivalent to the serial [Solver.rhs] with periodic configuration

@@ -3,10 +3,21 @@
    Computes the DG right-hand side df/dt for one species on a phase-space
    grid: streaming volume+surface terms in configuration directions, and
    acceleration q/m (E + v x B) volume+surface terms in velocity directions.
-   All coupling tensors are precomputed exactly (dg_kernels.Tensors); the
-   update is a sequence of sparse tensor applications with no matrix data
-   structure and no quadrature — the OCaml analogue of the generated kernels
-   of the paper's Fig. 1.
+   All coupling tensors are precomputed exactly (dg_kernels.Tensors) and
+   each per-direction application is routed through Dg_kernels.Dispatch:
+   generated unrolled kernels (lib/genkernels — the paper's Fig. 1 kernels)
+   when the registry covers the basis, the interpreted sparse loops
+   otherwise.
+
+   The update is a single fused sweep: per cell and direction the flux
+   expansion is built once and feeds the volume term and the cell's lower
+   face (both sides of it), with the upper boundary face handled at the
+   grid edge — every interior face is visited exactly once.  All mutable
+   scratch lives in an explicit [workspace], so one solver value is
+   re-entrant: concurrent sweeps (Par_solver blocks, Domain-parallel
+   callers) each pass their own workspace.  The sweep iterates the grid of
+   the *field* (not the layout), so block-local fields of a decomposition
+   reuse the same solver.
 
    Boundary treatment: configuration-space ghosts must be synchronized by
    the caller before [rhs]; velocity-space boundaries are zero-flux (the
@@ -16,7 +27,7 @@
 module Layout = Dg_kernels.Layout
 module Tensors = Dg_kernels.Tensors
 module Flux = Dg_kernels.Flux
-module Sparse = Dg_kernels.Sparse
+module Dispatch = Dg_kernels.Dispatch
 module Grid = Dg_grid.Grid
 module Field = Dg_grid.Field
 
@@ -26,30 +37,50 @@ type t = {
   lay : Layout.t;
   flux : flux_kind;
   qm : float; (* charge-to-mass ratio *)
-  dirs : Tensors.dir_kernels array; (* one kernel bundle per phase dim *)
+  dirs : Tensors.dir_kernels array; (* interpreted kernel bundle per dim *)
+  ops : Dispatch.dir_ops array; (* dispatched applications per dim *)
   accel : Flux.accel_ctx array; (* one projection map per velocity dim *)
   np : int;
   nc : int;
-  alpha : float array; (* flux-expansion workspace *)
 }
 
-let create ?(flux = Upwind) ~qm (lay : Layout.t) =
+(* Per-call mutable scratch: one per concurrent sweep over a solver. *)
+type workspace = {
+  w_alpha : float array; (* flux-expansion coefficients *)
+  w_vcenter : float array; (* velocity-cell centers of the current cell *)
+  w_cl : int array; (* neighbour-cell coordinate scratch *)
+}
+
+let create ?(flux = Upwind) ?(use_kernels = true) ~qm (lay : Layout.t) =
   let pdim = lay.Layout.pdim in
+  let dirs = Array.init pdim (fun dir -> Tensors.make_dir lay ~dir) in
+  let ops =
+    Array.init pdim (fun dir ->
+        Dispatch.make ~use_generated:use_kernels lay ~dir dirs.(dir))
+  in
   {
     lay;
     flux;
     qm;
-    dirs = Array.init pdim (fun dir -> Tensors.make_dir lay ~dir);
+    dirs;
+    ops;
     accel = Array.init lay.Layout.vdim (fun vdir -> Flux.make_accel_ctx lay ~vdir ~qm);
     np = Layout.num_basis lay;
     nc = Layout.num_cbasis lay;
-    alpha = Array.make (Layout.num_basis lay) 0.0;
   }
 
 let layout t = t.lay
 let qm t = t.qm
 let num_basis t = t.np
 let flux_kind t = t.flux
+let specialized_dirs t = Array.map (fun o -> o.Dispatch.specialized) t.ops
+
+let make_workspace t =
+  {
+    w_alpha = Array.make t.np 0.0;
+    w_vcenter = Array.make t.lay.Layout.vdim 0.0;
+    w_cl = Array.make t.lay.Layout.pdim 0;
+  }
 
 (* Velocity-cell center of velocity dimension [k] for phase coordinates [c]. *)
 let vcenter_of t (c : int array) k =
@@ -61,31 +92,32 @@ let fill_vcenter t (c : int array) (out : float array) =
     out.(k) <- vcenter_of t c k
   done
 
-(* Fill t.alpha with the flux expansion for direction [dir] in the cell with
-   phase coordinates [c].  For velocity directions [em]/[em_off] give the EM
-   coefficient block of the owning configuration cell. *)
-let fill_alpha t ~dir (c : int array) ~(em : Field.t option) vcenter =
+(* Fill [alpha] with the flux expansion for direction [dir] in the cell with
+   phase coordinates [c].  For velocity directions [em] gives the EM
+   coefficient field over the configuration grid. *)
+let fill_alpha t ~dir (c : int array) ~(em : Field.t option)
+    (vcenter : float array) (alpha : float array) =
   if Layout.is_config_dir t.lay dir then begin
     let vd = Layout.paired_velocity_dim t.lay dir - t.lay.Layout.cdim in
     let dv = (Grid.dx t.lay.Layout.vgrid).(vd) in
     Flux.streaming_alpha t.lay ~dir ~vcenter:vcenter.(vd) ~dv
-      ~support:t.dirs.(dir).Tensors.support t.alpha
+      ~support:t.dirs.(dir).Tensors.support alpha
   end
   else begin
     let vdir = dir - t.lay.Layout.cdim in
     match em with
     | None ->
         (* no fields: zero acceleration *)
-        Array.iter (fun m -> t.alpha.(m) <- 0.0) t.dirs.(dir).Tensors.support
+        Array.iter (fun m -> alpha.(m) <- 0.0) t.dirs.(dir).Tensors.support
     | Some emf ->
         let ccoords = Array.sub c 0 t.lay.Layout.cdim in
         let em_off = Field.offset emf ccoords in
         Flux.accel_alpha t.accel.(vdir) ~em:(Field.data emf) ~em_off
-          ~ncbasis:t.nc ~vcenter t.alpha
+          ~ncbasis:t.nc ~vcenter alpha
   end
 
-(* Penalty speed for the face with flux expansion already in t.alpha. *)
-let face_speed t ~dir vcenter =
+(* Penalty speed for the face with flux expansion already in [alpha]. *)
+let face_speed t ~dir (vcenter : float array) (alpha : float array) =
   match t.flux with
   | Central -> 0.0
   | Upwind ->
@@ -94,120 +126,104 @@ let face_speed t ~dir vcenter =
         let dv = (Grid.dx t.lay.Layout.vgrid).(vd) in
         Flux.streaming_max_speed ~vcenter:vcenter.(vd) ~dv
       end
-      else Flux.accel_max_speed t.accel.(dir - t.lay.Layout.cdim) t.alpha
+      else Flux.accel_max_speed t.accel.(dir - t.lay.Layout.cdim) alpha
 
-(* Add the volume contributions to [out]. *)
-let add_volume t ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
+(* Full DG right-hand side: out := volume + surface contributions, one fused
+   sweep.  Per cell and direction the flux expansion is single-valued on the
+   lower face (streaming: v is globally linear with the face-tangential
+   velocity coordinates shared; acceleration: independent of the face-normal
+   velocity coordinate and of the configuration cell it straddles), so one
+   [fill_alpha] serves the volume term and both sides of the face. *)
+let rhs ?ws t ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
+  let ws = match ws with Some w -> w | None -> make_workspace t in
   let lay = t.lay in
-  let grid = lay.Layout.grid in
+  let grid = Field.grid f in
   let dx = Grid.dx grid in
+  let dvx = Grid.dx lay.Layout.vgrid in
+  let cells = Grid.cells grid in
+  let pdim = lay.Layout.pdim and cdim = lay.Layout.cdim in
   let fd = Field.data f and od = Field.data out in
-  let vcenter = Array.make lay.Layout.vdim 0.0 in
+  let alpha = ws.w_alpha and vcenter = ws.w_vcenter and cl = ws.w_cl in
+  Field.fill out 0.0;
   Grid.iter_cells grid (fun _ c ->
       let foff = Field.offset f c in
       let ooff = Field.offset out c in
       fill_vcenter t c vcenter;
-      for dir = 0 to lay.Layout.pdim - 1 do
+      for dir = 0 to pdim - 1 do
+        let is_cfg = dir < cdim in
         (* without fields there is no acceleration: skip velocity dirs *)
-        if Layout.is_config_dir lay dir || em <> None then begin
-          fill_alpha t ~dir c ~em vcenter;
-          Sparse.apply_t3_off t.dirs.(dir).Tensors.vol
-            ~scale:(2.0 /. dx.(dir))
-            t.alpha fd ~foff od ~ooff
-        end
-      done)
-
-(* Add the surface contributions to [out].  Iterates, per direction, over
-   the faces below each cell; configuration directions include the domain
-   boundary faces (ghost data must be valid), velocity directions use
-   zero-flux boundaries. *)
-let add_surface t ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
-  let lay = t.lay in
-  let grid = lay.Layout.grid in
-  let dx = Grid.dx grid in
-  let cells = Grid.cells grid in
-  let fd = Field.data f and od = Field.data out in
-  let vcenter = Array.make lay.Layout.vdim 0.0 in
-  let cl = Array.make lay.Layout.pdim 0 in
-  for dir = 0 to lay.Layout.pdim - 1 do
-    let k = t.dirs.(dir) in
-    let is_cfg = Layout.is_config_dir lay dir in
-    let rdx = 1.0 /. dx.(dir) in
-    if is_cfg || em <> None then
-    Grid.iter_cells grid (fun _ c ->
-        (* lower face of cell [c]: L = c - e_dir (possibly ghost), R = c *)
-        let skip = (not is_cfg) && c.(dir) = 0 in
-        if not skip then begin
-          Array.blit c 0 cl 0 lay.Layout.pdim;
-          cl.(dir) <- c.(dir) - 1;
-          let foff_l = Field.offset f cl and foff_r = Field.offset f c in
-          fill_vcenter t cl vcenter;
-          (* alpha from the left cell at its upper face; for streaming the
-             expansion is identical from either side, for acceleration the
-             face shares the configuration cell unless dir is a config
-             direction, in which case alpha is streaming anyway. *)
-          fill_alpha t ~dir cl ~em vcenter;
-          let lam = face_speed t ~dir vcenter in
-          (* update left cell (skip if ghost) *)
-          if cl.(dir) >= 0 then begin
-            let ooff = Field.offset out cl in
-            Sparse.apply_t3_off k.Tensors.surf_ll ~scale:(-.rdx) t.alpha fd
+        if is_cfg || em <> None then begin
+          let ops = t.ops.(dir) in
+          let rdx = 1.0 /. dx.(dir) in
+          fill_alpha t ~dir c ~em vcenter alpha;
+          (* volume term *)
+          (match ops.Dispatch.vol_stream with
+          | Some k ->
+              (* vd = dir for configuration directions (Layout pairing) *)
+              k ~wv:vcenter.(dir) ~dv:dvx.(dir) ~rdx2:(2.0 *. rdx) fd ~foff od
+                ~ooff
+          | None ->
+              Dispatch.apply_t3 ops.Dispatch.vol ~scale:(2.0 *. rdx) alpha fd
+                ~foff od ~ooff);
+          (* lower face of cell [c]: L = c - e_dir (possibly ghost), R = c;
+             velocity directions use zero-flux domain boundaries *)
+          if not ((not is_cfg) && c.(dir) = 0) then begin
+            Array.blit c 0 cl 0 pdim;
+            cl.(dir) <- c.(dir) - 1;
+            let foff_l = Field.offset f cl in
+            let lam = face_speed t ~dir vcenter alpha in
+            (* update left cell (skip if ghost) *)
+            if cl.(dir) >= 0 then begin
+              let ooff_l = Field.offset out cl in
+              Dispatch.apply_t3 ops.Dispatch.surf_ll ~scale:(-.rdx) alpha fd
+                ~foff:foff_l od ~ooff:ooff_l;
+              Dispatch.apply_t3 ops.Dispatch.surf_lr ~scale:(-.rdx) alpha fd
+                ~foff od ~ooff:ooff_l;
+              if lam <> 0.0 then begin
+                Dispatch.apply_t2 ops.Dispatch.pen_lr ~scale:(lam *. rdx) fd
+                  ~foff od ~ooff:ooff_l;
+                Dispatch.apply_t2 ops.Dispatch.pen_ll ~scale:(-.lam *. rdx) fd
+                  ~foff:foff_l od ~ooff:ooff_l
+              end
+            end;
+            (* update right cell *)
+            Dispatch.apply_t3 ops.Dispatch.surf_rl ~scale:rdx alpha fd
               ~foff:foff_l od ~ooff;
-            Sparse.apply_t3_off k.Tensors.surf_lr ~scale:(-.rdx) t.alpha fd
-              ~foff:foff_r od ~ooff;
+            Dispatch.apply_t3 ops.Dispatch.surf_rr ~scale:rdx alpha fd ~foff od
+              ~ooff;
             if lam <> 0.0 then begin
-              Sparse.apply_t2_off k.Tensors.pen_lr ~scale:(lam *. rdx) fd
-                ~foff:foff_r od ~ooff;
-              Sparse.apply_t2_off k.Tensors.pen_ll ~scale:(-.lam *. rdx) fd
+              Dispatch.apply_t2 ops.Dispatch.pen_rr ~scale:(-.lam *. rdx) fd
+                ~foff od ~ooff;
+              Dispatch.apply_t2 ops.Dispatch.pen_rl ~scale:(lam *. rdx) fd
                 ~foff:foff_l od ~ooff
             end
           end;
-          (* update right cell *)
-          let ooff = Field.offset out c in
-          Sparse.apply_t3_off k.Tensors.surf_rl ~scale:rdx t.alpha fd
-            ~foff:foff_l od ~ooff;
-          Sparse.apply_t3_off k.Tensors.surf_rr ~scale:rdx t.alpha fd
-            ~foff:foff_r od ~ooff;
-          if lam <> 0.0 then begin
-            Sparse.apply_t2_off k.Tensors.pen_rr ~scale:(-.lam *. rdx) fd
+          (* upper boundary face (config directions only; ghost data):
+             L = c (interior), R = ghost *)
+          if is_cfg && c.(dir) = cells.(dir) - 1 then begin
+            Array.blit c 0 cl 0 pdim;
+            cl.(dir) <- c.(dir) + 1;
+            let foff_r = Field.offset f cl in
+            let lam = face_speed t ~dir vcenter alpha in
+            Dispatch.apply_t3 ops.Dispatch.surf_ll ~scale:(-.rdx) alpha fd
+              ~foff od ~ooff;
+            Dispatch.apply_t3 ops.Dispatch.surf_lr ~scale:(-.rdx) alpha fd
               ~foff:foff_r od ~ooff;
-            Sparse.apply_t2_off k.Tensors.pen_rl ~scale:(lam *. rdx) fd
-              ~foff:foff_l od ~ooff
+            if lam <> 0.0 then begin
+              Dispatch.apply_t2 ops.Dispatch.pen_lr ~scale:(lam *. rdx) fd
+                ~foff:foff_r od ~ooff;
+              Dispatch.apply_t2 ops.Dispatch.pen_ll ~scale:(-.lam *. rdx) fd
+                ~foff od ~ooff
+            end
           end
-        end;
-        (* upper boundary face (config directions only) *)
-        if is_cfg && c.(dir) = cells.(dir) - 1 then begin
-          Array.blit c 0 cl 0 lay.Layout.pdim;
-          cl.(dir) <- c.(dir) + 1;
-          (* L = c (interior), R = ghost *)
-          let foff_l = Field.offset f c and foff_r = Field.offset f cl in
-          fill_vcenter t c vcenter;
-          fill_alpha t ~dir c ~em vcenter;
-          let lam = face_speed t ~dir vcenter in
-          let ooff = Field.offset out c in
-          Sparse.apply_t3_off k.Tensors.surf_ll ~scale:(-.rdx) t.alpha fd
-            ~foff:foff_l od ~ooff;
-          Sparse.apply_t3_off k.Tensors.surf_lr ~scale:(-.rdx) t.alpha fd
-            ~foff:foff_r od ~ooff;
-          if lam <> 0.0 then begin
-            Sparse.apply_t2_off k.Tensors.pen_lr ~scale:(lam *. rdx) fd
-              ~foff:foff_r od ~ooff;
-            Sparse.apply_t2_off k.Tensors.pen_ll ~scale:(-.lam *. rdx) fd
-              ~foff:foff_l od ~ooff
-          end
-        end)
-  done
-
-(* Full DG right-hand side: out := volume + surface contributions. *)
-let rhs t ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
-  Field.fill out 0.0;
-  add_volume t ~f ~em ~out;
-  add_surface t ~f ~em ~out
+        end
+      done)
 
 (* Per-direction maximum characteristic speeds, for the CFL condition.
    Streaming speeds depend only on the velocity-domain extent; acceleration
    speeds are bounded by scanning configuration cells with velocity-center
-   corner values. *)
+   corner values.  Uses local scratch — safe to call while sweeps are in
+   flight elsewhere. *)
 let max_speeds t ~(em : Field.t option) =
   let lay = t.lay in
   let speeds = Array.make lay.Layout.pdim 0.0 in
@@ -222,6 +238,7 @@ let max_speeds t ~(em : Field.t option) =
   | Some emf ->
       let nvc = 1 lsl lay.Layout.vdim in
       let vcorner = Array.make lay.Layout.vdim 0.0 in
+      let alpha = Array.make t.np 0.0 in
       Grid.iter_cells lay.Layout.cgrid (fun _ cc ->
           let em_off = Field.offset emf cc in
           for corner = 0 to nvc - 1 do
@@ -232,8 +249,8 @@ let max_speeds t ~(em : Field.t option) =
             done;
             for vdir = 0 to lay.Layout.vdim - 1 do
               Flux.accel_alpha t.accel.(vdir) ~em:(Field.data emf) ~em_off
-                ~ncbasis:t.nc ~vcenter:vcorner t.alpha;
-              let s = Flux.accel_max_speed t.accel.(vdir) t.alpha in
+                ~ncbasis:t.nc ~vcenter:vcorner alpha;
+              let s = Flux.accel_max_speed t.accel.(vdir) alpha in
               let d = lay.Layout.cdim + vdir in
               if s > speeds.(d) then speeds.(d) <- s
             done

@@ -4,9 +4,18 @@
     Computes the DG right-hand side df/dt for one plasma species:
     streaming volume+surface terms in configuration directions and
     acceleration (q/m)(E + v x B) terms in velocity directions, as
-    sequences of sparse exact tensor applications.  Velocity-space
-    boundaries are zero-flux (conserving particle number exactly);
-    configuration-space ghosts must be synchronized by the caller. *)
+    sequences of exact tensor applications.  Each per-direction
+    application is dispatched once at creation: generated unrolled
+    kernels (lib/genkernels) when the registry covers the basis, the
+    interpreted sparse tensors otherwise.  Velocity-space boundaries are
+    zero-flux (conserving particle number exactly); configuration-space
+    ghosts must be synchronized by the caller.
+
+    A solver value is immutable after {!create}: all per-sweep scratch
+    lives in an explicit {!workspace}, so concurrent {!rhs} sweeps (e.g.
+    per-block workers of [Par_solver]) may share one solver, each with
+    its own workspace.  {!rhs} iterates the grid of the field it is
+    given, so block-local fields of a decomposition work directly. *)
 
 module Layout = Dg_kernels.Layout
 module Field = Dg_grid.Field
@@ -17,9 +26,16 @@ type flux_kind = Central | Upwind
 
 type t
 
-val create : ?flux:flux_kind -> qm:float -> Layout.t -> t
+type workspace
+(** Mutable per-sweep scratch.  One workspace supports one {!rhs} call at
+    a time; concurrent sweeps need one workspace each. *)
+
+val create : ?flux:flux_kind -> ?use_kernels:bool -> qm:float -> Layout.t -> t
 (** [create ~qm lay] precomputes all coupling tensors for charge-to-mass
-    ratio [qm]; [flux] defaults to {!Upwind}. *)
+    ratio [qm] and selects, per direction, the generated unrolled kernel
+    bundle when the registry has one; [flux] defaults to {!Upwind}.
+    [use_kernels:false] forces the interpreted sparse path everywhere
+    (reference/debugging). *)
 
 val layout : t -> Layout.t
 
@@ -29,10 +45,20 @@ val qm : t -> float
 val num_basis : t -> int
 val flux_kind : t -> flux_kind
 
-val rhs : t -> f:Field.t -> em:Field.t option -> out:Field.t -> unit
-(** Full DG right-hand side into [out].  [em] holds the EM coefficients
-    on the configuration grid (8 blocks: Ex..Bz, phi, psi); [None] solves
-    pure streaming (velocity directions skipped). *)
+val specialized_dirs : t -> bool array
+(** Per phase-space direction, whether a generated unrolled kernel bundle
+    (rather than the interpreted sparse tensors) backs the updates. *)
+
+val make_workspace : t -> workspace
+
+val rhs : ?ws:workspace -> t -> f:Field.t -> em:Field.t option -> out:Field.t -> unit
+(** Full DG right-hand side into [out], sweeping the grid of [f].  [em]
+    holds the EM coefficients on the configuration grid (8 blocks:
+    Ex..Bz, phi, psi); [None] solves pure streaming (velocity directions
+    skipped).  [ws] supplies the scratch (allocated per call when
+    omitted); concurrent calls on one solver must pass distinct
+    workspaces. *)
 
 val max_speeds : t -> em:Field.t option -> float array
-(** Per-direction maximum characteristic speeds for the CFL condition. *)
+(** Per-direction maximum characteristic speeds for the CFL condition.
+    Allocates its own scratch — safe to call concurrently with sweeps. *)

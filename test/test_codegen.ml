@@ -1,6 +1,8 @@
 (* The generated unrolled kernels must agree with the interpreted sparse
-   tensors exactly (same entries, different execution strategy), and the
-   emitted source must be well-formed and literal-stable. *)
+   tensors exactly (same entries, different execution strategy), the
+   registry must cover its advertised configurations, the committed
+   lib/genkernels/kernels.ml must not be stale relative to the emitter,
+   and the emitted source must be well-formed and literal-stable. *)
 
 module Layout = Dg_kernels.Layout
 module Modal = Dg_basis.Modal
@@ -26,14 +28,28 @@ let check_arrays msg a b =
         Alcotest.failf "%s [%d]: %.17g <> %.17g" msg i v b.(i))
     a
 
-(* Generated streaming kernel vs interpreted tensor with the streaming
-   flux expansion. *)
-let check_streaming ~cdim ~vdim ~family ~p
-    (gen : wv:float -> dv:float -> rdx2:float -> float array -> float array -> unit) =
+let bundle ~cdim ~vdim ~family ~p ~dir =
+  match
+    Gen.find ~family:(Modal.family_name family) ~poly_order:p ~cdim ~vdim ~dir
+  with
+  | Some b -> b
+  | None ->
+      Alcotest.failf "no bundle for %s p=%d %dx%dv dir %d"
+        (Modal.family_name family) p cdim vdim dir
+
+(* Generated streaming volume kernel vs interpreted tensor with the
+   streaming flux expansion. *)
+let check_streaming ~cdim ~vdim ~family ~p =
   let lay = layout ~cdim ~vdim ~family ~p in
   let np = Layout.num_basis lay in
   let support = Tensors.streaming_support lay ~dir:0 in
   let vol = Tensors.volume lay.Layout.basis ~support ~dir:0 in
+  let b = bundle ~cdim ~vdim ~family ~p ~dir:0 in
+  let gen =
+    match b.Gen.vol_stream with
+    | Some k -> k
+    | None -> Alcotest.failf "config dir 0 bundle lacks vol_stream"
+  in
   let rng = Random.State.make [| 17 |] in
   for _ = 1 to 10 do
     let f = Array.init np (fun _ -> Random.State.float rng 2.0 -. 1.0) in
@@ -44,17 +60,17 @@ let check_streaming ~cdim ~vdim ~family ~p
     Flux.streaming_alpha lay ~dir:0 ~vcenter:wv ~dv ~support alpha;
     let out_ref = Array.make np 0.0 and out_gen = Array.make np 0.0 in
     Sparse.apply_t3 vol ~scale:rdx2 alpha f out_ref;
-    gen ~wv ~dv ~rdx2 f out_gen;
+    gen ~wv ~dv ~rdx2 f ~foff:0 out_gen ~ooff:0;
     check_arrays "streaming kernel" out_gen out_ref
   done
 
-let check_accel ~cdim ~vdim ~family ~p
-    (gen : scale:float -> float array -> float array -> float array -> unit) =
+let check_accel ~cdim ~vdim ~family ~p =
   let lay = layout ~cdim ~vdim ~family ~p in
   let np = Layout.num_basis lay in
   let dir = cdim in
   let support = Tensors.acceleration_support lay ~vdir:dir in
   let vol = Tensors.volume lay.Layout.basis ~support ~dir in
+  let gen = (bundle ~cdim ~vdim ~family ~p ~dir).Gen.vol in
   let rng = Random.State.make [| 23 |] in
   for _ = 1 to 10 do
     let f = Array.init np (fun _ -> Random.State.float rng 2.0 -. 1.0) in
@@ -62,21 +78,102 @@ let check_accel ~cdim ~vdim ~family ~p
     let scale = Random.State.float rng 3.0 in
     let out_ref = Array.make np 0.0 and out_gen = Array.make np 0.0 in
     Sparse.apply_t3 vol ~scale alpha f out_ref;
-    gen ~scale alpha f out_gen;
+    gen ~scale alpha f ~foff:0 out_gen ~ooff:0;
     check_arrays "accel kernel" out_gen out_ref
   done
 
+(* One surface bundle vs interpreted, including non-zero offsets. *)
+let check_surfaces ~cdim ~vdim ~family ~p ~dir =
+  let lay = layout ~cdim ~vdim ~family ~p in
+  let np = Layout.num_basis lay in
+  let dk = Tensors.make_dir lay ~dir in
+  let b = bundle ~cdim ~vdim ~family ~p ~dir in
+  let rng = Random.State.make [| 31 |] in
+  let foff = np and ooff = 2 * np in
+  let pairs3 =
+    [
+      ("surf_ll", b.Gen.surf_ll, dk.Tensors.surf_ll);
+      ("surf_lr", b.Gen.surf_lr, dk.Tensors.surf_lr);
+      ("surf_rl", b.Gen.surf_rl, dk.Tensors.surf_rl);
+      ("surf_rr", b.Gen.surf_rr, dk.Tensors.surf_rr);
+    ]
+  in
+  let pairs2 =
+    [
+      ("pen_ll", b.Gen.pen_ll, dk.Tensors.pen_ll);
+      ("pen_lr", b.Gen.pen_lr, dk.Tensors.pen_lr);
+      ("pen_rl", b.Gen.pen_rl, dk.Tensors.pen_rl);
+      ("pen_rr", b.Gen.pen_rr, dk.Tensors.pen_rr);
+    ]
+  in
+  let f = Array.init (4 * np) (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+  let alpha = Array.init np (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+  List.iter
+    (fun (name, gen, interp) ->
+      let out_ref = Array.make (4 * np) 0.0 and out_gen = Array.make (4 * np) 0.0 in
+      Sparse.apply_t3_off interp ~scale:0.7 alpha f ~foff out_ref ~ooff;
+      gen ~scale:0.7 alpha f ~foff out_gen ~ooff;
+      check_arrays name out_gen out_ref)
+    pairs3;
+  List.iter
+    (fun (name, gen, interp) ->
+      let out_ref = Array.make (4 * np) 0.0 and out_gen = Array.make (4 * np) 0.0 in
+      Sparse.apply_t2_off interp ~scale:(-1.3) f ~foff out_ref ~ooff;
+      gen ~scale:(-1.3) f ~foff out_gen ~ooff;
+      check_arrays name out_gen out_ref)
+    pairs2
+
 let test_generated_streaming () =
-  check_streaming ~cdim:1 ~vdim:1 ~family:Modal.Tensor ~p:1 Gen.vol_stream_1x1v_p1_tensor;
-  check_streaming ~cdim:1 ~vdim:1 ~family:Modal.Tensor ~p:2 Gen.vol_stream_1x1v_p2_tensor;
-  check_streaming ~cdim:1 ~vdim:2 ~family:Modal.Tensor ~p:1 Gen.vol_stream_1x2v_p1_tensor;
-  check_streaming ~cdim:1 ~vdim:2 ~family:Modal.Serendipity ~p:2 Gen.vol_stream_1x2v_p2_ser
+  check_streaming ~cdim:1 ~vdim:1 ~family:Modal.Tensor ~p:1;
+  check_streaming ~cdim:1 ~vdim:1 ~family:Modal.Tensor ~p:2;
+  check_streaming ~cdim:1 ~vdim:2 ~family:Modal.Tensor ~p:1;
+  check_streaming ~cdim:1 ~vdim:2 ~family:Modal.Serendipity ~p:2;
+  check_streaming ~cdim:2 ~vdim:2 ~family:Modal.Serendipity ~p:2
 
 let test_generated_accel () =
-  check_accel ~cdim:1 ~vdim:1 ~family:Modal.Tensor ~p:1 Gen.vol_accel_1x1v_p1_tensor;
-  check_accel ~cdim:1 ~vdim:1 ~family:Modal.Tensor ~p:2 Gen.vol_accel_1x1v_p2_tensor;
-  check_accel ~cdim:1 ~vdim:2 ~family:Modal.Tensor ~p:1 Gen.vol_accel_1x2v_p1_tensor;
-  check_accel ~cdim:1 ~vdim:2 ~family:Modal.Serendipity ~p:2 Gen.vol_accel_1x2v_p2_ser
+  check_accel ~cdim:1 ~vdim:1 ~family:Modal.Tensor ~p:1;
+  check_accel ~cdim:1 ~vdim:1 ~family:Modal.Tensor ~p:2;
+  check_accel ~cdim:1 ~vdim:2 ~family:Modal.Tensor ~p:1;
+  check_accel ~cdim:1 ~vdim:2 ~family:Modal.Serendipity ~p:2
+
+let test_generated_surfaces () =
+  check_surfaces ~cdim:1 ~vdim:2 ~family:Modal.Serendipity ~p:1 ~dir:0;
+  check_surfaces ~cdim:1 ~vdim:2 ~family:Modal.Serendipity ~p:2 ~dir:1;
+  check_surfaces ~cdim:2 ~vdim:2 ~family:Modal.Serendipity ~p:1 ~dir:3
+
+(* Every advertised configuration resolves for every direction, except
+   directions whose unrolled size exceeded the emitter's budget — those
+   must fall back (find = None) and stay interpreted. *)
+let test_registry_complete () =
+  List.iter
+    (fun (family, p, cdim, vdim) ->
+      for dir = 0 to cdim + vdim - 1 do
+        match Gen.find ~family ~poly_order:p ~cdim ~vdim ~dir with
+        | Some b ->
+            if b.Gen.mults <= 0 then
+              Alcotest.failf "%s p=%d %dx%dv dir %d: nonpositive mults" family
+                p cdim vdim dir
+        | None ->
+            (* only the over-budget 2x2v p2 velocity dirs may be missing *)
+            if not (p = 2 && cdim = 2 && vdim = 2 && dir >= 2) then
+              Alcotest.failf "%s p=%d %dx%dv dir %d missing from registry"
+                family p cdim vdim dir
+      done)
+    Gen.configs;
+  (* unsupported family resolves to nothing *)
+  Alcotest.(check bool)
+    "maximal-order not in registry" true
+    (Gen.find ~family:"maximal-order" ~poly_order:1 ~cdim:1 ~vdim:1 ~dir:0
+    = None)
+
+(* The committed kernels.ml must be regenerable bit-for-bit: recompute the
+   emitter payload and compare digests.  Fails when someone edits the
+   tensors/codegen without re-running bin/kernel_gen. *)
+let test_registry_not_stale () =
+  let payload = Codegen.registry_payload () in
+  let digest = Digest.to_hex (Digest.string payload) in
+  Alcotest.(check string)
+    "committed registry digest matches emitter output" digest Gen.source_digest
 
 (* Fig. 1 claim shape: the unrolled modal 1X2V p=1 volume kernel needs far
    fewer multiplications than the alias-free nodal quadrature update. *)
@@ -119,6 +216,12 @@ let () =
             test_generated_streaming;
           Alcotest.test_case "acceleration kernels match tensors" `Quick
             test_generated_accel;
+          Alcotest.test_case "surface kernels match tensors" `Quick
+            test_generated_surfaces;
+          Alcotest.test_case "registry covers advertised configs" `Quick
+            test_registry_complete;
+          Alcotest.test_case "committed registry not stale" `Slow
+            test_registry_not_stale;
           Alcotest.test_case "multiplication counts (Fig. 1)" `Quick test_mult_counts;
           Alcotest.test_case "source sanity" `Quick test_source_sanity;
         ] );

@@ -1,0 +1,182 @@
+(* The dispatched solver (generated unrolled kernels) must agree with the
+   interpreted sparse solver on the full right-hand side for EVERY registry
+   configuration, with and without EM fields; unsupported configurations
+   must fall back transparently; and the explicit workspaces must make the
+   solver re-entrant. *)
+
+module Layout = Dg_kernels.Layout
+module Modal = Dg_basis.Modal
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Solver = Dg_vlasov.Solver
+module Gen = Dg_genkernels.Kernels
+
+let make_layout ~family ~p ~cdim ~vdim =
+  let pdim = cdim + vdim in
+  let cells = Array.init pdim (fun d -> if d < cdim then 3 else 3) in
+  let lower = Array.init pdim (fun d -> if d < cdim then 0.0 else -2.0) in
+  let upper = Array.init pdim (fun d -> if d < cdim then 1.0 else 2.0) in
+  Layout.make ~cdim ~vdim ~family ~poly_order:p
+    ~grid:(Grid.make ~cells ~lower ~upper)
+
+let phase_bcs (lay : Layout.t) =
+  Array.init lay.Layout.pdim (fun d ->
+      if d < lay.Layout.cdim then (Field.Periodic, Field.Periodic)
+      else (Field.Zero, Field.Zero))
+
+let random_f ?(seed = 42) (lay : Layout.t) =
+  let np = Layout.num_basis lay in
+  let rng = Random.State.make [| seed |] in
+  let f = Field.create lay.Layout.grid ~ncomp:np in
+  Grid.iter_cells lay.Layout.grid (fun _ c ->
+      for k = 0 to np - 1 do
+        Field.set f c k (Random.State.float rng 2.0 -. 1.0)
+      done);
+  Field.sync_ghosts f (phase_bcs lay);
+  f
+
+let random_em ?(seed = 7) (lay : Layout.t) =
+  let nc = Layout.num_cbasis lay in
+  let rng = Random.State.make [| seed |] in
+  let em = Field.create lay.Layout.cgrid ~ncomp:(8 * nc) in
+  Grid.iter_cells lay.Layout.cgrid (fun _ c ->
+      for k = 0 to (6 * nc) - 1 do
+        Field.set em c k (Random.State.float rng 2.0 -. 1.0)
+      done);
+  Field.sync_ghosts em
+    (Array.make lay.Layout.cdim (Field.Periodic, Field.Periodic));
+  em
+
+let check_fields ~rtol msg a b =
+  let ga = Field.grid a in
+  let np = Field.ncomp a in
+  Grid.iter_cells ga (fun _ c ->
+      for k = 0 to np - 1 do
+        let va = Field.get a c k and vb = Field.get b c k in
+        if not (Dg_util.Float_cmp.close ~rtol ~atol:rtol va vb) then
+          Alcotest.failf "%s: coeff %d: %.17g <> %.17g" msg k va vb
+      done)
+
+(* Dispatched rhs == interpreted rhs, streaming-only and with EM. *)
+let check_config ~family ~p ~cdim ~vdim =
+  let lay = make_layout ~family ~p ~cdim ~vdim in
+  let np = Layout.num_basis lay in
+  let tag =
+    Printf.sprintf "%dx%dv p=%d %s" cdim vdim p (Modal.family_name family)
+  in
+  List.iter
+    (fun flux ->
+      let sd = Solver.create ~flux ~use_kernels:true ~qm:(-2.0) lay in
+      let si = Solver.create ~flux ~use_kernels:false ~qm:(-2.0) lay in
+      let f = random_f lay in
+      let em = random_em lay in
+      let out_d = Field.create lay.Layout.grid ~ncomp:np in
+      let out_i = Field.create lay.Layout.grid ~ncomp:np in
+      List.iter
+        (fun em_opt ->
+          Solver.rhs sd ~f ~em:em_opt ~out:out_d;
+          Solver.rhs si ~f ~em:em_opt ~out:out_i;
+          check_fields ~rtol:1e-12
+            (Printf.sprintf "%s em=%b" tag (em_opt <> None))
+            out_d out_i)
+        [ None; Some em ])
+    [ Solver.Upwind; Solver.Central ]
+
+let test_all_registry_configs () =
+  List.iter
+    (fun (family, p, cdim, vdim) ->
+      check_config ~family:(Modal.family_of_string family) ~p ~cdim ~vdim)
+    Gen.configs
+
+(* A configuration the registry does not cover must fall back to the
+   interpreted path with no behavioural difference. *)
+let test_fallback_config () =
+  let lay = make_layout ~family:Modal.Maximal_order ~p:1 ~cdim:1 ~vdim:2 in
+  let np = Layout.num_basis lay in
+  let sd = Solver.create ~use_kernels:true ~qm:1.0 lay in
+  Alcotest.(check bool)
+    "maximal-order has no specialized dirs" true
+    (Array.for_all not (Solver.specialized_dirs sd));
+  let si = Solver.create ~use_kernels:false ~qm:1.0 lay in
+  let f = random_f lay and em = random_em lay in
+  let out_d = Field.create lay.Layout.grid ~ncomp:np in
+  let out_i = Field.create lay.Layout.grid ~ncomp:np in
+  Solver.rhs sd ~f ~em:(Some em) ~out:out_d;
+  Solver.rhs si ~f ~em:(Some em) ~out:out_i;
+  (* both run the same interpreted tensors: identical, not just close *)
+  check_fields ~rtol:0.0 "maximal-order fallback" out_d out_i
+
+(* Registry-covered configs report their specialized directions; the
+   partially covered 2x2v p2 tensor keeps its over-budget velocity
+   directions interpreted. *)
+let test_specialized_dirs () =
+  let lay = make_layout ~family:Modal.Serendipity ~p:2 ~cdim:1 ~vdim:2 in
+  let s = Solver.create ~qm:1.0 lay in
+  Alcotest.(check bool)
+    "1x2v p2 ser fully specialized" true
+    (Array.for_all Fun.id (Solver.specialized_dirs s));
+  let lay22 = make_layout ~family:Modal.Tensor ~p:2 ~cdim:2 ~vdim:2 in
+  let s22 = Solver.create ~qm:1.0 lay22 in
+  Alcotest.(check (array bool))
+    "2x2v p2 tensor: config dirs specialized, velocity dirs interpreted"
+    [| true; true; false; false |]
+    (Solver.specialized_dirs s22)
+
+(* Workspace reuse and interleaved max_speeds must not perturb rhs. *)
+let test_workspace_reentrant () =
+  let lay = make_layout ~family:Modal.Serendipity ~p:2 ~cdim:1 ~vdim:2 in
+  let np = Layout.num_basis lay in
+  let s = Solver.create ~qm:(-1.0) lay in
+  let f = random_f lay and em = random_em lay in
+  let ws1 = Solver.make_workspace s and ws2 = Solver.make_workspace s in
+  let out1 = Field.create lay.Layout.grid ~ncomp:np in
+  let out2 = Field.create lay.Layout.grid ~ncomp:np in
+  let out3 = Field.create lay.Layout.grid ~ncomp:np in
+  Solver.rhs ~ws:ws1 s ~f ~em:(Some em) ~out:out1;
+  (* max_speeds between sweeps must not touch any workspace *)
+  ignore (Solver.max_speeds s ~em:(Some em));
+  Solver.rhs ~ws:ws2 s ~f ~em:(Some em) ~out:out2;
+  (* reusing a dirty workspace must still give the identical answer *)
+  Solver.rhs ~ws:ws1 s ~f ~em:(Some em) ~out:out3;
+  check_fields ~rtol:0.0 "distinct workspaces" out1 out2;
+  check_fields ~rtol:0.0 "reused workspace" out1 out3
+
+(* Two concurrent sweeps over ONE solver with distinct workspaces. *)
+let test_concurrent_sweeps () =
+  let lay = make_layout ~family:Modal.Serendipity ~p:1 ~cdim:1 ~vdim:2 in
+  let np = Layout.num_basis lay in
+  let s = Solver.create ~qm:(-1.0) lay in
+  let em = random_em lay in
+  let f1 = random_f ~seed:1 lay and f2 = random_f ~seed:2 lay in
+  let ref1 = Field.create lay.Layout.grid ~ncomp:np in
+  let ref2 = Field.create lay.Layout.grid ~ncomp:np in
+  Solver.rhs s ~f:f1 ~em:(Some em) ~out:ref1;
+  Solver.rhs s ~f:f2 ~em:(Some em) ~out:ref2;
+  let out1 = Field.create lay.Layout.grid ~ncomp:np in
+  let out2 = Field.create lay.Layout.grid ~ncomp:np in
+  let ws1 = Solver.make_workspace s and ws2 = Solver.make_workspace s in
+  let d =
+    Domain.spawn (fun () -> Solver.rhs ~ws:ws2 s ~f:f2 ~em:(Some em) ~out:out2)
+  in
+  Solver.rhs ~ws:ws1 s ~f:f1 ~em:(Some em) ~out:out1;
+  Domain.join d;
+  check_fields ~rtol:0.0 "concurrent sweep 1" out1 ref1;
+  check_fields ~rtol:0.0 "concurrent sweep 2" out2 ref2
+
+let () =
+  Alcotest.run "dg_dispatch"
+    [
+      ( "dispatch",
+        [
+          Alcotest.test_case "dispatched rhs == interpreted (all configs)"
+            `Quick test_all_registry_configs;
+          Alcotest.test_case "unsupported config falls back" `Quick
+            test_fallback_config;
+          Alcotest.test_case "specialized_dirs reporting" `Quick
+            test_specialized_dirs;
+          Alcotest.test_case "workspaces are re-entrant" `Quick
+            test_workspace_reentrant;
+          Alcotest.test_case "concurrent sweeps on one solver" `Quick
+            test_concurrent_sweeps;
+        ] );
+    ]

@@ -133,11 +133,12 @@ let test_model_strong () =
       last.Model.comm_fraction
 
 (* The block-parallel Vlasov update must reproduce the monolithic serial
-   solver exactly (the decomposition is purely organizational). *)
-let test_par_solver_matches_serial () =
+   solver exactly (the decomposition is purely organizational).  All
+   blocks share ONE re-entrant solver, so this also exercises concurrent
+   sweeps with per-block workspaces. *)
+let par_solver_setup () =
   let module Layout = Dg_kernels.Layout in
   let module Modal = Dg_basis.Modal in
-  let module Solver = Dg_vlasov.Solver in
   let grid =
     Grid.make ~cells:[| 4; 4; 4; 4 |]
       ~lower:[| 0.; 0.; -2.; -2. |]
@@ -159,31 +160,48 @@ let test_par_solver_matches_serial () =
       for k = 0 to (6 * nc) - 1 do
         Field.set em c k (Random.State.float rng 2.0 -. 1.0)
       done);
-  (* serial reference *)
   Field.sync_ghosts f
     [| (Field.Periodic, Field.Periodic); (Field.Periodic, Field.Periodic);
        (Field.Zero, Field.Zero); (Field.Zero, Field.Zero) |];
-  let serial = Solver.create ~flux:Solver.Upwind ~qm:(-1.5) lay in
+  (lay, f, em, np)
+
+let check_par_vs_serial ~serial_kernels ~par_kernels ~rtol ~label =
+  let module Solver = Dg_vlasov.Solver in
+  let lay, f, em, np = par_solver_setup () in
+  let grid = lay.Dg_kernels.Layout.grid in
+  let serial =
+    Solver.create ~flux:Solver.Upwind ~use_kernels:serial_kernels ~qm:(-1.5) lay
+  in
   let out_serial = Field.create grid ~ncomp:np in
   Solver.rhs serial ~f ~em:(Some em) ~out:out_serial;
-  (* parallel, several decompositions and worker counts *)
   List.iter
     (fun (blocks, nworkers) ->
       let par =
-        Dg_par.Par_solver.create ~nworkers ~blocks_per_dim:blocks
-          ~flux:Solver.Upwind ~qm:(-1.5) lay
+        Dg_par.Par_solver.create ~nworkers ~use_kernels:par_kernels
+          ~blocks_per_dim:blocks ~flux:Solver.Upwind ~qm:(-1.5) lay
       in
       let out_par = Field.create grid ~ncomp:np in
       Dg_par.Par_solver.rhs par ~f ~em:(Some em) ~out:out_par;
       Grid.iter_cells grid (fun _ c ->
           for k = 0 to np - 1 do
             let a = Field.get out_serial c k and b = Field.get out_par c k in
-            if not (Dg_util.Float_cmp.close ~rtol:1e-13 ~atol:1e-13 a b) then
-              Alcotest.failf "parallel <> serial (%s workers=%d): %g <> %g"
+            if not (Dg_util.Float_cmp.close ~rtol ~atol:rtol a b) then
+              Alcotest.failf "%s (%s workers=%d): %g <> %g" label
                 (String.concat "x" (List.map string_of_int (Array.to_list blocks)))
                 nworkers a b
           done))
     [ ([| 2; 1 |], 1); ([| 2; 2 |], 1); ([| 4; 2 |], 2); ([| 1; 4 |], 3) ]
+
+let test_par_solver_matches_serial () =
+  check_par_vs_serial ~serial_kernels:true ~par_kernels:true ~rtol:1e-13
+    ~label:"parallel <> serial"
+
+(* The dispatched parallel update against the interpreted serial
+   reference: catches specialization bugs that identical kernels on both
+   sides would mask. *)
+let test_par_dispatch_matches_interpreted () =
+  check_par_vs_serial ~serial_kernels:false ~par_kernels:true ~rtol:1e-12
+    ~label:"dispatched parallel <> interpreted serial"
 
 let () =
   Alcotest.run "dg_par"
@@ -199,6 +217,8 @@ let () =
           Alcotest.test_case "gather roundtrip" `Quick test_decomp_gather_roundtrip;
           Alcotest.test_case "parallel solver == serial" `Quick
             test_par_solver_matches_serial;
+          Alcotest.test_case "dispatched parallel == interpreted serial" `Quick
+            test_par_dispatch_matches_interpreted;
         ] );
       ( "model",
         [
