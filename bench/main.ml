@@ -5,11 +5,18 @@
      dune exec bench/main.exe            # everything at container scale
      dune exec bench/main.exe -- fig2    # one experiment
      subcommands: fig1 fig2 table1 efficiency fig3 fig5 conservation
-                  ablation micro
+                  ablation micro kernels
 
    [micro] runs one Bechamel Test.make per table/figure for statistically
    robust per-operation timings; the named subcommands print the
-   paper-shaped tables and series. *)
+   paper-shaped tables and series.
+
+   Every subcommand honors --json FILE: normalized records
+     {"bench": ..., "config": ..., "metric": ..., "value": ..., "units": ...}
+   are APPENDED to FILE (JSONL), so successive invocations accumulate one
+   machine-readable result stream.  [kernels] additionally writes its
+   legacy per-config report to BENCH_kernels.json (the regression
+   baseline). *)
 
 module Layout = Dg_kernels.Layout
 module Modal = Dg_basis.Modal
@@ -26,6 +33,28 @@ module Stats = Dg_util.Stats
 let pr = Printf.printf
 let section title = pr "\n===== %s =====\n%!" title
 
+(* --- normalized JSONL result stream (--json FILE) ------------------------- *)
+
+let json_out : out_channel option ref = ref None
+
+let emit ~bench ~config ~metric ~value ~units =
+  match !json_out with
+  | None -> ()
+  | Some oc ->
+      let module J = Dg_obs.Obs.Json in
+      output_string oc
+        (J.to_string
+           (J.Obj
+              [
+                ("bench", J.Str bench);
+                ("config", J.Str config);
+                ("metric", J.Str metric);
+                ("value", J.Float value);
+                ("units", J.Str units);
+              ]));
+      output_char oc '\n';
+      flush oc
+
 (* --- common builders ----------------------------------------------------- *)
 
 let make_layout ?(cells_c = 4) ?(cells_v = 4) ~cdim ~vdim ~family ~p () =
@@ -40,7 +69,9 @@ let phase_bcs (lay : Layout.t) =
       if d < lay.Layout.cdim then (Field.Periodic, Field.Periodic)
       else (Field.Zero, Field.Zero))
 
-let random_field ?(seed = 1) grid ~ncomp =
+(* Seeds are required and distinct per call site, so no two benchmarks
+   accidentally share input data (and a reseeding bug cannot hide). *)
+let random_field ~seed grid ~ncomp =
   let rng = Random.State.make [| seed |] in
   let f = Field.create grid ~ncomp in
   Grid.iter_cells grid (fun _ c ->
@@ -89,7 +120,12 @@ let fig1 () =
     m_stream (accel_mults 1) (accel_mults 2) m_total;
   pr "alias-free nodal quadrature estimate for the same update: %d\n"
     (Codegen.nodal_mult_estimate lay);
-  pr "(paper: ~70 modal vs ~250 nodal multiplications)\n"
+  pr "(paper: ~70 modal vs ~250 nodal multiplications)\n";
+  emit ~bench:"fig1" ~config:"1x2v_p1_tensor" ~metric:"mults_modal"
+    ~value:(float_of_int m_total) ~units:"mults";
+  emit ~bench:"fig1" ~config:"1x2v_p1_tensor" ~metric:"mults_nodal_estimate"
+    ~value:(float_of_int (Codegen.nodal_mult_estimate lay))
+    ~units:"mults"
 
 (* --- Fig. 2: per-cell update cost vs N_p --------------------------------- *)
 
@@ -127,7 +163,7 @@ let fig2_measure ~cdim ~vdim ~p ~cells_c ~cells_v family =
   let lay = make_layout ~cells_c ~cells_v ~cdim ~vdim ~family ~p () in
   let np = Layout.num_basis lay in
   let solver = Solver.create ~flux:Solver.Upwind ~qm:(-1.0) lay in
-  let f = random_field lay.Layout.grid ~ncomp:np in
+  let f = random_field ~seed:11 lay.Layout.grid ~ncomp:np in
   Field.sync_ghosts f (phase_bcs lay);
   let em = random_em lay in
   let out = Field.create lay.Layout.grid ~ncomp:np in
@@ -153,7 +189,15 @@ let fig2 () =
           let r = fig2_measure ~cdim ~vdim ~p ~cells_c ~cells_v family in
           rows := r :: !rows;
           pr "%-12s %-14s %6d %14.0f %14.0f\n%!" r.label
-            (Modal.family_name family) r.np r.t_stream r.t_total)
+            (Modal.family_name family) r.np r.t_stream r.t_total;
+          let config =
+            Printf.sprintf "%dx%dv_p%d_%s" cdim vdim p
+              (Modal.family_name family)
+          in
+          emit ~bench:"fig2" ~config ~metric:"stream_per_cell"
+            ~value:r.t_stream ~units:"ns";
+          emit ~bench:"fig2" ~config ~metric:"total_per_cell" ~value:r.t_total
+            ~units:"ns")
         (fig2_families ~pdim:(cdim + vdim) ~p))
     fig2_configs;
   let rows = Array.of_list (List.rev !rows) in
@@ -166,6 +210,12 @@ let fig2 () =
     (fit (fun r -> r.t_stream))
     (fit (fun r -> r.t_total));
   pr "(paper: at worst ~O(Np^2), independent of dimensionality and basis family)\n";
+  emit ~bench:"fig2" ~config:"all" ~metric:"alpha_stream"
+    ~value:(fit (fun r -> r.t_stream))
+    ~units:"exponent";
+  emit ~bench:"fig2" ~config:"all" ~metric:"alpha_total"
+    ~value:(fit (fun r -> r.t_total))
+    ~units:"exponent";
   rows
 
 (* --- Table I: modal vs nodal 2X3V two-species Vlasov-Maxwell ------------- *)
@@ -260,6 +310,15 @@ let table1 ?(cells = [| 4; 4; 4; 6; 6 |]) () =
   pr "%-28s %14s %14s\n" "" "" "";
   pr "total time reduction : %.1fx   (paper: ~16x)\n" (nodal_total /. modal_total);
   pr "Vlasov time reduction: %.1fx   (paper: ~17x)\n" (nodal_vlasov /. modal_vlasov);
+  let e metric value units =
+    emit ~bench:"table1" ~config:"2x3v_p2_ser" ~metric ~value ~units
+  in
+  e "modal_total" modal_total "s/step";
+  e "modal_vlasov" modal_vlasov "s/step";
+  e "nodal_total" nodal_total "s/step";
+  e "nodal_vlasov" nodal_vlasov "s/step";
+  e "total_reduction" (nodal_total /. modal_total) "x";
+  e "vlasov_reduction" (nodal_vlasov /. modal_vlasov) "x";
   (modal_total, modal_vlasov, nodal_total, nodal_vlasov)
 
 (* --- efficiency: DOFs updated per second per core ------------------------ *)
@@ -273,7 +332,7 @@ let efficiency () =
   let np = Layout.num_basis lay in
   let ncells = Grid.num_cells lay.Layout.grid in
   let solver = Solver.create ~flux:Solver.Upwind ~qm:(-1.0) lay in
-  let f = random_field lay.Layout.grid ~ncomp:np in
+  let f = random_field ~seed:5 lay.Layout.grid ~ncomp:np in
   Field.sync_ghosts f (phase_bcs lay);
   let em = random_em lay in
   let out = Field.create lay.Layout.grid ~ncomp:np in
@@ -292,6 +351,12 @@ let efficiency () =
   pr "with Dougherty Fokker-Planck : %.2e DOF/s/core  (paper: ~8e6, i.e. ~2x cost)\n"
     (dofs /. t_both);
   pr "collision-operator cost ratio: %.2fx\n" (t_both /. t_rhs);
+  emit ~bench:"efficiency" ~config:"2x3v_p2_ser" ~metric:"vlasov_dofs_per_s"
+    ~value:(dofs /. t_rhs) ~units:"DOF/s";
+  emit ~bench:"efficiency" ~config:"2x3v_p2_ser" ~metric:"with_lbo_dofs_per_s"
+    ~value:(dofs /. t_both) ~units:"DOF/s";
+  emit ~bench:"efficiency" ~config:"2x3v_p2_ser" ~metric:"lbo_cost_ratio"
+    ~value:(t_both /. t_rhs) ~units:"x";
   (t_rhs /. dofs, t_both /. t_rhs)
 
 (* --- Fig. 3: weak and strong scaling ------------------------------------- *)
@@ -307,13 +372,17 @@ let fig3 ?(t_dof = None) () =
   in
   let np = 64 in
   let d = Dg_par.Decomp.make ~global:grid ~cdim:3 ~blocks_per_dim:[| 2; 2; 2 |] ~ncomp:np in
-  let src = random_field grid ~ncomp:np in
+  let src = random_field ~seed:6 grid ~ncomp:np in
   Dg_par.Decomp.scatter d ~src;
   let t_halo = time_per_call (fun () -> ignore (Dg_par.Decomp.exchange_halos d)) in
   let moved = Dg_par.Decomp.exchange_halos d in
   pr "measured halo exchange: %d floats in %.3f ms  (%.2e s/byte)\n" moved
     (t_halo *. 1e3)
     (t_halo /. (float_of_int moved *. 8.0));
+  emit ~bench:"fig3" ~config:"6d_2x2x2_blocks" ~metric:"halo_floats"
+    ~value:(float_of_int moved) ~units:"floats";
+  emit ~bench:"fig3" ~config:"6d_2x2x2_blocks" ~metric:"halo_exchange"
+    ~value:(t_halo *. 1e3) ~units:"ms";
   (* per-DOF compute cost: measured (or passed in from fig2/table1) *)
   let t_dof =
     match t_dof with
@@ -325,7 +394,7 @@ let fig3 ?(t_dof = None) () =
         in
         let np = Layout.num_basis lay in
         let solver = Solver.create ~flux:Solver.Upwind ~qm:(-1.0) lay in
-        let f = random_field lay.Layout.grid ~ncomp:np in
+        let f = random_field ~seed:8 lay.Layout.grid ~ncomp:np in
         Field.sync_ghosts f (phase_bcs lay);
         let em = random_em lay in
         let out = Field.create lay.Layout.grid ~ncomp:np in
@@ -333,6 +402,8 @@ let fig3 ?(t_dof = None) () =
         t /. float_of_int (np * Grid.num_cells lay.Layout.grid)
   in
   pr "measured compute cost: %.2e s/DOF for this interpreted OCaml build\n" t_dof;
+  emit ~bench:"fig3" ~config:"3x3v_p1_ser" ~metric:"compute_cost" ~value:t_dof
+    ~units:"s/DOF";
   pr
     "NOTE: at this per-DOF cost communication is negligible (compute-bound\n\
     \ everywhere); the curves below use the paper-calibrated per-DOF cost\n\
@@ -433,7 +504,11 @@ let fig5 ?(tend = 12.0) () =
   pr
     "kinetic -> field conversion: dKE = %.3e, dFE = %+.3e (paper: beam kinetic \
      energy feeds the instability zoo, then thermalizes)\n"
-    (ke1 -. ke0) (fe1 -. fe0)
+    (ke1 -. ke0) (fe1 -. fe0);
+  emit ~bench:"fig5" ~config:"2x2v_p1_ser" ~metric:"delta_kinetic"
+    ~value:(ke1 -. ke0) ~units:"energy";
+  emit ~bench:"fig5" ~config:"2x2v_p1_ser" ~metric:"delta_field"
+    ~value:(fe1 -. fe0) ~units:"energy"
 
 (* --- conservation table -------------------------------------------------- *)
 
@@ -472,6 +547,14 @@ let conservation () =
   in
   let dm_c, de_c = run Solver.Central in
   let dm_u, de_u = run Solver.Upwind in
+  emit ~bench:"conservation" ~config:"central" ~metric:"mass_drift" ~value:dm_c
+    ~units:"relative";
+  emit ~bench:"conservation" ~config:"central" ~metric:"energy_drift"
+    ~value:de_c ~units:"relative";
+  emit ~bench:"conservation" ~config:"upwind" ~metric:"mass_drift" ~value:dm_u
+    ~units:"relative";
+  emit ~bench:"conservation" ~config:"upwind" ~metric:"energy_drift"
+    ~value:de_u ~units:"relative";
   pr "%-22s %16s %16s\n" "flux" "mass drift" "energy drift";
   pr "%-22s %16.3e %16.3e\n" "central" dm_c de_c;
   pr "%-22s %16.3e %16.3e\n" "upwind (penalty)" dm_u de_u;
@@ -521,6 +604,10 @@ let conservation () =
     ke_dot +. (!fe_dot *. jac)
   in
   let r_c = rate Solver.Central and r_u = rate Solver.Upwind in
+  emit ~bench:"conservation" ~config:"central" ~metric:"energy_rate" ~value:r_c
+    ~units:"energy/s";
+  emit ~bench:"conservation" ~config:"upwind" ~metric:"energy_rate" ~value:r_u
+    ~units:"energy/s";
   pr "\nsemi-discrete total-energy rate on rough data:\n";
   pr "%-22s %16.6e   (exactly 0 up to roundoff)\n" "central" r_c;
   pr "%-22s %16.6e   (also ~0: |v|^2 is continuous across faces, so the\n"
@@ -591,7 +678,14 @@ let ablation () =
     (t_sparse *. 1e9) (t_dense /. t_sparse);
   pr "\n%-34s %12.0f ns  (%.1fx over interpreted)\n" "generated unrolled kernel"
     (t_gen *. 1e9) (t_sparse /. t_gen);
-  pr "(the sparsity + unrolling story of paper Section II)\n"
+  pr "(the sparsity + unrolling story of paper Section II)\n";
+  let e metric value =
+    emit ~bench:"ablation" ~config:"1x2v_p2_ser_accel_vol" ~metric ~value
+      ~units:"ns"
+  in
+  e "dense" (t_dense *. 1e9);
+  e "interpreted" (t_sparse *. 1e9);
+  e "generated" (t_gen *. 1e9)
 
 (* --- bechamel micro-suite: one Test.make per table/figure ---------------- *)
 
@@ -602,7 +696,7 @@ let micro () =
   let lay12 = make_layout ~cdim:1 ~vdim:2 ~family:Modal.Serendipity ~p:2 () in
   let np12 = Layout.num_basis lay12 in
   let solver12 = Solver.create ~flux:Solver.Upwind ~qm:(-1.0) lay12 in
-  let f12 = random_field lay12.Layout.grid ~ncomp:np12 in
+  let f12 = random_field ~seed:9 lay12.Layout.grid ~ncomp:np12 in
   Field.sync_ghosts f12 (phase_bcs lay12);
   let em12 = random_em lay12 in
   let out12 = Field.create lay12.Layout.grid ~ncomp:np12 in
@@ -614,8 +708,10 @@ let micro () =
   let np23 = Layout.num_basis lay23 in
   let msolver = Solver.create ~flux:Solver.Upwind ~qm:(-1.0) lay23 in
   let nsolver = Nodal.create ~flux:Nodal.Upwind ~qm:(-1.0) lay23 in
-  let fm = random_field lay23.Layout.grid ~ncomp:np23 in
-  let fn = random_field lay23.Layout.grid ~ncomp:(Nodal.num_nodes nsolver) in
+  let fm = random_field ~seed:10 lay23.Layout.grid ~ncomp:np23 in
+  let fn =
+    random_field ~seed:12 lay23.Layout.grid ~ncomp:(Nodal.num_nodes nsolver)
+  in
   Field.sync_ghosts fm (phase_bcs lay23);
   Field.sync_ghosts fn (phase_bcs lay23);
   let em23 = random_em lay23 in
@@ -629,7 +725,7 @@ let micro () =
   let decomp =
     Dg_par.Decomp.make ~global:grid6 ~cdim:3 ~blocks_per_dim:[| 2; 2; 2 |] ~ncomp:16
   in
-  Dg_par.Decomp.scatter decomp ~src:(random_field grid6 ~ncomp:16);
+  Dg_par.Decomp.scatter decomp ~src:(random_field ~seed:13 grid6 ~ncomp:16);
   (* efficiency: moments *)
   let mom = Moments.make lay23 in
   let cur =
@@ -675,6 +771,14 @@ let micro () =
                 ~ncomp:(8 * Layout.num_cbasis lay12)
             in
             fun () -> Dg_maxwell.Maxwell.rhs mx ~em ~out));
+      (* the dg_obs fast path: a disabled span must cost ~one branch, so
+         instrumentation can live permanently in the solver hot paths.
+         Compare against the bare closure call to see the overhead. *)
+      Test.make ~name:"obs_span_disabled"
+        (Staged.stage (fun () ->
+             Dg_obs.Obs.span "bench" (fun () -> Sys.opaque_identity 0)));
+      Test.make ~name:"obs_span_baseline"
+        (Staged.stage (fun () -> Sys.opaque_identity 0));
     ]
   in
   let grouped = Test.make_grouped ~name:"vmdg" tests in
@@ -688,7 +792,10 @@ let micro () =
   Hashtbl.iter
     (fun name ols_result ->
       match Analyze.OLS.estimates ols_result with
-      | Some (est :: _) -> pr "%-36s %16.0f\n" name est
+      | Some (est :: _) ->
+          pr "%-36s %16.0f\n" name est;
+          emit ~bench:"micro" ~config:name ~metric:"time_per_op" ~value:est
+            ~units:"ns"
       | _ -> pr "%-36s %16s\n" name "n/a")
     results
 
@@ -696,8 +803,8 @@ let micro () =
 
 (* Measures the full Solver.rhs with the generated unrolled kernels against
    the interpreted sparse path for every registry configuration that fits
-   the bench box, and writes per-config medians + speedups as JSON
-   (bench/main.exe micro --json BENCH_kernels.json). *)
+   the bench box, and writes per-config medians + speedups to
+   BENCH_kernels.json (the regression baseline; bench/main.exe kernels). *)
 let kernels_json path =
   section "Kernel dispatch - specialized vs interpreted Solver.rhs";
   let module K = Dg_genkernels.Kernels in
@@ -724,7 +831,7 @@ let kernels_json path =
         let si =
           Solver.create ~flux:Solver.Upwind ~use_kernels:false ~qm:(-1.0) lay
         in
-        let f = random_field lay.Layout.grid ~ncomp:np in
+        let f = random_field ~seed:14 lay.Layout.grid ~ncomp:np in
         Field.sync_ghosts f (phase_bcs lay);
         let em = random_em lay in
         let out = Field.create lay.Layout.grid ~ncomp:np in
@@ -748,6 +855,12 @@ let kernels_json path =
           name (t_disp *. 1e9) (t_interp *. 1e9) speedup
           (String.concat ""
              (Array.to_list (Array.map (fun b -> if b then "S" else "i") spec)));
+        emit ~bench:"kernels" ~config:name ~metric:"rhs_dispatched"
+          ~value:(t_disp *. 1e9) ~units:"ns";
+        emit ~bench:"kernels" ~config:name ~metric:"rhs_interpreted"
+          ~value:(t_interp *. 1e9) ~units:"ns";
+        emit ~bench:"kernels" ~config:name ~metric:"speedup" ~value:speedup
+          ~units:"x";
         Printf.sprintf
           "    {\"config\": %S, \"family\": %S, \"poly_order\": %d, \"cdim\": \
            %d, \"vdim\": %d, \"num_basis\": %d,\n\
@@ -775,7 +888,8 @@ let kernels_json path =
 
 let () =
   let argv = Array.to_list Sys.argv in
-  (* --json FILE: also run the kernel-dispatch comparison, write JSON *)
+  (* --json FILE: append normalized {bench,config,metric,value,units}
+     records for every subcommand (JSONL, one stream across invocations) *)
   let rec find_json = function
     | "--json" :: file :: _ -> Some file
     | _ :: rest -> find_json rest
@@ -784,6 +898,10 @@ let () =
   let json = find_json argv in
   let args = List.filter (fun a -> a <> "--json" && Some a <> json) argv in
   let what = match args with _ :: w :: _ -> w | _ -> "all" in
+  (match json with
+  | Some file ->
+      json_out := Some (open_out_gen [ Open_append; Open_creat ] 0o644 file)
+  | None -> ());
   (match what with
   | "fig1" -> fig1 ()
   | "fig2" -> ignore (fig2 ())
@@ -794,7 +912,7 @@ let () =
   | "conservation" -> conservation ()
   | "ablation" -> ablation ()
   | "micro" -> micro ()
-  | "kernels" -> () (* dispatch comparison only (with --json below) *)
+  | "kernels" -> kernels_json "BENCH_kernels.json"
   | "all" ->
       fig1 ();
       ignore (fig2 ());
@@ -804,11 +922,14 @@ let () =
       fig3 ();
       ignore (table1 ());
       fig5 ~tend:8.0 ();
-      micro ()
+      micro ();
+      kernels_json "BENCH_kernels.json"
   | s ->
       prerr_endline ("unknown benchmark: " ^ s);
       exit 1);
-  (match json with
-  | Some file -> kernels_json file
-  | None -> if what = "kernels" then kernels_json "BENCH_kernels.json");
+  (match !json_out with
+  | Some oc ->
+      close_out oc;
+      json_out := None
+  | None -> ());
   pr "\nbench done.\n"

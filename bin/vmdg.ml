@@ -1,10 +1,17 @@
 (* vmdg — command-line driver for the modal Vlasov-Maxwell DG solver.
 
    Subcommands:
-     info         print basis dimensions and kernel sparsity for a layout
-     kernel-dump  print an auto-generated unrolled kernel (paper Fig. 1)
-     landau       run Landau damping (1X1V Vlasov-Ampere) and fit the rate
-     advect       run free-streaming advection and report the L2 error *)
+     info          print basis dimensions and kernel sparsity for a layout
+     kernel-dump   print an auto-generated unrolled kernel (paper Fig. 1)
+     landau        run Landau damping (1X1V Vlasov-Ampere) and fit the rate
+     twostream     run the two-stream instability and fit the growth rate
+     advect        run free-streaming advection and report the L2 error
+     snapshot-info inspect a checkpoint file
+     trace-report  summarize a JSONL profile written with --trace
+
+   The physics runs accept --trace FILE: tracing (dg_obs) is enabled before
+   the app is built so kernel-dispatch counters land in the manifest, and
+   every step appends one JSONL record of spans/counters/GC deltas. *)
 
 open Cmdliner
 
@@ -28,6 +35,24 @@ let family_t =
     value
     & opt family_conv Dg.Basis.Serendipity
     & info [ "basis" ] ~doc:"Basis family: tensor, serendipity (ser), maximal-order (max).")
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a per-step JSONL profile to $(docv) (see trace-report).")
+
+(* Enable tracing BEFORE building the app (so solver creation files its
+   dispatch counters), then attach the sink. *)
+let with_trace trace mkapp =
+  match trace with
+  | None -> mkapp ()
+  | Some path ->
+      Dg.Obs.enable ();
+      let app = mkapp () in
+      Dg.App.attach_trace app path;
+      app
 
 let make_layout ~cdim ~vdim ~family ~p =
   let pdim = cdim + vdim in
@@ -93,7 +118,7 @@ let kernel_dump_cmd =
 (* --- landau -------------------------------------------------------------- *)
 
 let landau_cmd =
-  let run cells_x cells_v p tend =
+  let run cells_x cells_v p tend trace =
     let k = 0.5 and alpha = 0.01 in
     let l = 2.0 *. Float.pi /. k in
     let electron =
@@ -119,13 +144,14 @@ let landau_cmd =
               em);
       }
     in
-    let app = Dg.App.create spec in
+    let app = with_trace trace (fun () -> Dg.App.create spec) in
     let hist = Dg.Diag.make_history [| "field_energy" |] in
     let record app =
       Dg.Diag.record hist ~time:(Dg.App.time app) [| Dg.App.field_energy app |]
     in
     record app;
     Dg.App.run app ~tend ~on_step:record;
+    Dg.App.close_trace app;
     let gamma = Dg.Diag.growth_rate hist ~column:"field_energy" ~t0:2.0 ~t1:tend /. 2.0 in
     Fmt.pr "steps: %d;  damping rate (envelope fit): %.4f  (theory -0.1533 at \
             k=0.5)@."
@@ -135,12 +161,74 @@ let landau_cmd =
   let cells_v_t = Arg.(value & opt int 48 & info [ "cells-v" ] ~doc:"v cells") in
   let tend_t = Arg.(value & opt float 20.0 & info [ "tend" ] ~doc:"end time") in
   Cmd.v (Cmd.info "landau" ~doc:"Landau damping run")
-    Term.(const run $ cells_x_t $ cells_v_t $ p_t $ tend_t)
+    Term.(const run $ cells_x_t $ cells_v_t $ p_t $ tend_t $ trace_t)
+
+(* --- twostream ------------------------------------------------------------ *)
+
+let twostream_cmd =
+  let run cells_x cells_v p tend trace =
+    let v0 = 2.0 and vt = 0.35 and k = 0.35 and alpha = 1e-4 in
+    let l = 2.0 *. Float.pi /. k in
+    let a = k *. v0 in
+    let x2 = (((2.0 *. a *. a) +. 1.0) -. sqrt ((8.0 *. a *. a) +. 1.0)) /. 2.0 in
+    let gamma_cold = if x2 < 0.0 then sqrt (-.x2) else 0.0 in
+    let beams ~pos ~vel =
+      let m u =
+        exp (-.((vel.(0) -. u) ** 2.0) /. (2.0 *. vt *. vt))
+        /. sqrt (2.0 *. Float.pi *. vt *. vt)
+      in
+      0.5 *. (1.0 +. (alpha *. cos (k *. pos.(0)))) *. (m v0 +. m (-.v0))
+    in
+    let electron =
+      Dg.App.species ~name:"elc" ~charge:(-1.0) ~mass:1.0 ~init_f:beams ()
+    in
+    let vmax = 6.0 in
+    let spec =
+      {
+        (Dg.App.default_spec ~cdim:1 ~vdim:1 ~cells:[| cells_x; cells_v |]
+           ~lower:[| 0.0; -.vmax |] ~upper:[| l; vmax |] ~species:[ electron ])
+        with
+        Dg.App.field_model = Dg.App.Ampere_only;
+        poly_order = p;
+        init_em =
+          Some
+            (fun x ->
+              let em = Array.make 8 0.0 in
+              em.(0) <- -.(alpha /. k) *. sin (k *. x.(0));
+              em);
+      }
+    in
+    let app = with_trace trace (fun () -> Dg.App.create spec) in
+    let hist = Dg.Diag.make_history [| "field_energy" |] in
+    let record app =
+      Dg.Diag.record hist ~time:(Dg.App.time app) [| Dg.App.field_energy app |]
+    in
+    record app;
+    Dg.App.run app ~tend ~on_step:record;
+    Dg.App.close_trace app;
+    if tend > 22.0 then begin
+      let gamma =
+        Dg.Diag.growth_rate hist ~column:"field_energy" ~t0:8.0 ~t1:22.0 /. 2.0
+      in
+      Fmt.pr "steps: %d;  growth rate: %.4f  (cold-beam theory %.4f)@."
+        (Dg.App.nsteps app) gamma gamma_cold
+    end
+    else
+      Fmt.pr "steps: %d to t=%.2f (tend <= 22: growth-rate fit skipped)@."
+        (Dg.App.nsteps app) (Dg.App.time app)
+  in
+  let cells_x_t = Arg.(value & opt int 32 & info [ "cells-x" ] ~doc:"x cells") in
+  let cells_v_t = Arg.(value & opt int 48 & info [ "cells-v" ] ~doc:"v cells") in
+  let tend_t = Arg.(value & opt float 30.0 & info [ "tend" ] ~doc:"end time") in
+  Cmd.v
+    (Cmd.info "twostream"
+       ~doc:"Two-stream instability run (1X1V Vlasov-Ampere)")
+    Term.(const run $ cells_x_t $ cells_v_t $ p_t $ tend_t $ trace_t)
 
 (* --- advect -------------------------------------------------------------- *)
 
 let advect_cmd =
-  let run cells p tend =
+  let run cells p tend trace =
     let l = 2.0 *. Float.pi in
     let f0 ~pos ~vel =
       (1.0 +. (0.5 *. sin pos.(0))) *. exp (-2.0 *. vel.(0) *. vel.(0))
@@ -157,8 +245,9 @@ let advect_cmd =
         poly_order = p;
       }
     in
-    let app = Dg.App.create spec in
+    let app = with_trace trace (fun () -> Dg.App.create spec) in
     Dg.App.run app ~tend;
+    Dg.App.close_trace app;
     (* L2 error against the exact advected profile *)
     let lay = Dg.App.layout app in
     let basis = lay.Dg.Layout.basis in
@@ -185,7 +274,7 @@ let advect_cmd =
   let cells_t = Arg.(value & opt int 16 & info [ "cells" ] ~doc:"cells/dim") in
   let tend_t = Arg.(value & opt float 1.0 & info [ "tend" ] ~doc:"end time") in
   Cmd.v (Cmd.info "advect" ~doc:"Free-streaming accuracy check")
-    Term.(const run $ cells_t $ p_t $ tend_t)
+    Term.(const run $ cells_t $ p_t $ tend_t $ trace_t)
 
 (* --- snapshot-info -------------------------------------------------------- *)
 
@@ -218,9 +307,32 @@ let snapshot_info_cmd =
   Cmd.v (Cmd.info "snapshot-info" ~doc:"Inspect a checkpoint file")
     Term.(const run $ path_t)
 
+(* --- trace-report --------------------------------------------------------- *)
+
+let trace_report_cmd =
+  let run path = ignore (Dg.Obs.Report.print path) in
+  let path_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"JSONL trace written with --trace")
+  in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:"Summarize a JSONL profile trace (per-span table, coverage)")
+    Term.(const run $ path_t)
+
 let () =
   let doc = "modal alias-free matrix-free quadrature-free DG kinetic solver" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "vmdg" ~doc)
-          [ info_cmd; kernel_dump_cmd; landau_cmd; advect_cmd; snapshot_info_cmd ]))
+          [
+            info_cmd;
+            kernel_dump_cmd;
+            landau_cmd;
+            twostream_cmd;
+            advect_cmd;
+            snapshot_info_cmd;
+            trace_report_cmd;
+          ]))

@@ -15,6 +15,7 @@ module Field = Dg_grid.Field
 module Solver = Dg_vlasov.Solver
 module Moments = Dg_moments.Moments
 module Stepper = Dg_time.Stepper
+module Obs = Dg_obs.Obs
 
 type field_model =
   | Full_maxwell (* Vlasov-Maxwell: dE/dt = curl B - J, dB/dt = -curl E *)
@@ -87,6 +88,10 @@ type species = {
   solver : Solver.t;
   moments : Moments.t;
   collide : collision_op;
+  (* precomputed span names: no string building in the RHS even when
+     tracing is on *)
+  span_vlasov : string;
+  span_coll : string;
 }
 
 type t = {
@@ -101,6 +106,7 @@ type t = {
   current : Field.t; (* work: Jx,Jy,Jz coefficient blocks *)
   mutable time : float;
   mutable nsteps : int;
+  mutable trace : Obs.Sink.t option; (* per-step JSONL profile, if attached *)
 }
 
 (* Project a pointwise phase-space function onto every cell of a field. *)
@@ -162,6 +168,8 @@ let create (spec : spec) =
                | No_collisions -> No_op
                | Lbo_collisions nu -> Lbo_op (Dg_collisions.Lbo.create ~nu lay)
                | Bgk_collisions nu -> Bgk_op (Dg_collisions.Bgk.create ~nu lay));
+             span_vlasov = "vlasov:" ^ ss.name;
+             span_coll = "collisions:" ^ ss.name;
            })
          spec.species)
   in
@@ -205,6 +213,7 @@ let create (spec : spec) =
     current = Field.create lay.Layout.cgrid ~ncomp:(3 * nc);
     time = 0.0;
     nsteps = 0;
+    trace = None;
   }
 
 let layout t = t.lay
@@ -239,46 +248,52 @@ let rhs t ~time:_ (state : Field.t list) (outs : Field.t list) =
   let fs, em = split_state t state in
   let fouts, em_out = split_state t outs in
   (* ghost synchronization *)
-  Array.iter (fun f -> Field.sync_ghosts f t.phase_bcs) fs;
-  Field.sync_ghosts em t.em_bcs;
+  Obs.span "sync_ghosts" (fun () ->
+      Array.iter (fun f -> Field.sync_ghosts f t.phase_bcs) fs;
+      Field.sync_ghosts em t.em_bcs);
   (* species updates *)
   let em_opt =
     match t.spec.field_model with Static | Ampere_only | Full_maxwell -> Some em
   in
   Array.iteri
     (fun i sp ->
-      Solver.rhs sp.solver ~f:fs.(i) ~em:em_opt ~out:fouts.(i);
+      Obs.span sp.span_vlasov (fun () ->
+          Solver.rhs sp.solver ~f:fs.(i) ~em:em_opt ~out:fouts.(i));
       match sp.collide with
       | No_op -> ()
       | Lbo_op lbo ->
-          Dg_collisions.Lbo.update_prim lbo ~f:fs.(i);
-          Dg_collisions.Lbo.rhs lbo ~f:fs.(i) ~out:fouts.(i)
+          Obs.span sp.span_coll (fun () ->
+              Dg_collisions.Lbo.update_prim lbo ~f:fs.(i);
+              Dg_collisions.Lbo.rhs lbo ~f:fs.(i) ~out:fouts.(i))
       | Bgk_op bgk ->
-          Dg_collisions.Bgk.update_prim bgk ~f:fs.(i);
-          Dg_collisions.Bgk.rhs bgk ~f:fs.(i) ~out:fouts.(i))
+          Obs.span sp.span_coll (fun () ->
+              Dg_collisions.Bgk.update_prim bgk ~f:fs.(i);
+              Dg_collisions.Bgk.rhs bgk ~f:fs.(i) ~out:fouts.(i)))
     t.species;
   (* field update *)
-  Field.fill em_out 0.0;
-  (match t.spec.field_model with
-  | Static -> ()
-  | Ampere_only ->
-      compute_current t fs;
-      (* dE/dt = -J on components 0..2 *)
-      let nc = Layout.num_cbasis t.lay in
-      Grid.iter_cells t.lay.Layout.cgrid (fun _ c ->
-          let jo = Field.offset t.current c and oo = Field.offset em_out c in
-          let jd = Field.data t.current and od = Field.data em_out in
-          for k = 0 to (3 * nc) - 1 do
-            od.(oo + k) <- od.(oo + k) -. jd.(jo + k)
-          done)
-  | Full_maxwell ->
-      let mx = Option.get t.maxwell in
-      compute_current t fs;
-      Dg_maxwell.Maxwell.rhs mx ~em ~out:em_out;
-      Dg_maxwell.Maxwell.add_current_source mx ~current:t.current ~out:em_out)
+  Obs.span "field" (fun () ->
+      Field.fill em_out 0.0;
+      match t.spec.field_model with
+      | Static -> ()
+      | Ampere_only ->
+          compute_current t fs;
+          (* dE/dt = -J on components 0..2 *)
+          let nc = Layout.num_cbasis t.lay in
+          Grid.iter_cells t.lay.Layout.cgrid (fun _ c ->
+              let jo = Field.offset t.current c and oo = Field.offset em_out c in
+              let jd = Field.data t.current and od = Field.data em_out in
+              for k = 0 to (3 * nc) - 1 do
+                od.(oo + k) <- od.(oo + k) -. jd.(jo + k)
+              done)
+      | Full_maxwell ->
+          let mx = Option.get t.maxwell in
+          compute_current t fs;
+          Dg_maxwell.Maxwell.rhs mx ~em ~out:em_out;
+          Dg_maxwell.Maxwell.add_current_source mx ~current:t.current
+            ~out:em_out)
 
 (* CFL-limited time step from current state speeds. *)
-let suggest_dt t =
+let suggest_dt_impl t =
   let fs, em = split_state t t.state in
   ignore fs;
   let speeds = Array.make t.lay.Layout.pdim 0.0 in
@@ -309,12 +324,91 @@ let suggest_dt t =
     t.species;
   !dt
 
+let suggest_dt t = Obs.span "cfl" (fun () -> suggest_dt_impl t)
+
+(* --- tracing ------------------------------------------------------------- *)
+
+let field_model_name = function
+  | Full_maxwell -> "full-maxwell"
+  | Ampere_only -> "ampere-only"
+  | Static -> "static"
+
+let attach_trace t path =
+  (* Enable first so the step instrumentation records; read the dispatch
+     counters (filed at solver-creation time if tracing was already on)
+     into the manifest before the per-step reset discards them. *)
+  Obs.enable ();
+  let sp = t.spec in
+  let ints a = Obs.Json.List (List.map (fun v -> Obs.Json.Int v) (Array.to_list a)) in
+  let floats a =
+    Obs.Json.List (List.map (fun v -> Obs.Json.Float v) (Array.to_list a))
+  in
+  let manifest =
+    [
+      ("layout", Obs.Json.Str (Printf.sprintf "%dx%dv" sp.cdim sp.vdim));
+      ("family", Obs.Json.Str (Modal.family_name sp.family));
+      ("poly_order", Obs.Json.Int sp.poly_order);
+      ("cells", ints sp.cells);
+      ("lower", floats sp.lower);
+      ("upper", floats sp.upper);
+      ( "species",
+        Obs.Json.List
+          (List.map
+             (fun (ss : species_spec) -> Obs.Json.Str ss.name)
+             sp.species) );
+      ("field_model", Obs.Json.Str (field_model_name sp.field_model));
+      ("scheme", Obs.Json.Str (Stepper.scheme_name sp.scheme));
+      ("cfl", Obs.Json.Float sp.cfl);
+      ( "dispatch_specialized_dirs",
+        Obs.Json.Int
+          (int_of_float (Obs.counter_value "dispatch.specialized_dirs")) );
+      ( "dispatch_interpreted_dirs",
+        Obs.Json.Int
+          (int_of_float (Obs.counter_value "dispatch.interpreted_dirs")) );
+    ]
+  in
+  let sink = Obs.Sink.create ~manifest path in
+  Obs.reset ();
+  t.trace <- Some sink
+
+let close_trace t =
+  match t.trace with
+  | None -> ()
+  | Some sink ->
+      Obs.Sink.close sink;
+      t.trace <- None
+
+(* One "step" record per step; the aggregator is cleared afterwards so each
+   record covers exactly one step. *)
+let emit_step_record t sink ~dt ~wall ~gc0 =
+  let gc = Obs.gc_delta ~before:gc0 ~after:(Obs.gc_sample ()) in
+  Obs.Sink.event sink ~kind:"step"
+    [
+      ("step", Obs.Json.Int t.nsteps);
+      ("time", Obs.Json.Float t.time);
+      ("dt", Obs.Json.Float dt);
+      ("wall_s", Obs.Json.Float wall);
+      ("spans", Obs.spans_json ());
+      ("counters", Obs.counters_json ());
+      ("gauges", Obs.gauges_json ());
+      ("gc", Obs.gc_json gc);
+    ];
+  Obs.reset ()
+
 (* Advance one step of size [dt] (or the CFL-suggested step). *)
 let step ?dt t =
+  let tracing = t.trace <> None in
+  let t0 = if tracing then Obs.now () else 0.0 in
+  let gc0 = if tracing then Some (Obs.gc_sample ()) else None in
   let dt = match dt with Some dt -> dt | None -> suggest_dt t in
-  Stepper.step t.stepper ~rhs:(rhs t) ~time:t.time ~dt t.state;
+  Obs.gauge "dt" dt;
+  Obs.span "step" (fun () ->
+      Stepper.step t.stepper ~rhs:(rhs t) ~time:t.time ~dt t.state);
   t.time <- t.time +. dt;
   t.nsteps <- t.nsteps + 1;
+  (match (t.trace, gc0) with
+  | Some sink, Some gc0 -> emit_step_record t sink ~dt ~wall:(Obs.now () -. t0) ~gc0
+  | _ -> ());
   dt
 
 (* Run until [tend], invoking [on_step] after every step. *)

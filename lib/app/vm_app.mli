@@ -101,6 +101,22 @@ val step : ?dt:float -> t -> float
 
 val run : ?on_step:(t -> unit) -> t -> tend:float -> unit
 
+(** {1 Tracing}
+
+    With a trace attached, every {!step} appends one ["step"] JSONL record
+    (spans, counters, gauges, GC deltas, wall time) to the file and clears
+    the {!Dg_obs.Obs} aggregator, so each record covers exactly one step. *)
+
+val attach_trace : t -> string -> unit
+(** [attach_trace t path] enables {!Dg_obs.Obs}, writes a manifest record
+    (layout, basis family, poly order, grid, species, field model, scheme,
+    specialized/interpreted kernel-dispatch counts, host/git identity) to
+    [path], and starts per-step profiling.  For the dispatch counts to be
+    non-zero, call {!Dg_obs.Obs.enable} before {!create}. *)
+
+val close_trace : t -> unit
+(** Flush and close the attached trace (no-op without one). *)
+
 (** {1 Diagnostics} *)
 
 val total_mass : t -> int -> float

@@ -36,7 +36,8 @@ let create ~nu (lay : Layout.t) =
   }
 
 let update_prim t ~(f : Field.t) =
-  Prim_moments.compute t.prim ~moments:t.moments ~f ~prim:t.prim_state
+  Dg_obs.Obs.span "bgk_prim" (fun () ->
+      Prim_moments.compute t.prim ~moments:t.moments ~f ~prim:t.prim_state)
 
 let maxwellian ~vdim ~n ~(u : float array) ~vth2 (vel : float array) =
   if n <= 0.0 || vth2 <= 0.0 then 0.0
@@ -52,7 +53,7 @@ let maxwellian ~vdim ~n ~(u : float array) ~vth2 (vel : float array) =
   end
 
 (* Accumulate nu (f_M - f) into [out]. *)
-let rhs t ~(f : Field.t) ~(out : Field.t) =
+let rhs_impl t ~(f : Field.t) ~(out : Field.t) =
   let lay = t.lay in
   let basis = lay.Layout.basis in
   let grid = lay.Layout.grid in
@@ -92,3 +93,6 @@ let rhs t ~(f : Field.t) ~(out : Field.t) =
       for k = 0 to t.np - 1 do
         od.(ooff + k) <- od.(ooff + k) +. (t.nu *. (fm_coeffs.(k) -. fb.(k)))
       done)
+
+let rhs t ~(f : Field.t) ~(out : Field.t) =
+  Dg_obs.Obs.span "bgk_rhs" (fun () -> rhs_impl t ~f ~out)

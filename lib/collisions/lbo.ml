@@ -170,7 +170,8 @@ let _ = num_basis
 
 (* Refresh primitive moments from the current distribution. *)
 let update_prim t ~(f : Field.t) =
-  Prim_moments.compute t.prim ~moments:t.moments ~f ~prim:t.prim_state
+  Dg_obs.Obs.span "lbo_prim" (fun () ->
+      Prim_moments.compute t.prim ~moments:t.moments ~f ~prim:t.prim_state)
 
 (* Fill t.alpha with nu (u_j - v_j) for the cell with config coords [cc] and
    paired-velocity center [vc]. *)
@@ -212,7 +213,7 @@ let drift_speed t ~vdir =
 
 (* Accumulate C[f] into [out] (+=).  [update_prim] must have been called
    with the same f (the RK stage state). *)
-let rhs t ~(f : Field.t) ~(out : Field.t) =
+let rhs_impl t ~(f : Field.t) ~(out : Field.t) =
   let lay = t.lay in
   let grid = lay.Layout.grid in
   let dx = Grid.dx grid in
@@ -305,6 +306,9 @@ let rhs t ~(f : Field.t) ~(out : Field.t) =
           Sparse.apply_t3_off k.tr_hi ~scale:(-.dd) t.gphase fd ~foff od ~ooff
         end)
   done
+
+let rhs t ~(f : Field.t) ~(out : Field.t) =
+  Dg_obs.Obs.span "lbo_rhs" (fun () -> rhs_impl t ~f ~out)
 
 (* Stable explicit time step for the stiffest (diffusion) part:
    dt <= dv^2 / (2 nu vth2_max (2p+1)^2); a conservative bound. *)

@@ -57,6 +57,7 @@ module Euler = Dg_fluid.Euler
 
 (* composition, diagnostics, parallelism, IO *)
 module App = Dg_app.Vm_app
+module Obs = Dg_obs.Obs
 module Diag = Dg_diag.Diag
 module Fpc = Dg_diag.Fpc
 module Pool = Dg_par.Pool

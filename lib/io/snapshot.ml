@@ -1,11 +1,30 @@
 (* Checkpoint / restart of coefficient fields (the role ADIOS plays in
    Gkeyll): a minimal self-describing binary format storing the grid shape,
-   component count and the raw coefficient array. *)
+   component count and the raw coefficient array.
+
+   Format history:
+     v0  magic "VDG!": ndim, cells, ncomp, nghost, lower, upper, data.
+         No version word — the magic IS the version.
+     v1  magic "VDG\"": version word, then an optional simulation metadata
+         block (cdim/vdim, basis family, poly order, step, time), then the
+         v0 grid header and data.
+   [write_field] emits v1; [read_field] accepts both. *)
 
 module Grid = Dg_grid.Grid
 module Field = Dg_grid.Field
 
-let magic = 0x56444721 (* "VDG!" *)
+let magic_v0 = 0x56444721 (* "VDG!" *)
+let magic = 0x56444722 (* "VDG\"" *)
+let version = 1
+
+type meta = {
+  cdim : int;
+  vdim : int;
+  family : string;
+  poly_order : int;
+  step : int;
+  time : float;
+}
 
 let write_float oc v =
   let b = Int64.bits_of_float v in
@@ -13,10 +32,25 @@ let write_float oc v =
     output_byte oc (Int64.to_int (Int64.shift_right_logical b (8 * i)) land 0xff)
   done
 
-let write_field path (f : Field.t) =
+let write_string oc s =
+  output_binary_int oc (String.length s);
+  output_string oc s
+
+let write_field ?meta path (f : Field.t) =
   let oc = open_out_bin path in
   let g = Field.grid f in
   output_binary_int oc magic;
+  output_binary_int oc version;
+  (match meta with
+  | None -> output_binary_int oc 0
+  | Some m ->
+      output_binary_int oc 1;
+      output_binary_int oc m.cdim;
+      output_binary_int oc m.vdim;
+      write_string oc m.family;
+      output_binary_int oc m.poly_order;
+      output_binary_int oc m.step;
+      write_float oc m.time);
   output_binary_int oc (Grid.ndim g);
   Array.iter (output_binary_int oc) (Grid.cells g);
   output_binary_int oc (Field.ncomp f);
@@ -33,11 +67,17 @@ let read_float ic =
   done;
   Int64.float_of_bits !b
 
-let read_field path : Field.t =
-  let ic = open_in_bin path in
-  let m = input_binary_int ic in
-  if m <> magic then failwith "Snapshot.read_field: bad magic";
+let read_string ic =
+  let n = input_binary_int ic in
+  if n < 0 || n > 4096 then
+    failwith (Printf.sprintf "Snapshot: implausible string length %d" n);
+  really_input_string ic n
+
+(* Grid header + coefficient data shared by both versions. *)
+let read_body ic =
   let ndim = input_binary_int ic in
+  if ndim < 1 || ndim > 16 then
+    failwith (Printf.sprintf "Snapshot: implausible ndim %d" ndim);
   let cells = Array.init ndim (fun _ -> input_binary_int ic) in
   let ncomp = input_binary_int ic in
   let nghost = input_binary_int ic in
@@ -49,5 +89,40 @@ let read_field path : Field.t =
   for i = 0 to Array.length d - 1 do
     d.(i) <- read_float ic
   done;
-  close_in ic;
   f
+
+let read_field_meta path : Field.t * meta option =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        let m = input_binary_int ic in
+        if m = magic_v0 then (read_body ic, None)
+        else if m = magic then begin
+          let v = input_binary_int ic in
+          if v <> version then
+            failwith
+              (Printf.sprintf
+                 "Snapshot: unsupported version %d (this build reads <= %d)" v
+                 version);
+          let meta =
+            if input_binary_int ic = 0 then None
+            else begin
+              let cdim = input_binary_int ic in
+              let vdim = input_binary_int ic in
+              let family = read_string ic in
+              let poly_order = input_binary_int ic in
+              let step = input_binary_int ic in
+              let time = read_float ic in
+              Some { cdim; vdim; family; poly_order; step; time }
+            end
+          in
+          (read_body ic, meta)
+        end
+        else
+          failwith
+            (Printf.sprintf "Snapshot: not a vmdg snapshot (bad magic 0x%x)" m)
+      with End_of_file -> failwith "Snapshot: truncated file")
+
+let read_field path : Field.t = fst (read_field_meta path)

@@ -1,7 +1,28 @@
 (** Checkpoint / restart of coefficient fields (the role ADIOS plays for
-    Gkeyll): a minimal self-describing binary format. *)
+    Gkeyll): a minimal self-describing binary format.
 
-val write_field : string -> Dg_grid.Field.t -> unit
+    Current format (v1) carries a version word and an optional simulation
+    metadata block; v0 files (no version, no metadata) are still read. *)
+
+(** Simulation identity stored alongside the coefficients, so a restart
+    can verify it matches the layout it is resuming into. *)
+type meta = {
+  cdim : int;
+  vdim : int;
+  family : string;  (** basis family name, e.g. ["serendipity"] *)
+  poly_order : int;
+  step : int;
+  time : float;
+}
+
+val write_field : ?meta:meta -> string -> Dg_grid.Field.t -> unit
+(** Write a v1 snapshot; [meta] is optional. *)
 
 val read_field : string -> Dg_grid.Field.t
-(** @raise Failure on a malformed file. *)
+(** Read a v0 or v1 snapshot, discarding metadata.
+    @raise Failure with a descriptive message on bad magic, unsupported
+    version, or truncation. *)
+
+val read_field_meta : string -> Dg_grid.Field.t * meta option
+(** Like {!read_field} but also return the metadata block ([None] for v0
+    files and v1 files written without one). *)

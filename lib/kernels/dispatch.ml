@@ -56,6 +56,7 @@ let find_bundle (lay : Layout.t) ~dir =
 let make ~use_generated (lay : Layout.t) ~dir (dk : Tensors.dir_kernels) =
   match (if use_generated then find_bundle lay ~dir else None) with
   | Some b ->
+      Dg_obs.Obs.count "dispatch.specialized_dirs" 1;
       {
         specialized = true;
         vol = Gen3 b.K.vol;
@@ -71,6 +72,7 @@ let make ~use_generated (lay : Layout.t) ~dir (dk : Tensors.dir_kernels) =
         mults = b.K.mults;
       }
   | None ->
+      Dg_obs.Obs.count "dispatch.interpreted_dirs" 1;
       {
         specialized = false;
         vol = Interp3 dk.Tensors.vol;

@@ -84,7 +84,8 @@ let num_basis t = t.solver.Lindg.nb
 
 (* Homogeneous Maxwell RHS (curl terms + cleaning).  Current and charge
    sources are added separately with [add_current_source]. *)
-let rhs t ~(em : Field.t) ~(out : Field.t) = Lindg.rhs t.solver ~u:em ~out
+let rhs t ~(em : Field.t) ~(out : Field.t) =
+  Dg_obs.Obs.span "maxwell_rhs" (fun () -> Lindg.rhs t.solver ~u:em ~out)
 
 (* out_E -= J: subtract the current-density coefficients (3 blocks of nb)
    from the E components of the Maxwell RHS. *)

@@ -1,0 +1,147 @@
+(** dg_obs: observability — hierarchical tracing spans, counters/gauges,
+    GC sampling, an in-memory aggregator, and a JSONL event sink.
+
+    Everything is gated on one global flag: with tracing disabled every
+    recording entry point costs a single branch (verified by the
+    [obs_span_disabled] micro-bench), so instrumentation can live
+    permanently in the hot paths.  Recording is Domain-safe: each domain
+    accumulates into its own buffer; short-lived worker domains merge
+    into a retired aggregate via {!drain_local} before exiting, and the
+    reading API merges all buffers. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val now : unit -> float
+(** Wall-clock seconds (the span clock). *)
+
+(** {1 Spans} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] times [f] under [name], nested inside any enclosing
+    spans of the calling domain ("/"-joined path).  Exception-safe; when
+    disabled it is exactly [f ()] after one branch. *)
+
+val add_time : string -> seconds:float -> count:int -> unit
+(** File pre-aggregated time under the current span path — for
+    hand-rolled phase timers in fused loops where a [span] per cell
+    would distort the measurement. *)
+
+(** {1 Counters and gauges} *)
+
+val count : string -> int -> unit
+(** Add to a named monotonic counter. *)
+
+val add : string -> float -> unit
+(** Float-valued counter addition (e.g. seconds of busy time). *)
+
+val gauge : string -> float -> unit
+(** Set a named gauge (last write wins). *)
+
+(** {1 Reading the aggregator} *)
+
+type span_stat = {
+  sp_name : string; (* full "/"-joined path *)
+  sp_count : int;
+  sp_total : float; (* seconds *)
+  sp_max : float;
+}
+
+val span_stats : unit -> span_stat list
+(** Merged across all domains, sorted by path. *)
+
+val find_span : string -> span_stat option
+val counters : unit -> (string * float) list
+val counter_value : string -> float
+(** [0.0] when the counter does not exist. *)
+
+val gauges : unit -> (string * float) list
+
+val reset : unit -> unit
+(** Clear all recorded statistics (all domains + retired aggregate). *)
+
+val drain_local : unit -> unit
+(** Merge the calling domain's buffer into the retired aggregate and
+    unregister it.  Worker domains (e.g. [Dg_par.Pool]) call this before
+    exiting so their statistics survive the domain. *)
+
+(** {1 GC / memory sampling} *)
+
+type gc_sample = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;
+}
+
+val gc_sample : unit -> gc_sample
+(** From [Gc.quick_stat] (cheap, no heap walk). *)
+
+val gc_delta : before:gc_sample -> after:gc_sample -> gc_sample
+(** Per-interval deltas; [heap_words] is the final value, not a delta. *)
+
+(** {1 JSON} *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  exception Parse_error of string
+
+  val parse : string -> t
+  (** @raise Parse_error on malformed input. *)
+
+  val member : string -> t -> t option
+  val to_float : t option -> float
+  val to_int : t option -> int
+  val to_str : t option -> string
+end
+
+val spans_json : unit -> Json.t
+val counters_json : unit -> Json.t
+val gauges_json : unit -> Json.t
+val gc_json : gc_sample -> Json.t
+
+val default_manifest : unit -> (string * Json.t) list
+(** Run identity: hostname, timestamp, ISO date, [git describe], OCaml
+    version, word size. *)
+
+(** {1 JSONL sink} *)
+
+module Sink : sig
+  type t
+
+  val create : ?manifest:(string * Json.t) list -> string -> t
+  (** Open [path] (truncating) and write a ["manifest"] record made of
+      {!default_manifest} plus the caller's fields. *)
+
+  val event : t -> kind:string -> (string * Json.t) list -> unit
+  (** Append one JSONL record ({["kind"]} first).  Thread-safe. *)
+
+  val close : t -> unit
+end
+
+val read_jsonl : string -> Json.t list
+(** Parse a JSONL file back into one value per non-blank line. *)
+
+(** {1 Trace report} *)
+
+module Report : sig
+  val print : ?out:out_channel -> string -> float
+  (** Pretty-print a JSONL trace: manifest, per-span aggregate table
+      (count/total/mean/max/%%-of-wall, indented by nesting depth).
+      Returns the fraction of measured wall time accounted for by
+      top-level spans. *)
+end

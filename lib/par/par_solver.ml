@@ -51,29 +51,39 @@ let layout t = t.lay
 let solver t = t.solver
 
 (* Parallel DG right-hand side: equivalent to the serial
-   [Solver.rhs ~f ~em ~out] with periodic configuration boundaries. *)
+   [Solver.rhs ~f ~em ~out] with periodic configuration boundaries.
+   Traced (Dg_obs) as par_rhs/{scatter,halo_exchange,blocks,gather} spans
+   with a halo.floats_moved counter; the pool adds the per-block
+   compute-vs-barrier decomposition, so an enabled trace measures the
+   Fig. 3 quantities instead of only modeling them. *)
 let rhs t ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
-  (* distribute the state *)
-  Decomp.scatter t.fblocks ~src:f;
-  (match em with
-  | Some emf -> Decomp.scatter t.emblocks ~src:emf
-  | None -> ());
-  (* halo exchange: the inter-node messages of the paper's layout *)
-  ignore (Decomp.exchange_halos t.fblocks);
-  (* per-block updates run concurrently on the shared solver; each worker
-     uses its block's workspace and writes only its own output field, so
-     no synchronization is needed inside the loop *)
-  let nblocks = Array.length t.fblocks.Decomp.blocks in
-  Pool.parallel_for t.pool ~n:nblocks (fun i ->
-      let fb = t.fblocks.Decomp.blocks.(i).Decomp.field in
-      let ob = t.oblocks.Decomp.blocks.(i).Decomp.field in
-      let emb =
-        match em with
-        | Some _ -> Some t.emblocks.Decomp.blocks.(i).Decomp.field
-        | None -> None
-      in
-      Solver.rhs ~ws:t.workspaces.(i) t.solver ~f:fb ~em:emb ~out:ob);
-  Decomp.gather t.oblocks ~dst:out
+  let module Obs = Dg_obs.Obs in
+  Obs.span "par_rhs" (fun () ->
+      (* distribute the state *)
+      Obs.span "scatter" (fun () ->
+          Decomp.scatter t.fblocks ~src:f;
+          match em with
+          | Some emf -> Decomp.scatter t.emblocks ~src:emf
+          | None -> ());
+      (* halo exchange: the inter-node messages of the paper's layout *)
+      let moved = Obs.span "halo_exchange" (fun () -> Decomp.exchange_halos t.fblocks) in
+      Obs.count "halo.floats_moved" moved;
+      (* per-block updates run concurrently on the shared solver; each worker
+         uses its block's workspace and writes only its own output field, so
+         no synchronization is needed inside the loop *)
+      let nblocks = Array.length t.fblocks.Decomp.blocks in
+      Obs.span "blocks" (fun () ->
+          Pool.parallel_for t.pool ~n:nblocks (fun i ->
+              let fb = t.fblocks.Decomp.blocks.(i).Decomp.field in
+              let ob = t.oblocks.Decomp.blocks.(i).Decomp.field in
+              let emb =
+                match em with
+                | Some _ -> Some t.emblocks.Decomp.blocks.(i).Decomp.field
+                | None -> None
+              in
+              Obs.span "block_compute" (fun () ->
+                  Solver.rhs ~ws:t.workspaces.(i) t.solver ~f:fb ~em:emb ~out:ob)));
+      Obs.span "gather" (fun () -> Decomp.gather t.oblocks ~dst:out))
 
 (* Communication volume per rhs (floats moved in halo exchange). *)
 let halo_volume t = Decomp.halo_cells_per_block t.fblocks * Array.length t.fblocks.Decomp.blocks

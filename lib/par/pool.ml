@@ -1,7 +1,18 @@
 (* A small fork-join pool over OCaml 5 domains: the shared-memory intra-node
    layer of the paper's two-level decomposition (their MPI-3 shared-memory
    ranks; our domains).  Work is split into chunks claimed from an atomic
-   counter, so uneven cell costs still balance. *)
+   counter, so uneven cell costs still balance.
+
+   When tracing (Dg_obs) is enabled, each worker accumulates the wall time
+   it spends inside chunks; at the join the pool files the aggregate as
+   pool.compute_s and the residual idle time nworkers*elapsed - busy as
+   pool.barrier_s — the compute-vs-wait decomposition of the paper's
+   Fig. 3 — and worker domains drain their span/counter buffers into the
+   global aggregate before exiting (merge-at-join, like the solver
+   workspaces).  Disabled, the only extra cost is one predictable branch
+   per chunk. *)
+
+module Obs = Dg_obs.Obs
 
 type t = { nworkers : int }
 
@@ -14,21 +25,51 @@ let recommended_workers () = max 1 (Domain.recommended_domain_count () - 1)
 (* Run [f lo hi] over disjoint chunks covering [0, n) in parallel; [f] must
    only write to disjoint locations derived from its range. *)
 let parallel_ranges t ~n ~chunk f =
-  if t.nworkers = 1 || n <= chunk then f 0 n
+  if t.nworkers = 1 || n <= chunk then
+    if Obs.enabled () then begin
+      let t0 = Obs.now () in
+      f 0 n;
+      let dt = Obs.now () -. t0 in
+      Obs.add "pool.compute_s" dt;
+      Obs.count "pool.serial_calls" 1
+    end
+    else f 0 n
   else begin
+    let trace = Obs.enabled () in
+    let t_start = if trace then Obs.now () else 0.0 in
+    let busy = Array.make t.nworkers 0.0 in
     let next = Atomic.make 0 in
-    let worker () =
+    let worker idx =
       let continue_ = ref true in
       while !continue_ do
         let lo = Atomic.fetch_and_add next chunk in
-        if lo >= n then continue_ := false else f lo (min n (lo + chunk))
+        if lo >= n then continue_ := false
+        else if trace then begin
+          let t0 = Obs.now () in
+          f lo (min n (lo + chunk));
+          busy.(idx) <- busy.(idx) +. (Obs.now () -. t0)
+        end
+        else f lo (min n (lo + chunk))
       done
     in
     let domains =
-      Array.init (t.nworkers - 1) (fun _ -> Domain.spawn worker)
+      Array.init (t.nworkers - 1) (fun i ->
+          Domain.spawn (fun () ->
+              worker (i + 1);
+              (* merge this worker's observability buffer before the domain
+                 dies; the main domain (idx 0) keeps its long-lived buffer *)
+              if trace then Obs.drain_local ()))
     in
-    worker ();
-    Array.iter Domain.join domains
+    worker 0;
+    Array.iter Domain.join domains;
+    if trace then begin
+      let elapsed = Obs.now () -. t_start in
+      let busy_total = Array.fold_left ( +. ) 0.0 busy in
+      Obs.add "pool.compute_s" busy_total;
+      Obs.add "pool.barrier_s"
+        (Float.max 0.0 ((float_of_int t.nworkers *. elapsed) -. busy_total));
+      Obs.count "pool.parallel_calls" 1
+    end
   end
 
 (* Parallel for over [0, n) with a default chunking heuristic. *)

@@ -39,9 +39,16 @@ let combine ~a ~b ~c ~(src : Field.t list) ~(rhs : Field.t list)
     dst
 
 (* Advance [state] in place by [dt].  [rhs ~time st out] must not modify
-   [st].  Ghost synchronization is the responsibility of [rhs]. *)
+   [st].  Ghost synchronization is the responsibility of [rhs].  Each RHS
+   evaluation is traced as an "rk_stage" span and each state combination
+   as an "axpy" span (free when tracing is disabled). *)
 let step t ~rhs ~time ~dt (state : Field.t list) =
-  let eval ~time st = rhs ~time st t.rhs_ws in
+  let eval ~time st =
+    Dg_obs.Obs.span "rk_stage" (fun () -> rhs ~time st t.rhs_ws)
+  in
+  let combine ~a ~b ~c ~src ~rhs dst =
+    Dg_obs.Obs.span "axpy" (fun () -> combine ~a ~b ~c ~src ~rhs dst)
+  in
   match t.scheme with
   | Euler ->
       eval ~time state;

@@ -134,8 +134,7 @@ let face_speed t ~dir (vcenter : float array) (alpha : float array) =
    velocity coordinates shared; acceleration: independent of the face-normal
    velocity coordinate and of the configuration cell it straddles), so one
    [fill_alpha] serves the volume term and both sides of the face. *)
-let rhs ?ws t ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
-  let ws = match ws with Some w -> w | None -> make_workspace t in
+let rhs_plain t ~ws ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
   let lay = t.lay in
   let grid = Field.grid f in
   let dx = Grid.dx grid in
@@ -218,6 +217,132 @@ let rhs ?ws t ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
           end
         end
       done)
+
+(* Instrumented copy of [rhs_plain]: accumulates wall time per phase
+   (fill_alpha / volume / surface / penalty) and files it, together with
+   sweep counters (cells, fills, per-dispatch-kind cell-direction updates,
+   generated-kernel multiplication counts), into Dg_obs under the caller's
+   current span.  Kept as a separate sweep so the untraced path pays one
+   branch total; test_obs pins traced == plain output so the two copies
+   cannot drift. *)
+let rhs_traced t ~ws ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
+  let module Obs = Dg_obs.Obs in
+  let lay = t.lay in
+  let grid = Field.grid f in
+  let dx = Grid.dx grid in
+  let dvx = Grid.dx lay.Layout.vgrid in
+  let cells = Grid.cells grid in
+  let pdim = lay.Layout.pdim and cdim = lay.Layout.cdim in
+  let fd = Field.data f and od = Field.data out in
+  let alpha = ws.w_alpha and vcenter = ws.w_vcenter and cl = ws.w_cl in
+  let t_fill = ref 0.0 and t_vol = ref 0.0 and t_surf = ref 0.0 in
+  let t_pen = ref 0.0 and n_fill = ref 0 in
+  let tmark = ref 0.0 in
+  let mark () = tmark := Obs.now () in
+  let tick acc = acc := !acc +. (Obs.now () -. !tmark) in
+  Field.fill out 0.0;
+  Grid.iter_cells grid (fun _ c ->
+      let foff = Field.offset f c in
+      let ooff = Field.offset out c in
+      fill_vcenter t c vcenter;
+      for dir = 0 to pdim - 1 do
+        let is_cfg = dir < cdim in
+        if is_cfg || em <> None then begin
+          let ops = t.ops.(dir) in
+          let rdx = 1.0 /. dx.(dir) in
+          mark ();
+          fill_alpha t ~dir c ~em vcenter alpha;
+          incr n_fill;
+          tick t_fill;
+          mark ();
+          (match ops.Dispatch.vol_stream with
+          | Some k ->
+              k ~wv:vcenter.(dir) ~dv:dvx.(dir) ~rdx2:(2.0 *. rdx) fd ~foff od
+                ~ooff
+          | None ->
+              Dispatch.apply_t3 ops.Dispatch.vol ~scale:(2.0 *. rdx) alpha fd
+                ~foff od ~ooff);
+          tick t_vol;
+          if not ((not is_cfg) && c.(dir) = 0) then begin
+            Array.blit c 0 cl 0 pdim;
+            cl.(dir) <- c.(dir) - 1;
+            let foff_l = Field.offset f cl in
+            let lam = face_speed t ~dir vcenter alpha in
+            if cl.(dir) >= 0 then begin
+              let ooff_l = Field.offset out cl in
+              mark ();
+              Dispatch.apply_t3 ops.Dispatch.surf_ll ~scale:(-.rdx) alpha fd
+                ~foff:foff_l od ~ooff:ooff_l;
+              Dispatch.apply_t3 ops.Dispatch.surf_lr ~scale:(-.rdx) alpha fd
+                ~foff od ~ooff:ooff_l;
+              tick t_surf;
+              if lam <> 0.0 then begin
+                mark ();
+                Dispatch.apply_t2 ops.Dispatch.pen_lr ~scale:(lam *. rdx) fd
+                  ~foff od ~ooff:ooff_l;
+                Dispatch.apply_t2 ops.Dispatch.pen_ll ~scale:(-.lam *. rdx) fd
+                  ~foff:foff_l od ~ooff:ooff_l;
+                tick t_pen
+              end
+            end;
+            mark ();
+            Dispatch.apply_t3 ops.Dispatch.surf_rl ~scale:rdx alpha fd
+              ~foff:foff_l od ~ooff;
+            Dispatch.apply_t3 ops.Dispatch.surf_rr ~scale:rdx alpha fd ~foff od
+              ~ooff;
+            tick t_surf;
+            if lam <> 0.0 then begin
+              mark ();
+              Dispatch.apply_t2 ops.Dispatch.pen_rr ~scale:(-.lam *. rdx) fd
+                ~foff od ~ooff;
+              Dispatch.apply_t2 ops.Dispatch.pen_rl ~scale:(lam *. rdx) fd
+                ~foff:foff_l od ~ooff;
+              tick t_pen
+            end
+          end;
+          if is_cfg && c.(dir) = cells.(dir) - 1 then begin
+            Array.blit c 0 cl 0 pdim;
+            cl.(dir) <- c.(dir) + 1;
+            let foff_r = Field.offset f cl in
+            let lam = face_speed t ~dir vcenter alpha in
+            mark ();
+            Dispatch.apply_t3 ops.Dispatch.surf_ll ~scale:(-.rdx) alpha fd
+              ~foff od ~ooff;
+            Dispatch.apply_t3 ops.Dispatch.surf_lr ~scale:(-.rdx) alpha fd
+              ~foff:foff_r od ~ooff;
+            tick t_surf;
+            if lam <> 0.0 then begin
+              mark ();
+              Dispatch.apply_t2 ops.Dispatch.pen_lr ~scale:(lam *. rdx) fd
+                ~foff:foff_r od ~ooff;
+              Dispatch.apply_t2 ops.Dispatch.pen_ll ~scale:(-.lam *. rdx) fd
+                ~foff od ~ooff;
+              tick t_pen
+            end
+          end
+        end
+      done);
+  Obs.add_time "fill_alpha" ~seconds:!t_fill ~count:!n_fill;
+  Obs.add_time "volume" ~seconds:!t_vol ~count:!n_fill;
+  Obs.add_time "surface" ~seconds:!t_surf ~count:!n_fill;
+  Obs.add_time "penalty" ~seconds:!t_pen ~count:!n_fill;
+  let ncells = Grid.num_cells grid in
+  Obs.count "rhs.sweeps" 1;
+  Obs.count "rhs.cells" ncells;
+  Obs.count "rhs.fill_alpha" !n_fill;
+  for dir = 0 to pdim - 1 do
+    if dir < cdim || em <> None then
+      if t.ops.(dir).Dispatch.specialized then begin
+        Obs.count "rhs.celldirs_generated" ncells;
+        Obs.count "rhs.mults_generated" (ncells * t.ops.(dir).Dispatch.mults)
+      end
+      else Obs.count "rhs.celldirs_interpreted" ncells
+  done
+
+let rhs ?ws t ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
+  let ws = match ws with Some w -> w | None -> make_workspace t in
+  if Dg_obs.Obs.enabled () then rhs_traced t ~ws ~f ~em ~out
+  else rhs_plain t ~ws ~f ~em ~out
 
 (* Per-direction maximum characteristic speeds, for the CFL condition.
    Streaming speeds depend only on the velocity-domain extent; acceleration

@@ -122,6 +122,36 @@ let test_specialized_dirs () =
     [| true; true; false; false |]
     (Solver.specialized_dirs s22)
 
+(* With tracing enabled the dispatch/fallback counters must match the known
+   over-budget directions: 2x2v p2 tensor specializes the two configuration
+   directions and keeps the two velocity directions interpreted. *)
+let test_fallback_counters () =
+  let module Obs = Dg_obs.Obs in
+  Obs.enable ();
+  Obs.reset ();
+  let lay22 = make_layout ~family:Modal.Tensor ~p:2 ~cdim:2 ~vdim:2 in
+  let s22 = Solver.create ~qm:1.0 lay22 in
+  Alcotest.(check (float 0.0))
+    "specialized dirs counted at create" 2.0
+    (Obs.counter_value "dispatch.specialized_dirs");
+  Alcotest.(check (float 0.0))
+    "interpreted dirs counted at create" 2.0
+    (Obs.counter_value "dispatch.interpreted_dirs");
+  let np = Layout.num_basis lay22 in
+  let f = random_f lay22 and em = random_em lay22 in
+  let out = Field.create lay22.Layout.grid ~ncomp:np in
+  Obs.reset ();
+  Solver.rhs s22 ~f ~em:(Some em) ~out;
+  let ncells = float_of_int (Grid.num_cells lay22.Layout.grid) in
+  Alcotest.(check (float 0.0))
+    "generated cell-dirs per sweep" (2.0 *. ncells)
+    (Obs.counter_value "rhs.celldirs_generated");
+  Alcotest.(check (float 0.0))
+    "interpreted (fallback) cell-dirs per sweep" (2.0 *. ncells)
+    (Obs.counter_value "rhs.celldirs_interpreted");
+  Obs.disable ();
+  Obs.reset ()
+
 (* Workspace reuse and interleaved max_speeds must not perturb rhs. *)
 let test_workspace_reentrant () =
   let lay = make_layout ~family:Modal.Serendipity ~p:2 ~cdim:1 ~vdim:2 in
@@ -174,6 +204,8 @@ let () =
             test_fallback_config;
           Alcotest.test_case "specialized_dirs reporting" `Quick
             test_specialized_dirs;
+          Alcotest.test_case "dispatch/fallback counters" `Quick
+            test_fallback_counters;
           Alcotest.test_case "workspaces are re-entrant" `Quick
             test_workspace_reentrant;
           Alcotest.test_case "concurrent sweeps on one solver" `Quick

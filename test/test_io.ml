@@ -8,6 +8,11 @@ module Slices = Dg_io.Slices
 
 let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let test_snapshot_roundtrip () =
   let grid = Grid.make ~cells:[| 3; 4 |] ~lower:[| 0.; -2. |] ~upper:[| 1.; 2. |] in
   let f = Field.create grid ~ncomp:5 in
@@ -35,7 +40,111 @@ let test_snapshot_bad_magic () =
   (try
      ignore (Snapshot.read_field path);
      Alcotest.fail "expected failure"
-   with Failure _ -> ());
+   with Failure msg ->
+     Alcotest.(check bool)
+       "message names the magic" true
+       (contains msg "magic"));
+  Sys.remove path
+
+let small_field () =
+  let grid = Grid.make ~cells:[| 2; 3 |] ~lower:[| 0.; -1. |] ~upper:[| 1.; 1. |] in
+  let f = Field.create grid ~ncomp:3 in
+  let rng = Random.State.make [| 43 |] in
+  Grid.iter_cells grid (fun _ c ->
+      for k = 0 to 2 do
+        Field.set f c k (Random.State.float rng 2.0 -. 1.0)
+      done);
+  f
+
+(* v1 metadata block survives the round trip. *)
+let test_snapshot_meta_roundtrip () =
+  let f = small_field () in
+  let meta =
+    {
+      Snapshot.cdim = 1;
+      vdim = 1;
+      family = "serendipity";
+      poly_order = 2;
+      step = 42;
+      time = 3.25;
+    }
+  in
+  let path = tmp "dgtest_snapshot_meta.bin" in
+  Snapshot.write_field ~meta path f;
+  let g, m = Snapshot.read_field_meta path in
+  Sys.remove path;
+  Alcotest.(check int) "ncomp" (Field.ncomp f) (Field.ncomp g);
+  match m with
+  | None -> Alcotest.fail "metadata lost"
+  | Some m ->
+      Alcotest.(check int) "cdim" 1 m.Snapshot.cdim;
+      Alcotest.(check int) "vdim" 1 m.Snapshot.vdim;
+      Alcotest.(check string) "family" "serendipity" m.Snapshot.family;
+      Alcotest.(check int) "poly_order" 2 m.Snapshot.poly_order;
+      Alcotest.(check int) "step" 42 m.Snapshot.step;
+      Alcotest.(check (float 0.0)) "time" 3.25 m.Snapshot.time
+
+(* A v0 file (old magic, no version word, no metadata) must still read. *)
+let test_snapshot_v0_compat () =
+  let f = small_field () in
+  let g = Field.grid f in
+  let path = tmp "dgtest_snapshot_v0.bin" in
+  let oc = open_out_bin path in
+  let write_float v =
+    let b = Int64.bits_of_float v in
+    for i = 7 downto 0 do
+      output_byte oc
+        (Int64.to_int (Int64.shift_right_logical b (8 * i)) land 0xff)
+    done
+  in
+  output_binary_int oc 0x56444721;
+  output_binary_int oc (Grid.ndim g);
+  Array.iter (output_binary_int oc) (Grid.cells g);
+  output_binary_int oc (Field.ncomp f);
+  output_binary_int oc (Field.nghost f);
+  Array.iter write_float (Grid.lower g);
+  Array.iter write_float (Grid.upper g);
+  Array.iter write_float (Field.data f);
+  close_out oc;
+  let h, m = Snapshot.read_field_meta path in
+  Sys.remove path;
+  Alcotest.(check bool) "v0 has no meta" true (m = None);
+  Grid.iter_cells g (fun _ c ->
+      for k = 0 to Field.ncomp f - 1 do
+        Alcotest.(check (float 0.0)) "value" (Field.get f c k) (Field.get h c k)
+      done)
+
+(* Unsupported-version and truncation errors must be descriptive. *)
+let test_snapshot_bad_version () =
+  let path = tmp "dgtest_badver.bin" in
+  let oc = open_out_bin path in
+  output_binary_int oc 0x56444722;
+  output_binary_int oc 99;
+  close_out oc;
+  (try
+     ignore (Snapshot.read_field path);
+     Alcotest.fail "expected failure"
+   with Failure msg ->
+     Alcotest.(check bool)
+       "message names the version" true
+       (contains msg "version"));
+  Sys.remove path
+
+let test_snapshot_truncated () =
+  let f = small_field () in
+  let path = tmp "dgtest_trunc.bin" in
+  Snapshot.write_field path f;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 (String.length full - 9));
+  close_out oc;
+  (try
+     ignore (Snapshot.read_field path);
+     Alcotest.fail "expected failure"
+   with Failure msg ->
+     Alcotest.(check bool)
+       "message says truncated" true
+       (contains msg "truncated"));
   Sys.remove path
 
 (* eval_at must reproduce the projected polynomial anywhere in the domain. *)
@@ -93,6 +202,11 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
           Alcotest.test_case "bad magic" `Quick test_snapshot_bad_magic;
+          Alcotest.test_case "meta roundtrip" `Quick
+            test_snapshot_meta_roundtrip;
+          Alcotest.test_case "v0 compat" `Quick test_snapshot_v0_compat;
+          Alcotest.test_case "bad version" `Quick test_snapshot_bad_version;
+          Alcotest.test_case "truncated" `Quick test_snapshot_truncated;
         ] );
       ( "slices",
         [

@@ -1,0 +1,269 @@
+(* dg_obs tests: span nesting/aggregation, exact concurrent counter merge,
+   the disabled fast path emitting nothing, JSONL sink round-trip, traced
+   solver sweeps matching the plain ones bit-for-bit, and the Par_solver
+   compute/halo/barrier decomposition. *)
+
+module Obs = Dg_obs.Obs
+module Layout = Dg_kernels.Layout
+module Modal = Dg_basis.Modal
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Solver = Dg_vlasov.Solver
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+(* Every test leaves the global aggregator disabled and empty. *)
+let scrubbed f () =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+(* --- spans ---------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  Obs.enable ();
+  Obs.reset ();
+  for _ = 1 to 3 do
+    Obs.span "outer" (fun () ->
+        Obs.span "inner" (fun () -> ());
+        Obs.span "inner" (fun () -> ()))
+  done;
+  let outer = Option.get (Obs.find_span "outer") in
+  let inner = Option.get (Obs.find_span "outer/inner") in
+  Alcotest.(check int) "outer count" 3 outer.Obs.sp_count;
+  Alcotest.(check int) "inner aggregated under path" 6 inner.Obs.sp_count;
+  Alcotest.(check bool)
+    "child time within parent" true
+    (inner.Obs.sp_total <= outer.Obs.sp_total +. 1e-9);
+  Alcotest.(check bool)
+    "max <= total" true
+    (outer.Obs.sp_max <= outer.Obs.sp_total +. 1e-12);
+  Alcotest.(check bool) "no bare inner" true (Obs.find_span "inner" = None);
+  (* exception safety: a raising span must pop its path *)
+  (try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Obs.span "after" (fun () -> ());
+  Alcotest.(check bool)
+    "path popped after exception" true
+    (Obs.find_span "after" <> None)
+
+let test_add_time () =
+  Obs.enable ();
+  Obs.reset ();
+  Obs.span "sweep" (fun () ->
+      Obs.add_time "volume" ~seconds:0.25 ~count:10;
+      Obs.add_time "volume" ~seconds:0.75 ~count:30);
+  let v = Option.get (Obs.find_span "sweep/volume") in
+  Alcotest.(check int) "count" 40 v.Obs.sp_count;
+  Alcotest.(check (float 1e-12)) "total" 1.0 v.Obs.sp_total
+
+(* --- counters across domains ---------------------------------------------- *)
+
+let test_concurrent_counter_merge () =
+  Obs.enable ();
+  Obs.reset ();
+  let nd = 4 and k = 25_000 in
+  let doms =
+    Array.init nd (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to k do
+              Obs.count "conc" 1
+            done;
+            Obs.drain_local ()))
+  in
+  for _ = 1 to k do
+    Obs.count "conc" 1
+  done;
+  Array.iter Domain.join doms;
+  (* merge must be EXACT: every increment from every domain survives *)
+  Alcotest.(check (float 0.0))
+    "exact cross-domain merge"
+    (float_of_int ((nd + 1) * k))
+    (Obs.counter_value "conc")
+
+(* --- disabled fast path ---------------------------------------------------- *)
+
+let test_disabled_emits_nothing () =
+  Obs.disable ();
+  Obs.reset ();
+  let r = Obs.span "s" (fun () -> 17) in
+  Alcotest.(check int) "span is transparent" 17 r;
+  Obs.count "c" 5;
+  Obs.add "a" 1.0;
+  Obs.gauge "g" 2.0;
+  Obs.add_time "t" ~seconds:1.0 ~count:1;
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.span_stats ()));
+  Alcotest.(check int) "no counters" 0 (List.length (Obs.counters ()));
+  Alcotest.(check int) "no gauges" 0 (List.length (Obs.gauges ()))
+
+(* --- JSONL sink round-trip -------------------------------------------------- *)
+
+let test_jsonl_roundtrip () =
+  let path = tmp "dgtest_obs_trace.jsonl" in
+  let sink =
+    Obs.Sink.create ~manifest:[ ("purpose", Obs.Json.Str "test") ] path
+  in
+  Obs.Sink.event sink ~kind:"step"
+    [
+      ("step", Obs.Json.Int 1);
+      ("dt", Obs.Json.Float 0.5);
+      ("nan", Obs.Json.Float Float.nan);
+      ("tags", Obs.Json.List [ Obs.Json.Str "a\"b\\c"; Obs.Json.Bool true ]);
+    ];
+  Obs.Sink.close sink;
+  let records = Obs.read_jsonl path in
+  Sys.remove path;
+  match records with
+  | [ manifest; step ] ->
+      Alcotest.(check string)
+        "manifest kind" "manifest"
+        (Obs.Json.to_str (Obs.Json.member "kind" manifest));
+      Alcotest.(check string)
+        "caller manifest field" "test"
+        (Obs.Json.to_str (Obs.Json.member "purpose" manifest));
+      Alcotest.(check bool)
+        "manifest has git identity" true
+        (Obs.Json.member "git" manifest <> None);
+      Alcotest.(check string)
+        "step kind" "step"
+        (Obs.Json.to_str (Obs.Json.member "kind" step));
+      Alcotest.(check int)
+        "int survives" 1
+        (Obs.Json.to_int (Obs.Json.member "step" step));
+      Alcotest.(check (float 0.0))
+        "float survives" 0.5
+        (Obs.Json.to_float (Obs.Json.member "dt" step));
+      Alcotest.(check bool)
+        "NaN maps to null" true
+        (Obs.Json.member "nan" step = Some Obs.Json.Null);
+      (match Obs.Json.member "tags" step with
+      | Some (Obs.Json.List [ Obs.Json.Str s; Obs.Json.Bool true ]) ->
+          Alcotest.(check string) "escapes survive" "a\"b\\c" s
+      | _ -> Alcotest.fail "tags list mangled")
+  | l -> Alcotest.failf "expected 2 records, got %d" (List.length l)
+
+(* --- tracing must not change the numerics ---------------------------------- *)
+
+let make_layout ~family ~p ~cdim ~vdim =
+  let pdim = cdim + vdim in
+  let cells = Array.make pdim 3 in
+  let lower = Array.init pdim (fun d -> if d < cdim then 0.0 else -2.0) in
+  let upper = Array.init pdim (fun d -> if d < cdim then 1.0 else 2.0) in
+  Layout.make ~cdim ~vdim ~family ~poly_order:p
+    ~grid:(Grid.make ~cells ~lower ~upper)
+
+let phase_bcs (lay : Layout.t) =
+  Array.init lay.Layout.pdim (fun d ->
+      if d < lay.Layout.cdim then (Field.Periodic, Field.Periodic)
+      else (Field.Zero, Field.Zero))
+
+let random_f ~seed (lay : Layout.t) =
+  let np = Layout.num_basis lay in
+  let rng = Random.State.make [| seed |] in
+  let f = Field.create lay.Layout.grid ~ncomp:np in
+  Grid.iter_cells lay.Layout.grid (fun _ c ->
+      for k = 0 to np - 1 do
+        Field.set f c k (Random.State.float rng 2.0 -. 1.0)
+      done);
+  Field.sync_ghosts f (phase_bcs lay);
+  f
+
+let random_em ~seed (lay : Layout.t) =
+  let nc = Layout.num_cbasis lay in
+  let rng = Random.State.make [| seed |] in
+  let em = Field.create lay.Layout.cgrid ~ncomp:(8 * nc) in
+  Grid.iter_cells lay.Layout.cgrid (fun _ c ->
+      for k = 0 to (6 * nc) - 1 do
+        Field.set em c k (Random.State.float rng 2.0 -. 1.0)
+      done);
+  Field.sync_ghosts em
+    (Array.make lay.Layout.cdim (Field.Periodic, Field.Periodic));
+  em
+
+let check_identical msg a b =
+  Grid.iter_cells (Field.grid a) (fun _ c ->
+      for k = 0 to Field.ncomp a - 1 do
+        let va = Field.get a c k and vb = Field.get b c k in
+        if va <> vb then Alcotest.failf "%s: coeff %d: %.17g <> %.17g" msg k va vb
+      done)
+
+let test_traced_rhs_equals_plain () =
+  let lay = make_layout ~family:Modal.Serendipity ~p:2 ~cdim:1 ~vdim:2 in
+  let np = Layout.num_basis lay in
+  let s = Solver.create ~qm:(-1.0) lay in
+  let f = random_f ~seed:21 lay and em = random_em ~seed:22 lay in
+  let out_plain = Field.create lay.Layout.grid ~ncomp:np in
+  let out_traced = Field.create lay.Layout.grid ~ncomp:np in
+  Obs.disable ();
+  Solver.rhs s ~f ~em:(Some em) ~out:out_plain;
+  Obs.enable ();
+  Obs.reset ();
+  Solver.rhs s ~f ~em:(Some em) ~out:out_traced;
+  check_identical "traced rhs == plain rhs" out_plain out_traced;
+  (* and the traced sweep actually filed its phase timers *)
+  Alcotest.(check bool) "volume phase filed" true (Obs.find_span "volume" <> None);
+  Alcotest.(check bool)
+    "sweep counted" true
+    (Obs.counter_value "rhs.sweeps" = 1.0)
+
+(* --- Par_solver decomposition ---------------------------------------------- *)
+
+let test_par_decomposition () =
+  let module Par_solver = Dg_par.Par_solver in
+  let lay = make_layout ~family:Modal.Serendipity ~p:1 ~cdim:1 ~vdim:1 in
+  let np = Layout.num_basis lay in
+  let ps =
+    Par_solver.create ~nworkers:2 ~blocks_per_dim:[| 3 |] ~flux:Solver.Upwind
+      ~qm:(-1.0) lay
+  in
+  let f = random_f ~seed:23 lay and em = random_em ~seed:24 lay in
+  let out = Field.create lay.Layout.grid ~ncomp:np in
+  Obs.enable ();
+  Obs.reset ();
+  Par_solver.rhs ps ~f ~em:(Some em) ~out;
+  Alcotest.(check bool)
+    "halo exchange span" true
+    (Obs.find_span "par_rhs/halo_exchange" <> None);
+  (* block_compute spans live under par_rhs/blocks on the main domain and at
+     the root on worker domains; together they must cover every block *)
+  let blocks =
+    List.fold_left
+      (fun acc (s : Obs.span_stat) ->
+        if Filename.basename s.Obs.sp_name = "block_compute" then
+          acc + s.Obs.sp_count
+        else acc)
+      0 (Obs.span_stats ())
+  in
+  Alcotest.(check int) "every block timed" 3 blocks;
+  Alcotest.(check bool)
+    "halo floats counted" true
+    (Obs.counter_value "halo.floats_moved" > 0.0);
+  Alcotest.(check bool)
+    "compute time recorded" true
+    (Obs.counter_value "pool.compute_s" > 0.0);
+  Alcotest.(check bool)
+    "barrier time recorded" true
+    (List.mem_assoc "pool.barrier_s" (Obs.counters ()))
+
+let () =
+  Alcotest.run "dg_obs"
+    [
+      ( "obs",
+        [
+          Alcotest.test_case "span nesting/aggregation" `Quick
+            (scrubbed test_span_nesting);
+          Alcotest.test_case "add_time files under path" `Quick
+            (scrubbed test_add_time);
+          Alcotest.test_case "concurrent counter merge is exact" `Quick
+            (scrubbed test_concurrent_counter_merge);
+          Alcotest.test_case "disabled emits nothing" `Quick
+            (scrubbed test_disabled_emits_nothing);
+          Alcotest.test_case "JSONL sink round-trip" `Quick
+            (scrubbed test_jsonl_roundtrip);
+          Alcotest.test_case "traced rhs == plain rhs" `Quick
+            (scrubbed test_traced_rhs_equals_plain);
+          Alcotest.test_case "par compute/halo/barrier decomposition" `Quick
+            (scrubbed test_par_decomposition);
+        ] );
+    ]
