@@ -5,7 +5,7 @@
      dune exec bench/main.exe            # everything at container scale
      dune exec bench/main.exe -- fig2    # one experiment
      subcommands: fig1 fig2 table1 efficiency fig3 fig5 conservation
-                  ablation micro kernels
+                  ablation resilience micro kernels
 
    [micro] runs one Bechamel Test.make per table/figure for statistically
    robust per-operation timings; the named subcommands print the
@@ -687,6 +687,78 @@ let ablation () =
   e "interpreted" (t_sparse *. 1e9);
   e "generated" (t_gen *. 1e9)
 
+(* --- resilience: health-check, rollback/retry, checkpoint cost ----------- *)
+
+let resilience () =
+  section "Resilience - rollback/retry overhead and checkpoint write cost";
+  let module App = Dg_app.Vm_app in
+  let module Retry = Dg_resilience.Retry in
+  let module Faults = Dg_resilience.Faults in
+  let module Checkpoint = Dg_resilience.Checkpoint in
+  let k = 0.5 in
+  let electron =
+    App.species ~name:"elc" ~charge:(-1.0) ~mass:1.0
+      ~init_f:(fun ~pos ~vel ->
+        (1.0 +. (0.05 *. cos (k *. pos.(0))))
+        /. sqrt (2.0 *. Float.pi)
+        *. exp (-0.5 *. vel.(0) *. vel.(0)))
+      ()
+  in
+  let spec =
+    {
+      (App.default_spec ~cdim:1 ~vdim:1 ~cells:[| 16; 32 |]
+         ~lower:[| 0.0; -6.0 |]
+         ~upper:[| 2.0 *. Float.pi /. k; 6.0 |]
+         ~species:[ electron ])
+      with
+      App.field_model = App.Ampere_only;
+      poly_order = 2;
+    }
+  in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "dg_bench_resil" in
+  (* a faulted run: NaN injected at step 5, checkpoints every 10 steps *)
+  let app = App.create spec in
+  let faults = Faults.none () in
+  faults.Faults.nan_step <- Some 5;
+  let policy = { Retry.default with Retry.check_every = 5 } in
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    App.run_resilient ~policy ~faults ~checkpoint_every:10 ~checkpoint_dir:dir
+      app ~tend:0.5
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  pr "faulted run: %s  (wall %.3f s)\n"
+    (Format.asprintf "%a" Retry.pp_stats stats)
+    wall;
+  let e metric value units =
+    emit ~bench:"resilience" ~config:"1x1v_p2_ser" ~metric ~value ~units
+  in
+  e "retries" (float_of_int stats.Retry.retries) "count";
+  e "health_checks" (float_of_int stats.Retry.health_checks) "count";
+  e "checkpoint_writes" (float_of_int stats.Retry.checkpoints) "count";
+  e "checkpoint_write_s" stats.Retry.checkpoint_s "s";
+  (* isolated checkpoint write cost on the same state *)
+  let t_ckpt =
+    time_per_call (fun () ->
+        ignore (Checkpoint.write ~dir ~step:(App.nsteps app) ~time:(App.time app)
+                  [ App.distribution app 0; App.em_field app ]))
+  in
+  pr "checkpoint write: %.3f ms per call\n" (t_ckpt *. 1e3);
+  e "checkpoint_write" t_ckpt "s";
+  (* health-scan cost relative to one RK step *)
+  let module Health = Dg_resilience.Health in
+  let t_scan =
+    time_per_call (fun () ->
+        ignore (Health.check [ App.distribution app 0; App.em_field app ]))
+  in
+  let t_step = time_per_call (fun () -> ignore (App.step ~dt:1e-6 app)) in
+  pr "health scan: %.1f us  (%.1f%% of one SSP-RK3 step)\n" (t_scan *. 1e6)
+    (100.0 *. t_scan /. t_step);
+  e "health_scan" (t_scan *. 1e6) "us";
+  e "health_scan_vs_step" (t_scan /. t_step) "fraction";
+  (* cleanup: bounded temp usage across repeated bench runs *)
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+
 (* --- bechamel micro-suite: one Test.make per table/figure ---------------- *)
 
 let micro () =
@@ -734,6 +806,19 @@ let micro () =
   let alpha = Array.init np12 (fun i -> float_of_int i) in
   let fvec = Array.init np12 (fun i -> float_of_int (np12 - i)) in
   let ovec = Array.make np12 0.0 in
+  (* stepper stage combine over a MANY-field state: the axpy loops must
+     walk the three lists simultaneously (an indexed List.nth there would
+     be O(n^2) in the state length and dominate this entry) *)
+  let combine_grid =
+    Grid.make ~cells:[| 16; 16 |] ~lower:[| 0.0; 0.0 |] ~upper:[| 1.0; 1.0 |]
+  in
+  let combine_state =
+    List.init 32 (fun seed -> random_field ~seed:(100 + seed) combine_grid ~ncomp:4)
+  in
+  let combine_stepper =
+    Dg_time.Stepper.create ~scheme:Dg_time.Stepper.Ssp_rk3 ~like:combine_state
+  in
+  let noop_rhs ~time:_ _ outs = List.iter (fun o -> Field.fill o 0.0) outs in
   let tests =
     [
       Test.make ~name:"fig1_generated_kernel"
@@ -755,6 +840,10 @@ let micro () =
         (Staged.stage (fun () -> Nodal.rhs nsolver ~f:fn ~em:(Some em23) ~out:on_));
       Test.make ~name:"fig3_halo_exchange"
         (Staged.stage (fun () -> ignore (Dg_par.Decomp.exchange_halos decomp)));
+      Test.make ~name:"stepper_combine_32_fields"
+        (Staged.stage (fun () ->
+             Dg_time.Stepper.step combine_stepper ~rhs:noop_rhs ~time:0.0
+               ~dt:1e-3 combine_state));
       Test.make ~name:"efficiency_current_moment"
         (Staged.stage (fun () ->
              Field.fill cur 0.0;
@@ -911,6 +1000,7 @@ let () =
   | "fig5" -> fig5 ()
   | "conservation" -> conservation ()
   | "ablation" -> ablation ()
+  | "resilience" -> resilience ()
   | "micro" -> micro ()
   | "kernels" -> kernels_json "BENCH_kernels.json"
   | "all" ->
@@ -919,6 +1009,7 @@ let () =
       conservation ();
       ignore (efficiency ());
       ablation ();
+      resilience ();
       fig3 ();
       ignore (table1 ());
       fig5 ~tend:8.0 ();

@@ -165,8 +165,37 @@ let landau_cmd =
 
 (* --- twostream ------------------------------------------------------------ *)
 
+(* Resilience flags shared by the physics runs that support checkpointing. *)
+let checkpoint_every_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "checkpoint-every" ] ~docv:"K"
+        ~doc:
+          "Write a crash-consistent checkpoint every $(docv) accepted steps \
+           (0 disables; requires $(b,--checkpoint-dir)).")
+
+let checkpoint_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:"Directory for checkpoints and the $(i,latest) pointer.")
+
+let restart_t =
+  Arg.(
+    value & flag
+    & info [ "restart" ]
+        ~doc:
+          "Resume from the newest valid checkpoint in $(b,--checkpoint-dir) \
+           before running (bit-exact continuation).")
+
+let report_resilience (stats : Dg.Retry.stats) =
+  if stats.Dg.Retry.retries > 0 || stats.Dg.Retry.checkpoints > 0 then
+    Fmt.pr "resilience: %a@." Dg.Retry.pp_stats stats
+
 let twostream_cmd =
-  let run cells_x cells_v p tend trace =
+  let run cells_x cells_v p tend trace checkpoint_every checkpoint_dir restart =
     let v0 = 2.0 and vt = 0.35 and k = 0.35 and alpha = 1e-4 in
     let l = 2.0 *. Float.pi /. k in
     let a = k *. v0 in
@@ -198,14 +227,34 @@ let twostream_cmd =
               em);
       }
     in
+    if checkpoint_every > 0 && checkpoint_dir = None then begin
+      Fmt.epr "twostream: --checkpoint-every needs --checkpoint-dir@.";
+      exit 2
+    end;
+    if restart && checkpoint_dir = None then begin
+      Fmt.epr "twostream: --restart needs --checkpoint-dir@.";
+      exit 2
+    end;
     let app = with_trace trace (fun () -> Dg.App.create spec) in
+    if restart then begin
+      match Dg.App.restore_latest app ~dir:(Option.get checkpoint_dir) with
+      | Some info ->
+          Fmt.pr "restart: resuming from %s (step %d, t=%.6g)@."
+            info.Dg.Checkpoint.path info.Dg.Checkpoint.step
+            info.Dg.Checkpoint.time
+      | None -> Fmt.pr "restart: no valid checkpoint found, starting fresh@."
+    end;
     let hist = Dg.Diag.make_history [| "field_energy" |] in
     let record app =
       Dg.Diag.record hist ~time:(Dg.App.time app) [| Dg.App.field_energy app |]
     in
     record app;
-    Dg.App.run app ~tend ~on_step:record;
+    let stats =
+      Dg.App.run_resilient app ~tend ~on_step:record
+        ~faults:(Dg.Faults.from_env ()) ~checkpoint_every ?checkpoint_dir
+    in
     Dg.App.close_trace app;
+    report_resilience stats;
     if tend > 22.0 then begin
       let gamma =
         Dg.Diag.growth_rate hist ~column:"field_energy" ~t0:8.0 ~t1:22.0 /. 2.0
@@ -222,8 +271,13 @@ let twostream_cmd =
   let tend_t = Arg.(value & opt float 30.0 & info [ "tend" ] ~doc:"end time") in
   Cmd.v
     (Cmd.info "twostream"
-       ~doc:"Two-stream instability run (1X1V Vlasov-Ampere)")
-    Term.(const run $ cells_x_t $ cells_v_t $ p_t $ tend_t $ trace_t)
+       ~doc:
+         "Two-stream instability run (1X1V Vlasov-Ampere), health-checked \
+          with rollback/retry; supports checkpoint/restart and \
+          VMDG_FAULT_NAN_STEP fault injection")
+    Term.(
+      const run $ cells_x_t $ cells_v_t $ p_t $ tend_t $ trace_t
+      $ checkpoint_every_t $ checkpoint_dir_t $ restart_t)
 
 (* --- advect -------------------------------------------------------------- *)
 

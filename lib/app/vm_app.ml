@@ -16,6 +16,10 @@ module Solver = Dg_vlasov.Solver
 module Moments = Dg_moments.Moments
 module Stepper = Dg_time.Stepper
 module Obs = Dg_obs.Obs
+module Health = Dg_resilience.Health
+module Faults = Dg_resilience.Faults
+module Checkpoint = Dg_resilience.Checkpoint
+module Retry = Dg_resilience.Retry
 
 type field_model =
   | Full_maxwell (* Vlasov-Maxwell: dE/dt = curl B - J, dB/dt = -curl E *)
@@ -411,11 +415,28 @@ let step ?dt t =
   | _ -> ());
   dt
 
-(* Run until [tend], invoking [on_step] after every step. *)
-let run ?(on_step = fun (_ : t) -> ()) t ~tend =
+(* Run until [tend], invoking [on_step] after every step.  Guards against
+   the ways a run can silently hang or loop forever: a non-positive or NaN
+   dt (broken CFL input), a dt too small to advance floating-point time,
+   and a step-count safety valve. *)
+let run ?(max_steps = max_int) ?(on_step = fun (_ : t) -> ()) t ~tend =
   while t.time < tend -. 1e-12 do
+    if t.nsteps >= max_steps then
+      failwith
+        (Printf.sprintf
+           "Vm_app.run: max_steps (%d) reached at t=%g before tend=%g"
+           max_steps t.time tend);
     let dt = suggest_dt t in
     let dt = Float.min dt (tend -. t.time) in
+    if not (dt > 0.0) then
+      failwith
+        (Printf.sprintf "Vm_app.run: non-positive or NaN dt (%g) at t=%g" dt
+           t.time);
+    if t.time +. dt <= t.time then
+      failwith
+        (Printf.sprintf
+           "Vm_app.run: dt=%g cannot advance time t=%g (step too small)" dt
+           t.time);
     ignore (step ~dt t);
     on_step t
   done
@@ -456,3 +477,159 @@ let total_energy t =
   let ke = ref (field_energy t) in
   Array.iteri (fun i _ -> ke := !ke +. kinetic_energy t i) t.species;
   !ke
+
+(* --- checkpoint / restart ------------------------------------------------- *)
+
+let checkpoint t ~dir =
+  Checkpoint.write ~dir ~step:t.nsteps ~time:t.time t.state
+
+(* Load a checkpoint into a freshly created (same-spec) app.  Everything
+   else the solver holds — stepper stages, moments, primitive-variable
+   caches, the current accumulator — is workspace recomputed from the state
+   each step, and ghosts are re-synchronized at the top of every RHS, so
+   copying the full coefficient arrays (ghosts included) makes the resumed
+   trajectory bit-exact. *)
+let restore t ~path =
+  let fields, step, time = Checkpoint.read path in
+  if List.length fields <> List.length t.state then
+    failwith
+      (Printf.sprintf
+         "Vm_app.restore: checkpoint has %d fields, app expects %d"
+         (List.length fields) (List.length t.state));
+  List.iter2
+    (fun src dst ->
+      if
+        Array.length (Field.data src) <> Array.length (Field.data dst)
+        || Field.ncomp src <> Field.ncomp dst
+      then
+        failwith
+          "Vm_app.restore: checkpoint field shape does not match this app \
+           (different grid, basis, or species set?)";
+      Field.copy_into ~src ~dst)
+    fields t.state;
+  t.nsteps <- step;
+  t.time <- time
+
+let restore_latest t ~dir =
+  match Checkpoint.find_latest ~dir with
+  | None -> None
+  | Some info ->
+      restore t ~path:info.Checkpoint.path;
+      Some info
+
+(* --- health-checked stepping with rollback/retry -------------------------- *)
+
+(* Like [run], but every [policy.check_every] accepted steps the state is
+   scanned for NaN/Inf and the total energy is compared against the last
+   healthy window.  On failure the state rolls back to the last-known-good
+   copy and the window is retried with a halved dt ceiling (compounding on
+   consecutive failures — exponential backoff); each healthy window regrows
+   the ceiling toward the CFL limit and optionally writes a checkpoint. *)
+let run_resilient ?(policy = Retry.default) ?(faults = Faults.none ())
+    ?(checkpoint_every = 0) ?checkpoint_dir ?(max_steps = max_int)
+    ?(on_step = fun (_ : t) -> ()) t ~tend =
+  Retry.validate policy;
+  if checkpoint_every > 0 && checkpoint_dir = None then
+    invalid_arg "Vm_app.run_resilient: checkpoint_every needs checkpoint_dir";
+  let stats = Retry.fresh_stats () in
+  (* refuse to start from a poisoned state: there is nothing to roll back to *)
+  let r0 = Health.check t.state in
+  if not (Health.is_clean r0) then
+    failwith
+      (Printf.sprintf
+         "Vm_app.run_resilient: initial state is unhealthy (%d NaN, %d Inf)"
+         r0.Health.nan r0.Health.inf);
+  let good = List.map Field.clone t.state in
+  let good_time = ref t.time and good_step = ref t.nsteps in
+  let good_energy = ref (total_energy t) in
+  let save_good () =
+    List.iter2 (fun src dst -> Field.copy_into ~src ~dst) t.state good;
+    good_time := t.time;
+    good_step := t.nsteps;
+    good_energy := total_energy t
+  in
+  let restore_good () =
+    List.iter2 (fun src dst -> Field.copy_into ~src ~dst) good t.state;
+    t.time <- !good_time;
+    t.nsteps <- !good_step
+  in
+  let dt_limit = ref infinity in
+  let consecutive = ref 0 in
+  let since_check = ref 0 in
+  let next_ckpt =
+    ref (if checkpoint_every > 0 then t.nsteps + checkpoint_every else max_int)
+  in
+  while t.time < tend -. 1e-12 do
+    if t.nsteps >= max_steps then
+      failwith
+        (Printf.sprintf
+           "Vm_app.run_resilient: max_steps (%d) reached at t=%g before \
+            tend=%g"
+           max_steps t.time tend);
+    let dt_cfl = suggest_dt t in
+    let dt = Float.min (Float.min dt_cfl !dt_limit) (tend -. t.time) in
+    if not (dt > 0.0) then
+      failwith
+        (Printf.sprintf
+           "Vm_app.run_resilient: non-positive or NaN dt (%g) at t=%g" dt
+           t.time);
+    if t.time +. dt <= t.time then
+      failwith
+        (Printf.sprintf
+           "Vm_app.run_resilient: dt=%g cannot advance time t=%g" dt t.time);
+    ignore (step ~dt t);
+    stats.Retry.steps <- stats.Retry.steps + 1;
+    if Faults.maybe_inject_nan faults ~step:t.nsteps t.state then
+      Obs.count "resilience.faults_injected" 1;
+    incr since_check;
+    let at_end = t.time >= tend -. 1e-12 in
+    if !since_check >= policy.Retry.check_every || at_end then begin
+      since_check := 0;
+      stats.Retry.health_checks <- stats.Retry.health_checks + 1;
+      Obs.count "resilience.health_checks" 1;
+      let report = Obs.span "health_check" (fun () -> Health.check t.state) in
+      let healthy =
+        if not (Health.is_clean report) then false
+        else
+          Health.energy_jump ~prev:!good_energy ~cur:(total_energy t)
+          <= policy.Retry.energy_jump_tol
+      in
+      if healthy then begin
+        consecutive := 0;
+        (* regrow the dt ceiling toward the CFL limit *)
+        if !dt_limit < infinity then begin
+          dt_limit := !dt_limit *. policy.Retry.dt_grow;
+          if !dt_limit >= dt_cfl then dt_limit := infinity
+        end;
+        save_good ();
+        if t.nsteps >= !next_ckpt then begin
+          let dir = Option.get checkpoint_dir in
+          let t0 = Obs.now () in
+          ignore (checkpoint t ~dir);
+          stats.Retry.checkpoints <- stats.Retry.checkpoints + 1;
+          stats.Retry.checkpoint_s <-
+            stats.Retry.checkpoint_s +. (Obs.now () -. t0);
+          next_ckpt := t.nsteps + checkpoint_every
+        end;
+        on_step t
+      end
+      else begin
+        stats.Retry.retries <- stats.Retry.retries + 1;
+        Obs.count "resilience.retries" 1;
+        incr consecutive;
+        if !consecutive > policy.Retry.max_retries then
+          failwith
+            (Printf.sprintf
+               "Vm_app.run_resilient: state still unhealthy after %d retries \
+                at t=%g (%d NaN, %d Inf)"
+               policy.Retry.max_retries !good_time report.Health.nan
+               report.Health.inf);
+        restore_good ();
+        dt_limit := Float.min !dt_limit dt *. policy.Retry.dt_shrink
+        (* consecutive failures compound the shrink: exponential backoff *)
+      end
+    end
+    else on_step t
+  done;
+  stats
+

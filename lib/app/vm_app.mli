@@ -99,7 +99,51 @@ val suggest_dt : t -> float
 val step : ?dt:float -> t -> float
 (** Advance one step; returns the dt taken. *)
 
-val run : ?on_step:(t -> unit) -> t -> tend:float -> unit
+val run : ?max_steps:int -> ?on_step:(t -> unit) -> t -> tend:float -> unit
+(** Run until [tend].
+    @raise Failure if the CFL dt is non-positive or NaN, if dt is too small
+    to advance floating-point time, or if [max_steps] is reached first —
+    the three ways a run can otherwise hang or loop forever. *)
+
+(** {1 Resilience: checkpoint/restart and rollback/retry}
+
+    See {!Dg_resilience} for the underlying machinery. *)
+
+val checkpoint : t -> dir:string -> Dg_resilience.Checkpoint.info
+(** Write a crash-consistent checkpoint of the full evolved state at the
+    current step/time (temp file + checksum + atomic rename). *)
+
+val restore : t -> path:string -> unit
+(** Load a checkpoint into a same-spec app: copies every coefficient array
+    (ghosts included) and sets step/time, making the resumed trajectory
+    bit-exact.
+    @raise Failure on checksum mismatch or shape mismatch. *)
+
+val restore_latest : t -> dir:string -> Dg_resilience.Checkpoint.info option
+(** Restore from the newest checkpoint in [dir] whose checksum verifies;
+    [None] when the directory holds no valid checkpoint. *)
+
+val run_resilient :
+  ?policy:Dg_resilience.Retry.policy ->
+  ?faults:Dg_resilience.Faults.t ->
+  ?checkpoint_every:int ->
+  ?checkpoint_dir:string ->
+  ?max_steps:int ->
+  ?on_step:(t -> unit) ->
+  t ->
+  tend:float ->
+  Dg_resilience.Retry.stats
+(** Health-checked {!run}: every [policy.check_every] accepted steps the
+    state is scanned for NaN/Inf and the total energy compared against the
+    last healthy window.  An unhealthy window rolls the state back to the
+    last-known-good copy and retries with a halved dt ceiling (consecutive
+    failures compound — exponential backoff; healthy windows regrow the
+    ceiling toward the CFL limit).  With [checkpoint_every > 0] (requires
+    [checkpoint_dir]) a checkpoint is written after every K-th accepted
+    step.  [faults] injects deterministic faults ({!Dg_resilience.Faults}).
+    [on_step] fires only on accepted (non-rolled-back) steps.
+    @raise Failure when the initial state is already unhealthy, or after
+    [policy.max_retries] consecutive failed windows. *)
 
 (** {1 Tracing}
 

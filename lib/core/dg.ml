@@ -66,3 +66,9 @@ module Par_solver = Dg_par.Par_solver
 module Scaling_model = Dg_par.Model
 module Snapshot = Dg_io.Snapshot
 module Slices = Dg_io.Slices
+
+(* resilience: health checks, rollback/retry, checkpoint/restart, faults *)
+module Health = Dg_resilience.Health
+module Checkpoint = Dg_resilience.Checkpoint
+module Retry = Dg_resilience.Retry
+module Faults = Dg_resilience.Faults

@@ -36,8 +36,7 @@ let write_string oc s =
   output_binary_int oc (String.length s);
   output_string oc s
 
-let write_field ?meta path (f : Field.t) =
-  let oc = open_out_bin path in
+let output_field oc ?meta (f : Field.t) =
   let g = Field.grid f in
   output_binary_int oc magic;
   output_binary_int oc version;
@@ -57,8 +56,15 @@ let write_field ?meta path (f : Field.t) =
   output_binary_int oc (Field.nghost f);
   Array.iter (write_float oc) (Grid.lower g);
   Array.iter (write_float oc) (Grid.upper g);
-  Array.iter (write_float oc) (Field.data f);
-  close_out oc
+  Array.iter (write_float oc) (Field.data f)
+
+let write_field ?meta path (f : Field.t) =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_field oc ?meta f;
+      flush oc)
 
 let read_float ic =
   let b = ref 0L in
@@ -91,38 +97,38 @@ let read_body ic =
   done;
   f
 
+let input_field ic : Field.t * meta option =
+  try
+    let m = input_binary_int ic in
+    if m = magic_v0 then (read_body ic, None)
+    else if m = magic then begin
+      let v = input_binary_int ic in
+      if v <> version then
+        failwith
+          (Printf.sprintf
+             "Snapshot: unsupported version %d (this build reads <= %d)" v
+             version);
+      let meta =
+        if input_binary_int ic = 0 then None
+        else begin
+          let cdim = input_binary_int ic in
+          let vdim = input_binary_int ic in
+          let family = read_string ic in
+          let poly_order = input_binary_int ic in
+          let step = input_binary_int ic in
+          let time = read_float ic in
+          Some { cdim; vdim; family; poly_order; step; time }
+        end
+      in
+      (read_body ic, meta)
+    end
+    else
+      failwith
+        (Printf.sprintf "Snapshot: not a vmdg snapshot (bad magic 0x%x)" m)
+  with End_of_file -> failwith "Snapshot: truncated file"
+
 let read_field_meta path : Field.t * meta option =
   let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      try
-        let m = input_binary_int ic in
-        if m = magic_v0 then (read_body ic, None)
-        else if m = magic then begin
-          let v = input_binary_int ic in
-          if v <> version then
-            failwith
-              (Printf.sprintf
-                 "Snapshot: unsupported version %d (this build reads <= %d)" v
-                 version);
-          let meta =
-            if input_binary_int ic = 0 then None
-            else begin
-              let cdim = input_binary_int ic in
-              let vdim = input_binary_int ic in
-              let family = read_string ic in
-              let poly_order = input_binary_int ic in
-              let step = input_binary_int ic in
-              let time = read_float ic in
-              Some { cdim; vdim; family; poly_order; step; time }
-            end
-          in
-          (read_body ic, meta)
-        end
-        else
-          failwith
-            (Printf.sprintf "Snapshot: not a vmdg snapshot (bad magic 0x%x)" m)
-      with End_of_file -> failwith "Snapshot: truncated file")
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> input_field ic)
 
 let read_field path : Field.t = fst (read_field_meta path)

@@ -26,3 +26,16 @@ val read_field : string -> Dg_grid.Field.t
 val read_field_meta : string -> Dg_grid.Field.t * meta option
 (** Like {!read_field} but also return the metadata block ([None] for v0
     files and v1 files written without one). *)
+
+(** {1 Channel-level encoding}
+
+    The single-field format exposed over channels, so containers (e.g.
+    [Dg_resilience.Checkpoint]) can pack several fields into one file
+    with their own framing and integrity trailer. *)
+
+val output_field : out_channel -> ?meta:meta -> Dg_grid.Field.t -> unit
+(** Append one v1-encoded field (no flush, no close). *)
+
+val input_field : in_channel -> Dg_grid.Field.t * meta option
+(** Read one v0/v1-encoded field starting at the current position.
+    @raise Failure as {!read_field} on bad magic, version, or truncation. *)

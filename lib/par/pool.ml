@@ -16,6 +16,17 @@ module Obs = Dg_obs.Obs
 
 type t = { nworkers : int }
 
+exception Worker_exception of { worker : int; lo : int; hi : int; orig : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_exception { worker; lo; hi; orig } ->
+        Some
+          (Printf.sprintf
+             "Dg_par.Pool.Worker_exception (worker %d, chunk [%d,%d)): %s"
+             worker lo hi (Printexc.to_string orig))
+    | _ -> None)
+
 let create ~nworkers =
   assert (nworkers >= 1);
   { nworkers }
@@ -23,42 +34,74 @@ let create ~nworkers =
 let recommended_workers () = max 1 (Domain.recommended_domain_count () - 1)
 
 (* Run [f lo hi] over disjoint chunks covering [0, n) in parallel; [f] must
-   only write to disjoint locations derived from its range. *)
+   only write to disjoint locations derived from its range.
+
+   Exception containment: a raise inside any chunk — in a spawned domain or
+   in the main worker — aborts the remaining chunks, all domains are still
+   joined (no leak, no deadlock, observability buffers still merged), and
+   the FIRST captured exception is re-raised as [Worker_exception] carrying
+   the worker index and chunk range. *)
 let parallel_ranges t ~n ~chunk f =
-  if t.nworkers = 1 || n <= chunk then
-    if Obs.enabled () then begin
-      let t0 = Obs.now () in
-      f 0 n;
-      let dt = Obs.now () -. t0 in
-      Obs.add "pool.compute_s" dt;
-      Obs.count "pool.serial_calls" 1
-    end
-    else f 0 n
+  if t.nworkers = 1 || n <= chunk then begin
+    (try
+       if Obs.enabled () then begin
+         let t0 = Obs.now () in
+         f 0 n;
+         let dt = Obs.now () -. t0 in
+         Obs.add "pool.compute_s" dt
+       end
+       else f 0 n
+     with
+    | Worker_exception _ as e -> raise e
+    | orig -> raise (Worker_exception { worker = 0; lo = 0; hi = n; orig }));
+    if Obs.enabled () then Obs.count "pool.serial_calls" 1
+  end
   else begin
     let trace = Obs.enabled () in
     let t_start = if trace then Obs.now () else 0.0 in
     let busy = Array.make t.nworkers 0.0 in
     let next = Atomic.make 0 in
+    let abort = Atomic.make false in
+    let first_err : (int * int * int * exn) option Atomic.t =
+      Atomic.make None
+    in
     let worker idx =
       let continue_ = ref true in
       while !continue_ do
-        let lo = Atomic.fetch_and_add next chunk in
-        if lo >= n then continue_ := false
-        else if trace then begin
-          let t0 = Obs.now () in
-          f lo (min n (lo + chunk));
-          busy.(idx) <- busy.(idx) +. (Obs.now () -. t0)
+        if Atomic.get abort then continue_ := false
+        else begin
+          let lo = Atomic.fetch_and_add next chunk in
+          if lo >= n then continue_ := false
+          else begin
+            let hi = min n (lo + chunk) in
+            match
+              if trace then begin
+                let t0 = Obs.now () in
+                f lo hi;
+                busy.(idx) <- busy.(idx) +. (Obs.now () -. t0)
+              end
+              else f lo hi
+            with
+            | () -> ()
+            | exception orig ->
+                ignore
+                  (Atomic.compare_and_set first_err None
+                     (Some (idx, lo, hi, orig)));
+                Atomic.set abort true;
+                continue_ := false
+          end
         end
-        else f lo (min n (lo + chunk))
       done
     in
     let domains =
       Array.init (t.nworkers - 1) (fun i ->
           Domain.spawn (fun () ->
-              worker (i + 1);
               (* merge this worker's observability buffer before the domain
-                 dies; the main domain (idx 0) keeps its long-lived buffer *)
-              if trace then Obs.drain_local ()))
+                 dies even when its chunk raised; the main domain (idx 0)
+                 keeps its long-lived buffer *)
+              Fun.protect
+                ~finally:(fun () -> if trace then Obs.drain_local ())
+                (fun () -> worker (i + 1))))
     in
     worker 0;
     Array.iter Domain.join domains;
@@ -69,7 +112,12 @@ let parallel_ranges t ~n ~chunk f =
       Obs.add "pool.barrier_s"
         (Float.max 0.0 ((float_of_int t.nworkers *. elapsed) -. busy_total));
       Obs.count "pool.parallel_calls" 1
-    end
+    end;
+    match Atomic.get first_err with
+    | Some (worker, lo, hi, orig) ->
+        Obs.count "pool.worker_exceptions" 1;
+        raise (Worker_exception { worker; lo; hi; orig })
+    | None -> ()
   end
 
 (* Parallel for over [0, n) with a default chunking heuristic. *)

@@ -3,11 +3,21 @@
 
 type t
 
+exception Worker_exception of { worker : int; lo : int; hi : int; orig : exn }
+(** Raised by {!parallel_ranges} / {!parallel_for} when a chunk body
+    raised: the first captured exception, tagged with the worker index and
+    the chunk range [\[lo,hi)] it was processing. *)
+
 val create : nworkers:int -> t
 val recommended_workers : unit -> int
 
 val parallel_ranges : t -> n:int -> chunk:int -> (int -> int -> unit) -> unit
 (** Run [f lo hi] over disjoint chunks covering [0, n); [f] must write
-    only to locations derived from its own range. *)
+    only to locations derived from its own range.
+
+    If any chunk raises, remaining chunks are abandoned, every spawned
+    domain is still joined (no leaked domains, observability buffers
+    merged), and the first exception is re-raised as {!Worker_exception};
+    the pool remains usable afterwards. *)
 
 val parallel_for : t -> n:int -> (int -> unit) -> unit

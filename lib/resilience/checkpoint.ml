@@ -1,0 +1,219 @@
+(* Crash-consistent checkpoint sets on top of the versioned snapshot
+   format.  One checkpoint file packs the whole evolved state (every
+   species' distribution plus the EM field) with the step/time it was taken
+   at, and is made torn-write-proof by the classic recipe:
+
+     write to  ckpt_<step>.vmdg.tmp
+     append an FNV-1a 64-bit checksum of everything before it
+     fsync, then atomically rename to ckpt_<step>.vmdg
+     update the human-readable `latest` pointer (same tmp+rename dance)
+
+   A process killed at ANY point leaves either (a) a stale tmp file, which
+   restart ignores, or (b) a fully valid checkpoint.  Restart scans the
+   directory for the newest checkpoint whose checksum verifies, so even a
+   checkpoint corrupted after the fact (bit rot, partial copy) only costs
+   one checkpoint interval, never the run. *)
+
+module Field = Dg_grid.Field
+module Snapshot = Dg_io.Snapshot
+module Obs = Dg_obs.Obs
+
+let magic = 0x56444743 (* "VDGC" *)
+let version = 1
+let filename ~step = Printf.sprintf "ckpt_%09d.vmdg" step
+let latest_name = "latest"
+
+type info = { path : string; step : int; time : float }
+
+(* --- small binary helpers (big-endian, matching Snapshot) ----------------- *)
+
+let write_float oc v =
+  let b = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    output_byte oc (Int64.to_int (Int64.shift_right_logical b (8 * i)) land 0xff)
+  done
+
+let read_float ic =
+  let b = ref 0L in
+  for _ = 0 to 7 do
+    b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int (input_byte ic))
+  done;
+  Int64.float_of_bits !b
+
+let output_u64 oc (v : int64) =
+  for i = 7 downto 0 do
+    output_byte oc (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+  done
+
+let decode_u64 (s : string) off =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !v
+
+(* FNV-1a over s.[0 .. len-1]. *)
+let fnv64_sub (s : string) len =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  for i = 0 to len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) prime
+  done;
+  !h
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fsync_noerr fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
+
+(* Make the rename itself durable (best effort; not all systems allow
+   opening a directory). *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      fsync_noerr fd;
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+(* Atomically publish [content] as dir/name. *)
+let publish_text ~dir ~name content =
+  let final = Filename.concat dir name in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  flush oc;
+  fsync_noerr (Unix.descr_of_out_channel oc);
+  close_out oc;
+  Sys.rename tmp final
+
+(* --- write ---------------------------------------------------------------- *)
+
+let write ?faults ~dir ~step ~time (fields : Field.t list) =
+  if fields = [] then invalid_arg "Checkpoint.write: empty state";
+  mkdirs dir;
+  let final = Filename.concat dir (filename ~step) in
+  let tmp = final ^ ".tmp" in
+  let t0 = Obs.now () in
+  Obs.span "checkpoint_write" (fun () ->
+      let oc = open_out_bin tmp in
+      output_binary_int oc magic;
+      output_binary_int oc version;
+      output_binary_int oc (List.length fields);
+      output_binary_int oc step;
+      write_float oc time;
+      List.iter (fun f -> Snapshot.output_field oc f) fields;
+      flush oc;
+      close_out oc;
+      (* checksum trailer over everything written so far *)
+      let body = In_channel.with_open_bin tmp In_channel.input_all in
+      let oc =
+        open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 tmp
+      in
+      output_u64 oc (fnv64_sub body (String.length body));
+      flush oc;
+      fsync_noerr (Unix.descr_of_out_channel oc);
+      close_out oc;
+      (* simulated crash window: the tmp exists, the rename never happens *)
+      (match faults with
+      | Some fl -> (
+          match fl.Faults.ckpt_crash with
+          | Some Faults.Crash_before_rename ->
+              fl.Faults.ckpt_crash <- None;
+              raise (Faults.Injected "checkpoint: killed before rename")
+          | Some (Faults.Crash_truncate keep) ->
+              fl.Faults.ckpt_crash <- None;
+              Faults.truncate_file tmp ~keep;
+              raise (Faults.Injected "checkpoint: killed mid-write")
+          | None -> ())
+      | None -> ());
+      Sys.rename tmp final;
+      publish_text ~dir ~name:latest_name (filename ~step);
+      fsync_dir dir);
+  Obs.count "resilience.checkpoint_writes" 1;
+  Obs.add "resilience.checkpoint_write_s" (Obs.now () -. t0);
+  { path = final; step; time }
+
+(* --- read / validate ------------------------------------------------------ *)
+
+let read path =
+  let s =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error m -> failwith ("Checkpoint: " ^ m)
+  in
+  let n = String.length s in
+  (* magic + version + nfields + step + time + checksum *)
+  if n < (4 * 4) + 8 + 8 then failwith "Checkpoint: truncated file";
+  if not (Int64.equal (fnv64_sub s (n - 8)) (decode_u64 s (n - 8))) then
+    failwith "Checkpoint: checksum mismatch (corrupt or truncated)";
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let m = input_binary_int ic in
+      if m <> magic then
+        failwith (Printf.sprintf "Checkpoint: bad magic 0x%x" m);
+      let v = input_binary_int ic in
+      if v <> version then
+        failwith
+          (Printf.sprintf
+             "Checkpoint: unsupported version %d (this build reads <= %d)" v
+             version);
+      let nfields = input_binary_int ic in
+      if nfields < 1 || nfields > 65536 then
+        failwith (Printf.sprintf "Checkpoint: implausible field count %d" nfields);
+      let step = input_binary_int ic in
+      let time = read_float ic in
+      let fields =
+        List.init nfields (fun _ -> fst (Snapshot.input_field ic))
+      in
+      (fields, step, time))
+
+let validate path = match read path with _ -> true | exception _ -> false
+
+(* --- restart scan --------------------------------------------------------- *)
+
+let parse_step name =
+  let prefix = "ckpt_" and suffix = ".vmdg" in
+  let np = String.length prefix and ns = String.length suffix in
+  if
+    String.length name > np + ns
+    && String.sub name 0 np = prefix
+    && Filename.check_suffix name suffix
+  then int_of_string_opt (String.sub name np (String.length name - np - ns))
+  else None
+
+let latest_path ~dir =
+  let p = Filename.concat dir latest_name in
+  match In_channel.with_open_bin p In_channel.input_all with
+  | content -> (
+      match String.trim content with
+      | "" -> None
+      | name -> Some (Filename.concat dir name))
+  | exception Sys_error _ -> None
+
+(* Newest checkpoint that passes validation; the `latest` pointer is only a
+   human/tooling convenience — the scan trusts checksums, not pointers. *)
+let find_latest ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then None
+  else begin
+    let candidates =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter_map (fun name ->
+             Option.map (fun step -> (step, name)) (parse_step name))
+      |> List.sort (fun (a, _) (b, _) -> compare (b : int) a)
+    in
+    let rec pick = function
+      | [] -> None
+      | (step, name) :: rest -> (
+          let path = Filename.concat dir name in
+          match read path with
+          | _, _, time -> Some { path; step; time }
+          | exception _ ->
+              Obs.count "resilience.invalid_checkpoints_skipped" 1;
+              pick rest)
+    in
+    pick candidates
+  end

@@ -1,0 +1,45 @@
+(** Crash-consistent checkpoint sets: the whole evolved state (all species
+    distributions + EM field) with step/time, written as
+    temp-file + checksum + atomic rename, plus a [latest] pointer and a
+    restart scan that only trusts checkpoints whose checksum verifies.
+
+    A kill at any point leaves either a stale [.tmp] (ignored on restart)
+    or a fully valid checkpoint — never a half-checkpoint that restart
+    would load. *)
+
+type info = { path : string; step : int; time : float }
+
+val filename : step:int -> string
+(** [ckpt_<step>.vmdg] (zero-padded so lexicographic = numeric order). *)
+
+val write :
+  ?faults:Faults.t ->
+  dir:string ->
+  step:int ->
+  time:float ->
+  Dg_grid.Field.t list ->
+  info
+(** Write one checkpoint (creating [dir] if needed) and atomically update
+    the [latest] pointer.  Files [resilience.checkpoint_writes] /
+    [resilience.checkpoint_write_s] and a ["checkpoint_write"] span via
+    {!Dg_obs.Obs}.  [?faults] opens the simulated crash window
+    ({!Faults.crash}): the tmp file is left behind (possibly truncated),
+    the rename never happens, and {!Faults.Injected} is raised. *)
+
+val read : string -> Dg_grid.Field.t list * int * float
+(** Load a checkpoint: [(fields, step, time)].
+    @raise Failure on checksum mismatch, truncation, bad magic or
+    version — a checkpoint that reads back is bit-exactly what was
+    written. *)
+
+val validate : string -> bool
+(** Does {!read} succeed? *)
+
+val find_latest : dir:string -> info option
+(** Newest checkpoint in [dir] that passes validation (invalid or
+    truncated ones are skipped and counted under
+    [resilience.invalid_checkpoints_skipped]). *)
+
+val latest_path : dir:string -> string option
+(** The checkpoint named by the [latest] pointer file, if present (a
+    convenience for tooling; restart uses {!find_latest}). *)

@@ -1,0 +1,96 @@
+(* Deterministic fault injection: the test harness for the resilience
+   machinery.  Each fault is armed once (one-shot) so a rollback/retry that
+   replays the same steps does not re-trigger it — exactly the semantics of
+   a transient soft error or a killed process.
+
+   Environment knobs (read by [from_env], used by the vmdg CLI):
+     VMDG_FAULT_NAN_STEP=K    poison the state after step K
+     VMDG_FAULT_NAN_FIELD=I   which state field to poison (default 0) *)
+
+module Field = Dg_grid.Field
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected what -> Some (Printf.sprintf "Dg_resilience.Faults.Injected(%s)" what)
+    | _ -> None)
+
+type crash =
+  | Crash_before_rename (* checkpoint tmp fully written, never renamed *)
+  | Crash_truncate of int (* checkpoint tmp cut to the first k bytes *)
+
+type t = {
+  mutable nan_step : int option;
+  mutable nan_field : int;
+  mutable nan_fired : bool;
+  mutable ckpt_crash : crash option;
+  mutable fail_chunk : int option;
+}
+
+let none () =
+  {
+    nan_step = None;
+    nan_field = 0;
+    nan_fired = false;
+    ckpt_crash = None;
+    fail_chunk = None;
+  }
+
+let from_env () =
+  let f = none () in
+  (match Option.bind (Sys.getenv_opt "VMDG_FAULT_NAN_STEP") int_of_string_opt with
+  | Some k -> f.nan_step <- Some k
+  | None -> ());
+  (match
+     Option.bind (Sys.getenv_opt "VMDG_FAULT_NAN_FIELD") int_of_string_opt
+   with
+  | Some i -> f.nan_field <- i
+  | None -> ());
+  f
+
+let armed t = t.nan_step <> None && not t.nan_fired
+
+(* Poison one coefficient of the selected state field.  The target is the
+   first coefficient of a mid-domain INTERIOR cell: a ghost-layer NaN would
+   be silently healed by the next ghost synchronization and the fault would
+   test nothing.  Returns true when the fault fired (then disarms itself). *)
+let maybe_inject_nan t ~step fields =
+  match t.nan_step with
+  | Some k when (not t.nan_fired) && step >= k ->
+      t.nan_fired <- true;
+      let nf = List.length fields in
+      let idx = if t.nan_field < 0 || t.nan_field >= nf then 0 else t.nan_field in
+      let fld = List.nth fields idx in
+      let grid = Field.grid fld in
+      let mid = Array.map (fun n -> n / 2) (Dg_grid.Grid.cells grid) in
+      (Field.data fld).(Field.offset fld mid) <- Float.nan;
+      true
+  | _ -> false
+
+(* Wrap a Pool range body so the chunk containing index [fail_chunk] raises
+   [Injected] once — drives the worker-containment tests. *)
+let wrap_range t body lo hi =
+  (match t.fail_chunk with
+  | Some i when lo <= i && i < hi ->
+      t.fail_chunk <- None;
+      raise (Injected (Printf.sprintf "worker chunk [%d,%d)" lo hi))
+  | _ -> ());
+  body lo hi
+
+(* On-disk corruption primitives (simulate torn writes and bit rot on files
+   that were already renamed into place). *)
+
+let truncate_file path ~keep =
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  let keep = max 0 (min keep (String.length s)) in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub s 0 keep))
+
+let corrupt_byte path ~at =
+  let s = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+  if at < 0 || at >= Bytes.length s then
+    invalid_arg "Faults.corrupt_byte: offset out of range";
+  Bytes.set s at (Char.chr (Char.code (Bytes.get s at) lxor 0xff));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc s)

@@ -1,0 +1,46 @@
+(** Deterministic fault injection for the resilience test harness: poison a
+    state field at step k, crash a checkpoint mid-write, raise inside a
+    pool worker, corrupt files on disk.  Every fault is one-shot, so a
+    rollback/retry replay does not re-trigger it. *)
+
+exception Injected of string
+(** Raised by injected faults (worker bombs, simulated checkpoint crashes). *)
+
+(** How a checkpoint write "crashes" (consulted by
+    [Dg_resilience.Checkpoint.write]). *)
+type crash =
+  | Crash_before_rename  (** tmp file fully written but never renamed *)
+  | Crash_truncate of int  (** tmp file cut to the first [k] bytes *)
+
+type t = {
+  mutable nan_step : int option;  (** poison the state after this step *)
+  mutable nan_field : int;  (** index into the state list (default 0) *)
+  mutable nan_fired : bool;
+  mutable ckpt_crash : crash option;
+  mutable fail_chunk : int option;
+      (** {!wrap_range} raises on the chunk containing this index *)
+}
+
+val none : unit -> t
+(** All faults disarmed. *)
+
+val from_env : unit -> t
+(** Read [VMDG_FAULT_NAN_STEP] / [VMDG_FAULT_NAN_FIELD]. *)
+
+val armed : t -> bool
+(** Is a NaN injection still pending? *)
+
+val maybe_inject_nan : t -> step:int -> Dg_grid.Field.t list -> bool
+(** Fire the NaN fault if [step >= nan_step] and it has not fired yet:
+    sets one mid-array coefficient of the selected field to NaN.  Returns
+    whether it fired. *)
+
+val wrap_range : t -> (int -> int -> unit) -> int -> int -> unit
+(** [wrap_range t body] is a [Pool.parallel_ranges] body that raises
+    {!Injected} (once) on the chunk containing [fail_chunk]. *)
+
+val truncate_file : string -> keep:int -> unit
+(** Cut a file to its first [keep] bytes (simulated torn write). *)
+
+val corrupt_byte : string -> at:int -> unit
+(** Flip every bit of the byte at offset [at] (simulated bit rot). *)

@@ -1,0 +1,55 @@
+(* State health checking: a NaN/Inf scan over coefficient fields (optionally
+   parallel over a domain pool) plus a relative energy-jump guard.  This is
+   the detector side of the rollback/retry stepper: Juno et al. 2018 show how
+   aliasing/positivity violations drive nodal runs to NaN blowup — here a
+   poisoned state is caught at the next health check instead of silently
+   destroying the rest of a long SSP-RK3 campaign. *)
+
+module Field = Dg_grid.Field
+module Pool = Dg_par.Pool
+
+type report = { nan : int; inf : int }
+
+let clean = { nan = 0; inf = 0 }
+let is_clean r = r.nan = 0 && r.inf = 0
+
+let merge a b = { nan = a.nan + b.nan; inf = a.inf + b.inf }
+
+(* Chunks below this size are not worth a fork-join. *)
+let parallel_threshold = 1 lsl 14
+
+let scan ?pool (f : Field.t) =
+  let d = Field.data f in
+  let n = Array.length d in
+  let count_range lo hi =
+    let nan = ref 0 and inf = ref 0 in
+    for i = lo to hi - 1 do
+      let v = d.(i) in
+      (* v <> v is the allocation-free NaN test *)
+      if v <> v then incr nan
+      else if v = infinity || v = neg_infinity then incr inf
+    done;
+    (!nan, !inf)
+  in
+  match pool with
+  | Some p when n > parallel_threshold ->
+      let nan = Atomic.make 0 and inf = Atomic.make 0 in
+      Pool.parallel_ranges p ~n ~chunk:parallel_threshold (fun lo hi ->
+          let ln, li = count_range lo hi in
+          if ln > 0 then ignore (Atomic.fetch_and_add nan ln);
+          if li > 0 then ignore (Atomic.fetch_and_add inf li));
+      { nan = Atomic.get nan; inf = Atomic.get inf }
+  | _ ->
+      let nan, inf = count_range 0 n in
+      { nan; inf }
+
+let check ?pool (fields : Field.t list) =
+  List.fold_left (fun acc f -> merge acc (scan ?pool f)) clean fields
+
+(* Relative jump of an energy-like scalar between two health checks.  A NaN
+   on either side is reported as [infinity] so the caller's threshold test
+   always classifies it as unhealthy (NaN comparisons are all false). *)
+let energy_jump ~prev ~cur =
+  if Float.is_nan prev || Float.is_nan cur then infinity
+  else if prev = cur then 0.0
+  else Float.abs (cur -. prev) /. Float.max (Float.abs prev) Float.min_float

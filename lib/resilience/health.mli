@@ -1,0 +1,23 @@
+(** State health checking: NaN/Inf scans over coefficient fields and a
+    relative energy-jump guard — the detector side of rollback/retry
+    stepping. *)
+
+type report = { nan : int; inf : int }
+(** Counts of non-finite coefficients found by a scan. *)
+
+val clean : report
+val is_clean : report -> bool
+val merge : report -> report -> report
+
+val scan : ?pool:Dg_par.Pool.t -> Dg_grid.Field.t -> report
+(** Count NaN/Inf coefficients in one field (ghosts included).  With
+    [?pool] the scan is chunked over the domain pool when the field is
+    large enough to pay for the fork-join. *)
+
+val check : ?pool:Dg_par.Pool.t -> Dg_grid.Field.t list -> report
+(** {!scan} every field of a state list and sum the reports. *)
+
+val energy_jump : prev:float -> cur:float -> float
+(** Relative jump [|cur - prev| / max |prev| eps] between two checks;
+    [infinity] when either side is NaN, so a threshold test always
+    classifies a poisoned energy as unhealthy. *)

@@ -1,0 +1,47 @@
+(* Rollback/retry policy and bookkeeping for health-checked stepping.
+
+   The actual loop lives in [Vm_app.run_resilient] (it needs the app's
+   stepper and CFL logic); this module owns the knobs and the counters so
+   the policy is reusable and the run can report what resilience cost it. *)
+
+type policy = {
+  check_every : int;  (* health-check cadence, in accepted steps *)
+  max_retries : int;  (* consecutive failed windows before giving up *)
+  dt_shrink : float;  (* dt multiplier on a failed window (< 1) *)
+  dt_grow : float;  (* dt-limit regrowth per healthy window (> 1) *)
+  energy_jump_tol : float;  (* relative energy jump treated as unhealthy *)
+}
+
+let default =
+  {
+    check_every = 10;
+    max_retries = 8;
+    dt_shrink = 0.5;
+    dt_grow = 1.5;
+    energy_jump_tol = 0.5;
+  }
+
+let validate p =
+  if p.check_every < 1 then invalid_arg "Retry: check_every must be >= 1";
+  if p.max_retries < 0 then invalid_arg "Retry: max_retries must be >= 0";
+  if not (p.dt_shrink > 0.0 && p.dt_shrink < 1.0) then
+    invalid_arg "Retry: dt_shrink must be in (0, 1)";
+  if not (p.dt_grow > 1.0) then invalid_arg "Retry: dt_grow must be > 1";
+  if not (p.energy_jump_tol > 0.0) then
+    invalid_arg "Retry: energy_jump_tol must be > 0"
+
+type stats = {
+  mutable steps : int;
+  mutable health_checks : int;
+  mutable retries : int;
+  mutable checkpoints : int;
+  mutable checkpoint_s : float;
+}
+
+let fresh_stats () =
+  { steps = 0; health_checks = 0; retries = 0; checkpoints = 0; checkpoint_s = 0.0 }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "steps=%d health_checks=%d retries=%d checkpoints=%d checkpoint_s=%.3f"
+    s.steps s.health_checks s.retries s.checkpoints s.checkpoint_s

@@ -1,0 +1,36 @@
+(** Rollback/retry policy and run statistics for health-checked stepping.
+    The loop itself is [Vm_app.run_resilient]; this module owns the knobs
+    and the counters. *)
+
+type policy = {
+  check_every : int;
+      (** run a health check every N accepted steps (and at [tend]) *)
+  max_retries : int;
+      (** consecutive failed windows tolerated before the run aborts *)
+  dt_shrink : float;
+      (** multiplier applied to the dt ceiling on each failed window;
+          repeated failures compound, giving exponential backoff *)
+  dt_grow : float;
+      (** dt-ceiling regrowth per healthy window, until it re-reaches the
+          CFL limit *)
+  energy_jump_tol : float;
+      (** relative total-energy jump between checks treated as unhealthy *)
+}
+
+val default : policy
+(** [{ check_every = 10; max_retries = 8; dt_shrink = 0.5; dt_grow = 1.5;
+      energy_jump_tol = 0.5 }] *)
+
+val validate : policy -> unit
+(** @raise Invalid_argument on out-of-range knobs. *)
+
+type stats = {
+  mutable steps : int;  (** accepted steps (rolled-back steps excluded) *)
+  mutable health_checks : int;
+  mutable retries : int;  (** failed windows that were rolled back *)
+  mutable checkpoints : int;
+  mutable checkpoint_s : float;  (** wall seconds spent writing checkpoints *)
+}
+
+val fresh_stats : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -26,17 +26,22 @@ type t = {
 let create ~scheme ~like =
   { scheme; stage = List.map Field.clone like; rhs_ws = List.map Field.clone like }
 
-(* dst := a*dst + b*src + c*rhs, elementwise over field lists. *)
+(* dst := a*dst + b*src + c*rhs, elementwise over field lists; the three
+   lists are walked simultaneously (no List.nth indexing). *)
 let combine ~a ~b ~c ~(src : Field.t list) ~(rhs : Field.t list)
     (dst : Field.t list) =
-  List.iteri
-    (fun i d ->
-      let s = List.nth src i and r = List.nth rhs i in
-      let dd = Field.data d and sd = Field.data s and rd = Field.data r in
-      for k = 0 to Array.length dd - 1 do
-        dd.(k) <- (a *. dd.(k)) +. (b *. sd.(k)) +. (c *. rd.(k))
-      done)
-    dst
+  let rec go ds ss rs =
+    match (ds, ss, rs) with
+    | [], [], [] -> ()
+    | d :: ds, s :: ss, r :: rs ->
+        let dd = Field.data d and sd = Field.data s and rd = Field.data r in
+        for k = 0 to Array.length dd - 1 do
+          dd.(k) <- (a *. dd.(k)) +. (b *. sd.(k)) +. (c *. rd.(k))
+        done;
+        go ds ss rs
+    | _ -> invalid_arg "Stepper.combine: state lists differ in length"
+  in
+  go dst src rhs
 
 (* Advance [state] in place by [dt].  [rhs ~time st out] must not modify
    [st].  Ghost synchronization is the responsibility of [rhs].  Each RHS
@@ -78,11 +83,19 @@ let step t ~rhs ~time ~dt (state : Field.t list) =
 
 (* CFL-limited time step for a DG scheme of order p.  In multiple
    dimensions the per-direction Courant numbers add, so the stable step is
-       dt <= cfl / ( (2p+1) * sum_d lambda_d / dx_d ). *)
+       dt <= cfl / ( (2p+1) * sum_d lambda_d / dx_d ).
+   Hardened against rough speed estimates: signed speeds contribute their
+   magnitude, NaN entries are skipped (a poisoned diagnostic must not turn
+   dt into NaN), and [infinity] is returned only when every usable speed
+   vanishes. *)
 let cfl_dt ~cfl ~poly_order ~dx ~speeds =
   let denom = ref 0.0 in
   Array.iteri
-    (fun d s -> if s > 0.0 then denom := !denom +. (s /. dx.(d)))
+    (fun d s ->
+      if not (Float.is_nan s) then begin
+        let s = Float.abs s in
+        if s > 0.0 then denom := !denom +. (s /. dx.(d))
+      end)
     speeds;
   if !denom = 0.0 then infinity
   else cfl /. (float_of_int ((2 * poly_order) + 1) *. !denom)

@@ -29,4 +29,6 @@ val step :
 val cfl_dt :
   cfl:float -> poly_order:int -> dx:float array -> speeds:float array -> float
 (** Stable DG step: per-direction Courant numbers add, so
-    [dt <= cfl / ((2p+1) * sum_d speed_d / dx_d)]. *)
+    [dt <= cfl / ((2p+1) * sum_d speed_d / dx_d)].  Speeds enter by
+    magnitude ([abs_float]), NaN entries are skipped, and the result is
+    [infinity] only when every usable speed vanishes. *)

@@ -1,0 +1,346 @@
+(* Fault-injection suite for the resilience layer: health scans, worker
+   exception containment, crash-consistent checkpointing, bit-exact
+   restart, and rollback/retry stepping.  Every fault is deterministic
+   (Dg_resilience.Faults), so these are ordinary reproducible tests. *)
+
+module Field = Dg_grid.Field
+module Grid = Dg_grid.Grid
+module Pool = Dg_par.Pool
+module App = Dg_app.Vm_app
+module Health = Dg_resilience.Health
+module Faults = Dg_resilience.Faults
+module Checkpoint = Dg_resilience.Checkpoint
+module Retry = Dg_resilience.Retry
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let tmpdir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) ("dg_resil_" ^ name) in
+  (* start from a clean slate even if a previous run crashed mid-test *)
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir)
+  else Unix.mkdir dir 0o755;
+  dir
+
+let mk_field ?(cells = [| 6; 6 |]) () =
+  let grid =
+    Grid.make ~cells ~lower:[| 0.0; 0.0 |] ~upper:[| 1.0; 1.0 |]
+  in
+  let f = Field.create grid ~ncomp:4 in
+  let d = Field.data f in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- sin (float_of_int i)
+  done;
+  f
+
+(* --- health --------------------------------------------------------------- *)
+
+let test_health_clean () =
+  let f = mk_field () in
+  let r = Health.scan f in
+  Alcotest.(check bool) "clean" true (Health.is_clean r);
+  Alcotest.(check int) "no nan" 0 r.Health.nan;
+  Alcotest.(check int) "no inf" 0 r.Health.inf
+
+let test_health_counts () =
+  let f = mk_field () in
+  let d = Field.data f in
+  d.(3) <- Float.nan;
+  d.(7) <- Float.nan;
+  d.(11) <- infinity;
+  d.(13) <- neg_infinity;
+  let r = Health.check [ f; mk_field () ] in
+  Alcotest.(check int) "nan count" 2 r.Health.nan;
+  Alcotest.(check int) "inf count" 2 r.Health.inf;
+  Alcotest.(check bool) "unclean" false (Health.is_clean r)
+
+let test_health_parallel_matches_serial () =
+  (* big enough to cross the parallel threshold *)
+  let grid =
+    Grid.make ~cells:[| 64; 64 |] ~lower:[| 0.0; 0.0 |] ~upper:[| 1.0; 1.0 |]
+  in
+  let f = Field.create grid ~ncomp:8 in
+  let d = Field.data f in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- cos (float_of_int i);
+    if i mod 997 = 0 then d.(i) <- Float.nan;
+    if i mod 1999 = 0 then d.(i) <- infinity
+  done;
+  let serial = Health.scan f in
+  let pool = Pool.create ~nworkers:4 in
+  let par = Health.scan ~pool f in
+  Alcotest.(check int) "nan" serial.Health.nan par.Health.nan;
+  Alcotest.(check int) "inf" serial.Health.inf par.Health.inf
+
+let test_energy_jump () =
+  Alcotest.(check bool) "small jump" true (Health.energy_jump ~prev:1.0 ~cur:1.01 < 0.02);
+  Alcotest.(check bool) "nan is infinite" true (Health.energy_jump ~prev:1.0 ~cur:Float.nan = infinity);
+  Alcotest.(check (float 0.0)) "equal" 0.0 (Health.energy_jump ~prev:0.0 ~cur:0.0)
+
+(* --- pool containment ----------------------------------------------------- *)
+
+let test_pool_contains_worker_exception () =
+  let pool = Pool.create ~nworkers:4 in
+  let faults = Faults.none () in
+  faults.Faults.fail_chunk <- Some 500;
+  let body = Faults.wrap_range faults (fun _ _ -> ()) in
+  (match Pool.parallel_ranges pool ~n:1000 ~chunk:64 body with
+  | () -> Alcotest.fail "expected Worker_exception"
+  | exception Pool.Worker_exception { lo; hi; orig; _ } ->
+      Alcotest.(check bool) "range covers index" true (lo <= 500 && 500 < hi);
+      (match orig with
+      | Faults.Injected _ -> ()
+      | e -> Alcotest.failf "wrong original exception: %s" (Printexc.to_string e)));
+  (* the pool must stay usable after containment *)
+  let sum = Atomic.make 0 in
+  Pool.parallel_ranges pool ~n:1000 ~chunk:64 (fun lo hi ->
+      ignore (Atomic.fetch_and_add sum (hi - lo)));
+  Alcotest.(check int) "pool alive after exception" 1000 (Atomic.get sum)
+
+let test_pool_serial_path_wrapped () =
+  let pool = Pool.create ~nworkers:1 in
+  match Pool.parallel_ranges pool ~n:10 ~chunk:4 (fun _ _ -> failwith "boom") with
+  | () -> Alcotest.fail "expected Worker_exception"
+  | exception Pool.Worker_exception { worker; orig = Failure m; _ } ->
+      Alcotest.(check int) "serial worker index" 0 worker;
+      Alcotest.(check string) "original message" "boom" m
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+
+(* --- checkpointing -------------------------------------------------------- *)
+
+let test_checkpoint_roundtrip () =
+  let dir = tmpdir "roundtrip" in
+  let fields = [ mk_field (); mk_field ~cells:[| 4; 8 |] () ] in
+  let info = Checkpoint.write ~dir ~step:42 ~time:1.5 fields in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists info.Checkpoint.path);
+  Alcotest.(check bool) "validates" true (Checkpoint.validate info.Checkpoint.path);
+  let fields', step, time = Checkpoint.read info.Checkpoint.path in
+  Alcotest.(check int) "step" 42 step;
+  Alcotest.(check (float 0.0)) "time" 1.5 time;
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "bit-exact data" true (Field.data a = Field.data b))
+    fields fields'
+
+let test_checkpoint_detects_corruption () =
+  let dir = tmpdir "corrupt" in
+  let info = Checkpoint.write ~dir ~step:1 ~time:0.1 [ mk_field () ] in
+  let path = info.Checkpoint.path in
+  (* flip one byte in the middle of the payload *)
+  Faults.corrupt_byte path ~at:100;
+  Alcotest.(check bool) "corrupt fails validation" false (Checkpoint.validate path);
+  match Checkpoint.read path with
+  | _ -> Alcotest.fail "read of corrupt checkpoint should fail"
+  | exception Failure m ->
+      Alcotest.(check bool) "mentions checksum" true (contains ~sub:"checksum" m)
+
+let test_checkpoint_detects_truncation () =
+  let dir = tmpdir "truncate" in
+  let info = Checkpoint.write ~dir ~step:2 ~time:0.2 [ mk_field () ] in
+  Faults.truncate_file info.Checkpoint.path ~keep:64;
+  Alcotest.(check bool) "truncated fails validation" false
+    (Checkpoint.validate info.Checkpoint.path)
+
+let test_find_latest_skips_invalid () =
+  let dir = tmpdir "latest" in
+  let f = [ mk_field () ] in
+  ignore (Checkpoint.write ~dir ~step:10 ~time:1.0 f);
+  let newer = Checkpoint.write ~dir ~step:20 ~time:2.0 f in
+  (* corrupt the newest: the scan must fall back to step 10 *)
+  Faults.corrupt_byte newer.Checkpoint.path ~at:50;
+  match Checkpoint.find_latest ~dir with
+  | Some info -> Alcotest.(check int) "fell back to older valid" 10 info.Checkpoint.step
+  | None -> Alcotest.fail "no valid checkpoint found"
+
+let test_crash_mid_write_leaves_no_ckpt () =
+  let dir = tmpdir "crash" in
+  let f = [ mk_field () ] in
+  let faults = Faults.none () in
+  faults.Faults.ckpt_crash <- Some (Faults.Crash_truncate 32);
+  (match Checkpoint.write ~faults ~dir ~step:5 ~time:0.5 f with
+  | _ -> Alcotest.fail "expected simulated crash"
+  | exception Faults.Injected _ -> ());
+  (* only a tmp file exists; restart must see no checkpoint at all *)
+  Alcotest.(check bool) "no valid checkpoint" true (Checkpoint.find_latest ~dir = None);
+  (* a crash before rename, after a good checkpoint, keeps the good one *)
+  ignore (Checkpoint.write ~dir ~step:6 ~time:0.6 f);
+  faults.Faults.ckpt_crash <- Some Faults.Crash_before_rename;
+  (match Checkpoint.write ~faults ~dir ~step:7 ~time:0.7 f with
+  | _ -> Alcotest.fail "expected simulated crash"
+  | exception Faults.Injected _ -> ());
+  match Checkpoint.find_latest ~dir with
+  | Some info -> Alcotest.(check int) "previous checkpoint survives" 6 info.Checkpoint.step
+  | None -> Alcotest.fail "lost the good checkpoint"
+
+(* --- app-level restart equivalence ---------------------------------------- *)
+
+let small_spec () =
+  let k = 0.5 in
+  let l = 2.0 *. Float.pi /. k in
+  let electron =
+    App.species ~name:"elc" ~charge:(-1.0) ~mass:1.0
+      ~init_f:(fun ~pos ~vel ->
+        (1.0 +. (0.05 *. cos (k *. pos.(0))))
+        *. exp (-0.5 *. vel.(0) *. vel.(0))
+        /. sqrt (2.0 *. Float.pi))
+      ()
+  in
+  {
+    (App.default_spec ~cdim:1 ~vdim:1 ~cells:[| 8; 16 |] ~lower:[| 0.0; -6.0 |]
+       ~upper:[| l; 6.0 |] ~species:[ electron ])
+    with
+    App.field_model = App.Ampere_only;
+    poly_order = 1;
+    init_em =
+      Some
+        (fun x ->
+          let em = Array.make 8 0.0 in
+          em.(0) <- -.(0.05 /. 0.5) *. sin (0.5 *. x.(0));
+          em);
+  }
+
+let state_data app =
+  List.concat
+    [
+      Array.to_list (Array.map Array.copy [| Field.data (App.distribution app 0) |]);
+      [ Array.copy (Field.data (App.em_field app)) ];
+    ]
+
+let test_restart_bit_exact () =
+  let dir = tmpdir "restart" in
+  let spec = small_spec () in
+  (* reference: 20 uninterrupted steps *)
+  let a = App.create spec in
+  for _ = 1 to 20 do
+    ignore (App.step a)
+  done;
+  (* checkpointed: 10 steps, checkpoint, restore into a FRESH app, 10 more *)
+  let b = App.create spec in
+  for _ = 1 to 10 do
+    ignore (App.step b)
+  done;
+  ignore (App.checkpoint b ~dir);
+  let c = App.create spec in
+  (match App.restore_latest c ~dir with
+  | Some info ->
+      Alcotest.(check int) "resumed at step 10" 10 info.Checkpoint.step
+  | None -> Alcotest.fail "restore_latest found nothing");
+  Alcotest.(check int) "nsteps restored" 10 (App.nsteps c);
+  for _ = 1 to 10 do
+    ignore (App.step c)
+  done;
+  Alcotest.(check bool) "same time" true (App.time a = App.time c);
+  List.iter2
+    (fun da dc ->
+      Alcotest.(check bool) "bit-identical trajectory" true (da = dc))
+    (state_data a) (state_data c)
+
+let test_restore_shape_mismatch () =
+  let dir = tmpdir "mismatch" in
+  let a = App.create (small_spec ()) in
+  ignore (App.checkpoint a ~dir);
+  let spec' = { (small_spec ()) with App.cells = [| 4; 8 |] } in
+  let b = App.create spec' in
+  match App.restore_latest b ~dir with
+  | _ -> Alcotest.fail "shape mismatch should raise"
+  | exception Failure m ->
+      Alcotest.(check bool) "mentions shape" true
+        (String.length m > 0)
+
+(* --- rollback/retry ------------------------------------------------------- *)
+
+let test_rollback_retry_reaches_tend () =
+  let app = App.create (small_spec ()) in
+  let faults = Faults.none () in
+  faults.Faults.nan_step <- Some 3;
+  let tend = 0.5 in
+  let policy = { Retry.default with Retry.check_every = 2 } in
+  let stats = App.run_resilient ~policy ~faults app ~tend in
+  Alcotest.(check bool) "reached tend" true (App.time app >= tend -. 1e-9);
+  Alcotest.(check bool) "retried at least once" true (stats.Retry.retries >= 1);
+  Alcotest.(check bool) "fault fired" true faults.Faults.nan_fired;
+  let r = Health.check (List.init 1 (App.distribution app) @ [ App.em_field app ]) in
+  Alcotest.(check bool) "final state clean" true (Health.is_clean r)
+
+let test_resilient_clean_run_no_retries () =
+  let app = App.create (small_spec ()) in
+  let stats = App.run_resilient app ~tend:0.3 in
+  Alcotest.(check int) "no retries" 0 stats.Retry.retries;
+  Alcotest.(check bool) "checked health" true (stats.Retry.health_checks >= 1)
+
+let test_resilient_checkpoints () =
+  let dir = tmpdir "resil_ckpt" in
+  let app = App.create (small_spec ()) in
+  let stats =
+    App.run_resilient app ~tend:0.5 ~checkpoint_every:5 ~checkpoint_dir:dir
+  in
+  Alcotest.(check bool) "wrote checkpoints" true (stats.Retry.checkpoints >= 1);
+  match Checkpoint.find_latest ~dir with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no checkpoint on disk"
+
+let test_initial_nan_rejected () =
+  let app = App.create (small_spec ()) in
+  (Field.data (App.distribution app 0)).(0) <- Float.nan;
+  match App.run_resilient app ~tend:0.1 with
+  | _ -> Alcotest.fail "poisoned initial state must be rejected"
+  | exception Failure _ -> ()
+
+(* --- run hardening -------------------------------------------------------- *)
+
+let test_run_max_steps_valve () =
+  let app = App.create (small_spec ()) in
+  match App.run ~max_steps:3 app ~tend:100.0 with
+  | () -> Alcotest.fail "expected max_steps failure"
+  | exception Failure m ->
+      Alcotest.(check bool) "mentions max_steps" true (contains ~sub:"max_steps" m)
+
+let () =
+  Alcotest.run "dg_resilience"
+    [
+      ( "health",
+        [
+          Alcotest.test_case "clean scan" `Quick test_health_clean;
+          Alcotest.test_case "NaN/Inf counts" `Quick test_health_counts;
+          Alcotest.test_case "parallel == serial" `Quick test_health_parallel_matches_serial;
+          Alcotest.test_case "energy jump" `Quick test_energy_jump;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "worker exception contained" `Quick
+            test_pool_contains_worker_exception;
+          Alcotest.test_case "serial path wrapped" `Quick test_pool_serial_path_wrapped;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip bit-exact" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick test_checkpoint_detects_corruption;
+          Alcotest.test_case "truncation detected" `Quick test_checkpoint_detects_truncation;
+          Alcotest.test_case "find_latest skips invalid" `Quick test_find_latest_skips_invalid;
+          Alcotest.test_case "crash mid-write" `Quick test_crash_mid_write_leaves_no_ckpt;
+        ] );
+      ( "restart",
+        [
+          Alcotest.test_case "bit-exact resume" `Quick test_restart_bit_exact;
+          Alcotest.test_case "shape mismatch rejected" `Quick test_restore_shape_mismatch;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "NaN at step k still reaches tend" `Quick
+            test_rollback_retry_reaches_tend;
+          Alcotest.test_case "clean run: no retries" `Quick
+            test_resilient_clean_run_no_retries;
+          Alcotest.test_case "periodic checkpoints" `Quick test_resilient_checkpoints;
+          Alcotest.test_case "poisoned initial state rejected" `Quick
+            test_initial_nan_rejected;
+        ] );
+      ( "run-guards",
+        [
+          Alcotest.test_case "max_steps valve" `Quick test_run_max_steps_valve;
+        ] );
+    ]

@@ -86,6 +86,32 @@ let test_cfl_dt () =
   let dt0 = Stepper.cfl_dt ~cfl:1.0 ~poly_order:1 ~dx:[| 1.0 |] ~speeds:[| 0.0 |] in
   Alcotest.(check bool) "zero speed -> unbounded" true (dt0 = infinity)
 
+let test_cfl_dt_hardened () =
+  (* speeds are magnitudes: a negative speed must behave like its absolute *)
+  let pos =
+    Stepper.cfl_dt ~cfl:0.9 ~poly_order:2 ~dx:[| 0.1; 0.2 |] ~speeds:[| 1.0; 4.0 |]
+  in
+  let neg =
+    Stepper.cfl_dt ~cfl:0.9 ~poly_order:2 ~dx:[| 0.1; 0.2 |]
+      ~speeds:[| -1.0; -4.0 |]
+  in
+  Alcotest.(check (float 1e-15)) "negative == abs" pos neg;
+  (* a NaN speed in one direction must not poison the whole dt *)
+  let with_nan =
+    Stepper.cfl_dt ~cfl:0.9 ~poly_order:2 ~dx:[| 0.1; 0.2 |]
+      ~speeds:[| 1.0; Float.nan |]
+  in
+  let without =
+    Stepper.cfl_dt ~cfl:0.9 ~poly_order:2 ~dx:[| 0.1 |] ~speeds:[| 1.0 |]
+  in
+  Alcotest.(check bool) "NaN direction skipped" true
+    (Float.is_finite with_nan && with_nan = without);
+  (* all-NaN or all-zero speeds: no constraint at all *)
+  let dt_nan =
+    Stepper.cfl_dt ~cfl:1.0 ~poly_order:1 ~dx:[| 1.0 |] ~speeds:[| Float.nan |]
+  in
+  Alcotest.(check bool) "all NaN -> unbounded" true (dt_nan = infinity)
+
 let () =
   Alcotest.run "dg_time"
     [
@@ -95,5 +121,6 @@ let () =
           Alcotest.test_case "exact on linear-in-time" `Quick test_exact_linear_in_time;
           Alcotest.test_case "preserves constants" `Quick test_preserves_constants;
           Alcotest.test_case "cfl dt" `Quick test_cfl_dt;
+          Alcotest.test_case "cfl dt hardened" `Quick test_cfl_dt_hardened;
         ] );
     ]
