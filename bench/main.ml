@@ -5,7 +5,7 @@
      dune exec bench/main.exe            # everything at container scale
      dune exec bench/main.exe -- fig2    # one experiment
      subcommands: fig1 fig2 table1 efficiency fig3 fig5 conservation
-                  ablation resilience micro kernels
+                  ablation resilience guard micro kernels
 
    [micro] runs one Bechamel Test.make per table/figure for statistically
    robust per-operation timings; the named subcommands print the
@@ -759,6 +759,90 @@ let resilience () =
   (* cleanup: bounded temp usage across repeated bench runs *)
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
 
+(* --- guard: positivity limiter overhead + degradation-ladder escalations -- *)
+
+let guard () =
+  section "Guard - positivity-limiter overhead and degradation-ladder escalations";
+  let module App = Dg_app.Vm_app in
+  let module Retry = Dg_resilience.Retry in
+  let module Faults = Dg_resilience.Faults in
+  let module Limiter = Dg_limiter.Limiter in
+  let k = 0.5 in
+  let electron =
+    App.species ~name:"elc" ~charge:(-1.0) ~mass:1.0
+      ~init_f:(fun ~pos ~vel ->
+        (1.0 +. (0.05 *. cos (k *. pos.(0))))
+        /. sqrt (2.0 *. Float.pi)
+        *. exp (-0.5 *. vel.(0) *. vel.(0)))
+      ()
+  in
+  let spec =
+    {
+      (App.default_spec ~cdim:1 ~vdim:1 ~cells:[| 16; 32 |]
+         ~lower:[| 0.0; -6.0 |]
+         ~upper:[| 2.0 *. Float.pi /. k; 6.0 |]
+         ~species:[ electron ])
+      with
+      App.field_model = App.Ampere_only;
+      poly_order = 2;
+    }
+  in
+  let e metric value units =
+    emit ~bench:"guard" ~config:"1x1v_p2_ser" ~metric ~value ~units
+  in
+  (* raw limiter cost relative to one SSP-RK3 step *)
+  let app = App.create spec in
+  let lay = App.layout app in
+  let ncells = float_of_int (Grid.num_cells lay.Layout.grid) in
+  let lim = Limiter.create lay.Layout.basis in
+  let t_scan =
+    time_per_call (fun () -> ignore (Limiter.scan lim (App.distribution app 0)))
+  in
+  let t_apply =
+    time_per_call (fun () ->
+        ignore (Limiter.apply lim (App.distribution app 0)))
+  in
+  let t_step = time_per_call (fun () -> ignore (App.step ~dt:1e-6 app)) in
+  pr "limiter scan : %.1f us  apply: %.1f us  (%.1f%% of one SSP-RK3 step)\n"
+    (t_scan *. 1e6) (t_apply *. 1e6)
+    (100.0 *. t_apply /. t_step);
+  e "limiter_scan" (t_scan *. 1e6) "us";
+  e "limiter_apply" (t_apply *. 1e6) "us";
+  e "limiter_overhead" (t_apply /. t_step) "fraction";
+  (* full-run ladder behavior under a seeded negative overshoot: tier-0
+     repair absorbs it with zero rollbacks; detect-only escalates to a
+     tier-1 rollback *)
+  let run mode inject =
+    let app = App.create spec in
+    let faults = Faults.none () in
+    if inject then faults.Faults.neg_step <- Some 5;
+    let policy = { Retry.default with Retry.check_every = 5 } in
+    let t0 = Unix.gettimeofday () in
+    let stats = App.run_resilient ~policy ~faults ~positivity:mode app ~tend:0.25 in
+    (stats, Unix.gettimeofday () -. t0)
+  in
+  let _, wall_off = run `Off false in
+  let clean_repair, wall_repair = run `Repair false in
+  ignore clean_repair;
+  pr "clean run: off %.3f s, repair %.3f s  (overhead %.1f%%)\n" wall_off
+    wall_repair
+    (100.0 *. ((wall_repair /. wall_off) -. 1.0));
+  e "run_overhead_repair" ((wall_repair /. wall_off) -. 1.0) "fraction";
+  let repair, _ = run `Repair true in
+  let detect, _ = run `Detect true in
+  pr "faulted repair: %s\n" (Format.asprintf "%a" Retry.pp_stats repair);
+  pr "faulted detect: %s\n" (Format.asprintf "%a" Retry.pp_stats detect);
+  e "tier0_repairs" (float_of_int repair.Retry.tier0_repairs) "count";
+  e "cells_clamped" (float_of_int repair.Retry.cells_clamped) "count";
+  e "clamped_cell_rate"
+    (float_of_int repair.Retry.cells_clamped
+    /. (float_of_int repair.Retry.steps *. ncells))
+    "fraction";
+  e "tier1_rollbacks_repair" (float_of_int repair.Retry.retries) "count";
+  e "tier1_rollbacks_detect" (float_of_int detect.Retry.retries) "count";
+  e "tier2_restores" (float_of_int detect.Retry.tier2_restores) "count";
+  e "tier3_aborts" (float_of_int detect.Retry.tier3_aborts) "count"
+
 (* --- bechamel micro-suite: one Test.make per table/figure ---------------- *)
 
 let micro () =
@@ -1001,6 +1085,7 @@ let () =
   | "conservation" -> conservation ()
   | "ablation" -> ablation ()
   | "resilience" -> resilience ()
+  | "guard" -> guard ()
   | "micro" -> micro ()
   | "kernels" -> kernels_json "BENCH_kernels.json"
   | "all" ->
@@ -1010,6 +1095,7 @@ let () =
       ignore (efficiency ());
       ablation ();
       resilience ();
+      guard ();
       fig3 ();
       ignore (table1 ());
       fig5 ~tend:8.0 ();

@@ -190,12 +190,52 @@ let restart_t =
           "Resume from the newest valid checkpoint in $(b,--checkpoint-dir) \
            before running (bit-exact continuation).")
 
+let keep_last_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "keep-last" ] ~docv:"N"
+        ~doc:"Retain only the newest $(docv) checkpoints (oldest pruned first).")
+
+let max_wall_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-wall" ] ~docv:"SEC"
+        ~doc:
+          "Stop cleanly (checkpoint at the next step boundary, then exit) \
+           after $(docv) wall-clock seconds.")
+
+let limiter_t =
+  Arg.(
+    value
+    & opt (enum [ ("off", `Off); ("detect", `Detect); ("repair", `Repair) ]) `Off
+    & info [ "limiter" ] ~docv:"MODE"
+        ~doc:
+          "Positivity guard: $(b,off), $(b,detect) (scan at health windows; \
+           negative cells escalate to rollback), or $(b,repair) (tier-0 \
+           mean-preserving rescale, no rollback).")
+
 let report_resilience (stats : Dg.Retry.stats) =
-  if stats.Dg.Retry.retries > 0 || stats.Dg.Retry.checkpoints > 0 then
-    Fmt.pr "resilience: %a@." Dg.Retry.pp_stats stats
+  if
+    stats.Dg.Retry.retries > 0
+    || stats.Dg.Retry.checkpoints > 0
+    || stats.Dg.Retry.tier0_repairs > 0
+    || stats.Dg.Retry.stopped <> None
+  then Fmt.pr "resilience: %a@." Dg.Retry.pp_stats stats;
+  Fmt.pr
+    "ladder: tier0(limiter)=%d cells_clamped=%d tier1(rollback)=%d \
+     tier2(restore)=%d tier3(abort)=%d%s@."
+    stats.Dg.Retry.tier0_repairs stats.Dg.Retry.cells_clamped
+    stats.Dg.Retry.retries stats.Dg.Retry.tier2_restores
+    stats.Dg.Retry.tier3_aborts
+    (match stats.Dg.Retry.stopped with
+    | None -> ""
+    | Some why -> Printf.sprintf " stopped=%s" why)
 
 let twostream_cmd =
-  let run cells_x cells_v p tend trace checkpoint_every checkpoint_dir restart =
+  let run cells_x cells_v p tend trace checkpoint_every checkpoint_dir restart
+      keep_last max_wall limiter =
     let v0 = 2.0 and vt = 0.35 and k = 0.35 and alpha = 1e-4 in
     let l = 2.0 *. Float.pi /. k in
     let a = k *. v0 in
@@ -249,12 +289,24 @@ let twostream_cmd =
       Dg.Diag.record hist ~time:(Dg.App.time app) [| Dg.App.field_energy app |]
     in
     record app;
+    (* supervised run: SIGTERM/SIGINT (and --max-wall) checkpoint the last
+       completed step and return cleanly; SIGUSR1 dumps a status line *)
     let stats =
-      Dg.App.run_resilient app ~tend ~on_step:record
-        ~faults:(Dg.Faults.from_env ()) ~checkpoint_every ?checkpoint_dir
+      Dg.Supervisor.with_supervisor ?max_wall (fun sup ->
+          Dg.App.run_resilient app ~tend ~on_step:record
+            ~faults:(Dg.Faults.from_env ()) ~positivity:limiter ~supervisor:sup
+            ~checkpoint_every ?checkpoint_dir ?keep_last)
     in
     Dg.App.close_trace app;
     report_resilience stats;
+    (match stats.Dg.Retry.stopped with
+    | Some why ->
+        Fmt.pr "stopped early (%s) at step %d, t=%.6g%s@." why
+          (Dg.App.nsteps app) (Dg.App.time app)
+          (match checkpoint_dir with
+          | Some dir -> Printf.sprintf "; checkpoint written to %s" dir
+          | None -> "")
+    | None -> ());
     if tend > 22.0 then begin
       let gamma =
         Dg.Diag.growth_rate hist ~column:"field_energy" ~t0:8.0 ~t1:22.0 /. 2.0
@@ -272,12 +324,15 @@ let twostream_cmd =
   Cmd.v
     (Cmd.info "twostream"
        ~doc:
-         "Two-stream instability run (1X1V Vlasov-Ampere), health-checked \
-          with rollback/retry; supports checkpoint/restart and \
-          VMDG_FAULT_NAN_STEP fault injection")
+         "Two-stream instability run (1X1V Vlasov-Ampere), supervised and \
+          health-checked with the graceful-degradation ladder (positivity \
+          limiter, rollback/retry, checkpoint restore, clean abort); \
+          supports checkpoint/restart, retention, --max-wall, and \
+          VMDG_FAULT_NAN_STEP / VMDG_FAULT_NEG_STEP fault injection")
     Term.(
       const run $ cells_x_t $ cells_v_t $ p_t $ tend_t $ trace_t
-      $ checkpoint_every_t $ checkpoint_dir_t $ restart_t)
+      $ checkpoint_every_t $ checkpoint_dir_t $ restart_t $ keep_last_t
+      $ max_wall_t $ limiter_t)
 
 (* --- advect -------------------------------------------------------------- *)
 

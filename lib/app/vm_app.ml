@@ -20,6 +20,8 @@ module Health = Dg_resilience.Health
 module Faults = Dg_resilience.Faults
 module Checkpoint = Dg_resilience.Checkpoint
 module Retry = Dg_resilience.Retry
+module Supervisor = Dg_resilience.Supervisor
+module Limiter = Dg_limiter.Limiter
 
 type field_model =
   | Full_maxwell (* Vlasov-Maxwell: dE/dt = curl B - J, dB/dt = -curl E *)
@@ -517,21 +519,42 @@ let restore_latest t ~dir =
       restore t ~path:info.Checkpoint.path;
       Some info
 
-(* --- health-checked stepping with rollback/retry -------------------------- *)
+(* --- health-checked stepping: the graceful-degradation ladder ------------- *)
 
-(* Like [run], but every [policy.check_every] accepted steps the state is
-   scanned for NaN/Inf and the total energy is compared against the last
-   healthy window.  On failure the state rolls back to the last-known-good
-   copy and the window is retried with a halved dt ceiling (compounding on
-   consecutive failures — exponential backoff); each healthy window regrows
-   the ceiling toward the CFL limit and optionally writes a checkpoint. *)
+(* Like [run], but each accepted step climbs a ladder of increasingly
+   expensive recoveries only as far as it must:
+
+     tier 0  positivity-limiter repair: mean-preserving rescale of cells
+             whose expansion dips below zero at the control nodes — no
+             rollback, no dt penalty ([positivity = `Repair])
+     tier 1  roll back to the in-memory last-known-good window, retry with
+             a shrunk dt ceiling (consecutive failures compound the shrink
+             — exponential backoff; healthy windows regrow it)
+     tier 2  restore the newest valid on-disk checkpoint (at most
+             [policy.max_restores] times)
+     tier 3  clean abort: restore last-good, write a final checkpoint so
+             nothing is lost, raise
+
+   A [supervisor] is polled between steps: a stop request (SIGTERM/SIGINT,
+   or its --max-wall budget) checkpoints the last completed step and
+   returns with [stats.stopped] set — restarting from that checkpoint is
+   bit-exact, as if the run had been configured to end there. *)
 let run_resilient ?(policy = Retry.default) ?(faults = Faults.none ())
-    ?(checkpoint_every = 0) ?checkpoint_dir ?(max_steps = max_int)
-    ?(on_step = fun (_ : t) -> ()) t ~tend =
+    ?(positivity = `Off) ?supervisor ?(checkpoint_every = 0) ?checkpoint_dir
+    ?keep_last ?(max_steps = max_int) ?(on_step = fun (_ : t) -> ()) t ~tend =
   Retry.validate policy;
   if checkpoint_every > 0 && checkpoint_dir = None then
     invalid_arg "Vm_app.run_resilient: checkpoint_every needs checkpoint_dir";
+  (match keep_last with
+  | Some k when k < 1 ->
+      invalid_arg "Vm_app.run_resilient: keep_last must be >= 1"
+  | _ -> ());
   let stats = Retry.fresh_stats () in
+  let limiter =
+    match positivity with
+    | `Off -> None
+    | `Detect | `Repair -> Some (Limiter.create t.lay.Layout.basis)
+  in
   (* refuse to start from a poisoned state: there is nothing to roll back to *)
   let r0 = Health.check t.state in
   if not (Health.is_clean r0) then
@@ -553,83 +576,182 @@ let run_resilient ?(policy = Retry.default) ?(faults = Faults.none ())
     t.time <- !good_time;
     t.nsteps <- !good_step
   in
+  let write_ckpt dir =
+    let t0 = Obs.now () in
+    let info =
+      Checkpoint.write ~faults ?keep_last ~dir ~step:t.nsteps ~time:t.time
+        t.state
+    in
+    stats.Retry.checkpoints <- stats.Retry.checkpoints + 1;
+    stats.Retry.checkpoint_s <- stats.Retry.checkpoint_s +. (Obs.now () -. t0);
+    info
+  in
+  (match supervisor with
+  | Some sup ->
+      Supervisor.set_status sup (fun () ->
+          Format.asprintf "step=%d t=%.6g %a" t.nsteps t.time Retry.pp_stats
+            stats)
+  | None -> ());
   let dt_limit = ref infinity in
   let consecutive = ref 0 in
   let since_check = ref 0 in
+  let restores_done = ref 0 in
+  (* unrepairable cells seen by tier-0 repairs since the last window check *)
+  let window_unrepairable = ref 0 in
   let next_ckpt =
     ref (if checkpoint_every > 0 then t.nsteps + checkpoint_every else max_int)
   in
-  while t.time < tend -. 1e-12 do
-    if t.nsteps >= max_steps then
-      failwith
-        (Printf.sprintf
-           "Vm_app.run_resilient: max_steps (%d) reached at t=%g before \
-            tend=%g"
-           max_steps t.time tend);
-    let dt_cfl = suggest_dt t in
-    let dt = Float.min (Float.min dt_cfl !dt_limit) (tend -. t.time) in
-    if not (dt > 0.0) then
-      failwith
-        (Printf.sprintf
-           "Vm_app.run_resilient: non-positive or NaN dt (%g) at t=%g" dt
-           t.time);
-    if t.time +. dt <= t.time then
-      failwith
-        (Printf.sprintf
-           "Vm_app.run_resilient: dt=%g cannot advance time t=%g" dt t.time);
-    ignore (step ~dt t);
-    stats.Retry.steps <- stats.Retry.steps + 1;
-    if Faults.maybe_inject_nan faults ~step:t.nsteps t.state then
-      Obs.count "resilience.faults_injected" 1;
-    incr since_check;
-    let at_end = t.time >= tend -. 1e-12 in
-    if !since_check >= policy.Retry.check_every || at_end then begin
-      since_check := 0;
-      stats.Retry.health_checks <- stats.Retry.health_checks + 1;
-      Obs.count "resilience.health_checks" 1;
-      let report = Obs.span "health_check" (fun () -> Health.check t.state) in
-      let healthy =
-        if not (Health.is_clean report) then false
-        else
-          Health.energy_jump ~prev:!good_energy ~cur:(total_energy t)
-          <= policy.Retry.energy_jump_tol
-      in
-      if healthy then begin
-        consecutive := 0;
-        (* regrow the dt ceiling toward the CFL limit *)
-        if !dt_limit < infinity then begin
-          dt_limit := !dt_limit *. policy.Retry.dt_grow;
-          if !dt_limit >= dt_cfl then dt_limit := infinity
-        end;
-        save_good ();
-        if t.nsteps >= !next_ckpt then begin
-          let dir = Option.get checkpoint_dir in
-          let t0 = Obs.now () in
-          ignore (checkpoint t ~dir);
-          stats.Retry.checkpoints <- stats.Retry.checkpoints + 1;
-          stats.Retry.checkpoint_s <-
-            stats.Retry.checkpoint_s +. (Obs.now () -. t0);
-          next_ckpt := t.nsteps + checkpoint_every
-        end;
-        on_step t
+  while t.time < tend -. 1e-12 && stats.Retry.stopped = None do
+    (* supervision: stop requests land on step boundaries only *)
+    (match supervisor with
+    | Some sup -> (
+        match Supervisor.should_stop sup with
+        | Some reason ->
+            let why = Supervisor.reason_to_string reason in
+            stats.Retry.stopped <- Some why;
+            Obs.count "resilience.supervised_stops" 1;
+            Option.iter (fun dir -> ignore (write_ckpt dir)) checkpoint_dir
+        | None -> ())
+    | None -> ());
+    if stats.Retry.stopped = None then begin
+      if t.nsteps >= max_steps then
+        failwith
+          (Printf.sprintf
+             "Vm_app.run_resilient: max_steps (%d) reached at t=%g before \
+              tend=%g"
+             max_steps t.time tend);
+      let dt_cfl = suggest_dt t in
+      let dt = Float.min (Float.min dt_cfl !dt_limit) (tend -. t.time) in
+      if not (dt > 0.0) then
+        failwith
+          (Printf.sprintf
+             "Vm_app.run_resilient: non-positive or NaN dt (%g) at t=%g" dt
+             t.time);
+      if t.time +. dt <= t.time then
+        failwith
+          (Printf.sprintf
+             "Vm_app.run_resilient: dt=%g cannot advance time t=%g" dt t.time);
+      ignore (step ~dt t);
+      stats.Retry.steps <- stats.Retry.steps + 1;
+      if Faults.maybe_inject_nan faults ~step:t.nsteps t.state then
+        Obs.count "resilience.faults_injected" 1;
+      if Faults.maybe_inject_negative faults ~step:t.nsteps t.state then
+        Obs.count "resilience.faults_injected" 1;
+      (* tier 0: repair pointwise negativity right where it appears *)
+      (match (limiter, positivity) with
+      | Some lim, `Repair ->
+          let fs, _ = split_state t t.state in
+          let rep =
+            Array.fold_left
+              (fun acc f -> Limiter.merge acc (Limiter.apply lim f))
+              Limiter.clean fs
+          in
+          if rep.Limiter.cells_clamped > 0 then begin
+            stats.Retry.tier0_repairs <- stats.Retry.tier0_repairs + 1;
+            stats.Retry.cells_clamped <-
+              stats.Retry.cells_clamped + rep.Limiter.cells_clamped;
+            Obs.count "resilience.tier0_repairs" 1
+          end;
+          window_unrepairable := !window_unrepairable + rep.Limiter.unrepairable
+      | _ -> ());
+      incr since_check;
+      let at_end = t.time >= tend -. 1e-12 in
+      if !since_check >= policy.Retry.check_every || at_end then begin
+        since_check := 0;
+        stats.Retry.health_checks <- stats.Retry.health_checks + 1;
+        Obs.count "resilience.health_checks" 1;
+        let report =
+          Obs.span "health_check" (fun () -> Health.check t.state)
+        in
+        (* `Detect mode scans (without repairing) at window checks, so a
+           run with the limiter disabled still notices lost positivity and
+           escalates to tier 1; `Repair mode already fixed what it could
+           and only its unrepairable remainder counts against the window *)
+        let nonrealizable =
+          match (limiter, positivity) with
+          | Some lim, `Detect ->
+              let fs, _ = split_state t t.state in
+              let rep =
+                Array.fold_left
+                  (fun acc f -> Limiter.merge acc (Limiter.scan lim f))
+                  Limiter.clean fs
+              in
+              rep.Limiter.cells_clamped + rep.Limiter.unrepairable
+          | _ -> !window_unrepairable
+        in
+        window_unrepairable := 0;
+        let verdict = Health.verdict report ~nonrealizable in
+        let healthy =
+          Health.is_healthy verdict
+          && Health.energy_jump ~prev:!good_energy ~cur:(total_energy t)
+             <= policy.Retry.energy_jump_tol
+        in
+        if healthy then begin
+          if !consecutive > 0 then Obs.count "resilience.deescalations" 1;
+          consecutive := 0;
+          (* regrow the dt ceiling toward the CFL limit *)
+          if !dt_limit < infinity then begin
+            dt_limit := !dt_limit *. policy.Retry.dt_grow;
+            if !dt_limit >= dt_cfl then dt_limit := infinity
+          end;
+          save_good ();
+          if t.nsteps >= !next_ckpt then begin
+            ignore (write_ckpt (Option.get checkpoint_dir));
+            next_ckpt := t.nsteps + checkpoint_every
+          end;
+          on_step t
+        end
+        else begin
+          (* tier 1: roll back the window and retry with a shrunk dt *)
+          stats.Retry.retries <- stats.Retry.retries + 1;
+          Obs.count "resilience.retries" 1;
+          Obs.count "resilience.tier1_rollbacks" 1;
+          incr consecutive;
+          if !consecutive > policy.Retry.max_retries then begin
+            (* tier 1 exhausted: tier 2 (on-disk restore) if budget and a
+               valid checkpoint remain, else tier 3 (clean abort) *)
+            let restored =
+              if !restores_done >= policy.Retry.max_restores then None
+              else
+                Option.bind checkpoint_dir (fun dir ->
+                    match Checkpoint.find_latest ~dir with
+                    | None -> None
+                    | Some info ->
+                        restore t ~path:info.Checkpoint.path;
+                        Some info)
+            in
+            match restored with
+            | Some _ ->
+                incr restores_done;
+                stats.Retry.tier2_restores <- stats.Retry.tier2_restores + 1;
+                Obs.count "resilience.tier2_restores" 1;
+                consecutive := 0;
+                dt_limit := Float.min !dt_limit dt *. policy.Retry.dt_shrink;
+                save_good ()
+            | None ->
+                stats.Retry.tier3_aborts <- stats.Retry.tier3_aborts + 1;
+                Obs.count "resilience.tier3_aborts" 1;
+                restore_good ();
+                (* leave the best state we have on disk before dying *)
+                Option.iter
+                  (fun dir -> ignore (write_ckpt dir))
+                  checkpoint_dir;
+                failwith
+                  (Format.asprintf
+                     "Vm_app.run_resilient: aborting at t=%g after %d \
+                      retries: %a"
+                     !good_time policy.Retry.max_retries Health.pp_verdict
+                     verdict)
+          end
+          else begin
+            restore_good ();
+            dt_limit := Float.min !dt_limit dt *. policy.Retry.dt_shrink
+            (* consecutive failures compound the shrink: exponential backoff *)
+          end
+        end
       end
-      else begin
-        stats.Retry.retries <- stats.Retry.retries + 1;
-        Obs.count "resilience.retries" 1;
-        incr consecutive;
-        if !consecutive > policy.Retry.max_retries then
-          failwith
-            (Printf.sprintf
-               "Vm_app.run_resilient: state still unhealthy after %d retries \
-                at t=%g (%d NaN, %d Inf)"
-               policy.Retry.max_retries !good_time report.Health.nan
-               report.Health.inf);
-        restore_good ();
-        dt_limit := Float.min !dt_limit dt *. policy.Retry.dt_shrink
-        (* consecutive failures compound the shrink: exponential backoff *)
-      end
+      else on_step t
     end
-    else on_step t
   done;
   stats
 

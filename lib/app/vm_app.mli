@@ -126,24 +126,45 @@ val restore_latest : t -> dir:string -> Dg_resilience.Checkpoint.info option
 val run_resilient :
   ?policy:Dg_resilience.Retry.policy ->
   ?faults:Dg_resilience.Faults.t ->
+  ?positivity:[ `Off | `Detect | `Repair ] ->
+  ?supervisor:Dg_resilience.Supervisor.t ->
   ?checkpoint_every:int ->
   ?checkpoint_dir:string ->
+  ?keep_last:int ->
   ?max_steps:int ->
   ?on_step:(t -> unit) ->
   t ->
   tend:float ->
   Dg_resilience.Retry.stats
-(** Health-checked {!run}: every [policy.check_every] accepted steps the
-    state is scanned for NaN/Inf and the total energy compared against the
-    last healthy window.  An unhealthy window rolls the state back to the
-    last-known-good copy and retries with a halved dt ceiling (consecutive
-    failures compound — exponential backoff; healthy windows regrow the
-    ceiling toward the CFL limit).  With [checkpoint_every > 0] (requires
-    [checkpoint_dir]) a checkpoint is written after every K-th accepted
-    step.  [faults] injects deterministic faults ({!Dg_resilience.Faults}).
-    [on_step] fires only on accepted (non-rolled-back) steps.
-    @raise Failure when the initial state is already unhealthy, or after
-    [policy.max_retries] consecutive failed windows. *)
+(** Health-checked {!run} wrapped in the graceful-degradation ladder:
+
+    - {b tier 0} ([positivity = `Repair]): after every accepted step a
+      mean-preserving linear-scaling limiter ({!Dg_limiter.Limiter})
+      rescales cells whose expansion dips below zero at the control nodes
+      — no rollback, no dt penalty.  [`Detect] only scans at window checks
+      (negative cells then fail the window); [`Off] (default) ignores
+      positivity entirely.
+    - {b tier 1}: every [policy.check_every] accepted steps the state is
+      scanned for NaN/Inf, non-realizability, and energy jumps; an
+      unhealthy window rolls back to the last-known-good copy and retries
+      with a shrunk dt ceiling (consecutive failures compound —
+      exponential backoff; healthy windows regrow the ceiling).
+    - {b tier 2}: after [policy.max_retries] consecutive failed windows,
+      restore the newest valid on-disk checkpoint (at most
+      [policy.max_restores] times; needs [checkpoint_dir]).
+    - {b tier 3}: clean abort — restore last-good, write a final
+      checkpoint (when [checkpoint_dir] is given), raise [Failure].
+
+    With [checkpoint_every > 0] (requires [checkpoint_dir]) a checkpoint
+    is written after every K-th accepted step; [keep_last] bounds how many
+    are retained (oldest pruned first).  [supervisor] is polled between
+    steps: a stop request (SIGTERM/SIGINT or its [max_wall] budget)
+    writes a final checkpoint of the last completed step and returns with
+    [stats.stopped] set — restarting from it is bit-exact.  [faults]
+    injects deterministic faults ({!Dg_resilience.Faults}).  [on_step]
+    fires only on accepted (non-rolled-back) steps.
+    @raise Failure when the initial state is already unhealthy, or when
+    the ladder reaches tier 3. *)
 
 (** {1 Tracing}
 

@@ -18,39 +18,73 @@ type t = {
   nu : float;
   nc : int;
   np : int;
+  n_floor : float;
+  vth2_floor : float;
   prim : Prim_moments.t;
   moments : Moments.t;
   prim_state : Prim_moments.prim;
 }
 
-let create ~nu (lay : Layout.t) =
+let default_n_floor = 1e-10
+let default_vth2_floor = 1e-10
+
+let create ?(n_floor = default_n_floor) ?(vth2_floor = default_vth2_floor) ~nu
+    (lay : Layout.t) =
+  if not (n_floor > 0.0 && vth2_floor > 0.0) then
+    invalid_arg "Bgk.create: floors must be > 0";
   let prim = Prim_moments.make lay in
   {
     lay;
     nu;
     nc = Layout.num_cbasis lay;
     np = Layout.num_basis lay;
+    n_floor;
+    vth2_floor;
     prim;
     moments = Moments.make lay;
     prim_state = Prim_moments.alloc_prim prim;
   }
 
+let nonrealizable_cells t = t.prim_state.Prim_moments.nonrealizable
+
+(* Non-realizable cells (flagged by Prim_moments.compute) are floor-clamped
+   so the relaxation target stays a genuine Maxwellian instead of the
+   silent zero it used to be; the degradation is observable through the
+   counter instead of invisible in traces. *)
 let update_prim t ~(f : Field.t) =
   Dg_obs.Obs.span "bgk_prim" (fun () ->
-      Prim_moments.compute t.prim ~moments:t.moments ~f ~prim:t.prim_state)
+      Prim_moments.compute t.prim ~moments:t.moments ~f ~prim:t.prim_state;
+      let clamped =
+        Prim_moments.floor_clamp t.prim ~prim:t.prim_state ~n_floor:t.n_floor
+          ~vth2_floor:t.vth2_floor
+      in
+      if clamped > 0 then
+        Dg_obs.Obs.count "collisions.nonrealizable_cells" clamped)
 
-let maxwellian ~vdim ~n ~(u : float array) ~vth2 (vel : float array) =
-  if n <= 0.0 || vth2 <= 0.0 then 0.0
-  else begin
-    let arg = ref 0.0 in
-    for k = 0 to vdim - 1 do
-      let d = vel.(k) -. u.(k) in
-      arg := !arg +. (d *. d)
-    done;
-    n
-    /. ((2.0 *. Float.pi *. vth2) ** (float_of_int vdim /. 2.0))
-    *. exp (-. !arg /. (2.0 *. vth2))
-  end
+(* Pointwise Maxwellian with floor-clamped density/temperature: the
+   pointwise expansions can still dip below zero inside a cell even when
+   the cell-average primitives are realizable, and returning a silent 0
+   there (the old behavior) made BGK leak density invisibly.  [clamped]
+   (when given) is set if either floor engaged. *)
+let maxwellian ?(n_floor = default_n_floor) ?(vth2_floor = default_vth2_floor)
+    ?clamped ~vdim ~n ~(u : float array) ~vth2 (vel : float array) =
+  let clamp v floor =
+    if v >= floor then v
+    else begin
+      (match clamped with Some r -> r := true | None -> ());
+      floor
+    end
+  in
+  let n = clamp n n_floor in
+  let vth2 = clamp vth2 vth2_floor in
+  let arg = ref 0.0 in
+  for k = 0 to vdim - 1 do
+    let d = vel.(k) -. u.(k) in
+    arg := !arg +. (d *. d)
+  done;
+  n
+  /. ((2.0 *. Float.pi *. vth2) ** (float_of_int vdim /. 2.0))
+  *. exp (-. !arg /. (2.0 *. vth2))
 
 (* Accumulate nu (f_M - f) into [out]. *)
 let rhs_impl t ~(f : Field.t) ~(out : Field.t) =
@@ -68,6 +102,8 @@ let rhs_impl t ~(f : Field.t) ~(out : Field.t) =
   let phys = Array.make lay.Layout.pdim 0.0 in
   let fb = Array.make t.np 0.0 in
   let cc = Array.make cdim 0 in
+  let cell_clamped = ref false in
+  let clamped_cells = ref 0 in
   Grid.iter_cells grid (fun _ c ->
       Array.blit c 0 cc 0 cdim;
       Field.read_block t.prim_state.Prim_moments.m0 cc m0b;
@@ -75,6 +111,7 @@ let rhs_impl t ~(f : Field.t) ~(out : Field.t) =
       Array.blit (Field.data t.prim_state.Prim_moments.u)
         (Field.offset t.prim_state.Prim_moments.u cc)
         ub 0 (vdim * nc);
+      cell_clamped := false;
       let fm_coeffs =
         Modal.project ~nquad:(Modal.poly_order basis + 1) basis (fun xi ->
             Grid.to_physical grid c xi phys;
@@ -85,14 +122,19 @@ let rhs_impl t ~(f : Field.t) ~(out : Field.t) =
               uval.(k) <- Modal.eval_expansion cb uk cxi
             done;
             let vth2 = Modal.eval_expansion cb vtb cxi in
-            maxwellian ~vdim ~n ~u:uval ~vth2 (Array.sub phys cdim vdim))
+            maxwellian ~n_floor:t.n_floor ~vth2_floor:t.vth2_floor
+              ~clamped:cell_clamped ~vdim ~n ~u:uval ~vth2
+              (Array.sub phys cdim vdim))
       in
+      if !cell_clamped then incr clamped_cells;
       Field.read_block f c fb;
       let ooff = Field.offset out c in
       let od = Field.data out in
       for k = 0 to t.np - 1 do
         od.(ooff + k) <- od.(ooff + k) +. (t.nu *. (fm_coeffs.(k) -. fb.(k)))
-      done)
+      done);
+  if !clamped_cells > 0 then
+    Dg_obs.Obs.count "collisions.nonrealizable_cells" !clamped_cells
 
 let rhs t ~(f : Field.t) ~(out : Field.t) =
   Dg_obs.Obs.span "bgk_rhs" (fun () -> rhs_impl t ~f ~out)

@@ -1,7 +1,14 @@
 (** BGK collision operator C[f] = nu (f_M[n,u,vth] - f), with the target
     Maxwellian built from the weak primitive moments and projected by
     Gauss quadrature (the one knowingly quadrature-based operator, as in
-    Gkeyll). *)
+    Gkeyll).
+
+    Realizability: cells flagged by {!Prim_moments.compute} ([n <= 0],
+    [vth^2 <= 0], NaN, singular weak division) are floor-clamped to
+    [n_floor]/[vth2_floor] before the Maxwellian is built, and pointwise
+    sub-floor density/temperature inside a cell is clamped too — both
+    counted under [collisions.nonrealizable_cells] instead of silently
+    producing a zero Maxwellian (the old invisible failure mode). *)
 
 module Layout = Dg_kernels.Layout
 module Field = Dg_grid.Field
@@ -11,17 +18,39 @@ type t = {
   nu : float;
   nc : int;
   np : int;
+  n_floor : float;
+  vth2_floor : float;
   prim : Prim_moments.t;
   moments : Dg_moments.Moments.t;
   prim_state : Prim_moments.prim;
 }
 
-val create : nu:float -> Layout.t -> t
+val default_n_floor : float
+val default_vth2_floor : float
+
+val create : ?n_floor:float -> ?vth2_floor:float -> nu:float -> Layout.t -> t
+(** @raise Invalid_argument unless both floors are positive. *)
+
 val update_prim : t -> f:Field.t -> unit
+(** Recompute the primitive moments from [f] and floor-clamp any
+    non-realizable cells (counted as [collisions.nonrealizable_cells]). *)
+
+val nonrealizable_cells : t -> int
+(** Cells flagged non-realizable by the last {!update_prim}. *)
 
 val maxwellian :
-  vdim:int -> n:float -> u:float array -> vth2:float -> float array -> float
-(** Pointwise Maxwellian; returns 0 for non-positive density/temperature. *)
+  ?n_floor:float ->
+  ?vth2_floor:float ->
+  ?clamped:bool ref ->
+  vdim:int ->
+  n:float ->
+  u:float array ->
+  vth2:float ->
+  float array ->
+  float
+(** Pointwise Maxwellian with density/temperature floor-clamped to the
+    given floors (defaults {!default_n_floor} / {!default_vth2_floor});
+    sets [clamped] when either floor engaged. *)
 
 val rhs : t -> f:Field.t -> out:Field.t -> unit
 (** Accumulate nu (f_M - f) into [out]. *)

@@ -60,6 +60,8 @@ type dir_kernels = {
 type t = {
   lay : Layout.t;
   nu : float;
+  n_floor : float;
+  vth2_floor : float;
   np : int;
   nc : int;
   dirs : dir_kernels array; (* one per velocity direction *)
@@ -136,7 +138,10 @@ let make_dir (lay : Layout.t) ~vdir ~basis =
         ~lfactor:(Tensors.Der Tensors.Lo) ~nstencil:edge_lo;
   }
 
-let create ~nu (lay : Layout.t) =
+let create ?(n_floor = Bgk.default_n_floor) ?(vth2_floor = Bgk.default_vth2_floor)
+    ~nu (lay : Layout.t) =
+  if not (n_floor > 0.0 && vth2_floor > 0.0) then
+    invalid_arg "Lbo.create: floors must be > 0";
   let basis = lay.Layout.basis in
   let np = Layout.num_basis lay in
   let tb = Dg_cas.Legendre.tables (max 1 (Modal.max_1d_degree basis)) in
@@ -149,6 +154,8 @@ let create ~nu (lay : Layout.t) =
   {
     lay;
     nu;
+    n_floor;
+    vth2_floor;
     np;
     nc = Layout.num_cbasis lay;
     dirs = Array.init lay.Layout.vdim (fun vdir -> make_dir lay ~vdir ~basis);
@@ -168,10 +175,21 @@ let create ~nu (lay : Layout.t) =
 let num_basis t = t.np
 let _ = num_basis
 
-(* Refresh primitive moments from the current distribution. *)
+(* Refresh primitive moments from the current distribution; flagged
+   non-realizable cells are floor-clamped (drift toward zero flow,
+   diffusion with the floor temperature) and counted, so a degrading run
+   shows up in traces instead of feeding garbage to the stencils. *)
 let update_prim t ~(f : Field.t) =
   Dg_obs.Obs.span "lbo_prim" (fun () ->
-      Prim_moments.compute t.prim ~moments:t.moments ~f ~prim:t.prim_state)
+      Prim_moments.compute t.prim ~moments:t.moments ~f ~prim:t.prim_state;
+      let clamped =
+        Prim_moments.floor_clamp t.prim ~prim:t.prim_state ~n_floor:t.n_floor
+          ~vth2_floor:t.vth2_floor
+      in
+      if clamped > 0 then
+        Dg_obs.Obs.count "collisions.nonrealizable_cells" clamped)
+
+let nonrealizable_cells t = t.prim_state.Prim_moments.nonrealizable
 
 (* Fill t.alpha with nu (u_j - v_j) for the cell with config coords [cc] and
    paired-velocity center [vc]. *)

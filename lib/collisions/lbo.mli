@@ -16,12 +16,19 @@ module Field = Dg_grid.Field
 
 type t
 
-val create : nu:float -> Layout.t -> t
-(** [nu] is the (constant) collision frequency. *)
+val create : ?n_floor:float -> ?vth2_floor:float -> nu:float -> Layout.t -> t
+(** [nu] is the (constant) collision frequency.  Floors default to
+    {!Bgk.default_n_floor} / {!Bgk.default_vth2_floor}.
+    @raise Invalid_argument unless both floors are positive. *)
 
 val update_prim : t -> f:Field.t -> unit
 (** Refresh the primitive moments u(x), vth^2(x) from the current stage
-    state; must be called before {!rhs} with the same [f]. *)
+    state; must be called before {!rhs} with the same [f].  Non-realizable
+    cells are floor-clamped and counted under
+    [collisions.nonrealizable_cells]. *)
+
+val nonrealizable_cells : t -> int
+(** Cells flagged non-realizable by the last {!update_prim}. *)
 
 val rhs : t -> f:Field.t -> out:Field.t -> unit
 (** Accumulate C[f] into [out] (+=). *)

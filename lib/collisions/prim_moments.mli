@@ -21,9 +21,27 @@ type prim = {
   u : Field.t;  (** flow velocity, vdim blocks of nc coefficients *)
   vth2 : Field.t;
   m0 : Field.t;
+  flags : Bytes.t;
+      (** one byte per configuration cell, non-zero when the cell's
+          primitives are non-realizable ([n <= 0], [vth^2 <= 0], NaN, or a
+          singular weak division) *)
+  mutable nonrealizable : int;  (** number of flagged cells *)
 }
 
 val alloc_prim : t -> prim
 
+val flagged : prim -> int -> bool
+(** Is the cell with this linear index flagged non-realizable? *)
+
 val compute : t -> moments:Dg_moments.Moments.t -> f:Field.t -> prim:prim -> unit
-(** u = M1/M0 and vth^2 = (M2 - u.M1)/(vdim M0), cellwise. *)
+(** u = M1/M0 and vth^2 = (M2 - u.M1)/(vdim M0), cellwise.  Cells whose
+    density or temperature average is non-positive (or NaN), or whose weak
+    division is singular, are flagged in [prim.flags] with zeroed
+    primitives instead of silently carrying garbage into the collision
+    operators. *)
+
+val floor_clamp : t -> prim:prim -> n_floor:float -> vth2_floor:float -> int
+(** Replace every flagged cell's primitives with a flat floored profile
+    ([n_floor], [vth2_floor], zero flow) so collision operators relax lost
+    cells toward a realizable Maxwellian; returns the number of cells
+    clamped. *)

@@ -67,8 +67,11 @@ module Scaling_model = Dg_par.Model
 module Snapshot = Dg_io.Snapshot
 module Slices = Dg_io.Slices
 
-(* resilience: health checks, rollback/retry, checkpoint/restart, faults *)
+(* resilience: health checks, rollback/retry, checkpoint/restart, faults,
+   positivity limiting, and run supervision (the degradation ladder) *)
 module Health = Dg_resilience.Health
 module Checkpoint = Dg_resilience.Checkpoint
 module Retry = Dg_resilience.Retry
 module Faults = Dg_resilience.Faults
+module Supervisor = Dg_resilience.Supervisor
+module Limiter = Dg_limiter.Limiter

@@ -1,0 +1,177 @@
+(* Mean-preserving linear-scaling positivity limiter (Zhang & Shu 2010,
+   as used by Gkeyll's production Vlasov runs; Juno et al. 2018 identify
+   negative-f overshoots as the dominant robustness failure of kinetic DG).
+
+   The modal scheme conserves the cell average exactly but the full
+   expansion can dip below zero between nodes.  Wherever the expansion
+   evaluated at the cell's control nodes (a tensor product of Gauss-Lobatto
+   points, so cell corners and faces are included) goes below [eps], the
+   deviation from the cell average is rescaled:
+
+     f'(xi) = fbar + theta (f(xi) - fbar),
+     theta  = (fbar - eps) / (fbar - min_q f(xi_q))  in [0, 1)
+
+   Mode 0 is the constant, so the repair only scales modes k >= 1 and the
+   cell average is preserved BIT-exactly (mass conservation by
+   construction).  A cell whose average itself sits below [eps] cannot be
+   repaired this way and is reported as [unrepairable] — that is the
+   signal for the caller to escalate to rollback/restore (tier 1+ of the
+   degradation ladder) instead of papering over a genuinely lost cell. *)
+
+module Modal = Dg_basis.Modal
+module Nodal_basis = Dg_basis.Nodal_basis
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+module Pool = Dg_par.Pool
+module Obs = Dg_obs.Obs
+
+type t = {
+  basis : Modal.t;
+  np : int;
+  nnodes : int;
+  node_vals : float array; (* nnodes x np basis values, row-major *)
+  eps : float;
+}
+
+type report = {
+  cells_checked : int;
+  cells_clamped : int;
+  unrepairable : int;
+  max_undershoot : float; (* magnitude of the worst node value below eps *)
+}
+
+let clean =
+  { cells_checked = 0; cells_clamped = 0; unrepairable = 0; max_undershoot = 0.0 }
+
+let merge a b =
+  {
+    cells_checked = a.cells_checked + b.cells_checked;
+    cells_clamped = a.cells_clamped + b.cells_clamped;
+    unrepairable = a.unrepairable + b.unrepairable;
+    max_undershoot = Float.max a.max_undershoot b.max_undershoot;
+  }
+
+let is_clean r = r.cells_clamped = 0 && r.unrepairable = 0
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "checked=%d clamped=%d unrepairable=%d max_undershoot=%.3g" r.cells_checked
+    r.cells_clamped r.unrepairable r.max_undershoot
+
+let create ?(eps = 0.0) (basis : Modal.t) =
+  if not (eps >= 0.0) then invalid_arg "Limiter.create: eps must be >= 0";
+  let dim = Modal.dim basis in
+  let np = Modal.num_basis basis in
+  (* Gauss-Lobatto node sets exist for p = 1..4; outside that range the
+     nearest available set still gives corner + interior control points. *)
+  let p1 = min 4 (max 1 (Modal.poly_order basis)) in
+  let nodes1 = Nodal_basis.nodes_1d p1 in
+  let n1 = Array.length nodes1 in
+  let nnodes =
+    let acc = ref 1 in
+    for _ = 1 to dim do
+      acc := !acc * n1
+    done;
+    !acc
+  in
+  let node_vals = Array.make (nnodes * np) 0.0 in
+  let xi = Array.make dim 0.0 in
+  let row = Array.make np 0.0 in
+  for q = 0 to nnodes - 1 do
+    let r = ref q in
+    for d = dim - 1 downto 0 do
+      xi.(d) <- nodes1.(!r mod n1);
+      r := !r / n1
+    done;
+    Modal.eval_all basis xi row;
+    Array.blit row 0 node_vals (q * np) np
+  done;
+  { basis; np; nnodes; node_vals; eps }
+
+let eps t = t.eps
+let num_nodes t = t.nnodes
+
+(* Minimum of the expansion over the control nodes, reading straight out
+   of the field storage at [off]. *)
+let node_min t (d : float array) ~off =
+  let mn = ref infinity in
+  for q = 0 to t.nnodes - 1 do
+    let base = q * t.np in
+    let v = ref 0.0 in
+    for k = 0 to t.np - 1 do
+      v := !v +. (t.node_vals.(base + k) *. d.(off + k))
+    done;
+    if !v < !mn then mn := !v
+  done;
+  !mn
+
+(* Process interior cells [lo, hi) (linear indices); [repair] selects
+   scan-only vs rescale-in-place.  Returns the chunk report. *)
+let run_range t ~(fld : Field.t) ~repair lo hi =
+  let grid = Field.grid fld in
+  let d = Field.data fld in
+  let c = Array.make (Grid.ndim grid) 0 in
+  let avg_scale =
+    (* value of the constant mode: cell average = c0 * psi0 *)
+    Modal.eval t.basis 0 (Array.make (Modal.dim t.basis) 0.0)
+  in
+  let checked = ref 0 and clamped = ref 0 and unrep = ref 0 in
+  let worst = ref 0.0 in
+  for i = lo to hi - 1 do
+    Grid.coords_of_linear grid i c;
+    let off = Field.offset fld c in
+    let mn = node_min t d ~off in
+    incr checked;
+    if mn < t.eps then begin
+      let under = t.eps -. mn in
+      if under > !worst then worst := under;
+      let avg = d.(off) *. avg_scale in
+      if avg < t.eps then incr unrep
+      else begin
+        incr clamped;
+        if repair then begin
+          let theta = (avg -. t.eps) /. (avg -. mn) in
+          (* mode 0 untouched: the cell average is preserved bit-exactly *)
+          for k = 1 to t.np - 1 do
+            d.(off + k) <- d.(off + k) *. theta
+          done
+        end
+      end
+    end
+  done;
+  {
+    cells_checked = !checked;
+    cells_clamped = !clamped;
+    unrepairable = !unrep;
+    max_undershoot = !worst;
+  }
+
+(* Cells below this count are not worth a fork-join (same spirit as
+   Health.parallel_threshold, but per cell the limiter does nnodes*np
+   multiplies, so the threshold is in cells). *)
+let parallel_threshold = 1 lsl 10
+
+let run ?pool t ~repair (fld : Field.t) =
+  if Field.ncomp fld <> t.np then
+    invalid_arg "Limiter: field component count does not match the basis";
+  let n = Grid.num_cells (Field.grid fld) in
+  match pool with
+  | Some p when n > parallel_threshold ->
+      let chunk = parallel_threshold in
+      let nchunks = (n + chunk - 1) / chunk in
+      let reports = Array.make nchunks clean in
+      Pool.parallel_ranges p ~n ~chunk (fun lo hi ->
+          reports.(lo / chunk) <- run_range t ~fld ~repair lo hi);
+      Array.fold_left merge clean reports
+  | _ -> run_range t ~fld ~repair 0 n
+
+let scan ?pool t (fld : Field.t) = run ?pool t ~repair:false fld
+
+let apply ?pool t (fld : Field.t) =
+  let r = Obs.span "limiter" (fun () -> run ?pool t ~repair:true fld) in
+  if r.cells_clamped > 0 then Obs.count "limiter.cells_clamped" r.cells_clamped;
+  if r.unrepairable > 0 then
+    Obs.count "limiter.unrepairable_cells" r.unrepairable;
+  if r.max_undershoot > 0.0 then
+    Obs.gauge "limiter.max_undershoot" r.max_undershoot;
+  r

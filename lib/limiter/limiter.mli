@@ -1,0 +1,51 @@
+(** Mean-preserving linear-scaling positivity limiter (Zhang-Shu style):
+    wherever a cell's modal expansion evaluated at its Gauss-Lobatto
+    control nodes dips below [eps], the deviation from the cell average is
+    rescaled toward the mean.  Mode 0 is never touched, so the cell
+    average — and hence total mass — is preserved bit-exactly.  Cells
+    whose average itself lies below [eps] are {e unrepairable} and only
+    reported: that is the escalation signal for the degradation ladder
+    (roll back / restore instead of flattening a lost cell). *)
+
+module Modal = Dg_basis.Modal
+module Field = Dg_grid.Field
+
+type t
+
+val create : ?eps:float -> Modal.t -> t
+(** Precompute the control-node evaluation table for [basis].  [eps]
+    (default [0.]) is the pointwise floor enforced at the nodes.
+    @raise Invalid_argument if [eps < 0]. *)
+
+val eps : t -> float
+
+val num_nodes : t -> int
+(** Control nodes per cell: a full tensor product of 1D Gauss-Lobatto
+    nodes, so cell corners and face centers are included. *)
+
+type report = {
+  cells_checked : int;
+  cells_clamped : int;  (** cells rescaled (or needing rescale, for scans) *)
+  unrepairable : int;  (** cells whose average is already below [eps] *)
+  max_undershoot : float;  (** magnitude of the worst node value below [eps] *)
+}
+
+val clean : report
+val merge : report -> report -> report
+
+val is_clean : report -> bool
+(** No cell needed clamping and none was unrepairable. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val scan : ?pool:Dg_par.Pool.t -> t -> Field.t -> report
+(** Detect-only pass: counts violating cells without modifying the field.
+    With [?pool] the interior cells are chunked over the domain pool. *)
+
+val apply : ?pool:Dg_par.Pool.t -> t -> Field.t -> report
+(** Repair pass: rescales every repairable violating cell in place
+    (leaving each cell average bit-exact) and files
+    [limiter.cells_clamped] / [limiter.unrepairable_cells] counters and
+    the [limiter.max_undershoot] gauge via {!Dg_obs.Obs}.
+    @raise Invalid_argument when the field's component count does not
+    match the basis. *)

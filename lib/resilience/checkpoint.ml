@@ -89,49 +89,137 @@ let publish_text ~dir ~name content =
   close_out oc;
   Sys.rename tmp final
 
+(* --- retention ------------------------------------------------------------ *)
+
+let parse_step name =
+  let prefix = "ckpt_" and suffix = ".vmdg" in
+  let np = String.length prefix and ns = String.length suffix in
+  if
+    String.length name > np + ns
+    && String.sub name 0 np = prefix
+    && Filename.check_suffix name suffix
+  then int_of_string_opt (String.sub name np (String.length name - np - ns))
+  else None
+
+(* All checkpoints in [dir], oldest first. *)
+let list_entries ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           Option.map (fun step -> (step, name)) (parse_step name))
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let remove_entry ~dir name =
+  let p = Filename.concat dir name in
+  (try Sys.remove p with Sys_error _ -> ());
+  try Sys.remove (p ^ ".tmp") with Sys_error _ -> ()
+
+(* Keep only the newest [keep_last] checkpoints, deleting oldest-first
+   (stale tmp siblings go with them).  Returns how many were deleted. *)
+let prune ~dir ~keep_last =
+  if keep_last < 1 then invalid_arg "Checkpoint.prune: keep_last must be >= 1";
+  let entries = list_entries ~dir in
+  let excess = List.length entries - keep_last in
+  if excess <= 0 then 0
+  else begin
+    List.iteri (fun i (_, name) -> if i < excess then remove_entry ~dir name)
+      entries;
+    Obs.count "resilience.checkpoints_pruned" excess;
+    excess
+  end
+
+(* Delete the single oldest checkpoint (the ENOSPC escape hatch).  Returns
+   false when there is nothing left to sacrifice. *)
+let prune_oldest ~dir =
+  match list_entries ~dir with
+  | [] -> false
+  | (_, name) :: _ ->
+      remove_entry ~dir name;
+      Obs.count "resilience.checkpoints_pruned" 1;
+      true
+
 (* --- write ---------------------------------------------------------------- *)
 
-let write ?faults ~dir ~step ~time (fields : Field.t list) =
+let is_enospc = function
+  | Unix.Unix_error (Unix.ENOSPC, _, _) -> true
+  | Sys_error m ->
+      (* out-of-space surfaced through the buffered channel layer *)
+      let needle = "No space left on device" in
+      let nl = String.length needle and ml = String.length m in
+      let rec scan i =
+        i + nl <= ml && (String.sub m i nl = needle || scan (i + 1))
+      in
+      scan 0
+  | _ -> false
+
+let write_once ?faults ~tmp ~final ~dir ~step ~time (fields : Field.t list) =
+  (* injected disk-full bomb: fail before any bytes land *)
+  (match faults with
+  | Some fl when fl.Faults.ckpt_enospc > 0 ->
+      fl.Faults.ckpt_enospc <- fl.Faults.ckpt_enospc - 1;
+      raise (Unix.Unix_error (Unix.ENOSPC, "write", tmp))
+  | _ -> ());
+  let oc = open_out_bin tmp in
+  output_binary_int oc magic;
+  output_binary_int oc version;
+  output_binary_int oc (List.length fields);
+  output_binary_int oc step;
+  write_float oc time;
+  List.iter (fun f -> Snapshot.output_field oc f) fields;
+  flush oc;
+  close_out oc;
+  (* checksum trailer over everything written so far *)
+  let body = In_channel.with_open_bin tmp In_channel.input_all in
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 tmp in
+  output_u64 oc (fnv64_sub body (String.length body));
+  flush oc;
+  fsync_noerr (Unix.descr_of_out_channel oc);
+  close_out oc;
+  (* simulated crash window: the tmp exists, the rename never happens *)
+  (match faults with
+  | Some fl -> (
+      match fl.Faults.ckpt_crash with
+      | Some Faults.Crash_before_rename ->
+          fl.Faults.ckpt_crash <- None;
+          raise (Faults.Injected "checkpoint: killed before rename")
+      | Some (Faults.Crash_truncate keep) ->
+          fl.Faults.ckpt_crash <- None;
+          Faults.truncate_file tmp ~keep;
+          raise (Faults.Injected "checkpoint: killed mid-write")
+      | None -> ())
+  | None -> ());
+  Sys.rename tmp final;
+  publish_text ~dir ~name:latest_name (filename ~step);
+  fsync_dir dir
+
+let write ?faults ?keep_last ~dir ~step ~time (fields : Field.t list) =
   if fields = [] then invalid_arg "Checkpoint.write: empty state";
+  (match keep_last with
+  | Some k when k < 1 -> invalid_arg "Checkpoint.write: keep_last must be >= 1"
+  | _ -> ());
   mkdirs dir;
   let final = Filename.concat dir (filename ~step) in
   let tmp = final ^ ".tmp" in
   let t0 = Obs.now () in
   Obs.span "checkpoint_write" (fun () ->
-      let oc = open_out_bin tmp in
-      output_binary_int oc magic;
-      output_binary_int oc version;
-      output_binary_int oc (List.length fields);
-      output_binary_int oc step;
-      write_float oc time;
-      List.iter (fun f -> Snapshot.output_field oc f) fields;
-      flush oc;
-      close_out oc;
-      (* checksum trailer over everything written so far *)
-      let body = In_channel.with_open_bin tmp In_channel.input_all in
-      let oc =
-        open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 tmp
+      (* On a full disk, old checkpoints are the only thing we are entitled
+         to delete: drop the oldest and retry until the write fits or there
+         is nothing left to sacrifice. *)
+      let rec go () =
+        try write_once ?faults ~tmp ~final ~dir ~step ~time fields
+        with e when is_enospc e ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          if prune_oldest ~dir then begin
+            Obs.count "resilience.checkpoint_enospc_retries" 1;
+            go ()
+          end
+          else raise e
       in
-      output_u64 oc (fnv64_sub body (String.length body));
-      flush oc;
-      fsync_noerr (Unix.descr_of_out_channel oc);
-      close_out oc;
-      (* simulated crash window: the tmp exists, the rename never happens *)
-      (match faults with
-      | Some fl -> (
-          match fl.Faults.ckpt_crash with
-          | Some Faults.Crash_before_rename ->
-              fl.Faults.ckpt_crash <- None;
-              raise (Faults.Injected "checkpoint: killed before rename")
-          | Some (Faults.Crash_truncate keep) ->
-              fl.Faults.ckpt_crash <- None;
-              Faults.truncate_file tmp ~keep;
-              raise (Faults.Injected "checkpoint: killed mid-write")
-          | None -> ())
+      go ();
+      match keep_last with
+      | Some k -> ignore (prune ~dir ~keep_last:k)
       | None -> ());
-      Sys.rename tmp final;
-      publish_text ~dir ~name:latest_name (filename ~step);
-      fsync_dir dir);
   Obs.count "resilience.checkpoint_writes" 1;
   Obs.add "resilience.checkpoint_write_s" (Obs.now () -. t0);
   { path = final; step; time }
@@ -175,23 +263,23 @@ let validate path = match read path with _ -> true | exception _ -> false
 
 (* --- restart scan --------------------------------------------------------- *)
 
-let parse_step name =
-  let prefix = "ckpt_" and suffix = ".vmdg" in
-  let np = String.length prefix and ns = String.length suffix in
-  if
-    String.length name > np + ns
-    && String.sub name 0 np = prefix
-    && Filename.check_suffix name suffix
-  then int_of_string_opt (String.sub name np (String.length name - np - ns))
-  else None
-
+(* The pointer is only trusted after its target checks out: a `latest` file
+   can outlive its checkpoint (retention pruned it, a copy lost it) or name
+   one that later rotted on disk.  A stale pointer is reported and treated
+   as absent rather than handed to a caller who would crash on it. *)
 let latest_path ~dir =
   let p = Filename.concat dir latest_name in
   match In_channel.with_open_bin p In_channel.input_all with
   | content -> (
       match String.trim content with
       | "" -> None
-      | name -> Some (Filename.concat dir name))
+      | name ->
+          let path = Filename.concat dir name in
+          if Sys.file_exists path && validate path then Some path
+          else begin
+            Obs.count "resilience.stale_latest_pointer" 1;
+            None
+          end)
   | exception Sys_error _ -> None
 
 (* Newest checkpoint that passes validation; the `latest` pointer is only a

@@ -14,6 +14,7 @@ val filename : step:int -> string
 
 val write :
   ?faults:Faults.t ->
+  ?keep_last:int ->
   dir:string ->
   step:int ->
   time:float ->
@@ -24,7 +25,21 @@ val write :
     [resilience.checkpoint_write_s] and a ["checkpoint_write"] span via
     {!Dg_obs.Obs}.  [?faults] opens the simulated crash window
     ({!Faults.crash}): the tmp file is left behind (possibly truncated),
-    the rename never happens, and {!Faults.Injected} is raised. *)
+    the rename never happens, and {!Faults.Injected} is raised; its
+    [ckpt_enospc] bomb makes the next writes fail with [ENOSPC].
+
+    On [ENOSPC] (real or injected) the oldest checkpoint in [dir] is
+    deleted and the write retried — counted as
+    [resilience.checkpoint_enospc_retries] — until it fits or nothing is
+    left to prune (then the error propagates).  With [?keep_last], after a
+    successful write only the newest [keep_last] checkpoints are retained
+    (oldest deleted first, counted as [resilience.checkpoints_pruned]).
+    @raise Invalid_argument if [keep_last < 1]. *)
+
+val prune : dir:string -> keep_last:int -> int
+(** Keep only the newest [keep_last] checkpoints in [dir], deleting older
+    ones (and their stale tmp files) oldest-first; returns how many were
+    deleted.  @raise Invalid_argument if [keep_last < 1]. *)
 
 val read : string -> Dg_grid.Field.t list * int * float
 (** Load a checkpoint: [(fields, step, time)].
@@ -41,5 +56,7 @@ val find_latest : dir:string -> info option
     [resilience.invalid_checkpoints_skipped]). *)
 
 val latest_path : dir:string -> string option
-(** The checkpoint named by the [latest] pointer file, if present (a
-    convenience for tooling; restart uses {!find_latest}). *)
+(** The checkpoint named by the [latest] pointer file — but only if that
+    target exists and its checksum verifies.  A stale or lying pointer is
+    counted under [resilience.stale_latest_pointer] and reported as [None]
+    (restart proper uses {!find_latest}, which never trusts pointers). *)

@@ -5,7 +5,9 @@
 
    Environment knobs (read by [from_env], used by the vmdg CLI):
      VMDG_FAULT_NAN_STEP=K    poison the state after step K
-     VMDG_FAULT_NAN_FIELD=I   which state field to poison (default 0) *)
+     VMDG_FAULT_NAN_FIELD=I   which state field to poison (default 0)
+     VMDG_FAULT_NEG_STEP=K    negative-overshoot the state after step K
+     VMDG_FAULT_NEG_FIELD=I   which state field to overshoot (default 0) *)
 
 module Field = Dg_grid.Field
 
@@ -24,7 +26,11 @@ type t = {
   mutable nan_step : int option;
   mutable nan_field : int;
   mutable nan_fired : bool;
+  mutable neg_step : int option;
+  mutable neg_field : int;
+  mutable neg_fired : bool;
   mutable ckpt_crash : crash option;
+  mutable ckpt_enospc : int;
   mutable fail_chunk : int option;
 }
 
@@ -33,23 +39,30 @@ let none () =
     nan_step = None;
     nan_field = 0;
     nan_fired = false;
+    neg_step = None;
+    neg_field = 0;
+    neg_fired = false;
     ckpt_crash = None;
+    ckpt_enospc = 0;
     fail_chunk = None;
   }
 
 let from_env () =
   let f = none () in
-  (match Option.bind (Sys.getenv_opt "VMDG_FAULT_NAN_STEP") int_of_string_opt with
-  | Some k -> f.nan_step <- Some k
-  | None -> ());
-  (match
-     Option.bind (Sys.getenv_opt "VMDG_FAULT_NAN_FIELD") int_of_string_opt
-   with
-  | Some i -> f.nan_field <- i
-  | None -> ());
+  let int_env name set =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some k -> set k
+    | None -> ()
+  in
+  int_env "VMDG_FAULT_NAN_STEP" (fun k -> f.nan_step <- Some k);
+  int_env "VMDG_FAULT_NAN_FIELD" (fun i -> f.nan_field <- i);
+  int_env "VMDG_FAULT_NEG_STEP" (fun k -> f.neg_step <- Some k);
+  int_env "VMDG_FAULT_NEG_FIELD" (fun i -> f.neg_field <- i);
   f
 
-let armed t = t.nan_step <> None && not t.nan_fired
+let armed t =
+  (t.nan_step <> None && not t.nan_fired)
+  || (t.neg_step <> None && not t.neg_fired)
 
 (* Poison one coefficient of the selected state field.  The target is the
    first coefficient of a mid-domain INTERIOR cell: a ghost-layer NaN would
@@ -65,6 +78,29 @@ let maybe_inject_nan t ~step fields =
       let grid = Field.grid fld in
       let mid = Array.map (fun n -> n / 2) (Dg_grid.Grid.cells grid) in
       (Field.data fld).(Field.offset fld mid) <- Float.nan;
+      true
+  | _ -> false
+
+(* Drive one cell's expansion strongly negative at its control nodes while
+   leaving the cell AVERAGE untouched: mode 0 (the mean) is kept and mode 1
+   is set to a large negative slope.  This is exactly the failure a
+   positivity limiter repairs at tier 0 — the state stays finite and the
+   mean stays positive, but pointwise f < 0.  Targets a mid-domain interior
+   cell for the same reason as the NaN fault. *)
+let maybe_inject_negative t ~step fields =
+  match t.neg_step with
+  | Some k when (not t.neg_fired) && step >= k ->
+      t.neg_fired <- true;
+      let nf = List.length fields in
+      let idx = if t.neg_field < 0 || t.neg_field >= nf then 0 else t.neg_field in
+      let fld = List.nth fields idx in
+      let grid = Field.grid fld in
+      let mid = Array.map (fun n -> n / 2) (Dg_grid.Grid.cells grid) in
+      let d = Field.data fld in
+      let off = Field.offset fld mid in
+      if Field.ncomp fld > 1 then
+        d.(off + 1) <- -.((Float.abs d.(off) *. 50.0) +. 1.0)
+      else d.(off) <- -.Float.abs d.(off);
       true
   | _ -> false
 

@@ -16,7 +16,14 @@ type t = {
   mutable nan_step : int option;  (** poison the state after this step *)
   mutable nan_field : int;  (** index into the state list (default 0) *)
   mutable nan_fired : bool;
+  mutable neg_step : int option;
+      (** negative-overshoot the state after this step *)
+  mutable neg_field : int;  (** index into the state list (default 0) *)
+  mutable neg_fired : bool;
   mutable ckpt_crash : crash option;
+  mutable ckpt_enospc : int;
+      (** disk-full bomb: the next [k] checkpoint data writes fail with
+          ENOSPC (consulted by [Checkpoint.write], decremented per failure) *)
   mutable fail_chunk : int option;
       (** {!wrap_range} raises on the chunk containing this index *)
 }
@@ -25,15 +32,22 @@ val none : unit -> t
 (** All faults disarmed. *)
 
 val from_env : unit -> t
-(** Read [VMDG_FAULT_NAN_STEP] / [VMDG_FAULT_NAN_FIELD]. *)
+(** Read [VMDG_FAULT_NAN_STEP] / [VMDG_FAULT_NAN_FIELD] /
+    [VMDG_FAULT_NEG_STEP] / [VMDG_FAULT_NEG_FIELD]. *)
 
 val armed : t -> bool
-(** Is a NaN injection still pending? *)
+(** Is a state-poisoning injection (NaN or negative) still pending? *)
 
 val maybe_inject_nan : t -> step:int -> Dg_grid.Field.t list -> bool
 (** Fire the NaN fault if [step >= nan_step] and it has not fired yet:
     sets one mid-array coefficient of the selected field to NaN.  Returns
     whether it fired. *)
+
+val maybe_inject_negative : t -> step:int -> Dg_grid.Field.t list -> bool
+(** Fire the negative-overshoot fault: drives a mid-domain interior cell
+    pointwise negative (large negative mode-1 slope) while preserving its
+    cell average — finite, positive-mean, and repairable by the positivity
+    limiter.  Returns whether it fired. *)
 
 val wrap_range : t -> (int -> int -> unit) -> int -> int -> unit
 (** [wrap_range t body] is a [Pool.parallel_ranges] body that raises

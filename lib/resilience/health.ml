@@ -53,3 +53,26 @@ let energy_jump ~prev ~cur =
   if Float.is_nan prev || Float.is_nan cur then infinity
   else if prev = cur then 0.0
   else Float.abs (cur -. prev) /. Float.max (Float.abs prev) Float.min_float
+
+(* Graded verdict for the degradation ladder: non-finite coefficients are
+   the hard failure (nothing downstream of a NaN is trustworthy), while a
+   finite state can still be non-realizable — negative distribution values
+   at control nodes, or collision primitives with n <= 0 / vth^2 <= 0 —
+   which is repairable in place (tier 0) before any rollback is needed. *)
+type verdict =
+  | Healthy
+  | Nonfinite of report
+  | Nonrealizable of { cells : int }
+
+let verdict report ~nonrealizable =
+  if not (is_clean report) then Nonfinite report
+  else if nonrealizable > 0 then Nonrealizable { cells = nonrealizable }
+  else Healthy
+
+let is_healthy = function Healthy -> true | Nonfinite _ | Nonrealizable _ -> false
+
+let pp_verdict ppf = function
+  | Healthy -> Format.fprintf ppf "healthy"
+  | Nonfinite r -> Format.fprintf ppf "non-finite (%d NaN, %d Inf)" r.nan r.inf
+  | Nonrealizable { cells } ->
+      Format.fprintf ppf "non-realizable (%d cells)" cells

@@ -21,3 +21,20 @@ val energy_jump : prev:float -> cur:float -> float
 (** Relative jump [|cur - prev| / max |prev| eps] between two checks;
     [infinity] when either side is NaN, so a threshold test always
     classifies a poisoned energy as unhealthy. *)
+
+(** Graded verdict for the degradation ladder: {!Nonfinite} is the hard
+    failure (roll back — tier 1+); {!Nonrealizable} means the state is
+    finite but violates positivity/realizability (negative distribution
+    values at control nodes, collision primitives with [n <= 0] or
+    [vth^2 <= 0]) and is repairable in place (tier 0). *)
+type verdict =
+  | Healthy
+  | Nonfinite of report
+  | Nonrealizable of { cells : int }
+
+val verdict : report -> nonrealizable:int -> verdict
+(** Combine a NaN/Inf scan with a realizability-violation cell count;
+    non-finiteness dominates. *)
+
+val is_healthy : verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -7,6 +7,7 @@
 type policy = {
   check_every : int;  (* health-check cadence, in accepted steps *)
   max_retries : int;  (* consecutive failed windows before giving up *)
+  max_restores : int;  (* tier-2 checkpoint restores before tier 3 *)
   dt_shrink : float;  (* dt multiplier on a failed window (< 1) *)
   dt_grow : float;  (* dt-limit regrowth per healthy window (> 1) *)
   energy_jump_tol : float;  (* relative energy jump treated as unhealthy *)
@@ -16,6 +17,7 @@ let default =
   {
     check_every = 10;
     max_retries = 8;
+    max_restores = 1;
     dt_shrink = 0.5;
     dt_grow = 1.5;
     energy_jump_tol = 0.5;
@@ -24,6 +26,7 @@ let default =
 let validate p =
   if p.check_every < 1 then invalid_arg "Retry: check_every must be >= 1";
   if p.max_retries < 0 then invalid_arg "Retry: max_retries must be >= 0";
+  if p.max_restores < 0 then invalid_arg "Retry: max_restores must be >= 0";
   if not (p.dt_shrink > 0.0 && p.dt_shrink < 1.0) then
     invalid_arg "Retry: dt_shrink must be in (0, 1)";
   if not (p.dt_grow > 1.0) then invalid_arg "Retry: dt_grow must be > 1";
@@ -36,12 +39,33 @@ type stats = {
   mutable retries : int;
   mutable checkpoints : int;
   mutable checkpoint_s : float;
+  (* graceful-degradation ladder accounting *)
+  mutable tier0_repairs : int;  (* limiter repaired at least one cell *)
+  mutable cells_clamped : int;  (* total cells the limiter rescaled *)
+  mutable tier2_restores : int;  (* on-disk checkpoint restores *)
+  mutable tier3_aborts : int;  (* clean aborts (0 or 1) *)
+  mutable stopped : string option;  (* why a supervised run ended early *)
 }
 
 let fresh_stats () =
-  { steps = 0; health_checks = 0; retries = 0; checkpoints = 0; checkpoint_s = 0.0 }
+  {
+    steps = 0;
+    health_checks = 0;
+    retries = 0;
+    checkpoints = 0;
+    checkpoint_s = 0.0;
+    tier0_repairs = 0;
+    cells_clamped = 0;
+    tier2_restores = 0;
+    tier3_aborts = 0;
+    stopped = None;
+  }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "steps=%d health_checks=%d retries=%d checkpoints=%d checkpoint_s=%.3f"
+    "steps=%d health_checks=%d retries=%d checkpoints=%d checkpoint_s=%.3f \
+     tier0_repairs=%d cells_clamped=%d tier1_rollbacks=%d tier2_restores=%d \
+     tier3_aborts=%d%s"
     s.steps s.health_checks s.retries s.checkpoints s.checkpoint_s
+    s.tier0_repairs s.cells_clamped s.retries s.tier2_restores s.tier3_aborts
+    (match s.stopped with None -> "" | Some why -> " stopped=" ^ why)

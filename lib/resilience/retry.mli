@@ -6,7 +6,11 @@ type policy = {
   check_every : int;
       (** run a health check every N accepted steps (and at [tend]) *)
   max_retries : int;
-      (** consecutive failed windows tolerated before the run aborts *)
+      (** consecutive failed windows tolerated before escalating past
+          tier 1 (rollback + dt halving) *)
+  max_restores : int;
+      (** tier-2 budget: on-disk checkpoint restores tolerated before
+          tier 3 (clean abort) *)
   dt_shrink : float;
       (** multiplier applied to the dt ceiling on each failed window;
           repeated failures compound, giving exponential backoff *)
@@ -18,8 +22,8 @@ type policy = {
 }
 
 val default : policy
-(** [{ check_every = 10; max_retries = 8; dt_shrink = 0.5; dt_grow = 1.5;
-      energy_jump_tol = 0.5 }] *)
+(** [{ check_every = 10; max_retries = 8; max_restores = 1;
+      dt_shrink = 0.5; dt_grow = 1.5; energy_jump_tol = 0.5 }] *)
 
 val validate : policy -> unit
 (** @raise Invalid_argument on out-of-range knobs. *)
@@ -27,10 +31,22 @@ val validate : policy -> unit
 type stats = {
   mutable steps : int;  (** accepted steps (rolled-back steps excluded) *)
   mutable health_checks : int;
-  mutable retries : int;  (** failed windows that were rolled back *)
+  mutable retries : int;
+      (** tier-1 escalations: failed windows that were rolled back *)
   mutable checkpoints : int;
   mutable checkpoint_s : float;  (** wall seconds spent writing checkpoints *)
+  mutable tier0_repairs : int;
+      (** tier-0 escalations: limiter applications that repaired >= 1 cell *)
+  mutable cells_clamped : int;  (** total cells the limiter rescaled *)
+  mutable tier2_restores : int;
+      (** tier-2 escalations: restores from an on-disk checkpoint *)
+  mutable tier3_aborts : int;  (** tier-3 escalations: clean aborts (0/1) *)
+  mutable stopped : string option;
+      (** why a supervised run ended before [tend] (signal name or
+          ["max-wall"]), [None] for a run that completed *)
 }
 
 val fresh_stats : unit -> stats
+
 val pp_stats : Format.formatter -> stats -> unit
+(** One-line summary including per-tier escalation counts. *)

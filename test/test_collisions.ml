@@ -209,6 +209,58 @@ let test_bgk () =
   let res1 = Field.l2_norm out in
   if res1 >= res0 then Alcotest.failf "BGK residual grew: %.4e -> %.4e" res0 res1
 
+(* Realizability: a dead (negative-density) region must be flagged, floor-
+   clamped to a flat realizable profile, and still feed a finite BGK rhs —
+   never a silent zero/NaN Maxwellian. *)
+let test_nonrealizable_cells_clamped () =
+  let lay = make_lay ~vdim:1 ~p:2 () in
+  let np = Layout.num_basis lay in
+  let f = Field.create lay.Layout.grid ~ncomp:np in
+  Dg_app.Vm_app.project_phase lay
+    ~f:(fun ~pos ~vel ->
+      if pos.(0) < 0.5 then maxwellian ~n0:1.0 ~u:[| 0.0 |] ~vt:1.0 vel
+      else -1e-3)
+    f;
+  let bgk = Bgk.create ~nu:1.0 lay in
+  Bgk.update_prim bgk ~f;
+  let flagged = Bgk.nonrealizable_cells bgk in
+  Alcotest.(check bool) "dead cells flagged" true (flagged > 0);
+  Alcotest.(check bool) "live cells not flagged" true
+    (flagged < Grid.num_cells lay.Layout.cgrid);
+  Alcotest.(check bool) "first (healthy) cell unflagged" false
+    (Prim.flagged bgk.Bgk.prim_state 0);
+  Alcotest.(check bool) "last (dead) cell flagged" true
+    (Prim.flagged bgk.Bgk.prim_state (Grid.num_cells lay.Layout.cgrid - 1));
+  let out = Field.create lay.Layout.grid ~ncomp:np in
+  Field.fill out 0.0;
+  Bgk.rhs bgk ~f ~out;
+  let finite = ref true in
+  Array.iter
+    (fun x -> if not (Float.is_finite x) then finite := false)
+    (Field.data out);
+  Alcotest.(check bool) "rhs finite everywhere" true !finite
+
+let test_maxwellian_floors () =
+  let clamped = ref false in
+  (* evaluate at the flow velocity: away from it the floored vth2 makes
+     the exponential underflow to 0, which is fine but vacuous *)
+  let v =
+    Bgk.maxwellian ~clamped ~vdim:1 ~n:(-1.0) ~u:[| 0.0 |] ~vth2:(-2.0)
+      [| 0.0 |]
+  in
+  Alcotest.(check bool) "finite on garbage input" true (Float.is_finite v);
+  Alcotest.(check bool) "positive on garbage input" true (v > 0.0);
+  Alcotest.(check bool) "floor engagement reported" true !clamped;
+  let clamped' = ref false in
+  let v' =
+    Bgk.maxwellian ~clamped:clamped' ~vdim:1 ~n:2.0 ~u:[| 0.1 |] ~vth2:1.0
+      [| 0.3 |]
+  in
+  Alcotest.(check bool) "healthy input not clamped" false !clamped';
+  check_close "matches reference maxwellian"
+    (maxwellian ~n0:2.0 ~u:[| 0.1 |] ~vt:1.0 [| 0.3 |])
+    v'
+
 let () =
   Alcotest.run "dg_collisions"
     [
@@ -224,4 +276,10 @@ let () =
           Alcotest.test_case "relaxation" `Slow test_lbo_relaxation;
         ] );
       ("bgk", [ Alcotest.test_case "fixed point + relaxation" `Quick test_bgk ]);
+      ( "realizability",
+        [
+          Alcotest.test_case "dead cells flagged + clamped" `Quick
+            test_nonrealizable_cells_clamped;
+          Alcotest.test_case "maxwellian floors" `Quick test_maxwellian_floors;
+        ] );
     ]

@@ -11,6 +11,7 @@ module Moments = Dg_moments.Moments
 module Flux = Dg_kernels.Flux
 module Tensors = Dg_kernels.Tensors
 module Recovery = Dg_kernels.Recovery
+module Limiter = Dg_limiter.Limiter
 
 let layout_gen =
   QCheck.Gen.(
@@ -162,6 +163,71 @@ let prop_snapshot_roundtrip =
       Sys.remove path;
       Field.data g = Field.data f)
 
+(* The positivity limiter only rescales modes k >= 1, so every cell
+   average — and with it total particle number — must come back bitwise
+   identical, for every layout and basis family. *)
+let prop_limiter_mean_preserving =
+  QCheck.Test.make
+    ~name:"positivity limiter preserves cell averages + mass bitwise" ~count:30
+    arb_cfg (fun cfg ->
+      let lay, f, _, _ = build cfg in
+      let lim = Limiter.create lay.Layout.basis in
+      (* guarantee a repairable violation somewhere: one cell with a
+         positive mean and a mode-1 slope far too steep for positivity *)
+      let poisoned = Array.make lay.Layout.pdim 0 in
+      Field.set f poisoned 0 2.0;
+      Field.set f poisoned 1 (-10.0);
+      let mom = Moments.make lay in
+      let mass0 = Moments.total_mass mom ~f in
+      let d = Field.data f in
+      let before = Array.copy d in
+      let r = Limiter.apply lim f in
+      let means_ok = ref true in
+      Grid.iter_cells lay.Layout.grid (fun _ c ->
+          let off = Field.offset f c in
+          if d.(off) <> before.(off) then means_ok := false);
+      r.Limiter.cells_clamped >= 1
+      && !means_ok
+      && Moments.total_mass mom ~f = mass0)
+
+(* With positive cell means everywhere, every violation is repairable and
+   one limiter pass leaves no node below the floor (up to rescale
+   rounding). *)
+let prop_limiter_repairs_to_floor =
+  QCheck.Test.make
+    ~name:"positivity limiter leaves no repairable undershoot" ~count:30
+    arb_cfg (fun cfg ->
+      let lay, f, _, _ = build cfg in
+      let lim = Limiter.create lay.Layout.basis in
+      Grid.iter_cells lay.Layout.grid (fun _ c -> Field.set f c 0 3.0);
+      let r1 = Limiter.apply lim f in
+      let r2 = Limiter.scan lim f in
+      r1.Limiter.unrepairable = 0
+      && r2.Limiter.unrepairable = 0
+      && r2.Limiter.max_undershoot <= 1e-12)
+
+(* A cell whose average is itself below the floor cannot be repaired
+   mean-preservingly: it must be reported for tier-1+ escalation and left
+   bit-exactly untouched (no papering over lost cells). *)
+let prop_limiter_reports_unrepairable =
+  QCheck.Test.make
+    ~name:"positivity limiter reports (not edits) negative-mean cells"
+    ~count:30 arb_cfg (fun cfg ->
+      let lay, f, _, _ = build cfg in
+      let np = Layout.num_basis lay in
+      let lim = Limiter.create lay.Layout.basis in
+      let lost = Array.make lay.Layout.pdim 0 in
+      for k = 1 to np - 1 do
+        Field.set f lost k 0.0
+      done;
+      Field.set f lost 0 (-5.0);
+      Field.set f lost 1 0.5;
+      let off = Field.offset f lost in
+      let d = Field.data f in
+      let cell_before = Array.sub d off np in
+      let r = Limiter.apply lim f in
+      r.Limiter.unrepairable >= 1 && Array.sub d off np = cell_before)
+
 (* Weak multiplication is bilinear and symmetric. *)
 let prop_weak_mul =
   QCheck.Test.make ~name:"weak multiplication bilinear + symmetric" ~count:30
@@ -195,6 +261,9 @@ let () =
             prop_accel_bound;
             prop_recovery_exact;
             prop_snapshot_roundtrip;
+            prop_limiter_mean_preserving;
+            prop_limiter_repairs_to_floor;
+            prop_limiter_reports_unrepairable;
             prop_weak_mul;
           ] );
     ]

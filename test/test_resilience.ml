@@ -11,6 +11,7 @@ module Health = Dg_resilience.Health
 module Faults = Dg_resilience.Faults
 module Checkpoint = Dg_resilience.Checkpoint
 module Retry = Dg_resilience.Retry
+module Supervisor = Dg_resilience.Supervisor
 
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
@@ -291,6 +292,184 @@ let test_initial_nan_rejected () =
   | _ -> Alcotest.fail "poisoned initial state must be rejected"
   | exception Failure _ -> ()
 
+(* --- degradation ladder: tier 0 vs tier 1 --------------------------------- *)
+
+(* p=1 projections of a Maxwellian are node-negative in the tails from
+   step 0, which would trip `Detect before any fault fires; at p=2 the
+   Gauss-Lobatto node values of the initial state are positive, so only
+   the injected overshoot is in play. *)
+let ladder_spec () = { (small_spec ()) with App.poly_order = 2 }
+
+(* The same injected negative overshoot, two runs: with the positivity
+   limiter the run is absorbed at tier 0 (no rollback at all); with the
+   limiter in detect-only mode it must escalate to tier 1 instead. *)
+let test_tier0_absorbs_negativity () =
+  let app = App.create (ladder_spec ()) in
+  let faults = Faults.none () in
+  faults.Faults.neg_step <- Some 3;
+  let policy = { Retry.default with Retry.check_every = 2 } in
+  let stats =
+    App.run_resilient ~policy ~faults ~positivity:`Repair app ~tend:0.5
+  in
+  Alcotest.(check bool) "fault fired" true faults.Faults.neg_fired;
+  Alcotest.(check bool) "reached tend" true (App.time app >= 0.5 -. 1e-9);
+  Alcotest.(check bool) "limiter repaired" true (stats.Retry.tier0_repairs >= 1);
+  Alcotest.(check bool) "cells clamped" true (stats.Retry.cells_clamped >= 1);
+  Alcotest.(check int) "zero rollbacks" 0 stats.Retry.retries;
+  Alcotest.(check int) "no restores" 0 stats.Retry.tier2_restores;
+  Alcotest.(check int) "no aborts" 0 stats.Retry.tier3_aborts
+
+let test_detect_escalates_to_tier1 () =
+  let app = App.create (ladder_spec ()) in
+  let faults = Faults.none () in
+  faults.Faults.neg_step <- Some 1;
+  (* short horizon: long enough for the fault window + clean replay, short
+     enough that no *natural* projection negativity appears (which detect
+     mode rightly treats as unrecoverable and escalates to tier 3) *)
+  let tend = 0.1 in
+  let policy = { Retry.default with Retry.check_every = 1 } in
+  let stats =
+    App.run_resilient ~policy ~faults ~positivity:`Detect app ~tend
+  in
+  Alcotest.(check bool) "fault fired" true faults.Faults.neg_fired;
+  Alcotest.(check bool) "reached tend" true (App.time app >= tend -. 1e-9);
+  Alcotest.(check int) "detect mode never repairs" 0 stats.Retry.tier0_repairs;
+  Alcotest.(check bool) "escalated to tier 1" true (stats.Retry.retries >= 1)
+
+(* --- supervised stop ------------------------------------------------------- *)
+
+let test_sigterm_stop_then_bit_exact_restart () =
+  let dir = tmpdir "sigterm" in
+  let tend = 0.5 in
+  let policy = { Retry.default with Retry.check_every = 2 } in
+  (* reference: the same resilient loop, never interrupted *)
+  let a = App.create (small_spec ()) in
+  ignore (App.run_resilient ~policy a ~tend);
+  (* supervised: a real SIGTERM arrives mid-run; the loop must stop at the
+     next step boundary and leave a checksum-valid checkpoint behind *)
+  let b = App.create (small_spec ()) in
+  let stats =
+    Supervisor.with_supervisor (fun sup ->
+        let killed = ref false in
+        App.run_resilient ~policy ~supervisor:sup ~checkpoint_dir:dir
+          ~on_step:(fun t ->
+            if (not !killed) && App.nsteps t >= 2 then begin
+              killed := true;
+              Unix.kill (Unix.getpid ()) Sys.sigterm
+            end)
+          b ~tend)
+  in
+  Alcotest.(check (option string))
+    "stopped by SIGTERM" (Some "SIGTERM") stats.Retry.stopped;
+  Alcotest.(check bool) "stopped before tend" true (App.time b < tend);
+  (match Checkpoint.latest_path ~dir with
+  | Some p ->
+      Alcotest.(check bool) "final checkpoint validates" true
+        (Checkpoint.validate p)
+  | None -> Alcotest.fail "no latest checkpoint after SIGTERM");
+  (* resume into a fresh app and run the remainder: bit-exact vs reference *)
+  let c = App.create (small_spec ()) in
+  (match App.restore_latest c ~dir with
+  | Some info ->
+      Alcotest.(check int) "resumed where B stopped" (App.nsteps b)
+        info.Checkpoint.step
+  | None -> Alcotest.fail "restore_latest found nothing");
+  ignore (App.run_resilient ~policy c ~tend);
+  Alcotest.(check bool) "same final time" true (App.time a = App.time c);
+  List.iter2
+    (fun da dc ->
+      Alcotest.(check bool) "bit-identical state after resume" true (da = dc))
+    (state_data a) (state_data c)
+
+let test_max_wall_stops_run () =
+  let app = App.create (small_spec ()) in
+  let stats =
+    Supervisor.with_supervisor ~max_wall:1e-6 (fun sup ->
+        App.run_resilient ~supervisor:sup app ~tend:5.0)
+  in
+  Alcotest.(check (option string))
+    "stopped by wall budget" (Some "max-wall") stats.Retry.stopped;
+  Alcotest.(check bool) "stopped early" true (App.time app < 5.0)
+
+let test_supervisor_first_stop_wins () =
+  let sup = Supervisor.create () in
+  Supervisor.request_stop sup "SIGTERM";
+  Supervisor.request_stop sup "SIGINT";
+  match Supervisor.should_stop sup with
+  | Some (Supervisor.Signal "SIGTERM") -> ()
+  | Some r -> Alcotest.failf "wrong reason: %s" (Supervisor.reason_to_string r)
+  | None -> Alcotest.fail "stop request lost"
+
+(* --- checkpoint retention and disk-full handling --------------------------- *)
+
+let test_keep_last_retention () =
+  let dir = tmpdir "retention" in
+  let f = [ mk_field () ] in
+  for s = 1 to 5 do
+    ignore (Checkpoint.write ~keep_last:2 ~dir ~step:s ~time:(float_of_int s) f)
+  done;
+  let entries =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun n -> Filename.check_suffix n ".vmdg")
+  in
+  Alcotest.(check int) "only the two newest kept" 2 (List.length entries);
+  (match Checkpoint.find_latest ~dir with
+  | Some info -> Alcotest.(check int) "newest survives" 5 info.Checkpoint.step
+  | None -> Alcotest.fail "retention deleted everything");
+  match Checkpoint.latest_path ~dir with
+  | Some p ->
+      Alcotest.(check bool) "latest pointer valid after prune" true
+        (Checkpoint.validate p)
+  | None -> Alcotest.fail "latest pointer stale after prune"
+
+let test_enospc_prunes_then_succeeds () =
+  let dir = tmpdir "enospc" in
+  let f = [ mk_field () ] in
+  ignore (Checkpoint.write ~dir ~step:1 ~time:0.1 f);
+  ignore (Checkpoint.write ~dir ~step:2 ~time:0.2 f);
+  let faults = Faults.none () in
+  faults.Faults.ckpt_enospc <- 1;
+  let info = Checkpoint.write ~faults ~dir ~step:3 ~time:0.3 f in
+  Alcotest.(check bool) "write landed after prune" true
+    (Checkpoint.validate info.Checkpoint.path);
+  Alcotest.(check bool) "oldest sacrificed" false
+    (Sys.file_exists (Filename.concat dir (Checkpoint.filename ~step:1)));
+  Alcotest.(check bool) "survivor intact" true
+    (Checkpoint.validate (Filename.concat dir (Checkpoint.filename ~step:2)));
+  (* nothing left to prune: the error must propagate, not loop *)
+  let dir2 = tmpdir "enospc_empty" in
+  faults.Faults.ckpt_enospc <- 1;
+  match Checkpoint.write ~faults ~dir:dir2 ~step:1 ~time:0.1 f with
+  | _ -> Alcotest.fail "expected ENOSPC to propagate"
+  | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ()
+
+let test_stale_latest_pointer_ignored () =
+  let dir = tmpdir "stale_ptr" in
+  let f = [ mk_field () ] in
+  let info = Checkpoint.write ~dir ~step:7 ~time:0.7 f in
+  (match Checkpoint.latest_path ~dir with
+  | Some p ->
+      Alcotest.(check string) "pointer names the newest" info.Checkpoint.path p
+  | None -> Alcotest.fail "fresh pointer should be trusted");
+  (* pointer outlives its target: reported absent, never handed out *)
+  Out_channel.with_open_text (Filename.concat dir "latest") (fun oc ->
+      Out_channel.output_string oc "ckpt_99999999.vmdg\n");
+  Alcotest.(check (option string))
+    "lying pointer ignored" None
+    (Checkpoint.latest_path ~dir);
+  (match Checkpoint.find_latest ~dir with
+  | Some i ->
+      Alcotest.(check int) "checksum scan still finds the real one" 7
+        i.Checkpoint.step
+  | None -> Alcotest.fail "find_latest lost the checkpoint");
+  (* pointer names a checkpoint that later rotted on disk *)
+  Out_channel.with_open_text (Filename.concat dir "latest") (fun oc ->
+      Out_channel.output_string oc (Checkpoint.filename ~step:7));
+  Faults.corrupt_byte info.Checkpoint.path ~at:60;
+  Alcotest.(check (option string))
+    "pointer to rotted target ignored" None
+    (Checkpoint.latest_path ~dir)
+
 (* --- run hardening -------------------------------------------------------- *)
 
 let test_run_max_steps_valve () =
@@ -338,6 +517,31 @@ let () =
           Alcotest.test_case "periodic checkpoints" `Quick test_resilient_checkpoints;
           Alcotest.test_case "poisoned initial state rejected" `Quick
             test_initial_nan_rejected;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "tier 0 absorbs negativity, zero rollbacks" `Quick
+            test_tier0_absorbs_negativity;
+          Alcotest.test_case "detect-only escalates to tier 1" `Quick
+            test_detect_escalates_to_tier1;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "SIGTERM -> checkpoint -> bit-exact resume" `Quick
+            test_sigterm_stop_then_bit_exact_restart;
+          Alcotest.test_case "max-wall budget stops the run" `Quick
+            test_max_wall_stops_run;
+          Alcotest.test_case "first stop request wins" `Quick
+            test_supervisor_first_stop_wins;
+        ] );
+      ( "retention",
+        [
+          Alcotest.test_case "keep_last prunes oldest" `Quick
+            test_keep_last_retention;
+          Alcotest.test_case "ENOSPC prunes then retries" `Quick
+            test_enospc_prunes_then_succeeds;
+          Alcotest.test_case "stale latest pointer ignored" `Quick
+            test_stale_latest_pointer_ignored;
         ] );
       ( "run-guards",
         [
