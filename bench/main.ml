@@ -978,25 +978,34 @@ let micro () =
    the interpreted sparse path for every registry configuration that fits
    the bench box, and writes per-config medians + speedups to
    BENCH_kernels.json (the regression baseline; bench/main.exe kernels). *)
-let kernels_json path =
-  section "Kernel dispatch - specialized vs interpreted Solver.rhs";
+let bench_configs =
+  [
+    ("1x1v_p1_ser", Modal.Serendipity, 1, 1, 1);
+    ("1x1v_p2_ser", Modal.Serendipity, 2, 1, 1);
+    ("1x2v_p1_ser", Modal.Serendipity, 1, 1, 2);
+    ("1x2v_p2_ser", Modal.Serendipity, 2, 1, 2);
+    ("2x2v_p1_ser", Modal.Serendipity, 1, 2, 2);
+    ("2x2v_p2_ser", Modal.Serendipity, 2, 2, 2);
+    ("1x2v_p2_tensor", Modal.Tensor, 2, 1, 2);
+    ("2x2v_p2_tensor", Modal.Tensor, 2, 2, 2);
+  ]
+
+(* [smoke]: tiny grids, no file write — a seconds-scale dispatch-health
+   check for @bench-smoke that fails (exit 1) if any registry config has
+   an unspecialized direction, so a codegen regression that silently
+   reopens the interpreted-fallback gap trips tier-1 CI. *)
+let kernels_json ?(smoke = false) path =
+  section
+    (if smoke then "Kernel dispatch - smoke (specialization health check)"
+     else "Kernel dispatch - specialized vs interpreted Solver.rhs");
   let module K = Dg_genkernels.Kernels in
-  let bench_configs =
-    [
-      ("1x1v_p1_ser", Modal.Serendipity, 1, 1, 1);
-      ("1x1v_p2_ser", Modal.Serendipity, 2, 1, 1);
-      ("1x2v_p1_ser", Modal.Serendipity, 1, 1, 2);
-      ("1x2v_p2_ser", Modal.Serendipity, 2, 1, 2);
-      ("2x2v_p1_ser", Modal.Serendipity, 1, 2, 2);
-      ("2x2v_p2_ser", Modal.Serendipity, 2, 2, 2);
-      ("1x2v_p2_tensor", Modal.Tensor, 2, 1, 2);
-    ]
-  in
+  let unspecialized = ref [] in
   let entries =
     List.map
       (fun (name, family, p, cdim, vdim) ->
-        let cells_c = if cdim = 1 then 8 else 4 in
-        let lay = make_layout ~cells_c ~cells_v:6 ~cdim ~vdim ~family ~p () in
+        let cells_c = if smoke then 2 else if cdim = 1 then 8 else 4 in
+        let cells_v = if smoke then 3 else 6 in
+        let lay = make_layout ~cells_c ~cells_v ~cdim ~vdim ~family ~p () in
         let np = Layout.num_basis lay in
         let sd =
           Solver.create ~flux:Solver.Upwind ~use_kernels:true ~qm:(-1.0) lay
@@ -1009,11 +1018,21 @@ let kernels_json path =
         let em = random_em lay in
         let out = Field.create lay.Layout.grid ~ncomp:np in
         let ws_d = Solver.make_workspace sd and ws_i = Solver.make_workspace si in
+        (* smoke: one timed call still exercises every kernel; the medians
+           only matter for the committed baseline *)
+        let time_it fn =
+          if smoke then begin
+            let t0 = Unix.gettimeofday () in
+            fn ();
+            Unix.gettimeofday () -. t0
+          end
+          else time_per_call fn
+        in
         let t_disp =
-          time_per_call (fun () -> Solver.rhs ~ws:ws_d sd ~f ~em:(Some em) ~out)
+          time_it (fun () -> Solver.rhs ~ws:ws_d sd ~f ~em:(Some em) ~out)
         in
         let t_interp =
-          time_per_call (fun () -> Solver.rhs ~ws:ws_i si ~f ~em:(Some em) ~out)
+          time_it (fun () -> Solver.rhs ~ws:ws_i si ~f ~em:(Some em) ~out)
         in
         let fname = Modal.family_name family in
         let mults =
@@ -1023,6 +1042,7 @@ let kernels_json path =
               | None -> 0)
         in
         let spec = Solver.specialized_dirs sd in
+        if Array.exists not spec then unspecialized := name :: !unspecialized;
         let speedup = t_interp /. t_disp in
         pr "%-16s dispatched %10.0f ns  interpreted %10.0f ns  %5.2fx  [%s]\n"
           name (t_disp *. 1e9) (t_interp *. 1e9) speedup
@@ -1049,9 +1069,125 @@ let kernels_json path =
           (t_disp *. 1e9) (t_interp *. 1e9) speedup)
       bench_configs
   in
+  if smoke then
+    match !unspecialized with
+    | [] -> pr "smoke ok: every config fully specialized\n"
+    | bad ->
+        pr "SMOKE FAILURE: interpreted-fallback directions in: %s\n"
+          (String.concat ", " (List.rev bad));
+        exit 1
+  else begin
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"bench\": \"kernel_dispatch_rhs\",\n  \"timer\": \
+       \"median_of_3_autoscaled\",\n  \"configs\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" entries);
+    close_out oc;
+    pr "wrote %s\n" path
+  end
+
+(* --- layout: zero-copy vs block-copy kernel invocation ------------------- *)
+
+(* Isolates what the in-place kernel ABI buys, with the kernel itself held
+   fixed: the SAME generated bundle swept over a fixed grid, once operating
+   directly on flat field storage at Field.unsafe_cell_offset (the solver
+   hot path) and once through the block-copy protocol the in-place ABI
+   replaces (read_block both cells -> kernels on scratch at offset 0 ->
+   accumulate_block).  Both orders run identical floating-point operations,
+   so outputs are bit-identical — only data movement differs.  Per config
+   the sweep applies the volume + lower-face surface/penalty kernels of the
+   cheapest specialized direction (where copy traffic is the largest
+   fraction of the update, i.e. the layout effect is least diluted).
+   Writes BENCH_layout.json. *)
+let layout_json path =
+  section "Layout - zero-copy vs block-copy kernel invocation";
+  let module K = Dg_genkernels.Kernels in
+  let entries =
+    List.filter_map
+      (fun (name, family, p, cdim, vdim) ->
+        let fname = Modal.family_name family in
+        let pdim = cdim + vdim in
+        let chosen =
+          let best = ref None in
+          for dir = 0 to pdim - 1 do
+            match K.find ~family:fname ~poly_order:p ~cdim ~vdim ~dir with
+            | Some b -> (
+                match !best with
+                | Some (_, bb) when bb.K.mults <= b.K.mults -> ()
+                | _ -> best := Some (dir, b))
+            | None -> ()
+          done;
+          !best
+        in
+        match chosen with
+        | None -> None
+        | Some (dir, b) ->
+            let cells_c = if cdim = 1 then 8 else 4 in
+            let lay = make_layout ~cells_c ~cells_v:6 ~cdim ~vdim ~family ~p () in
+            let np = Layout.num_basis lay in
+            let grid = lay.Layout.grid in
+            let f = random_field ~seed:21 grid ~ncomp:np in
+            Field.sync_ghosts f (phase_bcs lay);
+            let out = Field.create grid ~ncomp:np in
+            let alpha =
+              Array.init np (fun i -> 0.25 +. (0.01 *. float_of_int i))
+            in
+            let fd = Field.data f and od = Field.data out in
+            let cl = Array.make pdim 0 in
+            let cell_update foff foff_l ooff fa fb ob =
+              b.K.vol ~scale:1.7 alpha fa ~foff ob ~ooff;
+              b.K.surf_rl ~scale:0.8 alpha fb ~foff:foff_l ob ~ooff;
+              b.K.surf_rr ~scale:(-0.8) alpha fa ~foff ob ~ooff;
+              b.K.pen_rl ~scale:0.3 fb ~foff:foff_l ob ~ooff;
+              b.K.pen_rr ~scale:(-0.3) fa ~foff ob ~ooff
+            in
+            (* zero-copy: kernels run in place on field storage *)
+            let t_zero =
+              time_per_call (fun () ->
+                  Grid.iter_cells grid (fun _ c ->
+                      Array.blit c 0 cl 0 pdim;
+                      cl.(dir) <- c.(dir) - 1;
+                      let foff = Field.unsafe_cell_offset f c in
+                      let foff_l = Field.unsafe_cell_offset f cl in
+                      let ooff = Field.unsafe_cell_offset out c in
+                      cell_update foff foff_l ooff fd fd od))
+            in
+            (* block-copy: the pre-in-place protocol on the same kernels *)
+            let fblock = Array.make np 0.0 in
+            let flblock = Array.make np 0.0 in
+            let oblock = Array.make np 0.0 in
+            let t_copy =
+              time_per_call (fun () ->
+                  Grid.iter_cells grid (fun _ c ->
+                      Array.blit c 0 cl 0 pdim;
+                      cl.(dir) <- c.(dir) - 1;
+                      Field.read_block f c fblock;
+                      Field.read_block f cl flblock;
+                      Array.fill oblock 0 np 0.0;
+                      cell_update 0 0 0 fblock flblock oblock;
+                      Field.accumulate_block out c oblock))
+            in
+            let ratio = t_copy /. t_zero in
+            pr "%-16s dir %d  zero-copy %10.0f ns  block-copy %10.0f ns  %5.2fx\n"
+              name dir (t_zero *. 1e9) (t_copy *. 1e9) ratio;
+            emit ~bench:"layout" ~config:name ~metric:"sweep_zero_copy"
+              ~value:(t_zero *. 1e9) ~units:"ns";
+            emit ~bench:"layout" ~config:name ~metric:"sweep_block_copy"
+              ~value:(t_copy *. 1e9) ~units:"ns";
+            emit ~bench:"layout" ~config:name ~metric:"copy_overhead"
+              ~value:ratio ~units:"x";
+            Some
+              (Printf.sprintf
+                 "    {\"config\": %S, \"dir\": %d, \"num_basis\": %d, \
+                  \"kernel_mults\": %d,\n\
+                 \     \"zero_copy_ns\": %.1f, \"block_copy_ns\": %.1f, \
+                  \"block_over_zero\": %.3f}"
+                 name dir np b.K.mults (t_zero *. 1e9) (t_copy *. 1e9) ratio))
+      bench_configs
+  in
   let oc = open_out path in
   Printf.fprintf oc
-    "{\n  \"bench\": \"kernel_dispatch_rhs\",\n  \"timer\": \
+    "{\n  \"bench\": \"kernel_layout_zero_copy\",\n  \"timer\": \
      \"median_of_3_autoscaled\",\n  \"configs\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" entries);
   close_out oc;
@@ -1069,7 +1205,10 @@ let () =
     | [] -> None
   in
   let json = find_json argv in
-  let args = List.filter (fun a -> a <> "--json" && Some a <> json) argv in
+  let smoke = List.mem "--smoke" argv in
+  let args =
+    List.filter (fun a -> a <> "--json" && a <> "--smoke" && Some a <> json) argv
+  in
   let what = match args with _ :: w :: _ -> w | _ -> "all" in
   (match json with
   | Some file ->
@@ -1087,7 +1226,8 @@ let () =
   | "resilience" -> resilience ()
   | "guard" -> guard ()
   | "micro" -> micro ()
-  | "kernels" -> kernels_json "BENCH_kernels.json"
+  | "kernels" -> kernels_json ~smoke "BENCH_kernels.json"
+  | "layout" -> layout_json "BENCH_layout.json"
   | "all" ->
       fig1 ();
       ignore (fig2 ());
@@ -1100,7 +1240,8 @@ let () =
       ignore (table1 ());
       fig5 ~tend:8.0 ();
       micro ();
-      kernels_json "BENCH_kernels.json"
+      kernels_json "BENCH_kernels.json";
+      layout_json "BENCH_layout.json"
   | s ->
       prerr_endline ("unknown benchmark: " ^ s);
       exit 1);

@@ -5,7 +5,7 @@
      dune exec bin/kernel_gen.exe
 
    and rebuild; the generated module is compiled into dg_genkernels, routed
-   into the solver hot path by Dg_kernels.Dispatch, and cross-checked
+   into the solver hot path by Dg_dispatch.Dispatch, and cross-checked
    against the interpreted sparse tensors by the test suite.  A digest of
    the deterministic payload is appended so test_codegen can detect a stale
    committed file whenever the emitters or the standard configuration list

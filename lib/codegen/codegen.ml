@@ -166,41 +166,69 @@ let emit_module ~header items =
 
 (* Same unrolled forms as above but reading f at [foff + n] and writing out
    at [ooff + l], matching Sparse.apply_t3_off/apply_t2_off: the solver hot
-   path calls these on the big per-cell blocks of a field without copying. *)
+   path calls these on the big per-cell blocks of a field without copying.
+   All indexed access is emitted as [Array.unsafe_get]/[Array.unsafe_set]:
+   offsets come from Field.unsafe_cell_offset and every index is a literal
+   within the cell block, so the bounds are established once per cell, not
+   per float (arm VMDG_BOUNDS_CHECK=1 to re-check offsets at the Field
+   layer when debugging). *)
 
-(* Large straight-line bodies make ocamlopt's per-function passes blow up;
-   chunk output rows into part-functions of at most [max_rows] rows and emit
-   a same-signature wrapper that calls the parts in order. *)
-let max_rows = 16
+(* Per-emitted-kernel statistics, echoed into the generated header comment
+   and the registry bundles. *)
+type stats = {
+  raw_mults : int; (* multiplications of the plain unrolled form *)
+  cse_mults : int; (* after common-subexpression elimination *)
+  chunks : int; (* part functions the kernel was split into *)
+}
 
-let chunk_rows rows =
-  let rec go acc cur n = function
+(* Large straight-line bodies make ocamlopt's per-function passes blow up
+   (register allocation over thousands of simultaneously-live CSE temps is
+   superlinear: a single 16k-mult part function sent the compiler past
+   17 GB) and thrash the instruction cache; chunk output rows into
+   part-functions of at most [max_rows] rows AND at most
+   [chunk_mult_budget] unrolled multiplications (sequential row ranges),
+   stitched by a same-signature wrapper.  High-order velocity-direction
+   kernels (2x2v p2: 23k ser / 66k tensor mults) thus specialize as a
+   sequence of cache-sized parts instead of falling back to the
+   interpreted path. *)
+let max_rows = 8
+let chunk_mult_budget = 2_000
+
+let chunk_rows ~row_cost rows =
+  let rec go acc cur n cost = function
     | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
     | r :: rest ->
-        if n = max_rows then go (List.rev cur :: acc) [ r ] 1 rest
-        else go acc (r :: cur) (n + 1) rest
+        let rc = row_cost r in
+        if cur <> [] && (n >= max_rows || cost + rc > chunk_mult_budget) then
+          go (List.rev cur :: acc) [ r ] 1 rc rest
+        else go acc (r :: cur) (n + 1) (cost + rc) rest
   in
-  go [] [] 0 rows
+  go [] [] 0 0 rows
 
-(* Emit [name] with [header name'] + per-row body over chunked [rows]; the
-   wrapper forwards [call_args] to every part. *)
-let emit_chunked ~name ~header ~call_args ~empty_body ~emit_row rows buf =
+(* Emit [name] over chunked [rows]: [emit_part] renders one part's body
+   (preamble + rows); the wrapper forwards [call_args] to every part.
+   Returns the number of part functions. *)
+let emit_chunked ~name ~header ~call_args ~empty_body ~row_cost ~emit_part
+    rows buf =
   match rows with
   | [] ->
       Buffer.add_string buf (header name);
-      Buffer.add_string buf empty_body
-  | rows ->
-      let chunks = chunk_rows rows in
-      (match chunks with
+      Buffer.add_string buf empty_body;
+      1
+  | rows -> (
+      let chunks = chunk_rows ~row_cost rows in
+      match chunks with
       | [ only ] ->
           Buffer.add_string buf (header name);
-          List.iter (emit_row buf) only;
-          Buffer.add_string buf "  ()\n"
+          emit_part buf only;
+          Buffer.add_string buf "  ()\n";
+          1
       | chunks ->
           List.iteri
             (fun i chunk ->
-              Buffer.add_string buf (header (Printf.sprintf "%s_part%d" name i));
-              List.iter (emit_row buf) chunk;
+              Buffer.add_string buf
+                (header (Printf.sprintf "%s_part%d" name i));
+              emit_part buf chunk;
               Buffer.add_string buf "  ()\n\n")
             chunks;
           Buffer.add_string buf (header name);
@@ -209,33 +237,94 @@ let emit_chunked ~name ~header ~call_args ~empty_body ~emit_row rows buf =
               Buffer.add_string buf
                 (Printf.sprintf "  %s_part%d %s;\n" name i call_args))
             chunks;
-          Buffer.add_string buf "  ()\n")
+          Buffer.add_string buf "  ()\n";
+          List.length chunks)
+
+let ag m = Printf.sprintf "(Array.unsafe_get alpha %d)" m
+let fg n = Printf.sprintf "(Array.unsafe_get f (foff + %d))" n
+
+let out_update buf l rhs =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  Array.unsafe_set out (ooff + %d) ((Array.unsafe_get out (ooff + \
+        %d)) +. %s);\n"
+       l l rhs)
+
+(* The CSE pass over one part's multiply-add list: [alpha.(m) *. f.(n)]
+   products recurring across output rows (shared face sums and
+   alpha-weighted terms recur heavily in velocity-direction kernels) are
+   hoisted into one let-binding each, turning their uses from two
+   multiplications into one.  Scoped per part function so every chunk stays
+   self-contained straight-line code. *)
+let emit_t3_part ~cse_mults buf rows =
+  let counts = Hashtbl.create 128 in
+  List.iter
+    (fun (_, terms) ->
+      List.iter
+        (fun (m, n, _) ->
+          Hashtbl.replace counts (m, n)
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts (m, n))))
+        terms)
+    rows;
+  let hoisted =
+    List.sort compare
+      (Hashtbl.fold (fun k c acc -> if c >= 2 then k :: acc else acc) counts [])
+  in
+  List.iter
+    (fun (m, n) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  let x%d_%d = %s *. %s in\n" m n (ag m) (fg n));
+      incr cse_mults)
+    hoisted;
+  let is_hoisted mn =
+    match Hashtbl.find_opt counts mn with Some c -> c >= 2 | None -> false
+  in
+  List.iter
+    (fun (l, terms) ->
+      let b = Buffer.create 256 in
+      Buffer.add_string b "scale *. (";
+      List.iteri
+        (fun i (m, n, c) ->
+          if i > 0 then Buffer.add_string b " +. ";
+          if is_hoisted (m, n) then begin
+            Buffer.add_string b (Printf.sprintf "%s *. x%d_%d" (lit c) m n);
+            incr cse_mults
+          end
+          else begin
+            Buffer.add_string b
+              (Printf.sprintf "%s *. %s *. %s" (lit c) (ag m) (fg n));
+            cse_mults := !cse_mults + 2
+          end)
+        terms;
+      Buffer.add_string b ")";
+      incr cse_mults (* scale *);
+      out_update buf l (Buffer.contents b))
+    rows
+
+let kernel_comment name (st : stats) =
+  Printf.sprintf "(* %s: %d mults unrolled, %d after cse, %d chunk%s *)\n"
+    name st.raw_mults st.cse_mults st.chunks
+    (if st.chunks = 1 then "" else "s")
 
 let emit_t3_apply_off ~name (t : Sparse.t3) =
-  let buf = Buffer.create 4096 in
+  let body = Buffer.create 4096 in
   let header n =
     Printf.sprintf
       "let %s ~scale (alpha : float array) (f : float array) ~(foff : int) \
        (out : float array) ~(ooff : int) =\n"
       n
   in
-  let emit_row buf (l, terms) =
-    Buffer.add_string buf
-      (Printf.sprintf "  out.(ooff + %d) <- out.(ooff + %d) +. scale *. (" l l);
-    List.iteri
-      (fun i (m, n, c) ->
-        if i > 0 then Buffer.add_string buf " +. ";
-        Buffer.add_string buf
-          (Printf.sprintf "%s *. alpha.(%d) *. f.(foff + %d)" (lit c) m n))
-      terms;
-    Buffer.add_string buf ");\n"
+  let cse_mults = ref 0 in
+  let chunks =
+    emit_chunked ~name ~header ~call_args:"~scale alpha f ~foff out ~ooff"
+      ~empty_body:
+        "  ignore scale; ignore alpha; ignore f; ignore foff; ignore out; \
+         ignore ooff\n"
+      ~row_cost:(fun (_, terms) -> 1 + (2 * List.length terms))
+      ~emit_part:(emit_t3_part ~cse_mults) (rows_of_t3 t) body
   in
-  emit_chunked ~name ~header ~call_args:"~scale alpha f ~foff out ~ooff"
-    ~empty_body:
-      "  ignore scale; ignore alpha; ignore f; ignore foff; ignore out; \
-       ignore ooff\n"
-    ~emit_row (rows_of_t3 t) buf;
-  Buffer.contents buf
+  let st = { raw_mults = mult_count_t3 t; cse_mults = !cse_mults; chunks } in
+  (kernel_comment name st ^ Buffer.contents body, st)
 
 (* Group 2-tensor entries by output row. *)
 let rows_of_t2 (t : Sparse.t2) =
@@ -248,35 +337,51 @@ let rows_of_t2 (t : Sparse.t2) =
     t.Sparse.vv;
   List.sort compare (Hashtbl.fold (fun r terms acc -> (r, List.rev terms) :: acc) tbl [])
 
+let mult_count_t2 (t : Sparse.t2) =
+  List.fold_left
+    (fun acc (_, terms) -> acc + 1 + List.length terms)
+    0 (rows_of_t2 t)
+
+(* t2 terms are single products [v *. f.(c)] — no shared alpha*f pairs to
+   eliminate, so the pass is plain unrolling with unsafe access. *)
 let emit_t2_apply_off ~name (t : Sparse.t2) =
-  let buf = Buffer.create 2048 in
+  let body = Buffer.create 2048 in
   let header n =
     Printf.sprintf
       "let %s ~scale (f : float array) ~(foff : int) (out : float array) \
        ~(ooff : int) =\n"
       n
   in
-  let emit_row buf (r, terms) =
-    Buffer.add_string buf
-      (Printf.sprintf "  out.(ooff + %d) <- out.(ooff + %d) +. scale *. (" r r);
-    List.iteri
-      (fun i (c, v) ->
-        if i > 0 then Buffer.add_string buf " +. ";
-        Buffer.add_string buf (Printf.sprintf "%s *. f.(foff + %d)" (lit v) c))
-      terms;
-    Buffer.add_string buf ");\n"
+  let cse_mults = ref 0 in
+  let emit_part buf rows =
+    List.iter
+      (fun (r, terms) ->
+        let b = Buffer.create 128 in
+        Buffer.add_string b "scale *. (";
+        List.iteri
+          (fun i (c, v) ->
+            if i > 0 then Buffer.add_string b " +. ";
+            Buffer.add_string b (Printf.sprintf "%s *. %s" (lit v) (fg c));
+            incr cse_mults)
+          terms;
+        Buffer.add_string b ")";
+        incr cse_mults;
+        out_update buf r (Buffer.contents b))
+      rows
   in
-  emit_chunked ~name ~header ~call_args:"~scale f ~foff out ~ooff"
-    ~empty_body:"  ignore scale; ignore f; ignore foff; ignore out; ignore ooff\n"
-    ~emit_row (rows_of_t2 t) buf;
-  Buffer.contents buf
+  let chunks =
+    emit_chunked ~name ~header ~call_args:"~scale f ~foff out ~ooff"
+      ~empty_body:
+        "  ignore scale; ignore f; ignore foff; ignore out; ignore ooff\n"
+      ~row_cost:(fun (_, terms) -> 1 + List.length terms)
+      ~emit_part (rows_of_t2 t) body
+  in
+  let st = { raw_mults = mult_count_t2 t; cse_mults = !cse_mults; chunks } in
+  (kernel_comment name st ^ Buffer.contents body, st)
 
-let mult_count_t2 (t : Sparse.t2) =
-  List.fold_left
-    (fun acc (_, terms) -> acc + 1 + List.length terms)
-    0 (rows_of_t2 t)
-
-(* Offset variant of the specialized streaming volume kernel. *)
+(* Offset variant of the specialized streaming volume kernel.  Already in
+   its CAS-factored minimal-multiplication form (common wv/dv factors pulled
+   out), so the pass here is unsafe access + chunking only. *)
 let emit_streaming_volume_off (lay : Layout.t) ~dir ~name =
   let support = Tensors.streaming_support lay ~dir in
   let vol = Tensors.volume lay.Layout.basis ~support ~dir in
@@ -285,52 +390,69 @@ let emit_streaming_volume_off (lay : Layout.t) ~dir ~name =
   let c1 = 0.5 *. Flux.linear_coeff ~dim:pdim in
   let const_idx = support.(0) and lin_idx = support.(1) in
   let rows = rows_of_t3 vol in
-  let buf = Buffer.create 4096 in
+  let body = Buffer.create 4096 in
   let header n =
     Printf.sprintf
       "let %s ~(wv : float) ~(dv : float) ~(rdx2 : float) (f : float array) \
        ~(foff : int) (out : float array) ~(ooff : int) =\n"
       n
   in
-  let mults = ref 0 in
-  let emit_row buf (l, terms) =
-    let wv_terms = List.filter (fun (m, _, _) -> m = const_idx) terms in
-    let dv_terms = List.filter (fun (m, _, _) -> m = lin_idx) terms in
-    let dot buf coeff items =
-      List.iteri
-        (fun i (_, n, c) ->
-          if i > 0 then Buffer.add_string buf " +. ";
-          Buffer.add_string buf
-            (Printf.sprintf "%s *. f.(foff + %d)" (lit (c *. coeff)) n);
-          incr mults)
-        items
-    in
-    Buffer.add_string buf
-      (Printf.sprintf "  out.(ooff + %d) <- out.(ooff + %d) +. rdx2 *. (" l l);
-    let has_wv = wv_terms <> [] and has_dv = dv_terms <> [] in
-    if has_wv then begin
-      Buffer.add_string buf "(wv *. (";
-      dot buf c0 wv_terms;
-      Buffer.add_string buf "))";
-      incr mults
-    end;
-    if has_dv then begin
-      if has_wv then Buffer.add_string buf " +. ";
-      Buffer.add_string buf "(dv *. (";
-      dot buf c1 dv_terms;
-      Buffer.add_string buf "))";
-      incr mults
-    end;
-    if (not has_wv) && not has_dv then Buffer.add_string buf "0.0";
-    Buffer.add_string buf ");\n";
-    incr mults (* rdx2 *)
+  let split terms =
+    ( List.filter (fun (m, _, _) -> m = const_idx) terms,
+      List.filter (fun (m, _, _) -> m = lin_idx) terms )
   in
-  emit_chunked ~name ~header ~call_args:"~wv ~dv ~rdx2 f ~foff out ~ooff"
-    ~empty_body:
-      "  ignore wv; ignore dv; ignore rdx2; ignore f; ignore foff; ignore out; \
-       ignore ooff\n"
-    ~emit_row rows buf;
-  (Buffer.contents buf, !mults)
+  let row_cost (_, terms) =
+    let wv_terms, dv_terms = split terms in
+    List.length wv_terms + List.length dv_terms
+    + (if wv_terms <> [] then 1 else 0)
+    + (if dv_terms <> [] then 1 else 0)
+    + 1
+  in
+  let mults = ref 0 in
+  let emit_part buf rows =
+    List.iter
+      (fun (l, terms) ->
+        let wv_terms, dv_terms = split terms in
+        let b = Buffer.create 256 in
+        let dot coeff items =
+          List.iteri
+            (fun i (_, n, c) ->
+              if i > 0 then Buffer.add_string b " +. ";
+              Buffer.add_string b
+                (Printf.sprintf "%s *. %s" (lit (c *. coeff)) (fg n));
+              incr mults)
+            items
+        in
+        Buffer.add_string b "rdx2 *. (";
+        let has_wv = wv_terms <> [] and has_dv = dv_terms <> [] in
+        if has_wv then begin
+          Buffer.add_string b "(wv *. (";
+          dot c0 wv_terms;
+          Buffer.add_string b "))";
+          incr mults
+        end;
+        if has_dv then begin
+          if has_wv then Buffer.add_string b " +. ";
+          Buffer.add_string b "(dv *. (";
+          dot c1 dv_terms;
+          Buffer.add_string b "))";
+          incr mults
+        end;
+        if (not has_wv) && not has_dv then Buffer.add_string b "0.0";
+        Buffer.add_string b ")";
+        incr mults (* rdx2 *);
+        out_update buf l (Buffer.contents b))
+      rows
+  in
+  let chunks =
+    emit_chunked ~name ~header ~call_args:"~wv ~dv ~rdx2 f ~foff out ~ooff"
+      ~empty_body:
+        "  ignore wv; ignore dv; ignore rdx2; ignore f; ignore foff; ignore \
+         out; ignore ooff\n"
+      ~row_cost ~emit_part rows body
+  in
+  let st = { raw_mults = !mults; cse_mults = !mults; chunks } in
+  (kernel_comment name st ^ Buffer.contents body, st)
 
 (* --- per-direction kernel bundles and the dispatch registry ------------- *)
 
@@ -382,38 +504,48 @@ let basis_signature basis =
               (Array.map string_of_int
                  (Dg_util.Multi_index.to_array (Dg_basis.Modal.index basis k))))))
 
-(* Emit the kernel bundle for one (layout, dir); returns (source, mults). *)
+(* Emit the kernel bundle for one (layout, dir); returns
+   (source, hot-path stats).  Stats count only the kernels the dispatcher
+   actually runs (the streaming volume form is preferred over the generic
+   one on configuration directions). *)
 let emit_dir_bundle (lay : Layout.t) ~dir ~tag =
   let dk = Tensors.make_dir lay ~dir in
   let n kind = Printf.sprintf "%s_%s_d%d" kind tag dir in
   let buf = Buffer.create 16384 in
-  let mults = ref 0 in
+  let raw = ref 0 and cse = ref 0 and chunks = ref 0 in
+  let tally (st : stats) =
+    raw := !raw + st.raw_mults;
+    cse := !cse + st.cse_mults;
+    chunks := !chunks + st.chunks
+  in
   let add_t3 kind t =
-    Buffer.add_string buf (emit_t3_apply_off ~name:(n kind) t);
+    let src, st = emit_t3_apply_off ~name:(n kind) t in
+    Buffer.add_string buf src;
     Buffer.add_char buf '\n';
-    mults := !mults + mult_count_t3 t
+    tally st
   in
   let add_t2 kind t =
-    Buffer.add_string buf (emit_t2_apply_off ~name:(n kind) t);
+    let src, st = emit_t2_apply_off ~name:(n kind) t in
+    Buffer.add_string buf src;
     Buffer.add_char buf '\n';
-    mults := !mults + mult_count_t2 t
+    tally st
   in
   let stream =
     if Layout.is_config_dir lay dir then begin
-      let src, m = emit_streaming_volume_off lay ~dir ~name:(n "vs") in
+      let src, st = emit_streaming_volume_off lay ~dir ~name:(n "vs") in
       Buffer.add_string buf src;
       Buffer.add_char buf '\n';
-      mults := !mults + m;
+      tally st;
       true
     end
     else false
   in
   (* generic alpha-based volume kernel: counted only when no specialized
      streaming form exists (the dispatcher prefers the streaming form) *)
-  let vol_src = emit_t3_apply_off ~name:(n "vol") dk.Tensors.vol in
+  let vol_src, vol_st = emit_t3_apply_off ~name:(n "vol") dk.Tensors.vol in
   Buffer.add_string buf vol_src;
   Buffer.add_char buf '\n';
-  if not stream then mults := !mults + mult_count_t3 dk.Tensors.vol;
+  if not stream then tally vol_st;
   add_t3 "sll" dk.Tensors.surf_ll;
   add_t3 "slr" dk.Tensors.surf_lr;
   add_t3 "srl" dk.Tensors.surf_rl;
@@ -426,67 +558,57 @@ let emit_dir_bundle (lay : Layout.t) ~dir ~tag =
     (Printf.sprintf
        "let b_%s_d%d : bundle = { vol = %s; vol_stream = %s; surf_ll = %s; \
         surf_lr = %s; surf_rl = %s; surf_rr = %s; pen_ll = %s; pen_lr = %s; \
-        pen_rl = %s; pen_rr = %s; mults = %d }\n"
+        pen_rl = %s; pen_rr = %s; mults = %d; mults_raw = %d; chunks = %d }\n"
        tag dir (n "vol")
        (if stream then "Some " ^ n "vs" else "None")
        (n "sll") (n "slr") (n "srl") (n "srr") (n "pll") (n "plr") (n "prl")
-       (n "prr") !mults);
-  (Buffer.contents buf, !mults)
+       (n "prr") !cse !raw !chunks);
+  (Buffer.contents buf, { raw_mults = !raw; cse_mults = !cse; chunks = !chunks })
 
 (* The complete generated-kernel module: per-direction bundles for every
    standard configuration plus a registry keyed by
    (family, poly_order, cdim, vdim, dir).  Deterministic, so a digest of
-   this payload detects stale committed output (test_codegen). *)
-(* Per-direction multiplication budget: a larger unrolled kernel thrashes
-   the instruction cache (and ocamlopt) and stops beating the interpreted
-   loop, so such directions are left to the sparse fallback.  Measured on
-   the bench box: ~6.4k-mult directions still win (1.3-1.5x), the 23k-mult
-   2X2V p=2 serendipity velocity directions lose 2x. *)
-let mult_budget = 16_000
+   this payload — per-kernel header comments included — detects stale
+   committed output (test_codegen).
 
+   Every direction of every standard configuration specializes: the CSE
+   pass plus the [chunk_mult_budget]-sized part functions replace the old
+   per-direction 16k-mult fallback that left the 2x2v p=2 velocity
+   directions (the paper's Fig. 5 production config) on the interpreted
+   path. *)
 let registry_payload () =
   let buf = Buffer.create (1 lsl 20) in
   let index = Buffer.create 1024 in
   let arms = Buffer.create 4096 in
   let seen = Hashtbl.create 16 in
-  (* (signature, cdim, vdim) -> (tag, dirs actually emitted) *)
+  (* (signature, cdim, vdim) -> tag of the emitted bundle set *)
   List.iter
     (fun (family, p, cdim, vdim) ->
       let lay = unit_layout ~cdim ~vdim ~family ~p in
       let key = (basis_signature lay.Layout.basis, cdim, vdim) in
-      let tag, dirs_emitted =
+      let tag =
         match Hashtbl.find_opt seen key with
-        | Some v -> v
+        | Some tag -> tag
         | None ->
             let tag = config_tag ~family ~p ~cdim ~vdim in
-            let emitted = ref [] in
             for dir = 0 to lay.Layout.pdim - 1 do
-              let src, m = emit_dir_bundle lay ~dir ~tag in
-              if m <= mult_budget then begin
-                Buffer.add_string buf src;
-                Buffer.add_char buf '\n';
-                emitted := dir :: !emitted;
-                Buffer.add_string index
-                  (Printf.sprintf "   %s dir %d: %d multiplications\n" tag dir m)
-              end
-              else
-                Buffer.add_string index
-                  (Printf.sprintf
-                     "   %s dir %d: %d multiplications > budget %d, \
-                      interpreted fallback\n"
-                     tag dir m mult_budget)
+              let src, st = emit_dir_bundle lay ~dir ~tag in
+              Buffer.add_string buf src;
+              Buffer.add_char buf '\n';
+              Buffer.add_string index
+                (Printf.sprintf
+                   "   %s dir %d: %d mults unrolled, %d after cse, %d chunks\n"
+                   tag dir st.raw_mults st.cse_mults st.chunks)
             done;
-            let v = (tag, List.rev !emitted) in
-            Hashtbl.add seen key v;
-            v
+            Hashtbl.add seen key tag;
+            tag
       in
-      List.iter
-        (fun dir ->
-          Buffer.add_string arms
-            (Printf.sprintf "  | %S, %d, %d, %d, %d -> Some b_%s_d%d\n"
-               (Dg_basis.Modal.family_name family)
-               p cdim vdim dir tag dir))
-        dirs_emitted)
+      for dir = 0 to lay.Layout.pdim - 1 do
+        Buffer.add_string arms
+          (Printf.sprintf "  | %S, %d, %d, %d, %d -> Some b_%s_d%d\n"
+             (Dg_basis.Modal.family_name family)
+             p cdim vdim dir tag dir)
+      done)
     standard_configs;
   let out = Buffer.create (1 lsl 20) in
   Buffer.add_string out
@@ -515,6 +637,8 @@ let registry_payload () =
     \  pen_rl : t2_fn;\n\
     \  pen_rr : t2_fn;\n\
     \  mults : int;\n\
+    \  mults_raw : int;\n\
+    \  chunks : int;\n\
      }\n\n";
   Buffer.add_buffer out buf;
   Buffer.add_string out

@@ -25,16 +25,27 @@ val nodal_mult_estimate : Layout.t -> int
 
 val emit_module : header:string -> string list -> string
 
-val emit_t3_apply_off : name:string -> Sparse.t3 -> string
-(** Unrolled 3-tensor application reading [f.(foff + n)] and writing
-    [out.(ooff + l)] — runs directly on field coefficient blocks. *)
+type stats = {
+  raw_mults : int;  (** multiplications of the plain unrolled form *)
+  cse_mults : int;  (** after common-subexpression elimination *)
+  chunks : int;  (** part functions the kernel was split into *)
+}
+(** Cost accounting for an emitted offset kernel; surfaces in the
+    per-kernel header comment and the registry bundle metadata. *)
 
-val emit_t2_apply_off : name:string -> Sparse.t2 -> string
+val emit_t3_apply_off : name:string -> Sparse.t3 -> string * stats
+(** Unrolled 3-tensor application reading [Array.unsafe_get f (foff + n)]
+    and accumulating into [out.(ooff + l)] via [Array.unsafe_set] — runs
+    in place on flat field storage.  Repeated [alpha.(m) * f.(n)] products
+    are hoisted (CSE) and kernels over the per-part multiplication budget
+    are split into sequential part functions stitched by a wrapper. *)
+
+val emit_t2_apply_off : name:string -> Sparse.t2 -> string * stats
 val mult_count_t2 : Sparse.t2 -> int
 
 val emit_streaming_volume_off :
-  Layout.t -> dir:int -> name:string -> string * int
-(** Offset variant of {!emit_streaming_volume}. *)
+  Layout.t -> dir:int -> name:string -> string * stats
+(** Offset, unsafe-access variant of {!emit_streaming_volume}. *)
 
 val standard_configs : (Dg_basis.Modal.family * int * int * int) list
 (** The (family, poly_order, cdim, vdim) configurations whose kernel

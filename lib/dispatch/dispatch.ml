@@ -11,6 +11,9 @@
 
 module K = Dg_genkernels.Kernels
 module Modal = Dg_basis.Modal
+module Layout = Dg_kernels.Layout
+module Sparse = Dg_kernels.Sparse
+module Tensors = Dg_kernels.Tensors
 
 type t3_op = Gen3 of K.t3_fn | Interp3 of Sparse.t3
 type t2_op = Gen2 of K.t2_fn | Interp2 of Sparse.t2
@@ -57,6 +60,10 @@ let make ~use_generated (lay : Layout.t) ~dir (dk : Tensors.dir_kernels) =
   match (if use_generated then find_bundle lay ~dir else None) with
   | Some b ->
       Dg_obs.Obs.count "dispatch.specialized_dirs" 1;
+      (* codegen-pipeline accounting: multiplications the CSE pass removed
+         and part functions the chunker produced for this direction *)
+      Dg_obs.Obs.count "kernels.cse_saved_mults" (b.K.mults_raw - b.K.mults);
+      Dg_obs.Obs.count "kernels.chunks" b.K.chunks;
       {
         specialized = true;
         vol = Gen3 b.K.vol;
@@ -73,6 +80,9 @@ let make ~use_generated (lay : Layout.t) ~dir (dk : Tensors.dir_kernels) =
       }
   | None ->
       Dg_obs.Obs.count "dispatch.interpreted_dirs" 1;
+      (* a registry miss with generation requested is a fallback: the
+         dispatch test asserts this stays 0 for every registry config *)
+      if use_generated then Dg_obs.Obs.count "kernels.fallbacks" 1;
       {
         specialized = false;
         vol = Interp3 dk.Tensors.vol;

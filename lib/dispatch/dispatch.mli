@@ -4,6 +4,9 @@
     solver creation — the hot path pays a single constructor match. *)
 
 module K = Dg_genkernels.Kernels
+module Layout = Dg_kernels.Layout
+module Sparse = Dg_kernels.Sparse
+module Tensors = Dg_kernels.Tensors
 
 type t3_op = Gen3 of K.t3_fn | Interp3 of Sparse.t3
 type t2_op = Gen2 of K.t2_fn | Interp2 of Sparse.t2
@@ -44,4 +47,12 @@ val find_bundle : Layout.t -> dir:int -> K.bundle option
 
 val make : use_generated:bool -> Layout.t -> dir:int -> Tensors.dir_kernels -> dir_ops
 (** Dispatch for one direction: the generated bundle when [use_generated]
-    and the registry has one, else the interpreted tensors [dk]. *)
+    and the registry has one, else the interpreted tensors [dk].
+
+    Obs counters (when tracing is enabled): [dispatch.specialized_dirs] /
+    [dispatch.interpreted_dirs] per selected direction;
+    [kernels.cse_saved_mults] (multiplications the codegen CSE pass
+    removed) and [kernels.chunks] (part functions emitted) per specialized
+    direction; [kernels.fallbacks] per direction that requested generated
+    kernels but missed the registry — 0 for every registry config now that
+    chunked codegen covers all directions. *)

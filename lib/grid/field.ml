@@ -49,6 +49,49 @@ let offset f (c : int array) =
 let get f c k = f.data.(offset f c + k)
 let set f c k v = f.data.(offset f c + k) <- v
 
+(* --- Zero-copy cell addressing ----------------------------------------- *)
+
+(* The generated kernels read and write [data] with
+   [Array.unsafe_get]/[Array.unsafe_set] at literal in-block positions
+   relative to a cell's base offset, so this offset computation is the one
+   place bounds are established per cell.  VMDG_BOUNDS_CHECK=1 (read once
+   at module init) re-arms full per-coordinate checking for debugging the
+   zero-copy path. *)
+let bounds_check =
+  match Sys.getenv_opt "VMDG_BOUNDS_CHECK" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+let checked_cell_offset f (c : int array) =
+  let ndim = Grid.ndim f.grid in
+  if Array.length c <> ndim then
+    invalid_arg "Field.checked_cell_offset: coordinate rank mismatch";
+  let idx = ref 0 in
+  for d = 0 to ndim - 1 do
+    let cd = c.(d) + f.nghost in
+    if cd < 0 || cd >= f.ext.(d) then
+      invalid_arg
+        (Printf.sprintf
+           "Field.checked_cell_offset: coordinate %d out of \
+            [%d, %d) in dim %d"
+           c.(d) (-f.nghost)
+           (f.ext.(d) - f.nghost)
+           d);
+    idx := !idx + (cd * f.stride.(d))
+  done;
+  !idx * f.ncomp
+
+let unsafe_cell_offset f (c : int array) =
+  if bounds_check then checked_cell_offset f c
+  else begin
+    let idx = ref 0 in
+    for d = 0 to Grid.ndim f.grid - 1 do
+      idx :=
+        !idx + ((Array.unsafe_get c d + f.nghost) * Array.unsafe_get f.stride d)
+    done;
+    !idx * f.ncomp
+  end
+
 (* Read/write the whole coefficient block of a cell. *)
 let read_block f c (out : float array) =
   Array.blit f.data (offset f c) out 0 f.ncomp

@@ -26,7 +26,29 @@ val data : t -> float array
 
 val offset : t -> int array -> int
 (** Offset (in floats) of a cell's coefficient block; accepts ghost
-    coordinates. *)
+    coordinates.  Bounds-checked with [assert] (active in dev builds). *)
+
+val checked_cell_offset : t -> int array -> int
+(** As {!offset} but always validates the coordinate rank and every
+    per-dimension bound, raising [Invalid_argument] on violation —
+    independent of build profile. *)
+
+val unsafe_cell_offset : t -> int array -> int
+(** Unchecked offset of a cell's coefficient block, for the zero-copy
+    kernel hot path.
+
+    Invariant: callers must pass a coordinate array of exactly
+    [Grid.ndim (grid t)] entries with each [c.(d)] in
+    [-nghost .. cells.(d) + nghost - 1].  The generated kernels then
+    access [data t] with [Array.unsafe_get]/[Array.unsafe_set] at literal
+    offsets within the [ncomp]-float block starting here, so this single
+    per-cell computation is where memory safety is established — every
+    in-block index is a compile-time literal [< ncomp].
+
+    Setting the environment variable [VMDG_BOUNDS_CHECK=1] (read once at
+    program start) makes this function behave exactly like
+    {!checked_cell_offset}, restoring full per-coordinate validation on
+    the hot path for debugging. *)
 
 val get : t -> int array -> int -> float
 val set : t -> int array -> int -> float -> unit

@@ -4,7 +4,7 @@
    grid: streaming volume+surface terms in configuration directions, and
    acceleration q/m (E + v x B) volume+surface terms in velocity directions.
    All coupling tensors are precomputed exactly (dg_kernels.Tensors) and
-   each per-direction application is routed through Dg_kernels.Dispatch:
+   each per-direction application is routed through Dg_dispatch.Dispatch:
    generated unrolled kernels (lib/genkernels — the paper's Fig. 1 kernels)
    when the registry covers the basis, the interpreted sparse loops
    otherwise.
@@ -27,7 +27,7 @@
 module Layout = Dg_kernels.Layout
 module Tensors = Dg_kernels.Tensors
 module Flux = Dg_kernels.Flux
-module Dispatch = Dg_kernels.Dispatch
+module Dispatch = Dg_dispatch.Dispatch
 module Grid = Dg_grid.Grid
 module Field = Dg_grid.Field
 
@@ -49,6 +49,7 @@ type workspace = {
   w_alpha : float array; (* flux-expansion coefficients *)
   w_vcenter : float array; (* velocity-cell centers of the current cell *)
   w_cl : int array; (* neighbour-cell coordinate scratch *)
+  w_cc : int array; (* configuration-coordinate scratch (EM cell lookup) *)
 }
 
 let create ?(flux = Upwind) ?(use_kernels = true) ~qm (lay : Layout.t) =
@@ -80,6 +81,7 @@ let make_workspace t =
     w_alpha = Array.make t.np 0.0;
     w_vcenter = Array.make t.lay.Layout.vdim 0.0;
     w_cl = Array.make t.lay.Layout.pdim 0;
+    w_cc = Array.make t.lay.Layout.cdim 0;
   }
 
 (* Velocity-cell center of velocity dimension [k] for phase coordinates [c]. *)
@@ -94,8 +96,9 @@ let fill_vcenter t (c : int array) (out : float array) =
 
 (* Fill [alpha] with the flux expansion for direction [dir] in the cell with
    phase coordinates [c].  For velocity directions [em] gives the EM
-   coefficient field over the configuration grid. *)
-let fill_alpha t ~dir (c : int array) ~(em : Field.t option)
+   coefficient field over the configuration grid; [cc] is caller-provided
+   scratch of [cdim] ints (no per-cell allocation on the hot path). *)
+let fill_alpha t ~dir (c : int array) ~(em : Field.t option) ~(cc : int array)
     (vcenter : float array) (alpha : float array) =
   if Layout.is_config_dir t.lay dir then begin
     let vd = Layout.paired_velocity_dim t.lay dir - t.lay.Layout.cdim in
@@ -110,8 +113,8 @@ let fill_alpha t ~dir (c : int array) ~(em : Field.t option)
         (* no fields: zero acceleration *)
         Array.iter (fun m -> alpha.(m) <- 0.0) t.dirs.(dir).Tensors.support
     | Some emf ->
-        let ccoords = Array.sub c 0 t.lay.Layout.cdim in
-        let em_off = Field.offset emf ccoords in
+        Array.blit c 0 cc 0 t.lay.Layout.cdim;
+        let em_off = Field.unsafe_cell_offset emf cc in
         Flux.accel_alpha t.accel.(vdir) ~em:(Field.data emf) ~em_off
           ~ncbasis:t.nc ~vcenter alpha
   end
@@ -143,10 +146,11 @@ let rhs_plain t ~ws ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
   let pdim = lay.Layout.pdim and cdim = lay.Layout.cdim in
   let fd = Field.data f and od = Field.data out in
   let alpha = ws.w_alpha and vcenter = ws.w_vcenter and cl = ws.w_cl in
+  let cc = ws.w_cc in
   Field.fill out 0.0;
   Grid.iter_cells grid (fun _ c ->
-      let foff = Field.offset f c in
-      let ooff = Field.offset out c in
+      let foff = Field.unsafe_cell_offset f c in
+      let ooff = Field.unsafe_cell_offset out c in
       fill_vcenter t c vcenter;
       for dir = 0 to pdim - 1 do
         let is_cfg = dir < cdim in
@@ -154,7 +158,7 @@ let rhs_plain t ~ws ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
         if is_cfg || em <> None then begin
           let ops = t.ops.(dir) in
           let rdx = 1.0 /. dx.(dir) in
-          fill_alpha t ~dir c ~em vcenter alpha;
+          fill_alpha t ~dir c ~em ~cc vcenter alpha;
           (* volume term *)
           (match ops.Dispatch.vol_stream with
           | Some k ->
@@ -169,11 +173,11 @@ let rhs_plain t ~ws ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
           if not ((not is_cfg) && c.(dir) = 0) then begin
             Array.blit c 0 cl 0 pdim;
             cl.(dir) <- c.(dir) - 1;
-            let foff_l = Field.offset f cl in
+            let foff_l = Field.unsafe_cell_offset f cl in
             let lam = face_speed t ~dir vcenter alpha in
             (* update left cell (skip if ghost) *)
             if cl.(dir) >= 0 then begin
-              let ooff_l = Field.offset out cl in
+              let ooff_l = Field.unsafe_cell_offset out cl in
               Dispatch.apply_t3 ops.Dispatch.surf_ll ~scale:(-.rdx) alpha fd
                 ~foff:foff_l od ~ooff:ooff_l;
               Dispatch.apply_t3 ops.Dispatch.surf_lr ~scale:(-.rdx) alpha fd
@@ -202,7 +206,7 @@ let rhs_plain t ~ws ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
           if is_cfg && c.(dir) = cells.(dir) - 1 then begin
             Array.blit c 0 cl 0 pdim;
             cl.(dir) <- c.(dir) + 1;
-            let foff_r = Field.offset f cl in
+            let foff_r = Field.unsafe_cell_offset f cl in
             let lam = face_speed t ~dir vcenter alpha in
             Dispatch.apply_t3 ops.Dispatch.surf_ll ~scale:(-.rdx) alpha fd
               ~foff od ~ooff;
@@ -235,6 +239,7 @@ let rhs_traced t ~ws ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
   let pdim = lay.Layout.pdim and cdim = lay.Layout.cdim in
   let fd = Field.data f and od = Field.data out in
   let alpha = ws.w_alpha and vcenter = ws.w_vcenter and cl = ws.w_cl in
+  let cc = ws.w_cc in
   let t_fill = ref 0.0 and t_vol = ref 0.0 and t_surf = ref 0.0 in
   let t_pen = ref 0.0 and n_fill = ref 0 in
   let tmark = ref 0.0 in
@@ -242,8 +247,8 @@ let rhs_traced t ~ws ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
   let tick acc = acc := !acc +. (Obs.now () -. !tmark) in
   Field.fill out 0.0;
   Grid.iter_cells grid (fun _ c ->
-      let foff = Field.offset f c in
-      let ooff = Field.offset out c in
+      let foff = Field.unsafe_cell_offset f c in
+      let ooff = Field.unsafe_cell_offset out c in
       fill_vcenter t c vcenter;
       for dir = 0 to pdim - 1 do
         let is_cfg = dir < cdim in
@@ -251,7 +256,7 @@ let rhs_traced t ~ws ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
           let ops = t.ops.(dir) in
           let rdx = 1.0 /. dx.(dir) in
           mark ();
-          fill_alpha t ~dir c ~em vcenter alpha;
+          fill_alpha t ~dir c ~em ~cc vcenter alpha;
           incr n_fill;
           tick t_fill;
           mark ();
@@ -266,10 +271,10 @@ let rhs_traced t ~ws ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
           if not ((not is_cfg) && c.(dir) = 0) then begin
             Array.blit c 0 cl 0 pdim;
             cl.(dir) <- c.(dir) - 1;
-            let foff_l = Field.offset f cl in
+            let foff_l = Field.unsafe_cell_offset f cl in
             let lam = face_speed t ~dir vcenter alpha in
             if cl.(dir) >= 0 then begin
-              let ooff_l = Field.offset out cl in
+              let ooff_l = Field.unsafe_cell_offset out cl in
               mark ();
               Dispatch.apply_t3 ops.Dispatch.surf_ll ~scale:(-.rdx) alpha fd
                 ~foff:foff_l od ~ooff:ooff_l;
@@ -303,7 +308,7 @@ let rhs_traced t ~ws ~(f : Field.t) ~(em : Field.t option) ~(out : Field.t) =
           if is_cfg && c.(dir) = cells.(dir) - 1 then begin
             Array.blit c 0 cl 0 pdim;
             cl.(dir) <- c.(dir) + 1;
-            let foff_r = Field.offset f cl in
+            let foff_r = Field.unsafe_cell_offset f cl in
             let lam = face_speed t ~dir vcenter alpha in
             mark ();
             Dispatch.apply_t3 ops.Dispatch.surf_ll ~scale:(-.rdx) alpha fd

@@ -134,16 +134,23 @@ let test_generated_accel () =
   check_accel ~cdim:1 ~vdim:1 ~family:Modal.Tensor ~p:1;
   check_accel ~cdim:1 ~vdim:1 ~family:Modal.Tensor ~p:2;
   check_accel ~cdim:1 ~vdim:2 ~family:Modal.Tensor ~p:1;
-  check_accel ~cdim:1 ~vdim:2 ~family:Modal.Serendipity ~p:2
+  check_accel ~cdim:1 ~vdim:2 ~family:Modal.Serendipity ~p:2;
+  (* the chunked 2x2v p2 velocity-direction kernels (formerly interpreted
+     fallbacks) *)
+  check_accel ~cdim:2 ~vdim:2 ~family:Modal.Serendipity ~p:2;
+  check_accel ~cdim:2 ~vdim:2 ~family:Modal.Tensor ~p:2
 
 let test_generated_surfaces () =
   check_surfaces ~cdim:1 ~vdim:2 ~family:Modal.Serendipity ~p:1 ~dir:0;
   check_surfaces ~cdim:1 ~vdim:2 ~family:Modal.Serendipity ~p:2 ~dir:1;
-  check_surfaces ~cdim:2 ~vdim:2 ~family:Modal.Serendipity ~p:1 ~dir:3
+  check_surfaces ~cdim:2 ~vdim:2 ~family:Modal.Serendipity ~p:1 ~dir:3;
+  check_surfaces ~cdim:2 ~vdim:2 ~family:Modal.Serendipity ~p:2 ~dir:2;
+  check_surfaces ~cdim:2 ~vdim:2 ~family:Modal.Tensor ~p:2 ~dir:3
 
-(* Every advertised configuration resolves for every direction, except
-   directions whose unrolled size exceeded the emitter's budget — those
-   must fall back (find = None) and stay interpreted. *)
+(* Every advertised configuration resolves for EVERY direction — the
+   chunked emitter has no over-budget fallback any more — with sane
+   bundle metadata (CSE can only shrink the multiplication count, and
+   every kernel has at least one part function). *)
 let test_registry_complete () =
   List.iter
     (fun (family, p, cdim, vdim) ->
@@ -152,12 +159,17 @@ let test_registry_complete () =
         | Some b ->
             if b.Gen.mults <= 0 then
               Alcotest.failf "%s p=%d %dx%dv dir %d: nonpositive mults" family
-                p cdim vdim dir
+                p cdim vdim dir;
+            if b.Gen.mults_raw < b.Gen.mults then
+              Alcotest.failf
+                "%s p=%d %dx%dv dir %d: CSE grew mults (%d raw < %d)" family p
+                cdim vdim dir b.Gen.mults_raw b.Gen.mults;
+            if b.Gen.chunks < 1 then
+              Alcotest.failf "%s p=%d %dx%dv dir %d: no chunks" family p cdim
+                vdim dir
         | None ->
-            (* only the over-budget 2x2v p2 velocity dirs may be missing *)
-            if not (p = 2 && cdim = 2 && vdim = 2 && dir >= 2) then
-              Alcotest.failf "%s p=%d %dx%dv dir %d missing from registry"
-                family p cdim vdim dir
+            Alcotest.failf "%s p=%d %dx%dv dir %d missing from registry"
+              family p cdim vdim dir
       done)
     Gen.configs;
   (* unsupported family resolves to nothing *)

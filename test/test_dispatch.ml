@@ -106,9 +106,9 @@ let test_fallback_config () =
   (* both run the same interpreted tensors: identical, not just close *)
   check_fields ~rtol:0.0 "maximal-order fallback" out_d out_i
 
-(* Registry-covered configs report their specialized directions; the
-   partially covered 2x2v p2 tensor keeps its over-budget velocity
-   directions interpreted. *)
+(* Every registry-covered config is now FULLY specialized — the chunked
+   codegen removed the over-budget interpreted fallback, including the
+   2x2v p2 velocity directions. *)
 let test_specialized_dirs () =
   let lay = make_layout ~family:Modal.Serendipity ~p:2 ~cdim:1 ~vdim:2 in
   let s = Solver.create ~qm:1.0 lay in
@@ -118,13 +118,13 @@ let test_specialized_dirs () =
   let lay22 = make_layout ~family:Modal.Tensor ~p:2 ~cdim:2 ~vdim:2 in
   let s22 = Solver.create ~qm:1.0 lay22 in
   Alcotest.(check (array bool))
-    "2x2v p2 tensor: config dirs specialized, velocity dirs interpreted"
-    [| true; true; false; false |]
+    "2x2v p2 tensor fully specialized (chunked velocity dirs)"
+    [| true; true; true; true |]
     (Solver.specialized_dirs s22)
 
-(* With tracing enabled the dispatch/fallback counters must match the known
-   over-budget directions: 2x2v p2 tensor specializes the two configuration
-   directions and keeps the two velocity directions interpreted. *)
+(* With tracing enabled the dispatch counters must show every direction
+   specialized and zero fallbacks — for the 2x2v p2 tensor flagship and
+   for every other registry config. *)
 let test_fallback_counters () =
   let module Obs = Dg_obs.Obs in
   Obs.enable ();
@@ -132,11 +132,20 @@ let test_fallback_counters () =
   let lay22 = make_layout ~family:Modal.Tensor ~p:2 ~cdim:2 ~vdim:2 in
   let s22 = Solver.create ~qm:1.0 lay22 in
   Alcotest.(check (float 0.0))
-    "specialized dirs counted at create" 2.0
+    "all four dirs specialized at create" 4.0
     (Obs.counter_value "dispatch.specialized_dirs");
   Alcotest.(check (float 0.0))
-    "interpreted dirs counted at create" 2.0
+    "no interpreted dirs at create" 0.0
     (Obs.counter_value "dispatch.interpreted_dirs");
+  Alcotest.(check (float 0.0))
+    "no registry fallbacks" 0.0
+    (Obs.counter_value "kernels.fallbacks");
+  Alcotest.(check bool)
+    "chunked part functions reported" true
+    (Obs.counter_value "kernels.chunks" > 0.0);
+  Alcotest.(check bool)
+    "CSE removed multiplications" true
+    (Obs.counter_value "kernels.cse_saved_mults" > 0.0);
   let np = Layout.num_basis lay22 in
   let f = random_f lay22 and em = random_em lay22 in
   let out = Field.create lay22.Layout.grid ~ncomp:np in
@@ -144,11 +153,22 @@ let test_fallback_counters () =
   Solver.rhs s22 ~f ~em:(Some em) ~out;
   let ncells = float_of_int (Grid.num_cells lay22.Layout.grid) in
   Alcotest.(check (float 0.0))
-    "generated cell-dirs per sweep" (2.0 *. ncells)
+    "generated cell-dirs per sweep" (4.0 *. ncells)
     (Obs.counter_value "rhs.celldirs_generated");
   Alcotest.(check (float 0.0))
-    "interpreted (fallback) cell-dirs per sweep" (2.0 *. ncells)
+    "no interpreted cell-dirs per sweep" 0.0
     (Obs.counter_value "rhs.celldirs_interpreted");
+  (* kernels.fallbacks must read 0 across ALL registry configs *)
+  Obs.reset ();
+  List.iter
+    (fun (family, p, cdim, vdim) ->
+      ignore
+        (Solver.create ~qm:1.0
+           (make_layout ~family:(Modal.family_of_string family) ~p ~cdim ~vdim)))
+    Gen.configs;
+  Alcotest.(check (float 0.0))
+    "kernels.fallbacks = 0 over every registry config" 0.0
+    (Obs.counter_value "kernels.fallbacks");
   Obs.disable ();
   Obs.reset ()
 
@@ -171,9 +191,87 @@ let test_workspace_reentrant () =
   check_fields ~rtol:0.0 "distinct workspaces" out1 out2;
   check_fields ~rtol:0.0 "reused workspace" out1 out3
 
-(* Two concurrent sweeps over ONE solver with distinct workspaces. *)
+(* QCheck: on random states the chunked zero-copy kernels agree with the
+   interpreted path for the paper's 2x2v p2 flagship configs (serendipity
+   and tensor) in every direction — random seed, family, and flux choice
+   per case. *)
+let qcheck_chunked_equivalence =
+  let open QCheck in
+  let arb = triple (int_bound 10_000) bool bool in
+  let test =
+    Test.make ~count:6 ~name:"2x2v p2 chunked kernels == interpreted"
+      arb
+      (fun (seed, tensor, upwind) ->
+        let family = if tensor then Modal.Tensor else Modal.Serendipity in
+        let flux = if upwind then Solver.Upwind else Solver.Central in
+        let lay = make_layout ~family ~p:2 ~cdim:2 ~vdim:2 in
+        let np = Layout.num_basis lay in
+        let sd = Solver.create ~flux ~use_kernels:true ~qm:(-2.0) lay in
+        let si = Solver.create ~flux ~use_kernels:false ~qm:(-2.0) lay in
+        let f = random_f ~seed:(seed + 1) lay in
+        let em = random_em ~seed:(seed + 2) lay in
+        let out_d = Field.create lay.Layout.grid ~ncomp:np in
+        let out_i = Field.create lay.Layout.grid ~ncomp:np in
+        Solver.rhs sd ~f ~em:(Some em) ~out:out_d;
+        Solver.rhs si ~f ~em:(Some em) ~out:out_i;
+        check_fields ~rtol:1e-12
+          (Printf.sprintf "qcheck seed=%d tensor=%b upwind=%b" seed tensor
+             upwind)
+          out_d out_i;
+        true)
+  in
+  QCheck_alcotest.to_alcotest test
+
+(* The same generated kernel applied at a real field offset and on a
+   copied cell block must produce bit-identical coefficients: the
+   zero-copy ABI changes data movement only, never arithmetic. *)
+let test_zero_copy_bitwise () =
+  List.iter
+    (fun family ->
+      let lay = make_layout ~family ~p:2 ~cdim:2 ~vdim:2 in
+      let np = Layout.num_basis lay in
+      let pdim = lay.Layout.pdim in
+      let f = random_f ~seed:9 lay in
+      let fd = Field.data f in
+      let rng = Random.State.make [| 11 |] in
+      let alpha = Array.init np (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+      let c = Array.make pdim 1 in
+      let foff = Field.offset f c in
+      let fblock = Array.sub fd foff np in
+      for dir = 0 to pdim - 1 do
+        let b =
+          match
+            Gen.find
+              ~family:(Modal.family_name family)
+              ~poly_order:2 ~cdim:2 ~vdim:2 ~dir
+          with
+          | Some b -> b
+          | None ->
+              Alcotest.failf "%s dir %d missing from registry"
+                (Modal.family_name family) dir
+        in
+        let out_off = Array.make (foff + np) 0.0 in
+        let out_blk = Array.make np 0.0 in
+        b.Gen.vol ~scale:0.9 alpha fd ~foff out_off ~ooff:foff;
+        b.Gen.vol ~scale:0.9 alpha fblock ~foff:0 out_blk ~ooff:0;
+        b.Gen.surf_rr ~scale:(-1.3) alpha fd ~foff out_off ~ooff:foff;
+        b.Gen.surf_rr ~scale:(-1.3) alpha fblock ~foff:0 out_blk ~ooff:0;
+        b.Gen.pen_rr ~scale:0.4 fd ~foff out_off ~ooff:foff;
+        b.Gen.pen_rr ~scale:0.4 fblock ~foff:0 out_blk ~ooff:0;
+        for k = 0 to np - 1 do
+          let a = out_off.(foff + k) and bv = out_blk.(k) in
+          if Int64.bits_of_float a <> Int64.bits_of_float bv then
+            Alcotest.failf "%s dir %d coeff %d: %.17g not bit-identical to %.17g"
+              (Modal.family_name family) dir k a bv
+        done
+      done)
+    [ Modal.Serendipity; Modal.Tensor ]
+
+(* Two concurrent sweeps over ONE solver with distinct workspaces, on the
+   chunked in-place 2x2v p2 path: concurrent zero-copy writes into
+   distinct output fields must not interfere. *)
 let test_concurrent_sweeps () =
-  let lay = make_layout ~family:Modal.Serendipity ~p:1 ~cdim:1 ~vdim:2 in
+  let lay = make_layout ~family:Modal.Serendipity ~p:2 ~cdim:2 ~vdim:2 in
   let np = Layout.num_basis lay in
   let s = Solver.create ~qm:(-1.0) lay in
   let em = random_em lay in
@@ -206,6 +304,9 @@ let () =
             test_specialized_dirs;
           Alcotest.test_case "dispatch/fallback counters" `Quick
             test_fallback_counters;
+          qcheck_chunked_equivalence;
+          Alcotest.test_case "zero-copy == block-copy bitwise" `Quick
+            test_zero_copy_bitwise;
           Alcotest.test_case "workspaces are re-entrant" `Quick
             test_workspace_reentrant;
           Alcotest.test_case "concurrent sweeps on one solver" `Quick

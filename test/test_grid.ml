@@ -120,6 +120,36 @@ let test_block_ops () =
   Field.read_block f [| 1 |] out;
   Alcotest.(check (array (float 0.0))) "accumulate" [| 3.0; 4.0; 5.0 |] out
 
+(* The zero-copy addressing trio: unsafe_cell_offset must agree with the
+   checked offset on every interior AND ghost cell, and the always-checked
+   variant must reject out-of-range coordinates loudly. *)
+let test_cell_offsets () =
+  let g = Grid.make ~cells:[| 3; 4 |] ~lower:[| 0.; 0. |] ~upper:[| 1.; 1. |] in
+  let f = Field.create g ~ncomp:5 in
+  for i = -1 to 3 do
+    for j = -1 to 4 do
+      let c = [| i; j |] in
+      let expect = Field.offset f c in
+      Alcotest.(check int)
+        (Printf.sprintf "unsafe offset (%d,%d)" i j)
+        expect
+        (Field.unsafe_cell_offset f c);
+      Alcotest.(check int)
+        (Printf.sprintf "checked offset (%d,%d)" i j)
+        expect
+        (Field.checked_cell_offset f c)
+    done
+  done;
+  List.iter
+    (fun bad ->
+      match Field.checked_cell_offset f bad with
+      | exception Invalid_argument _ -> ()
+      | off ->
+          Alcotest.failf "checked_cell_offset [|%s|] = %d, expected raise"
+            (String.concat ";" (Array.to_list (Array.map string_of_int bad)))
+            off)
+    [ [| -2; 0 |]; [| 0; 5 |]; [| 4; 0 |]; [| 0 |] ]
+
 let () =
   Alcotest.run "dg_grid"
     [
@@ -141,5 +171,7 @@ let () =
           Alcotest.test_case "algebra" `Quick test_field_algebra;
           Alcotest.test_case "l2 norm" `Quick test_l2_norm;
           Alcotest.test_case "block ops" `Quick test_block_ops;
+          Alcotest.test_case "cell offsets (zero-copy trio)" `Quick
+            test_cell_offsets;
         ] );
     ]
