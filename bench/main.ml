@@ -1042,12 +1042,22 @@ let kernels_json ?(smoke = false) path =
               | None -> 0)
         in
         let spec = Solver.specialized_dirs sd in
-        if Array.exists not spec then unspecialized := name :: !unspecialized;
+        let budget = Solver.budget_limited_dirs sd in
+        (* a direction the mult-budget deliberately keeps interpreted is
+           healthy; only a registry miss is a specialization regression *)
+        let missing =
+          Array.exists (fun i -> (not spec.(i)) && not budget.(i))
+            (Array.init lay.Layout.pdim Fun.id)
+        in
+        if missing then unspecialized := name :: !unspecialized;
         let speedup = t_interp /. t_disp in
         pr "%-16s dispatched %10.0f ns  interpreted %10.0f ns  %5.2fx  [%s]\n"
           name (t_disp *. 1e9) (t_interp *. 1e9) speedup
           (String.concat ""
-             (Array.to_list (Array.map (fun b -> if b then "S" else "i") spec)));
+             (Array.to_list
+                (Array.mapi
+                   (fun i s -> if s then "S" else if budget.(i) then "b" else "i")
+                   spec)));
         emit ~bench:"kernels" ~config:name ~metric:"rhs_dispatched"
           ~value:(t_disp *. 1e9) ~units:"ns";
         emit ~bench:"kernels" ~config:name ~metric:"rhs_interpreted"
@@ -1058,6 +1068,7 @@ let kernels_json ?(smoke = false) path =
           "    {\"config\": %S, \"family\": %S, \"poly_order\": %d, \"cdim\": \
            %d, \"vdim\": %d, \"num_basis\": %d,\n\
           \     \"mults_per_dir\": [%s], \"specialized_dirs\": [%s],\n\
+          \     \"budget_limited_dirs\": [%s],\n\
           \     \"rhs_dispatched_ns\": %.1f, \"rhs_interpreted_ns\": %.1f, \
            \"speedup\": %.3f}"
           name fname p cdim vdim np
@@ -1066,6 +1077,9 @@ let kernels_json ?(smoke = false) path =
           (String.concat ", "
              (Array.to_list
                 (Array.map (fun b -> if b then "true" else "false") spec)))
+          (String.concat ", "
+             (Array.to_list
+                (Array.map (fun b -> if b then "true" else "false") budget)))
           (t_disp *. 1e9) (t_interp *. 1e9) speedup)
       bench_configs
   in
@@ -1193,6 +1207,199 @@ let layout_json path =
   close_out oc;
   pr "wrote %s\n" path
 
+(* --- serve: job-server throughput ----------------------------------------- *)
+
+(* A 16-job mixed batch (three scenarios, two poly orders, a priority
+   jumper, one injected-fault job that must land as failed) pushed through
+   [Dg_serve.Engine] at concurrency 1 / 2 / 4, plus a no-kernel-cache
+   control at concurrency 2.  The no-cache level runs FIRST: the solver's
+   registry cache is enable-once, so the control must run before any level
+   turns it on.  Reports jobs/hour and aggregate DOF/s per level and the
+   4-vs-1 speedup; on a single-core host the speedup only reflects overlap
+   of scheduling and checkpoint I/O with compute, so the host's core count
+   is recorded alongside the numbers.
+
+   [smoke]: a seconds-scale 5-job batch at concurrency 2 with a tight time
+   slice, asserting the engine's CLASSIFICATION invariants (every healthy
+   job done, the fault job failed, at least one preempt-then-resume, the
+   kernel cache shared across same-basis jobs) — exits 1 on any violation. *)
+let serve_json ?(smoke = false) path =
+  section
+    (if smoke then "Job server - smoke (scheduling health check)"
+     else "Job server - throughput vs concurrency (dg_serve)");
+  let module Job = Dg_serve.Job in
+  let module Engine = Dg_serve.Engine in
+  let mkjob ?priority ?fault ~scenario ~p ~cx ~cv ~tend id =
+    let check_every, max_retries, max_restores, crash_retries =
+      (* the fault job gets a zeroed ladder so the injected NaN definitely
+         kills it: that is the classification we are checking *)
+      match fault with Some _ -> (5, 0, 0, 0) | None -> (10, 8, 1, 1)
+    in
+    Job.make ~id ~scenario ?priority ~cells_x:cx ~cells_v:cv ~poly_order:p
+      ~tend ~checkpoint_every:5 ~check_every ~max_retries ~max_restores
+      ~crash_retries ?fault_nan_step:fault ()
+  in
+  let batch =
+    if smoke then
+      [
+        mkjob ~scenario:Job.Twostream ~p:1 ~cx:16 ~cv:24 ~tend:4.0 "ts-0";
+        mkjob ~scenario:Job.Landau ~p:1 ~cx:16 ~cv:24 ~tend:4.0 "lan-0";
+        mkjob ~scenario:Job.Advect ~p:1 ~cx:12 ~cv:12 ~tend:4.0 "adv-0";
+        mkjob ~scenario:Job.Landau ~p:1 ~cx:16 ~cv:24 ~tend:4.0 ~priority:3
+          "hi-0";
+        mkjob ~scenario:Job.Landau ~p:1 ~cx:16 ~cv:24 ~tend:4.0 ~fault:10
+          "fault-0";
+      ]
+    else
+      List.concat
+        [
+          List.init 5 (fun i ->
+              mkjob ~scenario:Job.Twostream ~p:1 ~cx:32 ~cv:48 ~tend:4.0
+                (Printf.sprintf "ts-%d" i));
+          List.init 4 (fun i ->
+              mkjob ~scenario:Job.Landau ~p:1 ~cx:32 ~cv:48 ~tend:4.0
+                (Printf.sprintf "lan-%d" i));
+          List.init 3 (fun i ->
+              mkjob ~scenario:Job.Advect ~p:1 ~cx:24 ~cv:24 ~tend:3.0
+                (Printf.sprintf "adv-%d" i));
+          List.init 2 (fun i ->
+              mkjob ~scenario:Job.Landau ~p:2 ~cx:24 ~cv:32 ~tend:1.5
+                (Printf.sprintf "lan2-%d" i));
+          [ mkjob ~scenario:Job.Twostream ~p:1 ~cx:32 ~cv:48 ~tend:4.0
+              ~priority:3 "hi-0" ];
+          [ mkjob ~scenario:Job.Landau ~p:1 ~cx:32 ~cv:48 ~tend:4.0 ~fault:10
+              "fault-0" ];
+        ]
+  in
+  let expect_failed = 1 in
+  let expect_done = List.length batch - expect_failed in
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "vmdg-bench-serve" in
+  let rec rm p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  let level ?(kernel_cache = true) concurrency =
+    rm root;
+    let cfg =
+      {
+        (Engine.default_config ~root) with
+        Engine.concurrency;
+        slice_wall = (if smoke then 0.05 else 2.0);
+        poll_interval = 0.005;
+        kernel_cache;
+      }
+    in
+    let s = Engine.run ~jobs:batch cfg in
+    let tag =
+      Printf.sprintf "c%d%s" concurrency (if kernel_cache then "" else "-nocache")
+    in
+    pr
+      "%-10s %2d done %2d failed  wall %6.2fs  %8.1f jobs/hour  %9.3g DOF/s  \
+       %3d preempts %3d slices  cache %d/%d\n"
+      tag s.Engine.jobs_done s.Engine.jobs_failed s.Engine.wall_s
+      s.Engine.jobs_per_hour s.Engine.agg_dof_s s.Engine.total_preempts
+      s.Engine.total_slices s.Engine.cache_hits
+      (s.Engine.cache_hits + s.Engine.cache_misses);
+    emit ~bench:"serve" ~config:tag ~metric:"jobs_per_hour"
+      ~value:s.Engine.jobs_per_hour ~units:"jobs/h";
+    emit ~bench:"serve" ~config:tag ~metric:"agg_dof_s"
+      ~value:s.Engine.agg_dof_s ~units:"DOF/s";
+    emit ~bench:"serve" ~config:tag ~metric:"wall" ~value:s.Engine.wall_s
+      ~units:"s";
+    (tag, s)
+  in
+  let check tag (s : Engine.summary) =
+    let bad = ref [] in
+    let err fmt = Printf.ksprintf (fun m -> bad := m :: !bad) fmt in
+    if s.Engine.jobs_done <> expect_done then
+      err "%s: %d jobs done (want %d)" tag s.Engine.jobs_done expect_done;
+    if s.Engine.jobs_failed <> expect_failed then
+      err "%s: %d jobs failed (want %d)" tag s.Engine.jobs_failed expect_failed;
+    List.iter
+      (fun (r : Engine.record) ->
+        let is_fault = r.Engine.job.Job.fault_nan_step <> None in
+        match r.Engine.outcome with
+        | Engine.Failed _ when is_fault -> ()
+        | Engine.Done when not is_fault -> ()
+        | o ->
+            err "%s: job %s ended %s" tag r.Engine.job.Job.id
+              (Engine.outcome_to_string o))
+      s.Engine.records;
+    !bad
+  in
+  if smoke then begin
+    let tag, s = level 2 in
+    let bad = ref (check tag s) in
+    if s.Engine.total_preempts < 1 then
+      bad := "no preemption happened (want >= 1 preempt-then-resume)" :: !bad;
+    if s.Engine.cache_hits < 1 then
+      bad := "kernel cache never hit across same-basis jobs" :: !bad;
+    rm root;
+    match !bad with
+    | [] ->
+        pr "smoke ok: %d done / %d failed as expected, %d preempts, %d cache \
+            hits\n"
+          s.Engine.jobs_done s.Engine.jobs_failed s.Engine.total_preempts
+          s.Engine.cache_hits
+    | bad ->
+        List.iter (fun m -> pr "SMOKE FAILURE: %s\n" m) bad;
+        exit 1
+  end
+  else begin
+    (* no-cache control first: the registry cache is enable-once *)
+    let nc_tag, nc = level ~kernel_cache:false 2 in
+    let levels = List.map (fun c -> level c) [ 1; 2; 4 ] in
+    rm root;
+    let problems =
+      check nc_tag nc @ List.concat_map (fun (tag, s) -> check tag s) levels
+    in
+    List.iter (fun m -> pr "WARNING: %s\n" m) problems;
+    let s1 = snd (List.nth levels 0) in
+    let s2 = snd (List.nth levels 1) in
+    let s4 = snd (List.nth levels 2) in
+    let speedup = s4.Engine.jobs_per_hour /. s1.Engine.jobs_per_hour in
+    let cache_savings =
+      (nc.Engine.wall_s -. s2.Engine.wall_s) /. nc.Engine.wall_s *. 100.0
+    in
+    pr "speedup c4/c1: %.2fx   kernel-cache savings at c2: %.1f%%\n" speedup
+      cache_savings;
+    emit ~bench:"serve" ~config:"c4_vs_c1" ~metric:"speedup" ~value:speedup
+      ~units:"x";
+    emit ~bench:"serve" ~config:"c2" ~metric:"cache_savings" ~value:cache_savings
+      ~units:"%";
+    let level_json (tag, (s : Engine.summary)) =
+      Printf.sprintf
+        "    {\"config\": %S, \"jobs_done\": %d, \"jobs_failed\": %d, \
+         \"wall_s\": %.3f,\n\
+        \     \"jobs_per_hour\": %.1f, \"agg_dof_s\": %.4g, \"preempts\": %d, \
+         \"slices\": %d,\n\
+        \     \"cache_hits\": %d, \"cache_misses\": %d}"
+        tag s.Engine.jobs_done s.Engine.jobs_failed s.Engine.wall_s
+        s.Engine.jobs_per_hour s.Engine.agg_dof_s s.Engine.total_preempts
+        s.Engine.total_slices s.Engine.cache_hits s.Engine.cache_misses
+    in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"serve_throughput\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"batch_jobs\": %d, \"expect_done\": %d, \"expect_failed\": %d,\n\
+      \  \"speedup_c4_vs_c1\": %.3f,\n\
+      \  \"kernel_cache_savings_c2_pct\": %.2f,\n\
+      \  \"classification_violations\": %d,\n\
+      \  \"levels\": [\n%s\n  ]\n}\n"
+      (Domain.recommended_domain_count ())
+      (List.length batch) expect_done expect_failed speedup cache_savings
+      (List.length problems)
+      (String.concat ",\n" (List.map level_json ((nc_tag, nc) :: levels)));
+    close_out oc;
+    pr "wrote %s\n" path
+  end
+
 (* --- driver --------------------------------------------------------------- *)
 
 let () =
@@ -1228,6 +1435,7 @@ let () =
   | "micro" -> micro ()
   | "kernels" -> kernels_json ~smoke "BENCH_kernels.json"
   | "layout" -> layout_json "BENCH_layout.json"
+  | "serve" -> serve_json ~smoke "BENCH_serve.json"
   | "all" ->
       fig1 ();
       ignore (fig2 ());
@@ -1241,7 +1449,8 @@ let () =
       fig5 ~tend:8.0 ();
       micro ();
       kernels_json "BENCH_kernels.json";
-      layout_json "BENCH_layout.json"
+      layout_json "BENCH_layout.json";
+      serve_json "BENCH_serve.json"
   | s ->
       prerr_endline ("unknown benchmark: " ^ s);
       exit 1);

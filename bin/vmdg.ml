@@ -6,6 +6,7 @@
      landau        run Landau damping (1X1V Vlasov-Ampere) and fit the rate
      twostream     run the two-stream instability and fit the growth rate
      advect        run free-streaming advection and report the L2 error
+     serve         run a queue of jobs concurrently with checkpoint preemption
      snapshot-info inspect a checkpoint file
      trace-report  summarize a JSONL profile written with --trace
 
@@ -416,6 +417,125 @@ let snapshot_info_cmd =
   Cmd.v (Cmd.info "snapshot-info" ~doc:"Inspect a checkpoint file")
     Term.(const run $ path_t)
 
+(* --- serve ---------------------------------------------------------------- *)
+
+let serve_cmd =
+  let run job_files spool concurrency slice_wall status append root max_wall
+      keep_serving no_kernel_cache =
+    let jobs =
+      List.concat_map
+        (fun path ->
+          try Dg.Job.manifest_of_file path
+          with _ -> [ Dg.Job.of_file path ])
+        job_files
+    in
+    if jobs = [] && spool = None then begin
+      Fmt.epr "serve: no job files and no --spool; nothing to do@.";
+      exit 2
+    end;
+    let cfg =
+      {
+        (Dg.Engine.default_config ~root) with
+        Dg.Engine.concurrency;
+        slice_wall;
+        status_path = status;
+        status_append = append;
+        spool;
+        exit_on_idle = not keep_serving;
+        kernel_cache = not no_kernel_cache;
+      }
+    in
+    let summary =
+      Dg.Supervisor.with_supervisor ?max_wall (fun sup ->
+          Dg.Engine.run ~jobs ~supervisor:sup cfg)
+    in
+    Fmt.pr "%a@." Dg.Engine.pp_summary summary;
+    List.iter
+      (fun (r : Dg.Engine.record) ->
+        Fmt.pr "  %-16s %-8s steps=%-8d t=%-10.4g slices=%d preempts=%d \
+                wall=%.2fs%s@."
+          r.Dg.Engine.job.Dg.Job.id
+          (Dg.Engine.outcome_to_string r.Dg.Engine.outcome)
+          r.Dg.Engine.steps r.Dg.Engine.sim_time r.Dg.Engine.slices
+          r.Dg.Engine.preempts r.Dg.Engine.wall_s
+          (match r.Dg.Engine.outcome with
+          | Dg.Engine.Failed why -> "  (" ^ why ^ ")"
+          | _ -> ""))
+      summary.Dg.Engine.records;
+    if summary.Dg.Engine.jobs_failed > 0 then exit 1
+  in
+  let job_files_t =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"JOBS"
+          ~doc:"Job files: single-job JSON objects or batch manifests.")
+  in
+  let spool_t =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "Scan $(docv) for new $(i,*.json) job files while running \
+             (consumed files are renamed $(i,.accepted)/$(i,.rejected)).")
+  in
+  let concurrency_t =
+    Arg.(
+      value & opt int 2
+      & info [ "concurrency"; "j" ] ~docv:"N"
+          ~doc:"Worker-slot budget shared by all running jobs.")
+  in
+  let slice_wall_t =
+    Arg.(
+      value & opt float 5.0
+      & info [ "slice-wall" ] ~docv:"SEC"
+          ~doc:
+            "Preempt a running job after $(docv) seconds when others are \
+             waiting (checkpoint, requeue, resume bit-exactly).")
+  in
+  let status_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "status" ] ~docv:"FILE"
+          ~doc:"Stream per-job and aggregate JSONL status records to $(docv).")
+  in
+  let append_t =
+    Arg.(
+      value & flag
+      & info [ "append" ]
+          ~doc:"Append to the status file instead of truncating it.")
+  in
+  let root_t =
+    Arg.(
+      value & opt string "serve-state"
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Checkpoint root; job $(i,ID) lives in $(docv)/jobs/$(i,ID)/.")
+  in
+  let keep_serving_t =
+    Arg.(
+      value & flag
+      & info [ "keep-serving" ]
+          ~doc:
+            "Keep scanning the spool after the queue drains instead of \
+             exiting when idle (stop with SIGTERM/SIGINT).")
+  in
+  let no_kernel_cache_t =
+    Arg.(
+      value & flag
+      & info [ "no-kernel-cache" ]
+          ~doc:"Rebuild generated kernels per job instead of sharing them.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a queue of simulation jobs concurrently with checkpoint-based \
+          preemption")
+    Term.(
+      const run $ job_files_t $ spool_t $ concurrency_t $ slice_wall_t
+      $ status_t $ append_t $ root_t $ max_wall_t $ keep_serving_t
+      $ no_kernel_cache_t)
+
 (* --- trace-report --------------------------------------------------------- *)
 
 let trace_report_cmd =
@@ -442,6 +562,7 @@ let () =
             landau_cmd;
             twostream_cmd;
             advect_cmd;
+            serve_cmd;
             snapshot_info_cmd;
             trace_report_cmd;
           ]))

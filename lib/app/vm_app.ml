@@ -339,39 +339,47 @@ let field_model_name = function
   | Ampere_only -> "ampere-only"
   | Static -> "static"
 
+(* Machine-readable spec summary for manifests and job-status streams —
+   the numeric identity of a run, not the closures. *)
+let spec_manifest (sp : spec) =
+  let ints a =
+    Obs.Json.List (List.map (fun v -> Obs.Json.Int v) (Array.to_list a))
+  in
+  let floats a =
+    Obs.Json.List (List.map (fun v -> Obs.Json.Float v) (Array.to_list a))
+  in
+  [
+    ("layout", Obs.Json.Str (Printf.sprintf "%dx%dv" sp.cdim sp.vdim));
+    ("family", Obs.Json.Str (Modal.family_name sp.family));
+    ("poly_order", Obs.Json.Int sp.poly_order);
+    ("cells", ints sp.cells);
+    ("lower", floats sp.lower);
+    ("upper", floats sp.upper);
+    ( "species",
+      Obs.Json.List
+        (List.map
+           (fun (ss : species_spec) -> Obs.Json.Str ss.name)
+           sp.species) );
+    ("field_model", Obs.Json.Str (field_model_name sp.field_model));
+    ("scheme", Obs.Json.Str (Stepper.scheme_name sp.scheme));
+    ("cfl", Obs.Json.Float sp.cfl);
+  ]
+
 let attach_trace t path =
   (* Enable first so the step instrumentation records; read the dispatch
      counters (filed at solver-creation time if tracing was already on)
      into the manifest before the per-step reset discards them. *)
   Obs.enable ();
-  let sp = t.spec in
-  let ints a = Obs.Json.List (List.map (fun v -> Obs.Json.Int v) (Array.to_list a)) in
-  let floats a =
-    Obs.Json.List (List.map (fun v -> Obs.Json.Float v) (Array.to_list a))
-  in
   let manifest =
-    [
-      ("layout", Obs.Json.Str (Printf.sprintf "%dx%dv" sp.cdim sp.vdim));
-      ("family", Obs.Json.Str (Modal.family_name sp.family));
-      ("poly_order", Obs.Json.Int sp.poly_order);
-      ("cells", ints sp.cells);
-      ("lower", floats sp.lower);
-      ("upper", floats sp.upper);
-      ( "species",
-        Obs.Json.List
-          (List.map
-             (fun (ss : species_spec) -> Obs.Json.Str ss.name)
-             sp.species) );
-      ("field_model", Obs.Json.Str (field_model_name sp.field_model));
-      ("scheme", Obs.Json.Str (Stepper.scheme_name sp.scheme));
-      ("cfl", Obs.Json.Float sp.cfl);
-      ( "dispatch_specialized_dirs",
-        Obs.Json.Int
-          (int_of_float (Obs.counter_value "dispatch.specialized_dirs")) );
-      ( "dispatch_interpreted_dirs",
-        Obs.Json.Int
-          (int_of_float (Obs.counter_value "dispatch.interpreted_dirs")) );
-    ]
+    spec_manifest t.spec
+    @ [
+        ( "dispatch_specialized_dirs",
+          Obs.Json.Int
+            (int_of_float (Obs.counter_value "dispatch.specialized_dirs")) );
+        ( "dispatch_interpreted_dirs",
+          Obs.Json.Int
+            (int_of_float (Obs.counter_value "dispatch.interpreted_dirs")) );
+      ]
   in
   let sink = Obs.Sink.create ~manifest path in
   Obs.reset ();
@@ -518,6 +526,17 @@ let restore_latest t ~dir =
   | Some info ->
       restore t ~path:info.Checkpoint.path;
       Some info
+
+(* The job-engine entry point: build the app for [spec] and, when its
+   checkpoint directory already holds a valid checkpoint (an earlier slice
+   of the same job was preempted, crashed after a checkpoint, or the whole
+   server restarted), resume from it bit-exactly.  A fresh job starts from
+   the projected initial condition. *)
+let create_resumable spec ~checkpoint_dir =
+  let t = create spec in
+  let resumed = restore_latest t ~dir:checkpoint_dir in
+  (t, resumed)
+
 
 (* --- health-checked stepping: the graceful-degradation ladder ------------- *)
 

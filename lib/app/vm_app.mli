@@ -123,6 +123,19 @@ val restore_latest : t -> dir:string -> Dg_resilience.Checkpoint.info option
 (** Restore from the newest checkpoint in [dir] whose checksum verifies;
     [None] when the directory holds no valid checkpoint. *)
 
+val create_resumable :
+  spec -> checkpoint_dir:string -> t * Dg_resilience.Checkpoint.info option
+(** The job-engine entry point: {!create} the app and, when
+    [checkpoint_dir] already holds a valid checkpoint (a preempted or
+    crashed earlier slice of the same job, or a whole-server restart),
+    resume from it bit-exactly; the info says where the run picks up.
+    A fresh job ([None]) starts from the projected initial condition. *)
+
+val spec_manifest : spec -> (string * Dg_obs.Obs.Json.t) list
+(** Machine-readable summary of a spec's numeric identity (layout, basis,
+    grid, species names, field model, scheme, cfl) — the fields trace
+    manifests and job-status streams embed. *)
+
 val run_resilient :
   ?policy:Dg_resilience.Retry.policy ->
   ?faults:Dg_resilience.Faults.t ->

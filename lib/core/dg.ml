@@ -75,3 +75,8 @@ module Retry = Dg_resilience.Retry
 module Faults = Dg_resilience.Faults
 module Supervisor = Dg_resilience.Supervisor
 module Limiter = Dg_limiter.Limiter
+
+(* the multi-tenant job engine (vmdg serve) *)
+module Job = Dg_serve.Job
+module Jobq = Dg_serve.Jobq
+module Engine = Dg_serve.Engine

@@ -36,6 +36,7 @@ let apply_t2 op ~scale (f : float array) ~foff (out : float array) ~ooff =
    instead of a flux expansion. *)
 type dir_ops = {
   specialized : bool;
+  budget_limited : bool; (* bundle existed but exceeded the mult budget *)
   vol : t3_op;
   vol_stream : K.stream_fn option;
   surf_ll : t3_op;
@@ -49,6 +50,27 @@ type dir_ops = {
   mults : int; (* multiplications per cell-direction update (generated) *)
 }
 
+(* I-cache mult budget for the hybrid dispatch.  Unrolled kernels win while
+   the emitted code stays resident; past ~tens of kilomults the straight-
+   line body blows the instruction cache and the interpreted loops win on
+   their compact footprint.  BENCH_kernels.json pins the crossover between
+   the largest winner (2x2v p2 serendipity acceleration, 21,649 mults,
+   2.26x) and the one loser (2x2v p2 tensor acceleration, 62,105 mults,
+   0.77x); 32,000 splits that interval.  Directions whose post-CSE mult
+   count exceeds the budget fall back to the interpreted path — chosen by
+   measured cost, not registry presence.  VMDG_MULT_BUDGET overrides
+   (<= 0 means unlimited, i.e. always take a registry bundle). *)
+let default_mult_budget = 32_000
+
+let mult_budget () =
+  match Sys.getenv_opt "VMDG_MULT_BUDGET" with
+  | None | Some "" -> default_mult_budget
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v <= 0 -> max_int
+      | Some v -> v
+      | None -> default_mult_budget)
+
 let find_bundle (lay : Layout.t) ~dir =
   let basis = lay.Layout.basis in
   K.find
@@ -57,7 +79,19 @@ let find_bundle (lay : Layout.t) ~dir =
     ~vdim:lay.Layout.vdim ~dir
 
 let make ~use_generated (lay : Layout.t) ~dir (dk : Tensors.dir_kernels) =
-  match (if use_generated then find_bundle lay ~dir else None) with
+  let bundle =
+    if use_generated then
+      match find_bundle lay ~dir with
+      | Some b when b.K.mults > mult_budget () ->
+          (* hybrid: the registry covers this direction but the unrolled
+             body is too large to win — take the interpreted loops and
+             record that the budget (not a registry miss) decided *)
+          Dg_obs.Obs.count "dispatch.budget_fallbacks" 1;
+          None
+      | found -> found
+    else None
+  in
+  match bundle with
   | Some b ->
       Dg_obs.Obs.count "dispatch.specialized_dirs" 1;
       (* codegen-pipeline accounting: multiplications the CSE pass removed
@@ -66,6 +100,7 @@ let make ~use_generated (lay : Layout.t) ~dir (dk : Tensors.dir_kernels) =
       Dg_obs.Obs.count "kernels.chunks" b.K.chunks;
       {
         specialized = true;
+        budget_limited = false;
         vol = Gen3 b.K.vol;
         vol_stream = b.K.vol_stream;
         surf_ll = Gen3 b.K.surf_ll;
@@ -79,12 +114,19 @@ let make ~use_generated (lay : Layout.t) ~dir (dk : Tensors.dir_kernels) =
         mults = b.K.mults;
       }
   | None ->
+      let budget_limited =
+        use_generated && find_bundle lay ~dir <> None
+      in
       Dg_obs.Obs.count "dispatch.interpreted_dirs" 1;
-      (* a registry miss with generation requested is a fallback: the
-         dispatch test asserts this stays 0 for every registry config *)
-      if use_generated then Dg_obs.Obs.count "kernels.fallbacks" 1;
+      (* a registry MISS with generation requested is a fallback (the
+         dispatch test asserts this stays 0 for every registry config); a
+         budget-limited direction is a deliberate hybrid choice, counted
+         above under dispatch.budget_fallbacks instead *)
+      if use_generated && not budget_limited then
+        Dg_obs.Obs.count "kernels.fallbacks" 1;
       {
         specialized = false;
+        budget_limited;
         vol = Interp3 dk.Tensors.vol;
         vol_stream = None;
         surf_ll = Interp3 dk.Tensors.surf_ll;

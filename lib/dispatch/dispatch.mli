@@ -28,6 +28,10 @@ val apply_t2 :
 
 type dir_ops = {
   specialized : bool;  (** a generated bundle backs this direction *)
+  budget_limited : bool;
+      (** the registry had a bundle, but its post-CSE mult count exceeded
+          the I-cache budget so the interpreted path was chosen (hybrid
+          dispatch — see {!mult_budget}) *)
   vol : t3_op;
   vol_stream : K.stream_fn option;
       (** specialized streaming volume kernel (configuration directions of
@@ -45,14 +49,28 @@ type dir_ops = {
 
 val find_bundle : Layout.t -> dir:int -> K.bundle option
 
+val default_mult_budget : int
+(** 32,000 — between the largest measured winner (2x2v p2 serendipity
+    acceleration, 21,649 mults at 2.26x) and the one measured loser
+    (2x2v p2 tensor acceleration, 62,105 mults at 0.77x) in
+    BENCH_kernels.json. *)
+
+val mult_budget : unit -> int
+(** The effective I-cache mult budget: [VMDG_MULT_BUDGET] when set
+    ([<= 0] means unlimited), else {!default_mult_budget}.  Read at each
+    {!make}, so tests and servers can retune without relinking. *)
+
 val make : use_generated:bool -> Layout.t -> dir:int -> Tensors.dir_kernels -> dir_ops
-(** Dispatch for one direction: the generated bundle when [use_generated]
-    and the registry has one, else the interpreted tensors [dk].
+(** Dispatch for one direction: the generated bundle when [use_generated],
+    the registry has one, AND its post-CSE mult count fits {!mult_budget}
+    (the hybrid rule — giant unrolled bodies lose to the interpreted loops
+    on instruction-cache footprint); else the interpreted tensors [dk].
 
     Obs counters (when tracing is enabled): [dispatch.specialized_dirs] /
     [dispatch.interpreted_dirs] per selected direction;
     [kernels.cse_saved_mults] (multiplications the codegen CSE pass
     removed) and [kernels.chunks] (part functions emitted) per specialized
-    direction; [kernels.fallbacks] per direction that requested generated
-    kernels but missed the registry — 0 for every registry config now that
-    chunked codegen covers all directions. *)
+    direction; [dispatch.budget_fallbacks] per direction the mult budget
+    routed to the interpreted path; [kernels.fallbacks] per direction that
+    requested generated kernels but missed the registry — 0 for every
+    registry config now that chunked codegen covers all directions. *)

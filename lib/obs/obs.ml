@@ -552,8 +552,14 @@ module Sink = struct
   let event t ~kind fields =
     write_line t (Json.to_string (Json.Obj (("kind", Json.Str kind) :: fields)))
 
-  let create ?(manifest = []) path =
-    let oc = open_out path in
+  let create ?(manifest = []) ?(append = false) path =
+    (* [append] lets long-lived streams (a job server's status file)
+       accumulate across process restarts: each restart contributes a
+       fresh manifest record followed by its events *)
+    let oc =
+      if append then open_out_gen [ Open_append; Open_creat ] 0o644 path
+      else open_out path
+    in
     let t = { oc; lock = Mutex.create (); closed = false } in
     event t ~kind:"manifest" (default_manifest () @ manifest);
     t

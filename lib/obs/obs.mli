@@ -123,8 +123,10 @@ val default_manifest : unit -> (string * Json.t) list
 module Sink : sig
   type t
 
-  val create : ?manifest:(string * Json.t) list -> string -> t
-  (** Open [path] (truncating) and write a ["manifest"] record made of
+  val create : ?manifest:(string * Json.t) list -> ?append:bool -> string -> t
+  (** Open [path] (truncating, or appending with [~append:true] so
+      long-lived streams like a job server's status file survive process
+      restarts) and write a ["manifest"] record made of
       {!default_manifest} plus the caller's fields. *)
 
   val event : t -> kind:string -> (string * Json.t) list -> unit

@@ -127,3 +127,49 @@ let parallel_for t ~n f =
       for i = lo to hi - 1 do
         f i
       done)
+
+(* Worker budget: carve bounded sub-pools out of one machine-wide worker
+   allowance so concurrent tenants (the job engine's running jobs) cannot
+   oversubscribe the cores.  A pool is just a worker count — domains are
+   spawned per parallel call — so a sub-pool is an ordinary [t] plus
+   reserve/release accounting on the shared budget.  [try_acquire] is
+   non-blocking (the scheduler decides what to do when the budget is
+   exhausted); acquire/release may be called from any domain. *)
+module Budget = struct
+  type pool = t
+
+  type sub = { workers : int; pool : pool }
+
+  type budget = {
+    total : int;
+    mutable avail : int;
+    lock : Mutex.t;
+  }
+
+  let make ~total =
+    if total < 1 then invalid_arg "Pool.Budget.make: total must be >= 1";
+    { total; avail = total; lock = Mutex.create () }
+
+  let total b = b.total
+
+  let available b = Mutex.protect b.lock (fun () -> b.avail)
+
+  (* Requests are clamped to the budget's total, so one greedy job can at
+     most serialize the machine, never deadlock the queue. *)
+  let try_acquire b ~workers =
+    if workers < 1 then invalid_arg "Pool.Budget.try_acquire: workers >= 1";
+    let w = min workers b.total in
+    Mutex.protect b.lock (fun () ->
+        if b.avail >= w then begin
+          b.avail <- b.avail - w;
+          Some { workers = w; pool = create ~nworkers:w }
+        end
+        else None)
+
+  let release b sub =
+    Mutex.protect b.lock (fun () ->
+        b.avail <- min b.total (b.avail + sub.workers))
+
+  let pool sub = sub.pool
+  let workers sub = sub.workers
+end

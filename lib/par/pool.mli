@@ -21,3 +21,35 @@ val parallel_ranges : t -> n:int -> chunk:int -> (int -> int -> unit) -> unit
     the pool remains usable afterwards. *)
 
 val parallel_for : t -> n:int -> (int -> unit) -> unit
+
+(** Worker budget: carve bounded sub-pools out of one machine-wide worker
+    allowance so concurrent tenants (e.g. the [dg_serve] job engine's
+    running jobs) cannot oversubscribe the cores.  Domain-safe. *)
+module Budget : sig
+  type pool := t
+
+  type sub
+  (** A reservation: [workers] slots plus a pool of exactly that many
+      workers. *)
+
+  type budget
+
+  val make : total:int -> budget
+  (** @raise Invalid_argument unless [total >= 1]. *)
+
+  val total : budget -> int
+  val available : budget -> int
+
+  val try_acquire : budget -> workers:int -> sub option
+  (** Reserve [min workers total] slots and build a sub-pool over them;
+      [None] when not enough slots are free (non-blocking — the caller's
+      scheduler owns the wait policy).
+      @raise Invalid_argument unless [workers >= 1]. *)
+
+  val release : budget -> sub -> unit
+  (** Return a reservation's slots.  Releasing twice is a caller bug but is
+      clamped at [total] rather than corrupting the ledger. *)
+
+  val pool : sub -> pool
+  val workers : sub -> int
+end

@@ -67,6 +67,26 @@ let rec mkdirs dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Namespaced per-job checkpoint directory under a shared root:
+   root/jobs/<sanitized-id>.  Job ids come from user-supplied job files, so
+   everything outside [A-Za-z0-9._-] is mapped to '_' (no separators, no
+   parent escapes) and a leading '.' is masked; distinct ids that sanitize
+   to the same name share a directory — callers wanting strict uniqueness
+   should sanitize ids at admission instead. *)
+let job_dir ~root ~job =
+  let sane =
+    String.mapi
+      (fun i ch ->
+        match ch with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> ch
+        | '.' when i > 0 -> ch
+        | _ -> '_')
+      (if job = "" then "job" else job)
+  in
+  let dir = Filename.concat (Filename.concat root "jobs") sane in
+  mkdirs dir;
+  dir
+
 let fsync_noerr fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
 
 (* Make the rename itself durable (best effort; not all systems allow

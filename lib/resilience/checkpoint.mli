@@ -12,6 +12,13 @@ type info = { path : string; step : int; time : float }
 val filename : step:int -> string
 (** [ckpt_<step>.vmdg] (zero-padded so lexicographic = numeric order). *)
 
+val job_dir : root:string -> job:string -> string
+(** The (created) per-job checkpoint directory [root/jobs/<id>] used by the
+    job engine: one namespace per job under a shared root, so preemption,
+    crash retry, and restart always resolve the same directory.  [job] is
+    sanitized to [A-Za-z0-9._-] (path separators and leading dots masked
+    with '_'), so a hostile id cannot escape [root]. *)
+
 val write :
   ?faults:Faults.t ->
   ?keep_last:int ->

@@ -26,20 +26,30 @@ type t = {
   usr1 : bool Atomic.t; (* a status dump is pending *)
   max_wall : float option; (* wall-second budget, if any *)
   started : float; (* Unix.gettimeofday at creation *)
+  offset : float; (* wall seconds already consumed by earlier run segments *)
   mutable installed : (int * Sys.signal_behavior) list; (* for uninstall *)
   mutable status : unit -> string; (* what SIGUSR1 prints *)
 }
 
-let create ?max_wall () =
+(* [elapsed_offset] charges wall seconds a previous segment of the same
+   logical run already consumed (a preempted-then-resumed job, a restarted
+   process) against this supervisor's [max_wall] budget — without it a
+   resumed run would either restart its budget from zero or, worse, be
+   charged for the wall time the dead run spent parked on disk.  Only time
+   actually supervised counts: offset + seconds since THIS create. *)
+let create ?max_wall ?(elapsed_offset = 0.0) () =
   (match max_wall with
   | Some w when not (w > 0.0) ->
       invalid_arg "Supervisor.create: max_wall must be > 0"
   | _ -> ());
+  if not (elapsed_offset >= 0.0) then
+    invalid_arg "Supervisor.create: elapsed_offset must be >= 0";
   {
     stop = Atomic.make None;
     usr1 = Atomic.make false;
     max_wall;
     started = Unix.gettimeofday ();
+    offset = elapsed_offset;
     installed = [];
     status = (fun () -> "running");
   }
@@ -68,22 +78,28 @@ let uninstall t =
   List.iter (fun (s, prev) -> Sys.set_signal s prev) t.installed;
   t.installed <- []
 
-let with_supervisor ?max_wall f =
-  let t = create ?max_wall () in
+let with_supervisor ?max_wall ?elapsed_offset f =
+  let t = create ?max_wall ?elapsed_offset () in
   install t;
   Fun.protect ~finally:(fun () -> uninstall t) (fun () -> f t)
 
+(* The status renderer may return multiple lines (dg_serve installs a
+   multi-job renderer: one line per job plus an aggregate line); each line
+   gets the "[vmdg]" prefix so tail-style consumers can filter. *)
 let set_status t status = t.status <- status
 
-let elapsed t = Unix.gettimeofday () -. t.started
+let elapsed t = t.offset +. (Unix.gettimeofday () -. t.started)
+
+let dump_status t =
+  String.split_on_char '\n' (t.status ())
+  |> List.iter (fun line -> Printf.eprintf "[vmdg] %s\n" line);
+  flush stderr
 
 (* Polled by the stepping loop at every step boundary.  Also drains a
-   pending SIGUSR1 status dump (stderr, one line, flushed) — the dump
-   happens here, in ordinary code, never inside the handler. *)
+   pending SIGUSR1 status dump (stderr, flushed) — the dump happens here,
+   in ordinary code, never inside the handler. *)
 let should_stop t =
-  if Atomic.compare_and_set t.usr1 true false then begin
-    Printf.eprintf "[vmdg] %s\n%!" (t.status ())
-  end;
+  if Atomic.compare_and_set t.usr1 true false then dump_status t;
   match Atomic.get t.stop with
   | Some name -> Some (Signal name)
   | None -> (

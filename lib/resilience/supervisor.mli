@@ -17,10 +17,16 @@ type reason =
 val pp_reason : Format.formatter -> reason -> unit
 val reason_to_string : reason -> string
 
-val create : ?max_wall:float -> unit -> t
+val create : ?max_wall:float -> ?elapsed_offset:float -> unit -> t
 (** A supervisor with no handlers installed yet.  [max_wall] is a
-    wall-seconds budget measured from creation.
-    @raise Invalid_argument unless [max_wall > 0] when given. *)
+    wall-seconds budget measured from creation.  [elapsed_offset]
+    (default 0) charges wall seconds that earlier segments of the same
+    logical run already consumed — a preempted-then-resumed job or a
+    restarted process — against the budget: {!elapsed} reports
+    [offset + seconds since this create], so a resumed run neither restarts
+    its budget nor inherits the wall-clock time the dead run spent parked.
+    @raise Invalid_argument unless [max_wall > 0] and
+    [elapsed_offset >= 0] when given. *)
 
 val install : t -> unit
 (** Install the SIGTERM/SIGINT (request stop) and SIGUSR1 (request status
@@ -29,7 +35,8 @@ val install : t -> unit
 val uninstall : t -> unit
 (** Restore the signal behaviors saved by {!install}. *)
 
-val with_supervisor : ?max_wall:float -> (t -> 'a) -> 'a
+val with_supervisor :
+  ?max_wall:float -> ?elapsed_offset:float -> (t -> 'a) -> 'a
 (** [create], [install], run, then [uninstall] (also on exceptions). *)
 
 val request_stop : t -> string -> unit
@@ -38,11 +45,18 @@ val request_stop : t -> string -> unit
     request wins; later ones do not overwrite the reason. *)
 
 val set_status : t -> (unit -> string) -> unit
-(** What a pending SIGUSR1 prints (a one-line summary; called from
-    {!should_stop}, i.e. ordinary code, never from the handler). *)
+(** What a pending SIGUSR1 prints — called from {!should_stop} (ordinary
+    code, never from the handler).  The renderer may return multiple
+    newline-separated lines: single runs install a one-line summary, while
+    [dg_serve] installs a multi-job renderer (one line per job plus an
+    aggregate line); every line is prefixed with ["[vmdg] "]. *)
+
+val dump_status : t -> unit
+(** Print the current status to stderr immediately (what a drained SIGUSR1
+    does; also lets a server loop dump on its own cadence). *)
 
 val elapsed : t -> float
-(** Wall seconds since {!create}. *)
+(** [elapsed_offset] plus wall seconds since {!create}. *)
 
 val should_stop : t -> reason option
 (** Poll at every step boundary: drains a pending SIGUSR1 dump to stderr,

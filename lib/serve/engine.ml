@@ -1,0 +1,657 @@
+(* The job engine: runs a queue of [Job.t] simulations concurrently on a
+   bounded worker budget, with checkpoint-based preemption.
+
+   Architecture.  The scheduler is single-threaded (the caller's thread);
+   each admitted job runs one SLICE at a time in its own domain.  A slice
+   is an ordinary [Vm_app.run_resilient] call under a per-slice
+   [Supervisor] that the engine can stop from outside: preemption is
+   [Supervisor.request_stop slice_sup "preempt"], which makes the slice
+   checkpoint at the next step boundary and return — exactly the SIGTERM
+   machinery single runs already have, reused as a scheduler primitive.
+   Resuming is [Vm_app.create_resumable] on the job's checkpoint
+   directory, which is bit-exact, so a preempted job loses no work and no
+   reproducibility.
+
+   Slices report back through a mutex-protected mailbox (OCaml domains
+   have no non-blocking join, so the scheduler polls the mailbox and only
+   [Domain.join]s a domain whose report has arrived).  Crashed slices are
+   contained: the exception is caught inside the slice domain, reported,
+   and the job is restarted from its last checkpoint up to
+   [crash_retries] times before being marked failed — a dying job never
+   takes the server down.
+
+   Wall accounting.  Each slice supervisor gets
+   [~elapsed_offset:consumed ~max_wall:job.max_wall], where [consumed] is
+   the supervised wall time of the job's earlier slices — a resumed job
+   is charged for the time it ran but not for the time it sat parked in
+   the ready queue (satellite fix: previously a restore inherited the
+   dead run's whole wall clock). *)
+
+module App = Dg_app.Vm_app
+module Obs = Dg_obs.Obs
+module Json = Obs.Json
+module Checkpoint = Dg_resilience.Checkpoint
+module Retry = Dg_resilience.Retry
+module Supervisor = Dg_resilience.Supervisor
+module Budget = Dg_par.Pool.Budget
+module Solver = Dg_vlasov.Solver
+module Layout = Dg_kernels.Layout
+module Grid = Dg_grid.Grid
+
+type config = {
+  concurrency : int;
+  slice_wall : float;
+  poll_interval : float;
+  status_path : string option;
+  status_append : bool;
+  status_every : float;
+  progress_every : int;
+  root : string;
+  spool : string option;
+  exit_on_idle : bool;
+  kernel_cache : bool;
+}
+
+let default_config ~root =
+  {
+    concurrency = 2;
+    slice_wall = 5.0;
+    poll_interval = 0.02;
+    status_path = None;
+    status_append = false;
+    status_every = 5.0;
+    progress_every = 50;
+    root;
+    spool = None;
+    exit_on_idle = true;
+    kernel_cache = true;
+  }
+
+type outcome = Done | Failed of string | Drained
+
+let outcome_to_string = function
+  | Done -> "done"
+  | Failed _ -> "failed"
+  | Drained -> "drained"
+
+type record = {
+  job : Job.t;
+  outcome : outcome;
+  steps : int;
+  sim_time : float;
+  wall_s : float;
+  slices : int;
+  preempts : int;
+  crash_retries_used : int;
+  dof : float;
+  checkpoint_dir : string;
+}
+
+type summary = {
+  records : record list;
+  wall_s : float;
+  jobs_done : int;
+  jobs_failed : int;
+  jobs_drained : int;
+  total_steps : int;
+  total_preempts : int;
+  total_slices : int;
+  agg_dof : float;
+  agg_dof_s : float;
+  jobs_per_hour : float;
+  cache_hits : int;
+  cache_misses : int;
+  stopped : string option;
+}
+
+(* --- internal state -------------------------------------------------------- *)
+
+type slice_end = Finished of Retry.stats | Crashed of string
+
+type report = {
+  rep_id : string;
+  rep_end : slice_end;
+  rep_steps : int;
+  rep_time : float;
+  rep_wall : float;  (* supervised seconds this slice consumed *)
+  rep_dof_per_step : float;  (* 0 when app construction itself failed *)
+}
+
+type running = {
+  sup : Supervisor.t;
+  dom : unit Domain.t;
+  sub : Budget.sub;
+  started_at : float;
+  start_steps : int;  (* job steps when this slice was launched *)
+  progress : (int * float) Atomic.t;  (* (steps, sim time), every step *)
+}
+
+type state = Queued | Running of running | Ended of outcome
+
+type live = {
+  job : Job.t;
+  ckpt_dir : string;
+  mutable st : state;
+  mutable consumed : float;
+  mutable steps : int;
+  mutable sim_time : float;
+  mutable slices : int;
+  mutable preempts : int;
+  mutable crashes : int;
+  mutable dof_per_step : float;
+}
+
+let dof_per_step_of app =
+  let lay = App.layout app in
+  let np = Layout.num_basis lay and nc = Layout.num_cbasis lay in
+  let pcells = Grid.num_cells lay.Layout.grid in
+  let ccells = Grid.num_cells lay.Layout.cgrid in
+  (* one species slot per distribution + the 8-component EM field *)
+  float_of_int ((pcells * np) + (ccells * nc * 8))
+
+let job_fields (l : live) =
+  [
+    ("id", Json.Str l.job.Job.id);
+    ("prio", Json.Int l.job.Job.priority);
+    ("step", Json.Int l.steps);
+    ("t", Json.Float l.sim_time);
+    ("slices", Json.Int l.slices);
+    ("preempts", Json.Int l.preempts);
+    ("crashes", Json.Int l.crashes);
+    ("wall_s", Json.Float l.consumed);
+  ]
+
+(* --- the engine ------------------------------------------------------------ *)
+
+let run ?(jobs = []) ?supervisor cfg =
+  if cfg.concurrency < 1 then invalid_arg "Engine.run: concurrency must be >= 1";
+  if cfg.slice_wall <= 0.0 then invalid_arg "Engine.run: slice_wall must be > 0";
+  if cfg.progress_every < 1 then
+    invalid_arg "Engine.run: progress_every must be >= 1";
+  if cfg.kernel_cache then Solver.enable_kernel_cache ();
+  let cache0_h, cache0_m = Solver.kernel_cache_stats () in
+  let sup = match supervisor with Some s -> s | None -> Supervisor.create () in
+  let sink =
+    Option.map
+      (fun path ->
+        Obs.Sink.create ~append:cfg.status_append
+          ~manifest:
+            [
+              ("server", Json.Str "dg_serve");
+              ("concurrency", Json.Int cfg.concurrency);
+              ("slice_wall", Json.Float cfg.slice_wall);
+              ("root", Json.Str cfg.root);
+            ]
+          path)
+      cfg.status_path
+  in
+  let emit kind fields =
+    Option.iter (fun s -> Obs.Sink.event s ~kind fields) sink
+  in
+  let budget = Budget.make ~total:cfg.concurrency in
+  let mailbox_m = Mutex.create () in
+  let mailbox : report list ref = ref [] in
+  let table : (string, live) Hashtbl.t = Hashtbl.create 32 in
+  let order : string list ref = ref [] in  (* submission order, reversed *)
+  let ready : live Jobq.t = Jobq.create () in
+  let running : live list ref = ref [] in
+  let next_seq = ref 0 in
+  let draining = ref None in
+  let rejected = ref 0 in
+  let started = Unix.gettimeofday () in
+
+  let seq () =
+    incr next_seq;
+    !next_seq
+  in
+  let submit job =
+    let id = job.Job.id in
+    if Hashtbl.mem table id then begin
+      incr rejected;
+      emit "job" [ ("id", Json.Str id); ("event", Json.Str "rejected");
+                   ("error", Json.Str "duplicate id") ];
+      false
+    end
+    else begin
+      let l =
+        {
+          job;
+          ckpt_dir = Checkpoint.job_dir ~root:cfg.root ~job:id;
+          st = Queued;
+          consumed = 0.0;
+          steps = 0;
+          sim_time = 0.0;
+          slices = 0;
+          preempts = 0;
+          crashes = 0;
+          dof_per_step = 0.0;
+        }
+      in
+      Hashtbl.replace table id l;
+      order := id :: !order;
+      Jobq.push ready ~priority:job.Job.priority ~seq:(seq ()) l;
+      emit "job"
+        [ ("id", Json.Str id); ("event", Json.Str "queued");
+          ("job", Job.to_json job) ];
+      true
+    end
+  in
+  List.iter (fun j -> ignore (submit j)) jobs;
+
+  (* spool: pick up new job files; consumed files are renamed so a long
+     running server never re-reads them (and a rejected file stays around,
+     marked, for the operator to inspect) *)
+  let scan_spool () =
+    match cfg.spool with
+    | None -> ()
+    | Some dir when Sys.file_exists dir && Sys.is_directory dir ->
+        let files = Sys.readdir dir in
+        Array.sort compare files;
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".json" then begin
+              let path = Filename.concat dir f in
+              match Job.of_file path with
+              | job ->
+                  let accepted = submit job in
+                  let mark = if accepted then ".accepted" else ".rejected" in
+                  (try Sys.rename path (path ^ mark) with Sys_error _ -> ())
+              | exception exn ->
+                  incr rejected;
+                  emit "job"
+                    [ ("id", Json.Str (Filename.remove_extension f));
+                      ("event", Json.Str "rejected");
+                      ("error", Json.Str (Printexc.to_string exn)) ];
+                  (try Sys.rename path (path ^ ".rejected")
+                   with Sys_error _ -> ())
+            end)
+          files
+    | Some _ -> ()
+  in
+
+  (* multi-job SIGUSR1 status renderer on the server supervisor *)
+  Supervisor.set_status sup (fun () ->
+      let b = Buffer.create 256 in
+      let done_, failed, drained =
+        Hashtbl.fold
+          (fun _ l (d, f, dr) ->
+            match l.st with
+            | Ended Done -> (d + 1, f, dr)
+            | Ended (Failed _) -> (d, f + 1, dr)
+            | Ended Drained -> (d, f, dr + 1)
+            | _ -> (d, f, dr))
+          table (0, 0, 0)
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "serve: %d running, %d queued, %d done, %d failed, %d drained, \
+            elapsed %.1fs"
+           (List.length !running) (Jobq.length ready) done_ failed drained
+           (Unix.gettimeofday () -. started));
+      List.iter
+        (fun l ->
+          match l.st with
+          | Running r ->
+              let steps, t = Atomic.get r.progress in
+              Buffer.add_string b
+                (Printf.sprintf "\n  %-16s running  step=%-8d t=%-10.4g \
+                                 slice=%d prio=%d"
+                   l.job.Job.id steps t l.slices l.job.Job.priority)
+          | _ -> ())
+        !running;
+      List.iter
+        (fun l ->
+          Buffer.add_string b
+            (Printf.sprintf "\n  %-16s queued   step=%-8d prio=%d" l.job.Job.id
+               l.steps l.job.Job.priority))
+        (Jobq.to_list ready);
+      Buffer.contents b);
+
+  (* launch one slice of [l] on reservation [sub] *)
+  let launch l sub =
+    let job = l.job in
+    let slice_sup =
+      Supervisor.create ?max_wall:job.Job.max_wall ~elapsed_offset:l.consumed ()
+    in
+    let progress = Atomic.make (l.steps, l.sim_time) in
+    let resumes = l.slices > 0 in
+    l.slices <- l.slices + 1;
+    let slice_no = l.slices in
+    let body () =
+      let rep =
+        try
+          let app, resumed =
+            App.create_resumable (Job.spec job) ~checkpoint_dir:l.ckpt_dir
+          in
+          let dof_per_step = dof_per_step_of app in
+          (match resumed with
+          | Some info ->
+              emit "job"
+                [ ("id", Json.Str job.Job.id);
+                  ("event", Json.Str "resumed");
+                  ("slice", Json.Int slice_no);
+                  ("from_step", Json.Int info.Checkpoint.step);
+                  ("from_t", Json.Float info.Checkpoint.time) ]
+          | None -> ());
+          let faults = Job.faults job ~steps_done:(App.nsteps app) in
+          let on_step app =
+            let n = App.nsteps app in
+            let t = App.time app in
+            (* every step: the scheduler's no-preempt-before-progress guard
+               and the SIGUSR1 renderer read this *)
+            Atomic.set progress (n, t);
+            if n mod cfg.progress_every = 0 then
+              emit "progress"
+                [ ("id", Json.Str job.Job.id); ("step", Json.Int n);
+                  ("t", Json.Float t);
+                  ("energy", Json.Float (App.total_energy app)) ]
+          in
+          try
+            let stats =
+              App.run_resilient app ~policy:(Job.policy job) ~faults
+                ~supervisor:slice_sup
+                ~checkpoint_every:job.Job.checkpoint_every
+                ~checkpoint_dir:l.ckpt_dir ?keep_last:job.Job.keep_last
+                ~max_steps:job.Job.max_steps ~on_step ~tend:job.Job.tend
+            in
+            (* completed jobs leave a final checkpoint as the result
+               artifact (also what the bit-exactness tests compare) *)
+            if stats.Retry.stopped = None then
+              ignore (App.checkpoint app ~dir:l.ckpt_dir);
+            {
+              rep_id = job.Job.id;
+              rep_end = Finished stats;
+              rep_steps = App.nsteps app;
+              rep_time = App.time app;
+              rep_wall = Supervisor.elapsed slice_sup -. l.consumed;
+              rep_dof_per_step = dof_per_step;
+            }
+          with exn ->
+            {
+              rep_id = job.Job.id;
+              rep_end = Crashed (Printexc.to_string exn);
+              rep_steps = App.nsteps app;
+              rep_time = App.time app;
+              rep_wall = Supervisor.elapsed slice_sup -. l.consumed;
+              rep_dof_per_step = dof_per_step;
+            }
+        with exn ->
+          {
+            rep_id = job.Job.id;
+            rep_end = Crashed (Printexc.to_string exn);
+            rep_steps = l.steps;
+            rep_time = l.sim_time;
+            rep_wall = Supervisor.elapsed slice_sup -. l.consumed;
+            rep_dof_per_step = 0.0;
+          }
+      in
+      Obs.drain_local ();
+      Mutex.protect mailbox_m (fun () -> mailbox := rep :: !mailbox)
+    in
+    let dom = Domain.spawn body in
+    l.st <-
+      Running
+        {
+          sup = slice_sup;
+          dom;
+          sub;
+          started_at = Unix.gettimeofday ();
+          start_steps = l.steps;
+          progress;
+        };
+    running := l :: !running;
+    emit "job"
+      [ ("id", Json.Str job.Job.id);
+        ("event", Json.Str (if resumes then "restarted" else "started"));
+        ("slice", Json.Int slice_no);
+        ("workers", Json.Int (Budget.workers sub)) ]
+  in
+
+  (* admit queued jobs while slots are free *)
+  let admit () =
+    let continue_ = ref true in
+    while !continue_ && !draining = None do
+      match Jobq.peek ready with
+      | None -> continue_ := false
+      | Some l -> (
+          match Budget.try_acquire budget ~workers:l.job.Job.workers with
+          | Some sub ->
+              ignore (Jobq.pop ready);
+              launch l sub
+          | None -> continue_ := false)
+    done
+  in
+
+  (* preemption: ask a running slice to checkpoint-and-yield when it has
+     exceeded its time slice while others wait, or as soon as a strictly
+     higher-priority job is queued behind it.  Either way a slice is only
+     preempted after it has accepted at least one step — otherwise a
+     [slice_wall] shorter than slice setup (app build + restore) would
+     requeue jobs with zero progress forever (livelock) *)
+  let preempt () =
+    match Jobq.peek_priority ready with
+    | None -> ()
+    | Some top_prio ->
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun l ->
+            match l.st with
+            | Running r ->
+                let stepped = fst (Atomic.get r.progress) > r.start_steps in
+                if
+                  stepped
+                  && (l.job.Job.priority < top_prio
+                     || now -. r.started_at > cfg.slice_wall)
+                then Supervisor.request_stop r.sup "preempt"
+            | _ -> ())
+          !running
+  in
+
+  let finish l outcome =
+    l.st <- Ended outcome;
+    let fields =
+      job_fields l
+      @ [ ("event", Json.Str (outcome_to_string outcome)) ]
+      @ match outcome with Failed why -> [ ("error", Json.Str why) ] | _ -> []
+    in
+    emit "job" fields
+  in
+
+  (* apply one slice report: release the reservation, join the domain,
+     classify the ending *)
+  let apply_report rep =
+    let l = Hashtbl.find table rep.rep_id in
+    (match l.st with
+    | Running r ->
+        Domain.join r.dom;
+        Budget.release budget r.sub
+    | _ -> assert false);
+    l.st <- Queued;
+    l.steps <- rep.rep_steps;
+    l.sim_time <- rep.rep_time;
+    l.consumed <- l.consumed +. Float.max 0.0 rep.rep_wall;
+    if rep.rep_dof_per_step > 0.0 then l.dof_per_step <- rep.rep_dof_per_step;
+    running := List.filter (fun l' -> l' != l) !running;
+    match rep.rep_end with
+    | Finished stats -> (
+        match stats.Retry.stopped with
+        | None -> finish l Done
+        | Some "preempt" ->
+            l.preempts <- l.preempts + 1;
+            emit "job"
+              (job_fields l @ [ ("event", Json.Str "preempted") ]);
+            Jobq.push ready ~priority:l.job.Job.priority ~seq:(seq ()) l
+        | Some "max-wall" -> finish l (Failed "per-job max_wall exhausted")
+        | Some _why ->
+            (* engine-initiated drain: checkpointed and parked *)
+            finish l Drained)
+    | Crashed why ->
+        l.crashes <- l.crashes + 1;
+        if !draining <> None then finish l Drained
+        else if l.crashes <= l.job.Job.crash_retries then begin
+          emit "job"
+            (job_fields l
+            @ [ ("event", Json.Str "crash_retry"); ("error", Json.Str why) ]);
+          Jobq.push ready ~priority:l.job.Job.priority ~seq:(seq ()) l
+        end
+        else finish l (Failed why)
+  in
+
+  let drain why =
+    if !draining = None then begin
+      draining := Some why;
+      emit "server" [ ("event", Json.Str "draining"); ("why", Json.Str why) ];
+      (* park everything still queued; running slices get a stop request
+         and drain to a valid checkpoint through the normal report path *)
+      List.iter (fun l -> finish l Drained) (Jobq.drain ready);
+      List.iter
+        (fun l ->
+          match l.st with
+          | Running r -> Supervisor.request_stop r.sup why
+          | _ -> ())
+        !running
+    end
+  in
+
+  let totals () =
+    Hashtbl.fold
+      (fun _ l (d, f, dr, steps) ->
+        let steps = steps + l.steps in
+        match l.st with
+        | Ended Done -> (d + 1, f, dr, steps)
+        | Ended (Failed _) -> (d, f + 1, dr, steps)
+        | Ended Drained -> (d, f, dr + 1, steps)
+        | _ -> (d, f, dr, steps))
+      table (0, 0, 0, 0)
+  in
+
+  (* --- main loop --- *)
+  let last_status = ref 0.0 in
+  let idle () = Jobq.is_empty ready && !running = [] in
+  let finished () =
+    match !draining with
+    | Some _ -> !running = []
+    | None -> idle () && cfg.exit_on_idle
+  in
+  scan_spool ();
+  admit ();
+  while not (finished ()) do
+    (match Supervisor.should_stop sup with
+    | Some reason -> drain (Supervisor.reason_to_string reason)
+    | None -> ());
+    if !draining = None then begin
+      scan_spool ();
+      preempt ()
+    end;
+    let reports =
+      Mutex.protect mailbox_m (fun () ->
+          let r = List.rev !mailbox in
+          mailbox := [];
+          r)
+    in
+    List.iter apply_report reports;
+    if !draining = None then admit ();
+    let now = Unix.gettimeofday () in
+    if now -. !last_status > cfg.status_every then begin
+      last_status := now;
+      let d, f, dr, steps = totals () in
+      emit "server"
+        [ ("event", Json.Str "tick");
+          ("running", Json.Int (List.length !running));
+          ("queued", Json.Int (Jobq.length ready));
+          ("done", Json.Int d); ("failed", Json.Int f);
+          ("drained", Json.Int dr); ("steps", Json.Int steps);
+          ("elapsed_s", Json.Float (now -. started)) ]
+    end;
+    if not (finished ()) then Unix.sleepf cfg.poll_interval
+  done;
+
+  (* --- summary --- *)
+  let wall_s = Unix.gettimeofday () -. started in
+  let records =
+    List.rev_map
+      (fun id ->
+        let l = Hashtbl.find table id in
+        let outcome =
+          match l.st with Ended o -> o | _ -> Drained (* unreachable *)
+        in
+        {
+          job = l.job;
+          outcome;
+          steps = l.steps;
+          sim_time = l.sim_time;
+          wall_s = l.consumed;
+          slices = l.slices;
+          preempts = l.preempts;
+          crash_retries_used = l.crashes;
+          dof = float_of_int l.steps *. l.dof_per_step;
+          checkpoint_dir = l.ckpt_dir;
+        })
+      !order
+  in
+  let cache1_h, cache1_m = Solver.kernel_cache_stats () in
+  let jobs_done =
+    List.length (List.filter (fun (r : record) -> r.outcome = Done) records)
+  in
+  let jobs_failed =
+    List.length
+      (List.filter (fun (r : record) -> match r.outcome with Failed _ -> true | _ -> false)
+         records)
+  in
+  let jobs_drained =
+    List.length (List.filter (fun (r : record) -> r.outcome = Drained) records)
+  in
+  let total_steps = List.fold_left (fun a (r : record) -> a + r.steps) 0 records in
+  let agg_dof = List.fold_left (fun a (r : record) -> a +. r.dof) 0.0 records in
+  let summary =
+    {
+      records;
+      wall_s;
+      jobs_done;
+      jobs_failed;
+      jobs_drained;
+      total_steps;
+      total_preempts = List.fold_left (fun a (r : record) -> a + r.preempts) 0 records;
+      total_slices = List.fold_left (fun a (r : record) -> a + r.slices) 0 records;
+      agg_dof;
+      agg_dof_s = (if wall_s > 0.0 then agg_dof /. wall_s else 0.0);
+      jobs_per_hour =
+        (if wall_s > 0.0 then float_of_int jobs_done *. 3600.0 /. wall_s
+         else 0.0);
+      cache_hits = cache1_h - cache0_h;
+      cache_misses = cache1_m - cache0_m;
+      stopped = !draining;
+    }
+  in
+  emit "summary"
+    [
+      ("jobs_done", Json.Int summary.jobs_done);
+      ("jobs_failed", Json.Int summary.jobs_failed);
+      ("jobs_drained", Json.Int summary.jobs_drained);
+      ("rejected", Json.Int !rejected);
+      ("wall_s", Json.Float summary.wall_s);
+      ("total_steps", Json.Int summary.total_steps);
+      ("preempts", Json.Int summary.total_preempts);
+      ("slices", Json.Int summary.total_slices);
+      ("agg_dof_s", Json.Float summary.agg_dof_s);
+      ("jobs_per_hour", Json.Float summary.jobs_per_hour);
+      ("kernel_cache_hits", Json.Int summary.cache_hits);
+      ("kernel_cache_misses", Json.Int summary.cache_misses);
+      ("stopped",
+       match summary.stopped with Some s -> Json.Str s | None -> Json.Null);
+    ];
+  Option.iter Obs.Sink.close sink;
+  summary
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>jobs: %d done, %d failed, %d drained in %.2fs (%.1f jobs/hour)@,\
+     steps: %d across %d slices (%d preempts); aggregate %.3g DOF/s@,\
+     kernel cache: %d hits, %d misses%a@]"
+    s.jobs_done s.jobs_failed s.jobs_drained s.wall_s s.jobs_per_hour
+    s.total_steps s.total_slices s.total_preempts s.agg_dof_s s.cache_hits
+    s.cache_misses
+    (fun ppf -> function
+      | Some why -> Format.fprintf ppf "@,stopped: %s" why
+      | None -> ())
+    s.stopped

@@ -1,0 +1,88 @@
+(** The job engine: runs a queue of {!Job.t} simulations concurrently on a
+    bounded worker budget with checkpoint-based preemption.
+
+    Each admitted job runs one {i slice} at a time in its own domain — an
+    ordinary [Vm_app.run_resilient] call under a per-slice supervisor that
+    the engine stops from outside ([request_stop _ "preempt"]), making the
+    slice checkpoint at the next step boundary and yield; resuming via
+    [Vm_app.create_resumable] is bit-exact.  Crashed slices are contained
+    in their domain and retried from the last checkpoint up to the job's
+    [crash_retries] before the job is marked failed; the server survives.
+    A stop on the engine's own supervisor (SIGTERM, max-wall) drains: all
+    running slices checkpoint and every job is parked as [Drained]. *)
+
+type config = {
+  concurrency : int;  (** worker-slot budget shared by all running jobs *)
+  slice_wall : float;
+      (** seconds a slice may run before it is preempted {i when other
+          jobs are waiting}; a lone job runs uninterrupted *)
+  poll_interval : float;  (** scheduler poll period (seconds) *)
+  status_path : string option;  (** JSONL status stream (None = silent) *)
+  status_append : bool;  (** append instead of truncate (server restarts) *)
+  status_every : float;  (** seconds between aggregate ["server"] records *)
+  progress_every : int;  (** steps between per-job ["progress"] records *)
+  root : string;  (** checkpoint root; jobs live in [root/jobs/<id>/] *)
+  spool : string option;
+      (** directory scanned for new [*.json] job files; consumed files are
+          renamed [.accepted] / [.rejected] *)
+  exit_on_idle : bool;
+      (** return once every job has ended (false: keep serving the spool
+          until the supervisor stops us) *)
+  kernel_cache : bool;
+      (** share generated kernels across same-basis jobs
+          ([Solver.enable_kernel_cache]) *)
+}
+
+val default_config : root:string -> config
+(** concurrency 2, slice_wall 5s, poll 20ms, no status sink, status every
+    5s, progress every 50 steps, no spool, exit on idle, kernel cache on. *)
+
+type outcome =
+  | Done  (** reached [tend]; a final checkpoint is the result artifact *)
+  | Failed of string
+      (** tier-3 abort, [max_steps]/[max_wall] exhausted, or crash retries
+          exhausted — the payload says which *)
+  | Drained  (** parked at a valid checkpoint by a server shutdown *)
+
+val outcome_to_string : outcome -> string
+
+type record = {
+  job : Job.t;
+  outcome : outcome;
+  steps : int;  (** accepted steps over the job's whole life *)
+  sim_time : float;
+  wall_s : float;  (** supervised wall seconds, summed over slices *)
+  slices : int;
+  preempts : int;
+  crash_retries_used : int;
+  dof : float;  (** degrees of freedom advanced: steps x DOF per step *)
+  checkpoint_dir : string;
+}
+
+type summary = {
+  records : record list;  (** submission order *)
+  wall_s : float;
+  jobs_done : int;
+  jobs_failed : int;
+  jobs_drained : int;
+  total_steps : int;
+  total_preempts : int;
+  total_slices : int;
+  agg_dof : float;
+  agg_dof_s : float;  (** aggregate DOF advanced per wall second *)
+  jobs_per_hour : float;  (** completed jobs per hour of server wall time *)
+  cache_hits : int;  (** kernel-registry cache hits during this run *)
+  cache_misses : int;
+  stopped : string option;  (** why the server drained, [None] if idle-exit *)
+}
+
+val run : ?jobs:Job.t list -> ?supervisor:Dg_resilience.Supervisor.t -> config -> summary
+(** Run [jobs] (plus anything the spool delivers) to completion and return
+    the summary.  [supervisor] is the server's own: install it for signal
+    handling in a CLI, or keep it handler-less and call [request_stop]
+    from a test; the engine installs a multi-job SIGUSR1 status renderer
+    on it.  Duplicate job ids are rejected (counted in the status stream),
+    not fatal.
+    @raise Invalid_argument on a nonsensical config. *)
+
+val pp_summary : Format.formatter -> summary -> unit

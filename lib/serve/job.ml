@@ -1,0 +1,290 @@
+(* A parametrized simulation job: a named, prioritized Vm_app run with
+   per-job resource limits and resilience knobs, parsed from a small JSON
+   job file.  The engine owns scheduling; this module owns the translation
+   from job description to [Vm_app.spec] / [Retry.policy] / [Faults.t]. *)
+
+module App = Dg_app.Vm_app
+module Json = Dg_obs.Obs.Json
+module Retry = Dg_resilience.Retry
+module Faults = Dg_resilience.Faults
+
+type scenario = Twostream | Landau | Advect
+
+let scenario_to_string = function
+  | Twostream -> "twostream"
+  | Landau -> "landau"
+  | Advect -> "advect"
+
+let scenario_of_string = function
+  | "twostream" | "two-stream" -> Twostream
+  | "landau" -> Landau
+  | "advect" -> Advect
+  | s -> invalid_arg (Printf.sprintf "unknown scenario %S" s)
+
+type t = {
+  id : string;
+  scenario : scenario;
+  priority : int;
+  cells_x : int;
+  cells_v : int;
+  poly_order : int;
+  tend : float;
+  cfl : float;
+  max_steps : int;
+  max_wall : float option;
+  workers : int;
+  checkpoint_every : int;
+  keep_last : int option;
+  check_every : int;
+  max_retries : int;
+  max_restores : int;
+  crash_retries : int;
+  fault_nan_step : int option;
+}
+
+let validate j =
+  let fail fmt = Printf.ksprintf invalid_arg ("job %S: " ^^ fmt) j.id in
+  if j.id = "" then invalid_arg "job: empty id";
+  String.iter
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> ()
+      | c -> fail "id contains %C (use [A-Za-z0-9_.-])" c)
+    j.id;
+  if j.cells_x < 2 || j.cells_v < 2 then
+    fail "cells %dx%d (need >= 2 per dim)" j.cells_x j.cells_v;
+  if j.poly_order < 1 || j.poly_order > 3 then
+    fail "poly_order %d (supported: 1..3)" j.poly_order;
+  if not (Float.is_finite j.tend && j.tend > 0.0) then fail "tend must be > 0";
+  if not (Float.is_finite j.cfl && j.cfl > 0.0 && j.cfl <= 1.0) then
+    fail "cfl must be in (0, 1]";
+  if j.max_steps < 1 then fail "max_steps must be >= 1";
+  (match j.max_wall with
+  | Some w when not (Float.is_finite w && w > 0.0) ->
+      fail "max_wall must be > 0"
+  | _ -> ());
+  if j.workers < 1 then fail "workers must be >= 1";
+  if j.checkpoint_every < 0 then fail "checkpoint_every must be >= 0";
+  (match j.keep_last with
+  | Some k when k < 1 -> fail "keep_last must be >= 1"
+  | _ -> ());
+  if j.check_every < 1 then fail "check_every must be >= 1";
+  if j.max_retries < 0 || j.max_restores < 0 || j.crash_retries < 0 then
+    fail "retry budgets must be >= 0"
+
+let make ?(priority = 0) ?(cells_x = 16) ?(cells_v = 24) ?(poly_order = 1)
+    ?(tend = 1.0) ?(cfl = 0.9) ?(max_steps = 1_000_000) ?max_wall
+    ?(workers = 1) ?(checkpoint_every = 25) ?keep_last ?(check_every = 10)
+    ?(max_retries = 8) ?(max_restores = 1) ?(crash_retries = 1)
+    ?fault_nan_step ~id ~scenario () =
+  let j =
+    {
+      id;
+      scenario;
+      priority;
+      cells_x;
+      cells_v;
+      poly_order;
+      tend;
+      cfl;
+      max_steps;
+      max_wall;
+      workers;
+      checkpoint_every;
+      keep_last;
+      check_every;
+      max_retries;
+      max_restores;
+      crash_retries;
+      fault_nan_step;
+    }
+  in
+  validate j;
+  j
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+(* [Json.to_int]/[to_float] default missing members to 0/NaN, which here
+   would silently zero a retry budget — so parse through explicit options
+   and fall back to the documented defaults only when a key is absent. *)
+let opt_int j key = Option.map (fun v -> Json.to_int (Some v)) (Json.member key j)
+let opt_float j key =
+  Option.map (fun v -> Json.to_float (Some v)) (Json.member key j)
+
+let of_json ?id json =
+  let str key =
+    match Json.member key json with
+    | Some (Json.Str s) -> Some s
+    | Some _ -> invalid_arg (Printf.sprintf "job field %S must be a string" key)
+    | None -> None
+  in
+  let scenario =
+    match str "scenario" with
+    | Some s -> scenario_of_string s
+    | None -> invalid_arg "job: missing \"scenario\""
+  in
+  let id =
+    match str "id" with
+    | Some s -> s
+    | None -> (
+        match id with
+        | Some s -> s
+        | None -> invalid_arg "job: missing \"id\"")
+  in
+  let cells_x, cells_v =
+    match Json.member "cells" json with
+    | Some (Json.List [ x; v ]) ->
+        (Json.to_int (Some x), Json.to_int (Some v))
+    | Some _ -> invalid_arg "job field \"cells\" must be [nx, nv]"
+    | None -> (16, 24)
+  in
+  let def d = Option.value ~default:d in
+  make ~id ~scenario
+    ?priority:(opt_int json "priority")
+    ~cells_x ~cells_v
+    ~poly_order:(def 1 (opt_int json "p"))
+    ~tend:(def 1.0 (opt_float json "tend"))
+    ~cfl:(def 0.9 (opt_float json "cfl"))
+    ?max_steps:(opt_int json "max_steps")
+    ?max_wall:(opt_float json "max_wall")
+    ?workers:(opt_int json "workers")
+    ?checkpoint_every:(opt_int json "checkpoint_every")
+    ?keep_last:(opt_int json "keep_last")
+    ?check_every:(opt_int json "check_every")
+    ?max_retries:(opt_int json "max_retries")
+    ?max_restores:(opt_int json "max_restores")
+    ?crash_retries:(opt_int json "crash_retries")
+    ?fault_nan_step:(opt_int json "fault_nan_step")
+    ()
+
+let of_string ?id s = of_json ?id (Json.parse s)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let of_file path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  of_string ~id:base (read_file path)
+
+(* A manifest is either a bare JSON list of job objects or
+   [{"jobs": [...]}]; unnamed jobs get [<basename>-<position>] ids. *)
+let manifest_of_file path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  let json = Json.parse (read_file path) in
+  let items =
+    match json with
+    | Json.List l -> l
+    | Json.Obj _ -> (
+        match Json.member "jobs" json with
+        | Some (Json.List l) -> l
+        | _ -> invalid_arg "job manifest: expected a list or {\"jobs\": [...]}")
+    | _ -> invalid_arg "job manifest: expected a list or {\"jobs\": [...]}"
+  in
+  List.mapi (fun i j -> of_json ~id:(Printf.sprintf "%s-%d" base i) j) items
+
+let to_json j =
+  Json.Obj
+    ([
+       ("id", Json.Str j.id);
+       ("scenario", Json.Str (scenario_to_string j.scenario));
+       ("priority", Json.Int j.priority);
+       ("cells", Json.List [ Json.Int j.cells_x; Json.Int j.cells_v ]);
+       ("p", Json.Int j.poly_order);
+       ("tend", Json.Float j.tend);
+       ("max_steps", Json.Int j.max_steps);
+       ("workers", Json.Int j.workers);
+     ]
+    @ (match j.max_wall with
+      | Some w -> [ ("max_wall", Json.Float w) ]
+      | None -> [])
+    @
+    match j.fault_nan_step with
+    | Some k -> [ ("fault_nan_step", Json.Int k) ]
+    | None -> [])
+
+(* --- translation to the app layer ----------------------------------------- *)
+
+(* The three scenarios mirror the vmdg physics subcommands (same physics
+   parameters) so a job batch exercises the same numerics the CLI does; all
+   are 1x1v so a mixed batch shares one kernel-cache entry per (family, p). *)
+let spec j =
+  let base ~lower ~upper ~species ~field_model ~init_em =
+    {
+      (App.default_spec ~cdim:1 ~vdim:1
+         ~cells:[| j.cells_x; j.cells_v |]
+         ~lower ~upper ~species)
+      with
+      App.field_model;
+      poly_order = j.poly_order;
+      cfl = j.cfl;
+      init_em;
+    }
+  in
+  match j.scenario with
+  | Twostream ->
+      let v0 = 2.0 and vt = 0.35 and k = 0.35 and alpha = 1e-4 in
+      let l = 2.0 *. Float.pi /. k in
+      let beams ~pos ~vel =
+        let m u =
+          exp (-.((vel.(0) -. u) ** 2.0) /. (2.0 *. vt *. vt))
+          /. sqrt (2.0 *. Float.pi *. vt *. vt)
+        in
+        0.5 *. (1.0 +. (alpha *. cos (k *. pos.(0)))) *. (m v0 +. m (-.v0))
+      in
+      let electron =
+        App.species ~name:"elc" ~charge:(-1.0) ~mass:1.0 ~init_f:beams ()
+      in
+      base ~lower:[| 0.0; -6.0 |] ~upper:[| l; 6.0 |] ~species:[ electron ]
+        ~field_model:App.Ampere_only ~init_em:None
+  | Landau ->
+      let k = 0.5 and alpha = 0.01 in
+      let l = 2.0 *. Float.pi /. k in
+      let electron =
+        App.species ~name:"elc" ~charge:(-1.0) ~mass:1.0
+          ~init_f:(fun ~pos ~vel ->
+            (1.0 +. (alpha *. cos (k *. pos.(0))))
+            /. sqrt (2.0 *. Float.pi)
+            *. exp (-0.5 *. vel.(0) *. vel.(0)))
+          ()
+      in
+      base ~lower:[| 0.0; -6.0 |] ~upper:[| l; 6.0 |] ~species:[ electron ]
+        ~field_model:App.Ampere_only
+        ~init_em:
+          (Some
+             (fun x ->
+               let em = Array.make 8 0.0 in
+               em.(0) <- -.(alpha /. k) *. sin (k *. x.(0));
+               em))
+  | Advect ->
+      let l = 2.0 *. Float.pi in
+      let f0 ~pos ~vel =
+        (1.0 +. (0.5 *. sin pos.(0))) *. exp (-2.0 *. vel.(0) *. vel.(0))
+      in
+      let n = App.species ~name:"n" ~charge:0.0 ~mass:1.0 ~init_f:f0 () in
+      base ~lower:[| 0.0; -3.0 |] ~upper:[| l; 3.0 |] ~species:[ n ]
+        ~field_model:App.Static ~init_em:None
+
+let policy j =
+  {
+    Retry.default with
+    Retry.check_every = j.check_every;
+    max_retries = j.max_retries;
+    max_restores = j.max_restores;
+  }
+
+(* Arm the NaN bomb only while the job has not yet stepped past it: a
+   preempted-and-resumed slice that restarts below [fault_nan_step] re-arms
+   (the fault has not happened yet in the job's life), while a crash-retry
+   that resumes past it does not re-fire a fault the ladder already paid
+   for.  Within one slice, [Faults.t] is one-shot as usual. *)
+let faults j ~steps_done =
+  match j.fault_nan_step with
+  | Some k when steps_done < k ->
+      let f = Faults.none () in
+      f.Faults.nan_step <- Some k;
+      f
+  | _ -> Faults.none ()

@@ -1,0 +1,104 @@
+(** A parametrized simulation job: one named, prioritized [Vm_app] run with
+    per-job resource limits and resilience knobs, described by a small JSON
+    job file.  {!Engine} owns scheduling; this module owns the translation
+    into [Vm_app.spec], [Retry.policy], and [Faults.t]. *)
+
+(** Canonical 1x1v physics scenarios (the same parameter sets as the vmdg
+    [twostream] / [landau] / [advect] subcommands).  All three share a
+    layout family, so a mixed batch reuses one cached kernel set per
+    (family, poly order). *)
+type scenario = Twostream | Landau | Advect
+
+val scenario_to_string : scenario -> string
+
+val scenario_of_string : string -> scenario
+(** @raise Invalid_argument on an unknown name. *)
+
+type t = {
+  id : string;  (** unique within a server run; [[A-Za-z0-9_.-]+] *)
+  scenario : scenario;
+  priority : int;  (** higher runs first (and preempts lower) *)
+  cells_x : int;
+  cells_v : int;
+  poly_order : int;
+  tend : float;
+  cfl : float;
+  max_steps : int;
+  max_wall : float option;
+      (** per-job wall budget, summed over slices (parked time free) *)
+  workers : int;  (** worker slots charged against the engine budget *)
+  checkpoint_every : int;  (** periodic checkpoint cadence (0 = only stops) *)
+  keep_last : int option;
+  check_every : int;  (** health-check window ([Retry.policy]) *)
+  max_retries : int;
+  max_restores : int;
+  crash_retries : int;
+      (** engine-level restarts after an uncaught slice exception *)
+  fault_nan_step : int option;  (** test/demo NaN bomb at this step *)
+}
+
+val make :
+  ?priority:int ->
+  ?cells_x:int ->
+  ?cells_v:int ->
+  ?poly_order:int ->
+  ?tend:float ->
+  ?cfl:float ->
+  ?max_steps:int ->
+  ?max_wall:float ->
+  ?workers:int ->
+  ?checkpoint_every:int ->
+  ?keep_last:int ->
+  ?check_every:int ->
+  ?max_retries:int ->
+  ?max_restores:int ->
+  ?crash_retries:int ->
+  ?fault_nan_step:int ->
+  id:string ->
+  scenario:scenario ->
+  unit ->
+  t
+(** Defaults: priority 0, 16x24 cells, p=1, tend 1.0, cfl 0.9, max_steps
+    1e6, no wall cap, 1 worker, checkpoint every 25 steps, health check
+    every 10, retries 8 / restores 1 / crash retries 1, no fault.
+    @raise Invalid_argument on out-of-range fields (see {!validate}). *)
+
+val validate : t -> unit
+(** @raise Invalid_argument naming the offending field. *)
+
+val of_json : ?id:string -> Dg_obs.Obs.Json.t -> t
+(** Parse a job object; [id] is the fallback when the object has no ["id"]
+    member (the spool scanner passes the file's basename).  Recognized
+    keys: [id, scenario, priority, cells (as [nx, nv]), p, tend, cfl,
+    max_steps, max_wall, workers, checkpoint_every, keep_last,
+    check_every, max_retries, max_restores, crash_retries,
+    fault_nan_step]; missing keys take the {!make} defaults.
+    @raise Invalid_argument on a malformed or out-of-range job. *)
+
+val of_string : ?id:string -> string -> t
+(** {!of_json} after parsing. @raise Dg_obs.Obs.Json.Parse_error too. *)
+
+val of_file : string -> t
+(** Read one JSON job file; the filename (minus extension) is the
+    fallback id. *)
+
+val manifest_of_file : string -> t list
+(** Read a batch manifest: a bare JSON list of job objects, or an object
+    with a ["jobs"] list.  Jobs without an ["id"] are named
+    [<basename>-<position>]. *)
+
+val to_json : t -> Dg_obs.Obs.Json.t
+(** The job's identifying fields, for status-stream records. *)
+
+val spec : t -> Dg_app.Vm_app.spec
+(** The full simulation spec this job runs. *)
+
+val policy : t -> Dg_resilience.Retry.policy
+(** [Retry.default] with the job's window/budget overrides. *)
+
+val faults : t -> steps_done:int -> Dg_resilience.Faults.t
+(** The fault set to arm for a slice that resumes at [steps_done]: the NaN
+    bomb is armed only while [steps_done < fault_nan_step], so a resumed
+    slice re-arms a fault that has not yet happened in the job's life, but
+    a crash-retry that restarts past it does not re-fire one the ladder
+    already paid for. *)

@@ -1,0 +1,41 @@
+(* Ready queue: highest priority first, FIFO (by submission sequence)
+   within a priority.  Queues stay small (tens of jobs), so a sorted list
+   with O(n) insert beats a heap on clarity; the engine re-enqueues a
+   preempted job with a fresh sequence number, which is what sends it to
+   the back of its priority class (round-robin among equals). *)
+
+type 'a t = { mutable items : (int * int * 'a) list (* prio, seq, payload *) }
+
+let create () = { items = [] }
+let length q = List.length q.items
+let is_empty q = q.items = []
+
+let push q ~priority ~seq v =
+  let rec ins = function
+    | [] -> [ (priority, seq, v) ]
+    | ((p, s, _) as hd) :: tl ->
+        if priority > p || (priority = p && seq < s) then
+          (priority, seq, v) :: hd :: tl
+        else hd :: ins tl
+  in
+  q.items <- ins q.items
+
+let peek q =
+  match q.items with [] -> None | (_, _, v) :: _ -> Some v
+
+let peek_priority q =
+  match q.items with [] -> None | (p, _, _) :: _ -> Some p
+
+let pop q =
+  match q.items with
+  | [] -> None
+  | (_, _, v) :: tl ->
+      q.items <- tl;
+      Some v
+
+let drain q =
+  let vs = List.map (fun (_, _, v) -> v) q.items in
+  q.items <- [];
+  vs
+
+let to_list q = List.map (fun (_, _, v) -> v) q.items

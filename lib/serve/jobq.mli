@@ -1,0 +1,25 @@
+(** Ready queue for the job engine: highest priority first, FIFO within a
+    priority class (ordered by the engine-assigned submission sequence).
+    Not thread-safe — the engine serializes access under its own lock. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:int -> seq:int -> 'a -> unit
+(** Insert; a preempted job re-enters with a fresh (larger) [seq], placing
+    it behind queued peers of equal priority. *)
+
+val peek : 'a t -> 'a option
+val peek_priority : 'a t -> int option
+(** Priority of the head (the maximum over queued entries). *)
+
+val pop : 'a t -> 'a option
+
+val drain : 'a t -> 'a list
+(** Remove and return everything, in queue order (used at shutdown). *)
+
+val to_list : 'a t -> 'a list
+(** Queue order, non-destructive (status rendering). *)

@@ -52,9 +52,58 @@ type workspace = {
   w_cc : int array; (* configuration-coordinate scratch (EM cell lookup) *)
 }
 
+(* Cross-run kernel cache.  [Tensors.make_dir] output depends only on the
+   basis identity (family, poly order, cdim, vdim) — never on the grid —
+   and the sparse tensors are immutable after construction, so solvers for
+   different runs of the same basis can share one bundle array.  Building
+   the 2x2v p=2 bundles costs seconds of CAS work; a job server creating
+   many same-shaped apps amortizes that to one build.  Off by default (a
+   single run gains nothing); [enable_kernel_cache] turns it on process-
+   wide.  Entries are shared across domains, hence the mutex. *)
+let kcache : (string * int * int * int, Tensors.dir_kernels array) Hashtbl.t =
+  Hashtbl.create 8
+
+let kcache_lock = Mutex.create ()
+let kcache_enabled = Atomic.make false
+let kcache_hits = Atomic.make 0
+let kcache_misses = Atomic.make 0
+let enable_kernel_cache () = Atomic.set kcache_enabled true
+
+let kernel_cache_stats () = (Atomic.get kcache_hits, Atomic.get kcache_misses)
+
+let make_dirs (lay : Layout.t) =
+  let pdim = lay.Layout.pdim in
+  if not (Atomic.get kcache_enabled) then
+    Array.init pdim (fun dir -> Tensors.make_dir lay ~dir)
+  else begin
+    let basis = lay.Layout.basis in
+    let module Modal = Dg_basis.Modal in
+    let key =
+      ( Modal.family_name (Modal.family basis),
+        Modal.poly_order basis,
+        lay.Layout.cdim,
+        lay.Layout.vdim )
+    in
+    (* Build outside the lock would risk duplicate work but no corruption;
+       holding it keeps the first 2x2v p2 build from running 4x on a busy
+       server.  Contention is negligible: creates are rare. *)
+    Mutex.protect kcache_lock (fun () ->
+        match Hashtbl.find_opt kcache key with
+        | Some dirs ->
+            Atomic.incr kcache_hits;
+            Dg_obs.Obs.count "solver.kernel_cache_hits" 1;
+            dirs
+        | None ->
+            let dirs = Array.init pdim (fun dir -> Tensors.make_dir lay ~dir) in
+            Atomic.incr kcache_misses;
+            Dg_obs.Obs.count "solver.kernel_cache_misses" 1;
+            Hashtbl.add kcache key dirs;
+            dirs)
+  end
+
 let create ?(flux = Upwind) ?(use_kernels = true) ~qm (lay : Layout.t) =
   let pdim = lay.Layout.pdim in
-  let dirs = Array.init pdim (fun dir -> Tensors.make_dir lay ~dir) in
+  let dirs = make_dirs lay in
   let ops =
     Array.init pdim (fun dir ->
         Dispatch.make ~use_generated:use_kernels lay ~dir dirs.(dir))
@@ -75,6 +124,9 @@ let qm t = t.qm
 let num_basis t = t.np
 let flux_kind t = t.flux
 let specialized_dirs t = Array.map (fun o -> o.Dispatch.specialized) t.ops
+
+let budget_limited_dirs t =
+  Array.map (fun o -> o.Dispatch.budget_limited) t.ops
 
 let make_workspace t =
   {

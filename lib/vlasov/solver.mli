@@ -49,6 +49,23 @@ val specialized_dirs : t -> bool array
 (** Per phase-space direction, whether a generated unrolled kernel bundle
     (rather than the interpreted sparse tensors) backs the updates. *)
 
+val budget_limited_dirs : t -> bool array
+(** Per direction, whether the registry HAD a generated bundle but the
+    I-cache mult budget ([VMDG_MULT_BUDGET], see {!Dg_dispatch.Dispatch})
+    routed the direction to the interpreted path instead — the hybrid
+    dispatch for very large kernels. *)
+
+val enable_kernel_cache : unit -> unit
+(** Turn on the process-wide kernel cache: {!create} calls for the same
+    basis identity [(family, poly_order, cdim, vdim)] share one immutable
+    coupling-tensor bundle (they are grid-independent), amortizing seconds
+    of CAS work across the many same-shaped apps a job server creates.
+    Off by default; cannot be turned off again (entries are shared). *)
+
+val kernel_cache_stats : unit -> int * int
+(** [(hits, misses)] since process start (also filed as
+    [solver.kernel_cache_hits]/[_misses] Obs counters when tracing). *)
+
 val make_workspace : t -> workspace
 
 val rhs : ?ws:workspace -> t -> f:Field.t -> em:Field.t option -> out:Field.t -> unit

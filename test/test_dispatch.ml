@@ -106,26 +106,127 @@ let test_fallback_config () =
   (* both run the same interpreted tensors: identical, not just close *)
   check_fields ~rtol:0.0 "maximal-order fallback" out_d out_i
 
-(* Every registry-covered config is now FULLY specialized — the chunked
-   codegen removed the over-budget interpreted fallback, including the
-   2x2v p2 velocity directions. *)
+(* Run [f] under an explicit I-cache mult budget ("" restores the default;
+   "0" means unlimited), resetting afterwards even on failure. *)
+let with_budget v f =
+  Unix.putenv "VMDG_MULT_BUDGET" v;
+  Fun.protect ~finally:(fun () -> Unix.putenv "VMDG_MULT_BUDGET" "") f
+
+(* With the budget lifted, every registry-covered config is FULLY
+   specialized — the chunked codegen removed the hard over-budget fallback,
+   including the 2x2v p2 tensor velocity directions. *)
 let test_specialized_dirs () =
   let lay = make_layout ~family:Modal.Serendipity ~p:2 ~cdim:1 ~vdim:2 in
   let s = Solver.create ~qm:1.0 lay in
   Alcotest.(check bool)
     "1x2v p2 ser fully specialized" true
     (Array.for_all Fun.id (Solver.specialized_dirs s));
+  with_budget "0" (fun () ->
+      let lay22 = make_layout ~family:Modal.Tensor ~p:2 ~cdim:2 ~vdim:2 in
+      let s22 = Solver.create ~qm:1.0 lay22 in
+      Alcotest.(check (array bool))
+        "2x2v p2 tensor fully specialized (chunked velocity dirs)"
+        [| true; true; true; true |]
+        (Solver.specialized_dirs s22);
+      Alcotest.(check (array bool))
+        "unlimited budget limits nothing"
+        [| false; false; false; false |]
+        (Solver.budget_limited_dirs s22))
+
+(* The default mult budget keeps the giant 2x2v p2 tensor acceleration
+   kernels (~62k mults each, the 0.77x I-cache outlier) interpreted while
+   the cheap streaming directions stay specialized; the serendipity
+   acceleration kernels (~21.6k mults) sit under the budget.  The hybrid
+   must agree with the pure interpreted solver, count its deliberate
+   fallbacks under dispatch.budget_fallbacks (NOT kernels.fallbacks), and
+   honor VMDG_MULT_BUDGET overrides. *)
+let test_mult_budget () =
+  let module Obs = Dg_obs.Obs in
+  let module Dispatch = Dg_dispatch.Dispatch in
+  Alcotest.(check int)
+    "default budget value" 32_000 Dispatch.default_mult_budget;
+  Obs.enable ();
+  Obs.reset ();
   let lay22 = make_layout ~family:Modal.Tensor ~p:2 ~cdim:2 ~vdim:2 in
   let s22 = Solver.create ~qm:1.0 lay22 in
   Alcotest.(check (array bool))
-    "2x2v p2 tensor fully specialized (chunked velocity dirs)"
-    [| true; true; true; true |]
-    (Solver.specialized_dirs s22)
+    "tensor: streaming specialized, acceleration budget-limited"
+    [| true; true; false; false |]
+    (Solver.specialized_dirs s22);
+  Alcotest.(check (array bool))
+    "tensor: budget_limited_dirs marks the two acceleration dirs"
+    [| false; false; true; true |]
+    (Solver.budget_limited_dirs s22);
+  Alcotest.(check (float 0.0))
+    "two deliberate budget fallbacks counted" 2.0
+    (Obs.counter_value "dispatch.budget_fallbacks");
+  Alcotest.(check (float 0.0))
+    "budget fallbacks are not registry misses" 0.0
+    (Obs.counter_value "kernels.fallbacks");
+  Obs.disable ();
+  Obs.reset ();
+  (* hybrid rhs == interpreted rhs *)
+  let np = Layout.num_basis lay22 in
+  let si = Solver.create ~use_kernels:false ~qm:1.0 lay22 in
+  let f = random_f lay22 and em = random_em lay22 in
+  let out_h = Field.create lay22.Layout.grid ~ncomp:np in
+  let out_i = Field.create lay22.Layout.grid ~ncomp:np in
+  Solver.rhs s22 ~f ~em:(Some em) ~out:out_h;
+  Solver.rhs si ~f ~em:(Some em) ~out:out_i;
+  check_fields ~rtol:1e-12 "hybrid == interpreted" out_h out_i;
+  (* a tighter budget pushes the serendipity acceleration kernels out too *)
+  with_budget "15000" (fun () ->
+      let lay = make_layout ~family:Modal.Serendipity ~p:2 ~cdim:2 ~vdim:2 in
+      let s = Solver.create ~qm:1.0 lay in
+      Alcotest.(check (array bool))
+        "budget 15000: ser acceleration dirs over budget"
+        [| true; true; false; false |]
+        (Solver.specialized_dirs s));
+  (* under the default budget the serendipity config is untouched *)
+  let lay_ser = make_layout ~family:Modal.Serendipity ~p:2 ~cdim:2 ~vdim:2 in
+  let s_ser = Solver.create ~qm:1.0 lay_ser in
+  Alcotest.(check bool)
+    "default budget: 2x2v p2 ser fully specialized" true
+    (Array.for_all Fun.id (Solver.specialized_dirs s_ser))
+
+(* The reason the budget exists: the hybrid must never lose to the pure
+   interpreted solver.  Its acceleration directions run the identical
+   interpreted path, so the streaming directions' generated kernels can
+   only add speed; allow generous jitter headroom on shared CI. *)
+let test_budget_hybrid_never_loses () =
+  let lay = make_layout ~family:Modal.Tensor ~p:2 ~cdim:2 ~vdim:2 in
+  let np = Layout.num_basis lay in
+  let sh = Solver.create ~use_kernels:true ~qm:1.0 lay in
+  let si = Solver.create ~use_kernels:false ~qm:1.0 lay in
+  Alcotest.(check bool)
+    "hybrid is active (some dir budget-limited)" true
+    (Array.exists Fun.id (Solver.budget_limited_dirs sh));
+  let f = random_f lay and em = random_em lay in
+  let out = Field.create lay.Layout.grid ~ncomp:np in
+  let time_of s =
+    let ws = Solver.make_workspace s in
+    Solver.rhs ~ws s ~f ~em:(Some em) ~out;
+    (* median of 5 *)
+    let ts =
+      List.init 5 (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          Solver.rhs ~ws s ~f ~em:(Some em) ~out;
+          Unix.gettimeofday () -. t0)
+    in
+    List.nth (List.sort compare ts) 2
+  in
+  let t_interp = time_of si in
+  let t_hybrid = time_of sh in
+  if t_hybrid > 1.25 *. t_interp then
+    Alcotest.failf
+      "hybrid dispatch lost to pure interpreted: %.0f us vs %.0f us"
+      (t_hybrid *. 1e6) (t_interp *. 1e6)
 
 (* With tracing enabled the dispatch counters must show every direction
    specialized and zero fallbacks — for the 2x2v p2 tensor flagship and
    for every other registry config. *)
 let test_fallback_counters () =
+  with_budget "0" @@ fun () ->
   let module Obs = Dg_obs.Obs in
   Obs.enable ();
   Obs.reset ();
@@ -304,6 +405,10 @@ let () =
             test_specialized_dirs;
           Alcotest.test_case "dispatch/fallback counters" `Quick
             test_fallback_counters;
+          Alcotest.test_case "I-cache mult budget hybrid" `Quick
+            test_mult_budget;
+          Alcotest.test_case "hybrid never loses to interpreted" `Slow
+            test_budget_hybrid_never_loses;
           qcheck_chunked_equivalence;
           Alcotest.test_case "zero-copy == block-copy bitwise" `Quick
             test_zero_copy_bitwise;

@@ -1,0 +1,298 @@
+(* dg_serve: the multi-tenant job engine.  Queue ordering and priorities;
+   preempt-then-resume bit-exactness (a sliced run's final checkpoint must
+   be bit-identical to an uninterrupted one); fault containment (a crashing
+   job must not take the server or its siblings down); wall-budget
+   accounting across resume; SIGTERM drain to valid checkpoints. *)
+
+module Job = Dg_serve.Job
+module Jobq = Dg_serve.Jobq
+module Engine = Dg_serve.Engine
+module Checkpoint = Dg_resilience.Checkpoint
+module Supervisor = Dg_resilience.Supervisor
+module Field = Dg_grid.Field
+
+let tmpdir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let rec rm_rf p =
+  if Sys.file_exists p then
+    if Sys.is_directory p then begin
+      Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+
+let quiet_cfg ~root =
+  { (Engine.default_config ~root) with Engine.poll_interval = 0.002 }
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let outcome_of (s : Engine.summary) id =
+  let r =
+    List.find (fun (r : Engine.record) -> r.Engine.job.Job.id = id)
+      s.Engine.records
+  in
+  r
+
+(* --- queue ordering -------------------------------------------------------- *)
+
+let test_jobq_ordering () =
+  let q = Jobq.create () in
+  Alcotest.(check bool) "fresh queue empty" true (Jobq.is_empty q);
+  Jobq.push q ~priority:0 ~seq:1 "a";
+  Jobq.push q ~priority:0 ~seq:2 "b";
+  Jobq.push q ~priority:5 ~seq:3 "hi";
+  Jobq.push q ~priority:0 ~seq:4 "c";
+  Jobq.push q ~priority:5 ~seq:5 "hi2";
+  Alcotest.(check int) "length" 5 (Jobq.length q);
+  Alcotest.(check (option int)) "head priority" (Some 5) (Jobq.peek_priority q);
+  Alcotest.(check (list string))
+    "priority desc, FIFO within a class"
+    [ "hi"; "hi2"; "a"; "b"; "c" ]
+    (Jobq.to_list q);
+  (* a preempted job re-enters with a fresh seq: behind its equals *)
+  Alcotest.(check (option string)) "pop hi" (Some "hi") (Jobq.pop q);
+  Alcotest.(check (option string)) "pop hi2" (Some "hi2") (Jobq.pop q);
+  Alcotest.(check (option string)) "pop a" (Some "a") (Jobq.pop q);
+  Jobq.push q ~priority:0 ~seq:6 "a";
+  Alcotest.(check (list string))
+    "requeued job goes to the back" [ "b"; "c"; "a" ] (Jobq.to_list q);
+  Alcotest.(check (list string)) "drain" [ "b"; "c"; "a" ] (Jobq.drain q);
+  Alcotest.(check bool) "drained empty" true (Jobq.is_empty q)
+
+(* --- job parsing ----------------------------------------------------------- *)
+
+let test_job_parsing () =
+  let j =
+    Job.of_string
+      {|{"id":"t1","scenario":"twostream","priority":2,"cells":[12,16],
+         "p":2,"tend":3.5,"max_wall":60.0,"fault_nan_step":40}|}
+  in
+  Alcotest.(check string) "id" "t1" j.Job.id;
+  Alcotest.(check int) "priority" 2 j.Job.priority;
+  Alcotest.(check int) "cells_x" 12 j.Job.cells_x;
+  Alcotest.(check int) "p" 2 j.Job.poly_order;
+  Alcotest.(check (float 0.0)) "tend" 3.5 j.Job.tend;
+  Alcotest.(check (option (float 0.0))) "max_wall" (Some 60.0) j.Job.max_wall;
+  Alcotest.(check (option int)) "fault" (Some 40) j.Job.fault_nan_step;
+  (* defaults *)
+  let d = Job.of_string {|{"id":"d","scenario":"landau"}|} in
+  Alcotest.(check int) "default check_every" 10 d.Job.check_every;
+  Alcotest.(check int) "default crash_retries" 1 d.Job.crash_retries;
+  Alcotest.(check (option (float 0.0))) "default max_wall" None d.Job.max_wall;
+  (* fallback id comes from the caller (spool scanner: file basename) *)
+  let f = Job.of_string ~id:"from-file" {|{"scenario":"advect"}|} in
+  Alcotest.(check string) "fallback id" "from-file" f.Job.id;
+  Alcotest.check_raises "unknown scenario"
+    (Invalid_argument "unknown scenario \"warp\"") (fun () ->
+      ignore (Job.of_string {|{"id":"x","scenario":"warp"}|}));
+  Alcotest.check_raises "bad id"
+    (Invalid_argument "job \"a b\": id contains ' ' (use [A-Za-z0-9_.-])")
+    (fun () -> ignore (Job.of_string {|{"id":"a b","scenario":"landau"}|}));
+  (* fault arming across slices: armed only before the bomb step *)
+  let fj = Job.of_string {|{"id":"f","scenario":"landau","fault_nan_step":40}|} in
+  Alcotest.(check bool) "armed on a fresh job" true
+    (Dg_resilience.Faults.armed (Job.faults fj ~steps_done:0));
+  Alcotest.(check bool) "armed when resuming below the bomb" true
+    (Dg_resilience.Faults.armed (Job.faults fj ~steps_done:39));
+  Alcotest.(check bool) "disarmed when resuming past the bomb" false
+    (Dg_resilience.Faults.armed (Job.faults fj ~steps_done:40))
+
+(* --- wall accounting across resume ----------------------------------------- *)
+
+(* The satellite fix: a resumed run must be charged the supervised seconds
+   earlier segments consumed (elapsed_offset) but not the parked time, so
+   a max_wall budget spans segments instead of restarting or over-charging. *)
+let test_elapsed_offset () =
+  let sup = Supervisor.create ~max_wall:10.0 ~elapsed_offset:9.96 () in
+  Alcotest.(check bool) "offset pre-charged" true (Supervisor.elapsed sup > 9.9);
+  Alcotest.(check bool)
+    "budget not yet exhausted" true
+    (Supervisor.should_stop sup = None);
+  Unix.sleepf 0.06;
+  (match Supervisor.should_stop sup with
+  | Some Supervisor.Max_wall -> ()
+  | _ -> Alcotest.fail "offset + slice time must exhaust the budget");
+  Alcotest.check_raises "negative offset rejected"
+    (Invalid_argument "Supervisor.create: elapsed_offset must be >= 0")
+    (fun () -> ignore (Supervisor.create ~elapsed_offset:(-1.0) ()))
+
+(* --- engine: batch completion and priorities -------------------------------- *)
+
+let small_job ?priority ?fault ?(tend = 1.0) ?(crash_retries = 1) id =
+  let max_retries, max_restores =
+    match fault with Some _ -> (0, 0) | None -> (8, 1)
+  in
+  Job.make ~id ~scenario:Job.Landau ?priority ~cells_x:12 ~cells_v:16
+    ~poly_order:1 ~tend ~checkpoint_every:5 ~check_every:5 ~max_retries
+    ~max_restores ~crash_retries ?fault_nan_step:fault ()
+
+let test_batch_completes () =
+  let root = tmpdir "serve_batch" in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let jobs = List.init 4 (fun i -> small_job (Printf.sprintf "j%d" i)) in
+  let s = Engine.run ~jobs { (quiet_cfg ~root) with Engine.concurrency = 2 } in
+  Alcotest.(check int) "all done" 4 s.Engine.jobs_done;
+  Alcotest.(check int) "none failed" 0 s.Engine.jobs_failed;
+  Alcotest.(check (option string)) "idle exit" None s.Engine.stopped;
+  (* same-basis jobs share one cached kernel build *)
+  Alcotest.(check bool) "kernel cache reused" true (s.Engine.cache_hits >= 3);
+  List.iter
+    (fun (r : Engine.record) ->
+      Alcotest.(check bool)
+        (r.Engine.job.Job.id ^ " left a final checkpoint")
+        true
+        (Checkpoint.find_latest ~dir:r.Engine.checkpoint_dir <> None))
+    s.Engine.records
+
+(* --- preempt then resume: bit-exactness ------------------------------------- *)
+
+let read_final dir =
+  match Checkpoint.find_latest ~dir with
+  | None -> Alcotest.failf "no valid checkpoint in %s" dir
+  | Some info ->
+      let fields, step, time = Checkpoint.read info.Checkpoint.path in
+      (fields, step, time)
+
+let test_preempt_resume_bitexact () =
+  let root1 = tmpdir "serve_solo" and root2 = tmpdir "serve_sliced" in
+  Fun.protect ~finally:(fun () -> rm_rf root1; rm_rf root2) @@ fun () ->
+  (* uninterrupted reference run *)
+  let solo =
+    Engine.run ~jobs:[ small_job ~tend:2.0 "bx" ]
+      { (quiet_cfg ~root:root1) with Engine.concurrency = 1; slice_wall = 60.0 }
+  in
+  Alcotest.(check int) "solo done" 1 solo.Engine.jobs_done;
+  Alcotest.(check int) "solo ran in one slice" 0 solo.Engine.total_preempts;
+  (* same job forced through preempt/resume cycles by a sibling at c=1 *)
+  let sliced =
+    Engine.run
+      ~jobs:[ small_job ~tend:2.0 "bx"; small_job ~tend:2.0 "sib" ]
+      { (quiet_cfg ~root:root2) with Engine.concurrency = 1; slice_wall = 0.02 }
+  in
+  Alcotest.(check int) "sliced both done" 2 sliced.Engine.jobs_done;
+  let bx = outcome_of sliced "bx" in
+  Alcotest.(check bool)
+    "bx was preempted at least once" true (bx.Engine.preempts >= 1);
+  let f1, step1, t1 = read_final (Filename.concat (Filename.concat root1 "jobs") "bx") in
+  let f2, step2, t2 = read_final bx.Engine.checkpoint_dir in
+  Alcotest.(check int) "same final step" step1 step2;
+  Alcotest.(check bool) "same final time (bitwise)" true
+    (Int64.bits_of_float t1 = Int64.bits_of_float t2);
+  List.iter2
+    (fun a b ->
+      let da = Field.data a and db = Field.data b in
+      Alcotest.(check int) "field sizes" (Array.length da) (Array.length db);
+      Array.iteri
+        (fun i va ->
+          if Int64.bits_of_float va <> Int64.bits_of_float db.(i) then
+            Alcotest.failf
+              "preempted trajectory diverged at coefficient %d: %.17g <> %.17g"
+              i va db.(i))
+        da)
+    f1 f2
+
+(* --- fault containment ------------------------------------------------------ *)
+
+let test_fault_containment () =
+  let root = tmpdir "serve_fault" in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let jobs =
+    [
+      small_job "ok-1";
+      (* zeroed ladder + no crash retries: the injected NaN must kill it *)
+      small_job ~fault:8 ~crash_retries:0 "doomed";
+      small_job "ok-2";
+    ]
+  in
+  let s = Engine.run ~jobs { (quiet_cfg ~root) with Engine.concurrency = 2 } in
+  Alcotest.(check int) "siblings finished" 2 s.Engine.jobs_done;
+  Alcotest.(check int) "the fault job failed" 1 s.Engine.jobs_failed;
+  (match (outcome_of s "doomed").Engine.outcome with
+  | Engine.Failed why ->
+      Alcotest.(check bool)
+        "failure names the NaN abort" true
+        (contains why "NaN" || contains why "non-finite")
+  | o -> Alcotest.failf "doomed ended %s" (Engine.outcome_to_string o));
+  (* with the full ladder the same bomb is absorbed by rollback/retry *)
+  let root2 = tmpdir "serve_heal" in
+  Fun.protect ~finally:(fun () -> rm_rf root2) @@ fun () ->
+  let healing =
+    Job.make ~id:"healer" ~scenario:Job.Landau ~cells_x:12 ~cells_v:16
+      ~poly_order:1 ~tend:1.0 ~checkpoint_every:5 ~check_every:5
+      ~max_retries:8 ~max_restores:1 ~crash_retries:1 ~fault_nan_step:8 ()
+  in
+  let s2 = Engine.run ~jobs:[ healing ] (quiet_cfg ~root:root2) in
+  Alcotest.(check int) "ladder absorbed the fault" 1 s2.Engine.jobs_done
+
+(* --- SIGTERM drain ----------------------------------------------------------- *)
+
+let test_sigterm_drain () =
+  let root = tmpdir "serve_drain" in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  (* jobs far too long to finish: the drain must park them *)
+  let jobs = List.init 3 (fun i -> small_job ~tend:500.0 (Printf.sprintf "d%d" i)) in
+  let sup = Supervisor.create () in
+  let stopper =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.5;
+        Supervisor.request_stop sup "SIGTERM")
+  in
+  let s =
+    Engine.run ~jobs ~supervisor:sup
+      { (quiet_cfg ~root) with Engine.concurrency = 2; slice_wall = 60.0 }
+  in
+  Domain.join stopper;
+  Alcotest.(check (option string)) "drain reason" (Some "SIGTERM") s.Engine.stopped;
+  Alcotest.(check int) "nothing finished" 0 s.Engine.jobs_done;
+  Alcotest.(check int) "nothing failed" 0 s.Engine.jobs_failed;
+  Alcotest.(check int) "everything drained" 3 s.Engine.jobs_drained;
+  (* every job that got to run left a valid resumable checkpoint *)
+  let parked_with_ckpt =
+    List.filter
+      (fun (r : Engine.record) ->
+        r.Engine.slices > 0
+        && Checkpoint.find_latest ~dir:r.Engine.checkpoint_dir <> None)
+      s.Engine.records
+  in
+  Alcotest.(check bool)
+    "the running jobs drained to valid checkpoints" true
+    (List.length parked_with_ckpt >= 1);
+  (* and the drained state resumes: rerun the batch, it picks up and finishes *)
+  let short = List.init 3 (fun i -> small_job ~tend:0.2 (Printf.sprintf "d%d" i)) in
+  let s2 =
+    Engine.run ~jobs:short { (quiet_cfg ~root) with Engine.concurrency = 2 }
+  in
+  Alcotest.(check int) "drained jobs resumed and finished" 3 s2.Engine.jobs_done;
+  List.iter
+    (fun (r : Engine.record) ->
+      Alcotest.(check bool)
+        (r.Engine.job.Job.id ^ " resumed past its park point") true
+        (r.Engine.steps > 0))
+    s2.Engine.records
+
+let () =
+  Alcotest.run "dg_serve"
+    [
+      ( "serve",
+        [
+          Alcotest.test_case "queue ordering and priorities" `Quick
+            test_jobq_ordering;
+          Alcotest.test_case "job JSON parsing" `Quick test_job_parsing;
+          Alcotest.test_case "wall budget spans resume" `Quick
+            test_elapsed_offset;
+          Alcotest.test_case "batch completes, cache shared" `Quick
+            test_batch_completes;
+          Alcotest.test_case "preempt-resume is bit-exact" `Quick
+            test_preempt_resume_bitexact;
+          Alcotest.test_case "fault containment" `Quick test_fault_containment;
+          Alcotest.test_case "SIGTERM drains to checkpoints" `Quick
+            test_sigterm_drain;
+        ] );
+    ]
