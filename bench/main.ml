@@ -1242,32 +1242,32 @@ let serve_json ?(smoke = false) path =
   let batch =
     if smoke then
       [
-        mkjob ~scenario:Job.Twostream ~p:1 ~cx:16 ~cv:24 ~tend:4.0 "ts-0";
-        mkjob ~scenario:Job.Landau ~p:1 ~cx:16 ~cv:24 ~tend:4.0 "lan-0";
-        mkjob ~scenario:Job.Advect ~p:1 ~cx:12 ~cv:12 ~tend:4.0 "adv-0";
-        mkjob ~scenario:Job.Landau ~p:1 ~cx:16 ~cv:24 ~tend:4.0 ~priority:3
+        mkjob ~scenario:"twostream" ~p:1 ~cx:16 ~cv:24 ~tend:4.0 "ts-0";
+        mkjob ~scenario:"landau" ~p:1 ~cx:16 ~cv:24 ~tend:4.0 "lan-0";
+        mkjob ~scenario:"advect" ~p:1 ~cx:12 ~cv:12 ~tend:4.0 "adv-0";
+        mkjob ~scenario:"landau" ~p:1 ~cx:16 ~cv:24 ~tend:4.0 ~priority:3
           "hi-0";
-        mkjob ~scenario:Job.Landau ~p:1 ~cx:16 ~cv:24 ~tend:4.0 ~fault:10
+        mkjob ~scenario:"landau" ~p:1 ~cx:16 ~cv:24 ~tend:4.0 ~fault:10
           "fault-0";
       ]
     else
       List.concat
         [
           List.init 5 (fun i ->
-              mkjob ~scenario:Job.Twostream ~p:1 ~cx:32 ~cv:48 ~tend:4.0
+              mkjob ~scenario:"twostream" ~p:1 ~cx:32 ~cv:48 ~tend:4.0
                 (Printf.sprintf "ts-%d" i));
           List.init 4 (fun i ->
-              mkjob ~scenario:Job.Landau ~p:1 ~cx:32 ~cv:48 ~tend:4.0
+              mkjob ~scenario:"landau" ~p:1 ~cx:32 ~cv:48 ~tend:4.0
                 (Printf.sprintf "lan-%d" i));
           List.init 3 (fun i ->
-              mkjob ~scenario:Job.Advect ~p:1 ~cx:24 ~cv:24 ~tend:3.0
+              mkjob ~scenario:"advect" ~p:1 ~cx:24 ~cv:24 ~tend:3.0
                 (Printf.sprintf "adv-%d" i));
           List.init 2 (fun i ->
-              mkjob ~scenario:Job.Landau ~p:2 ~cx:24 ~cv:32 ~tend:1.5
+              mkjob ~scenario:"landau" ~p:2 ~cx:32 ~cv:32 ~tend:1.5
                 (Printf.sprintf "lan2-%d" i));
-          [ mkjob ~scenario:Job.Twostream ~p:1 ~cx:32 ~cv:48 ~tend:4.0
+          [ mkjob ~scenario:"twostream" ~p:1 ~cx:32 ~cv:48 ~tend:4.0
               ~priority:3 "hi-0" ];
-          [ mkjob ~scenario:Job.Landau ~p:1 ~cx:32 ~cv:48 ~tend:4.0 ~fault:10
+          [ mkjob ~scenario:"landau" ~p:1 ~cx:32 ~cv:48 ~tend:4.0 ~fault:10
               "fault-0" ];
         ]
   in
@@ -1400,6 +1400,102 @@ let serve_json ?(smoke = false) path =
     pr "wrote %s\n" path
   end
 
+(* --- scenario zoo: wall / DOF throughput / golden fidelity ---------------- *)
+
+(* One JSONL record per registry entry (BENCH_scenarios.json): wall time,
+   aggregate DOF/s, and the fitted growth/damping rate against the golden
+   expectation.  A golden FAIL is a physics regression, not a perf one, so
+   the full run reports it as a WARNING and keeps going.
+
+   [smoke]: only the seconds-scale entries (free streaming + two-stream),
+   no file write — a zoo-health check for @bench-smoke that exits 1 if any
+   golden verdict fails. *)
+let scenarios_json ?(smoke = false) path =
+  section
+    (if smoke then "Scenario zoo - smoke (golden health check)"
+     else "Scenario zoo - throughput and golden rates (dg_scenarios)");
+  let module Sc = Dg_scenarios.Scenarios in
+  let entries =
+    if smoke then
+      List.filter
+        (fun e -> List.mem e.Sc.name [ "advect"; "recurrence"; "twostream" ])
+        Sc.all
+    else Sc.all
+  in
+  let oc = if smoke then None else Some (open_out path) in
+  let failures = ref [] in
+  List.iter
+    (fun e ->
+      let r = Sc.check e in
+      let res = r.Sc.res in
+      let dof_s =
+        res.Sc.dof_per_step *. float_of_int res.Sc.steps /. res.Sc.wall_s
+      in
+      let expected =
+        match e.Sc.golden.Sc.rate with
+        | Some rc -> Some rc.Sc.expected
+        | None -> None
+      in
+      let fmt_rate = function
+        | Some g -> Printf.sprintf "%+.4f" g
+        | None -> "   n/a "
+      in
+      pr "%-14s %-4s %-12s %5d steps  wall %6.2fs  %9.3g DOF/s  gamma %s \
+          (ref %s)  %s\n"
+        e.Sc.name (Sc.dims e) (Sc.field_model e) res.Sc.steps res.Sc.wall_s
+        dof_s
+        (fmt_rate r.Sc.measured_rate)
+        (fmt_rate expected)
+        (if Sc.passed r then "PASS" else "FAIL");
+      if not (Sc.passed r) then
+        failures := (e.Sc.name, Sc.report_lines r) :: !failures;
+      emit ~bench:"scenarios" ~config:e.Sc.name ~metric:"wall"
+        ~value:res.Sc.wall_s ~units:"s";
+      emit ~bench:"scenarios" ~config:e.Sc.name ~metric:"dof_s" ~value:dof_s
+        ~units:"DOF/s";
+      (match r.Sc.measured_rate with
+      | Some g ->
+          emit ~bench:"scenarios" ~config:e.Sc.name ~metric:"gamma" ~value:g
+            ~units:"1/t"
+      | None -> ());
+      match oc with
+      | Some oc ->
+          let json_rate = function
+            | Some g -> Printf.sprintf "%.6g" g
+            | None -> "null"
+          in
+          Printf.fprintf oc
+            "{\"scenario\": %S, \"dims\": %S, \"field_model\": %S, \
+             \"steps\": %d, \"wall_s\": %.3f, \"dof_per_s\": %.6g, \
+             \"gamma_fit\": %s, \"gamma_ref\": %s, \"pass\": %b}\n"
+            e.Sc.name (Sc.dims e) (Sc.field_model e) res.Sc.steps
+            res.Sc.wall_s dof_s
+            (json_rate r.Sc.measured_rate)
+            (json_rate expected) (Sc.passed r)
+      | None -> ())
+    entries;
+  (match oc with
+  | Some oc ->
+      close_out oc;
+      pr "wrote %s\n" path
+  | None -> ());
+  match !failures with
+  | [] ->
+      if smoke then
+        pr "smoke ok: %d scenarios passed their goldens\n"
+          (List.length entries)
+  | fails ->
+      List.iter
+        (fun (name, lines) ->
+          List.iter
+            (fun l ->
+              pr "%s: %s: %s\n"
+                (if smoke then "SMOKE FAILURE" else "WARNING")
+                name l)
+            lines)
+        fails;
+      if smoke then exit 1
+
 (* --- driver --------------------------------------------------------------- *)
 
 let () =
@@ -1436,6 +1532,7 @@ let () =
   | "kernels" -> kernels_json ~smoke "BENCH_kernels.json"
   | "layout" -> layout_json "BENCH_layout.json"
   | "serve" -> serve_json ~smoke "BENCH_serve.json"
+  | "scenarios" -> scenarios_json ~smoke "BENCH_scenarios.json"
   | "all" ->
       fig1 ();
       ignore (fig2 ());
@@ -1450,7 +1547,8 @@ let () =
       micro ();
       kernels_json "BENCH_kernels.json";
       layout_json "BENCH_layout.json";
-      serve_json "BENCH_serve.json"
+      serve_json "BENCH_serve.json";
+      scenarios_json "BENCH_scenarios.json"
   | s ->
       prerr_endline ("unknown benchmark: " ^ s);
       exit 1);

@@ -386,6 +386,95 @@ let advect_cmd =
   Cmd.v (Cmd.info "advect" ~doc:"Free-streaming accuracy check")
     Term.(const run $ cells_t $ p_t $ tend_t $ trace_t)
 
+(* --- run / scenarios (the registry-driven interface) ---------------------- *)
+
+let run_cmd =
+  let run name cells_x cells_v p tend cfl csv =
+    let entry =
+      match Dg.Scenarios.find name with
+      | Some e -> e
+      | None ->
+          Fmt.epr "run: unknown scenario %S; available: %s@." name
+            (String.concat ", " Dg.Scenarios.names);
+          exit 2
+    in
+    Fmt.pr "%s (%s, %s): %s@." entry.Dg.Scenarios.name
+      (Dg.Scenarios.dims entry)
+      (Dg.Scenarios.field_model entry)
+      entry.Dg.Scenarios.descr;
+    let knobs =
+      Dg.Scenarios.knobs ?cells_x ?cells_v ?poly_order:p ?tend ?cfl ()
+    in
+    let report = Dg.Scenarios.check ~knobs entry in
+    List.iter print_endline (Dg.Scenarios.report_lines report);
+    (match csv with
+    | Some path ->
+        Dg.Diag.write_csv report.Dg.Scenarios.res.Dg.Scenarios.history path;
+        Fmt.pr "wrote %s@." path
+    | None -> ());
+    (match report.Dg.Scenarios.measured_rate with
+    | Some g -> Fmt.pr "reference: %s (measured gamma %+.4f)@."
+                  entry.Dg.Scenarios.reference g
+    | None -> Fmt.pr "reference: %s@." entry.Dg.Scenarios.reference);
+    if not (Dg.Scenarios.passed report) then exit 1
+  in
+  let name_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Registry name (see $(b,vmdg scenarios list)).")
+  in
+  let opt_int names doc =
+    Arg.(value & opt (some int) None & info names ~doc)
+  in
+  let cells_x_t = opt_int [ "cells-x" ] "cells per configuration dimension" in
+  let cells_v_t = opt_int [ "cells-v" ] "cells per velocity dimension" in
+  let p_opt_t = opt_int [ "p" ] "polynomial order" in
+  let tend_t =
+    Arg.(value & opt (some float) None & info [ "tend" ] ~doc:"end time")
+  in
+  let cfl_t =
+    Arg.(value & opt (some float) None & info [ "cfl" ] ~doc:"CFL number")
+  in
+  let csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the recorded energy/mass history to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a named scenario from the registry and evaluate its golden \
+          checks (exit 1 on any failed verdict)")
+    Term.(
+      const run $ name_t $ cells_x_t $ cells_v_t $ p_opt_t $ tend_t $ cfl_t
+      $ csv_t)
+
+let scenarios_cmd =
+  let list () =
+    Fmt.pr "%-14s %-5s %-13s %s@." "NAME" "DIMS" "FIELD" "DESCRIPTION";
+    List.iter
+      (fun e ->
+        Fmt.pr "%-14s %-5s %-13s %s@." e.Dg.Scenarios.name
+          (Dg.Scenarios.dims e)
+          (Dg.Scenarios.field_model e)
+          e.Dg.Scenarios.descr;
+        Fmt.pr "%-14s %-5s %-13s golden: %s@." "" "" ""
+          e.Dg.Scenarios.reference)
+      Dg.Scenarios.all
+  in
+  let list_cmd =
+    Cmd.v
+      (Cmd.info "list" ~doc:"List registered scenarios and their goldens")
+      Term.(const list $ const ())
+  in
+  Cmd.group
+    (Cmd.info "scenarios" ~doc:"Inspect the scenario registry")
+    [ list_cmd ]
+
 (* --- snapshot-info -------------------------------------------------------- *)
 
 let snapshot_info_cmd =
@@ -562,6 +651,8 @@ let () =
             landau_cmd;
             twostream_cmd;
             advect_cmd;
+            run_cmd;
+            scenarios_cmd;
             serve_cmd;
             snapshot_info_cmd;
             trace_report_cmd;

@@ -1,80 +1,30 @@
-(* Two-stream instability (1X1V Vlasov-Ampere).
+(* Two-stream instability (1X1V Vlasov-Ampere) — a thin wrapper over the
+   scenario registry.
 
-   Two counter-streaming warm electron beams are unstable to the
-   electrostatic two-stream mode.  For cold symmetric beams of drift +-v0
-   the dispersion relation
-       1 = (1/2) [ (omega - k v0)^-2 + (omega + k v0)^-2 ]
-   has the closed-form growing root
-       omega^2 = [ (2a^2 + 1) - sqrt(8a^2 + 1) ] / 2,   a = k v0,
-   unstable for a < 1.  The example fits the measured growth rate of the
-   field energy and compares against this cold-beam rate (warm beams grow a
-   little slower).
+   The physics (counter-streaming warm beams, cold-beam dispersion
+   reference) and the golden growth-rate check live in [Dg.Scenarios]; this
+   example runs the registry entry, prints the verdicts, and adds the
+   artifacts a registry check does not produce: the energy-history CSV and
+   a phase-space snapshot of the trapping vortices.
 
      dune exec examples/two_stream.exe *)
 
 let () =
-  let v0 = 2.0 and vt = 0.35 and k = 0.35 and alpha = 1e-4 in
-  let l = 2.0 *. Float.pi /. k in
-  let a = k *. v0 in
-  let x2 = (((2.0 *. a *. a) +. 1.0) -. sqrt ((8.0 *. a *. a) +. 1.0)) /. 2.0 in
-  let gamma_cold = if x2 < 0.0 then sqrt (-.x2) else 0.0 in
-  let beams ~pos ~vel =
-    let m u =
-      exp (-.((vel.(0) -. u) ** 2.0) /. (2.0 *. vt *. vt))
-      /. sqrt (2.0 *. Float.pi *. vt *. vt)
-    in
-    0.5 *. (1.0 +. (alpha *. cos (k *. pos.(0)))) *. (m v0 +. m (-.v0))
-  in
-  let electron =
-    Dg.App.species ~name:"elc" ~charge:(-1.0) ~mass:1.0 ~init_f:beams ()
-  in
-  let vmax = 6.0 in
-  let spec =
-    {
-      (Dg.App.default_spec ~cdim:1 ~vdim:1 ~cells:[| 32; 48 |]
-         ~lower:[| 0.0; -.vmax |] ~upper:[| l; vmax |] ~species:[ electron ])
-      with
-      Dg.App.field_model = Dg.App.Ampere_only;
-      poly_order = 2;
-      init_em =
-        Some
-          (fun x ->
-            let em = Array.make 8 0.0 in
-            em.(0) <- -.(alpha /. k) *. sin (k *. x.(0));
-            em);
-    }
-  in
-  let app = Dg.App.create spec in
-  Printf.printf "two-stream: v0=%.2f vt=%.2f k=%.2f; cold-beam gamma=%.4f\n%!"
-    v0 vt k gamma_cold;
-  let hist = Dg.Diag.make_history [| "field_energy"; "kinetic"; "total" |] in
-  let record app =
-    let fe = Dg.App.field_energy app in
-    Dg.Diag.record hist ~time:(Dg.App.time app)
-      [| fe; Dg.App.kinetic_energy app 0; fe +. Dg.App.kinetic_energy app 0 |]
-  in
-  record app;
-  let tend = 30.0 in
-  let t0 = Unix.gettimeofday () in
-  Dg.App.run app ~tend ~on_step:record;
-  Printf.printf "ran %d steps to t=%.1f in %.1f s\n%!" (Dg.App.nsteps app)
-    (Dg.App.time app)
-    (Unix.gettimeofday () -. t0);
-  (* the field energy grows as exp(2 gamma t) during the linear phase;
-     fit over a window that is safely linear (after the transient, before
-     saturation) *)
-  let gamma_fit =
-    Dg.Diag.growth_rate hist ~column:"field_energy" ~t0:8.0 ~t1:22.0 /. 2.0
-  in
-  Printf.printf "measured gamma = %.4f  (cold-beam theory %.4f)\n" gamma_fit
-    gamma_cold;
-  Printf.printf "total-energy drift: %.3e (relative)\n"
-    (Dg.Diag.relative_drift hist "total");
-  (try Unix.mkdir "out_two_stream" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  Dg.Diag.write_csv hist "out_two_stream/energy_history.csv";
+  let entry = Dg.Scenarios.find_exn "twostream" in
+  Printf.printf "two-stream (registry `%s`): %s\n%!" entry.Dg.Scenarios.name
+    entry.Dg.Scenarios.descr;
+  let report = Dg.Scenarios.check entry in
+  List.iter print_endline (Dg.Scenarios.report_lines report);
+  let res = report.Dg.Scenarios.res in
+  (try Unix.mkdir "out_two_stream" 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Dg.Diag.write_csv res.Dg.Scenarios.history
+    "out_two_stream/energy_history.csv";
   (* phase-space snapshot of the trapping vortices *)
+  let app = res.Dg.Scenarios.app in
   let lay = Dg.App.layout app in
   Dg.Slices.write_slice_2d ~basis:lay.Dg.Layout.basis
-    ~fld:(Dg.App.distribution app 0) ~dim_x:0 ~dim_y:1
-    ~at:[| 0.0; 0.0 |] ~nx:128 ~ny:128 "out_two_stream/f_x_vx.csv";
-  Printf.printf "wrote out_two_stream/{energy_history,f_x_vx}.csv\n"
+    ~fld:(Dg.App.distribution app 0) ~dim_x:0 ~dim_y:1 ~at:[| 0.0; 0.0 |]
+    ~nx:128 ~ny:128 "out_two_stream/f_x_vx.csv";
+  Printf.printf "wrote out_two_stream/{energy_history,f_x_vx}.csv\n";
+  if not (Dg.Scenarios.passed report) then exit 1

@@ -1,15 +1,12 @@
 (* Counter-streaming electron beams in 2X2V (the paper's Fig. 5 physics:
-   two-stream / filamentation / oblique instability zoo, after Skoutnev et
-   al. 2019 and Califano et al.).
+   two-stream / filamentation / oblique instability zoo) — a thin wrapper
+   over the scenario registry.
 
-   Two electron populations drift along +-x; a static proton background
-   neutralizes the charge.  The free energy drives Weibel-type filamentation
-   (B_z growth from transverse modes) and two-stream modes; the nonlinear
-   stage converts beam kinetic energy into electromagnetic and thermal
-   energy.  The example records the energy partition history and writes
-   distribution-function slices f(y, v_y) and f(v_x, v_y) at the start, at
-   nonlinear saturation (EM energy peak), and at the end — the panels of
-   Fig. 5.
+   The setup and the golden magnetic-energy growth-rate check live in
+   [Dg.Scenarios] (entry `weibel_2x2v`); this example runs it and writes
+   the Fig. 5 panels: distribution-function slices f(y, v_y) and
+   f(v_x, v_y) at the start, mid-run (near nonlinear saturation), and the
+   end, plus the energy-partition history.
 
    The default resolution is container-sized; pass --cells N --tend T to
    scale up toward the published setup.
@@ -17,72 +14,33 @@
      dune exec examples/weibel_2x2v.exe -- [--cells N] [--tend T] [--p P] *)
 
 let () =
-  let cells = ref 8 and tend = ref 38.0 and p = ref 1 in
+  let cells = ref None and tend = ref None and p = ref None in
   let rec parse = function
     | "--cells" :: v :: rest ->
-        cells := int_of_string v;
+        cells := Some (int_of_string v);
         parse rest
     | "--tend" :: v :: rest ->
-        tend := float_of_string v;
+        tend := Some (float_of_string v);
         parse rest
     | "--p" :: v :: rest ->
-        p := int_of_string v;
+        p := Some (int_of_string v);
         parse rest
     | [] -> ()
     | s :: _ -> failwith ("unknown argument " ^ s)
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let ud = 0.5 and vt = 0.25 and alpha = 1e-3 in
-  let lx = 2.0 *. Float.pi /. 0.5 in
-  (* seed both a two-stream (kx) and a filamentation (ky) mode *)
-  let kx = 2.0 *. Float.pi /. lx and ky = 2.0 *. Float.pi /. lx in
-  let beams ~pos ~vel =
-    let m ux =
-      exp
-        (-.(((vel.(0) -. ux) ** 2.0) +. (vel.(1) ** 2.0))
-         /. (2.0 *. vt *. vt))
-      /. (2.0 *. Float.pi *. vt *. vt)
-    in
-    let pert =
-      1.0
-      +. (alpha *. cos (kx *. pos.(0)))
-      +. (alpha *. cos (ky *. pos.(1)))
-    in
-    0.5 *. pert *. (m ud +. m (-.ud))
+  let entry = Dg.Scenarios.find_exn "weibel_2x2v" in
+  let knobs =
+    Dg.Scenarios.knobs ?cells_x:!cells ?poly_order:!p ?tend:!tend ()
   in
-  let electron =
-    Dg.App.species ~name:"elc" ~charge:(-1.0) ~mass:1.0 ~init_f:beams ()
-  in
-  let vmax = 2.0 in
-  let spec =
-    {
-      (Dg.App.default_spec ~cdim:2 ~vdim:2
-         ~cells:[| !cells; !cells; 16; 16 |]
-         ~lower:[| 0.0; 0.0; -.vmax; -.vmax |]
-         ~upper:[| lx; lx; vmax; vmax |]
-         ~species:[ electron ])
-      with
-      Dg.App.field_model = Dg.App.Full_maxwell;
-      poly_order = !p;
-      init_em =
-        Some
-          (fun x ->
-            let em = Array.make 8 0.0 in
-            (* seed B_z and the electrostatic mode *)
-            em.(5) <- alpha *. (sin (ky *. x.(1)) +. sin (kx *. x.(0)));
-            em.(0) <- -.(alpha /. kx) *. sin (kx *. x.(0));
-            em);
-    }
-  in
-  let app = Dg.App.create spec in
-  Printf.printf
-    "counter-streaming beams 2X2V: ud=%.2f vt=%.2f, %s (%d DOF/cell)\n%!" ud vt
-    (Fmt.str "%a" Dg.Layout.pp (Dg.App.layout app))
-    (Dg.Layout.num_basis (Dg.App.layout app));
-  (try Unix.mkdir "out_weibel" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  let lay = Dg.App.layout app in
-  let slice tag =
+  Printf.printf "weibel_2x2v (registry entry): %s\n%!"
+    entry.Dg.Scenarios.descr;
+  (try Unix.mkdir "out_weibel" 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let slice app tag =
+    let lay = Dg.App.layout app in
     let f = Dg.App.distribution app 0 in
+    let lx = 2.0 *. Float.pi /. 0.5 in
     (* f(y, v_y) at x = Lx/2, v_x = 0  (Fig. 5 top row) *)
     Dg.Slices.write_slice_2d ~basis:lay.Dg.Layout.basis ~fld:f ~dim_x:1
       ~dim_y:3
@@ -96,68 +54,33 @@ let () =
       ~nx:96 ~ny:96
       (Printf.sprintf "out_weibel/f_vx_vy_%s.csv" tag)
   in
-  slice "t0";
-  let hist =
-    Dg.Diag.make_history [| "kinetic"; "electric"; "magnetic"; "total" |]
+  let tend_eff =
+    match !tend with Some t -> t | None -> entry.Dg.Scenarios.tend
   in
-  let em_peak = ref neg_infinity and t_peak = ref 0.0 and peaked = ref false in
-  let record app =
-    let ke = Dg.App.kinetic_energy app 0 in
-    let lay = Dg.App.layout app in
-    let nc = Dg.Layout.num_cbasis lay in
-    let em = Dg.App.em_field app in
-    let jac =
-      Dg.Grid.cell_volume lay.Dg.Layout.cgrid /. 4.0
-    in
-    let part lo hi =
-      let acc = ref 0.0 in
-      Dg.Grid.iter_cells lay.Dg.Layout.cgrid (fun _ c ->
-          let base = Dg.Field.offset em c in
-          for comp = lo to hi do
-            for k = 0 to nc - 1 do
-              let v = (Dg.Field.data em).(base + (comp * nc) + k) in
-              acc := !acc +. (v *. v)
-            done
-          done);
-      0.5 *. !acc *. jac
-    in
-    let ee = part 0 2 and be = part 3 5 in
-    if be > !em_peak then begin
-      em_peak := be;
-      t_peak := Dg.App.time app
-    end;
-    Dg.Diag.record hist ~time:(Dg.App.time app) [| ke; ee; be; ke +. ee +. be |]
-  in
-  record app;
+  let sliced_t0 = ref false and sliced_mid = ref false in
   let t0 = Unix.gettimeofday () in
-  let progress app =
-    record app;
+  let on_step app =
+    if not !sliced_t0 then begin
+      sliced_t0 := true;
+      slice app "t0"
+    end;
+    if (not !sliced_mid) && Dg.App.time app >= tend_eff /. 2.0 then begin
+      sliced_mid := true;
+      slice app "mid"
+    end;
     if Dg.App.nsteps app mod 25 = 0 then
       Printf.printf "  t = %6.2f (%d steps, %.0f s)\n%!" (Dg.App.time app)
         (Dg.App.nsteps app)
         (Unix.gettimeofday () -. t0)
   in
-  let record = progress in
-  let half = !tend /. 2.0 in
-  Dg.App.run app ~tend:half ~on_step:record;
-  if not !peaked then begin
-    slice "mid";
-    peaked := true
-  end;
-  Dg.App.run app ~tend:!tend ~on_step:record;
-  Printf.printf "ran %d steps to t=%.1f in %.1f s\n%!" (Dg.App.nsteps app)
-    (Dg.App.time app)
-    (Unix.gettimeofday () -. t0);
-  slice "end";
-  Dg.Diag.write_csv hist "out_weibel/energy_history.csv";
-  let ke0 = (Dg.Diag.column hist "kinetic").(0) in
-  let ken = Dg.Diag.column hist "kinetic" in
-  let ke1 = ken.(Array.length ken - 1) in
-  Printf.printf
-    "magnetic-energy peak %.3e at t=%.1f; kinetic energy %.5f -> %.5f\n"
-    !em_peak !t_peak ke0 ke1;
-  Printf.printf "growth rate of B energy (t in [5, %g]): %.4f\n"
-    (0.6 *. !tend)
-    (Dg.Diag.growth_rate hist ~column:"magnetic" ~t0:5.0 ~t1:(0.6 *. !tend) /. 2.0);
-  Printf.printf "total-energy drift: %.3e\n" (Dg.Diag.relative_drift hist "total");
-  Printf.printf "wrote out_weibel/*.csv (Fig. 5 panels + energy history)\n"
+  let report = Dg.Scenarios.check ~knobs ~on_step entry in
+  List.iter print_endline (Dg.Scenarios.report_lines report);
+  let res = report.Dg.Scenarios.res in
+  slice res.Dg.Scenarios.app "end";
+  Dg.Diag.write_csv res.Dg.Scenarios.history "out_weibel/energy_history.csv";
+  let hist = res.Dg.Scenarios.history in
+  let ke = Dg.Diag.column hist "kinetic" in
+  Printf.printf "kinetic energy %.5f -> %.5f\n" ke.(0)
+    ke.(Array.length ke - 1);
+  Printf.printf "wrote out_weibel/*.csv (Fig. 5 panels + energy history)\n";
+  if not (Dg.Scenarios.passed report) then exit 1

@@ -26,6 +26,13 @@ module Limiter = Dg_limiter.Limiter
 type field_model =
   | Full_maxwell (* Vlasov-Maxwell: dE/dt = curl B - J, dB/dt = -curl E *)
   | Ampere_only (* electrostatic Vlasov-Ampere: dE/dt = -J, B frozen *)
+  | Poisson_es
+    (* electrostatic Vlasov-Poisson: E solved from Gauss's law at every
+       RHS evaluation (spectral solve on the periodic 1D charge density,
+       projected onto the configuration basis); nothing field-like is
+       time-stepped.  Requires cdim = 1, periodic configuration BCs, and
+       a power-of-two x-cell count.  A uniform neutralizing background is
+       implicit: the k = 0 charge mode is dropped by the solve. *)
   | Static (* fields never evolve (test flows, neutral gases) *)
 
 type collision_model =
@@ -40,10 +47,16 @@ type species_spec = {
   init_f : pos:float array -> vel:float array -> float;
       (* pointwise initial distribution, projected cell by cell *)
   collisions : collision_model;
+  vbounds : (float array * float array) option;
+      (* per-species velocity extents (lower, upper), overriding the
+         spec's global velocity box: a real-mass-ratio ion species lives
+         on a velocity grid ~sqrt(m_e/m_i) narrower than the electrons'
+         with the same cell count (config grid stays shared) *)
 }
 
-let species ?(collisions = No_collisions) ~name ~charge ~mass ~init_f () =
-  { name; charge; mass; init_f; collisions }
+let species ?(collisions = No_collisions) ?vbounds ~name ~charge ~mass ~init_f
+    () =
+  { name; charge; mass; init_f; collisions; vbounds }
 
 type spec = {
   cdim : int;
@@ -91,6 +104,9 @@ type collision_op =
 
 type species = {
   s_spec : species_spec;
+  s_lay : Layout.t;
+      (* this species' phase-space layout: the spec layout unless the
+         species overrides its velocity extents *)
   solver : Solver.t;
   moments : Moments.t;
   collide : collision_op;
@@ -110,6 +126,7 @@ type t = {
   phase_bcs : (Field.bc * Field.bc) array;
   em_bcs : (Field.bc * Field.bc) array;
   current : Field.t; (* work: Jx,Jy,Jz coefficient blocks *)
+  charge : Field.t; (* work: sum_s q_s M0_s (the Poisson_es source) *)
   mutable time : float;
   mutable nsteps : int;
   mutable trace : Obs.Sink.t option; (* per-step JSONL profile, if attached *)
@@ -150,11 +167,91 @@ let project_config (lay : Layout.t) ~(f : float array -> float array) ~ncomp_vec
       done;
       Field.write_block fld c block)
 
+(* Solve Gauss's law from the instantaneous charge density and write the
+   resulting E_x expansion into component 0 of [em] (interior cells; the
+   caller re-synchronizes ghosts).  1D periodic spectral solve on the cell
+   averages of rho = sum_s q_s M0_s, then an exact L2 projection of the
+   smooth spectral E(x) onto the configuration basis cell by cell — so the
+   electrostatic field keeps the full polynomial order of the scheme
+   instead of flattening to cell averages. *)
+let poisson_solve_into ~(species : species array) ~(lay : Layout.t)
+    ~(work : Field.t) (fs : Field.t array) (em : Field.t) =
+  Field.fill work 0.0;
+  Array.iteri
+    (fun i sp ->
+      Moments.accumulate_charge sp.moments ~charge:sp.s_spec.charge ~f:fs.(i)
+        ~out:work)
+    species;
+  let cgrid = lay.Layout.cgrid in
+  let dx = (Grid.dx cgrid).(0) in
+  let rho =
+    Dg_poisson.Poisson.cell_averages ~basis_dim:lay.Layout.cdim work ~comp:0
+  in
+  let eval = Dg_poisson.Poisson.periodic_eval_1d ~dx rho in
+  let cbasis = lay.Layout.cbasis in
+  let nc = Modal.num_basis cbasis in
+  let x0 = (Grid.lower cgrid).(0) in
+  let phys = Array.make 1 0.0 in
+  Grid.iter_cells cgrid (fun _ c ->
+      let coeffs =
+        Modal.project cbasis (fun xi ->
+            Grid.to_physical cgrid c xi phys;
+            snd (eval (phys.(0) -. x0)))
+      in
+      let base = Field.offset em c in
+      let data = Field.data em in
+      for k = 0 to nc - 1 do
+        data.(base + k) <- coeffs.(k)
+      done)
+
 let create (spec : spec) =
   let grid = Grid.make ~cells:spec.cells ~lower:spec.lower ~upper:spec.upper in
   let lay =
     Layout.make ~cdim:spec.cdim ~vdim:spec.vdim ~family:spec.family
       ~poly_order:spec.poly_order ~grid
+  in
+  (match spec.field_model with
+  | Poisson_es ->
+      if spec.cdim <> 1 then
+        invalid_arg "Vm_app.create: Poisson_es needs cdim = 1";
+      if spec.cfg_bcs.(0) <> (Field.Periodic, Field.Periodic) then
+        invalid_arg "Vm_app.create: Poisson_es needs periodic x BCs";
+      if not (Dg_fft.Fft.is_pow2 spec.cells.(0)) then
+        invalid_arg
+          (Printf.sprintf
+             "Vm_app.create: Poisson_es needs a power-of-two x-cell count \
+              (got %d)"
+             spec.cells.(0))
+  | Full_maxwell | Ampere_only | Static -> ());
+  (* per-species layout: shared, unless the species narrows (or widens)
+     its velocity box — same cell counts, so every species runs the same
+     generated kernels and DOF accounting *)
+  let species_layout (ss : species_spec) =
+    match ss.vbounds with
+    | None -> lay
+    | Some (vlo, vhi) ->
+        if
+          Array.length vlo <> spec.vdim || Array.length vhi <> spec.vdim
+        then
+          invalid_arg
+            (Printf.sprintf
+               "Vm_app.create: species %S vbounds must have vdim=%d entries"
+               ss.name spec.vdim);
+        Array.iteri
+          (fun d lo ->
+            if not (vhi.(d) > lo) then
+              invalid_arg
+                (Printf.sprintf
+                   "Vm_app.create: species %S vbounds dim %d: upper must \
+                    exceed lower"
+                   ss.name d))
+          vlo;
+        let lower = Array.copy spec.lower and upper = Array.copy spec.upper in
+        Array.blit vlo 0 lower spec.cdim spec.vdim;
+        Array.blit vhi 0 upper spec.cdim spec.vdim;
+        let g = Grid.make ~cells:spec.cells ~lower ~upper in
+        Layout.make ~cdim:spec.cdim ~vdim:spec.vdim ~family:spec.family
+          ~poly_order:spec.poly_order ~grid:g
   in
   let np = Layout.num_basis lay in
   let nc = Layout.num_cbasis lay in
@@ -162,18 +259,22 @@ let create (spec : spec) =
     Array.of_list
       (List.map
          (fun (ss : species_spec) ->
+           let s_lay = species_layout ss in
            {
              s_spec = ss;
+             s_lay;
              solver =
                Solver.create ~flux:spec.vlasov_flux
                  ~use_kernels:spec.use_generated_kernels
-                 ~qm:(ss.charge /. ss.mass) lay;
-             moments = Moments.make lay;
+                 ~qm:(ss.charge /. ss.mass) s_lay;
+             moments = Moments.make s_lay;
              collide =
                (match ss.collisions with
                | No_collisions -> No_op
-               | Lbo_collisions nu -> Lbo_op (Dg_collisions.Lbo.create ~nu lay)
-               | Bgk_collisions nu -> Bgk_op (Dg_collisions.Bgk.create ~nu lay));
+               | Lbo_collisions nu ->
+                   Lbo_op (Dg_collisions.Lbo.create ~nu s_lay)
+               | Bgk_collisions nu ->
+                   Bgk_op (Dg_collisions.Bgk.create ~nu s_lay));
              span_vlasov = "vlasov:" ^ ss.name;
              span_coll = "collisions:" ^ ss.name;
            })
@@ -186,14 +287,14 @@ let create (spec : spec) =
           (Dg_maxwell.Maxwell.create ~flux:spec.maxwell_flux
              ~chi:0.0 ~gamma:0.0 ~basis:lay.Layout.cbasis
              ~grid:lay.Layout.cgrid ())
-    | Ampere_only | Static -> None
+    | Ampere_only | Poisson_es | Static -> None
   in
   let fs =
     Array.to_list
       (Array.map
          (fun sp ->
-           let fld = Field.create lay.Layout.grid ~ncomp:np in
-           project_phase lay ~f:sp.s_spec.init_f fld;
+           let fld = Field.create sp.s_lay.Layout.grid ~ncomp:np in
+           project_phase sp.s_lay ~f:sp.s_spec.init_f fld;
            fld)
          species)
   in
@@ -201,6 +302,14 @@ let create (spec : spec) =
   (match spec.init_em with
   | Some f -> project_config lay ~f ~ncomp_vec:8 em
   | None -> ());
+  let charge = Field.create lay.Layout.cgrid ~ncomp:nc in
+  (* Poisson_es: the initial E is part of the initial condition — solve it
+     from the projected f so the first dt suggestion and diagnostics see
+     the self-consistent field, not init_em's guess (usually None) *)
+  (match spec.field_model with
+  | Poisson_es ->
+      poisson_solve_into ~species ~lay ~work:charge (Array.of_list fs) em
+  | Full_maxwell | Ampere_only | Static -> ());
   let state = fs @ [ em ] in
   let phase_bcs =
     Array.init lay.Layout.pdim (fun d ->
@@ -217,6 +326,7 @@ let create (spec : spec) =
     phase_bcs;
     em_bcs;
     current = Field.create lay.Layout.cgrid ~ncomp:(3 * nc);
+    charge;
     time = 0.0;
     nsteps = 0;
     trace = None;
@@ -255,11 +365,19 @@ let rhs t ~time:_ (state : Field.t list) (outs : Field.t list) =
   let fouts, em_out = split_state t outs in
   (* ghost synchronization *)
   Obs.span "sync_ghosts" (fun () ->
-      Array.iter (fun f -> Field.sync_ghosts f t.phase_bcs) fs;
-      Field.sync_ghosts em t.em_bcs);
+      Array.iter (fun f -> Field.sync_ghosts f t.phase_bcs) fs);
+  (* Poisson_es closes the field loop instantaneously: E is a functional
+     of the current f, recomputed before every species update *)
+  (match t.spec.field_model with
+  | Poisson_es ->
+      Obs.span "poisson" (fun () ->
+          poisson_solve_into ~species:t.species ~lay:t.lay ~work:t.charge fs em)
+  | Full_maxwell | Ampere_only | Static -> ());
+  Obs.span "sync_ghosts" (fun () -> Field.sync_ghosts em t.em_bcs);
   (* species updates *)
   let em_opt =
-    match t.spec.field_model with Static | Ampere_only | Full_maxwell -> Some em
+    match t.spec.field_model with
+    | Static | Ampere_only | Poisson_es | Full_maxwell -> Some em
   in
   Array.iteri
     (fun i sp ->
@@ -280,7 +398,7 @@ let rhs t ~time:_ (state : Field.t list) (outs : Field.t list) =
   Obs.span "field" (fun () ->
       Field.fill em_out 0.0;
       match t.spec.field_model with
-      | Static -> ()
+      | Static | Poisson_es -> () (* nothing field-like is time-stepped *)
       | Ampere_only ->
           compute_current t fs;
           (* dE/dt = -J on components 0..2 *)
@@ -298,27 +416,26 @@ let rhs t ~time:_ (state : Field.t list) (outs : Field.t list) =
           Dg_maxwell.Maxwell.add_current_source mx ~current:t.current
             ~out:em_out)
 
-(* CFL-limited time step from current state speeds. *)
+(* CFL-limited time step from current state speeds.  Each species is
+   limited on its own grid (velocity extents may differ per species); the
+   global step is the minimum. *)
 let suggest_dt_impl t =
   let fs, em = split_state t t.state in
-  ignore fs;
-  let speeds = Array.make t.lay.Layout.pdim 0.0 in
+  let dt = ref infinity in
   Array.iter
     (fun sp ->
-      let s = Solver.max_speeds sp.solver ~em:(Some em) in
-      Array.iteri (fun d v -> if v > speeds.(d) then speeds.(d) <- v) s)
+      let speeds = Solver.max_speeds sp.solver ~em:(Some em) in
+      (* light-speed constraint in configuration directions for Maxwell *)
+      if t.spec.field_model = Full_maxwell then
+        for d = 0 to t.spec.cdim - 1 do
+          if speeds.(d) < 1.0 then speeds.(d) <- 1.0
+        done;
+      dt :=
+        Float.min !dt
+          (Stepper.cfl_dt ~cfl:t.spec.cfl ~poly_order:t.spec.poly_order
+             ~dx:(Grid.dx sp.s_lay.Layout.grid) ~speeds))
     t.species;
-  (* light-speed constraint in configuration directions for Maxwell *)
-  if t.spec.field_model = Full_maxwell then
-    for d = 0 to t.spec.cdim - 1 do
-      if speeds.(d) < 1.0 then speeds.(d) <- 1.0
-    done;
-  let dt =
-    Stepper.cfl_dt ~cfl:t.spec.cfl ~poly_order:t.spec.poly_order
-      ~dx:(Grid.dx t.lay.Layout.grid) ~speeds
-  in
   (* collisional (diffusion / relaxation) stability limits *)
-  let dt = ref dt in
   Array.iteri
     (fun i sp ->
       match sp.collide with
@@ -337,6 +454,7 @@ let suggest_dt t = Obs.span "cfl" (fun () -> suggest_dt_impl t)
 let field_model_name = function
   | Full_maxwell -> "full-maxwell"
   | Ampere_only -> "ampere-only"
+  | Poisson_es -> "poisson-es"
   | Static -> "static"
 
 (* Machine-readable spec summary for manifests and job-status streams —
@@ -418,6 +536,14 @@ let step ?dt t =
   Obs.gauge "dt" dt;
   Obs.span "step" (fun () ->
       Stepper.step t.stepper ~rhs:(rhs t) ~time:t.time ~dt t.state);
+  (* The electrostatic field is diagnostic state derived from f, not
+     time-stepped: refresh it from the post-step distributions so
+     field-energy / history readouts between steps are consistent. *)
+  (match t.spec.field_model with
+  | Poisson_es ->
+      let fs, em = split_state t t.state in
+      poisson_solve_into ~species:t.species ~lay:t.lay ~work:t.charge fs em
+  | Full_maxwell | Ampere_only | Static -> ());
   t.time <- t.time +. dt;
   t.nsteps <- t.nsteps + 1;
   (match (t.trace, gc0) with
@@ -482,6 +608,33 @@ let field_energy t =
             acc := !acc +. (v *. v)
           done);
       0.5 *. !acc *. jac
+
+(* (electric, magnetic) field energies separately — instability diagnostics
+   fit growth on one of the two (Weibel: magnetic; Landau/two-stream:
+   electric). *)
+let field_energy_split t =
+  match t.maxwell with
+  | Some mx ->
+      let em = em_field t in
+      ( Dg_maxwell.Maxwell.electric_energy mx ~em,
+        Dg_maxwell.Maxwell.magnetic_energy mx ~em )
+  | None ->
+      let nc = Layout.num_cbasis t.lay in
+      let em = em_field t in
+      let jac =
+        Grid.cell_volume t.lay.Layout.cgrid
+        /. (2.0 ** float_of_int t.spec.cdim)
+      in
+      let acc_e = ref 0.0 and acc_b = ref 0.0 in
+      Grid.iter_cells t.lay.Layout.cgrid (fun _ c ->
+          let base = Field.offset em c in
+          for k = 0 to (3 * nc) - 1 do
+            let e = (Field.data em).(base + k) in
+            let b = (Field.data em).(base + (3 * nc) + k) in
+            acc_e := !acc_e +. (e *. e);
+            acc_b := !acc_b +. (b *. b)
+          done);
+      (0.5 *. !acc_e *. jac, 0.5 *. !acc_b *. jac)
 
 let total_energy t =
   let ke = ref (field_energy t) in

@@ -9,8 +9,11 @@ module Solver = Dg_vlasov.Solver
 module Stepper = Dg_time.Stepper
 
 (** Field closure: full Maxwell, electrostatic Ampere (dE/dt = -J, frozen
-    B), or static fields. *)
-type field_model = Full_maxwell | Ampere_only | Static
+    B), electrostatic Vlasov-Poisson (E from Gauss's law every RHS —
+    requires cdim = 1, periodic x, power-of-two x cells; the k = 0 mode is
+    dropped, i.e. a neutralizing background is implicit), or static
+    fields. *)
+type field_model = Full_maxwell | Ampere_only | Poisson_es | Static
 
 type collision_model =
   | No_collisions
@@ -23,10 +26,16 @@ type species_spec = {
   mass : float;
   init_f : pos:float array -> vel:float array -> float;
   collisions : collision_model;
+  vbounds : (float array * float array) option;
+      (** per-species velocity-space extents (lower, upper), [vdim] each;
+          [None] uses the spec's shared extents.  Cell {i counts} are always
+          shared, so a heavy species can run on a narrow velocity box (real
+          mass ratios) without changing kernels or DOF accounting. *)
 }
 
 val species :
   ?collisions:collision_model ->
+  ?vbounds:float array * float array ->
   name:string ->
   charge:float ->
   mass:float ->
@@ -131,6 +140,9 @@ val create_resumable :
     resume from it bit-exactly; the info says where the run picks up.
     A fresh job ([None]) starts from the projected initial condition. *)
 
+val field_model_name : field_model -> string
+(** ["full-maxwell"] / ["ampere-only"] / ["poisson-es"] / ["static"]. *)
+
 val spec_manifest : spec -> (string * Dg_obs.Obs.Json.t) list
 (** Machine-readable summary of a spec's numeric identity (layout, basis,
     grid, species names, field model, scheme, cfl) — the fields trace
@@ -200,4 +212,9 @@ val close_trace : t -> unit
 val total_mass : t -> int -> float
 val kinetic_energy : t -> int -> float
 val field_energy : t -> float
+
+val field_energy_split : t -> float * float
+(** (electric, magnetic) field energies — growth-rate diagnostics fit one
+    of the two (Weibel: magnetic; Landau / two-stream: electric). *)
+
 val total_energy : t -> float

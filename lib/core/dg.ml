@@ -76,6 +76,9 @@ module Faults = Dg_resilience.Faults
 module Supervisor = Dg_resilience.Supervisor
 module Limiter = Dg_limiter.Limiter
 
+(* the scenario zoo + golden regression harness *)
+module Scenarios = Dg_scenarios.Scenarios
+
 (* the multi-tenant job engine (vmdg serve) *)
 module Job = Dg_serve.Job
 module Jobq = Dg_serve.Jobq

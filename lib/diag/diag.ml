@@ -36,21 +36,43 @@ let relative_drift h name =
   let n = Array.length c in
   if n < 2 || c.(0) = 0.0 then 0.0 else Float.abs (c.(n - 1) -. c.(0)) /. Float.abs c.(0)
 
-(* Fit an exponential growth rate gamma to y(t) ~ exp(gamma t) over the
-   window [t0, t1] by linear regression of log y. *)
-let growth_rate h ~column:name ~t0 ~t1 =
+(* Fit an exponential rate gamma to y(t) ~ exp(gamma t) over the window
+   [t0, t1]: least-squares linear regression of log y against t, plus the
+   R^2 coefficient of determination of that regression — the fit-quality
+   measure golden checks use to refuse to certify a rate read off a
+   window that is not actually exponential (transient, saturated, or
+   oscillation-dominated). *)
+type rate_fit = { rate : float; r2 : float; samples : int }
+
+let growth_rate_fit h ~column:name ~t0 ~t1 =
   let ts = times h and ys = column h name in
   let pairs = ref [] in
   Array.iteri
     (fun i t -> if t >= t0 && t <= t1 && ys.(i) > 0.0 then pairs := (t, log ys.(i)) :: !pairs)
     ts;
   let pts = Array.of_list (List.rev !pairs) in
-  if Array.length pts < 2 then nan
+  let n = Array.length pts in
+  if n < 2 then { rate = nan; r2 = 0.0; samples = n }
   else begin
     let xs = Array.map fst pts and ls = Array.map snd pts in
-    let _, slope = Dg_util.Stats.linear_fit xs ls in
-    slope
+    let icept, slope = Dg_util.Stats.linear_fit xs ls in
+    let mean = Array.fold_left ( +. ) 0.0 ls /. float_of_int n in
+    let ss_tot = ref 0.0 and ss_res = ref 0.0 in
+    Array.iteri
+      (fun i l ->
+        let d = l -. mean and r = l -. (icept +. (slope *. xs.(i))) in
+        ss_tot := !ss_tot +. (d *. d);
+        ss_res := !ss_res +. (r *. r))
+      ls;
+    let r2 =
+      (* a constant column fit exactly is a perfect (if degenerate) fit *)
+      if !ss_tot <= 0.0 then if !ss_res <= 0.0 then 1.0 else 0.0
+      else 1.0 -. (!ss_res /. !ss_tot)
+    in
+    { rate = slope; r2; samples = n }
   end
+
+let growth_rate h ~column ~t0 ~t1 = (growth_rate_fit h ~column ~t0 ~t1).rate
 
 (* Amplitude |u_k| of spatial Fourier mode [k] of the cell averages of a
    1D configuration field component. *)

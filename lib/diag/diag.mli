@@ -18,9 +18,22 @@ val num_samples : history -> int
 val relative_drift : history -> string -> float
 (** |last - first| / |first| of a recorded column. *)
 
+type rate_fit = {
+  rate : float;  (** least-squares slope of log y against t *)
+  r2 : float;  (** coefficient of determination of that regression *)
+  samples : int;  (** usable (positive-valued, in-window) samples *)
+}
+
+val growth_rate_fit :
+  history -> column:string -> t0:float -> t1:float -> rate_fit
+(** Least-squares exponential-rate fit of a positive column over a time
+    window.  [rate] is nan (and [r2] 0) with fewer than two usable
+    samples; golden checks gate on [r2] to refuse rates read off windows
+    that are not actually exponential. *)
+
 val growth_rate : history -> column:string -> t0:float -> t1:float -> float
-(** Exponential-rate fit of a positive column over a time window (nan if
-    fewer than two usable samples). *)
+(** [(growth_rate_fit ...).rate]: exponential-rate fit of a positive
+    column over a time window (nan if fewer than two usable samples). *)
 
 val mode_amplitude_1d : Field.t -> comp:int -> basis_dim:int -> k:int -> float
 (** |u_k| of the cell averages of a 1D configuration field component. *)

@@ -39,6 +39,47 @@ let periodic_1d ~(dx : float) (rho : float array) =
   Fft.inverse e_re e_im;
   (phi_re, e_re)
 
+(* Like [periodic_1d], but return a pointwise evaluator of the spectral
+   solution instead of cell averages: the trigonometric interpolant through
+   the cell-center samples of rho is solved mode by mode, and
+   [periodic_eval_1d ~dx rho] gives x |-> (phi(x), E(x)) for x measured
+   from the lower domain edge.  This is what lets an electrostatic
+   Vlasov-Poisson field model project E onto the full DG basis (any
+   polynomial order) rather than flattening it to cell averages. *)
+let periodic_eval_1d ~(dx : float) (rho : float array) =
+  let n = Array.length rho in
+  if not (Fft.is_pow2 n) then
+    invalid_arg "Poisson.periodic_eval_1d: need power-of-two cells";
+  let re = Array.copy rho and im = Array.make n 0.0 in
+  Fft.forward re im;
+  let l = float_of_int n *. dx in
+  (* phi_k = rho_k / kappa^2; E = -dphi/dx.  The FFT samples live at cell
+     centers x_j = (j + 1/2) dx, so mode k carries a phase shift of
+     kappa * dx / 2 relative to x measured from the domain edge. *)
+  let nk = n / 2 in
+  let kap = Array.make (nk + 1) 0.0 in
+  let pre = Array.make (nk + 1) 0.0 and pim = Array.make (nk + 1) 0.0 in
+  for k = 1 to nk do
+    let kappa = 2.0 *. Float.pi *. float_of_int k /. l in
+    kap.(k) <- kappa;
+    (* one-sided spectrum: fold the conjugate mode n-k in (factor 2),
+       except for the self-conjugate Nyquist mode k = n/2 *)
+    let fold = if k = nk then 1.0 else 2.0 in
+    pre.(k) <- fold *. re.(k) /. (kappa *. kappa) /. float_of_int n;
+    pim.(k) <- fold *. im.(k) /. (kappa *. kappa) /. float_of_int n
+  done;
+  fun x ->
+    let phi = ref 0.0 and e = ref 0.0 in
+    for k = 1 to nk do
+      (* sample j contributes exp(-2 pi i j k / n); x_j = (j + 1/2) dx *)
+      let th = kap.(k) *. (x -. (0.5 *. dx)) in
+      let c = cos th and s = sin th in
+      phi := !phi +. (pre.(k) *. c) -. (pim.(k) *. s);
+      (* E = -phi' : d/dx [pre cos - pim sin] = -kappa (pre sin + pim cos) *)
+      e := !e +. (kap.(k) *. ((pre.(k) *. s) +. (pim.(k) *. c)))
+    done;
+    (!phi, !e)
+
 (* Dirichlet 1D: d^2 phi/dx^2 = -rho, phi(0) = phi_lo, phi(L) = phi_hi on
    cell centers with second-order finite differences (sheath setups). *)
 let dirichlet_1d ~(dx : float) ~(phi_lo : float) ~(phi_hi : float)

@@ -9,6 +9,13 @@ val periodic_1d : dx:float -> float array -> float array * float array
     averages (power-of-two length); returns zero-mean (phi, E) with
     E = -dphi/dx. *)
 
+val periodic_eval_1d : dx:float -> float array -> float -> float * float
+(** [periodic_eval_1d ~dx rho] solves the same periodic problem but
+    returns a pointwise evaluator [x -> (phi x, e x)] of the spectral
+    solution, [x] measured from the lower domain edge — the projection
+    source for a DG electrostatic (Vlasov-Poisson) field model.  Both
+    outputs are zero-mean. *)
+
 val dirichlet_1d :
   dx:float -> phi_lo:float -> phi_hi:float -> float array -> float array
 (** Second-order finite-difference solve of phi'' = -rho with wall

@@ -1,0 +1,119 @@
+(** Declarative scenario zoo + golden regression harness.
+
+    One registry maps scenario names to [Vm_app.spec] factories (with
+    overridable cells / poly-order / tend / cfl knobs) and {e golden}
+    records — the expected growth or damping rate with its fit window,
+    tolerance and fit-quality gate, plus conservation-drift bounds.
+    {!check} runs a scenario end-to-end and returns structured pass/fail
+    verdicts; the CLI ([vmdg run]), the job engine, the test suite
+    ([@scenarios]) and the bench driver all resolve scenarios by name
+    here instead of hand-rolling specs. *)
+
+module App = Dg_app.Vm_app
+module Diag = Dg_diag.Diag
+
+(** {1 Knobs} *)
+
+type knobs = {
+  cells_x : int option;  (** cells per configuration dimension *)
+  cells_v : int option;  (** cells per velocity dimension *)
+  poly_order : int option;
+  tend : float option;
+  cfl : float option;
+}
+
+val default_knobs : knobs
+
+val knobs :
+  ?cells_x:int ->
+  ?cells_v:int ->
+  ?poly_order:int ->
+  ?tend:float ->
+  ?cfl:float ->
+  unit ->
+  knobs
+
+(** {1 Golden records} *)
+
+type rate_check = {
+  column : string;  (** energy history column, ~ exp(2 gamma t) *)
+  expected : float;  (** reference gamma (growth > 0, damping < 0) *)
+  rtol : float;  (** |gamma - expected| <= rtol * |expected| *)
+  t0 : float;
+  t1 : float;  (** fit window (the linear phase) *)
+  min_r2 : float;  (** refuse fits that are not actually exponential *)
+  from_peaks : bool;  (** fit the peak envelope (oscillatory damping) *)
+}
+
+type verdict = { check : string; pass : bool; detail : string }
+
+type golden = {
+  rate : rate_check option;
+  mass_rtol : float;  (** per-species relative mass-drift bound *)
+  energy_rtol : float;  (** relative total-energy-drift bound *)
+  custom : (App.t -> Diag.history -> verdict list) option;
+      (** scenario-specific checks (e.g. recurrence timing) *)
+}
+
+(** {1 Registry} *)
+
+type entry = {
+  name : string;
+  descr : string;
+  reference : string;  (** where the golden value comes from *)
+  tend : float;  (** default end time *)
+  mode_probe : bool;  (** record the k=1 density-mode amplitude *)
+  spec : knobs -> App.spec;
+  golden : golden;
+}
+
+val all : entry list
+val names : string list
+val find : string -> entry option
+
+val find_exn : string -> entry
+(** @raise Invalid_argument naming the unknown scenario and listing the
+    available ones. *)
+
+val dims : entry -> string
+(** e.g. ["1x1v"] — computed from the default spec (no solver built). *)
+
+val field_model : entry -> string
+(** e.g. ["poisson-es"] — computed from the default spec. *)
+
+(** {1 Running} *)
+
+type result = {
+  scenario : string;
+  app : App.t;  (** final state *)
+  history : Diag.history;
+      (** columns [fieldE], [fieldB], [kinetic], [energy],
+          [mass_<species>]..., and [mode1] when the entry probes it *)
+  wall_s : float;
+  steps : int;
+  dof_per_step : float;
+}
+
+val run : ?knobs:knobs -> ?on_step:(App.t -> unit) -> entry -> result
+(** Build the spec, create the app, record the energy/mass history every
+    step, and run to the (possibly overridden) end time. *)
+
+(** {1 Golden checks} *)
+
+type report = {
+  scenario_name : string;
+  verdicts : verdict list;
+  fit : Diag.rate_fit option;  (** the rate regression, when one ran *)
+  measured_rate : float option;  (** fitted gamma (energy slope / 2) *)
+  res : result;
+}
+
+val passed : report -> bool
+
+val check : ?knobs:knobs -> ?on_step:(App.t -> unit) -> entry -> report
+(** {!run}, then evaluate every golden verdict: rate within tolerance with
+    acceptable R-squared, per-species mass drift, total-energy drift, and
+    any custom checks. *)
+
+val report_lines : report -> string list
+(** Human-readable verdict lines (first line is the PASS/FAIL summary). *)

@@ -3,27 +3,14 @@
    job file.  The engine owns scheduling; this module owns the translation
    from job description to [Vm_app.spec] / [Retry.policy] / [Faults.t]. *)
 
-module App = Dg_app.Vm_app
 module Json = Dg_obs.Obs.Json
 module Retry = Dg_resilience.Retry
 module Faults = Dg_resilience.Faults
-
-type scenario = Twostream | Landau | Advect
-
-let scenario_to_string = function
-  | Twostream -> "twostream"
-  | Landau -> "landau"
-  | Advect -> "advect"
-
-let scenario_of_string = function
-  | "twostream" | "two-stream" -> Twostream
-  | "landau" -> Landau
-  | "advect" -> Advect
-  | s -> invalid_arg (Printf.sprintf "unknown scenario %S" s)
+module Scenarios = Dg_scenarios.Scenarios
 
 type t = {
   id : string;
-  scenario : scenario;
+  scenario : string;
   priority : int;
   cells_x : int;
   cells_v : int;
@@ -45,6 +32,11 @@ type t = {
 let validate j =
   let fail fmt = Printf.ksprintf invalid_arg ("job %S: " ^^ fmt) j.id in
   if j.id = "" then invalid_arg "job: empty id";
+  (* unknown scenario names are rejected here, at parse time, with the
+     available list — not when the engine eventually schedules the job *)
+  if Scenarios.find j.scenario = None then
+    fail "unknown scenario %S (available: %s)" j.scenario
+      (String.concat ", " Scenarios.names);
   String.iter
     (fun ch ->
       match ch with
@@ -120,7 +112,7 @@ let of_json ?id json =
   in
   let scenario =
     match str "scenario" with
-    | Some s -> scenario_of_string s
+    | Some s -> s
     | None -> invalid_arg "job: missing \"scenario\""
   in
   let id =
@@ -190,7 +182,7 @@ let to_json j =
   Json.Obj
     ([
        ("id", Json.Str j.id);
-       ("scenario", Json.Str (scenario_to_string j.scenario));
+       ("scenario", Json.Str j.scenario);
        ("priority", Json.Int j.priority);
        ("cells", Json.List [ Json.Int j.cells_x; Json.Int j.cells_v ]);
        ("p", Json.Int j.poly_order);
@@ -208,65 +200,13 @@ let to_json j =
 
 (* --- translation to the app layer ----------------------------------------- *)
 
-(* The three scenarios mirror the vmdg physics subcommands (same physics
-   parameters) so a job batch exercises the same numerics the CLI does; all
-   are 1x1v so a mixed batch shares one kernel-cache entry per (family, p). *)
+(* The spec comes from the scenario registry: one source of truth shared
+   with the CLI, the test suite, and the bench driver.  The job's grid /
+   order / cfl fields become registry knobs. *)
 let spec j =
-  let base ~lower ~upper ~species ~field_model ~init_em =
-    {
-      (App.default_spec ~cdim:1 ~vdim:1
-         ~cells:[| j.cells_x; j.cells_v |]
-         ~lower ~upper ~species)
-      with
-      App.field_model;
-      poly_order = j.poly_order;
-      cfl = j.cfl;
-      init_em;
-    }
-  in
-  match j.scenario with
-  | Twostream ->
-      let v0 = 2.0 and vt = 0.35 and k = 0.35 and alpha = 1e-4 in
-      let l = 2.0 *. Float.pi /. k in
-      let beams ~pos ~vel =
-        let m u =
-          exp (-.((vel.(0) -. u) ** 2.0) /. (2.0 *. vt *. vt))
-          /. sqrt (2.0 *. Float.pi *. vt *. vt)
-        in
-        0.5 *. (1.0 +. (alpha *. cos (k *. pos.(0)))) *. (m v0 +. m (-.v0))
-      in
-      let electron =
-        App.species ~name:"elc" ~charge:(-1.0) ~mass:1.0 ~init_f:beams ()
-      in
-      base ~lower:[| 0.0; -6.0 |] ~upper:[| l; 6.0 |] ~species:[ electron ]
-        ~field_model:App.Ampere_only ~init_em:None
-  | Landau ->
-      let k = 0.5 and alpha = 0.01 in
-      let l = 2.0 *. Float.pi /. k in
-      let electron =
-        App.species ~name:"elc" ~charge:(-1.0) ~mass:1.0
-          ~init_f:(fun ~pos ~vel ->
-            (1.0 +. (alpha *. cos (k *. pos.(0))))
-            /. sqrt (2.0 *. Float.pi)
-            *. exp (-0.5 *. vel.(0) *. vel.(0)))
-          ()
-      in
-      base ~lower:[| 0.0; -6.0 |] ~upper:[| l; 6.0 |] ~species:[ electron ]
-        ~field_model:App.Ampere_only
-        ~init_em:
-          (Some
-             (fun x ->
-               let em = Array.make 8 0.0 in
-               em.(0) <- -.(alpha /. k) *. sin (k *. x.(0));
-               em))
-  | Advect ->
-      let l = 2.0 *. Float.pi in
-      let f0 ~pos ~vel =
-        (1.0 +. (0.5 *. sin pos.(0))) *. exp (-2.0 *. vel.(0) *. vel.(0))
-      in
-      let n = App.species ~name:"n" ~charge:0.0 ~mass:1.0 ~init_f:f0 () in
-      base ~lower:[| 0.0; -3.0 |] ~upper:[| l; 3.0 |] ~species:[ n ]
-        ~field_model:App.Static ~init_em:None
+  (Scenarios.find_exn j.scenario).Scenarios.spec
+    (Scenarios.knobs ~cells_x:j.cells_x ~cells_v:j.cells_v
+       ~poly_order:j.poly_order ~cfl:j.cfl ())
 
 let policy j =
   {

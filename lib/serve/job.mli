@@ -3,20 +3,11 @@
     job file.  {!Engine} owns scheduling; this module owns the translation
     into [Vm_app.spec], [Retry.policy], and [Faults.t]. *)
 
-(** Canonical 1x1v physics scenarios (the same parameter sets as the vmdg
-    [twostream] / [landau] / [advect] subcommands).  All three share a
-    layout family, so a mixed batch reuses one cached kernel set per
-    (family, poly order). *)
-type scenario = Twostream | Landau | Advect
-
-val scenario_to_string : scenario -> string
-
-val scenario_of_string : string -> scenario
-(** @raise Invalid_argument on an unknown name. *)
-
 type t = {
   id : string;  (** unique within a server run; [[A-Za-z0-9_.-]+] *)
-  scenario : scenario;
+  scenario : string;
+      (** a {!Dg_scenarios.Scenarios} registry name; unknown names are
+          rejected at parse/make time with the available list *)
   priority : int;  (** higher runs first (and preempts lower) *)
   cells_x : int;
   cells_v : int;
@@ -55,7 +46,7 @@ val make :
   ?crash_retries:int ->
   ?fault_nan_step:int ->
   id:string ->
-  scenario:scenario ->
+  scenario:string ->
   unit ->
   t
 (** Defaults: priority 0, 16x24 cells, p=1, tend 1.0, cfl 0.9, max_steps

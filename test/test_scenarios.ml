@@ -1,0 +1,129 @@
+(* Golden regression checks for the scenario zoo (dg_scenarios).
+
+   Every registry entry runs end-to-end at its default (container-sized)
+   resolution and must pass all of its golden verdicts: growth/damping
+   rate within tolerance with an acceptable fit R^2, per-species mass
+   conservation, total-energy drift, and any scenario-specific checks
+   (recurrence timing).  On top of the per-entry goldens, the same Landau
+   setup is cross-checked between the Vlasov-Poisson and Vlasov-Ampere
+   field models: two different discrete field closures must damp the same
+   wave at (nearly) the same rate. *)
+
+module Scenarios = Dg_scenarios.Scenarios
+
+(* Run every entry exactly once, on demand, and share the reports across
+   test cases (the zoo takes ~30 s total; running it per-case would not). *)
+let reports =
+  lazy
+    (List.map (fun e -> (e.Scenarios.name, Scenarios.check e)) Scenarios.all)
+
+let report name =
+  match List.assoc_opt name (Lazy.force reports) with
+  | Some r -> r
+  | None -> Alcotest.failf "no report for scenario %s" name
+
+let test_registry () =
+  Alcotest.(check bool)
+    "at least 6 scenarios registered" true
+    (List.length Scenarios.all >= 6);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string))
+        (e.Scenarios.name ^ " findable")
+        (Some e.Scenarios.name)
+        (Option.map
+           (fun e -> e.Scenarios.name)
+           (Scenarios.find e.Scenarios.name)))
+    Scenarios.all;
+  Alcotest.(check bool)
+    "unknown name" true
+    (Option.is_none (Scenarios.find "warp"));
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match Scenarios.find_exn "warp" with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        "error lists available scenarios" true
+        (List.for_all (fun n -> contains msg n) Scenarios.names)
+  | _ -> Alcotest.fail "find_exn must reject unknown names");
+  (* the field-model split the zoo advertises *)
+  Alcotest.(check string)
+    "landau is Vlasov-Poisson" "poisson-es"
+    (Scenarios.field_model (Scenarios.find_exn "landau"));
+  Alcotest.(check string)
+    "weibel is full Maxwell" "full-maxwell"
+    (Scenarios.field_model (Scenarios.find_exn "weibel_2x2v"));
+  Alcotest.(check string)
+    "weibel is 2x2v" "2x2v"
+    (Scenarios.dims (Scenarios.find_exn "weibel_2x2v"))
+
+(* One alcotest case per scenario so a regression names the physics it
+   broke; the failure message carries the full verdict detail. *)
+let golden_case name () =
+  let r = report name in
+  if not (Scenarios.passed r) then
+    Alcotest.failf "%s" (String.concat "\n" (Scenarios.report_lines r));
+  (* every golden run also exercises the structured report *)
+  Alcotest.(check bool) "has verdicts" true (r.Scenarios.verdicts <> [])
+
+let test_poisson_ampere_cross () =
+  (* same Landau setup, two field closures: the damping rates must agree
+     far more tightly than either matches linear theory *)
+  let gp =
+    match (report "landau").Scenarios.measured_rate with
+    | Some g -> g
+    | None -> Alcotest.fail "landau report has no fitted rate"
+  in
+  let ga =
+    match (report "landau_ampere").Scenarios.measured_rate with
+    | Some g -> g
+    | None -> Alcotest.fail "landau_ampere report has no fitted rate"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "poisson %.4f vs ampere %.4f within 2%%" gp ga)
+    true
+    (Float.abs (gp -. ga) <= 0.02 *. Float.abs ga)
+
+let test_knob_overrides () =
+  (* knobs reach the spec: cell counts, order, cfl *)
+  let e = Scenarios.find_exn "landau" in
+  let s =
+    e.Scenarios.spec
+      (Scenarios.knobs ~cells_x:32 ~cells_v:12 ~poly_order:1 ~cfl:0.5 ())
+  in
+  Alcotest.(check (array int)) "cells" [| 32; 12 |] s.Scenarios.App.cells;
+  Alcotest.(check int) "p" 1 s.Scenarios.App.poly_order;
+  Alcotest.(check (float 0.0)) "cfl" 0.5 s.Scenarios.App.cfl;
+  (* per-species velocity bounds survive into the ion spec *)
+  let si = Scenarios.find_exn "landau_ions" in
+  let ss = (si.Scenarios.spec Scenarios.default_knobs).Scenarios.App.species in
+  let ion = List.nth ss 1 in
+  (match ion.Scenarios.App.vbounds with
+  | Some (lo, hi) ->
+      Alcotest.(check bool) "narrow ion box" true (hi.(0) -. lo.(0) < 1.0)
+  | None -> Alcotest.fail "ion species must carry vbounds")
+
+let () =
+  let cases =
+    List.map
+      (fun e ->
+        Alcotest.test_case
+          (e.Scenarios.name ^ " golden")
+          `Slow
+          (golden_case e.Scenarios.name))
+      Scenarios.all
+  in
+  Alcotest.run "dg_scenarios"
+    [
+      ("registry", [ Alcotest.test_case "registry" `Quick test_registry ]);
+      ("golden", cases);
+      ( "cross-check",
+        [
+          Alcotest.test_case "poisson vs ampere" `Slow
+            test_poisson_ampere_cross;
+        ] );
+      ("knobs", [ Alcotest.test_case "overrides" `Quick test_knob_overrides ]);
+    ]
