@@ -1496,6 +1496,90 @@ let scenarios_json ?(smoke = false) path =
         fails;
       if smoke then exit 1
 
+(* --- chaos campaign: fault volume / invariant battery / recovery tax ------ *)
+
+(* One fixed-seed campaign (BENCH_chaos.json): campaign wall, faults
+   injected, invariant checks run, watchdog fires, and the recovery
+   overhead fraction (chaotic wall vs undisturbed references over the
+   bit-exact cohort).  The numbers are only meaningful if the battery is
+   green, so any invariant violation is a hard failure in both modes.
+
+   [smoke]: the ~10 s smoke profile, no file write — the chaos gate for
+   @bench-smoke that exits 1 on any violation or an implausibly low
+   fault count. *)
+let chaos_json ?(smoke = false) path =
+  section
+    (if smoke then "Chaos campaign - smoke (invariant health check)"
+     else "Chaos campaign - fault volume and recovery tax (dg_chaos)");
+  let module Chaos = Dg_chaos.Chaos in
+  let seed = 42 in
+  let profile = if smoke then Chaos.smoke else Chaos.standard in
+  let r = Chaos.run_campaign ~seed ~log:(fun m -> pr "  %s\n" m) profile in
+  pr "%s\n" (Format.asprintf "%a" Chaos.pp_report r);
+  let tag = r.Chaos.profile_name in
+  emit ~bench:"chaos" ~config:tag ~metric:"wall" ~value:r.Chaos.wall_s ~units:"s";
+  emit ~bench:"chaos" ~config:tag ~metric:"faults_injected"
+    ~value:(float_of_int r.Chaos.faults_injected) ~units:"faults";
+  emit ~bench:"chaos" ~config:tag ~metric:"invariant_checks"
+    ~value:(float_of_int r.Chaos.invariant_checks) ~units:"checks";
+  emit ~bench:"chaos" ~config:tag ~metric:"watchdog_hangs"
+    ~value:(float_of_int r.Chaos.watchdog_hangs) ~units:"hangs";
+  emit ~bench:"chaos" ~config:tag ~metric:"recovery_overhead"
+    ~value:r.Chaos.recovery_overhead ~units:"frac";
+  let fault_floor = if smoke then 10 else 200 in
+  let bad = ref [] in
+  if not (Chaos.passed r) then
+    List.iter
+      (fun (c : Chaos.check) ->
+        if not c.Chaos.ok then
+          bad :=
+            Printf.sprintf "invariant %s: %s" c.Chaos.check_name c.Chaos.detail
+            :: !bad)
+      r.Chaos.violations;
+  if r.Chaos.faults_injected < fault_floor then
+    bad :=
+      Printf.sprintf "only %d faults injected (want >= %d)"
+        r.Chaos.faults_injected fault_floor
+      :: !bad;
+  if r.Chaos.watchdog_hangs < 1 then
+    bad := "watchdog never fired (want >= 1 planted hang caught)" :: !bad;
+  (match !bad with
+  | [] ->
+      pr "chaos ok: %d faults, %d invariant checks, %d watchdog fires, \
+          recovery overhead %.1f%%\n"
+        r.Chaos.faults_injected r.Chaos.invariant_checks r.Chaos.watchdog_hangs
+        (100.0 *. r.Chaos.recovery_overhead)
+  | bad ->
+      List.iter
+        (fun m ->
+          pr "%s: %s\n" (if smoke then "SMOKE FAILURE" else "CHAOS FAILURE") m)
+        bad;
+      exit 1);
+  if not smoke then begin
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"chaos_campaign\",\n\
+      \  \"seed\": %d, \"profile\": %S, \"fingerprint\": %S,\n\
+      \  \"jobs\": %d, \"wall_s\": %.3f,\n\
+      \  \"faults_injected\": %d, \"invariant_checks\": %d, \
+       \"violations\": %d,\n\
+      \  \"preempts\": %d, \"crashes\": %d, \"watchdog_hangs\": %d,\n\
+      \  \"slots_quarantined\": %d, \"admission_rejects\": %d,\n\
+      \  \"storms_run\": %d, \"garbage_dropped\": %d, \
+       \"corruptions_done\": %d,\n\
+      \  \"recovery_overhead\": %.4f\n\
+       }\n"
+      r.Chaos.seed tag r.Chaos.fingerprint r.Chaos.jobs r.Chaos.wall_s
+      r.Chaos.faults_injected r.Chaos.invariant_checks
+      (List.length r.Chaos.violations) r.Chaos.preempts r.Chaos.crashes
+      r.Chaos.watchdog_hangs r.Chaos.slots_quarantined r.Chaos.admission_rejects
+      r.Chaos.storms_run r.Chaos.garbage_dropped r.Chaos.corruptions_done
+      r.Chaos.recovery_overhead;
+    close_out oc;
+    pr "wrote %s\n" path
+  end
+
 (* --- driver --------------------------------------------------------------- *)
 
 let () =
@@ -1533,6 +1617,7 @@ let () =
   | "layout" -> layout_json "BENCH_layout.json"
   | "serve" -> serve_json ~smoke "BENCH_serve.json"
   | "scenarios" -> scenarios_json ~smoke "BENCH_scenarios.json"
+  | "chaos" -> chaos_json ~smoke "BENCH_chaos.json"
   | "all" ->
       fig1 ();
       ignore (fig2 ());
@@ -1548,7 +1633,8 @@ let () =
       kernels_json "BENCH_kernels.json";
       layout_json "BENCH_layout.json";
       serve_json "BENCH_serve.json";
-      scenarios_json "BENCH_scenarios.json"
+      scenarios_json "BENCH_scenarios.json";
+      chaos_json "BENCH_chaos.json"
   | s ->
       prerr_endline ("unknown benchmark: " ^ s);
       exit 1);

@@ -7,6 +7,7 @@
      twostream     run the two-stream instability and fit the growth rate
      advect        run free-streaming advection and report the L2 error
      serve         run a queue of jobs concurrently with checkpoint preemption
+     chaos         run a seeded, replayable chaos campaign against the engine
      snapshot-info inspect a checkpoint file
      trace-report  summarize a JSONL profile written with --trace
 
@@ -625,6 +626,71 @@ let serve_cmd =
       $ status_t $ append_t $ root_t $ max_wall_t $ keep_serving_t
       $ no_kernel_cache_t)
 
+(* --- chaos ----------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let run seed campaigns profile root verbose =
+    let profile =
+      match profile with
+      | "smoke" -> Dg.Chaos.smoke
+      | "standard" -> Dg.Chaos.standard
+      | p ->
+          Fmt.epr "chaos: unknown profile %S (available: smoke, standard)@." p;
+          exit 2
+    in
+    let log = if verbose then fun m -> Fmt.pr "chaos: %s@." m else fun _ -> () in
+    let any_red = ref false in
+    for c = 0 to campaigns - 1 do
+      let seed = seed + c in
+      Fmt.pr "campaign %d/%d (seed %d, fingerprint %s)@." (c + 1) campaigns
+        seed
+        (Dg.Chaos.schedule_fingerprint ~seed profile);
+      let report = Dg.Chaos.run_campaign ?root ~log ~seed profile in
+      Fmt.pr "@[<v>%a@]@." Dg.Chaos.pp_report report;
+      if not (Dg.Chaos.passed report) then any_red := true
+    done;
+    if !any_red then exit 1
+  in
+  let seed_t =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Campaign seed: the entire fault schedule is a pure function of \
+             the seed, so rerunning a failing seed replays the identical \
+             disruption schedule.")
+  in
+  let campaigns_t =
+    Arg.(
+      value & opt int 1
+      & info [ "campaigns" ] ~docv:"N"
+          ~doc:"Run $(docv) campaigns with consecutive seeds.")
+  in
+  let profile_t =
+    Arg.(
+      value & opt string "smoke"
+      & info [ "profile" ] ~docv:"NAME"
+          ~doc:"Campaign profile: $(b,smoke) (CI-sized) or $(b,standard).")
+  in
+  let root_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:
+            "Keep campaign artifacts (references, chaos checkpoints, spool, \
+             status streams) under $(docv) instead of a temp directory.")
+  in
+  let verbose_t =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Narrate disruptions.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded, replayable chaos campaign against the job engine and \
+          check its invariants")
+    Term.(
+      const run $ seed_t $ campaigns_t $ profile_t $ root_t $ verbose_t)
+
 (* --- trace-report --------------------------------------------------------- *)
 
 let trace_report_cmd =
@@ -654,6 +720,7 @@ let () =
             run_cmd;
             scenarios_cmd;
             serve_cmd;
+            chaos_cmd;
             snapshot_info_cmd;
             trace_report_cmd;
           ]))

@@ -527,6 +527,15 @@ let emit_step_record t sink ~dt ~wall ~gc0 =
     ];
   Obs.reset ()
 
+(* Publish slice liveness into [hb]: the stepper bumps it after every
+   completed RHS stage (the finest progress the integrator can attest to),
+   so a supervisor in another domain can tell "slow but advancing" from
+   "hung".  Clocked by [Obs.now] — watchers must compare against the same
+   clock.  Pass [None] to detach. *)
+let set_heartbeat t hb =
+  Stepper.set_stage_hook t.stepper
+    (Option.map (fun hb () -> Atomic.set hb (Obs.now ())) hb)
+
 (* Advance one step of size [dt] (or the CFL-suggested step). *)
 let step ?dt t =
   let tracing = t.trace <> None in
@@ -782,6 +791,16 @@ let run_resilient ?(policy = Retry.default) ?(faults = Faults.none ())
             let why = Supervisor.reason_to_string reason in
             stats.Retry.stopped <- Some why;
             Obs.count "resilience.supervised_stops" 1;
+            (* the final checkpoint must be a state a resumed run would
+               accept: a stop can land mid-window, after corruption has
+               struck but before the health check that would roll it
+               back, and persisting that poison would wedge every resume
+               at the initial health gate.  Fall back to last-known-good
+               instead of checkpointing blind. *)
+            if not (Health.is_clean (Health.check t.state)) then begin
+              Obs.count "resilience.poisoned_stop_rollbacks" 1;
+              restore_good ()
+            end;
             Option.iter (fun dir -> ignore (write_ckpt dir)) checkpoint_dir
         | None -> ())
     | None -> ());
@@ -808,6 +827,12 @@ let run_resilient ?(policy = Retry.default) ?(faults = Faults.none ())
       if Faults.maybe_inject_nan faults ~step:t.nsteps t.state then
         Obs.count "resilience.faults_injected" 1;
       if Faults.maybe_inject_negative faults ~step:t.nsteps t.state then
+        Obs.count "resilience.faults_injected" 1;
+      (* process-level bombs: a crash raises out of the slice (the state and
+         checkpoints on disk are exactly what a SIGKILL would leave); a hang
+         stalls here with the heartbeat frozen, which is the watchdog's cue *)
+      Faults.maybe_crash faults ~step:t.nsteps;
+      if Faults.maybe_hang faults ~step:t.nsteps then
         Obs.count "resilience.faults_injected" 1;
       (* tier 0: repair pointwise negativity right where it appears *)
       (match (limiter, positivity) with

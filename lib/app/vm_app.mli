@@ -108,6 +108,12 @@ val suggest_dt : t -> float
 val step : ?dt:float -> t -> float
 (** Advance one step; returns the dt taken. *)
 
+val set_heartbeat : t -> float Atomic.t option -> unit
+(** Publish liveness into the atomic: the stepper stamps [Obs.now ()] into
+    it after every completed RHS stage, so a watchdog in another domain can
+    distinguish a slow-but-advancing slice from a hung one (compare against
+    the same [Obs.now] clock).  [None] detaches the hook. *)
+
 val run : ?max_steps:int -> ?on_step:(t -> unit) -> t -> tend:float -> unit
 (** Run until [tend].
     @raise Failure if the CFL dt is non-positive or NaN, if dt is too small
@@ -185,7 +191,11 @@ val run_resilient :
     are retained (oldest pruned first).  [supervisor] is polled between
     steps: a stop request (SIGTERM/SIGINT or its [max_wall] budget)
     writes a final checkpoint of the last completed step and returns with
-    [stats.stopped] set — restarting from it is bit-exact.  [faults]
+    [stats.stopped] set — restarting from it is bit-exact.  If the stop
+    lands mid-window with the state already NaN/Inf-poisoned (injected
+    corruption not yet caught by a health check), the run falls back to
+    the last-known-good state before writing that final checkpoint, so a
+    resume never faces a checkpoint it would refuse to start from.  [faults]
     injects deterministic faults ({!Dg_resilience.Faults}).  [on_step]
     fires only on accepted (non-rolled-back) steps.
     @raise Failure when the initial state is already unhealthy, or when

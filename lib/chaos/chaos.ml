@@ -1,0 +1,974 @@
+(* Deterministic chaos campaigns against the live job engine.
+
+   The whole point is REPLAYABILITY: every disruptive act a campaign
+   performs — which jobs carry which fault bombs, what garbage lands in
+   the spool and when, when SIGTERM storms hit, how many checkpoints get
+   corrupted between server lifetimes — is derived up front from
+   [Random.State.make [| seed; ... |]] into a [plan] value, before any
+   simulation runs.  Execution then just interprets the plan.  The only
+   runtime-dependent choice is WHICH parked job a planned corruption
+   lands on (the set of parked jobs depends on wall-clock interleaving),
+   and even that is a deterministic function of the planned draw and the
+   sorted parked set.  [schedule_fingerprint] hashes the serialized plan
+   so tests can assert two runs of the same seed disturb the system
+   identically.
+
+   The invariant battery leans on the fact that every fault class here
+   is PROCESS-level or LADDER-healed: process-level faults (preemption,
+   crash bombs, hang bombs, checkpoint-write bombs, storms, corruption
+   of on-disk checkpoints) never touch in-memory state except by forcing
+   a bit-exact resume, so a job that completes must produce a final
+   checkpoint identical to an undisturbed solo run.  State bombs
+   (NaN / negativity) deliberately alter the trajectory (rollback +
+   dt-shrink heal them), so those jobs are only checked for
+   classification, not bit-exactness. *)
+
+module Job = Dg_serve.Job
+module Engine = Dg_serve.Engine
+module Checkpoint = Dg_resilience.Checkpoint
+module Supervisor = Dg_resilience.Supervisor
+module Faults = Dg_resilience.Faults
+module App = Dg_app.Vm_app
+module Obs = Dg_obs.Obs
+module Json = Obs.Json
+module Field = Dg_grid.Field
+
+(* ------------------------------------------------------------------ *)
+(* Shared invariant checkers                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Invariant = struct
+  (* Pop order of a queue whose every element was pushed before the
+     first pop: priority non-increasing, seq strictly increasing within
+     a priority class.  This is exactly the first-start order the engine
+     must give an initial job batch (requeued preempted jobs re-enter
+     with fresh seqs and only ever run EARLIER than a lower class, never
+     reorder the untouched ones). *)
+  let queue_order pairs =
+    let rec go = function
+      | (p1, s1) :: ((p2, s2) :: _ as rest) ->
+          if p1 < p2 then
+            Error
+              (Printf.sprintf
+                 "priority inversion: prio %d (seq %d) popped before prio %d \
+                  (seq %d)"
+                 p1 s1 p2 s2)
+          else if p1 = p2 && s1 >= s2 then
+            Error
+              (Printf.sprintf
+                 "FIFO violation in priority class %d: seq %d popped before \
+                  seq %d"
+                 p1 s1 s2)
+          else go rest
+      | [] | [ _ ] -> Ok ()
+    in
+    go pairs
+
+  let no_lost_or_dup ~submitted ~out =
+    let sorted = List.sort compare in
+    let sub = sorted submitted and o = sorted out in
+    if sub = o then Ok ()
+    else
+      let diff a b = List.filter (fun x -> not (List.mem x b)) a in
+      let rec dups = function
+        | x :: (y :: _ as rest) -> if x = y then x :: dups rest else dups rest
+        | _ -> []
+      in
+      let missing = diff sub o and extra = diff o sub and doubled = dups o in
+      Error
+        (Printf.sprintf "lost: [%s], alien: [%s], duplicated: [%s]"
+           (String.concat ", " missing)
+           (String.concat ", " extra)
+           (String.concat ", " doubled))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Profiles                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type profile = {
+  name : string;
+  concurrency : int;
+  slice_wall : float;
+  slice_deadline : float;
+  hang_s : float;
+  tend : float;
+  cells_scale : int;
+  cycles : int;
+  storms : int;
+  garbage : int;
+  corruptions : int;
+  plain_jobs : int;
+  nan_jobs : int;
+  neg_jobs : int;
+  crash_jobs : int;
+  hang_jobs : int;
+  enospc_jobs : int;
+  ckpt_crash_jobs : int;
+  wall_jobs : int;
+  doomed_jobs : int;
+}
+
+let smoke =
+  {
+    name = "smoke";
+    concurrency = 3;
+    slice_wall = 0.15;
+    (* every slice rebuilds its app; several concurrent (re)constructions
+       on a small box can stall a healthy slice's first heartbeat well
+       past a second, so the deadline needs generous construction margin *)
+    slice_deadline = 2.0;
+    hang_s = 4.5;
+    tend = 0.25;
+    cells_scale = 1;
+    cycles = 2;
+    storms = 1;
+    garbage = 4;
+    corruptions = 1;
+    plain_jobs = 1;
+    nan_jobs = 1;
+    neg_jobs = 0;
+    crash_jobs = 1;
+    hang_jobs = 1;
+    enospc_jobs = 0;
+    ckpt_crash_jobs = 1;
+    wall_jobs = 0;
+    doomed_jobs = 1;
+  }
+
+let standard =
+  {
+    name = "standard";
+    concurrency = 4;
+    (* tiny slices + doubled grids: enough step boundaries per job that
+       preemption alone contributes well over a hundred faults *)
+    slice_wall = 0.05;
+    slice_deadline = 2.5;
+    hang_s = 5.5;
+    tend = 2.5;
+    cells_scale = 2;
+    cycles = 4;
+    storms = 2;
+    garbage = 12;
+    corruptions = 4;
+    plain_jobs = 2;
+    nan_jobs = 1;
+    neg_jobs = 1;
+    crash_jobs = 1;
+    hang_jobs = 2;
+    enospc_jobs = 1;
+    ckpt_crash_jobs = 1;
+    wall_jobs = 1;
+    doomed_jobs = 1;
+  }
+
+let job_count p =
+  p.plain_jobs + p.nan_jobs + p.neg_jobs + p.crash_jobs + p.hang_jobs
+  + p.enospc_jobs + p.ckpt_crash_jobs + p.wall_jobs + p.doomed_jobs
+
+let validate_profile p =
+  if job_count p < 1 then invalid_arg "chaos profile: no jobs";
+  if p.cycles < 2 then invalid_arg "chaos profile: need >= 2 cycles";
+  if p.storms > p.cycles - 1 then
+    invalid_arg "chaos profile: the last cycle must be storm-free";
+  if p.hang_jobs > 0 && p.hang_s <= p.slice_deadline then
+    invalid_arg "chaos profile: hang_s must exceed slice_deadline";
+  if p.concurrency < 1 then invalid_arg "chaos profile: concurrency >= 1";
+  if p.cells_scale < 1 then invalid_arg "chaos profile: cells_scale >= 1"
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type expected = Exp_done | Exp_failed_nan | Exp_failed_wall
+
+type planned = {
+  job : Job.t;
+  seq : int;
+  expected : expected;
+  bit_exact : bool;
+}
+
+type plan = {
+  planned_jobs : planned list;
+  drops : (int * float * string * string) list;
+  storm_at : (int * float) list;
+  corrupt_plan : (int * int) list;
+}
+
+type fault_class =
+  | Plain
+  | Nan_bomb
+  | Neg_bomb
+  | Crash_bomb
+  | Hang_bomb
+  | Enospc_bomb
+  | Ckpt_crash_bomb
+  | Wall_cap
+  | Doomed
+
+let class_tag = function
+  | Plain -> "plain"
+  | Nan_bomb -> "nan"
+  | Neg_bomb -> "neg"
+  | Crash_bomb -> "crash"
+  | Hang_bomb -> "hang"
+  | Enospc_bomb -> "enospc"
+  | Ckpt_crash_bomb -> "ckptcrash"
+  | Wall_cap -> "wall"
+  | Doomed -> "doomed"
+
+(* cheap, kernel-covered 1x1v scenarios only: the campaign's subject is
+   the server, not the physics *)
+let scenario_pool = [| ("advect", 12, 12); ("landau", 16, 16); ("twostream", 16, 24) |]
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let mk_job rng p seq cls =
+  let scenario, cx0, cv0 = scenario_pool.(Random.State.int rng 3) in
+  let cells_x = cx0 * p.cells_scale and cells_v = cv0 * p.cells_scale in
+  let id = Printf.sprintf "cj%02d-%s" seq (class_tag cls) in
+  let tend = p.tend *. (0.7 +. 0.6 *. Random.State.float rng 1.0) in
+  let priority = Random.State.int rng 4 in
+  let checkpoint_every = 3 + Random.State.int rng 5 in
+  let base ?max_wall ?(tend = tend) ?(check_every = 3) ?(max_retries = 10)
+      ?(max_restores = 2) ?(crash_retries = 3) ?(hang_retries = 2)
+      ?(positivity = `Off) ?fault_nan_step ?fault_neg_step ?fault_crash_step
+      ?fault_hang_step ?(fault_hang_s = 0.0) ?(fault_ckpt_enospc = 0)
+      ?fault_ckpt_crash () =
+    Job.make ~id ~scenario ~cells_x ~cells_v ~poly_order:1 ~tend ~priority
+      ~checkpoint_every ~keep_last:3 ~check_every ~max_retries ~max_restores
+      ~crash_retries ~hang_retries ~positivity ?max_wall ?fault_nan_step
+      ?fault_neg_step ?fault_crash_step ?fault_hang_step ~fault_hang_s
+      ~fault_ckpt_enospc ?fault_ckpt_crash ()
+  in
+  let job, expected, bit_exact =
+    match cls with
+    | Plain -> (base (), Exp_done, true)
+    | Nan_bomb ->
+        (base ~fault_nan_step:(3 + Random.State.int rng 6) (), Exp_done, false)
+    | Neg_bomb ->
+        ( base ~fault_neg_step:(3 + Random.State.int rng 6) ~positivity:`Repair
+            (),
+          Exp_done,
+          false )
+    | Crash_bomb ->
+        (base ~fault_crash_step:(3 + Random.State.int rng 8) (), Exp_done, true)
+    | Hang_bomb ->
+        ( base
+            ~fault_hang_step:(2 + Random.State.int rng 4)
+            ~fault_hang_s:p.hang_s (),
+          Exp_done,
+          true )
+    | Enospc_bomb -> (base ~fault_ckpt_enospc:2 (), Exp_done, true)
+    | Ckpt_crash_bomb ->
+        let crash =
+          if Random.State.bool rng then Faults.Crash_before_rename
+          else Faults.Crash_truncate (8 + Random.State.int rng 64)
+        in
+        (base ~fault_ckpt_crash:crash (), Exp_done, true)
+    | Wall_cap ->
+        ( base ~max_wall:0.25 ~tend:(p.tend *. 4.0) (),
+          Exp_failed_wall,
+          false )
+    | Doomed ->
+        ( base
+            ~fault_nan_step:(3 + Random.State.int rng 4)
+            ~check_every:2 ~max_retries:0 ~max_restores:0 ~crash_retries:0 (),
+          Exp_failed_nan,
+          false )
+  in
+  { job; seq; expected; bit_exact }
+
+(* hostile spool payloads: every rejection path of the admission decoder
+   plus raw binary noise; kind 9 is a VALID job file duplicating an
+   existing id (exercises the duplicate-id admission path, so it must
+   land while its original is live: cycle 0, early) *)
+let garbage_bytes rng kind =
+  match kind with
+  | 0 ->
+      String.init
+        (1 + Random.State.int rng 200)
+        (fun _ -> Char.chr (Random.State.int rng 256))
+  | 1 -> "{\"scenario\": \"landau\", \"cells\": [16, 16"
+  | 2 -> "{\"scenario\": \"landau\", \"cells\": \"big\"}"
+  | 3 -> "{\"scenario\": \"landau\", \"frobnicate\": 1}"
+  | 4 -> "{\"scenario\": \"landau\", \"p\": 9}"
+  | 5 -> String.make (Job.max_file_bytes + 1024) 'x'
+  | 6 -> "{\"scenario\": \"not-a-scenario\"}"
+  | 7 -> "[1, 2, 3]"
+  | _ -> "{\"scenario\": \"landau\", \"tend\": 1e308}"
+
+let plan ~seed p =
+  validate_profile p;
+  let rng = Random.State.make [| 0x5eed; seed; Hashtbl.hash p.name |] in
+  let classes =
+    let rep n c = List.init n (fun _ -> c) in
+    Array.of_list
+      (List.concat
+         [
+           rep p.plain_jobs Plain;
+           rep p.nan_jobs Nan_bomb;
+           rep p.neg_jobs Neg_bomb;
+           rep p.crash_jobs Crash_bomb;
+           rep p.hang_jobs Hang_bomb;
+           rep p.enospc_jobs Enospc_bomb;
+           rep p.ckpt_crash_jobs Ckpt_crash_bomb;
+           rep p.wall_jobs Wall_cap;
+           rep p.doomed_jobs Doomed;
+         ])
+  in
+  shuffle rng classes;
+  let planned_jobs =
+    Array.to_list (Array.mapi (fun i c -> mk_job rng p i c) classes)
+  in
+  let dup_target = (List.hd planned_jobs).job in
+  let drops =
+    List.init p.garbage (fun g ->
+        let kind = Random.State.int rng 10 in
+        if kind = 9 then
+          (* duplicate of a live job: early in cycle 0, well before any
+             storm, so the original is still in the engine's table *)
+          let bytes =
+            Printf.sprintf "{\"id\": %S, \"scenario\": %S, \"tend\": 0.2}"
+              dup_target.Job.id dup_target.Job.scenario
+          in
+          ( 0,
+            0.1 +. Random.State.float rng 0.4,
+            Printf.sprintf "dup-%02d.json" g,
+            bytes )
+        else
+          let cycle = Random.State.int rng p.cycles in
+          let at = 0.2 +. Random.State.float rng 1.2 in
+          (cycle, at, Printf.sprintf "garbage-%02d.json" g,
+           garbage_bytes rng kind))
+  in
+  let storm_at =
+    (* storms hit the FIRST [storms] cycles (cycle 0 included, late
+       enough that duplicate drops have been scanned), so drained work
+       reliably exists for later cycles to resume; the last cycle is
+       storm-free by construction, guaranteeing a full drain *)
+    List.init p.storms (fun c -> (c, 2.2 +. Random.State.float rng 2.0))
+  in
+  let corrupt_plan =
+    List.init p.corruptions (fun _ ->
+        (Random.State.int rng (p.cycles - 1), Random.State.int rng 1_000_000))
+  in
+  { planned_jobs; drops; storm_at; corrupt_plan }
+
+(* FNV-1a 64 over the serialized plan: cheap, dependency-free, stable *)
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let serialize_plan pl =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun pj ->
+      Buffer.add_string b
+        (Printf.sprintf "job %d %s %s %d\n" pj.seq
+           (Json.to_string (Job.to_json pj.job))
+           (match pj.expected with
+           | Exp_done -> "done"
+           | Exp_failed_nan -> "failed-nan"
+           | Exp_failed_wall -> "failed-wall")
+           (Bool.to_int pj.bit_exact)))
+    pl.planned_jobs;
+  List.iter
+    (fun (c, at, f, bytes) ->
+      Buffer.add_string b
+        (Printf.sprintf "drop %d %.6f %s %s\n" c at f (fnv1a64 bytes)))
+    pl.drops;
+  List.iter
+    (fun (c, at) -> Buffer.add_string b (Printf.sprintf "storm %d %.6f\n" c at))
+    pl.storm_at;
+  List.iter
+    (fun (c, d) -> Buffer.add_string b (Printf.sprintf "corrupt %d %d\n" c d))
+    pl.corrupt_plan;
+  Buffer.contents b
+
+let schedule_fingerprint ~seed p = fnv1a64 (serialize_plan (plan ~seed p))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign reports                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type check = { check_name : string; ok : bool; detail : string }
+
+type report = {
+  seed : int;
+  profile_name : string;
+  fingerprint : string;
+  wall_s : float;
+  jobs : int;
+  faults_injected : int;
+  invariant_checks : int;
+  violations : check list;
+  preempts : int;
+  crashes : int;
+  watchdog_hangs : int;
+  slots_quarantined : int;
+  admission_rejects : int;
+  storms_run : int;
+  garbage_dropped : int;
+  corruptions_done : int;
+  recovery_overhead : float;
+}
+
+let passed r = r.violations = []
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+(* atomic spool drop: the scanner must never see a half-written file
+   under its final name (non-atomic partial reads are the READ-retry
+   path's job, which has its own test) *)
+let drop_file ~dir ~name bytes =
+  let tmp = Filename.concat dir (name ^ ".droptmp") in
+  let oc = open_out_bin tmp in
+  output_string oc bytes;
+  close_out oc;
+  Sys.rename tmp (Filename.concat dir name)
+
+let read_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let lines = go [] in
+    close_in ic;
+    lines
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bit-exactness                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bits = Int64.bits_of_float
+
+let same_checkpoint patha pathb =
+  let fa, sa, ta = Checkpoint.read patha in
+  let fb, sb, tb = Checkpoint.read pathb in
+  if sa <> sb then Error (Printf.sprintf "step %d vs %d" sa sb)
+  else if not (Int64.equal (bits ta) (bits tb)) then
+    Error (Printf.sprintf "time %.17g vs %.17g" ta tb)
+  else if List.length fa <> List.length fb then
+    Error
+      (Printf.sprintf "field count %d vs %d" (List.length fa)
+         (List.length fb))
+  else
+    let mismatch = ref None in
+    List.iteri
+      (fun fi (x, y) ->
+        let dx = Field.data x and dy = Field.data y in
+        if Array.length dx <> Array.length dy then
+          mismatch := Some (Printf.sprintf "field %d: size mismatch" fi)
+        else if !mismatch = None then
+          Array.iteri
+            (fun i v ->
+              if !mismatch = None && not (Int64.equal (bits v) (bits dy.(i)))
+              then
+                mismatch :=
+                  Some
+                    (Printf.sprintf "field %d word %d: %.17g vs %.17g" fi i v
+                       dy.(i)))
+            dx)
+      (List.combine fa fb);
+    match !mismatch with None -> Ok () | Some m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Reference pass                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let strip_faults (j : Job.t) =
+  {
+    j with
+    Job.fault_nan_step = None;
+    fault_neg_step = None;
+    fault_crash_step = None;
+    fault_hang_step = None;
+    fault_hang_s = 0.0;
+    fault_ckpt_enospc = 0;
+    fault_ckpt_crash = None;
+  }
+
+(* one undisturbed solo run of [job] (faults stripped), mirroring the
+   engine's slice body exactly: create_resumable + run_resilient + a
+   final checkpoint as the result artifact.  Returns supervised wall
+   seconds. *)
+let reference_run ~ref_root pj =
+  let j = strip_faults pj.job in
+  let dir = Checkpoint.job_dir ~root:ref_root ~job:j.Job.id in
+  let app, _ = App.create_resumable (Job.spec j) ~checkpoint_dir:dir in
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    App.run_resilient app ~policy:(Job.policy j) ~positivity:j.Job.positivity
+      ~checkpoint_every:j.Job.checkpoint_every ~checkpoint_dir:dir
+      ?keep_last:j.Job.keep_last ~max_steps:j.Job.max_steps ~tend:j.Job.tend
+  in
+  if stats.Dg_resilience.Retry.stopped = None then
+    ignore (App.checkpoint app ~dir);
+  (dir, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign execution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let corrupt_checkpoint ~draw path =
+  let len = (Unix.stat path).Unix.st_size in
+  if draw mod 2 = 0 && len > 8 then begin
+    (* truncate to roughly half *)
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    Unix.ftruncate fd (len / 2);
+    Unix.close fd
+  end
+  else begin
+    (* flip one byte in the middle *)
+    let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+    let pos = max 0 (len / 2) in
+    ignore (Unix.lseek fd pos Unix.SEEK_SET);
+    let b = Bytes.create 1 in
+    let n = Unix.read fd b 0 1 in
+    let v = if n = 1 then Bytes.get_uint8 b 0 else 0 in
+    Bytes.set_uint8 b 0 (v lxor 0x5a);
+    ignore (Unix.lseek fd pos Unix.SEEK_SET);
+    ignore (Unix.write fd b 0 1);
+    Unix.close fd
+  end
+
+let parse_first_starts status_path =
+  (* ids in first-"started" order from a cycle's status JSONL; resumed
+     slices emit "restarted", so "started" is exactly first-start *)
+  let seen = Hashtbl.create 16 in
+  let str k json =
+    match Json.member k json with Some (Json.Str s) -> Some s | _ -> None
+  in
+  List.filter_map
+    (fun line ->
+      match Json.parse line with
+      | exception Json.Parse_error _ -> None
+      | json ->
+          if str "kind" json = Some "job" && str "event" json = Some "started"
+          then (
+            match str "id" json with
+            | Some id when not (Hashtbl.mem seen id) ->
+                Hashtbl.replace seen id ();
+                Some id
+            | _ -> None)
+          else None)
+    (read_lines status_path)
+
+let run_campaign ?root ?(log = fun _ -> ()) ~seed p =
+  validate_profile p;
+  Obs.enable ();
+  App.Solver.enable_kernel_cache ();
+  let pl = plan ~seed p in
+  let fingerprint = fnv1a64 (serialize_plan pl) in
+  let auto_root = root = None in
+  let root =
+    match root with
+    | Some r -> r
+    | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "dg_chaos_%d_%d" (Unix.getpid ()) seed)
+  in
+  rm_rf root;
+  let ref_root = Filename.concat root "reference" in
+  let chaos_root = Filename.concat root "chaos" in
+  let spool = Filename.concat root "spool" in
+  mkdir_p ref_root;
+  mkdir_p chaos_root;
+  mkdir_p spool;
+  let t0 = Unix.gettimeofday () in
+  let bombs0 = Obs.counter_value "resilience.faults_injected" in
+
+  (* invariant bookkeeping *)
+  let violations = ref [] in
+  let nchecks = ref 0 in
+  let check name ok detail =
+    incr nchecks;
+    Obs.count "chaos.invariant_checks" 1;
+    if not ok then begin
+      violations := { check_name = name; ok; detail } :: !violations;
+      log (Printf.sprintf "VIOLATION %s: %s" name detail)
+    end
+  in
+
+  (* 1. reference pass: every bit-exactness candidate, solo, no faults *)
+  let references = Hashtbl.create 16 in
+  let ref_wall = ref 0.0 in
+  List.iter
+    (fun pj ->
+      if pj.bit_exact then begin
+        let dir, w = reference_run ~ref_root pj in
+        Hashtbl.replace references pj.job.Job.id dir;
+        ref_wall := !ref_wall +. w
+      end)
+    pl.planned_jobs;
+  log
+    (Printf.sprintf "reference pass: %d undisturbed runs, %.1fs"
+       (Hashtbl.length references) !ref_wall);
+
+  (* 2. chaos cycles *)
+  let outcomes : (string, Engine.outcome) Hashtbl.t = Hashtbl.create 32 in
+  let cum_wall : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let pending = ref pl.planned_jobs in
+  let preempts = ref 0 in
+  let crashes = ref 0 in
+  let hangs = ref 0 in
+  let quarantined = ref 0 in
+  let rejects = ref 0 in
+  let storms_run = ref 0 in
+  let garbage_dropped = ref 0 in
+  let dups_dropped = ref 0 in
+  let corruptions_done = ref 0 in
+  let seq_of = Hashtbl.create 32 in
+  let prio_of = Hashtbl.create 32 in
+  List.iter
+    (fun pj ->
+      Hashtbl.replace seq_of pj.job.Job.id pj.seq;
+      Hashtbl.replace prio_of pj.job.Job.id pj.job.Job.priority)
+    pl.planned_jobs;
+  let server_ok = ref true in
+  for cycle = 0 to p.cycles - 1 do
+    if !pending <> [] && !server_ok then begin
+      let batch =
+        List.sort (fun a b -> compare a.seq b.seq) !pending
+        |> List.map (fun pj -> pj.job)
+      in
+      let status_path =
+        Filename.concat root (Printf.sprintf "status_%d.jsonl" cycle)
+      in
+      let cfg =
+        {
+          (Engine.default_config ~root:chaos_root) with
+          Engine.concurrency = p.concurrency;
+          slice_wall = p.slice_wall;
+          slice_deadline = p.slice_deadline;
+          poll_interval = 0.005;
+          status_path = Some status_path;
+          status_every = 300.0;
+          progress_every = 1_000_000;
+          spool = Some spool;
+          exit_on_idle = true;
+        }
+      in
+      let sup = Supervisor.create () in
+      let script =
+        List.filter_map
+          (fun (c, at, f, bytes) ->
+            if c = cycle then Some (at, `Drop (f, bytes)) else None)
+          pl.drops
+        @ List.filter_map
+            (fun (c, at) -> if c = cycle then Some (at, `Storm) else None)
+            pl.storm_at
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let disruptor =
+        (* counters touched here are read by the scheduler thread only
+           after [Domain.join] below *)
+        Domain.spawn (fun () ->
+            let start = Unix.gettimeofday () in
+            List.iter
+              (fun (at, act) ->
+                let wait = start +. at -. Unix.gettimeofday () in
+                if wait > 0.0 then Unix.sleepf wait;
+                match act with
+                | `Drop (name, bytes) ->
+                    drop_file ~dir:spool ~name bytes;
+                    incr garbage_dropped;
+                    if String.length name >= 4 && String.sub name 0 4 = "dup-"
+                    then incr dups_dropped
+                | `Storm ->
+                    Supervisor.request_stop sup "SIGTERM";
+                    incr storms_run)
+              script)
+      in
+      log
+        (Printf.sprintf "cycle %d: %d jobs, %d scripted disruptions" cycle
+           (List.length batch) (List.length script));
+      let summary =
+        try Some (Engine.run ~jobs:batch ~supervisor:sup cfg)
+        with exn ->
+          check "server-survives" false
+            (Printf.sprintf "cycle %d: Engine.run raised %s" cycle
+               (Printexc.to_string exn));
+          server_ok := false;
+          None
+      in
+      Domain.join disruptor;
+      match summary with
+      | None -> ()
+      | Some s ->
+          check "server-survives" true "";
+          preempts := !preempts + s.Engine.total_preempts;
+          hangs := !hangs + s.Engine.watchdog_hangs;
+          quarantined := !quarantined + s.Engine.slots_quarantined;
+          rejects := !rejects + s.Engine.admission_rejects;
+          let next = ref [] in
+          List.iter
+            (fun (r : Engine.record) ->
+              let id = r.Engine.job.Job.id in
+              crashes := !crashes + r.Engine.crash_retries_used;
+              Hashtbl.replace cum_wall id
+                ((try Hashtbl.find cum_wall id with Not_found -> 0.0)
+                +. r.Engine.wall_s);
+              (match r.Engine.job.Job.max_wall with
+              | Some w ->
+                  (* stop requests land on step boundaries, so the budget
+                     can overshoot by app construction plus one
+                     inter-boundary gap — anything slower than the
+                     watchdog deadline is a hang, not an overshoot *)
+                  check "wall-budget"
+                    (r.Engine.wall_s
+                    <= w +. p.slice_deadline +. (2.0 *. p.slice_wall))
+                    (Printf.sprintf
+                       "%s: %.2fs supervised against a %.2fs budget" id
+                       r.Engine.wall_s w)
+              | None -> ());
+              match r.Engine.outcome with
+              | Engine.Done | Engine.Failed _ ->
+                  check "no-duplicate-completion"
+                    (not (Hashtbl.mem outcomes id))
+                    (Printf.sprintf "%s reached a terminal state twice" id);
+                  Hashtbl.replace outcomes id r.Engine.outcome
+              | Engine.Drained -> (
+                  match
+                    List.find_opt
+                      (fun pj -> pj.job.Job.id = id)
+                      pl.planned_jobs
+                  with
+                  | Some pj -> next := pj :: !next
+                  | None -> ()))
+            s.Engine.records;
+          pending := !next;
+          (* 3. between-cycle checkpoint corruption of parked jobs *)
+          if cycle < p.cycles - 1 then begin
+            let victims =
+              List.sort compare (List.map (fun pj -> pj.job.Job.id) !pending)
+            in
+            List.iter
+              (fun (ac, draw) ->
+                if ac = cycle && victims <> [] then begin
+                  let id = List.nth victims (draw mod List.length victims) in
+                  let dir = Checkpoint.job_dir ~root:chaos_root ~job:id in
+                  match Checkpoint.find_latest ~dir with
+                  | Some info ->
+                      corrupt_checkpoint ~draw info.Checkpoint.path;
+                      incr corruptions_done;
+                      log
+                        (Printf.sprintf "corrupted %s (%s)"
+                           info.Checkpoint.path
+                           (if draw mod 2 = 0 then "truncated" else
+                              "bit-flipped"))
+                  | None -> ()
+                end)
+              pl.corrupt_plan
+          end
+    end
+  done;
+
+  (* 4. final spool sweep: late-dropped garbage must still be rejected by
+     an otherwise idle server, not crash it or linger as pending *)
+  if !server_ok then begin
+    let cfg =
+      {
+        (Engine.default_config ~root:chaos_root) with
+        Engine.concurrency = p.concurrency;
+        poll_interval = 0.005;
+        spool = Some spool;
+        exit_on_idle = true;
+      }
+    in
+    match Engine.run ~jobs:[] cfg with
+    | s -> rejects := !rejects + s.Engine.admission_rejects
+    | exception exn ->
+        check "server-survives" false
+          (Printf.sprintf "spool sweep: Engine.run raised %s"
+             (Printexc.to_string exn))
+  end;
+
+  (* 5. invariant battery *)
+  let planned_ids = List.map (fun pj -> pj.job.Job.id) pl.planned_jobs in
+  let terminal_ids = Hashtbl.fold (fun id _ acc -> id :: acc) outcomes [] in
+  (match Invariant.no_lost_or_dup ~submitted:planned_ids ~out:terminal_ids with
+  | Ok () -> check "no-lost-or-duplicated-jobs" true ""
+  | Error m -> check "no-lost-or-duplicated-jobs" false m);
+  List.iter
+    (fun pj ->
+      let id = pj.job.Job.id in
+      match (Hashtbl.find_opt outcomes id, pj.expected) with
+      | Some Engine.Done, Exp_done -> check "classification" true ""
+      | Some (Engine.Failed why), Exp_failed_wall ->
+          check "classification"
+            (let lower = String.lowercase_ascii why in
+             let has needle =
+               let nl = String.length needle and wl = String.length lower in
+               let rec at i = i + nl <= wl && (String.sub lower i nl = needle || at (i + 1)) in
+               at 0
+             in
+             has "max_wall" || has "max-wall")
+            (Printf.sprintf "%s failed for the wrong reason: %s" id why)
+      | Some (Engine.Failed _), Exp_failed_nan -> check "classification" true ""
+      | (Some _ | None), _ ->
+          check "classification" false
+            (Printf.sprintf "%s: expected %s, got %s" id
+               (match pj.expected with
+               | Exp_done -> "Done"
+               | Exp_failed_nan -> "Failed (NaN abort)"
+               | Exp_failed_wall -> "Failed (max_wall)")
+               (match Hashtbl.find_opt outcomes id with
+               | Some o -> Engine.outcome_to_string o
+               | None -> "no terminal outcome")))
+    pl.planned_jobs;
+  (* bit-exactness: process-level faults must not perturb the result *)
+  let chaos_wall_bitexact = ref 0.0 in
+  List.iter
+    (fun pj ->
+      let id = pj.job.Job.id in
+      if pj.bit_exact && Hashtbl.find_opt outcomes id = Some Engine.Done then begin
+        chaos_wall_bitexact :=
+          !chaos_wall_bitexact
+          +. (try Hashtbl.find cum_wall id with Not_found -> 0.0);
+        let ref_dir = Hashtbl.find references id in
+        let chaos_dir = Checkpoint.job_dir ~root:chaos_root ~job:id in
+        match
+          (Checkpoint.find_latest ~dir:ref_dir,
+           Checkpoint.find_latest ~dir:chaos_dir)
+        with
+        | Some a, Some b -> (
+            match same_checkpoint a.Checkpoint.path b.Checkpoint.path with
+            | Ok () -> check "bit-exact-final-checkpoint" true ""
+            | Error m ->
+                check "bit-exact-final-checkpoint" false
+                  (Printf.sprintf "%s: %s" id m))
+        | _ ->
+            check "bit-exact-final-checkpoint" false
+              (Printf.sprintf "%s: missing final checkpoint" id)
+      end)
+    pl.planned_jobs;
+  (* queue discipline: cycle 0's first-start order over the full batch *)
+  let starts = parse_first_starts (Filename.concat root "status_0.jsonl") in
+  let start_pairs =
+    List.filter_map
+      (fun id ->
+        match (Hashtbl.find_opt prio_of id, Hashtbl.find_opt seq_of id) with
+        | Some p, Some s -> Some (p, s)
+        | _ -> None)
+      starts
+  in
+  (match Invariant.queue_order start_pairs with
+  | Ok () ->
+      check "queue-priority-fifo"
+        (start_pairs <> [])
+        "no started events recorded in cycle 0"
+  | Error m -> check "queue-priority-fifo" false m);
+  (* the watchdog caught every planted hang *)
+  check "watchdog-caught-hangs"
+    (!hangs >= p.hang_jobs)
+    (Printf.sprintf "planted %d hangs, watchdog detected %d" p.hang_jobs !hangs);
+  (* every hostile spool file was structurally rejected; duplicate drops
+     can only be rejected while their original is live, so they are a
+     lower bound witness, not a hard requirement *)
+  check "garbage-rejected"
+    (!rejects >= !garbage_dropped - !dups_dropped)
+    (Printf.sprintf
+       "dropped %d hostile files (%d duplicates), admission rejected %d"
+       !garbage_dropped !dups_dropped !rejects);
+
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let bombs = Obs.counter_value "resilience.faults_injected" -. bombs0 in
+  let faults_injected =
+    !preempts + int_of_float bombs + !storms_run + !garbage_dropped
+    + !corruptions_done
+  in
+  Obs.count "chaos.faults_injected" faults_injected;
+  let recovery_overhead =
+    if !chaos_wall_bitexact > 0.0 then
+      Float.max 0.0 ((!chaos_wall_bitexact -. !ref_wall) /. !chaos_wall_bitexact)
+    else 0.0
+  in
+  let report =
+    {
+      seed;
+      profile_name = p.name;
+      fingerprint;
+      wall_s;
+      jobs = List.length pl.planned_jobs;
+      faults_injected;
+      invariant_checks = !nchecks;
+      violations = List.rev !violations;
+      preempts = !preempts;
+      crashes = !crashes;
+      watchdog_hangs = !hangs;
+      slots_quarantined = !quarantined;
+      admission_rejects = !rejects;
+      storms_run = !storms_run;
+      garbage_dropped = !garbage_dropped;
+      corruptions_done = !corruptions_done;
+      recovery_overhead;
+    }
+  in
+  if auto_root && passed report then rm_rf root
+  else if not (passed report) then
+    log (Printf.sprintf "campaign artifacts kept under %s" root);
+  report
+
+let pp_report fmt r =
+  Format.fprintf fmt "chaos campaign %s: seed=%d fingerprint=%s@,"
+    r.profile_name r.seed r.fingerprint;
+  Format.fprintf fmt
+    "  %d jobs, %d faults injected (%d preempts, %d crash retries, %d hangs, \
+     %d storms, %d garbage, %d corruptions)@,"
+    r.jobs r.faults_injected r.preempts r.crashes r.watchdog_hangs
+    r.storms_run r.garbage_dropped r.corruptions_done;
+  Format.fprintf fmt
+    "  %d invariant checks, %d rejects at admission, %d slots quarantined, \
+     recovery overhead %.0f%%, %.1fs wall@,"
+    r.invariant_checks r.admission_rejects r.slots_quarantined
+    (100.0 *. r.recovery_overhead)
+    r.wall_s;
+  if passed r then Format.fprintf fmt "  all invariants green@,"
+  else begin
+    Format.fprintf fmt "  %d INVARIANT VIOLATION(S):@,"
+      (List.length r.violations);
+    List.iter
+      (fun c -> Format.fprintf fmt "    %s: %s@," c.check_name c.detail)
+      r.violations;
+    Format.fprintf fmt
+      "  replay the identical schedule: vmdg chaos --seed %d --profile %s@,"
+      r.seed r.profile_name
+  end

@@ -1,0 +1,151 @@
+(** Deterministic chaos campaigns against the live {!Dg_serve.Engine}.
+
+    A campaign derives its {e entire} fault schedule — job mix, fault-bomb
+    parameters, garbage spool drops, SIGTERM storms, between-cycle
+    checkpoint corruption — as a pure function of [(seed, profile)] before
+    anything runs, so any invariant failure is replayable by rerunning the
+    same seed.  Execution then:
+
+    + runs every bit-exactness candidate {e solo and undisturbed} (faults
+      stripped, no preemption) to produce reference final checkpoints;
+    + runs the chaotic schedule through [Engine.run] over several server
+      lifetimes (cycles), with a disruptor domain dropping spool garbage
+      and storming SIGTERM mid-flight, and checkpoints of parked jobs
+      corrupted between cycles;
+    + sweeps the spool once more with an empty engine (late-dropped
+      garbage must still be rejected, not crash the server);
+    + checks the invariant battery: the server survived every cycle, no
+      job was lost or completed twice, every job's final classification
+      matches the plan, completed process-fault jobs' final checkpoints
+      are bit-exact against the references, the first-start order of the
+      initial batch respects queue priority/FIFO, per-run wall budgets
+      were honored, and the watchdog caught every planted hang.
+
+    Counted via {!Dg_obs.Obs}: [chaos.faults_injected] and
+    [chaos.invariant_checks]. *)
+
+(** {1 Shared invariant checkers}
+
+    Used both by the campaign battery and by the property tests over
+    {!Dg_serve.Jobq}, so the queue discipline is specified in one place. *)
+module Invariant : sig
+  val queue_order : (int * int) list -> (unit, string) result
+  (** [(priority, seq)] pairs in pop (or first-start) order, where every
+      pair was enqueued before the first pop: [Ok] iff priority is
+      non-increasing and seq is increasing within each priority class. *)
+
+  val no_lost_or_dup :
+    submitted:string list -> out:string list -> (unit, string) result
+  (** Multiset equality of ids: nothing lost, nothing duplicated. *)
+end
+
+(** {1 Profiles} *)
+
+type profile = {
+  name : string;
+  concurrency : int;
+  slice_wall : float;  (** tiny => a preemption fault at almost every boundary *)
+  slice_deadline : float;  (** watchdog deadline; < [hang_s] *)
+  hang_s : float;  (** planted hang duration *)
+  tend : float;  (** base simulation end time per job *)
+  cells_scale : int;  (** multiplier on the scenario pool's grid sizes *)
+  cycles : int;  (** server lifetimes (kill/restart) per campaign *)
+  storms : int;  (** cycles ended by a SIGTERM storm (never first or last) *)
+  garbage : int;  (** hostile spool files dropped mid-flight *)
+  corruptions : int;  (** parked-job checkpoints corrupted between cycles *)
+  plain_jobs : int;  (** no-fault control jobs (bit-exactness candidates) *)
+  nan_jobs : int;  (** NaN bomb, healed by the retry ladder *)
+  neg_jobs : int;  (** negativity bomb, healed by the tier-0 limiter *)
+  crash_jobs : int;  (** slice-killing crash bomb, healed by crash retry *)
+  hang_jobs : int;  (** hang bomb, healed by the watchdog + requeue *)
+  enospc_jobs : int;  (** checkpoint-write ENOSPC bombs *)
+  ckpt_crash_jobs : int;  (** crash-during-checkpoint-write bombs *)
+  wall_jobs : int;  (** undersized max_wall => deterministic Failed *)
+  doomed_jobs : int;  (** NaN bomb with a zeroed ladder => deterministic Failed *)
+}
+
+val smoke : profile
+(** Small fixed campaign (~10 s): 6 jobs, 2 cycles, a few dozen faults —
+    the [@chaos] CI gate. *)
+
+val standard : profile
+(** The acceptance campaign: >= 8 concurrent jobs, >= 200 injected faults
+    across every fault class. *)
+
+val job_count : profile -> int
+(** Total jobs the profile plans (sum of the per-class counts). *)
+
+(** {1 Plans} *)
+
+type expected = Exp_done | Exp_failed_nan | Exp_failed_wall
+
+type planned = {
+  job : Dg_serve.Job.t;
+  seq : int;  (** submission position (= Jobq seq of the initial batch) *)
+  expected : expected;
+  bit_exact : bool;
+      (** process-level faults only: the final checkpoint must match an
+          undisturbed reference bit for bit *)
+}
+
+type plan = {
+  planned_jobs : planned list;
+  drops : (int * float * string * string) list;
+      (** (cycle, at-seconds, filename, bytes) spool drops *)
+  storm_at : (int * float) list;  (** (cycle, at-seconds) SIGTERM storms *)
+  corrupt_plan : (int * int) list;
+      (** (after-cycle, rng draw) — the victim is picked deterministically
+          from the jobs still parked when the cycle ends *)
+}
+
+val plan : seed:int -> profile -> plan
+(** Pure: same seed and profile, same plan — always. *)
+
+val schedule_fingerprint : seed:int -> profile -> string
+(** Stable hex digest of the full serialized plan; two runs with the same
+    seed must print the same fingerprint (the replay determinism check). *)
+
+(** {1 Campaigns} *)
+
+type check = { check_name : string; ok : bool; detail : string }
+
+type report = {
+  seed : int;
+  profile_name : string;
+  fingerprint : string;
+  wall_s : float;
+  jobs : int;
+  faults_injected : int;
+      (** preempts + state/crash/hang bombs fired + checkpoint-write bombs
+          + garbage drops + storms + corruptions *)
+  invariant_checks : int;
+  violations : check list;  (** empty = campaign green *)
+  preempts : int;
+  crashes : int;
+  watchdog_hangs : int;
+  slots_quarantined : int;
+  admission_rejects : int;
+  storms_run : int;
+  garbage_dropped : int;
+  corruptions_done : int;
+  recovery_overhead : float;
+      (** (chaotic wall - reference wall) / chaotic wall over the
+          bit-exact cohort: the fraction of chaotic wall time spent
+          redoing or defending work *)
+}
+
+val passed : report -> bool
+
+val run_campaign :
+  ?root:string -> ?log:(string -> unit) -> seed:int -> profile -> report
+(** Run one full campaign.  [root] (default: a seed-named directory under
+    the system temp dir, removed afterwards) holds the reference
+    checkpoints, the chaos checkpoint root, the spool, and the per-cycle
+    status streams.  [log] receives one-line progress notes.  Enables
+    {!Dg_obs.Obs} counters.  Never raises on invariant violations — they
+    come back in [report.violations]; the seed in the report replays the
+    identical schedule. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable campaign summary; on violation it prints the replay
+    hint ([vmdg chaos --seed N --profile P]). *)

@@ -83,3 +83,6 @@ module Scenarios = Dg_scenarios.Scenarios
 module Job = Dg_serve.Job
 module Jobq = Dg_serve.Jobq
 module Engine = Dg_serve.Engine
+
+(* deterministic chaos campaigns against the job engine (vmdg chaos) *)
+module Chaos = Dg_chaos.Chaos

@@ -79,18 +79,54 @@ let read_string ic =
     failwith (Printf.sprintf "Snapshot: implausible string length %d" n);
   really_input_string ic n
 
-(* Grid header + coefficient data shared by both versions. *)
+(* Grid header + coefficient data shared by both versions.  Every header
+   word is range-checked BEFORE any allocation it sizes, and the implied
+   coefficient count is checked against the bytes actually left in the
+   channel — a garbage header must produce a clean [Failure], never an
+   out-of-memory allocation, an [Invalid_argument] from grid construction,
+   or a silently short read. *)
 let read_body ic =
   let ndim = input_binary_int ic in
   if ndim < 1 || ndim > 16 then
     failwith (Printf.sprintf "Snapshot: implausible ndim %d" ndim);
   let cells = Array.init ndim (fun _ -> input_binary_int ic) in
+  Array.iter
+    (fun n ->
+      if n < 1 || n > 1 lsl 20 then
+        failwith (Printf.sprintf "Snapshot: implausible cell count %d" n))
+    cells;
   let ncomp = input_binary_int ic in
+  if ncomp < 1 || ncomp > 65536 then
+    failwith (Printf.sprintf "Snapshot: implausible ncomp %d" ncomp);
   let nghost = input_binary_int ic in
+  if nghost < 0 || nghost > 16 then
+    failwith (Printf.sprintf "Snapshot: implausible nghost %d" nghost);
   let lower = Array.init ndim (fun _ -> read_float ic) in
   let upper = Array.init ndim (fun _ -> read_float ic) in
-  let grid = Grid.make ~cells ~lower ~upper in
-  let f = Field.create ~nghost grid ~ncomp in
+  Array.iteri
+    (fun d lo ->
+      if not (Float.is_finite lo && Float.is_finite upper.(d) && lo < upper.(d))
+      then failwith "Snapshot: implausible domain bounds")
+    lower;
+  (* coefficient count implied by the header, computed in float so a hostile
+     header cannot overflow the check itself *)
+  let implied =
+    Array.fold_left
+      (fun acc n -> acc *. float_of_int (n + (2 * nghost)))
+      (float_of_int ncomp) cells
+  in
+  let available =
+    try Some (float_of_int (in_channel_length ic - pos_in ic) /. 8.0)
+    with Sys_error _ -> None (* non-seekable channel: skip the length check *)
+  in
+  (match available with
+  | Some avail when implied > avail ->
+      failwith "Snapshot: truncated file (header larger than payload)"
+  | _ -> ());
+  let f =
+    try Field.create ~nghost (Grid.make ~cells ~lower ~upper) ~ncomp
+    with Invalid_argument m -> failwith ("Snapshot: invalid header: " ^ m)
+  in
   let d = Field.data f in
   for i = 0 to Array.length d - 1 do
     d.(i) <- read_float ic

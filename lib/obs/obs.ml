@@ -590,11 +590,29 @@ let read_jsonl path =
 module Report = struct
   type row = { mutable r_count : int; mutable r_total : float; mutable r_max : float }
 
-  (* Aggregate all span records of all "step" (and "summary") events. *)
+  (* Aggregate all span records of all "step" (and "summary") events.
+     Counter objects are summed across every record that carries one —
+     each step record holds only its own step's deltas (the aggregator is
+     reset per record), so the sum is the run total.  This is where
+     resilience/watchdog/admission/chaos counts become visible in
+     trace-report without any extra plumbing. *)
   let aggregate records =
     let rows : (string, row) Hashtbl.t = Hashtbl.create 64 in
+    let counters : (string, float ref) Hashtbl.t = Hashtbl.create 16 in
     let steps = ref 0 and wall = ref 0.0 in
     let manifest = ref None in
+    let add_counters r =
+      match Json.member "counters" r with
+      | Some (Json.Obj kvs) ->
+          List.iter
+            (fun (k, v) ->
+              let x = Json.to_float (Some v) in
+              match Hashtbl.find_opt counters k with
+              | Some acc -> acc := !acc +. x
+              | None -> Hashtbl.add counters k (ref x))
+            kvs
+      | _ -> ()
+    in
     List.iter
       (fun r ->
         match Json.member "kind" r with
@@ -602,6 +620,7 @@ module Report = struct
         | Some (Json.Str "step") ->
             incr steps;
             wall := !wall +. Json.to_float (Json.member "wall_s" r);
+            add_counters r;
             let spans =
               match Json.member "spans" r with Some (Json.List l) -> l | _ -> []
             in
@@ -620,14 +639,15 @@ module Report = struct
                     Hashtbl.add rows name
                       { r_count = count; r_total = total; r_max = mx })
               spans
+        | Some (Json.Str _) -> add_counters r
         | _ -> ())
       records;
-    (rows, !steps, !wall, !manifest)
+    (rows, counters, !steps, !wall, !manifest)
 
   let print ?(out = stdout) path =
     let pr fmt = Printf.fprintf out fmt in
     let records = read_jsonl path in
-    let rows, steps, wall, manifest = aggregate records in
+    let rows, counters, steps, wall, manifest = aggregate records in
     (match manifest with
     | Some (Json.Obj kvs) ->
         pr "run manifest:\n";
@@ -656,6 +676,18 @@ module Report = struct
           (1e6 *. row.r_max)
           (100.0 *. row.r_total /. Float.max 1e-12 wall))
       all;
+    let counts =
+      Hashtbl.fold (fun name acc l -> (name, !acc) :: l) counters []
+      |> List.sort compare
+    in
+    if counts <> [] then begin
+      pr "\n%-44s %14s\n" "counter" "total";
+      List.iter
+        (fun (name, v) ->
+          if Float.is_integer v then pr "%-44s %14.0f\n" name v
+          else pr "%-44s %14.3f\n" name v)
+        counts
+    end;
     (* accounting: top-level spans vs measured wall time *)
     let top =
       List.fold_left

@@ -143,7 +143,9 @@ val read_jsonl : string -> Json.t list
 module Report : sig
   val print : ?out:out_channel -> string -> float
   (** Pretty-print a JSONL trace: manifest, per-span aggregate table
-      (count/total/mean/max/%%-of-wall, indented by nesting depth).
-      Returns the fraction of measured wall time accounted for by
-      top-level spans. *)
+      (count/total/mean/max/%%-of-wall, indented by nesting depth), and a
+      counter-totals table summing the ["counters"] object of every record
+      — this is where resilience, watchdog, admission, and chaos counts
+      surface.  Returns the fraction of measured wall time accounted for
+      by top-level spans. *)
 end

@@ -141,7 +141,7 @@ module Budget = struct
   type sub = { workers : int; pool : pool }
 
   type budget = {
-    total : int;
+    mutable total : int;
     mutable avail : int;
     lock : Mutex.t;
   }
@@ -150,7 +150,7 @@ module Budget = struct
     if total < 1 then invalid_arg "Pool.Budget.make: total must be >= 1";
     { total; avail = total; lock = Mutex.create () }
 
-  let total b = b.total
+  let total b = Mutex.protect b.lock (fun () -> b.total)
 
   let available b = Mutex.protect b.lock (fun () -> b.avail)
 
@@ -158,9 +158,9 @@ module Budget = struct
      most serialize the machine, never deadlock the queue. *)
   let try_acquire b ~workers =
     if workers < 1 then invalid_arg "Pool.Budget.try_acquire: workers >= 1";
-    let w = min workers b.total in
     Mutex.protect b.lock (fun () ->
-        if b.avail >= w then begin
+        let w = min workers b.total in
+        if w >= 1 && b.avail >= w then begin
           b.avail <- b.avail - w;
           Some { workers = w; pool = create ~nworkers:w }
         end
@@ -169,6 +169,17 @@ module Budget = struct
   let release b sub =
     Mutex.protect b.lock (fun () ->
         b.avail <- min b.total (b.avail + sub.workers))
+
+  (* Permanently surrender a reservation's slots: the budget's total shrinks
+     so the slots are never handed out again.  Used to quarantine workers
+     stuck in an unkillable computation (a hung slice's domain cannot be
+     force-terminated, so its slots must not be reused).  The total may
+     legitimately reach 0 — callers decide what to do when no capacity is
+     left. *)
+  let forfeit b sub =
+    Mutex.protect b.lock (fun () ->
+        b.total <- max 0 (b.total - sub.workers);
+        b.avail <- min b.total b.avail)
 
   let pool sub = sub.pool
   let workers sub = sub.workers

@@ -50,6 +50,14 @@ module Budget : sig
   (** Return a reservation's slots.  Releasing twice is a caller bug but is
       clamped at [total] rather than corrupting the ledger. *)
 
+  val forfeit : budget -> sub -> unit
+  (** Permanently surrender a reservation's slots: [total] shrinks by the
+      sub-pool's worker count (floored at 0) and the slots are never handed
+      out again.  For quarantining workers stuck in an unkillable
+      computation (e.g. a hung job slice whose domain cannot be
+      force-terminated).  After the total reaches 0, {!try_acquire} always
+      returns [None]. *)
+
   val pool : sub -> pool
   val workers : sub -> int
 end

@@ -133,7 +133,17 @@ let list_entries ~dir =
 let remove_entry ~dir name =
   let p = Filename.concat dir name in
   (try Sys.remove p with Sys_error _ -> ());
-  try Sys.remove (p ^ ".tmp") with Sys_error _ -> ()
+  (* stale tmp siblings: both the legacy ".tmp" and per-domain ".tmp.<id>" *)
+  let tmp_prefix = name ^ ".tmp" in
+  let npfx = String.length tmp_prefix in
+  match Sys.readdir dir with
+  | entries ->
+      Array.iter
+        (fun e ->
+          if String.length e >= npfx && String.sub e 0 npfx = tmp_prefix then
+            try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        entries
+  | exception Sys_error _ -> ()
 
 (* Keep only the newest [keep_last] checkpoints, deleting oldest-first
    (stale tmp siblings go with them).  Returns how many were deleted. *)
@@ -220,7 +230,14 @@ let write ?faults ?keep_last ~dir ~step ~time (fields : Field.t list) =
   | _ -> ());
   mkdirs dir;
   let final = Filename.concat dir (filename ~step) in
-  let tmp = final ^ ".tmp" in
+  (* The tmp name carries the writing domain's id: after a hung slice is
+     quarantined and its job restarted elsewhere, the stuck domain may wake
+     up and write one last checkpoint — a shared tmp name would let the two
+     writers tear each other's files.  Distinct tmp names make the final
+     atomic rename the only point of contention (last rename wins, and both
+     writers produce bit-identical content at the same step anyway).  The
+     [parse_step] scan ignores every tmp variant. *)
+  let tmp = Printf.sprintf "%s.tmp.%d" final (Domain.self () :> int) in
   let t0 = Obs.now () in
   Obs.span "checkpoint_write" (fun () ->
       (* On a full disk, old checkpoints are the only thing we are entitled
@@ -273,7 +290,11 @@ let read path =
       if nfields < 1 || nfields > 65536 then
         failwith (Printf.sprintf "Checkpoint: implausible field count %d" nfields);
       let step = input_binary_int ic in
+      if step < 0 then
+        failwith (Printf.sprintf "Checkpoint: negative step %d" step);
       let time = read_float ic in
+      if not (Float.is_finite time) then
+        failwith "Checkpoint: non-finite time";
       let fields =
         List.init nfields (fun _ -> fst (Snapshot.input_field ic))
       in

@@ -32,6 +32,11 @@ type t = {
   mutable ckpt_crash : crash option;
   mutable ckpt_enospc : int;
   mutable fail_chunk : int option;
+  mutable crash_step : int option;
+  mutable crash_fired : bool;
+  mutable hang_step : int option;
+  mutable hang_s : float;
+  mutable hang_fired : bool;
 }
 
 let none () =
@@ -45,6 +50,11 @@ let none () =
     ckpt_crash = None;
     ckpt_enospc = 0;
     fail_chunk = None;
+    crash_step = None;
+    crash_fired = false;
+    hang_step = None;
+    hang_s = 2.0;
+    hang_fired = false;
   }
 
 let from_env () =
@@ -101,6 +111,29 @@ let maybe_inject_negative t ~step fields =
       if Field.ncomp fld > 1 then
         d.(off + 1) <- -.((Float.abs d.(off) *. 50.0) +. 1.0)
       else d.(off) <- -.Float.abs d.(off);
+      true
+  | _ -> false
+
+(* Simulated process death: raise out of the step loop so the slice dies
+   with an uncaught-looking exception while the state and checkpoints on
+   disk stay exactly as a SIGKILL would leave them. *)
+let maybe_crash t ~step =
+  match t.crash_step with
+  | Some k when (not t.crash_fired) && step >= k ->
+      t.crash_fired <- true;
+      Dg_obs.Obs.count "resilience.faults_injected" 1;
+      raise (Injected (Printf.sprintf "crash bomb at step %d" step))
+  | _ -> ()
+
+(* Simulated hang: stall the caller for [hang_s] seconds without touching
+   the state.  From the watchdog's point of view this is indistinguishable
+   from a livelocked or page-thrashing slice — the heartbeat simply stops
+   advancing.  Returns true when the stall happened. *)
+let maybe_hang t ~step =
+  match t.hang_step with
+  | Some k when (not t.hang_fired) && step >= k ->
+      t.hang_fired <- true;
+      Unix.sleepf (Float.max 0.0 t.hang_s);
       true
   | _ -> false
 

@@ -26,6 +26,13 @@ type t = {
           ENOSPC (consulted by [Checkpoint.write], decremented per failure) *)
   mutable fail_chunk : int option;
       (** {!wrap_range} raises on the chunk containing this index *)
+  mutable crash_step : int option;
+      (** kill the slice: {!maybe_crash} raises after this step *)
+  mutable crash_fired : bool;
+  mutable hang_step : int option;
+      (** stall the slice: {!maybe_hang} sleeps after this step *)
+  mutable hang_s : float;  (** stall duration in seconds (default 2.0) *)
+  mutable hang_fired : bool;
 }
 
 val none : unit -> t
@@ -48,6 +55,16 @@ val maybe_inject_negative : t -> step:int -> Dg_grid.Field.t list -> bool
     pointwise negative (large negative mode-1 slope) while preserving its
     cell average — finite, positive-mean, and repairable by the positivity
     limiter.  Returns whether it fired. *)
+
+val maybe_crash : t -> step:int -> unit
+(** Simulated process death: raise {!Injected} once when [step >=
+    crash_step].  The state and on-disk checkpoints are left exactly as a
+    SIGKILL at a step boundary would leave them. *)
+
+val maybe_hang : t -> step:int -> bool
+(** Simulated hang: sleep [hang_s] seconds once when [step >= hang_step],
+    without touching the state — to a heartbeat watchdog this looks like a
+    livelocked slice.  Returns whether the stall happened. *)
 
 val wrap_range : t -> (int -> int -> unit) -> int -> int -> unit
 (** [wrap_range t body] is a [Pool.parallel_ranges] body that raises

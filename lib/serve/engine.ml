@@ -41,6 +41,7 @@ module Grid = Dg_grid.Grid
 type config = {
   concurrency : int;
   slice_wall : float;
+  slice_deadline : float;
   poll_interval : float;
   status_path : string option;
   status_append : bool;
@@ -56,6 +57,7 @@ let default_config ~root =
   {
     concurrency = 2;
     slice_wall = 5.0;
+    slice_deadline = 60.0;
     poll_interval = 0.02;
     status_path = None;
     status_append = false;
@@ -83,6 +85,7 @@ type record = {
   slices : int;
   preempts : int;
   crash_retries_used : int;
+  hangs : int;
   dof : float;
   checkpoint_dir : string;
 }
@@ -101,6 +104,9 @@ type summary = {
   jobs_per_hour : float;
   cache_hits : int;
   cache_misses : int;
+  watchdog_hangs : int;
+  slots_quarantined : int;
+  admission_rejects : int;
   stopped : string option;
 }
 
@@ -110,6 +116,7 @@ type slice_end = Finished of Retry.stats | Crashed of string
 
 type report = {
   rep_id : string;
+  rep_slice : int;  (* which slice produced this (stale-report detection) *)
   rep_end : slice_end;
   rep_steps : int;
   rep_time : float;
@@ -123,7 +130,9 @@ type running = {
   sub : Budget.sub;
   started_at : float;
   start_steps : int;  (* job steps when this slice was launched *)
+  slice_no : int;
   progress : (int * float) Atomic.t;  (* (steps, sim time), every step *)
+  heartbeat : float Atomic.t;  (* last sign of life ([Obs.now] clock) *)
 }
 
 type state = Queued | Running of running | Ended of outcome
@@ -138,6 +147,7 @@ type live = {
   mutable slices : int;
   mutable preempts : int;
   mutable crashes : int;
+  mutable hangs : int;
   mutable dof_per_step : float;
 }
 
@@ -158,6 +168,7 @@ let job_fields (l : live) =
     ("slices", Json.Int l.slices);
     ("preempts", Json.Int l.preempts);
     ("crashes", Json.Int l.crashes);
+    ("hangs", Json.Int l.hangs);
     ("wall_s", Json.Float l.consumed);
   ]
 
@@ -166,6 +177,8 @@ let job_fields (l : live) =
 let run ?(jobs = []) ?supervisor cfg =
   if cfg.concurrency < 1 then invalid_arg "Engine.run: concurrency must be >= 1";
   if cfg.slice_wall <= 0.0 then invalid_arg "Engine.run: slice_wall must be > 0";
+  if cfg.slice_deadline <= 0.0 then
+    invalid_arg "Engine.run: slice_deadline must be > 0";
   if cfg.progress_every < 1 then
     invalid_arg "Engine.run: progress_every must be >= 1";
   if cfg.kernel_cache then Solver.enable_kernel_cache ();
@@ -195,9 +208,16 @@ let run ?(jobs = []) ?supervisor cfg =
   let order : string list ref = ref [] in  (* submission order, reversed *)
   let ready : live Jobq.t = Jobq.create () in
   let running : live list ref = ref [] in
+  (* slices whose domain may never return: (job id, slice no, domain).
+     Their worker slots have been forfeited; if the domain eventually wakes
+     up, its (stale) report lets us join it and reclaim the OS thread. *)
+  let quarantined : (string * int * unit Domain.t) list ref = ref [] in
   let next_seq = ref 0 in
   let draining = ref None in
   let rejected = ref 0 in
+  let hangs_detected = ref 0 in
+  (* spool files that failed to READ (not parse): retried next scan *)
+  let read_pending : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let started = Unix.gettimeofday () in
 
   let seq () =
@@ -208,6 +228,7 @@ let run ?(jobs = []) ?supervisor cfg =
     let id = job.Job.id in
     if Hashtbl.mem table id then begin
       incr rejected;
+      Obs.count "serve.admission_rejects" 1;
       emit "job" [ ("id", Json.Str id); ("event", Json.Str "rejected");
                    ("error", Json.Str "duplicate id") ];
       false
@@ -224,6 +245,7 @@ let run ?(jobs = []) ?supervisor cfg =
           slices = 0;
           preempts = 0;
           crashes = 0;
+          hangs = 0;
           dof_per_step = 0.0;
         }
       in
@@ -240,7 +262,31 @@ let run ?(jobs = []) ?supervisor cfg =
 
   (* spool: pick up new job files; consumed files are renamed so a long
      running server never re-reads them (and a rejected file stays around,
-     marked, for the operator to inspect) *)
+     marked, for the operator to inspect).
+
+     Read failures and parse failures part ways here.  A file that cannot
+     be READ (partial write still landing, ENOENT because a concurrent
+     actor renamed it between readdir and open, unreadable permissions) is
+     left in place and retried on the next scan — rejecting it would
+     permanently lose a job to a timing accident.  Only a file whose BYTES
+     are definitively bad (JSON syntax, unknown/out-of-range fields,
+     oversize) is rejected, with the reason published to the status stream
+     and into a sibling [.rejected.why] file for the operator. *)
+  let mark_rejected ~path why =
+    (try Sys.rename path (path ^ ".rejected") with Sys_error _ -> ());
+    try
+      Out_channel.with_open_bin (path ^ ".rejected.why") (fun oc ->
+          Out_channel.output_string oc (why ^ "\n"))
+    with Sys_error _ -> ()
+  in
+  let reject_spool ~path ~id why =
+    incr rejected;
+    Obs.count "serve.admission_rejects" 1;
+    emit "job"
+      [ ("id", Json.Str id); ("event", Json.Str "rejected");
+        ("error", Json.Str why) ];
+    mark_rejected ~path why
+  in
   let scan_spool () =
     match cfg.spool with
     | None -> ()
@@ -251,19 +297,27 @@ let run ?(jobs = []) ?supervisor cfg =
           (fun f ->
             if Filename.check_suffix f ".json" then begin
               let path = Filename.concat dir f in
-              match Job.of_file path with
-              | job ->
-                  let accepted = submit job in
-                  let mark = if accepted then ".accepted" else ".rejected" in
-                  (try Sys.rename path (path ^ mark) with Sys_error _ -> ())
-              | exception exn ->
-                  incr rejected;
-                  emit "job"
-                    [ ("id", Json.Str (Filename.remove_extension f));
-                      ("event", Json.Str "rejected");
-                      ("error", Json.Str (Printexc.to_string exn)) ];
-                  (try Sys.rename path (path ^ ".rejected")
-                   with Sys_error _ -> ())
+              match Job.of_file_result path with
+              | Ok job ->
+                  Hashtbl.remove read_pending path;
+                  if submit job then (
+                    try Sys.rename path (path ^ ".accepted")
+                    with Sys_error _ -> ())
+                  else
+                    (* [submit] already counted and published the reject *)
+                    mark_rejected ~path "duplicate id"
+              | Error (`Read why) ->
+                  (* transient: leave the file for the next scan; warn once *)
+                  if not (Hashtbl.mem read_pending path) then begin
+                    Hashtbl.replace read_pending path ();
+                    emit "job"
+                      [ ("id", Json.Str (Filename.remove_extension f));
+                        ("event", Json.Str "read_retry");
+                        ("error", Json.Str why) ]
+                  end
+              | Error (`Invalid why) ->
+                  Hashtbl.remove read_pending path;
+                  reject_spool ~path ~id:(Filename.remove_extension f) why
             end)
           files
     | Some _ -> ()
@@ -288,6 +342,14 @@ let run ?(jobs = []) ?supervisor cfg =
             elapsed %.1fs"
            (List.length !running) (Jobq.length ready) done_ failed drained
            (Unix.gettimeofday () -. started));
+      if !hangs_detected > 0 || !rejected > 0 || !quarantined <> [] then
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n  watchdog: %d hangs detected, %d slots quarantined \
+              (%d slices stuck); admission: %d rejects"
+             !hangs_detected
+             (cfg.concurrency - Budget.total budget)
+             (List.length !quarantined) !rejected);
       List.iter
         (fun l ->
           match l.st with
@@ -317,12 +379,20 @@ let run ?(jobs = []) ?supervisor cfg =
     let resumes = l.slices > 0 in
     l.slices <- l.slices + 1;
     let slice_no = l.slices in
+    (* primed to "alive now" so the deadline clock starts at launch, not at
+       the first completed RK stage — app construction time counts against
+       the deadline but cannot trip it retroactively *)
+    let heartbeat = Atomic.make (Obs.now ()) in
     let body () =
       let rep =
         try
           let app, resumed =
             App.create_resumable (Job.spec job) ~checkpoint_dir:l.ckpt_dir
           in
+          (* construction/restore finished: attest liveness, then let the
+             stepper bump the heartbeat after every RHS stage *)
+          Atomic.set heartbeat (Obs.now ());
+          App.set_heartbeat app (Some heartbeat);
           let dof_per_step = dof_per_step_of app in
           (match resumed with
           | Some info ->
@@ -333,7 +403,10 @@ let run ?(jobs = []) ?supervisor cfg =
                   ("from_step", Json.Int info.Checkpoint.step);
                   ("from_t", Json.Float info.Checkpoint.time) ]
           | None -> ());
-          let faults = Job.faults job ~steps_done:(App.nsteps app) in
+          let faults =
+            Job.faults job ~slice:slice_no ~crashes:l.crashes ~hangs:l.hangs
+              ~steps_done:(App.nsteps app)
+          in
           let on_step app =
             let n = App.nsteps app in
             let t = App.time app in
@@ -349,7 +422,7 @@ let run ?(jobs = []) ?supervisor cfg =
           try
             let stats =
               App.run_resilient app ~policy:(Job.policy job) ~faults
-                ~supervisor:slice_sup
+                ~positivity:job.Job.positivity ~supervisor:slice_sup
                 ~checkpoint_every:job.Job.checkpoint_every
                 ~checkpoint_dir:l.ckpt_dir ?keep_last:job.Job.keep_last
                 ~max_steps:job.Job.max_steps ~on_step ~tend:job.Job.tend
@@ -360,6 +433,7 @@ let run ?(jobs = []) ?supervisor cfg =
               ignore (App.checkpoint app ~dir:l.ckpt_dir);
             {
               rep_id = job.Job.id;
+              rep_slice = slice_no;
               rep_end = Finished stats;
               rep_steps = App.nsteps app;
               rep_time = App.time app;
@@ -369,6 +443,7 @@ let run ?(jobs = []) ?supervisor cfg =
           with exn ->
             {
               rep_id = job.Job.id;
+              rep_slice = slice_no;
               rep_end = Crashed (Printexc.to_string exn);
               rep_steps = App.nsteps app;
               rep_time = App.time app;
@@ -378,6 +453,7 @@ let run ?(jobs = []) ?supervisor cfg =
         with exn ->
           {
             rep_id = job.Job.id;
+            rep_slice = slice_no;
             rep_end = Crashed (Printexc.to_string exn);
             rep_steps = l.steps;
             rep_time = l.sim_time;
@@ -397,7 +473,9 @@ let run ?(jobs = []) ?supervisor cfg =
           sub;
           started_at = Unix.gettimeofday ();
           start_steps = l.steps;
+          slice_no;
           progress;
+          heartbeat;
         };
     running := l :: !running;
     emit "job"
@@ -457,10 +535,86 @@ let run ?(jobs = []) ?supervisor cfg =
     emit "job" fields
   in
 
+  (* the hung-slice watchdog: a running slice whose heartbeat has not
+     advanced for [slice_deadline] seconds is POISONED.  Its domain cannot
+     be force-terminated (OCaml domains have no kill), so the engine stops
+     waiting for it: the slice gets a stop request (harmless if it ever
+     wakes), its worker slots are permanently forfeited (a slot backed by a
+     stuck OS thread must never be reused), the domain is parked on the
+     quarantine list, and the JOB is requeued from its last valid
+     checkpoint — up to [job.hang_retries] times, then the tier-3 verdict
+     (Failed).  Sibling jobs never notice. *)
+  let watchdog () =
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun l ->
+        match l.st with
+        | Running r when now -. Atomic.get r.heartbeat > cfg.slice_deadline ->
+            Supervisor.request_stop r.sup "watchdog";
+            Budget.forfeit budget r.sub;
+            quarantined := (l.job.Job.id, r.slice_no, r.dom) :: !quarantined;
+            running := List.filter (fun l' -> l' != l) !running;
+            l.hangs <- l.hangs + 1;
+            incr hangs_detected;
+            Obs.count "watchdog.hangs_detected" 1;
+            Obs.count "watchdog.slots_quarantined" (Budget.workers r.sub);
+            emit "job"
+              (job_fields l
+              @ [ ("event", Json.Str "hung"); ("slice", Json.Int r.slice_no);
+                  ("slots_lost", Json.Int (Budget.workers r.sub)) ]);
+            if !draining <> None then finish l Drained
+            else if Budget.total budget < 1 then
+              (* every slot is quarantined: nothing can ever run again *)
+              finish l
+                (Failed "hung slice: all worker slots quarantined")
+            else if l.hangs <= l.job.Job.hang_retries then begin
+              l.st <- Queued;
+              Jobq.push ready ~priority:l.job.Job.priority ~seq:(seq ()) l
+            end
+            else
+              finish l
+                (Failed
+                   (Printf.sprintf
+                      "hung slice (heartbeat stalled > %gs), hang_retries \
+                       (%d) exhausted"
+                      cfg.slice_deadline l.job.Job.hang_retries))
+        | _ -> ())
+      !running;
+    (* livelock guard: queued jobs can never run once the budget is gone *)
+    if Budget.total budget < 1 then
+      List.iter
+        (fun l -> finish l (Failed "no worker slots remain"))
+        (Jobq.drain ready)
+  in
+
   (* apply one slice report: release the reservation, join the domain,
-     classify the ending *)
+     classify the ending.  A STALE report — from a quarantined slice that
+     finally woke up, recognizable because the job's current slice number
+     does not match — only lets us join the parked domain; its budget was
+     forfeited (never released) and its progress is ignored, since the job
+     has already moved on from its last checkpoint. *)
   let apply_report rep =
     let l = Hashtbl.find table rep.rep_id in
+    let fresh =
+      match l.st with
+      | Running r -> r.slice_no = rep.rep_slice
+      | _ -> false
+    in
+    if not fresh then begin
+      quarantined :=
+        List.filter
+          (fun (id, sl, dom) ->
+            if id = rep.rep_id && sl = rep.rep_slice then begin
+              Domain.join dom;
+              false
+            end
+            else true)
+          !quarantined;
+      emit "job"
+        [ ("id", Json.Str rep.rep_id); ("event", Json.Str "stale_report");
+          ("slice", Json.Int rep.rep_slice) ]
+    end
+    else begin
     (match l.st with
     | Running r ->
         Domain.join r.dom;
@@ -495,6 +649,7 @@ let run ?(jobs = []) ?supervisor cfg =
           Jobq.push ready ~priority:l.job.Job.priority ~seq:(seq ()) l
         end
         else finish l (Failed why)
+    end
   in
 
   let drain why =
@@ -543,6 +698,9 @@ let run ?(jobs = []) ?supervisor cfg =
       scan_spool ();
       preempt ()
     end;
+    (* the watchdog runs even while draining: a hung slice would otherwise
+       block the drain forever *)
+    watchdog ();
     let reports =
       Mutex.protect mailbox_m (fun () ->
           let r = List.rev !mailbox in
@@ -566,6 +724,16 @@ let run ?(jobs = []) ?supervisor cfg =
     if not (finished ()) then Unix.sleepf cfg.poll_interval
   done;
 
+  (* late reports from quarantined slices that woke up during the last poll
+     window: join their domains now so the OS threads are reclaimed before
+     the summary (slices still genuinely stuck stay parked — process exit
+     is their only reaper) *)
+  Mutex.protect mailbox_m (fun () ->
+      let r = List.rev !mailbox in
+      mailbox := [];
+      r)
+  |> List.iter apply_report;
+
   (* --- summary --- *)
   let wall_s = Unix.gettimeofday () -. started in
   let records =
@@ -584,6 +752,7 @@ let run ?(jobs = []) ?supervisor cfg =
           slices = l.slices;
           preempts = l.preempts;
           crash_retries_used = l.crashes;
+          hangs = l.hangs;
           dof = float_of_int l.steps *. l.dof_per_step;
           checkpoint_dir = l.ckpt_dir;
         })
@@ -620,6 +789,9 @@ let run ?(jobs = []) ?supervisor cfg =
          else 0.0);
       cache_hits = cache1_h - cache0_h;
       cache_misses = cache1_m - cache0_m;
+      watchdog_hangs = !hangs_detected;
+      slots_quarantined = cfg.concurrency - Budget.total budget;
+      admission_rejects = !rejected;
       stopped = !draining;
     }
   in
@@ -637,6 +809,9 @@ let run ?(jobs = []) ?supervisor cfg =
       ("jobs_per_hour", Json.Float summary.jobs_per_hour);
       ("kernel_cache_hits", Json.Int summary.cache_hits);
       ("kernel_cache_misses", Json.Int summary.cache_misses);
+      ("watchdog_hangs", Json.Int summary.watchdog_hangs);
+      ("slots_quarantined", Json.Int summary.slots_quarantined);
+      ("admission_rejects", Json.Int summary.admission_rejects);
       ("stopped",
        match summary.stopped with Some s -> Json.Str s | None -> Json.Null);
     ];
@@ -647,10 +822,20 @@ let pp_summary ppf s =
   Format.fprintf ppf
     "@[<v>jobs: %d done, %d failed, %d drained in %.2fs (%.1f jobs/hour)@,\
      steps: %d across %d slices (%d preempts); aggregate %.3g DOF/s@,\
-     kernel cache: %d hits, %d misses%a@]"
+     kernel cache: %d hits, %d misses%a%a%a@]"
     s.jobs_done s.jobs_failed s.jobs_drained s.wall_s s.jobs_per_hour
     s.total_steps s.total_slices s.total_preempts s.agg_dof_s s.cache_hits
     s.cache_misses
+    (fun ppf -> function
+      | 0 -> ()
+      | hangs ->
+          Format.fprintf ppf "@,watchdog: %d hangs, %d slots quarantined"
+            hangs s.slots_quarantined)
+    s.watchdog_hangs
+    (fun ppf -> function
+      | 0 -> ()
+      | n -> Format.fprintf ppf "@,admission: %d rejects" n)
+    s.admission_rejects
     (fun ppf -> function
       | Some why -> Format.fprintf ppf "@,stopped: %s" why
       | None -> ())

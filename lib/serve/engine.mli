@@ -9,13 +9,34 @@
     in their domain and retried from the last checkpoint up to the job's
     [crash_retries] before the job is marked failed; the server survives.
     A stop on the engine's own supervisor (SIGTERM, max-wall) drains: all
-    running slices checkpoint and every job is parked as [Drained]. *)
+    running slices checkpoint and every job is parked as [Drained].
+
+    {b Hung slices.}  Every slice publishes a heartbeat the stepper bumps
+    after each RHS stage; the scheduler's watchdog treats a heartbeat
+    stalled past [slice_deadline] as a poisoned slice.  Since a domain
+    cannot be force-terminated, the slice's worker slots are permanently
+    {e quarantined} (the budget shrinks), the domain is parked, and the
+    job is requeued from its last valid checkpoint up to [hang_retries]
+    times before the tier-3 verdict — sibling jobs are unaffected, and a
+    quarantined domain that eventually wakes up is joined and discarded
+    via its stale report.
+
+    {b Admission.}  Spool files go through [Job.of_file_result], a total
+    bound-checked decoder: malformed or out-of-range files are renamed
+    [.rejected] with the reason in a sibling [.rejected.why] file (counted
+    as [serve.admission_rejects]); files that merely fail to {e read}
+    (partial write, concurrent rename, permissions) are retried on the
+    next scan instead of being rejected. *)
 
 type config = {
   concurrency : int;  (** worker-slot budget shared by all running jobs *)
   slice_wall : float;
       (** seconds a slice may run before it is preempted {i when other
           jobs are waiting}; a lone job runs uninterrupted *)
+  slice_deadline : float;
+      (** seconds a slice's heartbeat may stall before the watchdog
+          declares it hung and quarantines its worker slots; must comfortably
+          exceed app construction plus one RK stage *)
   poll_interval : float;  (** scheduler poll period (seconds) *)
   status_path : string option;  (** JSONL status stream (None = silent) *)
   status_append : bool;  (** append instead of truncate (server restarts) *)
@@ -34,8 +55,9 @@ type config = {
 }
 
 val default_config : root:string -> config
-(** concurrency 2, slice_wall 5s, poll 20ms, no status sink, status every
-    5s, progress every 50 steps, no spool, exit on idle, kernel cache on. *)
+(** concurrency 2, slice_wall 5s, slice_deadline 60s, poll 20ms, no status
+    sink, status every 5s, progress every 50 steps, no spool, exit on
+    idle, kernel cache on. *)
 
 type outcome =
   | Done  (** reached [tend]; a final checkpoint is the result artifact *)
@@ -55,6 +77,7 @@ type record = {
   slices : int;
   preempts : int;
   crash_retries_used : int;
+  hangs : int;  (** watchdog-detected hangs over the job's whole life *)
   dof : float;  (** degrees of freedom advanced: steps x DOF per step *)
   checkpoint_dir : string;
 }
@@ -73,6 +96,11 @@ type summary = {
   jobs_per_hour : float;  (** completed jobs per hour of server wall time *)
   cache_hits : int;  (** kernel-registry cache hits during this run *)
   cache_misses : int;
+  watchdog_hangs : int;  (** hung slices detected by the watchdog *)
+  slots_quarantined : int;
+      (** worker slots permanently surrendered to stuck domains *)
+  admission_rejects : int;
+      (** jobs refused at admission (bad spool files, duplicate ids) *)
   stopped : string option;  (** why the server drained, [None] if idle-exit *)
 }
 

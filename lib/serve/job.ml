@@ -26,7 +26,15 @@ type t = {
   max_retries : int;
   max_restores : int;
   crash_retries : int;
+  hang_retries : int;
+  positivity : [ `Off | `Detect | `Repair ];
   fault_nan_step : int option;
+  fault_neg_step : int option;
+  fault_crash_step : int option;
+  fault_hang_step : int option;
+  fault_hang_s : float;
+  fault_ckpt_enospc : int;
+  fault_ckpt_crash : Faults.crash option;
 }
 
 let validate j =
@@ -62,13 +70,19 @@ let validate j =
   | _ -> ());
   if j.check_every < 1 then fail "check_every must be >= 1";
   if j.max_retries < 0 || j.max_restores < 0 || j.crash_retries < 0 then
-    fail "retry budgets must be >= 0"
+    fail "retry budgets must be >= 0";
+  if j.hang_retries < 0 then fail "hang_retries must be >= 0";
+  if not (Float.is_finite j.fault_hang_s && j.fault_hang_s >= 0.0) then
+    fail "fault_hang_s must be >= 0";
+  if j.fault_ckpt_enospc < 0 then fail "fault_ckpt_enospc must be >= 0"
 
 let make ?(priority = 0) ?(cells_x = 16) ?(cells_v = 24) ?(poly_order = 1)
     ?(tend = 1.0) ?(cfl = 0.9) ?(max_steps = 1_000_000) ?max_wall
     ?(workers = 1) ?(checkpoint_every = 25) ?keep_last ?(check_every = 10)
     ?(max_retries = 8) ?(max_restores = 1) ?(crash_retries = 1)
-    ?fault_nan_step ~id ~scenario () =
+    ?(hang_retries = 1) ?(positivity = `Off) ?fault_nan_step ?fault_neg_step
+    ?fault_crash_step ?fault_hang_step ?(fault_hang_s = 2.0)
+    ?(fault_ckpt_enospc = 0) ?fault_ckpt_crash ~id ~scenario () =
   let j =
     {
       id;
@@ -88,68 +102,202 @@ let make ?(priority = 0) ?(cells_x = 16) ?(cells_v = 24) ?(poly_order = 1)
       max_retries;
       max_restores;
       crash_retries;
+      hang_retries;
+      positivity;
       fault_nan_step;
+      fault_neg_step;
+      fault_crash_step;
+      fault_hang_step;
+      fault_hang_s;
+      fault_ckpt_enospc;
+      fault_ckpt_crash;
     }
   in
   validate j;
   j
 
-(* --- JSON ----------------------------------------------------------------- *)
+(* --- JSON: total, bound-checked admission decoder ------------------------- *)
 
-(* [Json.to_int]/[to_float] default missing members to 0/NaN, which here
-   would silently zero a retry budget — so parse through explicit options
-   and fall back to the documented defaults only when a key is absent. *)
-let opt_int j key = Option.map (fun v -> Json.to_int (Some v)) (Json.member key j)
-let opt_float j key =
-  Option.map (fun v -> Json.to_float (Some v)) (Json.member key j)
+(* Job files arrive from an unauthenticated spool directory, so the decoder
+   is TOTAL over arbitrary [Json.t]: every field is type- and range-checked
+   before use, unknown and duplicate fields are reported by name, and the
+   only outcomes are [Ok job] or [Error reason] — arbitrary bytes can never
+   raise out of admission.  The numeric caps are generous operational
+   bounds (a 1024^2-cell p3 job is already far beyond one node), there to
+   stop a hostile job from driving allocations or step counts to absurdity,
+   not to police legitimate configurations. *)
+
+(* internal early-exit; never escapes [of_json_result] *)
+exception Reject of string
+
+let reject fmt = Printf.ksprintf (fun m -> raise (Reject m)) fmt
+
+let known_fields =
+  [
+    "id"; "scenario"; "priority"; "cells"; "p"; "tend"; "cfl"; "max_steps";
+    "max_wall"; "workers"; "checkpoint_every"; "keep_last"; "check_every";
+    "max_retries"; "max_restores"; "crash_retries"; "hang_retries";
+    "positivity"; "fault_nan_step"; "fault_neg_step"; "fault_crash_step";
+    "fault_hang_step"; "fault_hang_s"; "fault_ckpt_enospc";
+    "fault_ckpt_crash";
+  ]
+
+let of_json_result ?id json =
+  try
+    let kvs =
+      match json with
+      | Json.Obj kvs -> kvs
+      | _ -> reject "job: expected a JSON object"
+    in
+    (* duplicate fields would make the effective value order-dependent *)
+    let rec dup_scan seen = function
+      | [] -> ()
+      | (k, _) :: rest ->
+          if List.mem k seen then reject "job: duplicate field %S" k
+          else dup_scan (k :: seen) rest
+    in
+    dup_scan [] kvs;
+    (match
+       List.filter_map
+         (fun (k, _) -> if List.mem k known_fields then None else Some k)
+         kvs
+     with
+    | [] -> ()
+    | unknown ->
+        reject "job: unknown field%s: %s"
+          (if List.length unknown = 1 then "" else "s")
+          (String.concat ", " unknown));
+    let field key = List.assoc_opt key kvs in
+    let str key =
+      match field key with
+      | Some (Json.Str s) -> Some s
+      | Some _ -> reject "job field %S must be a string" key
+      | None -> None
+    in
+    let int_in key ~min ~max =
+      match field key with
+      | Some (Json.Int v) ->
+          if v < min || v > max then
+            reject "job field %S = %d out of range [%d, %d]" key v min max;
+          Some v
+      | Some _ -> reject "job field %S must be an integer" key
+      | None -> None
+    in
+    let float_in key ~min ~max =
+      let check v =
+        if not (Float.is_finite v) then
+          reject "job field %S must be finite" key;
+        if v < min || v > max then
+          reject "job field %S = %g out of range [%g, %g]" key v min max;
+        Some v
+      in
+      match field key with
+      | Some (Json.Float v) -> check v
+      | Some (Json.Int v) -> check (float_of_int v)
+      | Some _ -> reject "job field %S must be a number" key
+      | None -> None
+    in
+    let scenario =
+      match str "scenario" with
+      | Some s -> s
+      | None -> reject "job: missing \"scenario\""
+    in
+    let id =
+      match str "id" with
+      | Some s -> s
+      | None -> (
+          match id with
+          | Some s -> s
+          | None -> reject "job: missing \"id\"")
+    in
+    if String.length id > 128 then reject "job: id longer than 128 bytes";
+    if String.length scenario > 128 then
+      reject "job: scenario name longer than 128 bytes";
+    let cells_x, cells_v =
+      let cap n =
+        match n with
+        | Json.Int v when v >= 2 && v <= 1024 -> v
+        | Json.Int v -> reject "job field \"cells\" = %d out of range [2, 1024]" v
+        | _ -> reject "job field \"cells\" must be [nx, nv]"
+      in
+      match field "cells" with
+      | Some (Json.List [ x; v ]) -> (cap x, cap v)
+      | Some _ -> reject "job field \"cells\" must be [nx, nv]"
+      | None -> (16, 24)
+    in
+    let positivity =
+      match str "positivity" with
+      | Some "off" | None -> None
+      | Some "detect" -> Some `Detect
+      | Some "repair" -> Some `Repair
+      | Some s ->
+          reject "job field \"positivity\" = %S (use off | detect | repair)" s
+    in
+    let fault_ckpt_crash =
+      match field "fault_ckpt_crash" with
+      | Some (Json.Str "before-rename") -> Some Faults.Crash_before_rename
+      | Some (Json.Int k) when k >= 0 && k <= 1_000_000_000 ->
+          Some (Faults.Crash_truncate k)
+      | Some _ ->
+          reject
+            "job field \"fault_ckpt_crash\" must be \"before-rename\" or a \
+             byte count to truncate the tmp file to"
+      | None -> None
+    in
+    let j =
+      make ~id ~scenario
+        ?priority:(int_in "priority" ~min:(-1000) ~max:1000)
+        ~cells_x ~cells_v
+        ?poly_order:(int_in "p" ~min:1 ~max:3)
+        ?tend:(float_in "tend" ~min:1e-9 ~max:1e4)
+        ?cfl:(float_in "cfl" ~min:1e-6 ~max:1.0)
+        ?max_steps:(int_in "max_steps" ~min:1 ~max:1_000_000_000)
+        ?max_wall:(float_in "max_wall" ~min:1e-3 ~max:1e7)
+        ?workers:(int_in "workers" ~min:1 ~max:256)
+        ?checkpoint_every:(int_in "checkpoint_every" ~min:0 ~max:1_000_000)
+        ?keep_last:(int_in "keep_last" ~min:1 ~max:1_000_000)
+        ?check_every:(int_in "check_every" ~min:1 ~max:1_000_000)
+        ?max_retries:(int_in "max_retries" ~min:0 ~max:1_000_000)
+        ?max_restores:(int_in "max_restores" ~min:0 ~max:1_000_000)
+        ?crash_retries:(int_in "crash_retries" ~min:0 ~max:1000)
+        ?hang_retries:(int_in "hang_retries" ~min:0 ~max:1000)
+        ?positivity
+        ?fault_nan_step:(int_in "fault_nan_step" ~min:0 ~max:1_000_000_000)
+        ?fault_neg_step:(int_in "fault_neg_step" ~min:0 ~max:1_000_000_000)
+        ?fault_crash_step:(int_in "fault_crash_step" ~min:0 ~max:1_000_000_000)
+        ?fault_hang_step:(int_in "fault_hang_step" ~min:0 ~max:1_000_000_000)
+        ?fault_hang_s:(float_in "fault_hang_s" ~min:0.0 ~max:3600.0)
+        ?fault_ckpt_enospc:(int_in "fault_ckpt_enospc" ~min:0 ~max:1_000_000)
+        ?fault_ckpt_crash ()
+    in
+    Ok j
+  with
+  | Reject m -> Error m
+  | Invalid_argument m -> Error m (* [validate]'s verdict, same wording *)
 
 let of_json ?id json =
-  let str key =
-    match Json.member key json with
-    | Some (Json.Str s) -> Some s
-    | Some _ -> invalid_arg (Printf.sprintf "job field %S must be a string" key)
-    | None -> None
-  in
-  let scenario =
-    match str "scenario" with
-    | Some s -> s
-    | None -> invalid_arg "job: missing \"scenario\""
-  in
-  let id =
-    match str "id" with
-    | Some s -> s
-    | None -> (
-        match id with
-        | Some s -> s
-        | None -> invalid_arg "job: missing \"id\"")
-  in
-  let cells_x, cells_v =
-    match Json.member "cells" json with
-    | Some (Json.List [ x; v ]) ->
-        (Json.to_int (Some x), Json.to_int (Some v))
-    | Some _ -> invalid_arg "job field \"cells\" must be [nx, nv]"
-    | None -> (16, 24)
-  in
-  let def d = Option.value ~default:d in
-  make ~id ~scenario
-    ?priority:(opt_int json "priority")
-    ~cells_x ~cells_v
-    ~poly_order:(def 1 (opt_int json "p"))
-    ~tend:(def 1.0 (opt_float json "tend"))
-    ~cfl:(def 0.9 (opt_float json "cfl"))
-    ?max_steps:(opt_int json "max_steps")
-    ?max_wall:(opt_float json "max_wall")
-    ?workers:(opt_int json "workers")
-    ?checkpoint_every:(opt_int json "checkpoint_every")
-    ?keep_last:(opt_int json "keep_last")
-    ?check_every:(opt_int json "check_every")
-    ?max_retries:(opt_int json "max_retries")
-    ?max_restores:(opt_int json "max_restores")
-    ?crash_retries:(opt_int json "crash_retries")
-    ?fault_nan_step:(opt_int json "fault_nan_step")
-    ()
+  match of_json_result ?id json with Ok j -> j | Error m -> invalid_arg m
 
-let of_string ?id s = of_json ?id (Json.parse s)
+let of_string_result ?id s =
+  match Json.parse s with
+  | json -> of_json_result ?id json
+  | exception Json.Parse_error m -> Error ("job: JSON parse error: " ^ m)
+  | exception Stack_overflow -> Error "job: JSON nesting too deep"
+
+let of_string ?id s =
+  match of_string_result ?id s with
+  | Ok j -> j
+  | Error m -> (
+      (* preserve the historical contract: syntax errors surface as
+         [Json.Parse_error], semantic ones as [Invalid_argument] *)
+      match Json.parse s with
+      | _ -> invalid_arg m
+      | exception (Json.Parse_error _ as e) -> raise e)
+
+(* Byte cap on spool files: a job description is a page of JSON; anything
+   bigger is garbage (or an attack on the parser) and is rejected before a
+   byte of it is parsed. *)
+let max_file_bytes = 65536
 
 let read_file path =
   let ic = open_in_bin path in
@@ -158,9 +306,47 @@ let read_file path =
   close_in ic;
   s
 
-let of_file path =
+(* Read + parse one spool file without ever raising, separating transient
+   read failures (retry later: the writer may still be mid-copy, the file
+   may have been renamed away by a concurrent actor) from definitive
+   parse/validate failures (reject now). *)
+let of_file_result path =
   let base = Filename.remove_extension (Filename.basename path) in
-  of_string ~id:base (read_file path)
+  match open_in_bin path with
+  | exception Sys_error m -> Error (`Read m)
+  | ic -> (
+      let res =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match in_channel_length ic with
+            | exception Sys_error m -> Error (`Read m)
+            | n when n > max_file_bytes ->
+                Error
+                  (`Invalid
+                     (Printf.sprintf
+                        "job file is %d bytes (cap: %d) — not a job \
+                         description"
+                        n max_file_bytes))
+            | n -> (
+                match really_input_string ic n with
+                | s -> Ok s
+                | exception End_of_file ->
+                    Error (`Read "file shrank while reading")
+                | exception Sys_error m -> Error (`Read m)))
+      in
+      match res with
+      | Error _ as e -> e
+      | Ok s -> (
+          match of_string_result ~id:base s with
+          | Ok j -> Ok j
+          | Error m -> Error (`Invalid m)))
+
+let of_file path =
+  match of_file_result path with
+  | Ok j -> j
+  | Error (`Read m) -> raise (Sys_error m)
+  | Error (`Invalid m) -> invalid_arg m
 
 (* A manifest is either a bare JSON list of job objects or
    [{"jobs": [...]}]; unnamed jobs get [<basename>-<position>] ids. *)
@@ -193,10 +379,14 @@ let to_json j =
     @ (match j.max_wall with
       | Some w -> [ ("max_wall", Json.Float w) ]
       | None -> [])
-    @
-    match j.fault_nan_step with
-    | Some k -> [ ("fault_nan_step", Json.Int k) ]
-    | None -> [])
+    @ List.filter_map
+        (fun (key, v) -> Option.map (fun k -> (key, Json.Int k)) v)
+        [
+          ("fault_nan_step", j.fault_nan_step);
+          ("fault_neg_step", j.fault_neg_step);
+          ("fault_crash_step", j.fault_crash_step);
+          ("fault_hang_step", j.fault_hang_step);
+        ])
 
 (* --- translation to the app layer ----------------------------------------- *)
 
@@ -216,15 +406,36 @@ let policy j =
     max_restores = j.max_restores;
   }
 
-(* Arm the NaN bomb only while the job has not yet stepped past it: a
-   preempted-and-resumed slice that restarts below [fault_nan_step] re-arms
-   (the fault has not happened yet in the job's life), while a crash-retry
-   that resumes past it does not re-fire a fault the ladder already paid
-   for.  Within one slice, [Faults.t] is one-shot as usual. *)
-let faults j ~steps_done =
-  match j.fault_nan_step with
-  | Some k when steps_done < k ->
-      let f = Faults.none () in
-      f.Faults.nan_step <- Some k;
-      f
-  | _ -> Faults.none ()
+(* Arm the state bombs (NaN / negative overshoot) only while the job has
+   not yet stepped past them: a preempted-and-resumed slice that restarts
+   below the bomb step re-arms (the fault has not happened yet in the job's
+   life), while a crash-retry that resumes past it does not re-fire a fault
+   the ladder already paid for.  Process-level bombs cannot use the step
+   counter that way — a crash bomb's own retry resumes BELOW the bomb step
+   and would re-fire forever — so they are additionally gated on
+   engine-known lifetime counters: the crash bomb arms only while the job
+   has never crashed, the hang bomb only while it has never hung, and the
+   checkpoint-write bombs (ENOSPC burst, crash-before-rename/truncate) only
+   on the job's first slice.  Within one slice, [Faults.t] is one-shot as
+   usual. *)
+let faults ?(slice = 1) ?(crashes = 0) ?(hangs = 0) j ~steps_done =
+  let f = Faults.none () in
+  (match j.fault_nan_step with
+  | Some k when steps_done < k -> f.Faults.nan_step <- Some k
+  | _ -> ());
+  (match j.fault_neg_step with
+  | Some k when steps_done < k -> f.Faults.neg_step <- Some k
+  | _ -> ());
+  (match j.fault_crash_step with
+  | Some k when crashes = 0 && steps_done < k -> f.Faults.crash_step <- Some k
+  | _ -> ());
+  (match j.fault_hang_step with
+  | Some k when hangs = 0 && steps_done < k ->
+      f.Faults.hang_step <- Some k;
+      f.Faults.hang_s <- j.fault_hang_s
+  | _ -> ());
+  if slice = 1 then begin
+    f.Faults.ckpt_enospc <- j.fault_ckpt_enospc;
+    f.Faults.ckpt_crash <- j.fault_ckpt_crash
+  end;
+  f

@@ -25,7 +25,21 @@ type t = {
   max_restores : int;
   crash_retries : int;
       (** engine-level restarts after an uncaught slice exception *)
+  hang_retries : int;
+      (** engine-level restarts after a watchdog-detected hang *)
+  positivity : [ `Off | `Detect | `Repair ];
+      (** tier-0 positivity mode passed to [Vm_app.run_resilient] *)
   fault_nan_step : int option;  (** test/demo NaN bomb at this step *)
+  fault_neg_step : int option;
+      (** test/demo negative-overshoot bomb at this step *)
+  fault_crash_step : int option;
+      (** test/demo slice-killing crash bomb at this step *)
+  fault_hang_step : int option;  (** test/demo hang bomb at this step *)
+  fault_hang_s : float;  (** hang bomb stall duration (default 2 s) *)
+  fault_ckpt_enospc : int;
+      (** test/demo: first slice's next k checkpoint writes hit ENOSPC *)
+  fault_ckpt_crash : Dg_resilience.Faults.crash option;
+      (** test/demo: first slice's first checkpoint write crashes *)
 }
 
 val make :
@@ -44,34 +58,69 @@ val make :
   ?max_retries:int ->
   ?max_restores:int ->
   ?crash_retries:int ->
+  ?hang_retries:int ->
+  ?positivity:[ `Off | `Detect | `Repair ] ->
   ?fault_nan_step:int ->
+  ?fault_neg_step:int ->
+  ?fault_crash_step:int ->
+  ?fault_hang_step:int ->
+  ?fault_hang_s:float ->
+  ?fault_ckpt_enospc:int ->
+  ?fault_ckpt_crash:Dg_resilience.Faults.crash ->
   id:string ->
   scenario:string ->
   unit ->
   t
 (** Defaults: priority 0, 16x24 cells, p=1, tend 1.0, cfl 0.9, max_steps
     1e6, no wall cap, 1 worker, checkpoint every 25 steps, health check
-    every 10, retries 8 / restores 1 / crash retries 1, no fault.
+    every 10, retries 8 / restores 1 / crash retries 1 / hang retries 1,
+    positivity off, no faults.
     @raise Invalid_argument on out-of-range fields (see {!validate}). *)
 
 val validate : t -> unit
 (** @raise Invalid_argument naming the offending field. *)
 
+val of_json_result : ?id:string -> Dg_obs.Obs.Json.t -> (t, string) result
+(** Total, bound-checked admission decoder — the only way arbitrary spool
+    bytes become a job.  [id] is the fallback when the object has no
+    ["id"] member (the spool scanner passes the file's basename).
+    Recognized keys: [id, scenario, priority, cells (as [nx, nv]), p,
+    tend, cfl, max_steps, max_wall, workers, checkpoint_every, keep_last,
+    check_every, max_retries, max_restores, crash_retries, hang_retries,
+    positivity ("off" | "detect" | "repair"), fault_nan_step,
+    fault_neg_step, fault_crash_step, fault_hang_step, fault_hang_s,
+    fault_ckpt_enospc, fault_ckpt_crash ("before-rename" or a truncation
+    byte count)]; missing keys take the {!make} defaults.  Every numeric
+    field is type- and range-checked, unknown and duplicate fields are
+    reported by name, and no input value can make this raise. *)
+
 val of_json : ?id:string -> Dg_obs.Obs.Json.t -> t
-(** Parse a job object; [id] is the fallback when the object has no ["id"]
-    member (the spool scanner passes the file's basename).  Recognized
-    keys: [id, scenario, priority, cells (as [nx, nv]), p, tend, cfl,
-    max_steps, max_wall, workers, checkpoint_every, keep_last,
-    check_every, max_retries, max_restores, crash_retries,
-    fault_nan_step]; missing keys take the {!make} defaults.
+(** {!of_json_result}, raising the error.
     @raise Invalid_argument on a malformed or out-of-range job. *)
+
+val of_string_result : ?id:string -> string -> (t, string) result
+(** Parse then {!of_json_result}; syntax errors, over-deep nesting, and
+    decode errors all land in [Error]. *)
 
 val of_string : ?id:string -> string -> t
 (** {!of_json} after parsing. @raise Dg_obs.Obs.Json.Parse_error too. *)
 
+val max_file_bytes : int
+(** Byte-size cap on job files (64 KiB): a job description is a page of
+    JSON; anything bigger is rejected before parsing. *)
+
+val of_file_result :
+  string -> (t, [ `Read of string | `Invalid of string ]) result
+(** Read + decode one spool file without raising. [`Read] failures are
+    transient (partial write still being copied, file renamed away by a
+    concurrent actor, permissions) — the caller should retry on its next
+    scan; [`Invalid] is a definitive parse/validate verdict (including the
+    {!max_file_bytes} cap) — the caller should reject the file. *)
+
 val of_file : string -> t
 (** Read one JSON job file; the filename (minus extension) is the
-    fallback id. *)
+    fallback id.
+    @raise Sys_error on read failures, [Invalid_argument] on bad jobs. *)
 
 val manifest_of_file : string -> t list
 (** Read a batch manifest: a bare JSON list of job objects, or an object
@@ -87,9 +136,21 @@ val spec : t -> Dg_app.Vm_app.spec
 val policy : t -> Dg_resilience.Retry.policy
 (** [Retry.default] with the job's window/budget overrides. *)
 
-val faults : t -> steps_done:int -> Dg_resilience.Faults.t
-(** The fault set to arm for a slice that resumes at [steps_done]: the NaN
-    bomb is armed only while [steps_done < fault_nan_step], so a resumed
-    slice re-arms a fault that has not yet happened in the job's life, but
-    a crash-retry that restarts past it does not re-fire one the ladder
-    already paid for. *)
+val faults :
+  ?slice:int ->
+  ?crashes:int ->
+  ?hangs:int ->
+  t ->
+  steps_done:int ->
+  Dg_resilience.Faults.t
+(** The fault set to arm for a slice that resumes at [steps_done].  State
+    bombs (NaN / negative) arm only while [steps_done] is below the bomb
+    step, so a resumed slice re-arms a fault that has not yet happened in
+    the job's life, but a retry that restarts past it does not re-fire one
+    the ladder already paid for.  Process-level bombs are additionally
+    gated on lifetime counters the engine passes in — the crash bomb arms
+    only while [crashes = 0], the hang bomb only while [hangs = 0], and
+    the checkpoint-write bombs only on the first slice ([slice = 1]) —
+    because their own recovery path resumes below the bomb step and would
+    otherwise re-fire forever.  Defaults ([slice = 1], zero counters) give
+    a fresh job's first slice. *)

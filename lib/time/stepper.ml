@@ -21,10 +21,23 @@ type t = {
   scheme : scheme;
   stage : Field.t list; (* u^(k) workspace *)
   rhs_ws : Field.t list; (* L(u) workspace *)
+  mutable on_stage : (unit -> unit) option;
+      (* liveness hook, invoked once per completed RHS stage *)
 }
 
 let create ~scheme ~like =
-  { scheme; stage = List.map Field.clone like; rhs_ws = List.map Field.clone like }
+  {
+    scheme;
+    stage = List.map Field.clone like;
+    rhs_ws = List.map Field.clone like;
+    on_stage = None;
+  }
+
+(* Install (or clear) a per-stage liveness hook.  The hook runs after every
+   completed RHS evaluation — the finest progress granularity the stepper
+   has — so a supervisor can distinguish "slow but alive" from "hung".  It
+   must be cheap and must not raise. *)
+let set_stage_hook t hook = t.on_stage <- hook
 
 (* dst := a*dst + b*src + c*rhs, elementwise over field lists; the three
    lists are walked simultaneously (no List.nth indexing). *)
@@ -49,7 +62,8 @@ let combine ~a ~b ~c ~(src : Field.t list) ~(rhs : Field.t list)
    as an "axpy" span (free when tracing is disabled). *)
 let step t ~rhs ~time ~dt (state : Field.t list) =
   let eval ~time st =
-    Dg_obs.Obs.span "rk_stage" (fun () -> rhs ~time st t.rhs_ws)
+    Dg_obs.Obs.span "rk_stage" (fun () -> rhs ~time st t.rhs_ws);
+    match t.on_stage with None -> () | Some hook -> hook ()
   in
   let combine ~a ~b ~c ~src ~rhs dst =
     Dg_obs.Obs.span "axpy" (fun () -> combine ~a ~b ~c ~src ~rhs dst)

@@ -15,6 +15,12 @@ type t
 val create : scheme:scheme -> like:Field.t list -> t
 (** Allocate stage workspace shaped like the state. *)
 
+val set_stage_hook : t -> (unit -> unit) option -> unit
+(** Install (or clear with [None]) a liveness hook invoked after every
+    completed RHS stage inside {!step}.  This is the stepper's
+    accepted-progress signal: a supervisor watching it can tell a slow
+    stage from a hung one.  The hook must be cheap and must not raise. *)
+
 val step :
   t ->
   rhs:(time:float -> Field.t list -> Field.t list -> unit) ->

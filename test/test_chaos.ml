@@ -1,0 +1,393 @@
+(* Chaos-layer tests (dg_chaos + the robustness seams it leans on):
+   schedule determinism and replay, the shared queue-invariant checkers
+   (unit + qcheck over random interleavings), admission-decoder totality
+   under fuzz, the read/invalid split of spool file handling, corrupted
+   checkpoint/snapshot readers under fuzz, the hung-slice watchdog
+   (detect + resume + retries-exhausted + sibling isolation), and one
+   fixed-seed smoke campaign end to end. *)
+
+module Chaos = Dg_chaos.Chaos
+module Job = Dg_serve.Job
+module Jobq = Dg_serve.Jobq
+module Engine = Dg_serve.Engine
+module Checkpoint = Dg_resilience.Checkpoint
+module Snapshot = Dg_io.Snapshot
+module Grid = Dg_grid.Grid
+module Field = Dg_grid.Field
+
+let tmpdir name =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vmdg_chaos_test_%s_%d" name (Unix.getpid ()))
+  in
+  let rec rm p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  rm d;
+  Unix.mkdir d 0o755;
+  d
+
+let slurp path = In_channel.with_open_bin path In_channel.input_all
+
+let spew path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* --- schedule determinism --------------------------------------------------- *)
+
+let test_fingerprint () =
+  let fp seed p = Chaos.schedule_fingerprint ~seed p in
+  Alcotest.(check string)
+    "same seed, same fingerprint (smoke)" (fp 42 Chaos.smoke)
+    (fp 42 Chaos.smoke);
+  Alcotest.(check string)
+    "same seed, same fingerprint (standard)" (fp 42 Chaos.standard)
+    (fp 42 Chaos.standard);
+  Alcotest.(check bool)
+    "different seeds differ" false
+    (fp 42 Chaos.smoke = fp 7 Chaos.smoke);
+  Alcotest.(check bool)
+    "different profiles differ" false
+    (fp 42 Chaos.smoke = fp 42 Chaos.standard)
+
+let test_plan_pure () =
+  let p1 = Chaos.plan ~seed:42 Chaos.smoke in
+  let p2 = Chaos.plan ~seed:42 Chaos.smoke in
+  let sig_of (pl : Chaos.plan) =
+    ( List.map
+        (fun (j : Chaos.planned) ->
+          (j.Chaos.job.Job.id, j.Chaos.seq, j.Chaos.expected, j.Chaos.bit_exact))
+        pl.Chaos.planned_jobs,
+      pl.Chaos.drops,
+      pl.Chaos.storm_at,
+      pl.Chaos.corrupt_plan )
+  in
+  Alcotest.(check bool) "plan is a pure function of (seed, profile)" true
+    (sig_of p1 = sig_of p2);
+  Alcotest.(check int) "plan covers every planned job"
+    (Chaos.job_count Chaos.smoke)
+    (List.length p1.Chaos.planned_jobs)
+
+(* --- shared invariant checkers ---------------------------------------------- *)
+
+let test_invariant_checkers () =
+  let ok = function Ok () -> true | Error _ -> false in
+  Alcotest.(check bool) "priority desc, fifo within class" true
+    (ok (Chaos.Invariant.queue_order [ (3, 0); (1, 1); (1, 2); (0, 4) ]));
+  Alcotest.(check bool) "priority inversion caught" false
+    (ok (Chaos.Invariant.queue_order [ (1, 1); (3, 0) ]));
+  Alcotest.(check bool) "fifo violation within a class caught" false
+    (ok (Chaos.Invariant.queue_order [ (2, 5); (2, 3) ]));
+  Alcotest.(check bool) "multiset equality holds" true
+    (ok
+       (Chaos.Invariant.no_lost_or_dup ~submitted:[ "a"; "b"; "c" ]
+          ~out:[ "c"; "a"; "b" ]));
+  Alcotest.(check bool) "lost job caught" false
+    (ok (Chaos.Invariant.no_lost_or_dup ~submitted:[ "a"; "b" ] ~out:[ "a" ]));
+  Alcotest.(check bool) "duplicated job caught" false
+    (ok
+       (Chaos.Invariant.no_lost_or_dup ~submitted:[ "a"; "b" ]
+          ~out:[ "a"; "a"; "b" ]))
+
+(* Random batches through the real Jobq must satisfy the same checkers the
+   campaign uses: pops ordered (priority desc, seq asc), nothing lost or
+   duplicated. *)
+let prop_jobq_discipline =
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 40) (int_range 0 5))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun l -> String.concat "," (List.map string_of_int l))
+      gen
+  in
+  QCheck.Test.make ~name:"jobq: priority/fifo discipline, no loss, no dup"
+    ~count:200 arb (fun prios ->
+      let q = Jobq.create () in
+      List.iteri
+        (fun seq priority ->
+          Jobq.push q ~priority ~seq (Printf.sprintf "j%d" seq, priority, seq))
+        prios;
+      let rec pops acc =
+        match Jobq.pop q with Some x -> pops (x :: acc) | None -> List.rev acc
+      in
+      let out = pops [] in
+      (match
+         Chaos.Invariant.queue_order
+           (List.map (fun (_, p, s) -> (p, s)) out)
+       with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "queue order: %s" e);
+      (match
+         Chaos.Invariant.no_lost_or_dup
+           ~submitted:(List.mapi (fun seq _ -> Printf.sprintf "j%d" seq) prios)
+           ~out:(List.map (fun (id, _, _) -> id) out)
+       with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "lost/dup: %s" e);
+      true)
+
+(* --- admission hardening ---------------------------------------------------- *)
+
+(* The admission decoder is the only path from arbitrary spool bytes to a
+   job; it must be total — any byte string maps to Ok or Error, never an
+   exception. *)
+let prop_admission_total =
+  let raw_bytes =
+    QCheck.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 600))
+  in
+  let jsonish =
+    QCheck.Gen.(
+      let* tend =
+        oneofl [ 0.0; -1.0; 1e-300; 0.5; 1e308; infinity; Float.nan ]
+      in
+      let* cells = int_range (-10) 5000 in
+      let* p = int_range (-3) 12 in
+      let* junk = string_size ~gen:printable (int_bound 30) in
+      return
+        (Printf.sprintf
+           {|{"id":"f","scenario":"advect","tend":%g,"cells":[%d,%d],"p":%d,"x":%S}|}
+           tend cells cells p junk))
+  in
+  let arb =
+    QCheck.make ~print:String.escaped QCheck.Gen.(oneof [ raw_bytes; jsonish ])
+  in
+  QCheck.Test.make ~name:"admission: of_string_result is total" ~count:500 arb
+    (fun s ->
+      match Job.of_string_result s with
+      | Ok j ->
+          (* anything admitted must also satisfy the validator *)
+          Job.validate j;
+          true
+      | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "of_string_result raised %s"
+            (Printexc.to_string e))
+
+(* The read/invalid split that fixes the spool-scan race: transient read
+   failures must come back as [`Read] (retry on the next scan), definitive
+   garbage as [`Invalid] (reject), valid files as [Ok]. *)
+let test_of_file_split () =
+  let dir = tmpdir "spool" in
+  let chk name bytes expect =
+    let p = Filename.concat dir name in
+    spew p bytes;
+    let got =
+      match Job.of_file_result p with
+      | Ok _ -> `Ok
+      | Error (`Read _) -> `Read
+      | Error (`Invalid _) -> `Invalid
+    in
+    if got <> expect then
+      Alcotest.failf "%s: wrong verdict (want %s)" name
+        (match expect with `Ok -> "Ok" | `Read -> "Read" | `Invalid -> "Invalid")
+  in
+  (match Job.of_file_result (Filename.concat dir "nope.json") with
+  | Error (`Read _) -> ()
+  | _ -> Alcotest.fail "missing file must be a transient `Read failure");
+  chk "good.json" {|{"scenario":"advect","cells":[8,8],"tend":0.1}|} `Ok;
+  chk "garbage.json" "\x00\x01\x02 not json" `Invalid;
+  chk "overdeep.json" (String.make 4000 '[') `Invalid;
+  chk "oversize.json" (String.make (Job.max_file_bytes + 1) 'x') `Invalid;
+  chk "badrange.json" {|{"scenario":"advect","p":9}|} `Invalid
+
+(* --- checkpoint / snapshot reader fuzz -------------------------------------- *)
+
+type mutation = Truncate of float | Flip of float * int
+
+let pp_mut = function
+  | Truncate f -> Printf.sprintf "truncate@%.3f" f
+  | Flip (f, m) -> Printf.sprintf "flip@%.3f mask %#x" f m
+
+let arb_mut =
+  QCheck.make ~print:pp_mut
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun f -> Truncate f) (float_bound_exclusive 1.0);
+          map2
+            (fun f m -> Flip (f, m))
+            (float_bound_exclusive 1.0) (int_range 1 255);
+        ])
+
+(* Apply a mutation to [bytes]; always returns something that differs from
+   the original. *)
+let mutate bytes = function
+  | Truncate f -> String.sub bytes 0 (int_of_float (f *. float_of_int (String.length bytes)))
+  | Flip (f, mask) ->
+      let b = Bytes.of_string bytes in
+      let i =
+        min (Bytes.length b - 1)
+          (int_of_float (f *. float_of_int (Bytes.length b)))
+      in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+      Bytes.to_string b
+
+let small_fields () =
+  let g = Grid.make ~cells:[| 4; 3 |] ~lower:[| 0.; -1. |] ~upper:[| 1.; 1. |] in
+  let mk seed =
+    let f = Field.create g ~ncomp:3 in
+    let d = Field.data f in
+    Array.iteri (fun i _ -> d.(i) <- sin (float_of_int (i + seed))) d;
+    f
+  in
+  [ mk 1; mk 2 ]
+
+(* Any single truncation or bit flip of a checkpoint file must be caught:
+   the checksum covers every byte, so [validate] goes false and [read]
+   fails cleanly instead of resuming from silently corrupt state. *)
+let prop_checkpoint_fuzz =
+  let dir = tmpdir "ckptfuzz" in
+  let info =
+    Checkpoint.write ~dir ~step:7 ~time:0.35 (small_fields ())
+  in
+  let good = slurp info.Checkpoint.path in
+  QCheck.Test.make ~name:"checkpoint reader rejects any corruption" ~count:150
+    arb_mut (fun mut ->
+      let p = Filename.concat dir "mutant.vmdg" in
+      spew p (mutate good mut);
+      if Checkpoint.validate p then
+        QCheck.Test.fail_reportf "corrupt checkpoint accepted (%s)" (pp_mut mut);
+      (match Checkpoint.read p with
+      | _ -> QCheck.Test.fail_reportf "read succeeded on %s" (pp_mut mut)
+      | exception Failure _ -> ()
+      | exception e ->
+          QCheck.Test.fail_reportf "read raised %s on %s" (Printexc.to_string e)
+            (pp_mut mut));
+      true)
+
+(* The snapshot format has no payload checksum (a flipped coefficient can
+   read back), but a mutated file must never escape as anything other than
+   a clean [Failure]: no [End_of_file], no [Invalid_argument] from grid
+   construction, no absurd allocation from a hostile header. *)
+let prop_snapshot_fuzz =
+  let dir = tmpdir "snapfuzz" in
+  let good_path = Filename.concat dir "good.vdg" in
+  Snapshot.write_field good_path (List.hd (small_fields ()));
+  let good = slurp good_path in
+  QCheck.Test.make ~name:"snapshot reader fails cleanly on corruption"
+    ~count:150 arb_mut (fun mut ->
+      let p = Filename.concat dir "mutant.vdg" in
+      spew p (mutate good mut);
+      (match Snapshot.read_field p with
+      | _ -> () (* payload flip: reads back as different data — fine *)
+      | exception Failure _ -> ()
+      | exception e ->
+          QCheck.Test.fail_reportf "read_field raised %s on %s"
+            (Printexc.to_string e) (pp_mut mut));
+      true)
+
+(* --- hung-slice watchdog ----------------------------------------------------- *)
+
+(* One engine run exercises the whole watchdog story: a hang job with a
+   retry budget resumes and completes, a hang job with a zeroed budget gets
+   the tier-3 hang verdict, the plain sibling is untouched, and each hang
+   permanently quarantines the stuck slot. *)
+let test_watchdog () =
+  let root = tmpdir "watchdog" in
+  let mk ?fault_hang_step ?(hang_retries = 1) id =
+    Job.make ~id ~scenario:"advect" ~cells_x:12 ~cells_v:12 ~poly_order:1
+      ~tend:0.4 ~checkpoint_every:3 ~check_every:5 ~hang_retries
+      ?fault_hang_step ~fault_hang_s:4.5 ()
+  in
+  let jobs =
+    [
+      mk ~fault_hang_step:4 "hang-heals";
+      mk ~fault_hang_step:4 ~hang_retries:0 "hang-doomed";
+      mk "sibling";
+    ]
+  in
+  let cfg =
+    {
+      (Engine.default_config ~root) with
+      Engine.concurrency = 3;
+      slice_wall = 60.0;
+      (* generous: construction under 3-way contention must not trip it *)
+      slice_deadline = 2.0;
+      poll_interval = 0.01;
+    }
+  in
+  let s = Engine.run ~jobs cfg in
+  let outcome id =
+    let r =
+      List.find (fun (r : Engine.record) -> r.Engine.job.Job.id = id)
+        s.Engine.records
+    in
+    r.Engine.outcome
+  in
+  Alcotest.(check int) "both hangs detected" 2 s.Engine.watchdog_hangs;
+  Alcotest.(check bool) "stuck slots quarantined" true
+    (s.Engine.slots_quarantined >= 2);
+  (match outcome "hang-heals" with
+  | Engine.Done -> ()
+  | o ->
+      Alcotest.failf "hang-heals must resume to Done, got %s"
+        (Engine.outcome_to_string o));
+  (match outcome "hang-doomed" with
+  | Engine.Failed why ->
+      Alcotest.(check bool) "failure names the hang" true
+        (String.length why >= 4
+        &&
+        let lower = String.lowercase_ascii why in
+        let rec has i =
+          i + 4 <= String.length lower
+          && (String.sub lower i 4 = "hung" || has (i + 1))
+        in
+        has 0)
+  | o ->
+      Alcotest.failf "hang-doomed must fail, got %s" (Engine.outcome_to_string o));
+  (match outcome "sibling" with
+  | Engine.Done -> ()
+  | o ->
+      Alcotest.failf "sibling must be unperturbed, got %s"
+        (Engine.outcome_to_string o))
+
+(* --- the smoke campaign ------------------------------------------------------ *)
+
+let test_smoke_campaign () =
+  let r = Chaos.run_campaign ~seed:42 ~log:(fun _ -> ()) Chaos.smoke in
+  List.iter
+    (fun (c : Chaos.check) ->
+      if not c.Chaos.ok then
+        Alcotest.failf "invariant %s violated: %s" c.Chaos.check_name
+          c.Chaos.detail)
+    r.Chaos.violations;
+  Alcotest.(check bool) "campaign green" true (Chaos.passed r);
+  Alcotest.(check string) "report carries the planned fingerprint"
+    (Chaos.schedule_fingerprint ~seed:42 Chaos.smoke)
+    r.Chaos.fingerprint;
+  Alcotest.(check bool) "meaningful fault volume" true
+    (r.Chaos.faults_injected >= 10);
+  Alcotest.(check bool) "invariant battery ran" true
+    (r.Chaos.invariant_checks >= 15);
+  Alcotest.(check bool) "watchdog fired on the planted hang" true
+    (r.Chaos.watchdog_hangs >= 1);
+  Alcotest.(check bool) "garbage was rejected at admission" true
+    (r.Chaos.admission_rejects >= 1)
+
+let () =
+  Alcotest.run "dg_chaos"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "fingerprint determinism" `Quick test_fingerprint;
+          Alcotest.test_case "plan purity" `Quick test_plan_pure;
+        ] );
+      ( "invariants",
+        Alcotest.test_case "checkers (unit)" `Quick test_invariant_checkers
+        :: List.map QCheck_alcotest.to_alcotest [ prop_jobq_discipline ] );
+      ( "admission",
+        Alcotest.test_case "read/invalid split" `Quick test_of_file_split
+        :: List.map QCheck_alcotest.to_alcotest [ prop_admission_total ] );
+      ( "readers",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_checkpoint_fuzz; prop_snapshot_fuzz ] );
+      ( "watchdog",
+        [ Alcotest.test_case "detect, resume, exhaust, isolate" `Slow test_watchdog ] );
+      ( "campaign",
+        [ Alcotest.test_case "fixed-seed smoke campaign" `Slow test_smoke_campaign ] );
+    ]

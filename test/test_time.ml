@@ -112,6 +112,39 @@ let test_cfl_dt_hardened () =
   in
   Alcotest.(check bool) "all NaN -> unbounded" true (dt_nan = infinity)
 
+(* The stage hook is the heartbeat source for the job engine's hung-slice
+   watchdog: it must fire exactly once per completed RHS stage — the
+   finest liveness the integrator can attest to — and detaching must
+   silence it. *)
+let test_stage_hook () =
+  List.iter
+    (fun scheme ->
+      let g = Grid.make ~cells:[| 1 |] ~lower:[| 0. |] ~upper:[| 1. |] in
+      let y = Field.create g ~ncomp:1 in
+      let rhs ~time:_ state outs =
+        match (state, outs) with
+        | [ _ ], [ o ] -> Field.set o [| 0 |] 0 1.0
+        | _ -> assert false
+      in
+      let st = Stepper.create ~scheme ~like:[ y ] in
+      let fired = ref 0 in
+      Stepper.set_stage_hook st (Some (fun () -> incr fired));
+      let nsteps = 4 in
+      for i = 0 to nsteps - 1 do
+        Stepper.step st ~rhs ~time:(0.1 *. float_of_int i) ~dt:0.1 [ y ]
+      done;
+      Alcotest.(check int)
+        (Stepper.scheme_name scheme ^ ": one beat per stage")
+        (nsteps * Stepper.stages scheme)
+        !fired;
+      Stepper.set_stage_hook st None;
+      Stepper.step st ~rhs ~time:0.0 ~dt:0.1 [ y ];
+      Alcotest.(check int)
+        (Stepper.scheme_name scheme ^ ": detached hook is silent")
+        (nsteps * Stepper.stages scheme)
+        !fired)
+    [ Stepper.Euler; Stepper.Ssp_rk2; Stepper.Ssp_rk3 ]
+
 let () =
   Alcotest.run "dg_time"
     [
@@ -122,5 +155,7 @@ let () =
           Alcotest.test_case "preserves constants" `Quick test_preserves_constants;
           Alcotest.test_case "cfl dt" `Quick test_cfl_dt;
           Alcotest.test_case "cfl dt hardened" `Quick test_cfl_dt_hardened;
+          Alcotest.test_case "stage hook beats once per stage" `Quick
+            test_stage_hook;
         ] );
     ]
