@@ -1580,6 +1580,244 @@ let chaos_json ?(smoke = false) path =
     pr "wrote %s\n" path
   end
 
+(* --- gate: socket-ingress latency, shedding, drain (dg_gate) -------------- *)
+
+(* Three gate lifetimes (BENCH_gate.json): submit round-trip latency
+   p50/p99 against 1/2/4 concurrent clients, the shed rate once the ready
+   queue sits at the overload watermark, and how long a SIGTERM-style
+   drain takes while clients are still storming submits at the socket.
+
+   [smoke]: smaller counts, no file write — the ingress health check for
+   @bench-smoke that exits 1 on any transport failure, a zero shed rate
+   at watermark 1, or a drain that fails to finish promptly. *)
+let gate_json ?(smoke = false) path =
+  section
+    (if smoke then "Socket gate - smoke (ingress health check)"
+     else "Socket gate - submit latency, shedding, drain (dg_gate)");
+  let module Job = Dg_serve.Job in
+  let module Engine = Dg_serve.Engine in
+  let module Intake = Dg_serve.Intake in
+  let module Gate = Dg_gate.Gate in
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "vmdg-bench-gate" in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ()) "vmdg-bench-gate.sock"
+  in
+  let rec rm p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  let tiny id =
+    Job.make ~id ~scenario:"advect" ~cells_x:8 ~cells_v:8 ~poly_order:1
+      ~tend:0.02 ()
+  in
+  (* a deterministic queue blocker: sleeps [s] inside its first step *)
+  let blocker id s =
+    Job.make ~id ~scenario:"advect" ~cells_x:8 ~cells_v:8 ~poly_order:1
+      ~tend:0.5 ~fault_hang_step:1 ~fault_hang_s:s ()
+  in
+  let bad = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> bad := m :: !bad) fmt in
+  let client ?(retries = 2) () =
+    Gate.Client.create ~retries (Gate.Frame.Unix_sock sock)
+  in
+  (* one engine + gate lifetime around [f]; teardown goes through the
+     gate's own drain verb and times Engine.run's return from it *)
+  let with_gate ?(watermark = 100_000) ?(concurrency = 2) f =
+    rm root;
+    let intake = Intake.create () in
+    let cfg =
+      {
+        (Engine.default_config ~root) with
+        Engine.concurrency;
+        poll_interval = 0.002;
+        exit_on_idle = false;
+        intake = Some intake;
+        admit_watermark = watermark;
+      }
+    in
+    let server =
+      Gate.Server.start ~intake
+        {
+          (Gate.Server.default_config ~addr:(Gate.Frame.Unix_sock sock)) with
+          Gate.Server.max_conns = 64;
+        }
+    in
+    let eng = Domain.spawn (fun () -> Engine.run ~jobs:[] cfg) in
+    let result = f () in
+    let t_drain = Unix.gettimeofday () in
+    (match Gate.Client.drain (client ()) "bench teardown" with
+    | Ok _ -> ()
+    | Error m -> err "drain request failed: %s" m);
+    let summary = Domain.join eng in
+    let drain_s = Unix.gettimeofday () -. t_drain in
+    Gate.Server.stop server;
+    (result, summary, drain_s)
+  in
+  let pct a q =
+    let s = Array.copy a in
+    Array.sort compare s;
+    let n = Array.length s in
+    if n = 0 then 0.0 else s.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  in
+  (* 1. submit latency vs concurrent clients, one engine lifetime *)
+  let per_client = if smoke then 6 else 15 in
+  let levels = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let latency level =
+    let doms =
+      List.init level (fun ci ->
+          Domain.spawn (fun () ->
+              let cl = client () in
+              let lats = Array.make per_client 0.0 in
+              let errs = ref [] in
+              for i = 0 to per_client - 1 do
+                let id = Printf.sprintf "bg-l%d-c%d-%d" level ci i in
+                let t0 = Unix.gettimeofday () in
+                (match Gate.Client.submit cl (tiny id) with
+                | Ok (Gate.Protocol.Accepted _) -> ()
+                | Ok r ->
+                    errs :=
+                      Printf.sprintf "submit %s: %s" id
+                        (Gate.Protocol.response_to_string r)
+                      :: !errs
+                | Error m ->
+                    errs := Printf.sprintf "submit %s: %s" id m :: !errs);
+                lats.(i) <- Unix.gettimeofday () -. t0
+              done;
+              (lats, !errs)))
+    in
+    let parts = List.map Domain.join doms in
+    List.iter (fun (_, errs) -> List.iter (fun m -> err "%s" m) errs) parts;
+    Array.concat (List.map fst parts)
+  in
+  let (lat_rows, lat_summary, lat_drain_s) =
+    with_gate (fun () ->
+        List.map
+          (fun level ->
+            let lats = latency level in
+            let p50 = 1000.0 *. pct lats 0.50
+            and p99 = 1000.0 *. pct lats 0.99 in
+            let tag = Printf.sprintf "c%d" level in
+            pr "%-8s submit p50 %7.2f ms  p99 %7.2f ms  (%d submits)\n" tag
+              p50 p99 (Array.length lats);
+            emit ~bench:"gate" ~config:tag ~metric:"submit_p50"
+              ~value:p50 ~units:"ms";
+            emit ~bench:"gate" ~config:tag ~metric:"submit_p99"
+              ~value:p99 ~units:"ms";
+            (tag, p50, p99))
+          levels)
+  in
+  if lat_summary.Engine.jobs_failed > 0 then
+    err "latency phase: %d jobs failed" lat_summary.Engine.jobs_failed;
+  (* 2. shed rate at the overload watermark: concurrency 1, watermark 1,
+     a running blocker plus a queued one pin the ready queue at depth 1,
+     so every further submit must come back [overloaded] *)
+  let storm_n = if smoke then 15 else 40 in
+  let ((sheds, accepted), _, _) =
+    with_gate ~watermark:1 ~concurrency:1 (fun () ->
+        let cl = client () in
+        (match Gate.Client.submit cl (blocker "bg-block-0" 3.0) with
+        | Ok (Gate.Protocol.Accepted _) -> ()
+        | Ok r ->
+            err "blocker 0: %s" (Gate.Protocol.response_to_string r)
+        | Error m -> err "blocker 0: %s" m);
+        (* let the engine move the first blocker into its worker slot *)
+        Unix.sleepf 0.3;
+        (match Gate.Client.submit cl (blocker "bg-block-1" 0.1) with
+        | Ok (Gate.Protocol.Accepted _) -> ()
+        | Ok r ->
+            err "blocker 1: %s" (Gate.Protocol.response_to_string r)
+        | Error m -> err "blocker 1: %s" m);
+        let cl0 = client ~retries:0 () in
+        let sheds = ref 0 and accepted = ref 0 in
+        for i = 0 to storm_n - 1 do
+          match
+            Gate.Client.submit cl0 (tiny (Printf.sprintf "bg-storm-%d" i))
+          with
+          | Ok (Gate.Protocol.Overloaded _) -> incr sheds
+          | Ok (Gate.Protocol.Accepted _) -> incr accepted
+          | Ok r ->
+              err "storm submit %d: %s" i
+                (Gate.Protocol.response_to_string r)
+          | Error m -> err "storm submit %d: %s" i m
+        done;
+        (!sheds, !accepted))
+  in
+  let shed_rate = float_of_int sheds /. float_of_int storm_n in
+  pr "overload: %d/%d submits shed at watermark 1 (%d accepted)\n" sheds
+    storm_n accepted;
+  emit ~bench:"gate" ~config:"overload" ~metric:"shed_rate" ~value:shed_rate
+    ~units:"frac";
+  if sheds = 0 then err "watermark shed rate is zero under a %d-submit storm"
+      storm_n;
+  (* 3. drain time while clients are still storming submits *)
+  let stop_storm = Atomic.make false in
+  let storm_doms = ref [] in
+  let ((), _, storm_drain_s) =
+    with_gate (fun () ->
+        storm_doms :=
+          List.init 2 (fun ci ->
+              Domain.spawn (fun () ->
+                  let cl = client ~retries:0 () in
+                  let i = ref 0 in
+                  while not (Atomic.get stop_storm) do
+                    ignore
+                      (Gate.Client.submit cl
+                         (tiny (Printf.sprintf "bg-ds-c%d-%d" ci !i)));
+                    incr i;
+                    Unix.sleepf 0.002
+                  done));
+        (* let the storm build a working set before pulling the plug *)
+        Unix.sleepf 0.3)
+  in
+  Atomic.set stop_storm true;
+  List.iter Domain.join !storm_doms;
+  pr "drain: %.2fs idle teardown, %.2fs under a 2-client submit storm\n"
+    lat_drain_s storm_drain_s;
+  emit ~bench:"gate" ~config:"idle" ~metric:"drain" ~value:lat_drain_s
+    ~units:"s";
+  emit ~bench:"gate" ~config:"storm" ~metric:"drain" ~value:storm_drain_s
+    ~units:"s";
+  if storm_drain_s > 10.0 then
+    err "drain under submit storm took %.1fs (want < 10s)" storm_drain_s;
+  rm root;
+  (match !bad with
+  | [] ->
+      pr "gate ok: p99 %.1f ms, shed rate %.2f, storm drain %.2fs\n"
+        (match lat_rows with (_, _, p99) :: _ -> p99 | [] -> 0.0)
+        shed_rate storm_drain_s
+  | bad ->
+      List.iter
+        (fun m ->
+          pr "%s: %s\n" (if smoke then "SMOKE FAILURE" else "GATE FAILURE") m)
+        bad;
+      exit 1);
+  if not smoke then begin
+    let level_json (tag, p50, p99) =
+      Printf.sprintf
+        "    {\"config\": %S, \"submit_p50_ms\": %.3f, \"submit_p99_ms\": %.3f}"
+        tag p50 p99
+    in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"gate_ingress\",\n\
+      \  \"submits_per_client\": %d,\n\
+      \  \"levels\": [\n%s\n  ],\n\
+      \  \"overload\": {\"storm_submits\": %d, \"shed\": %d, \
+       \"accepted\": %d, \"shed_rate\": %.4f},\n\
+      \  \"drain_idle_s\": %.3f, \"drain_under_storm_s\": %.3f\n\
+       }\n"
+      per_client
+      (String.concat ",\n" (List.map level_json lat_rows))
+      storm_n sheds accepted shed_rate lat_drain_s storm_drain_s;
+    close_out oc;
+    pr "wrote %s\n" path
+  end
+
 (* --- driver --------------------------------------------------------------- *)
 
 let () =
@@ -1618,6 +1856,7 @@ let () =
   | "serve" -> serve_json ~smoke "BENCH_serve.json"
   | "scenarios" -> scenarios_json ~smoke "BENCH_scenarios.json"
   | "chaos" -> chaos_json ~smoke "BENCH_chaos.json"
+  | "gate" -> gate_json ~smoke "BENCH_gate.json"
   | "all" ->
       fig1 ();
       ignore (fig2 ());
@@ -1634,7 +1873,8 @@ let () =
       layout_json "BENCH_layout.json";
       serve_json "BENCH_serve.json";
       scenarios_json "BENCH_scenarios.json";
-      chaos_json "BENCH_chaos.json"
+      chaos_json "BENCH_chaos.json";
+      gate_json "BENCH_gate.json"
   | s ->
       prerr_endline ("unknown benchmark: " ^ s);
       exit 1);

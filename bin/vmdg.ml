@@ -7,6 +7,7 @@
      twostream     run the two-stream instability and fit the growth rate
      advect        run free-streaming advection and report the L2 error
      serve         run a queue of jobs concurrently with checkpoint preemption
+     submit        talk to a running serve --socket over its Unix socket
      chaos         run a seeded, replayable chaos campaign against the engine
      snapshot-info inspect a checkpoint file
      trace-report  summarize a JSONL profile written with --trace
@@ -511,7 +512,7 @@ let snapshot_info_cmd =
 
 let serve_cmd =
   let run job_files spool concurrency slice_wall status append root max_wall
-      keep_serving no_kernel_cache =
+      keep_serving no_kernel_cache socket watermark =
     let jobs =
       List.concat_map
         (fun path ->
@@ -519,10 +520,23 @@ let serve_cmd =
           with _ -> [ Dg.Job.of_file path ])
         job_files
     in
-    if jobs = [] && spool = None then begin
-      Fmt.epr "serve: no job files and no --spool; nothing to do@.";
+    if jobs = [] && spool = None && socket = None then begin
+      Fmt.epr "serve: no job files, no --spool, no --socket; nothing to do@.";
       exit 2
     end;
+    let gate =
+      match socket with
+      | None -> None
+      | Some path ->
+          let intake = Dg.Intake.create () in
+          let server =
+            Dg.Gate.Server.start ~intake
+              (Dg.Gate.Server.default_config
+                 ~addr:(Dg.Gate.Frame.Unix_sock path))
+          in
+          Fmt.pr "serve: gate listening on unix:%s@." path;
+          Some (intake, server)
+    in
     let cfg =
       {
         (Dg.Engine.default_config ~root) with
@@ -531,14 +545,23 @@ let serve_cmd =
         status_path = status;
         status_append = append;
         spool;
-        exit_on_idle = not keep_serving;
+        (* a socket-only server has nothing queued yet: stay up for
+           clients instead of exiting on the initially-idle queue *)
+        exit_on_idle =
+          (not keep_serving)
+          && not (socket <> None && jobs = [] && spool = None);
         kernel_cache = not no_kernel_cache;
+        intake = Option.map fst gate;
+        admit_watermark = watermark;
       }
     in
     let summary =
       Dg.Supervisor.with_supervisor ?max_wall (fun sup ->
           Dg.Engine.run ~jobs ~supervisor:sup cfg)
     in
+    (match gate with
+    | Some (_, server) -> Dg.Gate.Server.stop server
+    | None -> ());
     Fmt.pr "%a@." Dg.Engine.pp_summary summary;
     List.iter
       (fun (r : Dg.Engine.record) ->
@@ -616,6 +639,24 @@ let serve_cmd =
       & info [ "no-kernel-cache" ]
           ~doc:"Rebuild generated kernels per job instead of sharing them.")
   in
+  let socket_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Accept submit/status/cancel/drain requests on a Unix-domain \
+             socket at $(docv) while running (see $(b,vmdg submit)).")
+  in
+  let watermark_t =
+    Arg.(
+      value & opt int 64
+      & info [ "watermark" ] ~docv:"N"
+          ~doc:
+            "Refuse socket submits with $(i,overloaded) while the ready \
+             queue holds $(docv) or more jobs (spool admission is not \
+             throttled).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -624,7 +665,131 @@ let serve_cmd =
     Term.(
       const run $ job_files_t $ spool_t $ concurrency_t $ slice_wall_t
       $ status_t $ append_t $ root_t $ max_wall_t $ keep_serving_t
-      $ no_kernel_cache_t)
+      $ no_kernel_cache_t $ socket_t $ watermark_t)
+
+(* --- submit ---------------------------------------------------------------- *)
+
+let submit_cmd =
+  let run socket job_files status cancel drain ping retries deadline =
+    let client =
+      Dg.Gate.Client.create ~io_deadline:deadline ~retries
+        (Dg.Gate.Frame.Unix_sock socket)
+    in
+    let failed = ref false in
+    let acted = ref false in
+    let show tag result =
+      acted := true;
+      match result with
+      | Ok r ->
+          Fmt.pr "%s: %s@." tag (Dg.Gate.Protocol.response_to_string r);
+          (match r with
+          | Dg.Gate.Protocol.Accepted _ | Dg.Gate.Protocol.Pong
+          | Dg.Gate.Protocol.Status_of _ ->
+              ()
+          | _ -> failed := true)
+      | Error m ->
+          Fmt.pr "%s: error: %s@." tag m;
+          failed := true
+    in
+    if ping then show "ping" (Dg.Gate.Client.ping client);
+    List.iter
+      (fun path ->
+        let jobs =
+          try Dg.Job.manifest_of_file path
+          with _ -> [ Dg.Job.of_file path ]
+        in
+        List.iter
+          (fun (j : Dg.Job.t) ->
+            show j.Dg.Job.id (Dg.Gate.Client.submit client j))
+          jobs)
+      job_files;
+    (match cancel with
+    | Some id -> show ("cancel " ^ id) (Dg.Gate.Client.cancel client id)
+    | None -> ());
+    (match status with
+    | Some id ->
+        let id = if id = "" then None else Some id in
+        show "status" (Dg.Gate.Client.status client id)
+    | None -> ());
+    (match drain with
+    | Some why -> show "drain" (Dg.Gate.Client.drain client why)
+    | None -> ());
+    if not !acted then begin
+      Fmt.epr
+        "submit: nothing to do (give job files or --status / --cancel / \
+         --drain / --ping)@.";
+      exit 2
+    end;
+    if !failed then exit 1
+  in
+  let socket_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix socket of a running $(b,vmdg serve --socket).")
+  in
+  let job_files_t =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"JOBS"
+          ~doc:
+            "Job files to submit (single-job JSON objects or batch \
+             manifests).  Submission is idempotent: resubmitting an id the \
+             server already knows is acknowledged as a duplicate, never run \
+             twice.")
+  in
+  let status_t =
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "status" ] ~docv:"ID"
+          ~doc:
+            "Ask for server status, or for job $(docv)'s status when given.")
+  in
+  let cancel_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cancel" ] ~docv:"ID" ~doc:"Cancel a queued or running job.")
+  in
+  let drain_t =
+    Arg.(
+      value
+      & opt ~vopt:(Some "operator request") (some string) None
+      & info [ "drain" ] ~docv:"REASON"
+          ~doc:
+            "Ask the server to drain: checkpoint and requeue running jobs, \
+             then exit.")
+  in
+  let ping_t =
+    Arg.(
+      value & flag
+      & info [ "ping" ]
+          ~doc:"Liveness probe answered by the gate without the engine.")
+  in
+  let retries_t =
+    Arg.(
+      value & opt int 4
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra attempts after a transport failure or $(i,overloaded) \
+             response, with jittered exponential backoff between attempts.")
+  in
+  let deadline_t =
+    Arg.(
+      value & opt float 5.0
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:"Per-attempt budget for connect, send, and receive each.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit jobs to (and query, cancel, drain) a running $(b,vmdg serve \
+          --socket)")
+    Term.(
+      const run $ socket_t $ job_files_t $ status_t $ cancel_t $ drain_t
+      $ ping_t $ retries_t $ deadline_t)
 
 (* --- chaos ----------------------------------------------------------------- *)
 
@@ -634,8 +799,11 @@ let chaos_cmd =
       match profile with
       | "smoke" -> Dg.Chaos.smoke
       | "standard" -> Dg.Chaos.standard
+      | "network" -> Dg.Chaos.network
       | p ->
-          Fmt.epr "chaos: unknown profile %S (available: smoke, standard)@." p;
+          Fmt.epr
+            "chaos: unknown profile %S (available: smoke, standard, network)@."
+            p;
           exit 2
     in
     let log = if verbose then fun m -> Fmt.pr "chaos: %s@." m else fun _ -> () in
@@ -670,7 +838,9 @@ let chaos_cmd =
     Arg.(
       value & opt string "smoke"
       & info [ "profile" ] ~docv:"NAME"
-          ~doc:"Campaign profile: $(b,smoke) (CI-sized) or $(b,standard).")
+          ~doc:
+            "Campaign profile: $(b,smoke) (CI-sized), $(b,standard), or \
+             $(b,network) (socket-gate faults).")
   in
   let root_t =
     Arg.(
@@ -720,6 +890,7 @@ let () =
             run_cmd;
             scenarios_cmd;
             serve_cmd;
+            submit_cmd;
             chaos_cmd;
             snapshot_info_cmd;
             trace_report_cmd;

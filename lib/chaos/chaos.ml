@@ -25,6 +25,8 @@
 
 module Job = Dg_serve.Job
 module Engine = Dg_serve.Engine
+module Intake = Dg_serve.Intake
+module Gate = Dg_gate.Gate
 module Checkpoint = Dg_resilience.Checkpoint
 module Supervisor = Dg_resilience.Supervisor
 module Faults = Dg_resilience.Faults
@@ -107,6 +109,11 @@ type profile = {
   ckpt_crash_jobs : int;
   wall_jobs : int;
   doomed_jobs : int;
+  gate : bool;
+  net_garbage : int;
+  net_stalls : int;
+  net_dups : int;
+  net_storm_submits : int;
 }
 
 let smoke =
@@ -134,6 +141,13 @@ let smoke =
     ckpt_crash_jobs = 1;
     wall_jobs = 0;
     doomed_jobs = 1;
+    (* pre-gate profiles plan no network faults, and the planner draws
+       nothing from the rng for them, so their fingerprints are unchanged *)
+    gate = false;
+    net_garbage = 0;
+    net_stalls = 0;
+    net_dups = 0;
+    net_storm_submits = 0;
   }
 
 let standard =
@@ -160,6 +174,50 @@ let standard =
     ckpt_crash_jobs = 1;
     wall_jobs = 1;
     doomed_jobs = 1;
+    gate = false;
+    net_garbage = 0;
+    net_stalls = 0;
+    net_dups = 0;
+    net_storm_submits = 0;
+  }
+
+(* the gate campaign: a socket server beside every cycle's engine, fed
+   garbage frames, stalled clients, duplicate submits of live jobs, and
+   a submit storm landing right behind the cycle's SIGTERM drain.  Jobs
+   are all bit-exactness candidates, so the battery proves an idempotent
+   resubmit never perturbs the result bit for bit.  The hang bomb is
+   load-bearing beyond its fault class: these tiny jobs finish in
+   milliseconds, and a cycle-0 engine that goes idle closes its intake —
+   the hang pins cycle 0 open past the watchdog deadline so the
+   duplicate submits (scheduled well inside it) always meet a live
+   engine and earn their deterministic dup ACK. *)
+let network =
+  {
+    name = "network";
+    concurrency = 3;
+    slice_wall = 0.15;
+    slice_deadline = 2.0;
+    hang_s = 4.5;
+    tend = 0.25;
+    cells_scale = 1;
+    cycles = 2;
+    storms = 1;
+    garbage = 2;
+    corruptions = 0;
+    plain_jobs = 2;
+    nan_jobs = 0;
+    neg_jobs = 0;
+    crash_jobs = 1;
+    hang_jobs = 1;
+    enospc_jobs = 0;
+    ckpt_crash_jobs = 0;
+    wall_jobs = 0;
+    doomed_jobs = 0;
+    gate = true;
+    net_garbage = 5;
+    net_stalls = 1;
+    net_dups = 2;
+    net_storm_submits = 3;
   }
 
 let job_count p =
@@ -174,7 +232,14 @@ let validate_profile p =
   if p.hang_jobs > 0 && p.hang_s <= p.slice_deadline then
     invalid_arg "chaos profile: hang_s must exceed slice_deadline";
   if p.concurrency < 1 then invalid_arg "chaos profile: concurrency >= 1";
-  if p.cells_scale < 1 then invalid_arg "chaos profile: cells_scale >= 1"
+  if p.cells_scale < 1 then invalid_arg "chaos profile: cells_scale >= 1";
+  let net_total =
+    p.net_garbage + p.net_stalls + p.net_dups + p.net_storm_submits
+  in
+  if (not p.gate) && net_total > 0 then
+    invalid_arg "chaos profile: network faults need gate = true";
+  if p.gate && p.net_storm_submits > 0 && p.storms < 1 then
+    invalid_arg "chaos profile: storm submits need at least one storm"
 
 (* ------------------------------------------------------------------ *)
 (* Plans                                                               *)
@@ -189,11 +254,28 @@ type planned = {
   bit_exact : bool;
 }
 
+type net_fault =
+  | Net_garbage of int
+      (* hostile bytes at the socket; the kind selects the attack *)
+  | Net_stall (* two header bytes, then silence past the io deadline *)
+  | Net_dup of string
+      (* full resubmit of a live planned job over the gate: must be
+         ACKed [Accepted {dup = true}], never run a second time *)
+  | Net_storm_submit of string
+      (* resubmit fired just behind a SIGTERM storm, into the drain *)
+
+let net_fault_tag = function
+  | Net_garbage k -> Printf.sprintf "garbage-%d" k
+  | Net_stall -> "stall"
+  | Net_dup id -> "dup " ^ id
+  | Net_storm_submit id -> "storm-submit " ^ id
+
 type plan = {
   planned_jobs : planned list;
   drops : (int * float * string * string) list;
   storm_at : (int * float) list;
   corrupt_plan : (int * int) list;
+  net_events : (int * float * net_fault) list;
 }
 
 type fault_class =
@@ -360,7 +442,54 @@ let plan ~seed p =
     List.init p.corruptions (fun _ ->
         (Random.State.int rng (p.cycles - 1), Random.State.int rng 1_000_000))
   in
-  { planned_jobs; drops; storm_at; corrupt_plan }
+  let net_events =
+    (* drawn LAST so gate-free profiles consume no extra rng state and
+       keep their historical fingerprints *)
+    if not p.gate then []
+    else begin
+      let ids =
+        Array.of_list (List.map (fun pj -> pj.job.Job.id) planned_jobs)
+      in
+      let bit_ids =
+        match List.filter (fun pj -> pj.bit_exact) planned_jobs with
+        | [] -> ids
+        | l -> Array.of_list (List.map (fun pj -> pj.job.Job.id) l)
+      in
+      let garbage =
+        List.init p.net_garbage (fun _ ->
+            ( Random.State.int rng p.cycles,
+              0.2 +. Random.State.float rng 1.5,
+              Net_garbage (Random.State.int rng 6) ))
+      in
+      let stalls =
+        List.init p.net_stalls (fun _ ->
+            ( Random.State.int rng p.cycles,
+              0.3 +. Random.State.float rng 1.0,
+              Net_stall ))
+      in
+      (* duplicate submits land in cycle 0, early: every planned job is
+         in that cycle's table from the first admission sweep on (Ended
+         jobs stay in the table), so the dup=true ACK is deterministic *)
+      let dups =
+        List.init p.net_dups (fun _ ->
+            ( 0,
+              0.15 +. Random.State.float rng 0.4,
+              Net_dup bit_ids.(Random.State.int rng (Array.length bit_ids)) ))
+      in
+      let storm_subs =
+        match storm_at with
+        | [] -> []
+        | (sc, at) :: _ ->
+            List.init p.net_storm_submits (fun _ ->
+                ( sc,
+                  at +. 0.05 +. Random.State.float rng 0.3,
+                  Net_storm_submit ids.(Random.State.int rng (Array.length ids))
+                ))
+      in
+      garbage @ stalls @ dups @ storm_subs
+    end
+  in
+  { planned_jobs; drops; storm_at; corrupt_plan; net_events }
 
 (* FNV-1a 64 over the serialized plan: cheap, dependency-free, stable *)
 let fnv1a64 s =
@@ -395,6 +524,11 @@ let serialize_plan pl =
   List.iter
     (fun (c, d) -> Buffer.add_string b (Printf.sprintf "corrupt %d %d\n" c d))
     pl.corrupt_plan;
+  List.iter
+    (fun (c, at, f) ->
+      Buffer.add_string b
+        (Printf.sprintf "net %d %.6f %s\n" c at (net_fault_tag f)))
+    pl.net_events;
   Buffer.contents b
 
 let schedule_fingerprint ~seed p = fnv1a64 (serialize_plan (plan ~seed p))
@@ -422,6 +556,7 @@ type report = {
   storms_run : int;
   garbage_dropped : int;
   corruptions_done : int;
+  net_faults : int;
   recovery_overhead : float;
 }
 
@@ -543,6 +678,63 @@ let reference_run ~ref_root pj =
   (dir, Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
+(* Network fault execution                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* the gate server beside each chaos cycle runs with a deliberately
+   short per-frame budget so a planted stall (which sleeps
+   [gate_stall_s]) reliably trips the deadline reaper *)
+let gate_io_deadline = 0.5
+let gate_stall_s = 1.2
+
+let frame_bytes payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+(* hostile socket payloads, mirroring the spool's [garbage_bytes]: every
+   rejection path of the frame layer and the protocol decoder *)
+let net_garbage_payload kind =
+  match kind with
+  | 0 ->
+      (* insane header: declares a ~3.7 GB frame *)
+      "\xde\xad\xbe\xef" ^ String.make 60 '\xaa'
+  | 1 -> frame_bytes "this is not json at all {{{"
+  | 2 -> frame_bytes "{\"v\": 1, \"verb\": \"frobnicate\"}"
+  | 3 ->
+      (* declare 500 bytes, deliver 100, vanish: mid-frame disconnect *)
+      let b = Bytes.create 104 in
+      Bytes.set_int32_be b 0 500l;
+      Bytes.fill b 4 100 'x';
+      Bytes.to_string b
+  | 4 ->
+      (* honest header declaring one byte over the cap *)
+      let b = Bytes.create 4 in
+      Bytes.set_int32_be b 0 (Int32.of_int (Job.max_file_bytes + 4096));
+      Bytes.to_string b
+  | _ ->
+      (* well-framed, well-formed, invalid job: must reach the admission
+         decoder and come back [rejected], not kill the connection *)
+      frame_bytes
+        "{\"v\": 1, \"verb\": \"submit\", \"job\": {\"scenario\": \"landau\", \
+         \"p\": 9}}"
+
+(* blast raw bytes at the gate and hang up; [linger] keeps the socket
+   open and silent first (the stalled-client attack).  Connection
+   failures are swallowed: a shed or refused connect is itself a valid
+   server response to abuse. *)
+let raw_blast ~sock bytes ~linger =
+  match Gate.Frame.connect ~deadline:1.0 (Gate.Frame.Unix_sock sock) with
+  | Error _ -> ()
+  | Ok fd ->
+      (try ignore (Unix.write_substring fd bytes 0 (String.length bytes))
+       with Unix.Unix_error _ -> ());
+      if linger > 0.0 then Unix.sleepf linger;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Campaign execution                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -655,6 +847,18 @@ let run_campaign ?root ?(log = fun _ -> ()) ~seed p =
   let garbage_dropped = ref 0 in
   let dups_dropped = ref 0 in
   let corruptions_done = ref 0 in
+  (* network-fault bookkeeping: written by the disruptor domain, read by
+     the scheduler thread only after [Domain.join] *)
+  let net_faults = ref 0 in
+  let net_stalls_fired = ref 0 in
+  let net_midframe_fired = ref 0 in
+  let dup_acks = ref 0 in
+  let net_bad_acks = ref [] in
+  let gate_stats : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let job_by_id = Hashtbl.create 16 in
+  List.iter
+    (fun pj -> Hashtbl.replace job_by_id pj.job.Job.id pj.job)
+    pl.planned_jobs;
   let seq_of = Hashtbl.create 32 in
   let prio_of = Hashtbl.create 32 in
   List.iter
@@ -672,6 +876,27 @@ let run_campaign ?root ?(log = fun _ -> ()) ~seed p =
       let status_path =
         Filename.concat root (Printf.sprintf "status_%d.jsonl" cycle)
       in
+      (* each cycle gets its own gate server + intake, torn down with the
+         cycle — exactly the per-lifetime pairing vmdg serve --socket has *)
+      let gate_ctx =
+        if not p.gate then None
+        else begin
+          let sock =
+            Filename.concat root (Printf.sprintf "gate_%d.sock" cycle)
+          in
+          let intake = Intake.create () in
+          let scfg =
+            {
+              (Gate.Server.default_config ~addr:(Gate.Frame.Unix_sock sock)) with
+              Gate.Server.io_deadline = gate_io_deadline;
+              idle_timeout = 8.0;
+              intake_timeout = 2.0;
+            }
+          in
+          let server = Gate.Server.start ~intake scfg in
+          Some (sock, intake, server)
+        end
+      in
       let cfg =
         {
           (Engine.default_config ~root:chaos_root) with
@@ -684,6 +909,7 @@ let run_campaign ?root ?(log = fun _ -> ()) ~seed p =
           progress_every = 1_000_000;
           spool = Some spool;
           exit_on_idle = true;
+          intake = Option.map (fun (_, i, _) -> i) gate_ctx;
         }
       in
       let sup = Supervisor.create () in
@@ -695,6 +921,9 @@ let run_campaign ?root ?(log = fun _ -> ()) ~seed p =
         @ List.filter_map
             (fun (c, at) -> if c = cycle then Some (at, `Storm) else None)
             pl.storm_at
+        @ List.filter_map
+            (fun (c, at, f) -> if c = cycle then Some (at, `Net f) else None)
+            pl.net_events
         |> List.sort (fun (a, _) (b, _) -> compare a b)
       in
       let disruptor =
@@ -714,7 +943,40 @@ let run_campaign ?root ?(log = fun _ -> ()) ~seed p =
                     then incr dups_dropped
                 | `Storm ->
                     Supervisor.request_stop sup "SIGTERM";
-                    incr storms_run)
+                    incr storms_run
+                | `Net f -> (
+                    incr net_faults;
+                    match (gate_ctx, f) with
+                    | None, _ -> ()
+                    | Some (sock, _, _), Net_garbage k ->
+                        if k = 3 then incr net_midframe_fired;
+                        raw_blast ~sock (net_garbage_payload k) ~linger:0.0
+                    | Some (sock, _, _), Net_stall ->
+                        incr net_stalls_fired;
+                        raw_blast ~sock "\x00\x00" ~linger:gate_stall_s
+                    | Some (sock, _, _), (Net_dup id | Net_storm_submit id)
+                      -> (
+                        match Hashtbl.find_opt job_by_id id with
+                        | None -> ()
+                        | Some j -> (
+                            let c =
+                              Gate.Client.create ~io_deadline:1.0 ~retries:1
+                                ~seed:(cycle + (31 * !net_faults))
+                                (Gate.Frame.Unix_sock sock)
+                            in
+                            match Gate.Client.submit c j with
+                            | Ok (Gate.Protocol.Accepted { dup = true }) ->
+                                incr dup_acks
+                            | Ok (Gate.Protocol.Accepted { dup = false }) ->
+                                net_bad_acks :=
+                                  (id
+                                  ^ ": duplicate submit accepted as a fresh \
+                                     job")
+                                  :: !net_bad_acks
+                            | Ok _ | Error _ ->
+                                (* Draining / transport failure: a valid
+                                   answer to a submit mid-drain *)
+                                ()))))
               script)
       in
       log
@@ -730,6 +992,34 @@ let run_campaign ?root ?(log = fun _ -> ()) ~seed p =
           None
       in
       Domain.join disruptor;
+      (* gate teardown: the server must still answer a ping after every
+         scripted network fault, THEN stop cleanly; counters are final
+         only after stop joins the handler threads *)
+      (match gate_ctx with
+      | None -> ()
+      | Some (sock, _, server) ->
+          (let c =
+             Gate.Client.create ~io_deadline:1.0 ~retries:2
+               (Gate.Frame.Unix_sock sock)
+           in
+           match Gate.Client.ping c with
+           | Ok Gate.Protocol.Pong -> check "gate-alive" true ""
+           | Ok r ->
+               check "gate-alive" false
+                 (Printf.sprintf "cycle %d: ping answered %s" cycle
+                    (Gate.Protocol.response_to_string r))
+           | Error m ->
+               check "gate-alive" false
+                 (Printf.sprintf "cycle %d: ping failed after faults: %s"
+                    cycle m));
+          Gate.Server.stop server;
+          List.iter
+            (fun (k, v) ->
+              let prev =
+                try Hashtbl.find gate_stats k with Not_found -> 0
+              in
+              Hashtbl.replace gate_stats k (prev + v))
+            (Gate.Server.stats server));
       match summary with
       | None -> ()
       | Some s ->
@@ -908,12 +1198,38 @@ let run_campaign ?root ?(log = fun _ -> ()) ~seed p =
     (Printf.sprintf
        "dropped %d hostile files (%d duplicates), admission rejected %d"
        !garbage_dropped !dups_dropped !rejects);
+  (* the gate battery: no duplicate submit was ever accepted as fresh
+     work (the idempotency contract), at least one landed while its
+     original was live and got the dup ACK, and the per-attack reapers
+     (deadline closes, mid-frame detection) each caught their prey *)
+  if p.gate then begin
+    check "net-idempotent-ack" (!net_bad_acks = [])
+      (String.concat "; " !net_bad_acks);
+    if p.net_dups > 0 then
+      check "net-dup-acked" (!dup_acks >= 1)
+        (Printf.sprintf
+           "%d duplicate submits over the gate, %d acknowledged as dup"
+           p.net_dups !dup_acks);
+    let g k = try Hashtbl.find gate_stats k with Not_found -> 0 in
+    if !net_stalls_fired > 0 then
+      check "net-stalls-reaped"
+        (g "gate.deadline_closes" >= !net_stalls_fired)
+        (Printf.sprintf "%d stalled clients, %d deadline closes"
+           !net_stalls_fired
+           (g "gate.deadline_closes"));
+    if !net_midframe_fired > 0 then
+      check "net-mid-frame-detected"
+        (g "gate.mid_frame_disconnects" >= !net_midframe_fired)
+        (Printf.sprintf "%d mid-frame disconnects sent, %d detected"
+           !net_midframe_fired
+           (g "gate.mid_frame_disconnects"))
+  end;
 
   let wall_s = Unix.gettimeofday () -. t0 in
   let bombs = Obs.counter_value "resilience.faults_injected" -. bombs0 in
   let faults_injected =
     !preempts + int_of_float bombs + !storms_run + !garbage_dropped
-    + !corruptions_done
+    + !corruptions_done + !net_faults
   in
   Obs.count "chaos.faults_injected" faults_injected;
   let recovery_overhead =
@@ -939,6 +1255,7 @@ let run_campaign ?root ?(log = fun _ -> ()) ~seed p =
       storms_run = !storms_run;
       garbage_dropped = !garbage_dropped;
       corruptions_done = !corruptions_done;
+      net_faults = !net_faults;
       recovery_overhead;
     }
   in
@@ -952,9 +1269,9 @@ let pp_report fmt r =
     r.profile_name r.seed r.fingerprint;
   Format.fprintf fmt
     "  %d jobs, %d faults injected (%d preempts, %d crash retries, %d hangs, \
-     %d storms, %d garbage, %d corruptions)@,"
+     %d storms, %d garbage, %d corruptions, %d net faults)@,"
     r.jobs r.faults_injected r.preempts r.crashes r.watchdog_hangs
-    r.storms_run r.garbage_dropped r.corruptions_done;
+    r.storms_run r.garbage_dropped r.corruptions_done r.net_faults;
   Format.fprintf fmt
     "  %d invariant checks, %d rejects at admission, %d slots quarantined, \
      recovery overhead %.0f%%, %.1fs wall@,"

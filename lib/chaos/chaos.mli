@@ -62,6 +62,17 @@ type profile = {
   ckpt_crash_jobs : int;  (** crash-during-checkpoint-write bombs *)
   wall_jobs : int;  (** undersized max_wall => deterministic Failed *)
   doomed_jobs : int;  (** NaN bomb with a zeroed ladder => deterministic Failed *)
+  gate : bool;
+      (** run a {!Dg_gate.Gate.Server} beside every cycle's engine and
+          aim the network fault classes below at it *)
+  net_garbage : int;  (** hostile socket payloads (bad frames, bad JSON) *)
+  net_stalls : int;  (** clients that stall mid-frame past the io deadline *)
+  net_dups : int;
+      (** duplicate submits of live planned jobs over the gate; each must
+          be ACKed [accepted (dup)], never run twice — combined with the
+          bit-exactness battery this is the idempotent-resubmit proof *)
+  net_storm_submits : int;
+      (** resubmits fired just behind a SIGTERM storm, into the drain *)
 }
 
 val smoke : profile
@@ -71,6 +82,12 @@ val smoke : profile
 val standard : profile
 (** The acceptance campaign: >= 8 concurrent jobs, >= 200 injected faults
     across every fault class. *)
+
+val network : profile
+(** The gate campaign (~10 s): a socket server beside each cycle, fed
+    garbage frames, stalled clients, duplicate submits of live jobs, and
+    a submit storm behind the SIGTERM drain; all jobs are bit-exactness
+    candidates so idempotent resubmission is asserted bit for bit. *)
 
 val job_count : profile -> int
 (** Total jobs the profile plans (sum of the per-class counts). *)
@@ -88,6 +105,12 @@ type planned = {
           undisturbed reference bit for bit *)
 }
 
+type net_fault =
+  | Net_garbage of int  (** hostile bytes; the kind selects the attack *)
+  | Net_stall  (** two header bytes, then silence past the io deadline *)
+  | Net_dup of string  (** resubmit of a live planned job (by id) *)
+  | Net_storm_submit of string  (** resubmit fired into a SIGTERM drain *)
+
 type plan = {
   planned_jobs : planned list;
   drops : (int * float * string * string) list;
@@ -96,6 +119,9 @@ type plan = {
   corrupt_plan : (int * int) list;
       (** (after-cycle, rng draw) — the victim is picked deterministically
           from the jobs still parked when the cycle ends *)
+  net_events : (int * float * net_fault) list;
+      (** (cycle, at-seconds, fault) socket attacks; empty unless the
+          profile sets [gate] (so pre-gate fingerprints are unchanged) *)
 }
 
 val plan : seed:int -> profile -> plan
@@ -128,6 +154,7 @@ type report = {
   storms_run : int;
   garbage_dropped : int;
   corruptions_done : int;
+  net_faults : int;  (** socket attacks executed against the gate *)
   recovery_overhead : float;
       (** (chaotic wall - reference wall) / chaotic wall over the
           bit-exact cohort: the fraction of chaotic wall time spent

@@ -83,6 +83,11 @@ module Scenarios = Dg_scenarios.Scenarios
 module Job = Dg_serve.Job
 module Jobq = Dg_serve.Jobq
 module Engine = Dg_serve.Engine
+module Intake = Dg_serve.Intake
+module Backoff = Dg_serve.Backoff
+
+(* the socket ingress beside the engine (vmdg serve --socket / vmdg submit) *)
+module Gate = Dg_gate.Gate
 
 (* deterministic chaos campaigns against the job engine (vmdg chaos) *)
 module Chaos = Dg_chaos.Chaos

@@ -1,0 +1,93 @@
+(* The gate client: one connection per request (connect → one frame out →
+   one frame in → close), wrapped in bounded retries with jittered
+   exponential backoff.
+
+   Retry discipline: transport failures (connect refused, deadline,
+   mid-frame close) and [overloaded] responses are retryable; definitive
+   responses ([accepted], [rejected], [draining], [unknown], status
+   payloads, protocol errors) are returned as-is.  Retrying a submit is
+   ALWAYS safe — the server dedupes by job id, so a resubmit after a lost
+   ACK receives [accepted dup=true] instead of running the job twice.
+
+   Determinism: the backoff delays come from a seeded [Backoff.t], so a
+   chaos campaign's client behaviour replays exactly from the campaign
+   seed. *)
+
+module Json = Dg_obs.Obs.Json
+module Backoff = Dg_serve.Backoff
+
+type t = {
+  addr : Frame.addr;
+  io_deadline : float;  (* per-frame/connect budget, seconds *)
+  retries : int;  (* attempts = retries + 1 *)
+  backoff : Backoff.t;
+}
+
+let create ?(io_deadline = 5.0) ?(retries = 4) ?backoff ?(seed = 0) addr =
+  if io_deadline <= 0.0 then invalid_arg "Gate client: io_deadline must be > 0";
+  if retries < 0 then invalid_arg "Gate client: retries must be >= 0";
+  (* a dead peer must answer [EPIPE], not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let backoff =
+    match backoff with
+    | Some b -> b
+    | None -> Backoff.make ~seed (Backoff.policy ~base:0.05 ~cap:2.0 ())
+  in
+  { addr; io_deadline; retries; backoff }
+
+type attempt =
+  | Got of Protocol.response
+  | Retry of string  (* transport-level failure, worth another try *)
+
+let attempt t req =
+  match Frame.connect ~deadline:t.io_deadline t.addr with
+  | Error e -> Retry ("connect: " ^ Frame.error_to_string e)
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let payload = Json.to_string (Protocol.request_to_json req) in
+          match Frame.write_frame fd ~budget:t.io_deadline payload with
+          | Error e -> Retry ("send: " ^ Frame.error_to_string e)
+          | Ok () -> (
+              match
+                Frame.read_frame ~idle_budget:t.io_deadline
+                  ~frame_budget:t.io_deadline fd
+              with
+              | Error e -> Retry ("recv: " ^ Frame.error_to_string e)
+              | Ok resp -> (
+                  match Protocol.response_of_string resp with
+                  | Ok r -> Got r
+                  | Error why ->
+                      (* the server spoke, but not our language: definitive *)
+                      Got (Protocol.Proto_error ("unparseable response: " ^ why)))))
+
+let request t req =
+  Backoff.reset t.backoff;
+  let attempts = t.retries + 1 in
+  let rec go n =
+    match attempt t req with
+    | Got (Protocol.Overloaded _ as r) ->
+        (* backpressure: retry on the same schedule as a lost packet; the
+           final attempt's [overloaded] is returned for the caller *)
+        if n >= attempts then Ok r
+        else begin
+          Unix.sleepf (Backoff.next t.backoff);
+          go (n + 1)
+        end
+    | Got r -> Ok r
+    | Retry why ->
+        if n >= attempts then
+          Error (Printf.sprintf "no answer after %d attempts (last: %s)" n why)
+        else begin
+          Unix.sleepf (Backoff.next t.backoff);
+          go (n + 1)
+        end
+  in
+  go 1
+
+let submit t job = request t (Protocol.Submit job)
+let status t id = request t (Protocol.Status id)
+let cancel t id = request t (Protocol.Cancel id)
+let drain t why = request t (Protocol.Drain why)
+let ping t = request t Protocol.Ping

@@ -1,0 +1,35 @@
+(** The gate client: one connection per request, with deadlines, bounded
+    retries, and jittered exponential backoff.
+
+    Transport failures and [Overloaded] responses are retried (up to
+    [retries] extra attempts); definitive responses are returned as-is.
+    Retrying a submit is always safe: the server dedupes by job id, so a
+    resubmit after a lost ACK gets [Accepted {dup = true}] instead of a
+    second run.  Backoff delays come from a seeded {!Dg_serve.Backoff.t},
+    so client behaviour replays deterministically under the chaos
+    harness. *)
+
+type t
+
+val create :
+  ?io_deadline:float ->
+  ?retries:int ->
+  ?backoff:Dg_serve.Backoff.t ->
+  ?seed:int ->
+  Frame.addr ->
+  t
+(** [io_deadline] (default 5 s) bounds connect, send, and receive each;
+    [retries] (default 4) is the number of {e extra} attempts after the
+    first.  Default backoff: base 50 ms, factor 2, cap 2 s, jitter 0.5.
+    Ignores SIGPIPE process-wide (a dead peer must be an [EPIPE], not a
+    process kill). *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** [Error] only when every attempt failed at the transport level; the
+    message names the last failure. *)
+
+val submit : t -> Dg_serve.Job.t -> (Protocol.response, string) result
+val status : t -> string option -> (Protocol.response, string) result
+val cancel : t -> string -> (Protocol.response, string) result
+val drain : t -> string -> (Protocol.response, string) result
+val ping : t -> (Protocol.response, string) result

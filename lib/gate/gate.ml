@@ -1,0 +1,16 @@
+(* dg_gate: hardened socket ingress for the dg_serve job engine.
+
+   Layers, bottom up:
+   - [Frame]    — length-prefixed framing with deadline IO (slow-loris safe)
+   - [Protocol] — total JSON request/response codec (same [Job] admission
+                  decoder as the spool)
+   - [Server]   — accept loop + per-connection threads beside [Engine.run]
+   - [Client]   — one-shot requests with bounded, jittered-backoff retries
+
+   The engine side of the contract lives in [Dg_serve.Intake] (the
+   control channel) and [Dg_serve.Backoff] (the shared retry cadence). *)
+
+module Frame = Frame
+module Protocol = Protocol
+module Server = Server
+module Client = Client

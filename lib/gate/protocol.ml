@@ -1,0 +1,208 @@
+(* Request/response vocabulary of the gate, as JSON payloads inside
+   Frame frames.
+
+   Decoding is TOTAL, like spool admission: a frame's payload is
+   attacker-controlled bytes, so every shape error becomes [Error reason]
+   — nothing raises.  Submitted jobs go through the exact same
+   [Job.of_json_result] bound-checked decoder as spool files; the gate
+   adds no second, weaker parser. *)
+
+module Job = Dg_serve.Job
+module Json = Dg_obs.Obs.Json
+
+let version = 1
+
+type request =
+  | Submit of Job.t
+  | Status of string option  (* None = whole-server status *)
+  | Cancel of string
+  | Drain of string  (* reason *)
+  | Ping
+
+type response =
+  | Accepted of { dup : bool }
+  | Overloaded of { queue_depth : int; watermark : int }
+  | Rejected of string
+  | Draining
+  | Status_of of Json.t
+  | Unknown_id of string
+  | Pong
+  | Proto_error of string  (* malformed frame/request, bad version *)
+
+(* --- encoding --------------------------------------------------------------- *)
+
+let request_to_json = function
+  | Submit job ->
+      Json.Obj
+        [ ("v", Json.Int version); ("verb", Json.Str "submit");
+          ("job", Job.to_json_full job) ]
+  | Status None -> Json.Obj [ ("v", Json.Int version); ("verb", Json.Str "status") ]
+  | Status (Some id) ->
+      Json.Obj
+        [ ("v", Json.Int version); ("verb", Json.Str "status");
+          ("id", Json.Str id) ]
+  | Cancel id ->
+      Json.Obj
+        [ ("v", Json.Int version); ("verb", Json.Str "cancel");
+          ("id", Json.Str id) ]
+  | Drain why ->
+      Json.Obj
+        [ ("v", Json.Int version); ("verb", Json.Str "drain");
+          ("why", Json.Str why) ]
+  | Ping -> Json.Obj [ ("v", Json.Int version); ("verb", Json.Str "ping") ]
+
+let response_to_json = function
+  | Accepted { dup } ->
+      Json.Obj
+        [ ("ok", Json.Bool true); ("status", Json.Str "accepted");
+          ("dup", Json.Bool dup) ]
+  | Overloaded { queue_depth; watermark } ->
+      Json.Obj
+        [ ("ok", Json.Bool false); ("status", Json.Str "overloaded");
+          ("queue_depth", Json.Int queue_depth);
+          ("watermark", Json.Int watermark) ]
+  | Rejected why ->
+      Json.Obj
+        [ ("ok", Json.Bool false); ("status", Json.Str "rejected");
+          ("error", Json.Str why) ]
+  | Draining ->
+      Json.Obj [ ("ok", Json.Bool false); ("status", Json.Str "draining") ]
+  | Status_of info ->
+      Json.Obj
+        [ ("ok", Json.Bool true); ("status", Json.Str "status");
+          ("info", info) ]
+  | Unknown_id id ->
+      Json.Obj
+        [ ("ok", Json.Bool false); ("status", Json.Str "unknown");
+          ("id", Json.Str id) ]
+  | Pong -> Json.Obj [ ("ok", Json.Bool true); ("status", Json.Str "pong") ]
+  | Proto_error why ->
+      Json.Obj
+        [ ("ok", Json.Bool false); ("status", Json.Str "error");
+          ("error", Json.Str why) ]
+
+(* --- total decoding --------------------------------------------------------- *)
+
+let parse s =
+  match Json.parse s with
+  | j -> Ok j
+  | exception Json.Parse_error m -> Error ("JSON parse error: " ^ m)
+  | exception Stack_overflow -> Error "JSON nesting too deep"
+
+(* ids arriving in status/cancel requests get the same character/length
+   discipline as job ids, so hostile bytes never reach a log line raw *)
+let checked_id s =
+  if s = "" then Error "empty id"
+  else if String.length s > 128 then Error "id longer than 128 bytes"
+  else if
+    String.for_all
+      (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+        | _ -> false)
+      s
+  then Ok s
+  else Error "id contains characters outside [A-Za-z0-9_.-]"
+
+let request_of_json json =
+  match json with
+  | Json.Obj kvs -> (
+      (match List.assoc_opt "v" kvs with
+      | None | Some (Json.Int 1) -> Ok ()
+      | Some (Json.Int v) ->
+          Error (Printf.sprintf "unsupported protocol version %d (speak %d)" v version)
+      | Some _ -> Error "field \"v\" must be an integer")
+      |> function
+      | Error _ as e -> e
+      | Ok () -> (
+          let id_opt () =
+            match List.assoc_opt "id" kvs with
+            | None -> Ok None
+            | Some (Json.Str s) -> Result.map Option.some (checked_id s)
+            | Some _ -> Error "field \"id\" must be a string"
+          in
+          match List.assoc_opt "verb" kvs with
+          | Some (Json.Str "submit") -> (
+              match List.assoc_opt "job" kvs with
+              | None -> Error "submit: missing \"job\""
+              | Some j -> (
+                  match Job.of_json_result j with
+                  | Ok job -> Ok (Submit job)
+                  | Error m -> Error m))
+          | Some (Json.Str "status") -> (
+              match id_opt () with
+              | Ok id -> Ok (Status id)
+              | Error m -> Error ("status: " ^ m))
+          | Some (Json.Str "cancel") -> (
+              match id_opt () with
+              | Ok (Some id) -> Ok (Cancel id)
+              | Ok None -> Error "cancel: missing \"id\""
+              | Error m -> Error ("cancel: " ^ m))
+          | Some (Json.Str "drain") -> (
+              match List.assoc_opt "why" kvs with
+              | None -> Ok (Drain "client request")
+              | Some (Json.Str why) when String.length why <= 256 ->
+                  Ok (Drain why)
+              | Some (Json.Str _) -> Error "drain: \"why\" longer than 256 bytes"
+              | Some _ -> Error "drain: \"why\" must be a string")
+          | Some (Json.Str "ping") -> Ok Ping
+          | Some (Json.Str v) when String.length v <= 32 ->
+              Error (Printf.sprintf "unknown verb %S" v)
+          | Some (Json.Str _) -> Error "unknown verb"
+          | Some _ -> Error "field \"verb\" must be a string"
+          | None -> Error "missing \"verb\""))
+  | _ -> Error "request must be a JSON object"
+
+let request_of_string s =
+  match parse s with Ok j -> request_of_json j | Error _ as e -> e
+
+let response_of_json json =
+  let str k =
+    match Json.member k json with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let int k =
+    match Json.member k json with Some (Json.Int v) -> Some v | _ -> None
+  in
+  match json with
+  | Json.Obj _ -> (
+      match str "status" with
+      | Some "accepted" -> (
+          match Json.member "dup" json with
+          | Some (Json.Bool dup) -> Ok (Accepted { dup })
+          | _ -> Error "accepted: missing \"dup\"")
+      | Some "overloaded" -> (
+          match (int "queue_depth", int "watermark") with
+          | Some queue_depth, Some watermark ->
+              Ok (Overloaded { queue_depth; watermark })
+          | _ -> Error "overloaded: missing depth/watermark")
+      | Some "rejected" ->
+          Ok (Rejected (Option.value ~default:"(no reason)" (str "error")))
+      | Some "draining" -> Ok Draining
+      | Some "status" -> (
+          match Json.member "info" json with
+          | Some info -> Ok (Status_of info)
+          | None -> Error "status: missing \"info\"")
+      | Some "unknown" ->
+          Ok (Unknown_id (Option.value ~default:"" (str "id")))
+      | Some "pong" -> Ok Pong
+      | Some "error" ->
+          Ok (Proto_error (Option.value ~default:"(no detail)" (str "error")))
+      | Some s when String.length s <= 32 ->
+          Error (Printf.sprintf "unknown response status %S" s)
+      | Some _ -> Error "unknown response status"
+      | None -> Error "response missing \"status\"")
+  | _ -> Error "response must be a JSON object"
+
+let response_of_string s =
+  match parse s with Ok j -> response_of_json j | Error _ as e -> e
+
+let response_to_string r =
+  match r with
+  | Accepted { dup } -> if dup then "accepted (duplicate — already known)" else "accepted"
+  | Overloaded { queue_depth; watermark } ->
+      Printf.sprintf "overloaded (queue depth %d >= watermark %d)" queue_depth
+        watermark
+  | Rejected why -> "rejected: " ^ why
+  | Draining -> "draining"
+  | Status_of info -> Json.to_string info
+  | Unknown_id id -> Printf.sprintf "unknown id %S" id
+  | Pong -> "pong"
+  | Proto_error why -> "protocol error: " ^ why

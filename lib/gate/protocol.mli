@@ -1,0 +1,45 @@
+(** Request/response vocabulary of the gate (JSON payloads inside
+    {!Frame} frames).
+
+    Decoding is {b total}: frame payloads are attacker-controlled bytes,
+    so every malformed shape becomes [Error reason] — nothing raises.
+    Submitted jobs go through the same bound-checked
+    [Job.of_json_result] decoder as spool files. *)
+
+module Job = Dg_serve.Job
+module Json = Dg_obs.Obs.Json
+
+val version : int
+(** Current protocol version (1); requests may carry a ["v"] field and
+    are refused when it names another version. *)
+
+type request =
+  | Submit of Job.t
+  | Status of string option  (** [None] = whole-server status *)
+  | Cancel of string
+  | Drain of string  (** reason, logged by the engine *)
+  | Ping  (** liveness probe answered by the gate itself, engine-free *)
+
+type response =
+  | Accepted of { dup : bool }
+      (** [dup = true]: the id was already known — the idempotent ACK a
+          retried submit receives instead of a second run *)
+  | Overloaded of { queue_depth : int; watermark : int }
+      (** back off and retry *)
+  | Rejected of string  (** definitive; do not retry *)
+  | Draining  (** server shutting down; do not retry here *)
+  | Status_of of Json.t
+  | Unknown_id of string
+  | Pong
+  | Proto_error of string  (** malformed frame/request, bad version *)
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, string) result
+val request_of_string : string -> (request, string) result
+
+val response_to_json : response -> Json.t
+val response_of_json : Json.t -> (response, string) result
+val response_of_string : string -> (response, string) result
+
+val response_to_string : response -> string
+(** One human-readable line, for CLI output. *)

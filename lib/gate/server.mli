@@ -1,0 +1,51 @@
+(** The gate server: an accept loop plus one thread per connection,
+    running beside [Engine.run] and feeding it through an
+    {!Dg_serve.Intake}.
+
+    The server makes no admission decisions — submit/status/cancel/drain
+    are answered by the scheduler thread against the authoritative queue
+    (dedup by id, overload watermark, drain state); only [ping] is
+    answered locally.  Defenses: a connection cap (immediate [overloaded]
+    + close beyond it), per-frame deadlines (idle politely, never trickle
+    — {!Frame}'s slow-loris split), bad frames answered without killing
+    the connection (length-delimited framing cannot desync), oversize
+    declarations answered then closed, and a {!stop} that flushes
+    in-flight responses (RECEIVE-only shutdown, then join). *)
+
+type config = {
+  addr : Frame.addr;
+  io_deadline : float;
+      (** per-frame read/write budget once bytes flow (seconds) *)
+  idle_timeout : float;  (** quiet time allowed between frames *)
+  max_conns : int;  (** concurrent connections before shedding *)
+  intake_timeout : float;  (** how long a handler waits on the scheduler *)
+  backlog : int;
+}
+
+val default_config : addr:Frame.addr -> config
+(** io_deadline 2 s, idle_timeout 30 s, max_conns 32, intake_timeout 5 s,
+    backlog 16. *)
+
+type t
+
+val start : intake:Dg_serve.Intake.t -> config -> t
+(** Bind, listen, and return immediately; ignores SIGPIPE process-wide.
+    Create the intake, pass it to both the engine config and here, and
+    [stop] the server {e after} [Engine.run] returns (the engine closes
+    the intake, so handlers drain instantly).
+    @raise Unix.Unix_error when the address cannot be bound.
+    @raise Invalid_argument on a nonsensical config. *)
+
+val stop : t -> unit
+(** Stop accepting, wake every connection (RECEIVE-only shutdown so
+    in-flight responses still flush), join all threads, unlink the Unix
+    socket path, and publish the [gate.*] counters to {!Dg_obs.Obs}.
+    Idempotent. *)
+
+val bound_addr : t -> Frame.addr
+(** The actual bound address — resolves a [Tcp (_, 0)] request to the
+    kernel-assigned port. *)
+
+val stats : t -> (string * int) list
+(** Live [gate.*] counters (connections, frames, bad frames, deadline
+    closes, mid-frame disconnects, sheds, ...).  Safe while running. *)

@@ -599,10 +599,13 @@ module Report = struct
   let aggregate records =
     let rows : (string, row) Hashtbl.t = Hashtbl.create 64 in
     let counters : (string, float ref) Hashtbl.t = Hashtbl.create 16 in
+    (* gauges are last-write-wins: records are in file (= time) order, so
+       [Hashtbl.replace] per record leaves the final value *)
+    let gauges : (string, float) Hashtbl.t = Hashtbl.create 8 in
     let steps = ref 0 and wall = ref 0.0 in
     let manifest = ref None in
     let add_counters r =
-      match Json.member "counters" r with
+      (match Json.member "counters" r with
       | Some (Json.Obj kvs) ->
           List.iter
             (fun (k, v) ->
@@ -610,6 +613,12 @@ module Report = struct
               match Hashtbl.find_opt counters k with
               | Some acc -> acc := !acc +. x
               | None -> Hashtbl.add counters k (ref x))
+            kvs
+      | _ -> ());
+      match Json.member "gauges" r with
+      | Some (Json.Obj kvs) ->
+          List.iter
+            (fun (k, v) -> Hashtbl.replace gauges k (Json.to_float (Some v)))
             kvs
       | _ -> ()
     in
@@ -642,12 +651,12 @@ module Report = struct
         | Some (Json.Str _) -> add_counters r
         | _ -> ())
       records;
-    (rows, counters, !steps, !wall, !manifest)
+    (rows, counters, gauges, !steps, !wall, !manifest)
 
   let print ?(out = stdout) path =
     let pr fmt = Printf.fprintf out fmt in
     let records = read_jsonl path in
-    let rows, counters, steps, wall, manifest = aggregate records in
+    let rows, counters, gauges, steps, wall, manifest = aggregate records in
     (match manifest with
     | Some (Json.Obj kvs) ->
         pr "run manifest:\n";
@@ -687,6 +696,17 @@ module Report = struct
           if Float.is_integer v then pr "%-44s %14.0f\n" name v
           else pr "%-44s %14.3f\n" name v)
         counts
+    end;
+    let gauge_rows =
+      Hashtbl.fold (fun name v l -> (name, v) :: l) gauges [] |> List.sort compare
+    in
+    if gauge_rows <> [] then begin
+      pr "\n%-44s %14s\n" "gauge" "last";
+      List.iter
+        (fun (name, v) ->
+          if Float.is_integer v then pr "%-44s %14.0f\n" name v
+          else pr "%-44s %14.3f\n" name v)
+        gauge_rows
     end;
     (* accounting: top-level spans vs measured wall time *)
     let top =

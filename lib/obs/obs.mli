@@ -143,9 +143,11 @@ val read_jsonl : string -> Json.t list
 module Report : sig
   val print : ?out:out_channel -> string -> float
   (** Pretty-print a JSONL trace: manifest, per-span aggregate table
-      (count/total/mean/max/%%-of-wall, indented by nesting depth), and a
+      (count/total/mean/max/%%-of-wall, indented by nesting depth), a
       counter-totals table summing the ["counters"] object of every record
       — this is where resilience, watchdog, admission, and chaos counts
-      surface.  Returns the fraction of measured wall time accounted for
-      by top-level spans. *)
+      surface — and a gauge table showing the last value of every key in
+      any record's ["gauges"] object (e.g. the job server's
+      [serve.queue_depth] / [serve.inflight_jobs]).  Returns the fraction
+      of measured wall time accounted for by top-level spans. *)
 end

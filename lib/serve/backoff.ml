@@ -1,0 +1,45 @@
+(* Jittered exponential backoff, shared by every retry loop that waits on
+   an unreliable peer: the gate client between connection attempts, and
+   the engine's spool scanner when the directory keeps coming up empty.
+
+   Determinism matters more than entropy here — the chaos harness replays
+   whole campaigns from a seed, so the delay sequence must be a pure
+   function of (policy, seed, attempt history).  All randomness comes
+   from a private [Random.State] seeded at [make]. *)
+
+type policy = {
+  base : float;  (* first delay, seconds *)
+  factor : float;  (* growth per attempt (>= 1) *)
+  cap : float;  (* delays never exceed this *)
+  jitter : float;  (* fraction of the delay randomized, in [0, 1] *)
+}
+
+let policy ?(base = 0.05) ?(factor = 2.0) ?(cap = 5.0) ?(jitter = 0.5) () =
+  if not (Float.is_finite base && base > 0.0) then
+    invalid_arg "Backoff.policy: base must be > 0";
+  if not (Float.is_finite factor && factor >= 1.0) then
+    invalid_arg "Backoff.policy: factor must be >= 1";
+  if not (Float.is_finite cap && cap >= base) then
+    invalid_arg "Backoff.policy: cap must be >= base";
+  if not (Float.is_finite jitter && jitter >= 0.0 && jitter <= 1.0) then
+    invalid_arg "Backoff.policy: jitter must be in [0, 1]";
+  { base; factor; cap; jitter }
+
+type t = { p : policy; rng : Random.State.t; mutable attempt : int }
+
+let make ?(seed = 0) p =
+  { p; rng = Random.State.make [| 0xba0c0ff; seed |]; attempt = 0 }
+
+let attempt t = t.attempt
+
+(* Partial jitter: the delay keeps a deterministic floor of
+   [(1 - jitter) * raw] — enough spread to de-synchronize a thundering
+   herd without ever collapsing the wait to ~0 (full jitter can, and a
+   near-zero retry delay defeats the point under overload). *)
+let next t =
+  let raw = Float.min t.p.cap (t.p.base *. (t.p.factor ** float_of_int t.attempt)) in
+  if t.attempt < max_int then t.attempt <- t.attempt + 1;
+  let u = Random.State.float t.rng 1.0 in
+  raw *. (1.0 -. t.p.jitter) +. (raw *. t.p.jitter *. u)
+
+let reset t = t.attempt <- 0

@@ -1,0 +1,35 @@
+(** Jittered exponential backoff shared by the gate client's retry loop
+    and the engine's idle spool scanner.
+
+    Deterministic: the delay sequence is a pure function of the policy,
+    the [seed] given to {!make}, and the number of {!next} calls since
+    the last {!reset} — a requirement of the chaos harness, whose whole
+    fault schedule must replay from a campaign seed. *)
+
+type policy = private {
+  base : float;  (** first delay, seconds *)
+  factor : float;  (** growth per attempt, >= 1 *)
+  cap : float;  (** delays never exceed this *)
+  jitter : float;  (** fraction of each delay randomized, in [0, 1] *)
+}
+
+val policy :
+  ?base:float -> ?factor:float -> ?cap:float -> ?jitter:float -> unit -> policy
+(** Defaults: base 50 ms, factor 2, cap 5 s, jitter 0.5.
+    @raise Invalid_argument on non-finite or out-of-range values. *)
+
+type t
+
+val make : ?seed:int -> policy -> t
+
+val next : t -> float
+(** Next delay in seconds: [min cap (base * factor^attempt)], with
+    [jitter * delay] of it uniformly randomized (the deterministic floor
+    [(1 - jitter) * delay] never collapses to zero).  Advances the
+    attempt counter. *)
+
+val reset : t -> unit
+(** Back to the first-attempt delay — call on any sign of activity. *)
+
+val attempt : t -> int
+(** Attempts since the last reset. *)

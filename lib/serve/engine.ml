@@ -51,6 +51,8 @@ type config = {
   spool : string option;
   exit_on_idle : bool;
   kernel_cache : bool;
+  intake : Intake.t option;
+  admit_watermark : int;
 }
 
 let default_config ~root =
@@ -67,6 +69,8 @@ let default_config ~root =
     spool = None;
     exit_on_idle = true;
     kernel_cache = true;
+    intake = None;
+    admit_watermark = 64;
   }
 
 type outcome = Done | Failed of string | Drained
@@ -149,6 +153,7 @@ type live = {
   mutable crashes : int;
   mutable hangs : int;
   mutable dof_per_step : float;
+  mutable cancel_req : bool;  (* client cancel racing another stop reason *)
 }
 
 let dof_per_step_of app =
@@ -181,6 +186,8 @@ let run ?(jobs = []) ?supervisor cfg =
     invalid_arg "Engine.run: slice_deadline must be > 0";
   if cfg.progress_every < 1 then
     invalid_arg "Engine.run: progress_every must be >= 1";
+  if cfg.admit_watermark < 1 then
+    invalid_arg "Engine.run: admit_watermark must be >= 1";
   if cfg.kernel_cache then Solver.enable_kernel_cache ();
   let cache0_h, cache0_m = Solver.kernel_cache_stats () in
   let sup = match supervisor with Some s -> s | None -> Supervisor.create () in
@@ -247,6 +254,7 @@ let run ?(jobs = []) ?supervisor cfg =
           crashes = 0;
           hangs = 0;
           dof_per_step = 0.0;
+          cancel_req = false;
         }
       in
       Hashtbl.replace table id l;
@@ -287,15 +295,18 @@ let run ?(jobs = []) ?supervisor cfg =
         ("error", Json.Str why) ];
     mark_rejected ~path why
   in
+  (* returns "saw any .json file" — activity resets the idle backoff *)
   let scan_spool () =
     match cfg.spool with
-    | None -> ()
+    | None -> false
     | Some dir when Sys.file_exists dir && Sys.is_directory dir ->
+        let activity = ref false in
         let files = Sys.readdir dir in
         Array.sort compare files;
         Array.iter
           (fun f ->
             if Filename.check_suffix f ".json" then begin
+              activity := true;
               let path = Filename.concat dir f in
               match Job.of_file_result path with
               | Ok job ->
@@ -319,8 +330,37 @@ let run ?(jobs = []) ?supervisor cfg =
                   Hashtbl.remove read_pending path;
                   reject_spool ~path ~id:(Filename.remove_extension f) why
             end)
-          files
-    | Some _ -> ()
+          files;
+        !activity
+    | Some _ -> false
+  in
+
+  (* Idle-spool backoff (shares the gate client's [Backoff] module): an
+     empty directory is rescanned at a jittered exponentially growing
+     interval instead of every poll tick; any sighted job file resets the
+     cadence to every-tick.  Bounded so a quiet server still notices a
+     new job within ~50 poll intervals (at most 1 s). *)
+  let spool_backoff =
+    Backoff.make ~seed:(Hashtbl.hash cfg.root)
+      (Backoff.policy ~base:cfg.poll_interval ~factor:2.0
+         ~cap:
+           (Float.max cfg.poll_interval
+              (Float.min 1.0 (50.0 *. cfg.poll_interval)))
+         ~jitter:0.3 ())
+  in
+  let next_spool = ref 0.0 in
+  let scan_spool_throttled () =
+    if cfg.spool <> None then begin
+      let now = Unix.gettimeofday () in
+      if now >= !next_spool then begin
+        Obs.count "serve.spool_scans" 1;
+        if scan_spool () then begin
+          Backoff.reset spool_backoff;
+          next_spool := now
+        end
+        else next_spool := now +. Backoff.next spool_backoff
+      end
+    end
   in
 
   (* multi-job SIGUSR1 status renderer on the server supervisor *)
@@ -342,6 +382,11 @@ let run ?(jobs = []) ?supervisor cfg =
             elapsed %.1fs"
            (List.length !running) (Jobq.length ready) done_ failed drained
            (Unix.gettimeofday () -. started));
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n  gauges: serve.queue_depth=%d serve.inflight_jobs=%d \
+            (admit watermark %d)"
+           (Jobq.length ready) (List.length !running) cfg.admit_watermark);
       if !hangs_detected > 0 || !rejected > 0 || !quarantined <> [] then
         Buffer.add_string b
           (Printf.sprintf
@@ -567,6 +612,7 @@ let run ?(jobs = []) ?supervisor cfg =
               (* every slot is quarantined: nothing can ever run again *)
               finish l
                 (Failed "hung slice: all worker slots quarantined")
+            else if l.cancel_req then finish l (Failed "cancelled by client")
             else if l.hangs <= l.job.Job.hang_retries then begin
               l.st <- Queued;
               Jobq.push ready ~priority:l.job.Job.priority ~seq:(seq ()) l
@@ -630,6 +676,11 @@ let run ?(jobs = []) ?supervisor cfg =
     | Finished stats -> (
         match stats.Retry.stopped with
         | None -> finish l Done
+        | Some _ when l.cancel_req ->
+            (* client cancel wins over whatever stop reason landed first
+               (cancel proper, or a preempt that raced it) *)
+            finish l (Failed "cancelled by client")
+        | Some "cancel" -> finish l (Failed "cancelled by client")
         | Some "preempt" ->
             l.preempts <- l.preempts + 1;
             emit "job"
@@ -642,6 +693,7 @@ let run ?(jobs = []) ?supervisor cfg =
     | Crashed why ->
         l.crashes <- l.crashes + 1;
         if !draining <> None then finish l Drained
+        else if l.cancel_req then finish l (Failed "cancelled by client")
         else if l.crashes <= l.job.Job.crash_retries then begin
           emit "job"
             (job_fields l
@@ -680,6 +732,108 @@ let run ?(jobs = []) ?supervisor cfg =
       table (0, 0, 0, 0)
   in
 
+  (* --- gate intake: requests posted by socket handler threads ------------- *)
+  let state_str l =
+    match l.st with
+    | Queued -> "queued"
+    | Running _ -> "running"
+    | Ended o -> outcome_to_string o
+  in
+  let job_status_json l =
+    Json.Obj
+      ((("state", Json.Str (state_str l)) :: job_fields l)
+      @ match l.st with
+        | Ended (Failed why) -> [ ("error", Json.Str why) ]
+        | _ -> [])
+  in
+  let server_status_json () =
+    let d, f, dr, steps = totals () in
+    Json.Obj
+      [
+        ("queue_depth", Json.Int (Jobq.length ready));
+        ("inflight_jobs", Json.Int (List.length !running));
+        ("admit_watermark", Json.Int cfg.admit_watermark);
+        ("done", Json.Int d);
+        ("failed", Json.Int f);
+        ("drained", Json.Int dr);
+        ("steps", Json.Int steps);
+        ( "draining",
+          match !draining with Some w -> Json.Str w | None -> Json.Null );
+        ("elapsed_s", Json.Float (Unix.gettimeofday () -. started));
+        ("rejects", Json.Int !rejected);
+      ]
+  in
+  (* All gate policy lives here, on the scheduler thread, against the
+     authoritative queue: dedup by id (idempotent resubmission — a retry
+     after a lost ACK finds its id in [table] and gets [dup = true], never
+     a second run), the overload watermark (the comparison uses the same
+     ready-queue depth published as the [serve.queue_depth] gauge), and
+     drain state. *)
+  let process_intake () =
+    match cfg.intake with
+    | None -> ()
+    | Some ik ->
+        List.iter
+          (fun (req, reply) ->
+            match req with
+            | Intake.Submit job ->
+                if !draining <> None then reply Intake.Draining
+                else if Hashtbl.mem table job.Job.id then begin
+                  Obs.count "serve.dup_submits" 1;
+                  emit "job"
+                    [ ("id", Json.Str job.Job.id);
+                      ("event", Json.Str "dup_submit") ];
+                  reply (Intake.Accepted { dup = true })
+                end
+                else begin
+                  let depth = Jobq.length ready in
+                  if depth >= cfg.admit_watermark then begin
+                    Obs.count "serve.overload_rejects" 1;
+                    emit "job"
+                      [ ("id", Json.Str job.Job.id);
+                        ("event", Json.Str "overloaded");
+                        ("queue_depth", Json.Int depth) ];
+                    reply
+                      (Intake.Overloaded
+                         { queue_depth = depth;
+                           watermark = cfg.admit_watermark })
+                  end
+                  else if submit job then reply (Intake.Accepted { dup = false })
+                  else reply (Intake.Rejected "duplicate id")
+                end
+            | Intake.Status None ->
+                reply (Intake.Status_of (server_status_json ()))
+            | Intake.Status (Some id) -> (
+                match Hashtbl.find_opt table id with
+                | Some l -> reply (Intake.Status_of (job_status_json l))
+                | None -> reply (Intake.Unknown_id id))
+            | Intake.Cancel id -> (
+                match Hashtbl.find_opt table id with
+                | None -> reply (Intake.Unknown_id id)
+                | Some l -> (
+                    match l.st with
+                    | Queued -> (
+                        match Jobq.remove ready (fun l' -> l' == l) with
+                        | Some _ ->
+                            Obs.count "serve.cancels" 1;
+                            finish l (Failed "cancelled by client");
+                            reply (Intake.Accepted { dup = false })
+                        | None ->
+                            reply (Intake.Rejected "not cancellable right now"))
+                    | Running r ->
+                        Obs.count "serve.cancels" 1;
+                        l.cancel_req <- true;
+                        Supervisor.request_stop r.sup "cancel";
+                        reply (Intake.Accepted { dup = false })
+                    | Ended o ->
+                        reply
+                          (Intake.Rejected ("already " ^ outcome_to_string o))))
+            | Intake.Drain why ->
+                drain ("gate: " ^ why);
+                reply (Intake.Accepted { dup = false }))
+          (Intake.take_all ik)
+  in
+
   (* --- main loop --- *)
   let last_status = ref 0.0 in
   let idle () = Jobq.is_empty ready && !running = [] in
@@ -688,14 +842,15 @@ let run ?(jobs = []) ?supervisor cfg =
     | Some _ -> !running = []
     | None -> idle () && cfg.exit_on_idle
   in
-  scan_spool ();
+  scan_spool_throttled ();
+  process_intake ();
   admit ();
   while not (finished ()) do
     (match Supervisor.should_stop sup with
     | Some reason -> drain (Supervisor.reason_to_string reason)
     | None -> ());
     if !draining = None then begin
-      scan_spool ();
+      scan_spool_throttled ();
       preempt ()
     end;
     (* the watchdog runs even while draining: a hung slice would otherwise
@@ -708,18 +863,26 @@ let run ?(jobs = []) ?supervisor cfg =
           r)
     in
     List.iter apply_report reports;
+    process_intake ();
     if !draining = None then admit ();
+    let depth = Jobq.length ready and inflight = List.length !running in
+    Obs.gauge "serve.queue_depth" (float_of_int depth);
+    Obs.gauge "serve.inflight_jobs" (float_of_int inflight);
     let now = Unix.gettimeofday () in
     if now -. !last_status > cfg.status_every then begin
       last_status := now;
       let d, f, dr, steps = totals () in
       emit "server"
         [ ("event", Json.Str "tick");
-          ("running", Json.Int (List.length !running));
-          ("queued", Json.Int (Jobq.length ready));
+          ("running", Json.Int inflight);
+          ("queued", Json.Int depth);
           ("done", Json.Int d); ("failed", Json.Int f);
           ("drained", Json.Int dr); ("steps", Json.Int steps);
-          ("elapsed_s", Json.Float (now -. started)) ]
+          ("elapsed_s", Json.Float (now -. started));
+          ("gauges",
+           Json.Obj
+             [ ("serve.queue_depth", Json.Float (float_of_int depth));
+               ("serve.inflight_jobs", Json.Float (float_of_int inflight)) ]) ]
     end;
     if not (finished ()) then Unix.sleepf cfg.poll_interval
   done;
@@ -733,6 +896,10 @@ let run ?(jobs = []) ?supervisor cfg =
       mailbox := [];
       r)
   |> List.iter apply_report;
+
+  (* the scheduler is gone: anyone still posting (or about to) gets an
+     immediate [Draining] instead of a timeout *)
+  Option.iter Intake.close cfg.intake;
 
   (* --- summary --- *)
   let wall_s = Unix.gettimeofday () -. started in

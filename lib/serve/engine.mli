@@ -45,19 +45,33 @@ type config = {
   root : string;  (** checkpoint root; jobs live in [root/jobs/<id>/] *)
   spool : string option;
       (** directory scanned for new [*.json] job files; consumed files are
-          renamed [.accepted] / [.rejected] *)
+          renamed [.accepted] / [.rejected].  An empty spool is rescanned
+          on a jittered exponential backoff (base [poll_interval], capped
+          at min(1 s, 50 polls)) that resets to every-tick on activity *)
   exit_on_idle : bool;
       (** return once every job has ended (false: keep serving the spool
           until the supervisor stops us) *)
   kernel_cache : bool;
       (** share generated kernels across same-basis jobs
           ([Solver.enable_kernel_cache]) *)
+  intake : Intake.t option;
+      (** control channel for the socket gate: the scheduler drains it
+          every iteration, answering submit (idempotent by id) / status /
+          cancel / drain requests.  Create a fresh one per run; the
+          engine closes it on exit.  With an intake and no initial jobs,
+          pair with [exit_on_idle = false] or the engine returns before
+          a client can connect. *)
+  admit_watermark : int;
+      (** gate submits are refused with [Overloaded] once the ready-queue
+          depth reaches this (the same depth published as the
+          [serve.queue_depth] gauge); spool and initial-job admission are
+          not throttled *)
 }
 
 val default_config : root:string -> config
 (** concurrency 2, slice_wall 5s, slice_deadline 60s, poll 20ms, no status
     sink, status every 5s, progress every 50 steps, no spool, exit on
-    idle, kernel cache on. *)
+    idle, kernel cache on, no intake, admit watermark 64. *)
 
 type outcome =
   | Done  (** reached [tend]; a final checkpoint is the result artifact *)

@@ -1,0 +1,114 @@
+(* The control channel between ingress threads (the gate's per-connection
+   handlers) and the engine's single-threaded scheduler loop.
+
+   Ingress posts a request and waits (bounded) for the scheduler to pick
+   it up on its next iteration; the scheduler drains the whole batch with
+   [take_all] and answers each through a per-ticket callback.  Admission
+   decisions — duplicate-id dedup, the overload watermark, draining —
+   stay inside the engine where the authoritative queue lives; this
+   module only moves messages.
+
+   Waiters poll their ticket at 2 ms instead of blocking on a condition
+   variable: the scheduler wakes every few ms anyway, [Condition] has no
+   timed wait in the stdlib, and a bounded poll can never deadlock a
+   handler thread against a wedged scheduler. *)
+
+module Json = Dg_obs.Obs.Json
+
+type request =
+  | Submit of Job.t
+  | Status of string option  (* None = whole-server status *)
+  | Cancel of string
+  | Drain of string  (* reason, for the drain log line *)
+
+type reply =
+  | Accepted of { dup : bool }
+  | Overloaded of { queue_depth : int; watermark : int }
+  | Rejected of string
+  | Draining
+  | Status_of of Json.t
+  | Unknown_id of string
+
+type ticket = {
+  tm : Mutex.t;
+  mutable ans : reply option;
+  mutable abandoned : bool;  (* waiter timed out; drop any late answer *)
+}
+
+type t = {
+  m : Mutex.t;
+  mutable q : (request * ticket) list;  (* newest first *)
+  mutable closed : bool;
+}
+
+let create () = { m = Mutex.create (); q = []; closed = false }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let closed t = with_lock t.m (fun () -> t.closed)
+let pending t = with_lock t.m (fun () -> List.length t.q)
+
+let post ?(timeout = 5.0) t req =
+  let enqueue () =
+    with_lock t.m (fun () ->
+        if t.closed then None
+        else begin
+          let tk = { tm = Mutex.create (); ans = None; abandoned = false } in
+          t.q <- (req, tk) :: t.q;
+          Some tk
+        end)
+  in
+  match enqueue () with
+  | None -> Some Draining
+  | Some tk ->
+      let deadline = Unix.gettimeofday () +. timeout in
+      let rec wait () =
+        match with_lock tk.tm (fun () -> tk.ans) with
+        | Some _ as r -> r
+        | None ->
+            if Unix.gettimeofday () >= deadline then
+              with_lock tk.tm (fun () ->
+                  match tk.ans with
+                  | Some _ as r -> r (* answered while we checked the clock *)
+                  | None ->
+                      tk.abandoned <- true;
+                      None)
+            else begin
+              Unix.sleepf 0.002;
+              wait ()
+            end
+      in
+      wait ()
+
+let take_all t =
+  let batch =
+    with_lock t.m (fun () ->
+        let b = t.q in
+        t.q <- [];
+        List.rev b)
+  in
+  List.map
+    (fun (req, tk) ->
+      ( req,
+        fun ans ->
+          with_lock tk.tm (fun () ->
+              match tk.ans with
+              | None when not tk.abandoned -> tk.ans <- Some ans
+              | _ -> ()) ))
+    batch
+
+let close t =
+  let pending =
+    with_lock t.m (fun () ->
+        t.closed <- true;
+        let b = t.q in
+        t.q <- [];
+        b)
+  in
+  List.iter
+    (fun (_, tk) ->
+      with_lock tk.tm (fun () ->
+          match tk.ans with None -> tk.ans <- Some Draining | Some _ -> ()))
+    pending

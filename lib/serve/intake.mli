@@ -1,0 +1,53 @@
+(** Thread-safe control channel from ingress (the socket gate's handler
+    threads) into the engine's scheduler loop.
+
+    Ingress {!post}s a request and waits — bounded — for the scheduler,
+    which drains the batch with {!take_all} on each iteration and
+    answers through per-request callbacks.  All admission policy (dedup
+    by id, the overload watermark, drain state) lives in the engine;
+    this module only moves messages across threads. *)
+
+module Json = Dg_obs.Obs.Json
+
+type request =
+  | Submit of Job.t
+  | Status of string option  (** [None] = whole-server status *)
+  | Cancel of string
+  | Drain of string  (** reason, quoted in the engine's drain log line *)
+
+type reply =
+  | Accepted of { dup : bool }
+      (** Admitted; [dup = true] means the id was already known (queued,
+          running, or finished) and nothing new was enqueued — the
+          idempotent-resubmit ACK. *)
+  | Overloaded of { queue_depth : int; watermark : int }
+      (** Ready-queue depth at or above the admission watermark; the
+          client should back off and retry. *)
+  | Rejected of string  (** Definitive no (invalid job, bad cancel). *)
+  | Draining  (** Server is shutting down; do not retry here. *)
+  | Status_of of Json.t
+  | Unknown_id of string
+
+type t
+
+val create : unit -> t
+(** One intake serves one [Engine.run]: the engine closes it on exit, and
+    a closed intake answers [Draining] forever — create a fresh one per
+    run. *)
+
+val post : ?timeout:float -> t -> request -> reply option
+(** Enqueue and wait up to [timeout] (default 5 s) for the scheduler's
+    answer.  [None] = timed out (the request may still be applied later;
+    submits are idempotent so resubmitting is safe).  Safe from any
+    thread or domain. *)
+
+val take_all : t -> (request * (reply -> unit)) list
+(** Scheduler side: drain all pending requests, oldest first, each with
+    its one-shot answer callback (late answers to timed-out waiters are
+    dropped silently). *)
+
+val close : t -> unit
+(** Mark draining: pending and future posts answer [Draining]. *)
+
+val closed : t -> bool
+val pending : t -> int

@@ -388,6 +388,57 @@ let to_json j =
           ("fault_hang_step", j.fault_hang_step);
         ])
 
+(* Full round-trippable encoding, for shipping a job over the gate
+   socket: every field [of_json_result] understands, so
+   [of_json_result (to_json_full j) = Ok j] (asserted by test_gate). *)
+let to_json_full j =
+  Json.Obj
+    ([
+       ("id", Json.Str j.id);
+       ("scenario", Json.Str j.scenario);
+       ("priority", Json.Int j.priority);
+       ("cells", Json.List [ Json.Int j.cells_x; Json.Int j.cells_v ]);
+       ("p", Json.Int j.poly_order);
+       ("tend", Json.Float j.tend);
+       ("cfl", Json.Float j.cfl);
+       ("max_steps", Json.Int j.max_steps);
+       ("workers", Json.Int j.workers);
+       ("checkpoint_every", Json.Int j.checkpoint_every);
+       ("check_every", Json.Int j.check_every);
+       ("max_retries", Json.Int j.max_retries);
+       ("max_restores", Json.Int j.max_restores);
+       ("crash_retries", Json.Int j.crash_retries);
+       ("hang_retries", Json.Int j.hang_retries);
+       ( "positivity",
+         Json.Str
+           (match j.positivity with
+           | `Off -> "off"
+           | `Detect -> "detect"
+           | `Repair -> "repair") );
+       ("fault_hang_s", Json.Float j.fault_hang_s);
+       ("fault_ckpt_enospc", Json.Int j.fault_ckpt_enospc);
+     ]
+    @ (match j.max_wall with
+      | Some w -> [ ("max_wall", Json.Float w) ]
+      | None -> [])
+    @ (match j.keep_last with
+      | Some k -> [ ("keep_last", Json.Int k) ]
+      | None -> [])
+    @ List.filter_map
+        (fun (key, v) -> Option.map (fun k -> (key, Json.Int k)) v)
+        [
+          ("fault_nan_step", j.fault_nan_step);
+          ("fault_neg_step", j.fault_neg_step);
+          ("fault_crash_step", j.fault_crash_step);
+          ("fault_hang_step", j.fault_hang_step);
+        ]
+    @
+    match j.fault_ckpt_crash with
+    | Some Faults.Crash_before_rename ->
+        [ ("fault_ckpt_crash", Json.Str "before-rename") ]
+    | Some (Faults.Crash_truncate k) -> [ ("fault_ckpt_crash", Json.Int k) ]
+    | None -> [])
+
 (* --- translation to the app layer ----------------------------------------- *)
 
 (* The spec comes from the scenario registry: one source of truth shared

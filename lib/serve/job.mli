@@ -130,6 +130,10 @@ val manifest_of_file : string -> t list
 val to_json : t -> Dg_obs.Obs.Json.t
 (** The job's identifying fields, for status-stream records. *)
 
+val to_json_full : t -> Dg_obs.Obs.Json.t
+(** Every admission field, for shipping the job over the gate socket:
+    [of_json_result (to_json_full j) = Ok j]. *)
+
 val spec : t -> Dg_app.Vm_app.spec
 (** The full simulation spec this job runs. *)
 

@@ -33,6 +33,18 @@ let pop q =
       q.items <- tl;
       Some v
 
+let remove q pred =
+  let rec go acc = function
+    | [] -> None
+    | ((_, _, v) as hd) :: tl ->
+        if pred v then begin
+          q.items <- List.rev_append acc tl;
+          Some v
+        end
+        else go (hd :: acc) tl
+  in
+  go [] q.items
+
 let drain q =
   let vs = List.map (fun (_, _, v) -> v) q.items in
   q.items <- [];

@@ -18,6 +18,11 @@ val peek_priority : 'a t -> int option
 
 val pop : 'a t -> 'a option
 
+val remove : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the first (queue-order) entry matching the
+    predicate, preserving the order of the rest (client-requested job
+    cancellation). *)
+
 val drain : 'a t -> 'a list
 (** Remove and return everything, in queue order (used at shutdown). *)
 

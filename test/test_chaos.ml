@@ -369,6 +369,41 @@ let test_smoke_campaign () =
   Alcotest.(check bool) "garbage was rejected at admission" true
     (r.Chaos.admission_rejects >= 1)
 
+(* the acceptance gate for the socket ingress: the network profile —
+   mid-frame disconnects, stalled clients, garbage frames, duplicate
+   submits, storm submits during a SIGTERM drain — must end green at two
+   seeds: no job lost, none executed twice (the dup submits must come
+   back [Accepted {dup = true}]), server alive across every cycle *)
+let test_network_campaign seed () =
+  let r = Chaos.run_campaign ~seed ~log:(fun _ -> ()) Chaos.network in
+  List.iter
+    (fun (c : Chaos.check) ->
+      if not c.Chaos.ok then
+        Alcotest.failf "invariant %s violated: %s" c.Chaos.check_name
+          c.Chaos.detail)
+    r.Chaos.violations;
+  Alcotest.(check bool) "campaign green" true (Chaos.passed r);
+  Alcotest.(check string) "report carries the planned fingerprint"
+    (Chaos.schedule_fingerprint ~seed Chaos.network)
+    r.Chaos.fingerprint;
+  Alcotest.(check bool) "network faults actually fired" true
+    (r.Chaos.net_faults >= Chaos.network.Chaos.net_garbage);
+  (* the battery must include the gate checks (gate-alive per cycle,
+     idempotent-ACK, dup-acked, ...) on top of the standard invariants *)
+  Alcotest.(check bool) "gate invariant battery ran" true
+    (r.Chaos.invariant_checks >= 15)
+
+let test_network_fingerprint () =
+  let fp seed = Chaos.schedule_fingerprint ~seed Chaos.network in
+  Alcotest.(check string) "same seed, same fingerprint (network)" (fp 42)
+    (fp 42);
+  Alcotest.(check bool) "network faults feed the fingerprint" true
+    (fp 42 <> Chaos.schedule_fingerprint ~seed:42 Chaos.standard);
+  let p = Chaos.plan ~seed:42 Chaos.network in
+  Alcotest.(check bool) "network plan carries net events" true
+    (List.length p.Chaos.net_events
+    >= Chaos.network.Chaos.net_garbage + Chaos.network.Chaos.net_dups)
+
 let () =
   Alcotest.run "dg_chaos"
     [
@@ -389,5 +424,14 @@ let () =
       ( "watchdog",
         [ Alcotest.test_case "detect, resume, exhaust, isolate" `Slow test_watchdog ] );
       ( "campaign",
-        [ Alcotest.test_case "fixed-seed smoke campaign" `Slow test_smoke_campaign ] );
+        [
+          Alcotest.test_case "fixed-seed smoke campaign" `Slow
+            test_smoke_campaign;
+          Alcotest.test_case "network fingerprint determinism" `Quick
+            test_network_fingerprint;
+          Alcotest.test_case "network campaign, seed 42" `Slow
+            (test_network_campaign 42);
+          Alcotest.test_case "network campaign, seed 7" `Slow
+            (test_network_campaign 7);
+        ] );
     ]

@@ -1,0 +1,629 @@
+(* dg_gate: the hardened socket ingress.  Backoff determinism; frame
+   round-trips and every framing failure mode (oversize, mid-frame EOF,
+   idle vs slow-loris timeouts); total protocol decoding under fuzz; the
+   full-fidelity job codec round-trip; server+engine integration over a
+   real Unix socket (submit, status, cancel, drain); the idempotency
+   contract — a resubmit after a deliberately dropped ACK must not run
+   the job twice and must leave a bit-identical final checkpoint; the
+   overload watermark; stalled clients reaped by the deadline; garbage
+   frames answered without killing the server; and the spool scanner's
+   idle backoff. *)
+
+module Job = Dg_serve.Job
+module Engine = Dg_serve.Engine
+module Intake = Dg_serve.Intake
+module Backoff = Dg_serve.Backoff
+module Checkpoint = Dg_resilience.Checkpoint
+module Supervisor = Dg_resilience.Supervisor
+module Obs = Dg_obs.Obs
+module Json = Obs.Json
+module Frame = Dg_gate.Gate.Frame
+module Protocol = Dg_gate.Gate.Protocol
+module Server = Dg_gate.Gate.Server
+module Client = Dg_gate.Gate.Client
+module Field = Dg_grid.Field
+
+let tmpdir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let rec rm_rf p =
+  if Sys.file_exists p then
+    if Sys.is_directory p then begin
+      Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- backoff ---------------------------------------------------------------- *)
+
+let test_backoff () =
+  let p = Backoff.policy ~base:0.05 ~factor:2.0 ~cap:1.0 ~jitter:0.5 () in
+  let seq seed n =
+    let b = Backoff.make ~seed p in
+    List.init n (fun _ -> Backoff.next b)
+  in
+  Alcotest.(check (list (float 0.0)))
+    "same seed, same delays" (seq 7 8) (seq 7 8);
+  Alcotest.(check bool)
+    "different seeds, different jitter" true
+    (seq 1 8 <> seq 2 8);
+  (* the partial-jitter floor: a delay never collapses below
+     raw * (1 - jitter), and never exceeds the cap *)
+  let b = Backoff.make ~seed:3 p in
+  List.iteri
+    (fun i d ->
+      let raw = Float.min 1.0 (0.05 *. (2.0 ** float_of_int i)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %d within [%.3f, %.3f]" i (0.5 *. raw) raw)
+        true
+        (d >= (0.5 *. raw) -. 1e-12 && d <= raw +. 1e-12))
+    (List.init 10 (fun _ -> Backoff.next b));
+  Alcotest.(check int) "attempts counted" 10 (Backoff.attempt b);
+  Backoff.reset b;
+  Alcotest.(check int) "reset rewinds" 0 (Backoff.attempt b);
+  Alcotest.(check bool)
+    "first delay after reset is base-sized" true
+    (Backoff.next b <= 0.05 +. 1e-12);
+  Alcotest.check_raises "bad policy"
+    (Invalid_argument "Backoff.policy: jitter must be in [0, 1]") (fun () ->
+      ignore (Backoff.policy ~jitter:1.5 ()))
+
+(* --- framing ---------------------------------------------------------------- *)
+
+let socketpair () = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+
+let read_ok fd =
+  match Frame.read_frame fd ~idle_budget:2.0 ~frame_budget:2.0 with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "read_frame: %s" (Frame.error_to_string e)
+
+let test_frame_roundtrip () =
+  let a, b = socketpair () in
+  Fun.protect ~finally:(fun () -> Unix.close a; Unix.close b) @@ fun () ->
+  List.iter
+    (fun payload ->
+      (match Frame.write_frame ~budget:2.0 a payload with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write_frame: %s" (Frame.error_to_string e));
+      Alcotest.(check string) "round trip" payload (read_ok b))
+    [ "x"; ""; String.make 9000 'q'; "{\"verb\": \"ping\"}" ];
+  (* an oversize payload is refused before any bytes hit the wire *)
+  (match Frame.write_frame ~budget:2.0 a (String.make (Frame.max_frame_bytes + 1) 'z') with
+  | Error (Frame.Oversize _) -> ()
+  | _ -> Alcotest.fail "oversize write must be refused");
+  (* an oversize declaration is detected from the header alone *)
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (Frame.max_frame_bytes + 1));
+  ignore (Unix.write a hdr 0 4);
+  (match Frame.read_frame b ~idle_budget:1.0 ~frame_budget:1.0 with
+  | Error (Frame.Oversize n) ->
+      Alcotest.(check int) "declared length" (Frame.max_frame_bytes + 1) n
+  | _ -> Alcotest.fail "oversize declaration must be detected")
+
+let test_frame_failures () =
+  (* clean close on a frame boundary *)
+  let a, b = socketpair () in
+  Unix.close a;
+  (match Frame.read_frame b ~idle_budget:1.0 ~frame_budget:1.0 with
+  | Error Frame.Closed -> ()
+  | _ -> Alcotest.fail "EOF between frames must be Closed");
+  Unix.close b;
+  (* EOF with a frame half-delivered *)
+  let a, b = socketpair () in
+  let partial = Bytes.create 14 in
+  Bytes.set_int32_be partial 0 500l;
+  ignore (Unix.write a partial 0 14);
+  Unix.close a;
+  (match Frame.read_frame b ~idle_budget:1.0 ~frame_budget:1.0 with
+  | Error Frame.Mid_frame -> ()
+  | Error e -> Alcotest.failf "want Mid_frame, got %s" (Frame.error_to_string e)
+  | Ok _ -> Alcotest.fail "half a frame must not parse");
+  Unix.close b;
+  (* the slow-loris split: silence is Idle, a started frame that stalls
+     is Timeout *)
+  let a, b = socketpair () in
+  Fun.protect ~finally:(fun () -> Unix.close a; Unix.close b) @@ fun () ->
+  (match Frame.read_frame b ~idle_budget:0.05 ~frame_budget:1.0 with
+  | Error Frame.Idle -> ()
+  | _ -> Alcotest.fail "silence past the idle budget must be Idle");
+  ignore (Unix.write_substring a "\x00\x00" 0 2);
+  match Frame.read_frame b ~idle_budget:5.0 ~frame_budget:0.05 with
+  | Error Frame.Timeout -> ()
+  | Error e -> Alcotest.failf "want Timeout, got %s" (Frame.error_to_string e)
+  | Ok _ -> Alcotest.fail "a stalled frame must not parse"
+
+(* --- protocol: totality under fuzz, codec round-trips ----------------------- *)
+
+let test_protocol_fuzz () =
+  (* attacker-controlled bytes must never raise, only Error *)
+  let rng = Random.State.make [| 0xf0a2; 17 |] in
+  for _ = 1 to 500 do
+    let n = Random.State.int rng 300 in
+    let s = String.init n (fun _ -> Char.chr (Random.State.int rng 256)) in
+    match Protocol.request_of_string s with
+    | Ok _ | Error _ -> ()
+  done;
+  (* structured hostility: shapes that parse as JSON but lie *)
+  List.iter
+    (fun s ->
+      match Protocol.request_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "hostile request accepted: %s" s)
+    [
+      "[1, 2, 3]";
+      "{\"verb\": \"frobnicate\"}";
+      "{\"verb\": \"submit\"}";
+      "{\"verb\": \"submit\", \"job\": {\"scenario\": \"not-a-scenario\"}}";
+      "{\"verb\": \"submit\", \"job\": {\"scenario\": \"landau\", \"p\": 9}}";
+      "{\"v\": 2, \"verb\": \"ping\"}";
+      "{\"verb\": \"cancel\"}";
+      "{\"verb\": \"cancel\", \"id\": \"a b\"}";
+      ("{\"verb\": \"cancel\", \"id\": \"" ^ String.make 200 'a' ^ "\"}");
+    ];
+  (* every verb round-trips through its own encoder *)
+  let j =
+    Job.make ~id:"rt-1" ~scenario:"twostream" ~cells_x:12 ~cells_v:16
+      ~poly_order:2 ~tend:0.5 ~priority:3 ~checkpoint_every:4 ~keep_last:2
+      ~check_every:7 ~max_retries:5 ~max_restores:1 ~crash_retries:2
+      ~hang_retries:1 ~positivity:`Repair ~max_wall:12.5 ~fault_nan_step:9
+      ~fault_ckpt_enospc:1 ()
+  in
+  List.iter
+    (fun req ->
+      match
+        Protocol.request_of_string (Json.to_string (Protocol.request_to_json req))
+      with
+      | Ok got when got = req -> ()
+      | Ok _ -> Alcotest.fail "request round-trip changed the value"
+      | Error e -> Alcotest.failf "request round-trip failed: %s" e)
+    [
+      Protocol.Submit j;
+      Protocol.Status None;
+      Protocol.Status (Some "rt-1");
+      Protocol.Cancel "rt-1";
+      Protocol.Drain "rolling restart";
+      Protocol.Ping;
+    ];
+  (* the wire codec is full-fidelity: to_json_full must survive the same
+     admission decoder the spool uses, bit for bit *)
+  (match Job.of_json_result (Job.to_json_full j) with
+  | Ok j' when j' = j -> ()
+  | Ok _ -> Alcotest.fail "to_json_full round-trip changed the job"
+  | Error e -> Alcotest.failf "to_json_full rejected by admission: %s" e);
+  List.iter
+    (fun resp ->
+      match
+        Protocol.response_of_string
+          (Json.to_string (Protocol.response_to_json resp))
+      with
+      | Ok got when got = resp -> ()
+      | Ok _ -> Alcotest.fail "response round-trip changed the value"
+      | Error e -> Alcotest.failf "response round-trip failed: %s" e)
+    [
+      Protocol.Accepted { dup = false };
+      Protocol.Accepted { dup = true };
+      Protocol.Overloaded { queue_depth = 9; watermark = 4 };
+      Protocol.Rejected "no";
+      Protocol.Draining;
+      Protocol.Status_of (Json.Obj [ ("state", Json.Str "queued") ]);
+      Protocol.Unknown_id "ghost";
+      Protocol.Pong;
+      Protocol.Proto_error "bad frame";
+    ]
+
+(* --- server + engine integration -------------------------------------------- *)
+
+(* 16 x-cells: the registry landau is Vlasov-Poisson, and the spectral
+   solve needs a power-of-two configuration grid *)
+let small_job ?(tend = 0.3) ?fault_hang_s ?fault_hang_step id =
+  Job.make ~id ~scenario:"landau" ~cells_x:16 ~cells_v:16 ~poly_order:1 ~tend
+    ~checkpoint_every:5 ~check_every:5 ?fault_hang_step
+    ?fault_hang_s ()
+
+(* engine in a domain, gate beside it, torn down through the drain verb *)
+let with_gate ?(watermark = 1000) ?(concurrency = 2) ?(io_deadline = 2.0) f =
+  let root = tmpdir "gate_int" in
+  let sock = Filename.concat root "gate.sock" in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let intake = Intake.create () in
+  let cfg =
+    {
+      (Engine.default_config ~root) with
+      Engine.poll_interval = 0.002;
+      concurrency;
+      exit_on_idle = false;
+      intake = Some intake;
+      admit_watermark = watermark;
+    }
+  in
+  let server =
+    Server.start ~intake
+      {
+        (Server.default_config ~addr:(Frame.Unix_sock sock)) with
+        Server.io_deadline;
+        idle_timeout = 8.0;
+      }
+  in
+  let eng = Domain.spawn (fun () -> Engine.run ~jobs:[] cfg) in
+  let fin = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      (match !fin with
+      | Some _ -> ()
+      | None ->
+          (* test failed before the drain: still bring the engine down *)
+          ignore (Client.drain (Client.create (Frame.Unix_sock sock)) "abort");
+          ignore (Domain.join eng));
+      Server.stop server)
+    (fun () ->
+      let r = f ~root ~sock in
+      (match Client.drain (Client.create (Frame.Unix_sock sock)) "test done" with
+      | Ok (Protocol.Accepted _) -> ()
+      | Ok other ->
+          Alcotest.failf "drain: %s" (Protocol.response_to_string other)
+      | Error m -> Alcotest.failf "drain: %s" m);
+      let summary = Domain.join eng in
+      fin := Some summary;
+      (r, summary))
+
+let record_of (s : Engine.summary) id =
+  List.find_opt (fun (r : Engine.record) -> r.Engine.job.Job.id = id)
+    s.Engine.records
+
+(* poll the status verb until the job leaves the queued/running states —
+   draining earlier would park it as Drained instead of its real outcome *)
+let wait_settled c id =
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  let rec go () =
+    if Unix.gettimeofday () > deadline then
+      Alcotest.failf "job %s never settled" id
+    else
+      match Client.status c (Some id) with
+      | Ok (Protocol.Status_of j) -> (
+          match Json.member "state" j with
+          | Some (Json.Str ("queued" | "running")) ->
+              Unix.sleepf 0.05;
+              go ()
+          | _ -> ())
+      | Ok r ->
+          Alcotest.failf "status of %s: %s" id (Protocol.response_to_string r)
+      | Error m -> Alcotest.failf "status of %s: %s" id m
+  in
+  go ()
+
+let test_submit_status_cancel () =
+  let (), summary =
+    with_gate ~concurrency:1 @@ fun ~root:_ ~sock ->
+    let c = Client.create (Frame.Unix_sock sock) in
+    (match Client.ping c with
+    | Ok Protocol.Pong -> ()
+    | _ -> Alcotest.fail "ping must answer pong");
+    (* a blocker holds the single worker slot so the second job is
+       observable in (and cancellable from) the queued state *)
+    (match
+       Client.submit c (small_job ~fault_hang_step:1 ~fault_hang_s:1.2 "gi-block")
+     with
+    | Ok (Protocol.Accepted { dup = false }) -> ()
+    | r -> Alcotest.failf "submit blocker: %s"
+             (match r with
+              | Ok x -> Protocol.response_to_string x
+              | Error m -> m));
+    (match Client.submit c (small_job "gi-queued") with
+    | Ok (Protocol.Accepted { dup = false }) -> ()
+    | _ -> Alcotest.fail "submit queued job");
+    (* resubmitting a known id is the idempotent ACK, not a second job *)
+    (match Client.submit c (small_job "gi-queued") with
+    | Ok (Protocol.Accepted { dup = true }) -> ()
+    | _ -> Alcotest.fail "duplicate submit must ACK dup");
+    (match Client.status c None with
+    | Ok (Protocol.Status_of j) -> (
+        match Json.member "queue_depth" j with
+        | Some (Json.Int _) -> ()
+        | _ -> Alcotest.fail "server status must carry queue_depth")
+    | _ -> Alcotest.fail "server status");
+    (match Client.status c (Some "gi-queued") with
+    | Ok (Protocol.Status_of j) -> (
+        match Json.member "state" j with
+        | Some (Json.Str ("queued" | "running")) -> ()
+        | _ -> Alcotest.fail "job status must name its state")
+    | _ -> Alcotest.fail "job status");
+    (match Client.status c (Some "ghost") with
+    | Ok (Protocol.Unknown_id "ghost") -> ()
+    | _ -> Alcotest.fail "unknown id must be named");
+    (match Client.cancel c "gi-queued" with
+    | Ok (Protocol.Accepted _) -> ()
+    | _ -> Alcotest.fail "cancel queued job");
+    (match Client.cancel c "ghost" with
+    | Ok (Protocol.Unknown_id _) -> ()
+    | _ -> Alcotest.fail "cancel of unknown id");
+    wait_settled c "gi-block"
+  in
+  (match record_of summary "gi-block" with
+  | Some r -> (
+      match r.Engine.outcome with
+      | Engine.Done -> ()
+      | o -> Alcotest.failf "blocker: %s" (Engine.outcome_to_string o))
+  | None -> Alcotest.fail "blocker record missing");
+  match record_of summary "gi-queued" with
+  | Some r -> (
+      match r.Engine.outcome with
+      | Engine.Failed why when contains why "cancel" -> ()
+      | o ->
+          Alcotest.failf "cancelled job: %s" (Engine.outcome_to_string o))
+  | None -> Alcotest.fail "cancelled job record missing"
+
+(* the idempotency contract, end to end: submit over a raw socket and
+   hang up BEFORE the ACK arrives (the lost-ACK window), resubmit with
+   the real client, and require one run — with a final checkpoint
+   bit-identical to a solo run of the same job *)
+let bits = Int64.bits_of_float
+
+let same_checkpoint patha pathb =
+  let fa, sa, ta = Checkpoint.read patha in
+  let fb, sb, tb = Checkpoint.read pathb in
+  Alcotest.(check int) "final step" sa sb;
+  Alcotest.(check bool) "final time bits" true (Int64.equal (bits ta) (bits tb));
+  Alcotest.(check int) "field count" (List.length fa) (List.length fb);
+  List.iteri
+    (fun fi (x, y) ->
+      let dx = Field.data x and dy = Field.data y in
+      Alcotest.(check int)
+        (Printf.sprintf "field %d size" fi)
+        (Array.length dx) (Array.length dy);
+      Array.iteri
+        (fun i v ->
+          if not (Int64.equal (bits v) (bits dy.(i))) then
+            Alcotest.failf "field %d word %d: %.17g vs %.17g" fi i v dy.(i))
+        dx)
+    (List.combine fa fb)
+
+let test_idempotent_resubmit () =
+  let job = small_job "gi-idem" in
+  (* solo reference: same engine path, no gate *)
+  let ref_root = tmpdir "gate_ref" in
+  Fun.protect ~finally:(fun () -> rm_rf ref_root) @@ fun () ->
+  let ref_summary =
+    Engine.run ~jobs:[ job ]
+      { (Engine.default_config ~root:ref_root) with Engine.poll_interval = 0.002 }
+  in
+  Alcotest.(check int) "reference done" 1 ref_summary.Engine.jobs_done;
+  let latest root =
+    match
+      Checkpoint.find_latest ~dir:(Checkpoint.job_dir ~root ~job:"gi-idem")
+    with
+    | Some i -> i.Checkpoint.path
+    | None -> Alcotest.fail "missing final checkpoint"
+  in
+  let (), summary =
+    with_gate @@ fun ~root ~sock ->
+    (* the doomed first attempt: frame delivered, ACK abandoned *)
+    (match Frame.connect (Frame.Unix_sock sock) with
+    | Error e -> Alcotest.failf "connect: %s" (Frame.error_to_string e)
+    | Ok fd ->
+        let payload =
+          Json.to_string (Protocol.request_to_json (Protocol.Submit job))
+        in
+        (match Frame.write_frame ~budget:2.0 fd payload with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "write: %s" (Frame.error_to_string e));
+        Unix.close fd);
+    (* give the scheduler a beat to admit the orphaned submit *)
+    Unix.sleepf 0.3;
+    (* the retry the client library would make after the lost ACK *)
+    let c = Client.create (Frame.Unix_sock sock) in
+    (match Client.submit c job with
+    | Ok (Protocol.Accepted { dup = true }) -> ()
+    | Ok (Protocol.Accepted { dup = false }) ->
+        Alcotest.fail
+          "resubmit after a delivered-but-unACKed submit must be a dup"
+    | Ok r -> Alcotest.failf "resubmit: %s" (Protocol.response_to_string r)
+    | Error m -> Alcotest.failf "resubmit: %s" m);
+    wait_settled c "gi-idem";
+    (* once settled the final checkpoint is on disk: the one-run result
+       must be bit-identical to the solo run (compared here, before the
+       gate harness tears its temp root down) *)
+    same_checkpoint (latest ref_root) (latest root)
+  in
+  (* exactly one record, one completion *)
+  let runs =
+    List.filter (fun (r : Engine.record) -> r.Engine.job.Job.id = "gi-idem")
+      summary.Engine.records
+  in
+  Alcotest.(check int) "one record for the id" 1 (List.length runs);
+  Alcotest.(check int) "one completion" 1 summary.Engine.jobs_done
+
+let test_overload_watermark () =
+  let (), _ =
+    with_gate ~watermark:1 ~concurrency:1 @@ fun ~root:_ ~sock ->
+    let c = Client.create (Frame.Unix_sock sock) in
+    (match
+       Client.submit c (small_job ~fault_hang_step:1 ~fault_hang_s:1.5 "ov-block")
+     with
+    | Ok (Protocol.Accepted _) -> ()
+    | _ -> Alcotest.fail "blocker refused");
+    (* let the engine move the blocker into its slot, leaving the queue
+       empty, then park one job at depth 1 = the watermark *)
+    Unix.sleepf 0.4;
+    (match Client.submit c (small_job "ov-q1") with
+    | Ok (Protocol.Accepted _) -> ()
+    | Ok r -> Alcotest.failf "first queued: %s" (Protocol.response_to_string r)
+    | Error m -> Alcotest.failf "first queued: %s" m);
+    (* no-retry client: we want the raw overload answer, not the backoff *)
+    let c0 = Client.create ~retries:0 (Frame.Unix_sock sock) in
+    match Client.submit c0 (small_job "ov-q2") with
+    | Ok (Protocol.Overloaded { queue_depth; watermark }) ->
+        Alcotest.(check int) "watermark echoed" 1 watermark;
+        Alcotest.(check bool) "depth at or past watermark" true
+          (queue_depth >= 1)
+    | Ok r ->
+        Alcotest.failf "want overloaded, got %s"
+          (Protocol.response_to_string r)
+    | Error m -> Alcotest.failf "overload probe: %s" m
+  in
+  ()
+
+let test_hostile_clients () =
+  let (), summary =
+    with_gate ~io_deadline:0.4 @@ fun ~root:_ ~sock ->
+    let blast bytes =
+      match Frame.connect (Frame.Unix_sock sock) with
+      | Error e -> Alcotest.failf "connect: %s" (Frame.error_to_string e)
+      | Ok fd ->
+          (try ignore (Unix.write_substring fd bytes 0 (String.length bytes))
+           with Unix.Unix_error _ -> ());
+          Unix.close fd
+    in
+    (* garbage header (insane length), raw junk, truncated frame *)
+    blast "\xde\xad\xbe\xef garbage";
+    blast "no header at all";
+    let truncated = Bytes.create 54 in
+    Bytes.set_int32_be truncated 0 400l;
+    Bytes.fill truncated 4 50 'x';
+    blast (Bytes.to_string truncated);
+    (* a stalled client: two header bytes, silence past the deadline *)
+    (match Frame.connect (Frame.Unix_sock sock) with
+    | Error e -> Alcotest.failf "connect: %s" (Frame.error_to_string e)
+    | Ok fd ->
+        ignore (Unix.write_substring fd "\x00\x00" 0 2);
+        Unix.sleepf 1.0;
+        Unix.close fd);
+    (* the server is unimpressed: a fresh client still gets service *)
+    let c = Client.create (Frame.Unix_sock sock) in
+    (match Client.ping c with
+    | Ok Protocol.Pong -> ()
+    | _ -> Alcotest.fail "ping after hostile clients");
+    (match Client.submit c (small_job ~tend:0.1 "hc-after") with
+    | Ok (Protocol.Accepted { dup = false }) -> ()
+    | _ -> Alcotest.fail "submit after hostile clients");
+    wait_settled c "hc-after"
+  in
+  (match record_of summary "hc-after" with
+  | Some { Engine.outcome = Engine.Done; _ } -> ()
+  | _ -> Alcotest.fail "post-hostility job must complete");
+  ()
+
+(* reaped-stall accounting needs the raw server counters, which [stop]
+   finalizes — so this test drives the server without an engine (Ping
+   never touches the intake) *)
+let test_stall_counters () =
+  let root = tmpdir "gate_stall" in
+  let sock = Filename.concat root "gate.sock" in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let intake = Intake.create () in
+  let server =
+    Server.start ~intake
+      {
+        (Server.default_config ~addr:(Frame.Unix_sock sock)) with
+        Server.io_deadline = 0.2;
+        idle_timeout = 3.0;
+      }
+  in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  (match Frame.connect (Frame.Unix_sock sock) with
+  | Error e -> Alcotest.failf "connect: %s" (Frame.error_to_string e)
+  | Ok fd ->
+      ignore (Unix.write_substring fd "\x00\x00" 0 2);
+      Unix.sleepf 0.6;
+      Unix.close fd);
+  (match Client.ping (Client.create (Frame.Unix_sock sock)) with
+  | Ok Protocol.Pong -> ()
+  | _ -> Alcotest.fail "ping after the stall");
+  let stats = Server.stats server in
+  let get k = try List.assoc k stats with Not_found -> 0 in
+  Alcotest.(check bool) "stall reaped by the deadline" true
+    (get "gate.deadline_closes" >= 1);
+  Alcotest.(check bool) "connections counted" true (get "gate.conns" >= 2)
+
+(* --- spool idle backoff ------------------------------------------------------ *)
+
+let test_spool_backoff () =
+  Obs.enable ();
+  let root = tmpdir "gate_spool" in
+  let spool = Filename.concat root "spool" in
+  Unix.mkdir spool 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  (* an empty spool for ~0.6 s: a fixed-interval scanner at poll 5 ms
+     would scan ~120 times; the jittered exponential backoff (cap 50x
+     poll) must stay well under that *)
+  let scans0 = Obs.counter_value "serve.spool_scans" in
+  let sup = Supervisor.create ~max_wall:0.6 () in
+  let cfg =
+    {
+      (Engine.default_config ~root) with
+      Engine.poll_interval = 0.005;
+      spool = Some spool;
+      exit_on_idle = false;
+    }
+  in
+  ignore (Engine.run ~jobs:[] ~supervisor:sup cfg);
+  let idle_scans = Obs.counter_value "serve.spool_scans" -. scans0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "idle scans bounded (%.0f)" idle_scans)
+    true
+    (idle_scans >= 2.0 && idle_scans <= 30.0);
+  (* activity resets the backoff: a file dropped mid-run is still picked
+     up promptly (within the 0.25 s delay cap) and accepted *)
+  let dropper =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.25;
+        let tmp = Filename.concat spool "late.json.tmp" in
+        let oc = open_out tmp in
+        output_string oc
+          {|{"scenario": "landau", "cells": [16, 16], "tend": 0.05}|};
+        close_out oc;
+        Sys.rename tmp (Filename.concat spool "late.json"))
+  in
+  let sup2 = Supervisor.create ~max_wall:2.0 () in
+  let s = Engine.run ~jobs:[] ~supervisor:sup2 cfg in
+  Domain.join dropper;
+  match
+    List.find_opt
+      (fun (r : Engine.record) -> r.Engine.job.Job.id = "late")
+      s.Engine.records
+  with
+  | Some { Engine.outcome = Engine.Done; _ } -> ()
+  | Some r ->
+      Alcotest.failf "late spool job: %s"
+        (Engine.outcome_to_string r.Engine.outcome)
+  | None -> Alcotest.fail "late spool drop never admitted"
+
+let () =
+  Alcotest.run "dg_gate"
+    [
+      ( "backoff",
+        [ Alcotest.test_case "deterministic jittered exponential" `Quick
+            test_backoff ] );
+      ( "frame",
+        [
+          Alcotest.test_case "round trip + oversize" `Quick
+            test_frame_roundtrip;
+          Alcotest.test_case "EOF / idle / slow-loris" `Quick
+            test_frame_failures;
+        ] );
+      ( "protocol",
+        [ Alcotest.test_case "fuzz totality + codec round-trips" `Quick
+            test_protocol_fuzz ] );
+      ( "server",
+        [
+          Alcotest.test_case "submit / status / cancel / drain" `Slow
+            test_submit_status_cancel;
+          Alcotest.test_case "idempotent resubmit after dropped ACK" `Slow
+            test_idempotent_resubmit;
+          Alcotest.test_case "overload watermark" `Slow
+            test_overload_watermark;
+          Alcotest.test_case "hostile clients" `Slow test_hostile_clients;
+          Alcotest.test_case "stall reaped + counters" `Quick
+            test_stall_counters;
+        ] );
+      ( "spool",
+        [ Alcotest.test_case "idle backoff + activity reset" `Slow
+            test_spool_backoff ] );
+    ]
